@@ -1,0 +1,362 @@
+//! Full ATPG flow: fault list → PODEM → fault-simulation fault dropping →
+//! optional reverse-order compaction, producing a [`TestSet`] of cubes with
+//! don't-cares — exactly the `T_D` the 9C paper compresses.
+
+use crate::podem::{podem, PodemConfig, PodemOutcome};
+use ninec_circuit::Circuit;
+use ninec_fsim::fault::{collapsed_faults, StuckFault};
+use ninec_fsim::fsim::fault_simulate;
+use ninec_testdata::cube::TestSet;
+use std::fmt;
+
+/// Options for [`generate_tests`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtpgConfig {
+    /// Per-fault PODEM limits.
+    pub podem: PodemConfig,
+    /// Run a reverse-order compaction pass at the end.
+    pub compact: bool,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        Self {
+            podem: PodemConfig::default(),
+            compact: true,
+        }
+    }
+}
+
+/// Per-fault verdict of an ATPG run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStatus {
+    /// Detected (possibly by a cube targeting another fault).
+    Detected,
+    /// Proven untestable.
+    Untestable,
+    /// Given up at the backtrack limit.
+    Aborted,
+}
+
+/// Result of an ATPG run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtpgResult {
+    /// The generated test cubes.
+    pub tests: TestSet,
+    /// The collapsed fault list that was targeted.
+    pub faults: Vec<StuckFault>,
+    /// Verdict per fault, parallel to `faults`.
+    pub status: Vec<FaultStatus>,
+}
+
+impl AtpgResult {
+    /// Number of detected faults.
+    pub fn detected(&self) -> usize {
+        self.status.iter().filter(|s| **s == FaultStatus::Detected).count()
+    }
+
+    /// Number of proven-untestable faults.
+    pub fn untestable(&self) -> usize {
+        self.status.iter().filter(|s| **s == FaultStatus::Untestable).count()
+    }
+
+    /// Number of aborted faults.
+    pub fn aborted(&self) -> usize {
+        self.status.iter().filter(|s| **s == FaultStatus::Aborted).count()
+    }
+
+    /// Fault coverage over all targeted faults, percent.
+    pub fn coverage_percent(&self) -> f64 {
+        if self.faults.is_empty() {
+            return 100.0;
+        }
+        self.detected() as f64 / self.faults.len() as f64 * 100.0
+    }
+
+    /// Fault *efficiency*: detected plus proven untestable, percent.
+    pub fn efficiency_percent(&self) -> f64 {
+        if self.faults.is_empty() {
+            return 100.0;
+        }
+        (self.detected() + self.untestable()) as f64 / self.faults.len() as f64 * 100.0
+    }
+}
+
+impl fmt::Display for AtpgResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cubes, {}/{} detected ({:.1}% coverage, {:.1}% efficiency, {} untestable, {} aborted)",
+            self.tests.num_patterns(),
+            self.detected(),
+            self.faults.len(),
+            self.coverage_percent(),
+            self.efficiency_percent(),
+            self.untestable(),
+            self.aborted()
+        )
+    }
+}
+
+/// Generates a test-cube set for all collapsed stuck-at faults of
+/// `circuit`.
+///
+/// For each undetected fault, PODEM produces a cube; the cube is then
+/// fault-simulated against all remaining faults so fortuitous detections
+/// drop them from the target list (cubes stay as generated — don't-cares
+/// are *not* filled, they are the raw material 9C compresses).
+///
+/// # Examples
+///
+/// ```
+/// use ninec_atpg::generate::{generate_tests, AtpgConfig};
+/// use ninec_circuit::bench::{parse_bench, S27};
+///
+/// let s27 = parse_bench(S27)?;
+/// let result = generate_tests(&s27, AtpgConfig::default());
+/// assert_eq!(result.coverage_percent(), 100.0);
+/// assert!(result.tests.as_stream().count_x() > 0, "cubes keep their don't-cares");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn generate_tests(circuit: &Circuit, config: AtpgConfig) -> AtpgResult {
+    let faults = collapsed_faults(circuit);
+    let width = circuit.scan_view().cube_width();
+    let mut status = vec![None; faults.len()];
+    let mut tests = TestSet::new(width);
+
+    for target in 0..faults.len() {
+        if status[target].is_some() {
+            continue;
+        }
+        match podem(circuit, faults[target], config.podem) {
+            PodemOutcome::Detected(cube) => {
+                let mut single = TestSet::new(width);
+                single.push_pattern(&cube).expect("PODEM cube has scan width");
+                // Drop every remaining fault this cube detects.
+                let remaining: Vec<usize> =
+                    (0..faults.len()).filter(|&i| status[i].is_none()).collect();
+                let subset: Vec<StuckFault> = remaining.iter().map(|&i| faults[i]).collect();
+                let sim = fault_simulate(circuit, &single, &subset);
+                for (slot, det) in remaining.iter().zip(&sim.first_detection) {
+                    if det.is_some() {
+                        status[*slot] = Some(FaultStatus::Detected);
+                    }
+                }
+                debug_assert_eq!(status[target], Some(FaultStatus::Detected));
+                status[target].get_or_insert(FaultStatus::Detected);
+                tests.push_pattern(&cube).expect("PODEM cube has scan width");
+            }
+            PodemOutcome::Untestable => status[target] = Some(FaultStatus::Untestable),
+            PodemOutcome::Aborted => status[target] = Some(FaultStatus::Aborted),
+        }
+    }
+
+    let status: Vec<FaultStatus> = status
+        .into_iter()
+        .map(|s| s.unwrap_or(FaultStatus::Aborted))
+        .collect();
+    let tests = if config.compact {
+        compact_reverse_order(circuit, &tests, &faults)
+    } else {
+        tests
+    };
+    AtpgResult { tests, faults, status }
+}
+
+/// Static merge compaction: greedily merges *compatible* cubes (no
+/// position where one holds 0 and the other 1) into single cubes carrying
+/// the union of their care bits.
+///
+/// Merging compatible cubes can never lose single-stuck-at coverage —
+/// every merged cube covers each original cube's care bits, so any
+/// definite detection of an original cube is preserved (possibly moved to
+/// an earlier pattern). The resulting set is denser in care bits, which
+/// is exactly the profile compacted industrial sets (e.g. Mintest) show.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_atpg::generate::compact_merge;
+/// use ninec_testdata::cube::TestSet;
+///
+/// let cubes = TestSet::from_patterns(4, ["1XX0", "X1X0", "0XXX"])?;
+/// let merged = compact_merge(&cubes);
+/// // The first two are compatible and merge to "11X0"; the third clashes.
+/// assert_eq!(merged.num_patterns(), 2);
+/// assert_eq!(merged.pattern(0).to_string(), "11X0");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compact_merge(tests: &TestSet) -> TestSet {
+    let mut merged: Vec<ninec_testdata::trit::TritVec> = Vec::new();
+    for cube in tests.patterns() {
+        match merged.iter_mut().find(|m| m.compatible_with(&cube)) {
+            Some(slot) => {
+                // Union of care bits.
+                for i in 0..slot.len() {
+                    let c = cube.get(i).expect("in range");
+                    if c.is_care() {
+                        slot.set(i, c);
+                    }
+                }
+            }
+            None => merged.push(cube),
+        }
+    }
+    let mut out = TestSet::new(tests.pattern_len());
+    for m in merged {
+        out.push_pattern(&m).expect("merge preserves length");
+    }
+    out
+}
+
+/// Reverse-order compaction: replays the cubes last-to-first and keeps
+/// only those that detect a fault no later-kept cube detects.
+///
+/// Later ATPG cubes tend to be the hard, specific ones; replaying them
+/// first lets them absorb the fortuitous coverage of early cubes.
+pub fn compact_reverse_order(
+    circuit: &Circuit,
+    tests: &TestSet,
+    faults: &[StuckFault],
+) -> TestSet {
+    let mut undetected: Vec<StuckFault> = faults.to_vec();
+    let mut keep: Vec<usize> = Vec::new();
+    for idx in (0..tests.num_patterns()).rev() {
+        if undetected.is_empty() {
+            break;
+        }
+        let mut single = TestSet::new(tests.pattern_len());
+        single.push_pattern(&tests.pattern(idx)).expect("same width");
+        let sim = fault_simulate(circuit, &single, &undetected);
+        let detected_any = sim.first_detection.iter().any(Option::is_some);
+        if detected_any {
+            keep.push(idx);
+            undetected = sim
+                .first_detection
+                .iter()
+                .zip(&undetected)
+                .filter_map(|(d, f)| d.is_none().then_some(*f))
+                .collect();
+        }
+    }
+    keep.sort_unstable();
+    let mut out = TestSet::new(tests.pattern_len());
+    for idx in keep {
+        out.push_pattern(&tests.pattern(idx)).expect("same width");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninec_circuit::bench::{parse_bench, C17, S27};
+    use ninec_circuit::random::RandomCircuitSpec;
+    use ninec_fsim::fsim::fault_simulate as fsim;
+
+    #[test]
+    fn c17_full_coverage() {
+        let c17 = parse_bench(C17).unwrap();
+        let r = generate_tests(&c17, AtpgConfig::default());
+        assert_eq!(r.coverage_percent(), 100.0);
+        assert!(r.tests.num_patterns() >= 4, "c17 needs at least 4 tests");
+        // The kept set still covers everything.
+        let sim = fsim(&c17, &r.tests, &r.faults);
+        assert_eq!(sim.detected(), r.faults.len());
+    }
+
+    #[test]
+    fn s27_full_coverage_with_x() {
+        let s27 = parse_bench(S27).unwrap();
+        let r = generate_tests(&s27, AtpgConfig::default());
+        assert_eq!(r.coverage_percent(), 100.0);
+        assert!(r.tests.as_stream().x_density() > 0.05);
+    }
+
+    #[test]
+    fn merge_compaction_reduces_patterns_and_keeps_coverage() {
+        let c = RandomCircuitSpec::new("mg", 6, 8, 90).generate(4);
+        let r = generate_tests(&c, AtpgConfig { compact: false, ..Default::default() });
+        let merged = compact_merge(&r.tests);
+        assert!(merged.num_patterns() <= r.tests.num_patterns());
+        let before = fsim(&c, &r.tests, &r.faults).detected();
+        let after = fsim(&c, &merged, &r.faults).detected();
+        assert!(
+            after >= before,
+            "merge compaction lost coverage: {after} < {before}"
+        );
+        // Merged cubes are denser in care bits per pattern.
+        if merged.num_patterns() < r.tests.num_patterns() {
+            assert!(merged.x_density() <= r.tests.x_density());
+        }
+    }
+
+    #[test]
+    fn merge_respects_incompatibility() {
+        let ts = TestSet::from_patterns(3, ["1XX", "0XX", "X1X", "X0X"]).unwrap();
+        let merged = compact_merge(&ts);
+        // "1XX"+"X1X" -> "11X"; "0XX"+"X0X" -> "00X".
+        assert_eq!(merged.num_patterns(), 2);
+        assert_eq!(merged.pattern(0).to_string(), "11X");
+        assert_eq!(merged.pattern(1).to_string(), "00X");
+    }
+
+    #[test]
+    fn merge_then_reverse_order_stack() {
+        // The two compaction passes compose.
+        let c = RandomCircuitSpec::new("stack", 6, 8, 90).generate(8);
+        let r = generate_tests(&c, AtpgConfig { compact: false, ..Default::default() });
+        let merged = compact_merge(&r.tests);
+        let final_set = compact_reverse_order(&c, &merged, &r.faults);
+        assert!(final_set.num_patterns() <= merged.num_patterns());
+        let before = fsim(&c, &r.tests, &r.faults).detected();
+        let after = fsim(&c, &final_set, &r.faults).detected();
+        assert!(after >= before);
+    }
+
+    #[test]
+    fn compaction_never_loses_coverage() {
+        let c = RandomCircuitSpec::new("cz", 6, 8, 80).generate(5);
+        let full = generate_tests(&c, AtpgConfig { compact: false, ..Default::default() });
+        let compacted = compact_reverse_order(&c, &full.tests, &full.faults);
+        assert!(compacted.num_patterns() <= full.tests.num_patterns());
+        let before = fsim(&c, &full.tests, &full.faults).detected();
+        let after = fsim(&c, &compacted, &full.faults).detected();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn random_circuit_efficiency() {
+        let c = RandomCircuitSpec::new("rz", 8, 8, 120).generate(9);
+        let r = generate_tests(&c, AtpgConfig::default());
+        // Every fault should be resolved one way or another on a circuit
+        // this small.
+        assert!(r.efficiency_percent() > 95.0, "{r}");
+    }
+
+    #[test]
+    fn untestable_faults_do_not_block() {
+        // Redundant logic: y = OR(a, NOT(a)) AND b.
+        use ninec_circuit::{Circuit, GateKind};
+        let mut c = Circuit::new("red");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let na = c.add_gate("na", GateKind::Not, vec![a]).unwrap();
+        let t = c.add_gate("t", GateKind::Or, vec![a, na]).unwrap();
+        let y = c.add_gate("y", GateKind::And, vec![t, b]).unwrap();
+        c.mark_output(y);
+        let c = c.validate().unwrap();
+        let r = generate_tests(&c, AtpgConfig::default());
+        assert!(r.untestable() >= 1, "{r}");
+        assert!(r.detected() >= 2);
+        assert_eq!(r.efficiency_percent(), 100.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let c17 = parse_bench(C17).unwrap();
+        let r = generate_tests(&c17, AtpgConfig::default());
+        let s = r.to_string();
+        assert!(s.contains("coverage") && s.contains("cubes"));
+    }
+}

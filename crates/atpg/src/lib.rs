@@ -1,0 +1,33 @@
+//! Automatic test pattern generation (ATPG) for full-scan circuits.
+//!
+//! Produces exactly the artifact the 9C paper starts from: a precomputed
+//! test-cube set `T_D` with abundant don't-cares.
+//!
+//! - [`values`] — the five-valued D-calculus (good/faulty trit pairs);
+//! - [`mod@podem`] — the PODEM algorithm with backtracking;
+//! - [`generate`] — the full flow: collapsed fault list → PODEM →
+//!   fault-dropping → reverse-order compaction.
+//!
+//! # Example
+//!
+//! ```
+//! use ninec_atpg::generate::{generate_tests, AtpgConfig};
+//! use ninec_circuit::bench::{parse_bench, S27};
+//!
+//! let s27 = parse_bench(S27)?;
+//! let result = generate_tests(&s27, AtpgConfig::default());
+//! println!("{result}");
+//! // The cube set feeds straight into the 9C encoder.
+//! let cubes = &result.tests;
+//! assert!(cubes.x_density() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod podem;
+pub mod values;
+
+pub use generate::{compact_reverse_order, generate_tests, AtpgConfig, AtpgResult, FaultStatus};
+pub use podem::{podem, PodemConfig, PodemOutcome};

@@ -1,0 +1,379 @@
+//! The PODEM test-generation algorithm (Goel, 1981).
+//!
+//! PODEM searches over primary-input assignments only: an *objective*
+//! (excite the fault, then advance the D-frontier) is backtraced to an
+//! unassigned input, the assignment is implied forward in the five-valued
+//! D-calculus, and conflicts are undone by flipping the most recent
+//! unflipped decision.
+
+use crate::values::{controlling_value, eval_gate5, inverts, DValue};
+use ninec_circuit::{Circuit, GateKind, NetId};
+use ninec_fsim::fault::StuckFault;
+use ninec_testdata::trit::{Trit, TritVec};
+
+/// Search limits for one PODEM run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodemConfig {
+    /// Maximum number of backtracks before giving up on the fault.
+    pub backtrack_limit: usize,
+}
+
+impl Default for PodemConfig {
+    fn default() -> Self {
+        Self { backtrack_limit: 4096 }
+    }
+}
+
+/// Result of one PODEM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test cube (over the scan view's inputs, with don't-cares) that
+    /// definitely detects the fault.
+    Detected(TritVec),
+    /// The decision space was exhausted: the fault is untestable.
+    Untestable,
+    /// The backtrack limit was hit before a verdict.
+    Aborted,
+}
+
+/// Runs PODEM for one stuck-at fault on the full-scan view of `circuit`.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_atpg::podem::{podem, PodemConfig, PodemOutcome};
+/// use ninec_circuit::bench::{parse_bench, C17};
+/// use ninec_fsim::fault::StuckFault;
+///
+/// let c17 = parse_bench(C17)?;
+/// let n10 = c17.net_by_name("N10").unwrap();
+/// match podem(&c17, StuckFault::sa1(n10), PodemConfig::default()) {
+///     PodemOutcome::Detected(cube) => assert_eq!(cube.len(), 5),
+///     other => panic!("expected detection, got {other:?}"),
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn podem(circuit: &Circuit, fault: StuckFault, config: PodemConfig) -> PodemOutcome {
+    Podem::new(circuit, fault, config).run()
+}
+
+struct Podem<'a> {
+    circuit: &'a Circuit,
+    fault: StuckFault,
+    config: PodemConfig,
+    /// Scan-view input nets and the reverse map net -> cube position.
+    inputs: Vec<NetId>,
+    input_pos: Vec<Option<usize>>,
+    outputs: Vec<NetId>,
+    /// Current cube (assignments to scan-view inputs).
+    cube: Vec<Trit>,
+    /// Current implied net values.
+    values: Vec<DValue>,
+    /// Decision stack: (cube position, value, flipped yet?).
+    decisions: Vec<(usize, bool, bool)>,
+    backtracks: usize,
+}
+
+impl<'a> Podem<'a> {
+    fn new(circuit: &'a Circuit, fault: StuckFault, config: PodemConfig) -> Self {
+        let view = circuit.scan_view();
+        let mut input_pos = vec![None; circuit.num_gates()];
+        for (pos, &net) in view.inputs.iter().enumerate() {
+            input_pos[net] = Some(pos);
+        }
+        Self {
+            circuit,
+            fault,
+            config,
+            cube: vec![Trit::X; view.inputs.len()],
+            inputs: view.inputs,
+            input_pos,
+            outputs: view.outputs,
+            values: vec![DValue::X; circuit.num_gates()],
+            decisions: Vec::new(),
+            backtracks: 0,
+        }
+    }
+
+    fn run(&mut self) -> PodemOutcome {
+        loop {
+            self.imply();
+            if self.detected() {
+                let cube: TritVec = self.cube.iter().copied().collect();
+                return PodemOutcome::Detected(cube);
+            }
+            if self.conflict() {
+                match self.backtrack() {
+                    Backtrack::Continue => continue,
+                    Backtrack::Exhausted => return PodemOutcome::Untestable,
+                    Backtrack::LimitHit => return PodemOutcome::Aborted,
+                }
+            }
+            match self.objective() {
+                Some((net, val)) => {
+                    let (pos, bit) = self.backtrace(net, val);
+                    self.cube[pos] = Trit::from(bit);
+                    self.decisions.push((pos, bit, false));
+                }
+                None => {
+                    // No classic objective: reconvergence can leave the
+                    // fault effect pending on half-known values. Keep the
+                    // search complete by assigning any free input; if none
+                    // is left, this branch is dead.
+                    match self.cube.iter().position(|t| t.is_x()) {
+                        Some(pos) => {
+                            self.cube[pos] = Trit::Zero;
+                            self.decisions.push((pos, false, false));
+                        }
+                        None => match self.backtrack() {
+                            Backtrack::Continue => continue,
+                            Backtrack::Exhausted => return PodemOutcome::Untestable,
+                            Backtrack::LimitHit => return PodemOutcome::Aborted,
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward-implies the current cube through both machines.
+    fn imply(&mut self) {
+        for v in self.values.iter_mut() {
+            *v = DValue::X;
+        }
+        for (pos, &net) in self.inputs.iter().enumerate() {
+            let t = self.cube[pos];
+            self.values[net] = DValue::new(t, t);
+        }
+        let stuck = Trit::from(self.fault.stuck_at_one);
+        // The faulty machine holds the stuck value at the fault site.
+        if self.input_pos[self.fault.net].is_some() {
+            self.values[self.fault.net].faulty = stuck;
+        }
+        for &net in self.circuit.topo_order() {
+            let gate = self.circuit.gate(net);
+            if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
+                continue;
+            }
+            let fanins: Vec<DValue> = gate.inputs.iter().map(|&i| self.values[i]).collect();
+            let mut out = eval_gate5(gate.kind, &fanins);
+            if net == self.fault.net {
+                out.faulty = stuck;
+            }
+            self.values[net] = out;
+        }
+    }
+
+    fn detected(&self) -> bool {
+        self.outputs.iter().any(|&net| self.values[net].is_error())
+    }
+
+    /// The good value at the fault site needed to excite the fault.
+    fn excitation_value(&self) -> bool {
+        !self.fault.stuck_at_one
+    }
+
+    fn conflict(&self) -> bool {
+        let site = self.values[self.fault.net].good;
+        match site.value() {
+            // Fault cannot be excited any more.
+            Some(v) if v == self.fault.stuck_at_one => true,
+            // Excited: conflict when the error can no longer reach an
+            // output (D-frontier empty and not detected).
+            Some(_) => self.d_frontier().is_empty() && !self.detected(),
+            None => false,
+        }
+    }
+
+    /// Gates whose output is still unknown in at least one machine but
+    /// which have a fault effect on an input.
+    fn d_frontier(&self) -> Vec<NetId> {
+        let mut frontier = Vec::new();
+        for &net in self.circuit.topo_order() {
+            let gate = self.circuit.gate(net);
+            if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
+                continue;
+            }
+            let out = self.values[net];
+            if out.is_error() {
+                continue;
+            }
+            if out.good.is_care() && out.faulty.is_care() {
+                continue; // fully resolved, no error
+            }
+            if gate.inputs.iter().any(|&i| self.values[i].is_error()) {
+                frontier.push(net);
+            }
+        }
+        frontier
+    }
+
+    /// Chooses the next objective `(net, value)`.
+    fn objective(&self) -> Option<(NetId, bool)> {
+        let site = self.values[self.fault.net].good;
+        if site.is_x() {
+            return Some((self.fault.net, self.excitation_value()));
+        }
+        // Advance the first D-frontier gate: set an unknown input to the
+        // gate's non-controlling value.
+        for gate_net in self.d_frontier() {
+            let gate = self.circuit.gate(gate_net);
+            let non_controlling = controlling_value(gate.kind).map(|c| !c).unwrap_or(false);
+            for &input in &gate.inputs {
+                if self.values[input].good.is_x() {
+                    return Some((input, non_controlling));
+                }
+            }
+        }
+        None
+    }
+
+    /// Walks an objective back to an unassigned scan-view input.
+    fn backtrace(&self, mut net: NetId, mut val: bool) -> (usize, bool) {
+        loop {
+            if let Some(pos) = self.input_pos[net] {
+                return (pos, val);
+            }
+            let gate = self.circuit.gate(net);
+            let v_in = val ^ inverts(gate.kind);
+            // Pick the first input whose good value is still unknown.
+            let input = gate
+                .inputs
+                .iter()
+                .copied()
+                .find(|&i| self.values[i].good.is_x())
+                .unwrap_or(gate.inputs[0]);
+            net = input;
+            val = v_in;
+        }
+    }
+
+    fn backtrack(&mut self) -> Backtrack {
+        self.backtracks += 1;
+        if self.backtracks > self.config.backtrack_limit {
+            return Backtrack::LimitHit;
+        }
+        while let Some((pos, bit, flipped)) = self.decisions.pop() {
+            self.cube[pos] = Trit::X;
+            if !flipped {
+                let nb = !bit;
+                self.cube[pos] = Trit::from(nb);
+                self.decisions.push((pos, nb, true));
+                return Backtrack::Continue;
+            }
+        }
+        Backtrack::Exhausted
+    }
+}
+
+enum Backtrack {
+    Continue,
+    Exhausted,
+    LimitHit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninec_circuit::bench::{parse_bench, C17, S27};
+    use ninec_fsim::fault::collapsed_faults;
+    use ninec_fsim::fsim::fault_simulate;
+    use ninec_testdata::cube::TestSet;
+
+    fn check_detects(circuit: &Circuit, fault: StuckFault, cube: &TritVec) {
+        let mut ts = TestSet::new(cube.len());
+        ts.push_pattern(cube).unwrap();
+        let r = fault_simulate(circuit, &ts, &[fault]);
+        assert_eq!(
+            r.first_detection[0],
+            Some(0),
+            "cube {cube} does not detect {fault}"
+        );
+    }
+
+    #[test]
+    fn every_c17_fault_gets_a_verified_cube() {
+        let c17 = parse_bench(C17).unwrap();
+        for fault in collapsed_faults(&c17) {
+            match podem(&c17, fault, PodemConfig::default()) {
+                PodemOutcome::Detected(cube) => check_detects(&c17, fault, &cube),
+                other => panic!("{fault}: expected detection, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_s27_fault_gets_a_verified_cube() {
+        let s27 = parse_bench(S27).unwrap();
+        for fault in collapsed_faults(&s27) {
+            match podem(&s27, fault, PodemConfig::default()) {
+                PodemOutcome::Detected(cube) => check_detects(&s27, fault, &cube),
+                other => panic!("{fault}: expected detection, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cubes_leave_dont_cares() {
+        let c17 = parse_bench(C17).unwrap();
+        let n10 = c17.net_by_name("N10").unwrap();
+        match podem(&c17, StuckFault::sa1(n10), PodemConfig::default()) {
+            PodemOutcome::Detected(cube) => {
+                assert!(cube.count_x() > 0, "PODEM cubes should keep unassigned PIs as X");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untestable_fault_reported() {
+        // y = OR(a, NOT(a)) is constant 1: y/sa1 is untestable.
+        let mut c = Circuit::new("const1");
+        let a = c.add_input("a");
+        let na = c.add_gate("na", GateKind::Not, vec![a]).unwrap();
+        let y = c.add_gate("y", GateKind::Or, vec![a, na]).unwrap();
+        c.mark_output(y);
+        let c = c.validate().unwrap();
+        let out = podem(&c, StuckFault::sa1(y), PodemConfig::default());
+        assert_eq!(out, PodemOutcome::Untestable);
+        // And y/sa0 is detected by any input value.
+        assert!(matches!(
+            podem(&c, StuckFault::sa0(y), PodemConfig::default()),
+            PodemOutcome::Detected(_)
+        ));
+    }
+
+    #[test]
+    fn fault_on_primary_input_handled() {
+        let c17 = parse_bench(C17).unwrap();
+        let n1 = c17.net_by_name("N1").unwrap();
+        for fault in [StuckFault::sa0(n1), StuckFault::sa1(n1)] {
+            match podem(&c17, fault, PodemConfig::default()) {
+                PodemOutcome::Detected(cube) => check_detects(&c17, fault, &cube),
+                other => panic!("{fault}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_circuits_mostly_testable() {
+        use ninec_circuit::random::RandomCircuitSpec;
+        let c = RandomCircuitSpec::new("pz", 5, 5, 60).generate(3);
+        let faults = collapsed_faults(&c);
+        let mut detected = 0;
+        for fault in &faults {
+            match podem(&c, *fault, PodemConfig::default()) {
+                PodemOutcome::Detected(cube) => {
+                    check_detects(&c, *fault, &cube);
+                    detected += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            detected * 2 > faults.len(),
+            "only {detected}/{} faults testable",
+            faults.len()
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Scalar five-valued D-calculus for ATPG.
+//!
+//! A [`DValue`] tracks the good-machine and faulty-machine values of a net
+//! as a pair of trits: `D` is `(1, 0)`, `D̄` is `(0, 1)`, and partially
+//! implied states like `(1, X)` arise naturally mid-implication.
+
+use ninec_circuit::GateKind;
+use ninec_testdata::trit::Trit;
+
+/// Good/faulty value pair of one net.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_atpg::values::DValue;
+/// use ninec_testdata::trit::Trit;
+///
+/// assert!(DValue::D.is_error());
+/// assert!(!DValue::new(Trit::One, Trit::One).is_error());
+/// assert_eq!(DValue::D.good, Trit::One);
+/// assert_eq!(DValue::D.faulty, Trit::Zero);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DValue {
+    /// Good-machine value.
+    pub good: Trit,
+    /// Faulty-machine value.
+    pub faulty: Trit,
+}
+
+impl DValue {
+    /// Fully unknown.
+    pub const X: DValue = DValue { good: Trit::X, faulty: Trit::X };
+    /// Good 1 / faulty 0.
+    pub const D: DValue = DValue { good: Trit::One, faulty: Trit::Zero };
+    /// Good 0 / faulty 1.
+    pub const DBAR: DValue = DValue { good: Trit::Zero, faulty: Trit::One };
+    /// Constant 0 in both machines.
+    pub const ZERO: DValue = DValue { good: Trit::Zero, faulty: Trit::Zero };
+    /// Constant 1 in both machines.
+    pub const ONE: DValue = DValue { good: Trit::One, faulty: Trit::One };
+
+    /// Creates a pair.
+    pub fn new(good: Trit, faulty: Trit) -> Self {
+        Self { good, faulty }
+    }
+
+    /// Both machines hold the same specified value.
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Self::ONE
+        } else {
+            Self::ZERO
+        }
+    }
+
+    /// `true` when the fault effect is visible here (both values specified
+    /// and different).
+    pub fn is_error(self) -> bool {
+        matches!(
+            (self.good.value(), self.faulty.value()),
+            (Some(a), Some(b)) if a != b
+        )
+    }
+}
+
+/// Scalar three-valued AND.
+pub fn and3(a: Trit, b: Trit) -> Trit {
+    match (a, b) {
+        (Trit::Zero, _) | (_, Trit::Zero) => Trit::Zero,
+        (Trit::One, Trit::One) => Trit::One,
+        _ => Trit::X,
+    }
+}
+
+/// Scalar three-valued OR.
+pub fn or3(a: Trit, b: Trit) -> Trit {
+    match (a, b) {
+        (Trit::One, _) | (_, Trit::One) => Trit::One,
+        (Trit::Zero, Trit::Zero) => Trit::Zero,
+        _ => Trit::X,
+    }
+}
+
+/// Scalar three-valued XOR.
+pub fn xor3(a: Trit, b: Trit) -> Trit {
+    match (a.value(), b.value()) {
+        (Some(x), Some(y)) => Trit::from(x ^ y),
+        _ => Trit::X,
+    }
+}
+
+/// Scalar three-valued NOT.
+pub fn not3(a: Trit) -> Trit {
+    match a {
+        Trit::Zero => Trit::One,
+        Trit::One => Trit::Zero,
+        Trit::X => Trit::X,
+    }
+}
+
+fn fold3(kind: GateKind, vals: impl Iterator<Item = Trit>) -> Trit {
+    match kind {
+        GateKind::And => vals.fold(Trit::One, and3),
+        GateKind::Nand => not3(fold3(GateKind::And, vals)),
+        GateKind::Or => vals.fold(Trit::Zero, or3),
+        GateKind::Nor => not3(fold3(GateKind::Or, vals)),
+        GateKind::Xor => vals.reduce(xor3).unwrap_or(Trit::X),
+        GateKind::Xnor => not3(fold3(GateKind::Xor, vals)),
+        GateKind::Buf => vals.reduce(|a, _| a).unwrap_or(Trit::X),
+        GateKind::Not => not3(fold3(GateKind::Buf, vals)),
+        GateKind::Input | GateKind::Dff => unreachable!("sources are not evaluated"),
+    }
+}
+
+/// Evaluates one gate in both machines.
+///
+/// # Panics
+///
+/// Panics (in debug builds, via `unreachable!`) on source gate kinds.
+pub fn eval_gate5(kind: GateKind, fanins: &[DValue]) -> DValue {
+    DValue {
+        good: fold3(kind, fanins.iter().map(|v| v.good)),
+        faulty: fold3(kind, fanins.iter().map(|v| v.faulty)),
+    }
+}
+
+/// The controlling input value of a gate kind, if it has one
+/// (0 for AND/NAND, 1 for OR/NOR).
+pub fn controlling_value(kind: GateKind) -> Option<bool> {
+    match kind {
+        GateKind::And | GateKind::Nand => Some(false),
+        GateKind::Or | GateKind::Nor => Some(true),
+        _ => None,
+    }
+}
+
+/// Whether the gate inverts (output = f(inputs) negated).
+pub fn inverts(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::Nand | GateKind::Nor | GateKind::Not | GateKind::Xnor
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_value_errors() {
+        assert!(DValue::D.is_error());
+        assert!(DValue::DBAR.is_error());
+        assert!(!DValue::X.is_error());
+        assert!(!DValue::ZERO.is_error());
+        assert!(!DValue::new(Trit::One, Trit::X).is_error());
+    }
+
+    #[test]
+    fn d_propagates_through_and_with_noncontrolling_side() {
+        let out = eval_gate5(GateKind::And, &[DValue::D, DValue::ONE]);
+        assert_eq!(out, DValue::D);
+        let blocked = eval_gate5(GateKind::And, &[DValue::D, DValue::ZERO]);
+        assert_eq!(blocked, DValue::ZERO);
+        let masked = eval_gate5(GateKind::And, &[DValue::D, DValue::X]);
+        assert_eq!(masked.good, Trit::X); // X AND 1 = X
+        assert_eq!(masked.faulty, Trit::Zero);
+    }
+
+    #[test]
+    fn d_inverts_through_nor() {
+        let out = eval_gate5(GateKind::Nor, &[DValue::D, DValue::ZERO]);
+        assert_eq!(out, DValue::DBAR);
+    }
+
+    #[test]
+    fn xor_combines_errors() {
+        // D XOR D = 0 in both machines (error cancels).
+        let out = eval_gate5(GateKind::Xor, &[DValue::D, DValue::D]);
+        assert_eq!(out, DValue::ZERO);
+        // D XOR 0 = D.
+        let out = eval_gate5(GateKind::Xor, &[DValue::D, DValue::ZERO]);
+        assert_eq!(out, DValue::D);
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(controlling_value(GateKind::And), Some(false));
+        assert_eq!(controlling_value(GateKind::Nor), Some(true));
+        assert_eq!(controlling_value(GateKind::Xor), None);
+        assert!(inverts(GateKind::Nand));
+        assert!(!inverts(GateKind::Or));
+    }
+
+    #[test]
+    fn trit_op_tables() {
+        use Trit::{One as I, X, Zero as O};
+        assert_eq!(and3(O, X), O);
+        assert_eq!(and3(I, X), X);
+        assert_eq!(or3(I, X), I);
+        assert_eq!(or3(O, X), X);
+        assert_eq!(xor3(I, O), I);
+        assert_eq!(xor3(I, X), X);
+        assert_eq!(not3(X), X);
+    }
+}

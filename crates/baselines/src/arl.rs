@@ -1,0 +1,135 @@
+//! Alternating run-length coding using FDR — Chandra & Chakrabarty's
+//! "unified" scheme (reference \[10\] of the 9C paper).
+//!
+//! The stream is viewed as strictly alternating runs `0^a 1^b 0^c …`
+//! (only the leading 0-run may be empty); each length is FDR-coded. No
+//! type bits are needed because polarity alternates deterministically.
+//! Minimum-transition fill is applied first to lengthen the runs.
+
+use crate::codec::TestDataCodec;
+use crate::fdr::RunLengthDecodeError;
+use crate::runlength::{alternating_runs, fdr_decode_run, fdr_encode_run};
+use ninec_testdata::bits::{BitReader, BitVec};
+use ninec_testdata::fill::{fill_trits, FillStrategy};
+use ninec_testdata::trit::TritVec;
+
+/// The alternating run-length codec.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::arl::AlternatingRunLength;
+/// use ninec_baselines::codec::TestDataCodec;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let stream: TritVec = format!("{}{}", "0".repeat(50), "1".repeat(14)).parse()?;
+/// assert!(AlternatingRunLength::new().compression_ratio(&stream) > 60.0);
+/// # Ok::<(), ninec_testdata::trit::ParseTritError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlternatingRunLength;
+
+impl AlternatingRunLength {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Compresses a cube stream (minimum-transition fill first).
+    pub fn compress(&self, stream: &TritVec) -> BitVec {
+        let filled = fill_trits(stream, FillStrategy::MinTransition)
+            .to_bitvec()
+            .expect("MT fill fully specifies the stream");
+        let mut out = BitVec::new();
+        for l in alternating_runs(&filled) {
+            fdr_encode_run(l, &mut out);
+        }
+        out
+    }
+
+    /// Decompresses to exactly `out_len` bits (the MT-filled source).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunLengthDecodeError`] on truncated or overlong streams.
+    pub fn decompress(&self, bits: &BitVec, out_len: usize) -> Result<BitVec, RunLengthDecodeError> {
+        let mut reader = BitReader::new(bits);
+        let mut out = BitVec::with_capacity(out_len);
+        let mut symbol = false;
+        while out.len() < out_len {
+            let l = fdr_decode_run(&mut reader)
+                .ok_or(RunLengthDecodeError::Truncated { produced: out.len() })?;
+            for _ in 0..l {
+                out.push(symbol);
+            }
+            symbol = !symbol;
+        }
+        if out.len() > out_len {
+            return Err(RunLengthDecodeError::Overrun { produced: out.len() });
+        }
+        Ok(out)
+    }
+}
+
+impl TestDataCodec for AlternatingRunLength {
+    fn name(&self) -> &str {
+        "ARL"
+    }
+
+    fn compressed_size(&self, stream: &TritVec) -> usize {
+        self.compress(stream).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        for s in [
+            "0000001",
+            "1111",
+            "000000",
+            "0X0X0X1XX0",
+            "1",
+            "0",
+            "0101010101",
+            "11000111001",
+        ] {
+            let cubes: TritVec = s.parse().unwrap();
+            let filled = fill_trits(&cubes, FillStrategy::MinTransition)
+                .to_bitvec()
+                .unwrap();
+            let a = AlternatingRunLength::new();
+            let back = a.decompress(&a.compress(&cubes), cubes.len()).unwrap();
+            assert_eq!(back, filled, "source {s}");
+        }
+    }
+
+    #[test]
+    fn leading_one_costs_an_empty_run() {
+        // "111" = runs [0, 3]: FDR(0)="00", FDR(3)="1001".
+        let s: TritVec = "111".parse().unwrap();
+        assert_eq!(AlternatingRunLength::new().compress(&s).to_string(), "001001");
+    }
+
+    #[test]
+    fn beats_plain_fdr_on_one_heavy_data() {
+        use crate::fdr::Fdr;
+        let s: TritVec = "1".repeat(64).parse::<TritVec>().unwrap();
+        let arl = AlternatingRunLength::new().compressed_size(&s);
+        let fdr = Fdr::new().compressed_size(&s);
+        // One empty 0-run + one 64-long 1-run vs sixty-four 0-length runs.
+        assert!(arl < fdr / 4, "ARL {arl} should crush FDR {fdr} on runs of 1s");
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let a = AlternatingRunLength::new();
+        assert!(matches!(
+            a.decompress(&BitVec::new(), 3),
+            Err(RunLengthDecodeError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,50 @@
+//! Common interface for the baseline test-data compression codes.
+
+use ninec_testdata::trit::TritVec;
+
+/// A baseline test-data compression code, as compared against 9C in the
+/// paper's Table IV.
+///
+/// The uniform entry point is [`compressed_size`](TestDataCodec::compressed_size)
+/// (enough to reproduce the compression-ratio comparisons); each concrete
+/// codec additionally exposes its own typed encode/decode API, which the
+/// test suites use for roundtrip verification.
+pub trait TestDataCodec {
+    /// Short display name (e.g. `"FDR"`).
+    fn name(&self) -> &str;
+
+    /// Size in bits of the compressed form of `stream` (a test-cube stream;
+    /// the codec applies its own preferred don't-care fill).
+    fn compressed_size(&self, stream: &TritVec) -> usize;
+
+    /// Compression ratio in percent against `|T_D| = stream.len()`.
+    fn compression_ratio(&self, stream: &TritVec) -> f64 {
+        if stream.is_empty() {
+            return 0.0;
+        }
+        let td = stream.len() as f64;
+        (td - self.compressed_size(stream) as f64) / td * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+    impl TestDataCodec for Fake {
+        fn name(&self) -> &str {
+            "fake"
+        }
+        fn compressed_size(&self, stream: &TritVec) -> usize {
+            stream.len() / 2
+        }
+    }
+
+    #[test]
+    fn default_ratio() {
+        let s: TritVec = "0".repeat(100).parse().unwrap();
+        assert!((Fake.compression_ratio(&s) - 50.0).abs() < 1e-12);
+        assert_eq!(Fake.compression_ratio(&TritVec::new()), 0.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Dictionary compression with fixed-length indices — Li & Chakrabarty,
+//! VTS 2003 (reference \[26\] of the 9C paper).
+//!
+//! The stream is cut into `b`-bit blocks; a dictionary of `d` entries is
+//! built by greedily merging *compatible* cube blocks (the published
+//! method solves clique partitioning; the greedy first-fit here is its
+//! standard approximation). A dictionary hit costs `1 + ⌈log2 d⌉` bits, a
+//! miss costs `1 + b` bits.
+
+use crate::codec::TestDataCodec;
+use ninec_testdata::bits::{BitReader, BitVec};
+use ninec_testdata::fill::{fill_trits, FillStrategy};
+use ninec_testdata::trit::{Trit, TritVec};
+use std::fmt;
+
+/// The fixed-length-index dictionary codec.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::codec::TestDataCodec;
+/// use ninec_baselines::dict::FixedIndexDictionary;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let dict = FixedIndexDictionary::new(8, 4)?;
+/// let stream: TritVec = "0000000011111111".repeat(8).parse()?;
+/// assert!(dict.compression_ratio(&stream) > 50.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedIndexDictionary {
+    block_bits: usize,
+    entries: usize,
+    index_bits: usize,
+}
+
+impl FixedIndexDictionary {
+    /// Creates a codec with `block_bits`-bit blocks and up to `entries`
+    /// dictionary entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDictionaryConfig`] if `block_bits` is 0 or > 64,
+    /// or `entries` is 0.
+    pub fn new(block_bits: usize, entries: usize) -> Result<Self, InvalidDictionaryConfig> {
+        if block_bits == 0 || block_bits > 64 || entries == 0 {
+            return Err(InvalidDictionaryConfig { block_bits, entries });
+        }
+        let index_bits = (usize::BITS - (entries - 1).leading_zeros()).max(1) as usize;
+        Ok(Self { block_bits, entries, index_bits })
+    }
+
+    /// Bits per dictionary index.
+    pub fn index_bits(&self) -> usize {
+        self.index_bits
+    }
+
+    /// Compresses a cube stream, returning the self-describing result.
+    pub fn encode(&self, stream: &TritVec) -> DictionaryEncoded {
+        let b = self.block_bits;
+        let source_len = stream.len();
+        let padded_len = source_len.div_ceil(b).max(1) * b;
+        let mut padded = stream.clone();
+        for _ in source_len..padded_len {
+            padded.push(Trit::X);
+        }
+        let blocks: Vec<TritVec> = (0..padded_len / b)
+            .map(|i| padded.slice(i * b, (i + 1) * b))
+            .collect();
+
+        // Greedy compatibility clustering: each cluster keeps the merge
+        // (most-specified intersection-compatible cube) of its members.
+        let mut clusters: Vec<(TritVec, u64)> = Vec::new();
+        for block in &blocks {
+            match clusters
+                .iter_mut()
+                .find(|(merged, _)| merged.compatible_with(block))
+            {
+                Some((merged, count)) => {
+                    *merged = merge(merged, block);
+                    *count += 1;
+                }
+                None => clusters.push((block.clone(), 1)),
+            }
+        }
+        clusters.sort_by(|a, b| b.1.cmp(&a.1));
+        clusters.truncate(self.entries);
+        let dictionary: Vec<BitVec> = clusters
+            .iter()
+            .map(|(merged, _)| {
+                fill_trits(merged, FillStrategy::Zero)
+                    .to_bitvec()
+                    .expect("zero fill fully specifies the entry")
+            })
+            .collect();
+
+        // Emission pass: hit -> 1 + index; miss -> 0 + raw block.
+        let mut bits = BitVec::new();
+        for block in &blocks {
+            let hit = dictionary
+                .iter()
+                .position(|entry| TritVec::from(entry).covers(block));
+            match hit {
+                Some(idx) => {
+                    bits.push(true);
+                    bits.push_bits_msb(idx as u64, self.index_bits);
+                }
+                None => {
+                    bits.push(false);
+                    let raw = fill_trits(block, FillStrategy::Zero)
+                        .to_bitvec()
+                        .expect("zero fill fully specifies the block");
+                    bits.extend_from_bitvec(&raw);
+                }
+            }
+        }
+        DictionaryEncoded {
+            config: *self,
+            bits,
+            dictionary,
+            source_len,
+        }
+    }
+}
+
+impl TestDataCodec for FixedIndexDictionary {
+    fn name(&self) -> &str {
+        "Dict"
+    }
+
+    fn compressed_size(&self, stream: &TritVec) -> usize {
+        self.encode(stream).bits.len()
+    }
+}
+
+/// The most-specified cube compatible with both inputs.
+fn merge(a: &TritVec, b: &TritVec) -> TritVec {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| if x.is_care() { x } else { y })
+        .collect()
+}
+
+/// Result of dictionary compression, carrying the decoder model (the
+/// dictionary lives in on-chip ROM/RAM, not the ATE stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictionaryEncoded {
+    config: FixedIndexDictionary,
+    /// The ATE bit stream.
+    pub bits: BitVec,
+    dictionary: Vec<BitVec>,
+    source_len: usize,
+}
+
+impl DictionaryEncoded {
+    /// Size in bits of the on-chip dictionary.
+    pub fn dictionary_bits(&self) -> usize {
+        self.dictionary.len() * self.config.block_bits
+    }
+
+    /// Number of dictionary entries actually used.
+    pub fn dictionary_len(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// Decompresses back to `source_len` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DictionaryDecodeError`] on truncation or an out-of-range
+    /// index.
+    pub fn decode(&self) -> Result<BitVec, DictionaryDecodeError> {
+        let b = self.config.block_bits;
+        let mut reader = BitReader::new(&self.bits);
+        let mut out = BitVec::with_capacity(self.source_len + b);
+        while out.len() < self.source_len {
+            let coded = reader
+                .read_bit()
+                .ok_or(DictionaryDecodeError::Truncated { produced: out.len() })?;
+            if coded {
+                let idx = reader
+                    .read_bits_msb(self.config.index_bits)
+                    .ok_or(DictionaryDecodeError::Truncated { produced: out.len() })?
+                    as usize;
+                let entry = self
+                    .dictionary
+                    .get(idx)
+                    .ok_or(DictionaryDecodeError::BadIndex { index: idx })?;
+                out.extend_from_bitvec(entry);
+            } else {
+                for _ in 0..b {
+                    let bit = reader
+                        .read_bit()
+                        .ok_or(DictionaryDecodeError::Truncated { produced: out.len() })?;
+                    out.push(bit);
+                }
+            }
+        }
+        Ok(out.iter().take(self.source_len).collect())
+    }
+}
+
+/// Error decoding a dictionary stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DictionaryDecodeError {
+    /// The stream ran out early.
+    Truncated {
+        /// Bits produced before the failure.
+        produced: usize,
+    },
+    /// An index addressed past the dictionary.
+    BadIndex {
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DictionaryDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DictionaryDecodeError::Truncated { produced } => {
+                write!(f, "dictionary stream truncated after {produced} bits")
+            }
+            DictionaryDecodeError::BadIndex { index } => {
+                write!(f, "dictionary index {index} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DictionaryDecodeError {}
+
+/// Error: invalid dictionary configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidDictionaryConfig {
+    /// Rejected block size.
+    pub block_bits: usize,
+    /// Rejected entry count.
+    pub entries: usize,
+}
+
+impl fmt::Display for InvalidDictionaryConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid dictionary config: block_bits={} (1..=64), entries={} (>=1)",
+            self.block_bits, self.entries
+        )
+    }
+}
+
+impl std::error::Error for InvalidDictionaryConfig {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(FixedIndexDictionary::new(0, 4).is_err());
+        assert!(FixedIndexDictionary::new(65, 4).is_err());
+        assert!(FixedIndexDictionary::new(8, 0).is_err());
+        let d = FixedIndexDictionary::new(8, 16).unwrap();
+        assert_eq!(d.index_bits(), 4);
+        assert_eq!(FixedIndexDictionary::new(8, 1).unwrap().index_bits(), 1);
+    }
+
+    #[test]
+    fn repeated_blocks_hit_the_dictionary() {
+        let d = FixedIndexDictionary::new(8, 2).unwrap();
+        let stream: TritVec = "00001111".repeat(10).parse::<TritVec>().unwrap();
+        let enc = d.encode(&stream);
+        // One entry, ten hits: 10 * (1 + 1) bits.
+        assert_eq!(enc.dictionary_len(), 1);
+        assert_eq!(enc.bits.len(), 20);
+        assert_eq!(enc.decode().unwrap().to_string(), "00001111".repeat(10));
+    }
+
+    #[test]
+    fn compatible_cubes_share_an_entry() {
+        let d = FixedIndexDictionary::new(4, 4).unwrap();
+        // "0X01", "00X1" and "0001" all merge into "0001".
+        let stream: TritVec = "0X0100X10001".parse().unwrap();
+        let enc = d.encode(&stream);
+        assert_eq!(enc.dictionary_len(), 1);
+        assert_eq!(enc.decode().unwrap().to_string(), "000100010001");
+    }
+
+    #[test]
+    fn misses_ship_raw() {
+        let d = FixedIndexDictionary::new(4, 1).unwrap();
+        // Two incompatible blocks; only the (first-seen, most frequent)
+        // gets the single entry.
+        let stream: TritVec = "000000001111".parse().unwrap();
+        let enc = d.encode(&stream);
+        assert_eq!(enc.dictionary_len(), 1);
+        // blocks: 0000 hit (2 bits), 0000 hit, 1111 miss (5 bits).
+        assert_eq!(enc.bits.len(), 2 + 2 + 5);
+        assert_eq!(enc.decode().unwrap().to_string(), "000000001111");
+    }
+
+    #[test]
+    fn decode_covers_care_bits() {
+        let d = FixedIndexDictionary::new(4, 4).unwrap();
+        let stream: TritVec = "0X1XX00XX1X11X0X".parse().unwrap();
+        let enc = d.encode(&stream);
+        let dec = TritVec::from(&enc.decode().unwrap());
+        assert_eq!(dec.len(), stream.len());
+        assert!(dec.covers(&stream));
+    }
+
+    #[test]
+    fn truncation_and_bad_index_detected() {
+        let d = FixedIndexDictionary::new(4, 4).unwrap();
+        let enc = d.encode(&"0000".parse().unwrap());
+        let broken = DictionaryEncoded { bits: BitVec::new(), ..enc.clone() };
+        assert!(matches!(
+            broken.decode(),
+            Err(DictionaryDecodeError::Truncated { .. })
+        ));
+        // Force an out-of-range index: flag 1 + index 3 with 1 entry.
+        let mut bits = BitVec::new();
+        bits.push(true);
+        bits.push_bits_msb(3, enc.config.index_bits);
+        let broken = DictionaryEncoded { bits, ..enc };
+        assert!(matches!(
+            broken.decode(),
+            Err(DictionaryDecodeError::BadIndex { index: 3 })
+        ));
+    }
+
+    #[test]
+    fn padding_preserves_length() {
+        let d = FixedIndexDictionary::new(8, 2).unwrap();
+        let stream: TritVec = "00000".parse().unwrap();
+        let enc = d.encode(&stream);
+        assert_eq!(enc.decode().unwrap().len(), 5);
+    }
+}

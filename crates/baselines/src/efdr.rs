@@ -1,0 +1,168 @@
+//! Extended FDR (EFDR) — El-Maleh & Al-Abaji, ICECS 2002 (reference \[11\]
+//! of the 9C paper).
+//!
+//! EFDR generalizes FDR to runs of *either* symbol: a token is a maximal
+//! run of `l ≥ 1` identical bits followed by one opposite terminator bit.
+//! The codeword is a type bit (the run's symbol) followed by the FDR
+//! codeword of `l − 1`. Minimum-transition fill is applied first — it
+//! maximizes uniform runs of both polarities, the structure EFDR exploits.
+
+use crate::codec::TestDataCodec;
+use crate::fdr::RunLengthDecodeError;
+use crate::runlength::{fdr_decode_run, fdr_encode_run};
+use ninec_testdata::bits::{BitReader, BitVec};
+use ninec_testdata::fill::{fill_trits, FillStrategy};
+use ninec_testdata::trit::TritVec;
+
+/// The EFDR codec.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::codec::TestDataCodec;
+/// use ninec_baselines::efdr::Efdr;
+/// use ninec_testdata::trit::TritVec;
+///
+/// // Long runs of both symbols compress well under EFDR.
+/// let stream: TritVec = format!("{}{}", "0".repeat(40), "1".repeat(40)).parse()?;
+/// assert!(Efdr::new().compression_ratio(&stream) > 60.0);
+/// # Ok::<(), ninec_testdata::trit::ParseTritError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Efdr;
+
+impl Efdr {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Compresses a cube stream (minimum-transition fill first).
+    pub fn compress(&self, stream: &TritVec) -> BitVec {
+        let filled = fill_trits(stream, FillStrategy::MinTransition)
+            .to_bitvec()
+            .expect("MT fill fully specifies the stream");
+        let mut out = BitVec::new();
+        let mut i = 0usize;
+        let n = filled.len();
+        while i < n {
+            let symbol = filled.get(i).expect("in range");
+            let mut l = 1usize;
+            while i + l < n && filled.get(i + l) == Some(symbol) {
+                l += 1;
+            }
+            // Terminator (one opposite bit) is part of the token when present.
+            let has_term = i + l < n;
+            out.push(symbol);
+            fdr_encode_run(l as u64 - 1, &mut out);
+            i += l + has_term as usize;
+        }
+        out
+    }
+
+    /// Decompresses to exactly `out_len` bits (the MT-filled source).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunLengthDecodeError`] on truncated or overlong streams.
+    pub fn decompress(&self, bits: &BitVec, out_len: usize) -> Result<BitVec, RunLengthDecodeError> {
+        let mut reader = BitReader::new(bits);
+        let mut out = BitVec::with_capacity(out_len);
+        while out.len() < out_len {
+            let symbol = reader
+                .read_bit()
+                .ok_or(RunLengthDecodeError::Truncated { produced: out.len() })?;
+            let l = fdr_decode_run(&mut reader)
+                .ok_or(RunLengthDecodeError::Truncated { produced: out.len() })?
+                + 1;
+            for _ in 0..l {
+                out.push(symbol);
+            }
+            if out.len() < out_len {
+                out.push(!symbol);
+            }
+        }
+        if out.len() > out_len {
+            return Err(RunLengthDecodeError::Overrun { produced: out.len() });
+        }
+        Ok(out)
+    }
+}
+
+impl TestDataCodec for Efdr {
+    fn name(&self) -> &str {
+        "EFDR"
+    }
+
+    fn compressed_size(&self, stream: &TritVec) -> usize {
+        self.compress(stream).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) {
+        let cubes: TritVec = s.parse().unwrap();
+        let filled = fill_trits(&cubes, FillStrategy::MinTransition)
+            .to_bitvec()
+            .unwrap();
+        let e = Efdr::new();
+        let back = e.decompress(&e.compress(&cubes), cubes.len()).unwrap();
+        assert_eq!(back, filled, "source {s}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for s in [
+            "0000001",
+            "1111",
+            "000000",
+            "0X0X0X1XX0",
+            "1",
+            "0",
+            "0101010101",
+            "11000111001",
+            "X1XXXX0XXX",
+        ] {
+            roundtrip(s);
+        }
+    }
+
+    #[test]
+    fn token_structure() {
+        // "0001" is one token: symbol 0, run length 3 (FDR of 2 = "1000").
+        let s: TritVec = "0001".parse().unwrap();
+        assert_eq!(Efdr::new().compress(&s).to_string(), "01000");
+        // "1110" mirrors it with type bit 1.
+        let s: TritVec = "1110".parse().unwrap();
+        assert_eq!(Efdr::new().compress(&s).to_string(), "11000");
+    }
+
+    #[test]
+    fn beats_fdr_on_one_heavy_data() {
+        use crate::fdr::Fdr;
+        let ones: TritVec = "1".repeat(64).parse::<TritVec>().unwrap();
+        let efdr = Efdr::new().compressed_size(&ones);
+        let fdr = Fdr::new().compressed_size(&ones);
+        assert!(efdr < fdr, "EFDR {efdr} should beat FDR {fdr} on runs of 1s");
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let e = Efdr::new();
+        let bits = BitVec::from_str_radix2("0").unwrap();
+        assert!(matches!(
+            e.decompress(&bits, 4),
+            Err(RunLengthDecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn empty() {
+        let e = Efdr::new();
+        assert_eq!(e.compressed_size(&TritVec::new()), 0);
+        assert_eq!(e.decompress(&BitVec::new(), 0).unwrap(), BitVec::new());
+    }
+}

@@ -1,0 +1,186 @@
+//! The FDR (frequency-directed run-length) code, Chandra & Chakrabarty,
+//! IEEE Trans. Computers 2003 — reference \[9\] of the 9C paper.
+//!
+//! Test cubes are 0-filled (the fill that maximizes 0-runs), then each
+//! 0-run terminated by a `1` is replaced by its FDR codeword.
+
+use crate::codec::TestDataCodec;
+use crate::runlength::{fdr_decode_run, fdr_encode_run, zero_runs};
+use ninec_testdata::bits::{BitReader, BitVec};
+use ninec_testdata::fill::{fill_trits, FillStrategy};
+use ninec_testdata::trit::TritVec;
+use std::fmt;
+
+/// The FDR codec.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::codec::TestDataCodec;
+/// use ninec_baselines::fdr::Fdr;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let stream: TritVec = "000000010000001".parse()?;
+/// let fdr = Fdr::new();
+/// assert!(fdr.compression_ratio(&stream) > 0.0);
+/// # Ok::<(), ninec_testdata::trit::ParseTritError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fdr;
+
+impl Fdr {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Compresses a cube stream (0-filling its don't-cares first).
+    pub fn compress(&self, stream: &TritVec) -> BitVec {
+        let filled = fill_trits(stream, FillStrategy::Zero)
+            .to_bitvec()
+            .expect("zero fill fully specifies the stream");
+        let (runs, _) = zero_runs(&filled);
+        let mut out = BitVec::new();
+        for l in runs {
+            fdr_encode_run(l, &mut out);
+        }
+        out
+    }
+
+    /// Decompresses to exactly `out_len` bits (the 0-filled source).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunLengthDecodeError`] on truncated or overlong streams.
+    pub fn decompress(&self, bits: &BitVec, out_len: usize) -> Result<BitVec, RunLengthDecodeError> {
+        let mut reader = BitReader::new(bits);
+        let mut out = BitVec::with_capacity(out_len);
+        while out.len() < out_len {
+            let l = fdr_decode_run(&mut reader).ok_or(RunLengthDecodeError::Truncated {
+                produced: out.len(),
+            })?;
+            for _ in 0..l {
+                out.push(false);
+            }
+            out.push(true);
+        }
+        // The final run's terminating 1 may be virtual (source ended in 0s).
+        while out.len() > out_len {
+            if out.get(out.len() - 1) != Some(true) {
+                return Err(RunLengthDecodeError::Overrun { produced: out.len() });
+            }
+            let mut trimmed = BitVec::with_capacity(out_len);
+            for i in 0..out.len() - 1 {
+                trimmed.push(out.get(i).expect("in range"));
+            }
+            out = trimmed;
+        }
+        Ok(out)
+    }
+}
+
+impl TestDataCodec for Fdr {
+    fn name(&self) -> &str {
+        "FDR"
+    }
+
+    fn compressed_size(&self, stream: &TritVec) -> usize {
+        self.compress(stream).len()
+    }
+}
+
+/// Error decoding a run-length compressed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLengthDecodeError {
+    /// The stream ended before `out_len` bits were produced.
+    Truncated {
+        /// Bits produced before the stream ran out.
+        produced: usize,
+    },
+    /// The stream decoded past `out_len` in a way that cannot be a virtual
+    /// terminator.
+    Overrun {
+        /// Bits produced.
+        produced: usize,
+    },
+}
+
+impl fmt::Display for RunLengthDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunLengthDecodeError::Truncated { produced } => {
+                write!(f, "compressed stream truncated after {produced} output bits")
+            }
+            RunLengthDecodeError::Overrun { produced } => {
+                write!(f, "compressed stream overruns the output length at {produced} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunLengthDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) {
+        let cubes: TritVec = s.parse().unwrap();
+        let filled = fill_trits(&cubes, FillStrategy::Zero).to_bitvec().unwrap();
+        let fdr = Fdr::new();
+        let compressed = fdr.compress(&cubes);
+        let back = fdr.decompress(&compressed, cubes.len()).unwrap();
+        assert_eq!(back, filled, "source {s}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("0000001");
+        roundtrip("1111");
+        roundtrip("000000");
+        roundtrip("0X0X0X1XX0");
+        roundtrip("1");
+        roundtrip("0");
+    }
+
+    #[test]
+    fn compresses_sparse_streams() {
+        // 63 zeros + 1: one A6 codeword (12 bits) vs 64 source bits.
+        let s: TritVec = format!("{}1", "0".repeat(63)).parse().unwrap();
+        let fdr = Fdr::new();
+        assert_eq!(fdr.compressed_size(&s), 12);
+        assert!(fdr.compression_ratio(&s) > 80.0);
+    }
+
+    #[test]
+    fn expands_dense_streams() {
+        let s: TritVec = "1".repeat(32).parse::<TritVec>().unwrap();
+        // Each 1 is a run of length 0 -> 2 bits: 64 bits total.
+        assert_eq!(Fdr::new().compressed_size(&s), 64);
+        assert!(Fdr::new().compression_ratio(&s) < 0.0);
+    }
+
+    #[test]
+    fn x_counts_as_zero() {
+        let a: TritVec = "XXXXXXX1".parse().unwrap();
+        let b: TritVec = "00000001".parse().unwrap();
+        assert_eq!(Fdr::new().compress(&a), Fdr::new().compress(&b));
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let fdr = Fdr::new();
+        let bits = BitVec::from_str_radix2("1").unwrap();
+        assert!(matches!(
+            fdr.decompress(&bits, 8),
+            Err(RunLengthDecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let fdr = Fdr::new();
+        assert_eq!(fdr.compressed_size(&TritVec::new()), 0);
+        assert_eq!(fdr.decompress(&BitVec::new(), 0).unwrap(), BitVec::new());
+    }
+}

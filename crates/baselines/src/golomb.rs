@@ -1,0 +1,197 @@
+//! Golomb coding of scan test data — Chandra & Chakrabarty, TCAD 2001
+//! (reference \[8\] of the 9C paper).
+//!
+//! 0-filled test data is parsed into 0-runs terminated by `1`; a run of
+//! length `l` with group size `b = 2^g` is coded as `⌊l/b⌋` ones, a zero,
+//! and the `g`-bit binary remainder.
+
+use crate::codec::TestDataCodec;
+use crate::fdr::RunLengthDecodeError;
+use crate::runlength::zero_runs;
+use ninec_testdata::bits::{BitReader, BitVec};
+use ninec_testdata::fill::{fill_trits, FillStrategy};
+use ninec_testdata::trit::TritVec;
+use std::fmt;
+
+/// The Golomb codec with a power-of-two group size.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::codec::TestDataCodec;
+/// use ninec_baselines::golomb::Golomb;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let golomb = Golomb::new(4)?;
+/// let sparse: TritVec = format!("{}1", "0".repeat(30)).parse()?;
+/// assert!(golomb.compression_ratio(&sparse) > 50.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Golomb {
+    b: u64,
+    g: u32,
+}
+
+impl Golomb {
+    /// Creates a Golomb codec with group size `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGroupSize`] unless `b` is a power of two ≥ 2.
+    pub fn new(b: u64) -> Result<Self, InvalidGroupSize> {
+        if b < 2 || !b.is_power_of_two() {
+            return Err(InvalidGroupSize { b });
+        }
+        Ok(Self { b, g: b.trailing_zeros() })
+    }
+
+    /// The group size `b`.
+    pub fn group_size(&self) -> u64 {
+        self.b
+    }
+
+    /// Encodes one run length.
+    fn encode_run(&self, l: u64, out: &mut BitVec) {
+        for _ in 0..l / self.b {
+            out.push(true);
+        }
+        out.push(false);
+        out.push_bits_msb(l % self.b, self.g as usize);
+    }
+
+    /// Compresses a cube stream (0-filling its don't-cares first).
+    pub fn compress(&self, stream: &TritVec) -> BitVec {
+        let filled = fill_trits(stream, FillStrategy::Zero)
+            .to_bitvec()
+            .expect("zero fill fully specifies the stream");
+        let (runs, _) = zero_runs(&filled);
+        let mut out = BitVec::new();
+        for l in runs {
+            self.encode_run(l, &mut out);
+        }
+        out
+    }
+
+    /// Decompresses to exactly `out_len` bits (the 0-filled source).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunLengthDecodeError`] on truncated or overlong streams.
+    pub fn decompress(&self, bits: &BitVec, out_len: usize) -> Result<BitVec, RunLengthDecodeError> {
+        let mut reader = BitReader::new(bits);
+        let mut out = BitVec::with_capacity(out_len);
+        while out.len() < out_len {
+            let mut q = 0u64;
+            loop {
+                match reader.read_bit() {
+                    Some(true) => q += 1,
+                    Some(false) => break,
+                    None => {
+                        return Err(RunLengthDecodeError::Truncated { produced: out.len() })
+                    }
+                }
+            }
+            let r = reader
+                .read_bits_msb(self.g as usize)
+                .ok_or(RunLengthDecodeError::Truncated { produced: out.len() })?;
+            let l = q * self.b + r;
+            for _ in 0..l {
+                out.push(false);
+            }
+            out.push(true);
+        }
+        if out.len() > out_len {
+            if out.len() != out_len + 1 || out.get(out_len) != Some(true) {
+                return Err(RunLengthDecodeError::Overrun { produced: out.len() });
+            }
+            let mut trimmed = BitVec::with_capacity(out_len);
+            for i in 0..out_len {
+                trimmed.push(out.get(i).expect("in range"));
+            }
+            out = trimmed;
+        }
+        Ok(out)
+    }
+}
+
+impl TestDataCodec for Golomb {
+    fn name(&self) -> &str {
+        "Golomb"
+    }
+
+    fn compressed_size(&self, stream: &TritVec) -> usize {
+        self.compress(stream).len()
+    }
+}
+
+/// Error: invalid Golomb group size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidGroupSize {
+    /// The rejected group size.
+    pub b: u64,
+}
+
+impl fmt::Display for InvalidGroupSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group size must be a power of two >= 2, got {}", self.b)
+    }
+}
+
+impl std::error::Error for InvalidGroupSize {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_size_validation() {
+        assert!(Golomb::new(0).is_err());
+        assert!(Golomb::new(1).is_err());
+        assert!(Golomb::new(3).is_err());
+        assert!(Golomb::new(2).is_ok());
+        assert!(Golomb::new(8).is_ok());
+    }
+
+    #[test]
+    fn published_example_codewords() {
+        // b = 4: run 0 -> "000", run 3 -> "011", run 4 -> "1000",
+        // run 9 -> "11001".
+        let g = Golomb::new(4).unwrap();
+        let expect = [(0u64, "000"), (3, "011"), (4, "1000"), (9, "11001")];
+        for (l, s) in expect {
+            let mut out = BitVec::new();
+            g.encode_run(l, &mut out);
+            assert_eq!(out.to_string(), s, "run {l}");
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let g = Golomb::new(4).unwrap();
+        for s in ["0000001", "1111", "000000", "0X0X0X1XX0", "1", "0"] {
+            let cubes: TritVec = s.parse().unwrap();
+            let filled = fill_trits(&cubes, FillStrategy::Zero).to_bitvec().unwrap();
+            let back = g.decompress(&g.compress(&cubes), cubes.len()).unwrap();
+            assert_eq!(back, filled, "source {s}");
+        }
+    }
+
+    #[test]
+    fn larger_groups_win_on_sparser_data() {
+        let sparse: TritVec = format!("{}1", "0".repeat(255)).parse().unwrap();
+        let small = Golomb::new(2).unwrap().compressed_size(&sparse);
+        let large = Golomb::new(64).unwrap().compressed_size(&sparse);
+        assert!(large < small, "b=64 {large} should beat b=2 {small}");
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let g = Golomb::new(4).unwrap();
+        let bits = BitVec::from_str_radix2("11").unwrap();
+        assert!(matches!(
+            g.decompress(&bits, 100),
+            Err(RunLengthDecodeError::Truncated { .. })
+        ));
+    }
+}

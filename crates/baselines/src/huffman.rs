@@ -1,0 +1,289 @@
+//! Minimal Huffman coding over small alphabets.
+//!
+//! Shared by the selective-Huffman and VIHC baselines. Ties are broken
+//! deterministically so encoders and decoders built independently from the
+//! same frequencies agree.
+
+use ninec_testdata::bits::{BitReader, BitVec};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// A Huffman code over symbols `0 .. n`.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::huffman::HuffmanCode;
+///
+/// let code = HuffmanCode::from_frequencies(&[50, 30, 15, 5])?;
+/// // More frequent symbols never get longer codewords.
+/// assert!(code.codeword(0).len() <= code.codeword(3).len());
+/// # Ok::<(), ninec_baselines::huffman::HuffmanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanCode {
+    words: Vec<BitVec>,
+}
+
+impl HuffmanCode {
+    /// Builds a code from per-symbol frequencies.
+    ///
+    /// Zero-frequency symbols still receive (long) codewords so the code is
+    /// total over the alphabet. A single-symbol alphabet gets the 1-bit
+    /// codeword `0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HuffmanError`] for an empty alphabet.
+    pub fn from_frequencies(freqs: &[u64]) -> Result<Self, HuffmanError> {
+        if freqs.is_empty() {
+            return Err(HuffmanError::EmptyAlphabet);
+        }
+        if freqs.len() == 1 {
+            let mut w = BitVec::new();
+            w.push(false);
+            return Ok(Self { words: vec![w] });
+        }
+        // Package nodes; `Reverse((weight, tiebreak))` makes the heap a
+        // min-heap with deterministic tie-breaking on creation order.
+        #[derive(PartialEq, Eq)]
+        enum Node {
+            Leaf(usize),
+            Internal(Box<Node>, Box<Node>),
+        }
+        let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+        let mut nodes: Vec<Option<Node>> = Vec::new();
+        for (sym, &f) in freqs.iter().enumerate() {
+            nodes.push(Some(Node::Leaf(sym)));
+            heap.push(Reverse((f.max(1), sym, nodes.len() - 1)));
+        }
+        while heap.len() > 1 {
+            let Reverse((fa, _, ia)) = heap.pop().expect("len checked");
+            let Reverse((fb, _, ib)) = heap.pop().expect("len checked");
+            let a = nodes[ia].take().expect("node taken once");
+            let b = nodes[ib].take().expect("node taken once");
+            nodes.push(Some(Node::Internal(Box::new(a), Box::new(b))));
+            let idx = nodes.len() - 1;
+            heap.push(Reverse((fa + fb, freqs.len() + idx, idx)));
+        }
+        let Reverse((_, _, root_idx)) = heap.pop().expect("one node remains");
+        let root = nodes[root_idx].take().expect("root present");
+
+        // Collect depths, then assign canonical codewords: by (length,
+        // symbol) ascending, exactly like `CodeTable::from_lengths`.
+        let mut depths = vec![0u32; freqs.len()];
+        fn walk(node: &Node, depth: u32, depths: &mut [u32]) {
+            match node {
+                Node::Leaf(sym) => depths[*sym] = depth.max(1),
+                Node::Internal(a, b) => {
+                    walk(a, depth + 1, depths);
+                    walk(b, depth + 1, depths);
+                }
+            }
+        }
+        walk(&root, 0, &mut depths);
+
+        let mut order: Vec<usize> = (0..freqs.len()).collect();
+        order.sort_by_key(|&s| (depths[s], s));
+        let mut words = vec![BitVec::new(); freqs.len()];
+        let mut code: u64 = 0;
+        let mut prev_len: u32 = 0;
+        for &s in &order {
+            let len = depths[s];
+            code <<= len - prev_len;
+            let mut w = BitVec::new();
+            w.push_bits_msb(code, len as usize);
+            words[s] = w;
+            code += 1;
+            prev_len = len;
+        }
+        Ok(Self { words })
+    }
+
+    /// Number of symbols in the alphabet.
+    pub fn alphabet_size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The codeword for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is out of range.
+    pub fn codeword(&self, symbol: usize) -> &BitVec {
+        &self.words[symbol]
+    }
+
+    /// Appends the codeword for `symbol` to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is out of range.
+    pub fn encode_symbol(&self, symbol: usize, out: &mut BitVec) {
+        out.extend_from_bitvec(&self.words[symbol]);
+    }
+
+    /// Reads one symbol from `reader`.
+    ///
+    /// Returns `None` on a truncated or unmatchable stream.
+    pub fn decode_symbol(&self, reader: &mut BitReader<'_>) -> Option<usize> {
+        let start = reader.position();
+        let mut prefix = BitVec::new();
+        let max_len = self.words.iter().map(BitVec::len).max().unwrap_or(0);
+        while prefix.len() < max_len {
+            prefix.push(reader.read_bit()?);
+            if let Some(sym) = self
+                .words
+                .iter()
+                .position(|w| w == &prefix)
+            {
+                return Some(sym);
+            }
+        }
+        // Unmatchable: rewind semantics are not needed by callers, but keep
+        // the invariant that failure means "stream exhausted or corrupt".
+        let _ = start;
+        None
+    }
+
+    /// `Σ freq(s) · len(s)` — the encoded size the code achieves on data
+    /// with the given frequencies.
+    pub fn weighted_length(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.words)
+            .map(|(&f, w)| f * w.len() as u64)
+            .sum()
+    }
+
+    /// `true` if no codeword is a prefix of another.
+    pub fn is_prefix_free(&self) -> bool {
+        for (i, a) in self.words.iter().enumerate() {
+            for (j, b) in self.words.iter().enumerate() {
+                if i != j && a.len() <= b.len() {
+                    let prefix: BitVec = b.iter().take(a.len()).collect();
+                    if &prefix == a {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for HuffmanCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (s, w) in self.words.iter().enumerate() {
+            writeln!(f, "{s}: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error building a Huffman code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// No symbols were supplied.
+    EmptyAlphabet,
+}
+
+impl fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HuffmanError::EmptyAlphabet => write!(f, "cannot build a code over zero symbols"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_symbol() {
+        let c = HuffmanCode::from_frequencies(&[10]).unwrap();
+        assert_eq!(c.codeword(0).to_string(), "0");
+    }
+
+    #[test]
+    fn empty_alphabet_rejected() {
+        assert_eq!(
+            HuffmanCode::from_frequencies(&[]),
+            Err(HuffmanError::EmptyAlphabet)
+        );
+    }
+
+    #[test]
+    fn optimality_on_dyadic_frequencies() {
+        // Frequencies 8,4,2,1,1 -> lengths 1,2,3,4,4.
+        let c = HuffmanCode::from_frequencies(&[8, 4, 2, 1, 1]).unwrap();
+        let lens: Vec<usize> = (0..5).map(|s| c.codeword(s).len()).collect();
+        assert_eq!(lens, vec![1, 2, 3, 4, 4]);
+        assert!(c.is_prefix_free());
+    }
+
+    #[test]
+    fn prefix_free_for_flat_frequencies() {
+        let c = HuffmanCode::from_frequencies(&[5; 7]).unwrap();
+        assert!(c.is_prefix_free());
+        // Kraft sum must be <= 1.
+        let kraft: f64 = (0..7).map(|s| 2f64.powi(-(c.codeword(s).len() as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn zero_frequency_symbols_still_coded() {
+        let c = HuffmanCode::from_frequencies(&[100, 0, 0]).unwrap();
+        assert!(c.is_prefix_free());
+        assert!(c.codeword(1).len() >= 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let freqs = [40, 25, 20, 10, 5];
+        let c = HuffmanCode::from_frequencies(&freqs).unwrap();
+        let symbols = [0, 4, 2, 2, 1, 0, 3, 4, 0, 0, 1];
+        let mut bits = BitVec::new();
+        for &s in &symbols {
+            c.encode_symbol(s, &mut bits);
+        }
+        let mut r = BitReader::new(&bits);
+        let decoded: Vec<usize> = (0..symbols.len())
+            .map(|_| c.decode_symbol(&mut r).unwrap())
+            .collect();
+        assert_eq!(decoded, symbols);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn decode_fails_gracefully_on_truncation() {
+        let c = HuffmanCode::from_frequencies(&[1, 1, 1, 1]).unwrap();
+        let bits = BitVec::new();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(c.decode_symbol(&mut r), None);
+    }
+
+    #[test]
+    fn weighted_length_matches_emitted_bits() {
+        let freqs = [9, 3, 3, 1];
+        let c = HuffmanCode::from_frequencies(&freqs).unwrap();
+        let mut bits = BitVec::new();
+        for (s, &f) in freqs.iter().enumerate() {
+            for _ in 0..f {
+                c.encode_symbol(s, &mut bits);
+            }
+        }
+        assert_eq!(bits.len() as u64, c.weighted_length(&freqs));
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = HuffmanCode::from_frequencies(&[3, 3, 3, 3, 3]).unwrap();
+        let b = HuffmanCode::from_frequencies(&[3, 3, 3, 3, 3]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,51 @@
+//! Baseline scan test-data compression codes.
+//!
+//! The 9C paper (Table IV) compares against FDR, VIHC, MTC and selective
+//! Huffman coding. This crate implements those baselines (plus Golomb,
+//! EFDR and alternating run-length, the other codes of the same family)
+//! from their original descriptions, over the shared
+//! [`ninec_testdata`] data model:
+//!
+//! - [`fdr`] — frequency-directed run-length code;
+//! - [`golomb`] — Golomb code with power-of-two group size;
+//! - [`efdr`] — extended FDR (runs of both polarities);
+//! - [`arl`] — alternating run-length code;
+//! - [`selhuff`] — selective Huffman coding of fixed blocks;
+//! - [`dict`] — dictionary compression with fixed-length indices;
+//! - [`vihc`] — variable-length input Huffman coding;
+//! - [`huffman`], [`runlength`] — shared machinery;
+//! - [`codec`] — the [`TestDataCodec`] interface.
+//!
+//! MTC (Rosinger et al.) is not independently specified in our available
+//! sources; the experiment harness substitutes EFDR for that column and
+//! says so in the generated table (see `DESIGN.md` §4).
+//!
+//! # Example
+//!
+//! ```
+//! use ninec_baselines::codec::TestDataCodec;
+//! use ninec_baselines::{fdr::Fdr, golomb::Golomb};
+//! use ninec_testdata::gen::SyntheticProfile;
+//!
+//! let cubes = SyntheticProfile::new("cmp", 20, 128, 0.85).generate(1);
+//! let stream = cubes.as_stream();
+//! let fdr_cr = Fdr::new().compression_ratio(stream);
+//! let golomb_cr = Golomb::new(4)?.compression_ratio(stream);
+//! println!("FDR {fdr_cr:.1}% vs Golomb {golomb_cr:.1}%");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arl;
+pub mod codec;
+pub mod dict;
+pub mod efdr;
+pub mod fdr;
+pub mod golomb;
+pub mod huffman;
+pub mod runlength;
+pub mod selhuff;
+pub mod vihc;
+
+pub use codec::TestDataCodec;

@@ -1,0 +1,237 @@
+//! Shared run-length machinery: run extraction and the FDR code family's
+//! per-run codewords.
+//!
+//! The frequency-directed run-length (FDR) code of Chandra & Chakrabarty
+//! maps a run length `l ≥ 0` into group `A_i` (`i ≥ 1`), where group `A_i`
+//! covers lengths `[2^i − 2, 2^{i+1} − 3]` with `2^i` members. The codeword
+//! is an `i`-bit prefix (`i−1` ones then a zero) followed by an `i`-bit
+//! binary tail — so short runs get short codewords.
+
+use ninec_testdata::bits::{BitReader, BitVec};
+
+/// Appends the FDR codeword for run length `l` to `out`, returning its
+/// length in bits.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::runlength::fdr_encode_run;
+/// use ninec_testdata::bits::BitVec;
+///
+/// let mut out = BitVec::new();
+/// fdr_encode_run(0, &mut out); // group A1: "00"
+/// fdr_encode_run(2, &mut out); // group A2: "1000"
+/// assert_eq!(out.to_string(), "001000");
+/// ```
+pub fn fdr_encode_run(l: u64, out: &mut BitVec) -> usize {
+    let i = fdr_group(l);
+    let start = (1u64 << i) - 2;
+    // Prefix: (i-1) ones, then a zero.
+    for _ in 0..i - 1 {
+        out.push(true);
+    }
+    out.push(false);
+    // Tail: i-bit offset within the group.
+    out.push_bits_msb(l - start, i as usize);
+    2 * i as usize
+}
+
+/// Length in bits of the FDR codeword for run length `l`.
+pub fn fdr_code_len(l: u64) -> usize {
+    2 * fdr_group(l) as usize
+}
+
+/// The FDR group index `i ≥ 1` covering run length `l`.
+pub fn fdr_group(l: u64) -> u32 {
+    // Find smallest i with l <= 2^(i+1) - 3, i.e. l + 3 <= 2^(i+1).
+    let mut i = 1;
+    while l > (1u64 << (i + 1)) - 3 {
+        i += 1;
+    }
+    i
+}
+
+/// Reads one FDR run length from `reader`.
+///
+/// Returns `None` on a truncated stream.
+pub fn fdr_decode_run(reader: &mut BitReader<'_>) -> Option<u64> {
+    let mut i = 1u32;
+    while reader.read_bit()? {
+        i += 1;
+    }
+    let tail = reader.read_bits_msb(i as usize)?;
+    Some((1u64 << i) - 2 + tail)
+}
+
+/// Splits a fully specified bit stream into the lengths of its 0-runs,
+/// each (conceptually) terminated by a `1`.
+///
+/// If the stream ends in zeros, the final run is reported with
+/// `trailing = true` — its terminating `1` is virtual and must be dropped
+/// after decode.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::runlength::zero_runs;
+/// use ninec_testdata::bits::BitVec;
+///
+/// let bits = BitVec::from_str_radix2("0010001 00".replace(' ', "").as_str())?;
+/// let (runs, trailing) = zero_runs(&bits);
+/// assert_eq!(runs, vec![2, 3, 2]);
+/// assert!(trailing);
+/// # Ok::<(), ninec_testdata::bits::ParseBitsError>(())
+/// ```
+pub fn zero_runs(bits: &BitVec) -> (Vec<u64>, bool) {
+    let mut runs = Vec::new();
+    let mut current = 0u64;
+    let mut open = false;
+    for bit in bits.iter() {
+        if bit {
+            runs.push(current);
+            current = 0;
+            open = false;
+        } else {
+            current += 1;
+            open = true;
+        }
+    }
+    if open {
+        runs.push(current);
+    }
+    (runs, open)
+}
+
+/// Splits a fully specified bit stream into alternating runs, starting
+/// with a (possibly empty) 0-run: `0^a 1^b 0^c …`. Interior runs are
+/// non-empty; only the leading 0-run may be length 0.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::runlength::alternating_runs;
+/// use ninec_testdata::bits::BitVec;
+///
+/// let bits = BitVec::from_str_radix2("1100011")?;
+/// assert_eq!(alternating_runs(&bits), vec![0, 2, 3, 2]);
+/// # Ok::<(), ninec_testdata::bits::ParseBitsError>(())
+/// ```
+pub fn alternating_runs(bits: &BitVec) -> Vec<u64> {
+    let mut runs = Vec::new();
+    let mut expect = false; // current run's symbol; starts with a 0-run
+    let mut current = 0u64;
+    for bit in bits.iter() {
+        if bit == expect {
+            current += 1;
+        } else {
+            runs.push(current);
+            expect = bit;
+            current = 1;
+        }
+    }
+    if current > 0 || !bits.is_empty() {
+        runs.push(current);
+    }
+    runs
+}
+
+/// Reconstructs a bit stream from alternating run lengths (inverse of
+/// [`alternating_runs`]).
+pub fn from_alternating_runs(runs: &[u64]) -> BitVec {
+    let mut out = BitVec::new();
+    let mut symbol = false;
+    for &l in runs {
+        for _ in 0..l {
+            out.push(symbol);
+        }
+        symbol = !symbol;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdr_group_boundaries() {
+        // A1: 0..=1, A2: 2..=5, A3: 6..=13, A4: 14..=29.
+        assert_eq!(fdr_group(0), 1);
+        assert_eq!(fdr_group(1), 1);
+        assert_eq!(fdr_group(2), 2);
+        assert_eq!(fdr_group(5), 2);
+        assert_eq!(fdr_group(6), 3);
+        assert_eq!(fdr_group(13), 3);
+        assert_eq!(fdr_group(14), 4);
+    }
+
+    #[test]
+    fn fdr_codewords_match_published_table() {
+        let expect = [
+            (0u64, "00"),
+            (1, "01"),
+            (2, "1000"),
+            (3, "1001"),
+            (4, "1010"),
+            (5, "1011"),
+            (6, "110000"),
+            (13, "110111"),
+            (14, "11100000"),
+        ];
+        for (l, s) in expect {
+            let mut out = BitVec::new();
+            let n = fdr_encode_run(l, &mut out);
+            assert_eq!(out.to_string(), s, "run {l}");
+            assert_eq!(n, s.len());
+            assert_eq!(fdr_code_len(l), s.len());
+        }
+    }
+
+    #[test]
+    fn fdr_roundtrip_many_lengths() {
+        let lengths: Vec<u64> = (0..200).chain([1000, 65_534, 1 << 40]).collect();
+        let mut bits = BitVec::new();
+        for &l in &lengths {
+            fdr_encode_run(l, &mut bits);
+        }
+        let mut r = BitReader::new(&bits);
+        for &l in &lengths {
+            assert_eq!(fdr_decode_run(&mut r), Some(l));
+        }
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn fdr_decode_truncated() {
+        let mut bits = BitVec::new();
+        bits.push(true); // promises group >= 2, then nothing
+        let mut r = BitReader::new(&bits);
+        assert_eq!(fdr_decode_run(&mut r), None);
+    }
+
+    #[test]
+    fn zero_runs_basic() {
+        let b = BitVec::from_str_radix2("1").unwrap();
+        assert_eq!(zero_runs(&b), (vec![0], false));
+        let b = BitVec::from_str_radix2("0001").unwrap();
+        assert_eq!(zero_runs(&b), (vec![3], false));
+        let b = BitVec::from_str_radix2("000").unwrap();
+        assert_eq!(zero_runs(&b), (vec![3], true));
+        assert_eq!(zero_runs(&BitVec::new()), (vec![], false));
+    }
+
+    #[test]
+    fn alternating_roundtrip() {
+        for s in ["1100011", "0001", "1111", "0", "01", "10"] {
+            let b = BitVec::from_str_radix2(s).unwrap();
+            let runs = alternating_runs(&b);
+            assert_eq!(from_alternating_runs(&runs), b, "{s}");
+        }
+    }
+
+    #[test]
+    fn alternating_leading_one() {
+        let b = BitVec::from_str_radix2("111").unwrap();
+        assert_eq!(alternating_runs(&b), vec![0, 3]);
+    }
+}

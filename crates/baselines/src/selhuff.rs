@@ -1,0 +1,324 @@
+//! Selective Huffman coding — Jas, Ghosh-Dastidar, Ng, Touba, TCAD 2003
+//! (reference \[7\] of the 9C paper).
+//!
+//! The stream is cut into fixed `b`-bit blocks; only the `m` most frequent
+//! block patterns are Huffman-coded (flag bit `1` + codeword), everything
+//! else ships raw (flag bit `0` + `b` bits). Don't-cares are exploited by
+//! matching cubes *compatibly* against the selected patterns.
+//!
+//! The dictionary (the `m` selected patterns) lives in the on-chip decoder,
+//! not in the ATE stream; [`SelectiveHuffmanEncoded::dictionary_bits`]
+//! reports its size separately, matching how the literature accounts for it.
+
+use crate::codec::TestDataCodec;
+use crate::huffman::HuffmanCode;
+use ninec_testdata::bits::{BitReader, BitVec};
+use ninec_testdata::fill::{fill_trits, FillStrategy};
+use ninec_testdata::trit::{Trit, TritVec};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Configuration of the selective Huffman codec.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::codec::TestDataCodec;
+/// use ninec_baselines::selhuff::SelectiveHuffman;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let sh = SelectiveHuffman::new(8, 4)?;
+/// let stream: TritVec = "0000000000000000XXXXXXXX11111111".parse()?;
+/// assert!(sh.compression_ratio(&stream) > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectiveHuffman {
+    block_bits: usize,
+    coded_patterns: usize,
+}
+
+impl SelectiveHuffman {
+    /// Creates a codec with `block_bits`-bit blocks and `coded_patterns`
+    /// dictionary entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSelectiveHuffmanConfig`] if either parameter is 0
+    /// or `block_bits > 32`.
+    pub fn new(
+        block_bits: usize,
+        coded_patterns: usize,
+    ) -> Result<Self, InvalidSelectiveHuffmanConfig> {
+        if block_bits == 0 || block_bits > 32 || coded_patterns == 0 {
+            return Err(InvalidSelectiveHuffmanConfig { block_bits, coded_patterns });
+        }
+        Ok(Self { block_bits, coded_patterns })
+    }
+
+    /// Block size in bits.
+    pub fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    /// Compresses a cube stream, returning the self-describing result.
+    pub fn encode(&self, stream: &TritVec) -> SelectiveHuffmanEncoded {
+        let b = self.block_bits;
+        let source_len = stream.len();
+        // Pad with X to whole blocks.
+        let padded_len = source_len.div_ceil(b).max(1) * b;
+        let mut padded = stream.clone();
+        for _ in source_len..padded_len {
+            padded.push(Trit::X);
+        }
+
+        // Pass 1: count zero-filled signatures to select the dictionary.
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for start in (0..padded_len).step_by(b) {
+            let sig = block_signature(&padded, start, b);
+            *counts.entry(sig).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<(u32, u64)> = counts.into_iter().collect();
+        ranked.sort_by_key(|&(sig, n)| (std::cmp::Reverse(n), sig));
+        ranked.truncate(self.coded_patterns);
+        let dictionary: Vec<u32> = ranked.iter().map(|&(sig, _)| sig).collect();
+
+        // Pass 2: compatible matching against the dictionary; count usage.
+        let mut usage = vec![0u64; dictionary.len()];
+        let mut choices: Vec<Option<usize>> = Vec::with_capacity(padded_len / b);
+        for start in (0..padded_len).step_by(b) {
+            let hit = dictionary
+                .iter()
+                .position(|&pat| block_compatible(&padded, start, b, pat));
+            if let Some(i) = hit {
+                usage[i] += 1;
+            }
+            choices.push(hit);
+        }
+        let code = HuffmanCode::from_frequencies(&usage).expect("dictionary is non-empty");
+
+        // Pass 3: emit.
+        let mut bits = BitVec::new();
+        for (block_idx, start) in (0..padded_len).step_by(b).enumerate() {
+            match choices[block_idx] {
+                Some(i) => {
+                    bits.push(true);
+                    code.encode_symbol(i, &mut bits);
+                }
+                None => {
+                    bits.push(false);
+                    let raw = fill_trits(&padded.slice(start, start + b), FillStrategy::Zero)
+                        .to_bitvec()
+                        .expect("zero fill fully specifies the block");
+                    bits.extend_from_bitvec(&raw);
+                }
+            }
+        }
+        SelectiveHuffmanEncoded {
+            config: *self,
+            bits,
+            dictionary,
+            code,
+            source_len,
+        }
+    }
+}
+
+impl TestDataCodec for SelectiveHuffman {
+    fn name(&self) -> &str {
+        "SelHuff"
+    }
+
+    fn compressed_size(&self, stream: &TritVec) -> usize {
+        self.encode(stream).bits.len()
+    }
+}
+
+/// Zero-filled `b`-bit signature of a block, MSB-first.
+fn block_signature(stream: &TritVec, start: usize, b: usize) -> u32 {
+    let mut sig = 0u32;
+    for i in 0..b {
+        sig <<= 1;
+        if stream.get(start + i) == Some(Trit::One) {
+            sig |= 1;
+        }
+    }
+    sig
+}
+
+/// `true` if every care bit of the block agrees with `pattern`.
+fn block_compatible(stream: &TritVec, start: usize, b: usize, pattern: u32) -> bool {
+    for i in 0..b {
+        let want = pattern >> (b - 1 - i) & 1 == 1;
+        match stream.get(start + i) {
+            Some(Trit::Zero) if want => return false,
+            Some(Trit::One) if !want => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Result of selective Huffman compression, carrying the decoder model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectiveHuffmanEncoded {
+    config: SelectiveHuffman,
+    /// The ATE bit stream.
+    pub bits: BitVec,
+    dictionary: Vec<u32>,
+    code: HuffmanCode,
+    source_len: usize,
+}
+
+impl SelectiveHuffmanEncoded {
+    /// Size in bits of the on-chip dictionary (`m · b`).
+    pub fn dictionary_bits(&self) -> usize {
+        self.dictionary.len() * self.config.block_bits
+    }
+
+    /// Decompresses back to `source_len` bits (the selected fill of the
+    /// source).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectiveHuffmanDecodeError`] on truncation/corruption.
+    pub fn decode(&self) -> Result<BitVec, SelectiveHuffmanDecodeError> {
+        let b = self.config.block_bits;
+        let mut reader = BitReader::new(&self.bits);
+        let mut out = BitVec::with_capacity(self.source_len + b);
+        while out.len() < self.source_len {
+            let coded = reader
+                .read_bit()
+                .ok_or(SelectiveHuffmanDecodeError { produced: out.len() })?;
+            if coded {
+                let sym = self
+                    .code
+                    .decode_symbol(&mut reader)
+                    .ok_or(SelectiveHuffmanDecodeError { produced: out.len() })?;
+                let pat = self.dictionary[sym];
+                for i in 0..b {
+                    out.push(pat >> (b - 1 - i) & 1 == 1);
+                }
+            } else {
+                for _ in 0..b {
+                    let bit = reader
+                        .read_bit()
+                        .ok_or(SelectiveHuffmanDecodeError { produced: out.len() })?;
+                    out.push(bit);
+                }
+            }
+        }
+        Ok(out.iter().take(self.source_len).collect())
+    }
+}
+
+/// Error decoding a selective-Huffman stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectiveHuffmanDecodeError {
+    /// Bits produced before the failure.
+    pub produced: usize,
+}
+
+impl fmt::Display for SelectiveHuffmanDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "selective-huffman stream truncated after {} bits", self.produced)
+    }
+}
+
+impl std::error::Error for SelectiveHuffmanDecodeError {}
+
+/// Error: invalid selective-Huffman configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSelectiveHuffmanConfig {
+    /// Rejected block size.
+    pub block_bits: usize,
+    /// Rejected dictionary size.
+    pub coded_patterns: usize,
+}
+
+impl fmt::Display for InvalidSelectiveHuffmanConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid config: block_bits={} (1..=32), coded_patterns={} (>=1)",
+            self.block_bits, self.coded_patterns
+        )
+    }
+}
+
+impl std::error::Error for InvalidSelectiveHuffmanConfig {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(SelectiveHuffman::new(0, 4).is_err());
+        assert!(SelectiveHuffman::new(33, 4).is_err());
+        assert!(SelectiveHuffman::new(8, 0).is_err());
+        assert!(SelectiveHuffman::new(8, 4).is_ok());
+    }
+
+    #[test]
+    fn decode_covers_source_care_bits() {
+        let sh = SelectiveHuffman::new(4, 3).unwrap();
+        let stream: TritVec = "0000X0X011111X0X0000".parse().unwrap();
+        let enc = sh.encode(&stream);
+        let dec = enc.decode().unwrap();
+        assert_eq!(dec.len(), stream.len());
+        for i in 0..stream.len() {
+            if let Some(v) = stream.get(i).unwrap().value() {
+                assert_eq!(dec.get(i), Some(v), "care bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_blocks_compress() {
+        let sh = SelectiveHuffman::new(8, 2).unwrap();
+        let stream: TritVec = "00000000".repeat(20).parse::<TritVec>().unwrap();
+        // Every block matches the top pattern: 1 flag + 1 codeword bit.
+        let enc = sh.encode(&stream);
+        assert!(enc.bits.len() <= 40, "got {}", enc.bits.len());
+        assert!(sh.compression_ratio(&stream) > 70.0);
+    }
+
+    #[test]
+    fn x_blocks_match_dictionary_compatibly() {
+        let sh = SelectiveHuffman::new(4, 1).unwrap();
+        // Dictionary will hold "0000" (most frequent signature); the all-X
+        // block must match it compatibly rather than ship raw.
+        let stream: TritVec = "0000XXXX0000".parse().unwrap();
+        let enc = sh.encode(&stream);
+        // 3 blocks x (flag + 1-bit codeword) = 6 bits.
+        assert_eq!(enc.bits.len(), 6);
+    }
+
+    #[test]
+    fn uncoded_blocks_ship_raw() {
+        let sh = SelectiveHuffman::new(4, 1).unwrap();
+        // "0101" appears once; dictionary holds "0000".
+        let stream: TritVec = "000000000101".parse().unwrap();
+        let enc = sh.encode(&stream);
+        // 2 coded blocks (2 bits each) + 1 raw block (1 + 4 bits) = 9.
+        assert_eq!(enc.bits.len(), 9);
+        assert_eq!(enc.decode().unwrap().to_string(), "000000000101");
+    }
+
+    #[test]
+    fn dictionary_size_reported() {
+        let sh = SelectiveHuffman::new(8, 4).unwrap();
+        let stream: TritVec = "01010101".repeat(4).parse::<TritVec>().unwrap();
+        let enc = sh.encode(&stream);
+        assert!(enc.dictionary_bits() <= 32);
+    }
+
+    #[test]
+    fn padding_preserves_source_length() {
+        let sh = SelectiveHuffman::new(8, 2).unwrap();
+        let stream: TritVec = "00000".parse().unwrap();
+        let enc = sh.encode(&stream);
+        assert_eq!(enc.decode().unwrap().len(), 5);
+    }
+}

@@ -1,0 +1,247 @@
+//! VIHC (variable-length input Huffman coding) — Gonciari, Al-Hashimi,
+//! Nicolici, DATE 2002 (reference \[13\] of the 9C paper).
+//!
+//! The 0-filled stream is parsed into variable-length input symbols: 0-runs
+//! of length `l < mh` terminated by a `1`, plus the special symbol "`mh`
+//! zeros, no terminator" for longer runs. The `mh + 1` symbols are then
+//! Huffman-coded. `mh` is the *group size*; the paper sweeps it like 9C's
+//! `K`.
+
+use crate::codec::TestDataCodec;
+use crate::huffman::HuffmanCode;
+use ninec_testdata::bits::{BitReader, BitVec};
+use ninec_testdata::fill::{fill_trits, FillStrategy};
+use ninec_testdata::trit::TritVec;
+use std::fmt;
+
+/// The VIHC codec with maximum run (group) size `mh`.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::codec::TestDataCodec;
+/// use ninec_baselines::vihc::Vihc;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let vihc = Vihc::new(8)?;
+/// let sparse: TritVec = format!("{}1", "0".repeat(31)).parse()?;
+/// assert!(vihc.compression_ratio(&sparse) > 50.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vihc {
+    mh: usize,
+}
+
+impl Vihc {
+    /// Creates a VIHC codec with group size `mh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGroupSizeMh`] if `mh` is 0 or exceeds 64.
+    pub fn new(mh: usize) -> Result<Self, InvalidGroupSizeMh> {
+        if mh == 0 || mh > 64 {
+            return Err(InvalidGroupSizeMh { mh });
+        }
+        Ok(Self { mh })
+    }
+
+    /// The group size `mh`.
+    pub fn group_size(&self) -> usize {
+        self.mh
+    }
+
+    /// Parses the 0-filled stream into VIHC symbols.
+    ///
+    /// Symbol `l` for `l < mh` means "`l` zeros then a `1`"; symbol `mh`
+    /// means "`mh` zeros" (run continues). A trailing partial run of `t`
+    /// zeros (no terminator) is encoded as symbol `t` and trimmed on
+    /// decode via the output length.
+    fn symbols(&self, filled: &BitVec) -> Vec<usize> {
+        let mut syms = Vec::new();
+        let mut run = 0usize;
+        for bit in filled.iter() {
+            if bit {
+                syms.push(run);
+                run = 0;
+            } else {
+                run += 1;
+                if run == self.mh {
+                    syms.push(self.mh);
+                    run = 0;
+                }
+            }
+        }
+        if run > 0 {
+            syms.push(run); // virtual terminator, trimmed on decode
+        }
+        syms
+    }
+
+    /// Compresses a cube stream, returning the self-describing result.
+    pub fn encode(&self, stream: &TritVec) -> VihcEncoded {
+        let filled = fill_trits(stream, FillStrategy::Zero)
+            .to_bitvec()
+            .expect("zero fill fully specifies the stream");
+        let syms = self.symbols(&filled);
+        let mut freqs = vec![0u64; self.mh + 1];
+        for &s in &syms {
+            freqs[s] += 1;
+        }
+        let code = HuffmanCode::from_frequencies(&freqs).expect("alphabet is non-empty");
+        let mut bits = BitVec::new();
+        for &s in &syms {
+            code.encode_symbol(s, &mut bits);
+        }
+        VihcEncoded {
+            mh: self.mh,
+            bits,
+            code,
+            source_len: stream.len(),
+        }
+    }
+}
+
+impl TestDataCodec for Vihc {
+    fn name(&self) -> &str {
+        "VIHC"
+    }
+
+    fn compressed_size(&self, stream: &TritVec) -> usize {
+        self.encode(stream).bits.len()
+    }
+}
+
+/// Result of VIHC compression, carrying the decoder model (the Huffman
+/// code lives in the on-chip decoder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VihcEncoded {
+    mh: usize,
+    /// The ATE bit stream.
+    pub bits: BitVec,
+    code: HuffmanCode,
+    source_len: usize,
+}
+
+impl VihcEncoded {
+    /// Codeword length per run-length symbol (`0 ..= mh`) — the contents
+    /// of the decode table an on-chip VIHC decoder stores, and therefore
+    /// the per-circuit configuration the paper's §IV flexibility argument
+    /// is about.
+    pub fn code_lengths(&self) -> Vec<usize> {
+        (0..=self.mh).map(|s| self.code.codeword(s).len()).collect()
+    }
+
+    /// Decompresses back to the 0-filled source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VihcDecodeError`] on truncation/corruption.
+    pub fn decode(&self) -> Result<BitVec, VihcDecodeError> {
+        let mut reader = BitReader::new(&self.bits);
+        let mut out = BitVec::with_capacity(self.source_len + self.mh);
+        while out.len() < self.source_len {
+            let sym = self
+                .code
+                .decode_symbol(&mut reader)
+                .ok_or(VihcDecodeError { produced: out.len() })?;
+            if sym == self.mh {
+                for _ in 0..self.mh {
+                    out.push(false);
+                }
+            } else {
+                for _ in 0..sym {
+                    out.push(false);
+                }
+                out.push(true);
+            }
+        }
+        Ok(out.iter().take(self.source_len).collect())
+    }
+}
+
+/// Error decoding a VIHC stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VihcDecodeError {
+    /// Bits produced before the failure.
+    pub produced: usize,
+}
+
+impl fmt::Display for VihcDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vihc stream truncated after {} bits", self.produced)
+    }
+}
+
+impl std::error::Error for VihcDecodeError {}
+
+/// Error: invalid VIHC group size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidGroupSizeMh {
+    /// The rejected group size.
+    pub mh: usize,
+}
+
+impl fmt::Display for InvalidGroupSizeMh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group size must be in 1..=64, got {}", self.mh)
+    }
+}
+
+impl std::error::Error for InvalidGroupSizeMh {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_size_validation() {
+        assert!(Vihc::new(0).is_err());
+        assert!(Vihc::new(65).is_err());
+        assert!(Vihc::new(8).is_ok());
+    }
+
+    #[test]
+    fn symbol_parsing() {
+        let v = Vihc::new(4).unwrap();
+        let bits = BitVec::from_str_radix2("0001000001").unwrap();
+        // "0001" -> sym 3; "00000" crosses mh: "0000" -> sym 4, then "01"
+        // -> sym 1.
+        assert_eq!(v.symbols(&bits), vec![3, 4, 1]);
+    }
+
+    #[test]
+    fn trailing_zeros_get_virtual_terminator() {
+        let v = Vihc::new(4).unwrap();
+        let bits = BitVec::from_str_radix2("100").unwrap();
+        assert_eq!(v.symbols(&bits), vec![0, 2]);
+    }
+
+    #[test]
+    fn roundtrips() {
+        for s in ["0000001", "1111", "000000", "0X0X0X1XX0", "1", "0", "0010010000000000001"] {
+            let cubes: TritVec = s.parse().unwrap();
+            let filled = fill_trits(&cubes, FillStrategy::Zero).to_bitvec().unwrap();
+            let enc = Vihc::new(4).unwrap().encode(&cubes);
+            assert_eq!(enc.decode().unwrap(), filled, "source {s}");
+        }
+    }
+
+    #[test]
+    fn skewed_runs_compress_well() {
+        // Mostly maximal runs: one dominant symbol -> ~1 bit each.
+        let s: TritVec = format!("{}1", "0".repeat(255)).parse().unwrap();
+        let v = Vihc::new(16).unwrap();
+        assert!(v.compression_ratio(&s) > 80.0);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = Vihc::new(4).unwrap().encode(&"0001".parse().unwrap());
+        let broken = VihcEncoded {
+            bits: BitVec::new(),
+            ..enc
+        };
+        assert!(broken.decode().is_err());
+    }
+}

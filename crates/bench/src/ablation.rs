@@ -1,0 +1,486 @@
+//! Ablation studies for the design choices `DESIGN.md` calls out.
+//!
+//! 1. **Code size** (paper §II): the paper argues nine codewords are the
+//!    sweet spot — finer part granularity "may slightly improve the
+//!    compression ratio but results in a more complicated and expensive
+//!    decoder". [`parts_code_estimate`] measures that: it generalizes 9C
+//!    to `q` parts per block (3^q cases) with Huffman-assigned codeword
+//!    lengths and reports the achievable size.
+//! 2. **Codeword assignment**: paper order vs frequency-directed vs
+//!    adversarial (reversed) — [`assignment_ablation`].
+//! 3. **Leftover-X fill**: the paper's random fill (non-modeled faults) vs
+//!    minimum-transition fill (scan power) — [`fill_ablation`].
+
+use crate::datasets::Dataset;
+use crate::format::{pct, TextTable};
+use ninec::decode::decode;
+use ninec::encode::Encoder;
+use ninec::freqdir::frequency_directed_table;
+use ninec_baselines::huffman::HuffmanCode;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::fill::FillStrategy;
+use ninec_testdata::power::{scan_power, PowerReport};
+use ninec_testdata::trit::{Trit, TritVec};
+use std::collections::HashMap;
+
+/// Estimated compressed size (bits) of the `q`-part generalization of 9C
+/// on `stream` at block size `k`, with per-case codeword lengths assigned
+/// by a two-pass Huffman over the measured case frequencies.
+///
+/// `q = 2` approximates 9C itself (slightly optimistically, since Huffman
+/// lengths adapt to the data); larger `q` models the "more codewords"
+/// variants the paper rejects.
+///
+/// # Panics
+///
+/// Panics unless `q >= 1` and `q` divides `k`.
+pub fn parts_code_estimate(stream: &TritVec, k: usize, q: usize) -> usize {
+    assert!(q >= 1 && k % q == 0, "q={q} must divide k={k}");
+    let part = k / q;
+    let blocks = stream.len().div_ceil(k);
+    // Classify each block into its case id (base-3 over part classes).
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    let mut payload_bits = 0usize;
+    let mut case_of_block = Vec::with_capacity(blocks);
+    for b in 0..blocks {
+        let mut case = 0u32;
+        for p in 0..q {
+            let start = b * k + p * part;
+            let mut can_zero = true;
+            let mut can_one = true;
+            for i in start..start + part {
+                match stream.get(i).unwrap_or(Trit::X) {
+                    Trit::Zero => can_one = false,
+                    Trit::One => can_zero = false,
+                    Trit::X => {}
+                }
+            }
+            let class = if can_zero {
+                0 // all-zeros (all-X parts fold here, as 9C's greedy would)
+            } else if can_one {
+                1
+            } else {
+                payload_bits += part;
+                2
+            };
+            case = case * 3 + class;
+        }
+        *counts.entry(case).or_insert(0) += 1;
+        case_of_block.push(case);
+    }
+    if blocks == 0 {
+        return 0;
+    }
+    // Huffman over the observed cases only.
+    let cases: Vec<u32> = counts.keys().copied().collect();
+    let freqs: Vec<u64> = cases.iter().map(|c| counts[c]).collect();
+    let code = HuffmanCode::from_frequencies(&freqs).expect("at least one case");
+    let index: HashMap<u32, usize> = cases.iter().copied().zip(0..).collect();
+    let codeword_bits: usize = case_of_block
+        .iter()
+        .map(|c| code.codeword(index[c]).len())
+        .sum();
+    codeword_bits + payload_bits
+}
+
+/// Renders the code-size ablation across datasets.
+pub fn render_parts_ablation(datasets: &[Dataset], k: usize) -> String {
+    let mut t = TextTable::new(["circuit", "9C CR%", "q=2 Huffman", "q=4 Huffman", "gain q=4 vs 9C"]);
+    for ds in datasets {
+        let stream = ds.cubes.as_stream();
+        let td = stream.len() as f64;
+        let ninec = Encoder::new(k)
+            .expect("valid K")
+            .encode_stream(stream)
+            .compression_ratio();
+        let q2 = (td - parts_code_estimate(stream, k, 2) as f64) / td * 100.0;
+        let q4 = (td - parts_code_estimate(stream, k, 4) as f64) / td * 100.0;
+        t.row([
+            ds.name.clone(),
+            pct(ninec),
+            pct(q2),
+            pct(q4),
+            format!("{:+.1}", q4 - ninec),
+        ]);
+    }
+    format!(
+        "Ablation — code granularity at K={k}: more codewords buy little\n\
+         (q parts per block, 3^q cases, Huffman-assigned lengths; decoder cost grows with 3^q)\n{}",
+        t.render()
+    )
+}
+
+/// One point of the don't-care-density sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityPoint {
+    /// Target X density, percent.
+    pub x_percent: f64,
+    /// 9C CR at K = 8.
+    pub cr_k8: f64,
+    /// 9C CR at the best K of the sweep.
+    pub cr_best: f64,
+    /// The best K.
+    pub best_k: usize,
+}
+
+/// Sweeps the don't-care density of a synthetic test set and measures how
+/// 9C's compression and optimal block size respond — the structural
+/// driver behind Tables II and VIII (denser X ⇒ higher CR and larger
+/// optimal K).
+pub fn density_sweep(pattern_len: usize, patterns: usize, seed: u64) -> Vec<DensityPoint> {
+    use ninec_testdata::gen::SyntheticProfile;
+    [0.3f64, 0.5, 0.7, 0.8, 0.9, 0.95]
+        .into_iter()
+        .map(|x| {
+            let ts = SyntheticProfile::new("dsweep", patterns, pattern_len, x).generate(seed);
+            let stream = ts.as_stream();
+            let mut best = (f64::NEG_INFINITY, 0usize);
+            let mut cr_k8 = 0.0;
+            for k in crate::datasets::K_SWEEP {
+                let cr = Encoder::new(k)
+                    .expect("valid K")
+                    .encode_stream(stream)
+                    .compression_ratio();
+                if k == 8 {
+                    cr_k8 = cr;
+                }
+                if cr > best.0 {
+                    best = (cr, k);
+                }
+            }
+            DensityPoint {
+                x_percent: x * 100.0,
+                cr_k8,
+                cr_best: best.0,
+                best_k: best.1,
+            }
+        })
+        .collect()
+}
+
+/// Renders the density sweep.
+pub fn render_density_sweep(points: &[DensityPoint]) -> String {
+    let mut t = TextTable::new(["X%", "CR% (K=8)", "CR% (best K)", "best K"]);
+    for p in points {
+        t.row([
+            format!("{:.0}", p.x_percent),
+            pct(p.cr_k8),
+            pct(p.cr_best),
+            p.best_k.to_string(),
+        ]);
+    }
+    format!(
+        "Ablation — sensitivity to don't-care density (synthetic sweep)\n\
+         (CR and the optimal block size both grow with X density — the\n\
+          mechanism behind Tables II and VIII)\n{}",
+        t.render()
+    )
+}
+
+/// CR under three codeword-length assignments.
+#[derive(Debug, Clone)]
+pub struct AssignmentAblation {
+    /// Circuit name.
+    pub circuit: String,
+    /// Paper's default assignment.
+    pub paper: f64,
+    /// Frequency-directed assignment.
+    pub freq_directed: f64,
+    /// Adversarial: shortest codewords on the *least* frequent cases.
+    pub adversarial: f64,
+}
+
+/// Runs the assignment ablation.
+pub fn assignment_ablation(datasets: &[Dataset], k: usize) -> Vec<AssignmentAblation> {
+    datasets
+        .iter()
+        .map(|ds| {
+            let stream = ds.cubes.as_stream();
+            let base = Encoder::new(k).expect("valid K").encode_stream(stream);
+            let fd_table = frequency_directed_table(base.stats());
+            let fd = Encoder::with_table(k, fd_table)
+                .expect("valid K")
+                .encode_stream(stream);
+            // Adversarial: reverse the frequency-directed ranking.
+            let mut stats = *base.stats();
+            let max = stats.case_counts.iter().max().copied().unwrap_or(0);
+            for c in stats.case_counts.iter_mut() {
+                *c = max - *c;
+            }
+            let bad_table = frequency_directed_table(&stats);
+            let bad = Encoder::with_table(k, bad_table)
+                .expect("valid K")
+                .encode_stream(stream);
+            AssignmentAblation {
+                circuit: ds.name.clone(),
+                paper: base.compression_ratio(),
+                freq_directed: fd.compression_ratio(),
+                adversarial: bad.compression_ratio(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the assignment ablation.
+pub fn render_assignment_ablation(rows: &[AssignmentAblation], k: usize) -> String {
+    let mut t = TextTable::new(["circuit", "paper", "freq-directed", "adversarial"]);
+    for r in rows {
+        t.row([
+            r.circuit.clone(),
+            pct(r.paper),
+            pct(r.freq_directed),
+            pct(r.adversarial),
+        ]);
+    }
+    format!(
+        "Ablation — codeword-length assignment at K={k} (CR%)\n{}",
+        t.render()
+    )
+}
+
+/// Scan power of the decompressed-and-filled test set per fill strategy.
+#[derive(Debug, Clone)]
+pub struct FillAblation {
+    /// Circuit name.
+    pub circuit: String,
+    /// `(strategy name, power)` rows.
+    pub rows: Vec<(&'static str, PowerReport)>,
+}
+
+/// Runs the fill ablation: encode at `k`, decode, then fill the surviving
+/// don't-cares with each strategy and measure WTM scan power.
+pub fn fill_ablation(datasets: &[Dataset], k: usize) -> Vec<FillAblation> {
+    datasets
+        .iter()
+        .map(|ds| {
+            let enc = Encoder::new(k).expect("valid K").encode_set(&ds.cubes);
+            let decoded = decode(&enc).expect("own encoding decodes");
+            let decoded_set = TestSet::from_stream(ds.cubes.pattern_len(), decoded);
+            let rows = vec![
+                ("random", scan_power(&decoded_set, FillStrategy::Random { seed: 1 })),
+                ("zero", scan_power(&decoded_set, FillStrategy::Zero)),
+                ("one", scan_power(&decoded_set, FillStrategy::One)),
+                ("min-transition", scan_power(&decoded_set, FillStrategy::MinTransition)),
+            ];
+            FillAblation {
+                circuit: ds.name.clone(),
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// CR and post-decompression scan power under the two case-selection
+/// policies of [`CaseSelect`](ninec::encode::CaseSelect).
+#[derive(Debug, Clone)]
+pub struct PowerEncodingAblation {
+    /// Circuit name.
+    pub circuit: String,
+    /// Budget in extra bits per block.
+    pub budget: usize,
+    /// CR with the paper's min-size selection.
+    pub cr_min_size: f64,
+    /// CR with power-aware selection.
+    pub cr_power_aware: f64,
+    /// WTM (MT-filled decode) with min-size selection.
+    pub wtm_min_size: u64,
+    /// WTM with power-aware selection.
+    pub wtm_power_aware: u64,
+}
+
+/// Runs the power-aware-encoding ablation at block size `k`.
+pub fn power_encoding_ablation(
+    datasets: &[Dataset],
+    k: usize,
+    budget: usize,
+) -> Vec<PowerEncodingAblation> {
+    use ninec::encode::CaseSelect;
+    datasets
+        .iter()
+        .map(|ds| {
+            let measure = |select: CaseSelect| {
+                let enc = Encoder::new(k)
+                    .expect("valid K")
+                    .with_case_select(select)
+                    .encode_set(&ds.cubes);
+                let cr = enc.compression_ratio();
+                let decoded = decode(&enc).expect("own encoding decodes");
+                let decoded_set = TestSet::from_stream(ds.cubes.pattern_len(), decoded);
+                let power = scan_power(&decoded_set, FillStrategy::MinTransition);
+                (cr, power.total)
+            };
+            let (cr_min_size, wtm_min_size) = measure(CaseSelect::MinSize);
+            let (cr_power_aware, wtm_power_aware) =
+                measure(CaseSelect::PowerAware { max_extra_bits: budget });
+            PowerEncodingAblation {
+                circuit: ds.name.clone(),
+                budget,
+                cr_min_size,
+                cr_power_aware,
+                wtm_min_size,
+                wtm_power_aware,
+            }
+        })
+        .collect()
+}
+
+/// Renders the power-aware-encoding ablation.
+pub fn render_power_encoding_ablation(rows: &[PowerEncodingAblation], k: usize) -> String {
+    let mut t = TextTable::new([
+        "circuit", "CR% min-size", "CR% power-aware", "WTM min-size", "WTM power-aware", "power saved",
+    ]);
+    for r in rows {
+        let saved = 100.0 * (1.0 - r.wtm_power_aware as f64 / r.wtm_min_size.max(1) as f64);
+        t.row([
+            r.circuit.clone(),
+            pct(r.cr_min_size),
+            pct(r.cr_power_aware),
+            r.wtm_min_size.to_string(),
+            r.wtm_power_aware.to_string(),
+            format!("{saved:.1}%"),
+        ]);
+    }
+    let budget = rows.first().map_or(0, |r| r.budget);
+    format!(
+        "Ablation — power-aware case selection at K={k} (budget {budget} extra bits/block)\n\
+         (an extension of the paper's §IV remark: the flexible cases can be chosen\n\
+          to minimize scan-in transitions at bounded CR cost; WTM after MT-fill)\n{}",
+        t.render()
+    )
+}
+
+/// Renders the fill ablation.
+pub fn render_fill_ablation(rows: &[FillAblation], k: usize) -> String {
+    let mut t = TextTable::new(["circuit", "fill", "WTM total", "WTM peak"]);
+    for r in rows {
+        for (name, power) in &r.rows {
+            t.row([
+                r.circuit.clone(),
+                (*name).to_owned(),
+                power.total.to_string(),
+                power.peak.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "Ablation — leftover-X fill vs scan-in power after decompression (K={k})\n\
+         (CR is fill-independent; random fill targets non-modeled faults,\n\
+          min-transition fill targets shift power — the paper's §IV trade-off)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::mintest_datasets_scaled;
+
+    #[test]
+    fn parts_estimate_basics() {
+        let stream: TritVec = "0".repeat(64).parse::<TritVec>().unwrap();
+        // Single case, Huffman gives it 1 bit: 8 blocks at K=8 -> 8 bits.
+        assert_eq!(parts_code_estimate(&stream, 8, 2), 8);
+        // Payload accounted for mismatch parts.
+        let stream: TritVec = "01010101".parse().unwrap();
+        let est = parts_code_estimate(&stream, 8, 2);
+        assert_eq!(est, 1 + 8);
+    }
+
+    #[test]
+    fn finer_parts_never_lose_much() {
+        let ds = mintest_datasets_scaled(10);
+        for d in &ds {
+            let s = d.cubes.as_stream();
+            let q2 = parts_code_estimate(s, 16, 2);
+            let q4 = parts_code_estimate(s, 16, 4);
+            // q=4 refines q=2's mismatch accounting: payload can only
+            // shrink; codeword bits may grow slightly.
+            assert!(
+                (q4 as f64) < (q2 as f64) * 1.25 + 16.0,
+                "{}: q4 {q4} vs q2 {q2}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_order_paper_between_extremes() {
+        let ds = mintest_datasets_scaled(10);
+        for r in assignment_ablation(&ds, 8) {
+            assert!(r.freq_directed >= r.paper - 1e-9, "{}", r.circuit);
+            assert!(r.adversarial <= r.freq_directed + 1e-9, "{}", r.circuit);
+        }
+    }
+
+    #[test]
+    fn min_transition_fill_never_worse_than_random() {
+        let ds = mintest_datasets_scaled(10);
+        for r in fill_ablation(&ds[..2], 8) {
+            let random = r.rows[0].1.total;
+            let mt = r.rows[3].1.total;
+            assert!(mt <= random, "{}: MT {mt} vs random {random}", r.circuit);
+        }
+    }
+
+    #[test]
+    fn min_transition_fill_cuts_power_when_x_survives() {
+        // s13207's high X density at a large K leaves plenty of payload X
+        // for the fill strategies to differentiate on.
+        let ds = mintest_datasets_scaled(6);
+        let s13207 = ds.iter().find(|d| d.name == "s13207").unwrap().clone();
+        let r = &fill_ablation(std::slice::from_ref(&s13207), 32)[0];
+        let random = r.rows[0].1.total;
+        let mt = r.rows[3].1.total;
+        assert!(mt < random, "MT {mt} vs random {random}");
+    }
+
+    #[test]
+    fn renders_contain_headers() {
+        let ds = mintest_datasets_scaled(12);
+        assert!(render_parts_ablation(&ds[..1], 8).contains("q=4"));
+        let rows = assignment_ablation(&ds[..1], 8);
+        assert!(render_assignment_ablation(&rows, 8).contains("adversarial"));
+        let rows = fill_ablation(&ds[..1], 8);
+        assert!(render_fill_ablation(&rows, 8).contains("WTM"));
+    }
+
+    #[test]
+    fn density_sweep_is_monotone_where_it_matters() {
+        let points = density_sweep(128, 30, 7);
+        assert_eq!(points.len(), 6);
+        // CR at best K grows with X density.
+        for w in points.windows(2) {
+            assert!(
+                w[1].cr_best >= w[0].cr_best - 0.5,
+                "CR should grow with X: {w:?}"
+            );
+        }
+        // Optimal K at 95% X is at least the optimal K at 30% X.
+        assert!(points.last().unwrap().best_k >= points.first().unwrap().best_k);
+        assert!(render_density_sweep(&points).contains("best K"));
+    }
+
+    #[test]
+    fn power_encoding_trades_cr_for_power() {
+        let ds = mintest_datasets_scaled(10);
+        for r in power_encoding_ablation(&ds[..2], 8, 2) {
+            assert!(r.cr_power_aware <= r.cr_min_size, "{}", r.circuit);
+            assert!(
+                r.wtm_power_aware <= r.wtm_min_size,
+                "{}: {} > {}",
+                r.circuit,
+                r.wtm_power_aware,
+                r.wtm_min_size
+            );
+        }
+        let rows = power_encoding_ablation(&ds[..1], 8, 2);
+        assert!(render_power_encoding_ablation(&rows, 8).contains("power saved"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn q_must_divide_k() {
+        let stream: TritVec = "0000".parse().unwrap();
+        let _ = parts_code_estimate(&stream, 8, 3);
+    }
+}

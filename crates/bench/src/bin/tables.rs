@@ -1,0 +1,152 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p ninec-bench --release --bin tables -- all
+//! cargo run -p ninec-bench --release --bin tables -- table2 table5
+//! cargo run -p ninec-bench --release --bin tables -- --scaled all   # fast preview
+//! ```
+
+use ninec_bench::ablation::{
+    assignment_ablation, fill_ablation, power_encoding_ablation, render_assignment_ablation,
+    render_fill_ablation, render_parts_ablation, render_power_encoding_ablation,
+};
+use ninec_bench::datasets::{
+    ibm_datasets, ibm_datasets_scaled, mintest_datasets, mintest_datasets_scaled, Dataset,
+};
+use ninec_bench::tables::{
+    fig3, fig4, render_fig2, render_fig3, render_fig4, render_table1, render_table2,
+    render_table3, render_table4, render_table5, render_table6, render_table7, render_table8,
+    table2, table4, table7, table8, KSweep,
+};
+
+const ALL: [&str; 17] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig2",
+    "fig3", "fig4", "ablation_code_size", "ablation_fill", "ablation_density", "motivation",
+    "decoder_cost", "ndetect",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scaled = args.iter().any(|a| a == "--scaled");
+    let json = args.iter().any(|a| a == "--json");
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = ALL.to_vec();
+    }
+    for w in &wanted {
+        if !ALL.contains(w) {
+            eprintln!("unknown experiment {w:?}; known: {}", ALL.join(", "));
+            std::process::exit(2);
+        }
+    }
+
+    let mintest: Vec<Dataset> = if scaled {
+        mintest_datasets_scaled(8)
+    } else {
+        mintest_datasets()
+    };
+    // The K sweep is shared by several tables; compute it once.
+    let needs_sweep = wanted.iter().any(|w| {
+        matches!(*w, "table2" | "table3" | "table4" | "table5" | "table6")
+    });
+    let sweeps: Vec<KSweep> = if needs_sweep { table2(&mintest) } else { Vec::new() };
+
+    if json {
+        emit_json(&wanted, &mintest, &sweeps, scaled);
+        return;
+    }
+
+    for w in wanted {
+        let out = match w {
+            "table1" => render_table1(8),
+            "table2" => render_table2(&sweeps),
+            "table3" => render_table3(&sweeps, &mintest),
+            "table4" => render_table4(&table4(&mintest, &sweeps)),
+            "table5" => render_table5(&sweeps),
+            "table6" => render_table6(&sweeps, 8),
+            "table7" => render_table7(&table7(&mintest)),
+            "table8" => {
+                let ibm = if scaled { ibm_datasets_scaled(16) } else { ibm_datasets() };
+                let ks = [8, 16, 24, 32, 48, 64, 96, 128];
+                render_table8(&table8(&ibm, &ks))
+            }
+            "fig2" => render_fig2(&[4, 8, 12, 16, 20, 24, 28, 32, 64, 128]),
+            "fig3" => {
+                let rows = fig3(&mintest[0], 8, &[8, 16, 32, 64], 8);
+                render_fig3(&mintest[0], &rows)
+            }
+            "fig4" => {
+                let rows = fig4(&mintest[0], 8, 32, 8);
+                render_fig4(&mintest[0], &rows)
+            }
+            "ablation_code_size" => render_parts_ablation(&mintest, 16),
+            "ndetect" => {
+                use ninec_bench::ndetect::{ndetect_experiment, render_ndetect};
+                render_ndetect(&ndetect_experiment(8, 4), 8, 4)
+            }
+            "decoder_cost" => {
+                use ninec_bench::decoder_cost::{decoder_profiles, render_decoder_cost};
+                render_decoder_cost(&mintest, &decoder_profiles(&mintest))
+            }
+            "ablation_density" => {
+                use ninec_bench::ablation::{density_sweep, render_density_sweep};
+                render_density_sweep(&density_sweep(256, 80, 7))
+            }
+            "motivation" => {
+                use ninec_bench::motivation::{
+                    bist_vs_atpg, render_bist_vs_atpg, render_reseed_comparison,
+                    reseed_comparison,
+                };
+                format!(
+                    "{}\n{}",
+                    render_bist_vs_atpg(&bist_vs_atpg()),
+                    render_reseed_comparison(&reseed_comparison(&mintest))
+                )
+            }
+            "ablation_fill" => {
+                let rows = fill_ablation(&mintest, 8);
+                let assign = assignment_ablation(&mintest, 8);
+                let power = power_encoding_ablation(&mintest, 8, 2);
+                format!(
+                    "{}\n{}\n{}",
+                    render_fill_ablation(&rows, 8),
+                    render_assignment_ablation(&assign, 8),
+                    render_power_encoding_ablation(&power, 8)
+                )
+            }
+            _ => unreachable!("validated above"),
+        };
+        println!("{out}");
+        println!();
+    }
+}
+
+/// Emits the machine-readable form of the requested experiments.
+fn emit_json(wanted: &[&str], mintest: &[Dataset], sweeps: &[KSweep], scaled: bool) {
+    use ninec_bench::json;
+    let mut docs = vec![json::datasets_json(mintest)];
+    for w in wanted {
+        match *w {
+            "table2" | "table3" => docs.push(json::sweeps_json(sweeps)),
+            "table4" => docs.push(json::comparison_json(&table4(mintest, sweeps))),
+            "table5" => docs.push(json::tat_json(sweeps)),
+            "table6" => docs.push(json::codeword_stats_json(sweeps, 8)),
+            "table7" => docs.push(json::freqdir_json(&table7(mintest))),
+            "table8" => {
+                let ibm = if scaled { ibm_datasets_scaled(16) } else { ibm_datasets() };
+                let ks = [8, 16, 24, 32, 48, 64, 96, 128];
+                docs.push(json::large_json(&table8(&ibm, &ks)));
+            }
+            _ => {} // text-only experiments are skipped under --json
+        }
+    }
+    docs.dedup();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&serde_json::Value::Array(docs)).expect("valid json")
+    );
+}

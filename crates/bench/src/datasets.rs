@@ -1,0 +1,87 @@
+//! Shared experiment datasets.
+//!
+//! All experiments run on the same deterministic synthetic sets so tables
+//! are reproducible bit-for-bit (`SEED` pins the generator).
+
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::gen::{ibm_profiles, mintest_profiles, SyntheticProfile};
+
+/// The fixed seed every table uses.
+pub const SEED: u64 = 0x9c_2004;
+
+/// The block sizes swept in Tables II/III (the paper's K row).
+pub const K_SWEEP: [usize; 8] = [4, 8, 12, 16, 20, 24, 28, 32];
+
+/// Clock ratios of Table V.
+pub const P_SWEEP: [u32; 3] = [8, 16, 24];
+
+/// One benchmark circuit's dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Circuit name (e.g. `"s5378"`).
+    pub name: String,
+    /// The profile it was generated from.
+    pub profile: SyntheticProfile,
+    /// The generated test-cube set.
+    pub cubes: TestSet,
+}
+
+impl Dataset {
+    fn from_profile(profile: SyntheticProfile) -> Self {
+        let cubes = profile.generate(SEED);
+        Self {
+            name: profile.name.clone(),
+            profile,
+            cubes,
+        }
+    }
+}
+
+/// The six ISCAS'89 datasets of Tables II–VII.
+pub fn mintest_datasets() -> Vec<Dataset> {
+    mintest_profiles().into_iter().map(Dataset::from_profile).collect()
+}
+
+/// Scaled-down variants for fast tests (about 1/`factor` in each
+/// dimension).
+pub fn mintest_datasets_scaled(factor: usize) -> Vec<Dataset> {
+    mintest_profiles()
+        .into_iter()
+        .map(|p| Dataset::from_profile(p.scaled_down(factor)))
+        .collect()
+}
+
+/// The two IBM-profile datasets of Table VIII.
+pub fn ibm_datasets() -> Vec<Dataset> {
+    ibm_profiles().into_iter().map(Dataset::from_profile).collect()
+}
+
+/// Scaled-down IBM datasets for tests.
+pub fn ibm_datasets_scaled(factor: usize) -> Vec<Dataset> {
+    ibm_profiles()
+        .into_iter()
+        .map(|p| Dataset::from_profile(p.scaled_down(factor)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = mintest_datasets_scaled(10);
+        let b = mintest_datasets_scaled(10);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cubes, y.cubes, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn full_sizes_match_published_t_d() {
+        for d in mintest_datasets() {
+            assert_eq!(d.cubes.total_bits(), d.profile.total_bits(), "{}", d.name);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Decoder flexibility comparison (paper §IV, closing paragraphs).
+//!
+//! The paper's design-reuse argument: the 9C decoder is *totally
+//! independent of the circuit under test and the precomputed test set* —
+//! for a given `K` it is the same hardware for every chip — whereas
+//! dictionary- and Huffman-based decoders carry per-circuit contents, and
+//! variable-length decoders must be provisioned for the longest codeword
+//! the test set produces. This experiment quantifies that: for each
+//! scheme, the fixed decoder estimate plus the *per-circuit configuration
+//! bits* its decoder must store, computed exactly from the encoders.
+
+use crate::datasets::Dataset;
+use crate::format::{pct, TextTable};
+use ninec_baselines::codec::TestDataCodec;
+use ninec_baselines::dict::FixedIndexDictionary;
+use ninec_baselines::selhuff::SelectiveHuffman;
+use ninec_baselines::vihc::Vihc;
+use ninec_decompressor::area::decoder_area;
+
+/// One scheme's decoder profile on one circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecoderProfile {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Circuit name.
+    pub circuit: String,
+    /// Compression ratio achieved (the benefit bought).
+    pub cr_percent: f64,
+    /// Per-circuit configuration bits the decoder must hold (0 = fully
+    /// test-set-independent).
+    pub config_bits: usize,
+}
+
+/// Computes decoder profiles for 9C, VIHC, selective Huffman and the
+/// fixed-index dictionary on every dataset.
+pub fn decoder_profiles(datasets: &[Dataset]) -> Vec<DecoderProfile> {
+    let mut rows = Vec::new();
+    for ds in datasets {
+        let stream = ds.cubes.as_stream();
+
+        // 9C: fixed table, zero per-circuit configuration.
+        let ninec = ninec::encode::Encoder::new(8)
+            .expect("valid K")
+            .encode_set(&ds.cubes);
+        rows.push(DecoderProfile {
+            scheme: "9C",
+            circuit: ds.name.clone(),
+            cr_percent: ninec.compression_ratio(),
+            config_bits: 0,
+        });
+
+        // VIHC: the decoder holds the per-circuit Huffman code over the
+        // mh + 1 run-length symbols: codeword table = sum of lengths, plus
+        // a length field (4 bits) per symbol.
+        let vihc = Vihc::new(8).expect("valid mh");
+        let enc = vihc.encode(stream);
+        let code_bits: usize = enc.code_lengths().into_iter().map(|l| l + 4).sum();
+        rows.push(DecoderProfile {
+            scheme: "VIHC",
+            circuit: ds.name.clone(),
+            cr_percent: vihc.compression_ratio(stream),
+            config_bits: code_bits,
+        });
+
+        // Selective Huffman: dictionary patterns + their codewords.
+        let sh = SelectiveHuffman::new(8, 16).expect("valid config");
+        let enc = sh.encode(stream);
+        rows.push(DecoderProfile {
+            scheme: "SelHuff",
+            circuit: ds.name.clone(),
+            cr_percent: sh.compression_ratio(stream),
+            config_bits: enc.dictionary_bits() + 16 * 5, // patterns + ~5-bit codes
+        });
+
+        // Fixed-index dictionary: the dictionary RAM.
+        let dict = FixedIndexDictionary::new(32, 256).expect("valid config");
+        let enc = dict.encode(stream);
+        rows.push(DecoderProfile {
+            scheme: "Dict",
+            circuit: ds.name.clone(),
+            cr_percent: dict.compression_ratio(stream),
+            config_bits: enc.dictionary_bits(),
+        });
+    }
+    rows
+}
+
+/// Renders the decoder-flexibility table.
+pub fn render_decoder_cost(datasets: &[Dataset], rows: &[DecoderProfile]) -> String {
+    let mut t = TextTable::new(["scheme", "circuit", "CR%", "config bits / circuit"]);
+    for r in rows {
+        t.row([
+            r.scheme.to_owned(),
+            r.circuit.clone(),
+            pct(r.cr_percent),
+            r.config_bits.to_string(),
+        ]);
+    }
+    let fixed = decoder_area(8);
+    format!(
+        "Decoder flexibility (paper §IV): per-circuit configuration each decoder carries\n\
+         (the 9C decoder is ~{:.0} GE fixed hardware for every circuit at a given K —\n\
+          zero per-circuit bits; dictionary/Huffman decoders must be reloaded per design)\n{}\n\
+         datasets: {}\n",
+        fixed.total_ge(),
+        t.render(),
+        datasets
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::mintest_datasets_scaled;
+
+    #[test]
+    fn ninec_needs_zero_config_everywhere() {
+        let ds = mintest_datasets_scaled(10);
+        let rows = decoder_profiles(&ds[..3]);
+        for r in rows.iter().filter(|r| r.scheme == "9C") {
+            assert_eq!(r.config_bits, 0, "{}", r.circuit);
+        }
+        // Dictionary schemes always carry configuration.
+        for r in rows.iter().filter(|r| r.scheme == "Dict" || r.scheme == "SelHuff") {
+            assert!(r.config_bits > 0, "{} {}", r.scheme, r.circuit);
+        }
+    }
+
+    #[test]
+    fn renders_with_fixed_area_headline() {
+        let ds = mintest_datasets_scaled(12);
+        let rows = decoder_profiles(&ds[..1]);
+        let s = render_decoder_cost(&ds[..1], &rows);
+        assert!(s.contains("GE fixed hardware"));
+        assert!(s.contains("config bits"));
+    }
+
+    #[test]
+    fn four_schemes_per_circuit() {
+        let ds = mintest_datasets_scaled(12);
+        let rows = decoder_profiles(&ds[..2]);
+        assert_eq!(rows.len(), 8);
+    }
+}

@@ -1,0 +1,197 @@
+//! Machine-readable experiment output.
+//!
+//! `tables --json` emits one JSON document per experiment so downstream
+//! tooling (plotting, regression tracking) can consume the results without
+//! scraping the text tables.
+
+use crate::datasets::{Dataset, K_SWEEP, P_SWEEP};
+use crate::tables::{ComparisonRow, FreqDirSweep, KSweep};
+use ninec::analysis::TatModel;
+use ninec::code::ALL_CASES;
+use serde_json::{json, Value};
+
+/// Table II/III as JSON: per circuit, the K sweep with CR and LX.
+pub fn sweeps_json(sweeps: &[KSweep]) -> Value {
+    let circuits: Vec<Value> = sweeps
+        .iter()
+        .map(|s| {
+            let points: Vec<Value> = s
+                .encodings
+                .iter()
+                .map(|(k, e)| {
+                    json!({
+                        "k": k,
+                        "cr_percent": e.compression_ratio(),
+                        "lx_percent": e.leftover_x_percent(),
+                        "compressed_bits": e.compressed_len(),
+                    })
+                })
+                .collect();
+            json!({
+                "circuit": s.circuit,
+                "t_d_bits": s.t_d,
+                "sweep": points,
+                "best_k": s.best().0,
+            })
+        })
+        .collect();
+    json!({ "experiment": "table2_table3", "k_values": K_SWEEP, "circuits": circuits })
+}
+
+/// Table IV as JSON.
+pub fn comparison_json(rows: &[ComparisonRow]) -> Value {
+    let entries: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            json!({
+                "circuit": r.circuit,
+                "best_k": r.best_k,
+                "ninec": r.ninec,
+                "fdr": r.fdr,
+                "vihc": r.vihc,
+                "efdr_mtc": r.efdr_mtc,
+                "selhuff": r.selhuff,
+                "golomb": r.golomb,
+                "arl": r.arl,
+                "dict": r.dict,
+            })
+        })
+        .collect();
+    json!({ "experiment": "table4", "rows": entries })
+}
+
+/// Table V as JSON.
+pub fn tat_json(sweeps: &[KSweep]) -> Value {
+    let rows: Vec<Value> = sweeps
+        .iter()
+        .map(|s| {
+            let (k, enc) = s.best();
+            let tats: Vec<Value> = P_SWEEP
+                .iter()
+                .map(|&p| {
+                    json!({ "p": p, "tat_percent": TatModel::new(p as f64).tat_percent(enc) })
+                })
+                .collect();
+            json!({
+                "circuit": s.circuit,
+                "k": k,
+                "cr_percent": enc.compression_ratio(),
+                "tat": tats,
+            })
+        })
+        .collect();
+    json!({ "experiment": "table5", "rows": rows })
+}
+
+/// Table VI as JSON.
+pub fn codeword_stats_json(sweeps: &[KSweep], k: usize) -> Value {
+    let rows: Vec<Value> = sweeps
+        .iter()
+        .map(|s| {
+            let enc = &s
+                .encodings
+                .iter()
+                .find(|(kk, _)| *kk == k)
+                .expect("requested K is in the sweep")
+                .1;
+            let counts: Vec<u64> = ALL_CASES.iter().map(|c| enc.stats().count(*c)).collect();
+            json!({ "circuit": s.circuit, "k": k, "counts": counts })
+        })
+        .collect();
+    json!({ "experiment": "table6", "rows": rows })
+}
+
+/// Table VII as JSON.
+pub fn freqdir_json(sweeps: &[FreqDirSweep]) -> Value {
+    let rows: Vec<Value> = sweeps
+        .iter()
+        .map(|s| {
+            let points: Vec<Value> = s
+                .rows
+                .iter()
+                .map(|(k, base, re)| json!({ "k": k, "baseline": base, "reassigned": re }))
+                .collect();
+            json!({ "circuit": s.circuit, "sweep": points })
+        })
+        .collect();
+    json!({ "experiment": "table7", "rows": rows })
+}
+
+/// Table VIII as JSON.
+pub fn large_json(rows: &[(String, usize, Vec<(usize, f64)>)]) -> Value {
+    let entries: Vec<Value> = rows
+        .iter()
+        .map(|(name, td, sweep)| {
+            let points: Vec<Value> = sweep
+                .iter()
+                .map(|(k, cr)| json!({ "k": k, "cr_percent": cr }))
+                .collect();
+            json!({ "circuit": name, "t_d_bits": td, "sweep": points })
+        })
+        .collect();
+    json!({ "experiment": "table8", "rows": entries })
+}
+
+/// Dataset descriptions (provenance block for every JSON dump).
+pub fn datasets_json(datasets: &[Dataset]) -> Value {
+    let rows: Vec<Value> = datasets
+        .iter()
+        .map(|d| {
+            json!({
+                "circuit": d.name,
+                "patterns": d.cubes.num_patterns(),
+                "pattern_len": d.cubes.pattern_len(),
+                "t_d_bits": d.cubes.total_bits(),
+                "x_density": d.cubes.x_density(),
+            })
+        })
+        .collect();
+    json!({ "datasets": rows, "seed": crate::datasets::SEED })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::mintest_datasets_scaled;
+    use crate::tables::{table2, table4, table7};
+
+    #[test]
+    fn sweeps_json_shape() {
+        let ds = mintest_datasets_scaled(12);
+        let v = sweeps_json(&table2(&ds));
+        assert_eq!(v["circuits"].as_array().unwrap().len(), 6);
+        assert_eq!(
+            v["circuits"][0]["sweep"].as_array().unwrap().len(),
+            K_SWEEP.len()
+        );
+        assert!(v["circuits"][0]["sweep"][0]["cr_percent"].is_number());
+    }
+
+    #[test]
+    fn comparison_json_shape() {
+        let ds = mintest_datasets_scaled(12);
+        let sweeps = table2(&ds);
+        let v = comparison_json(&table4(&ds, &sweeps));
+        assert!(v["rows"][0]["ninec"].is_number());
+        assert!(v["rows"][0]["dict"].is_number());
+    }
+
+    #[test]
+    fn tat_and_stats_json_shape() {
+        let ds = mintest_datasets_scaled(12);
+        let sweeps = table2(&ds);
+        let tat = tat_json(&sweeps);
+        assert_eq!(tat["rows"][0]["tat"].as_array().unwrap().len(), P_SWEEP.len());
+        let stats = codeword_stats_json(&sweeps, 8);
+        assert_eq!(stats["rows"][0]["counts"].as_array().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn freqdir_and_datasets_json_shape() {
+        let ds = mintest_datasets_scaled(12);
+        let fd = freqdir_json(&table7(&ds));
+        assert!(fd["rows"][0]["sweep"][0]["reassigned"].is_number());
+        let meta = datasets_json(&ds);
+        assert_eq!(meta["datasets"].as_array().unwrap().len(), 6);
+    }
+}

@@ -1,0 +1,245 @@
+//! Linear algebra over GF(2), packed 64 columns per word.
+//!
+//! Used by the LFSR-reseeding solver: each care bit of a test cube is one
+//! linear equation over the seed bits.
+
+/// A dense GF(2) matrix row with an attached right-hand side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf2Row {
+    words: Vec<u64>,
+    /// Right-hand side of the equation.
+    pub rhs: bool,
+    cols: usize,
+}
+
+impl Gf2Row {
+    /// Creates an all-zero row with `cols` coefficients.
+    pub fn zero(cols: usize) -> Self {
+        Self {
+            words: vec![0; cols.div_ceil(64).max(1)],
+            rhs: false,
+            cols,
+        }
+    }
+
+    /// Gets coefficient `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn get(&self, col: usize) -> bool {
+        assert!(col < self.cols, "column {col} out of range");
+        self.words[col / 64] >> (col % 64) & 1 == 1
+    }
+
+    /// Sets coefficient `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn set(&mut self, col: usize, value: bool) {
+        assert!(col < self.cols, "column {col} out of range");
+        if value {
+            self.words[col / 64] |= 1 << (col % 64);
+        } else {
+            self.words[col / 64] &= !(1 << (col % 64));
+        }
+    }
+
+    /// Adds (XORs) `other` into `self`, including the RHS.
+    pub fn add_assign(&mut self, other: &Gf2Row) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+        self.rhs ^= other.rhs;
+    }
+
+    /// Index of the first set coefficient, if any.
+    pub fn leading(&self) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                let col = w * 64 + word.trailing_zeros() as usize;
+                return (col < self.cols).then_some(col);
+            }
+        }
+        None
+    }
+
+    /// `true` if every coefficient is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// Outcome of [`solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Solution {
+    /// A satisfying assignment (free variables set to 0).
+    Solved(Vec<bool>),
+    /// The system is inconsistent (`0 = 1` row encountered).
+    Inconsistent,
+}
+
+/// Solves the linear system given by `rows` over `cols` unknowns by
+/// Gaussian elimination; free variables are assigned 0.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_bist::gf2::{solve, Gf2Row, Solution};
+///
+/// // x0 ^ x1 = 1, x1 = 1  ->  x0 = 0, x1 = 1.
+/// let mut r0 = Gf2Row::zero(2);
+/// r0.set(0, true);
+/// r0.set(1, true);
+/// r0.rhs = true;
+/// let mut r1 = Gf2Row::zero(2);
+/// r1.set(1, true);
+/// r1.rhs = true;
+/// assert_eq!(solve(vec![r0, r1], 2), Solution::Solved(vec![false, true]));
+/// ```
+pub fn solve(mut rows: Vec<Gf2Row>, cols: usize) -> Solution {
+    let mut pivots: Vec<(usize, usize)> = Vec::new(); // (row index, column)
+    let mut used = vec![false; rows.len()];
+    for col in 0..cols {
+        // Find an unused row with a leading coefficient at `col`.
+        let Some(pivot) = (0..rows.len())
+            .find(|&r| !used[r] && rows[r].get(col) && rows[r].leading() == Some(col))
+            .or_else(|| (0..rows.len()).find(|&r| !used[r] && rows[r].get(col)))
+        else {
+            continue;
+        };
+        used[pivot] = true;
+        pivots.push((pivot, col));
+        let pivot_row = rows[pivot].clone();
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != pivot && row.get(col) {
+                row.add_assign(&pivot_row);
+            }
+        }
+    }
+    if rows.iter().any(|r| r.is_zero() && r.rhs) {
+        return Solution::Inconsistent;
+    }
+    let mut assignment = vec![false; cols];
+    for (r, col) in pivots {
+        assignment[col] = rows[r].rhs;
+    }
+    Solution::Solved(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cols: usize, coeffs: &[usize], rhs: bool) -> Gf2Row {
+        let mut r = Gf2Row::zero(cols);
+        for &c in coeffs {
+            r.set(c, true);
+        }
+        r.rhs = rhs;
+        r
+    }
+
+    fn check(rows: &[Gf2Row], assignment: &[bool]) {
+        for r in rows {
+            let mut lhs = false;
+            for (c, &v) in assignment.iter().enumerate() {
+                if r.get(c) {
+                    lhs ^= v;
+                }
+            }
+            assert_eq!(lhs, r.rhs, "row not satisfied");
+        }
+    }
+
+    #[test]
+    fn simple_systems() {
+        let rows = vec![row(3, &[0, 1], true), row(3, &[1, 2], false), row(3, &[2], true)];
+        match solve(rows.clone(), 3) {
+            Solution::Solved(a) => check(&rows, &a),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_detected() {
+        let rows = vec![row(2, &[0], true), row(2, &[0], false)];
+        assert_eq!(solve(rows, 2), Solution::Inconsistent);
+        // x0 ^ x1 = 1 together with x0 = 1, x1 = 1 -> inconsistent.
+        let rows = vec![
+            row(2, &[0, 1], true),
+            row(2, &[0], true),
+            row(2, &[1], true),
+        ];
+        assert_eq!(solve(rows, 2), Solution::Inconsistent);
+    }
+
+    #[test]
+    fn underdetermined_uses_free_zero() {
+        let rows = vec![row(4, &[0, 3], true)];
+        match solve(rows.clone(), 4) {
+            Solution::Solved(a) => {
+                check(&rows, &a);
+                // Free variables default to 0, so x0 carries the 1.
+                assert_eq!(a, vec![true, false, false, false]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_system_solves_trivially() {
+        assert_eq!(solve(vec![], 3), Solution::Solved(vec![false; 3]));
+        let rows = vec![row(2, &[], false)];
+        assert_eq!(solve(rows, 2), Solution::Solved(vec![false, false]));
+    }
+
+    #[test]
+    fn wide_systems_cross_word_boundaries() {
+        let cols = 130;
+        let rows = vec![
+            row(cols, &[0, 64, 129], true),
+            row(cols, &[64], true),
+            row(cols, &[129], false),
+        ];
+        match solve(rows.clone(), cols) {
+            Solution::Solved(a) => check(&rows, &a),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_consistent_systems_solve() {
+        // Build rows from a known assignment: always consistent.
+        let cols = 40;
+        let mut state = 0x1234_5678u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let secret: Vec<bool> = (0..cols).map(|_| rnd() & 1 == 1).collect();
+        for _ in 0..10 {
+            let rows: Vec<Gf2Row> = (0..30)
+                .map(|_| {
+                    let mut r = Gf2Row::zero(cols);
+                    let mut rhs = false;
+                    for (c, &bit) in secret.iter().enumerate() {
+                        if rnd() & 1 == 1 {
+                            r.set(c, true);
+                            rhs ^= bit;
+                        }
+                    }
+                    r.rhs = rhs;
+                    r
+                })
+                .collect();
+            match solve(rows.clone(), cols) {
+                Solution::Solved(a) => check(&rows, &a),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Linear-feedback shift registers.
+//!
+//! The workhorse of BIST pattern generation and of LFSR-reseeding test
+//! compression (references \[20\]–\[22\] of the 9C paper). The implementation
+//! is an external-XOR (Fibonacci) LFSR: the new bit shifted into cell 0 is
+//! the XOR of the tapped cells, and the *output* is the bit falling out of
+//! the last cell — exactly the linear structure the reseeding solver in
+//! [`crate::reseed`] models.
+
+use std::fmt;
+
+/// Maximal-length (primitive) characteristic polynomials for common
+/// widths, given as tap masks: bit `i` set means cell `i` feeds the XOR.
+///
+/// Source: standard primitive-trinomial/pentanomial tables.
+pub fn primitive_taps(width: usize) -> Option<u64> {
+    let taps = match width {
+        3 => 0b110,                  // x^3 + x^2 + 1
+        4 => 0b1100,                 // x^4 + x^3 + 1
+        5 => 0b1_0100,               // x^5 + x^3 + 1
+        6 => 0b11_0000,              // x^6 + x^5 + 1
+        7 => 0b110_0000,             // x^7 + x^6 + 1
+        8 => 0b1011_1000,            // x^8 + x^6 + x^5 + x^4 + 1
+        9 => 0b1_0001_0000,          // x^9 + x^5 + 1
+        10 => 0b10_0100_0000,        // x^10 + x^7 + 1
+        11 => 0b101_0000_0000,       // x^11 + x^9 + 1
+        12 => 0b1110_0000_1000,      // x^12 + x^11 + x^10 + x^4 + 1
+        16 => 0b1101_0000_0000_1000, // x^16 + x^15 + x^13 + x^4 + 1
+        20 => 0b1001_0000_0000_0000_0000,
+        24 => 0b1110_0001_0000_0000_0000_0000,
+        32 => 0b1000_0000_0010_0000_0000_0000_0000_0011u64,
+        // x^48 + x^47 + x^21 + x^20 + 1
+        48 => 1u64 << 47 | 1 << 46 | 1 << 20 | 1 << 19,
+        // x^64 + x^63 + x^61 + x^60 + 1
+        64 => 1u64 << 63 | 1 << 62 | 1 << 60 | 1 << 59,
+        _ => return None,
+    };
+    Some(taps)
+}
+
+/// An external-XOR (Fibonacci) LFSR of up to 64 cells.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_bist::lfsr::Lfsr;
+///
+/// let mut lfsr = Lfsr::with_primitive_taps(4).expect("tabulated").seeded(0b0001);
+/// // A primitive 4-bit LFSR cycles through all 15 nonzero states.
+/// let mut seen = std::collections::HashSet::new();
+/// for _ in 0..15 {
+///     seen.insert(lfsr.state());
+///     lfsr.step();
+/// }
+/// assert_eq!(seen.len(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    width: usize,
+    taps: u64,
+    state: u64,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with an explicit tap mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64, or the tap mask has bits
+    /// outside the register.
+    pub fn new(width: usize, taps: u64) -> Self {
+        assert!(width >= 1 && width <= 64, "width {width} out of range");
+        assert!(
+            width == 64 || taps < 1u64 << width,
+            "tap mask 0x{taps:x} exceeds width {width}"
+        );
+        assert!(taps != 0, "tap mask must be non-zero");
+        Self { width, taps, state: 1 }
+    }
+
+    /// Creates an LFSR with a known-primitive polynomial for `width`.
+    ///
+    /// Returns `None` if no polynomial is tabulated for that width.
+    pub fn with_primitive_taps(width: usize) -> Option<Self> {
+        primitive_taps(width).map(|taps| Self::new(width, taps))
+    }
+
+    /// Returns the LFSR re-seeded with `seed` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed has bits outside the register.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.load(seed);
+        self
+    }
+
+    /// Loads a new seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed has bits outside the register.
+    pub fn load(&mut self, seed: u64) {
+        assert!(
+            self.width == 64 || seed < 1u64 << self.width,
+            "seed 0x{seed:x} exceeds width {}",
+            self.width
+        );
+        self.state = seed;
+    }
+
+    /// Register width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Current register contents (bit `i` = cell `i`).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances one clock: returns the output bit (the last cell) and
+    /// shifts, feeding the XOR of the tapped cells into cell 0.
+    pub fn step(&mut self) -> bool {
+        let out = self.state >> (self.width - 1) & 1 == 1;
+        let feedback = (self.state & self.taps).count_ones() & 1;
+        self.state = (self.state << 1 | feedback as u64) & mask(self.width);
+        out
+    }
+
+    /// Produces the next `n` output bits.
+    pub fn output_sequence(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl fmt::Display for Lfsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LFSR-{} taps 0x{:x} state 0x{:x}",
+            self.width, self.taps, self.state
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn small_tabulated_widths_are_maximal_length() {
+        for width in [3usize, 4, 5, 6, 7, 8, 9, 10, 11, 12] {
+            let mut lfsr = Lfsr::with_primitive_taps(width).unwrap().seeded(1);
+            let period = 1u64 << width;
+            let mut seen = HashSet::new();
+            for _ in 0..period - 1 {
+                assert!(seen.insert(lfsr.state()), "width {width}: repeated early");
+                lfsr.step();
+            }
+            assert_eq!(lfsr.state(), 1, "width {width}: period != 2^n - 1");
+            assert!(!seen.contains(&0), "zero state must be unreachable");
+        }
+    }
+
+    #[test]
+    fn larger_widths_return_to_seed_only_at_full_period() {
+        // Cheaper check for 16/20 cells: the state must not revisit the
+        // seed before 2^n - 1 steps, and must hit it exactly then.
+        for width in [16usize, 20] {
+            let mut lfsr = Lfsr::with_primitive_taps(width).unwrap().seeded(1);
+            let period = (1u64 << width) - 1;
+            for step in 1..=period {
+                lfsr.step();
+                if lfsr.state() == 1 {
+                    assert_eq!(step, period, "width {width}: early cycle at {step}");
+                }
+            }
+            assert_eq!(lfsr.state(), 1, "width {width}: period != 2^n - 1");
+        }
+    }
+
+    #[test]
+    fn zero_state_is_absorbing() {
+        let mut lfsr = Lfsr::with_primitive_taps(8).unwrap().seeded(0);
+        for _ in 0..10 {
+            assert!(!lfsr.step());
+            assert_eq!(lfsr.state(), 0);
+        }
+    }
+
+    #[test]
+    fn output_is_linear_in_the_seed() {
+        // output(s1 XOR s2) = output(s1) XOR output(s2): the property the
+        // reseeding solver relies on.
+        let width = 12;
+        let n = 40;
+        for (s1, s2) in [(0x123u64, 0x456u64), (0x800, 0x001), (0xfff, 0xabc)] {
+            let o1 = Lfsr::with_primitive_taps(width).unwrap().seeded(s1).output_sequence(n);
+            let o2 = Lfsr::with_primitive_taps(width).unwrap().seeded(s2).output_sequence(n);
+            let ox = Lfsr::with_primitive_taps(width)
+                .unwrap()
+                .seeded(s1 ^ s2)
+                .output_sequence(n);
+            for i in 0..n {
+                assert_eq!(ox[i], o1[i] ^ o2[i], "bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn untabulated_width_returns_none() {
+        assert!(Lfsr::with_primitive_taps(13).is_none());
+        assert!(Lfsr::with_primitive_taps(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn oversized_seed_panics() {
+        let _ = Lfsr::with_primitive_taps(4).unwrap().seeded(0x10);
+    }
+}

@@ -1,0 +1,41 @@
+//! Built-in self-test (BIST) substrate.
+//!
+//! The 9C paper's introduction frames test-data compression against BIST:
+//! pseudo-random pattern generation is cheap but leaves random-pattern-
+//! resistant faults undetected, and deterministic alternatives like LFSR
+//! reseeding are the other on-chip decompression family the paper cites
+//! (references \[20\]–\[22\]). This crate provides those reference points:
+//!
+//! - [`lfsr`] — external-XOR LFSRs with tabulated primitive polynomials;
+//! - [`misr`] — multiple-input signature registers (response compaction);
+//! - [`prpg`] — pseudo-random pattern testing and coverage curves;
+//! - [`gf2`] — GF(2) Gaussian elimination;
+//! - [`reseed`] — LFSR-reseeding test compression: one linear solve per
+//!   cube, seeds on the ATE instead of patterns.
+//!
+//! # Example
+//!
+//! ```
+//! use ninec_bist::reseed::ReseedEncoder;
+//! use ninec_testdata::gen::SyntheticProfile;
+//!
+//! let mut profile = SyntheticProfile::new("demo", 20, 96, 0.92);
+//! profile.mean_care_run = 2.0;
+//! let cubes = profile.generate(1);
+//! let encoder = ReseedEncoder::new(24).expect("tabulated width");
+//! let result = encoder.encode_set(&cubes);
+//! println!("{result}");
+//! assert!(encoder.expand(&result).covers(&cubes));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gf2;
+pub mod lfsr;
+pub mod misr;
+pub mod prpg;
+pub mod reseed;
+
+pub use lfsr::Lfsr;
+pub use misr::Misr;
+pub use reseed::{ReseedEncoder, ReseedResult};

@@ -1,0 +1,186 @@
+//! Multiple-input signature registers (MISR) — response compaction for
+//! BIST.
+//!
+//! A MISR folds one word of circuit responses into its state every cycle;
+//! after the test, the residue (*signature*) is compared against the
+//! fault-free reference. With a primitive feedback polynomial the aliasing
+//! probability approaches `2^-width`.
+
+use crate::lfsr::primitive_taps;
+use std::fmt;
+
+/// A MISR of up to 64 cells with external-XOR feedback.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_bist::misr::Misr;
+///
+/// let mut good = Misr::with_primitive_taps(16).expect("tabulated width");
+/// let mut bad = good.clone();
+/// for t in 0..100u64 {
+///     let response = t.wrapping_mul(0x9e37) & 0xFFFF;
+///     good.absorb(response);
+///     // One corrupted response word.
+///     bad.absorb(response ^ u64::from(t == 57));
+/// }
+/// assert_ne!(good.signature(), bad.signature());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    width: usize,
+    taps: u64,
+    state: u64,
+}
+
+impl Misr {
+    /// Creates a zero-initialized MISR with an explicit tap mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero tap mask or out-of-range width (see
+    /// [`Lfsr::new`](crate::lfsr::Lfsr::new) for the conventions).
+    pub fn new(width: usize, taps: u64) -> Self {
+        assert!(width >= 1 && width <= 64, "width {width} out of range");
+        assert!(
+            width == 64 || taps < 1u64 << width,
+            "tap mask 0x{taps:x} exceeds width {width}"
+        );
+        assert!(taps != 0, "tap mask must be non-zero");
+        Self { width, taps, state: 0 }
+    }
+
+    /// Creates a MISR with a known-primitive polynomial for `width`.
+    pub fn with_primitive_taps(width: usize) -> Option<Self> {
+        primitive_taps(width).map(|taps| Self::new(width, taps))
+    }
+
+    /// Register width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Folds one response word (low `width` bits) into the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` has bits outside the register.
+    pub fn absorb(&mut self, word: u64) {
+        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        assert!(word & !mask == 0, "response word 0x{word:x} exceeds width {}", self.width);
+        let feedback = (self.state & self.taps).count_ones() as u64 & 1;
+        self.state = ((self.state << 1 | feedback) & mask) ^ word;
+    }
+
+    /// Folds a slice of response bits, one cell per bit, padding the last
+    /// word with zeros.
+    pub fn absorb_bits(&mut self, bits: &[bool]) {
+        for chunk in bits.chunks(self.width) {
+            let mut word = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                if b {
+                    word |= (b as u64) << i;
+                }
+            }
+            self.absorb(word);
+        }
+    }
+
+    /// The accumulated signature.
+    pub fn signature(&self) -> u64 {
+        self.state
+    }
+
+    /// Resets the register to zero.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+}
+
+impl fmt::Display for Misr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MISR-{} signature 0x{:x}", self.width, self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Misr::with_primitive_taps(16).unwrap();
+        let mut b = Misr::with_primitive_taps(16).unwrap();
+        a.absorb(0x1234);
+        a.absorb(0x5678);
+        b.absorb(0x5678);
+        b.absorb(0x1234);
+        assert_ne!(a.signature(), b.signature(), "MISRs are order-sensitive");
+        let mut c = Misr::with_primitive_taps(16).unwrap();
+        c.absorb(0x1234);
+        c.absorb(0x5678);
+        assert_eq!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn single_bit_errors_never_alias() {
+        // A single corrupted bit always changes the signature (linearity:
+        // the error signature is the error word run forward, nonzero).
+        let base: Vec<u64> = (0..50).map(|t: u64| t.wrapping_mul(0xABCD) & 0xFFFF).collect();
+        let mut good = Misr::with_primitive_taps(16).unwrap();
+        for &w in &base {
+            good.absorb(w);
+        }
+        for err_t in [0usize, 10, 49] {
+            for err_bit in [0, 7, 15] {
+                let mut bad = Misr::with_primitive_taps(16).unwrap();
+                for (t, &w) in base.iter().enumerate() {
+                    bad.absorb(w ^ if t == err_t { 1 << err_bit } else { 0 });
+                }
+                assert_ne!(good.signature(), bad.signature(), "t={err_t} bit={err_bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_cancellation_is_possible_but_signature_is_linear() {
+        // The classic aliasing mechanism: injecting the same error word at
+        // time t and its shifted image at t+1 can cancel. Verify linearity
+        // instead: sig(r ^ e) = sig(r) ^ sig(e).
+        let responses: Vec<u64> = (0..30).map(|t: u64| t * 37 % 256).collect();
+        let errors: Vec<u64> = (0..30).map(|t: u64| (t % 7 == 0) as u64 * 0x80).collect();
+        let run = |words: &[u64]| {
+            let mut m = Misr::with_primitive_taps(8).unwrap();
+            for &w in words {
+                m.absorb(w);
+            }
+            m.signature()
+        };
+        let mixed: Vec<u64> = responses.iter().zip(&errors).map(|(r, e)| r ^ e).collect();
+        assert_eq!(run(&mixed), run(&responses) ^ run(&errors));
+    }
+
+    #[test]
+    fn absorb_bits_packs_lanes() {
+        let mut a = Misr::with_primitive_taps(8).unwrap();
+        a.absorb_bits(&[true, false, true]); // word 0b101
+        let mut b = Misr::with_primitive_taps(8).unwrap();
+        b.absorb(0b101);
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = Misr::with_primitive_taps(8).unwrap();
+        m.absorb(0xAB);
+        m.reset();
+        assert_eq!(m.signature(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn oversized_word_panics() {
+        let mut m = Misr::with_primitive_taps(8).unwrap();
+        m.absorb(0x100);
+    }
+}

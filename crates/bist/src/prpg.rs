@@ -1,0 +1,158 @@
+//! Pseudo-random pattern testing — the BIST methodology the 9C paper's
+//! introduction argues against for large circuits.
+//!
+//! An LFSR feeds the scan view with pseudo-random patterns; the coverage
+//! curve flattens as only random-pattern-resistant faults remain, which is
+//! exactly why deterministic test sets (and hence test-data compression)
+//! are needed.
+
+use crate::lfsr::Lfsr;
+use ninec_circuit::Circuit;
+use ninec_fsim::fault::StuckFault;
+use ninec_fsim::fsim::fault_simulate;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::trit::{Trit, TritVec};
+
+/// Generates `count` pseudo-random fully specified scan patterns for the
+/// circuit's scan view from a primitive LFSR seeded with `seed`.
+///
+/// # Panics
+///
+/// Panics if no primitive polynomial is tabulated for `lfsr_width` or the
+/// seed does not fit.
+pub fn random_patterns(circuit: &Circuit, lfsr_width: usize, seed: u64, count: usize) -> TestSet {
+    let width = circuit.scan_view().cube_width();
+    let mut lfsr = Lfsr::with_primitive_taps(lfsr_width)
+        .unwrap_or_else(|| panic!("no tabulated polynomial for width {lfsr_width}"))
+        .seeded(seed);
+    let mut set = TestSet::new(width);
+    for _ in 0..count {
+        let cube: TritVec = lfsr
+            .output_sequence(width)
+            .into_iter()
+            .map(Trit::from)
+            .collect();
+        set.push_pattern(&cube).expect("generated pattern has scan width");
+    }
+    set
+}
+
+/// One point of a random-test coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoveragePoint {
+    /// Patterns applied so far.
+    pub patterns: usize,
+    /// Collapsed stuck-at coverage, percent.
+    pub coverage_percent: f64,
+}
+
+/// Fault coverage of pseudo-random testing as a function of pattern
+/// count, sampled at `checkpoints` (which must be ascending; the largest
+/// sets the total patterns applied).
+///
+/// # Examples
+///
+/// ```
+/// use ninec_bist::prpg::random_coverage_curve;
+/// use ninec_circuit::bench::{parse_bench, C17};
+/// use ninec_fsim::fault::collapsed_faults;
+///
+/// let c17 = parse_bench(C17)?;
+/// let faults = collapsed_faults(&c17);
+/// let curve = random_coverage_curve(&c17, &faults, 16, 1, &[4, 16, 64]);
+/// assert!(curve.last().unwrap().coverage_percent
+///          >= curve.first().unwrap().coverage_percent);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn random_coverage_curve(
+    circuit: &Circuit,
+    faults: &[StuckFault],
+    lfsr_width: usize,
+    seed: u64,
+    checkpoints: &[usize],
+) -> Vec<CoveragePoint> {
+    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] < w[1]),
+        "checkpoints must be strictly ascending"
+    );
+    let total = *checkpoints.last().expect("non-empty");
+    let patterns = random_patterns(circuit, lfsr_width, seed, total);
+    let sim = fault_simulate(circuit, &patterns, faults);
+    checkpoints
+        .iter()
+        .map(|&cp| {
+            let detected = sim
+                .first_detection
+                .iter()
+                .filter(|d| d.map_or(false, |p| p < cp))
+                .count();
+            CoveragePoint {
+                patterns: cp,
+                coverage_percent: detected as f64 / faults.len().max(1) as f64 * 100.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninec_circuit::bench::{parse_bench, C17, S27};
+    use ninec_circuit::random::RandomCircuitSpec;
+    use ninec_fsim::fault::collapsed_faults;
+
+    #[test]
+    fn patterns_are_deterministic_and_specified() {
+        let s27 = parse_bench(S27).unwrap();
+        let a = random_patterns(&s27, 16, 7, 20);
+        let b = random_patterns(&s27, 16, 7, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.x_density(), 0.0);
+        assert_ne!(a, random_patterns(&s27, 16, 8, 20));
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_pattern_count() {
+        let s27 = parse_bench(S27).unwrap();
+        let faults = collapsed_faults(&s27);
+        let curve = random_coverage_curve(&s27, &faults, 16, 3, &[1, 4, 16, 64, 128]);
+        for w in curve.windows(2) {
+            assert!(w[1].coverage_percent >= w[0].coverage_percent);
+        }
+        assert!(curve.last().unwrap().coverage_percent > 80.0);
+    }
+
+    #[test]
+    fn small_circuits_saturate_quickly() {
+        let c17 = parse_bench(C17).unwrap();
+        let faults = collapsed_faults(&c17);
+        let curve = random_coverage_curve(&c17, &faults, 12, 1, &[64]);
+        assert_eq!(curve[0].coverage_percent, 100.0, "c17 is easy for random test");
+    }
+
+    #[test]
+    fn random_resistant_faults_remain_on_larger_circuits() {
+        // The motivation claim: on a bigger circuit, the curve flattens
+        // below the deterministic (ATPG) coverage at practical counts.
+        use ninec_atpg::generate::{generate_tests, AtpgConfig};
+        let c = RandomCircuitSpec::new("resist", 10, 14, 220).generate(23);
+        let faults = collapsed_faults(&c);
+        let curve = random_coverage_curve(&c, &faults, 24, 5, &[64, 256]);
+        let atpg = generate_tests(&c, AtpgConfig::default());
+        assert!(
+            atpg.coverage_percent() >= curve.last().unwrap().coverage_percent,
+            "ATPG {:.1}% vs random {:.1}%",
+            atpg.coverage_percent(),
+            curve.last().unwrap().coverage_percent
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_checkpoints_panic() {
+        let c17 = parse_bench(C17).unwrap();
+        let faults = collapsed_faults(&c17);
+        let _ = random_coverage_curve(&c17, &faults, 12, 1, &[16, 4]);
+    }
+}

@@ -1,0 +1,219 @@
+//! ISCAS `.bench` netlist parser and bundled benchmark circuits.
+//!
+//! The `.bench` format is the lingua franca of the ISCAS'85/'89 benchmark
+//! suites:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = NAND(G0, G1)
+//! G5  = DFF(G10)
+//! ```
+//!
+//! Two genuine circuits ship with the crate ([`S27`], [`C17`]); larger
+//! paper circuits are substituted by the generators in
+//! [`random`](crate::random) (see `DESIGN.md` §4).
+
+use crate::netlist::{Circuit, GateKind, NetlistError};
+use std::fmt;
+
+/// The ISCAS'89 `s27` benchmark (4 PIs, 1 PO, 3 DFFs, 10 logic gates).
+pub const S27: &str = include_str!("data/s27.bench");
+
+/// The ISCAS'85 `c17` benchmark (5 PIs, 2 POs, 6 NAND gates).
+pub const C17: &str = include_str!("data/c17.bench");
+
+/// Parses a `.bench` netlist.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, unknown gate kinds, or
+/// netlist-level inconsistencies.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_circuit::bench::{parse_bench, S27};
+///
+/// let s27 = parse_bench(S27)?;
+/// assert_eq!(s27.primary_inputs().len(), 4);
+/// assert_eq!(s27.dffs().len(), 3);
+/// assert_eq!(s27.scan_view().cube_width(), 7);
+/// # Ok::<(), ninec_circuit::bench::ParseBenchError>(())
+/// ```
+pub fn parse_bench(text: &str) -> Result<Circuit, ParseBenchError> {
+    let mut gates: Vec<(String, GateKind, Vec<String>)> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut name = "bench".to_owned();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        // Allow "# name" style headers to name the circuit.
+        if let Some(rest) = raw.trim_start().strip_prefix('#') {
+            let rest = rest.trim();
+            if !rest.is_empty() && name == "bench" {
+                name = rest.split_whitespace().next().unwrap_or("bench").to_owned();
+            }
+            continue;
+        }
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(arg) = directive(line, "INPUT") {
+            gates.push((arg.to_owned(), GateKind::Input, vec![]));
+        } else if let Some(arg) = directive(line, "OUTPUT") {
+            outputs.push(arg.to_owned());
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let lhs = lhs.trim().to_owned();
+            let rhs = rhs.trim();
+            let (kind_str, args) = rhs
+                .split_once('(')
+                .ok_or(ParseBenchError::Malformed { line: line_no })?;
+            let args = args
+                .strip_suffix(')')
+                .ok_or(ParseBenchError::Malformed { line: line_no })?;
+            let kind = parse_kind(kind_str.trim())
+                .ok_or_else(|| ParseBenchError::UnknownKind {
+                    line: line_no,
+                    kind: kind_str.trim().to_owned(),
+                })?;
+            let fanins: Vec<String> = args
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect();
+            gates.push((lhs, kind, fanins));
+        } else {
+            return Err(ParseBenchError::Malformed { line: line_no });
+        }
+    }
+    Circuit::from_named_gates(&name, gates, &outputs).map_err(ParseBenchError::Netlist)
+}
+
+fn directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    rest.strip_prefix('(')?.trim_end().strip_suffix(')').map(str::trim)
+}
+
+fn parse_kind(s: &str) -> Option<GateKind> {
+    match s.to_ascii_uppercase().as_str() {
+        "AND" => Some(GateKind::And),
+        "NAND" => Some(GateKind::Nand),
+        "OR" => Some(GateKind::Or),
+        "NOR" => Some(GateKind::Nor),
+        "XOR" => Some(GateKind::Xor),
+        "XNOR" => Some(GateKind::Xnor),
+        "NOT" | "INV" => Some(GateKind::Not),
+        "BUF" | "BUFF" => Some(GateKind::Buf),
+        "DFF" => Some(GateKind::Dff),
+        _ => None,
+    }
+}
+
+/// Error parsing a `.bench` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line matched no known construct.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An unknown gate kind was used.
+    UnknownKind {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown kind string.
+        kind: String,
+    },
+    /// The parsed gates did not form a valid netlist.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::Malformed { line } => write!(f, "line {line}: malformed"),
+            ParseBenchError::UnknownKind { line, kind } => {
+                write!(f, "line {line}: unknown gate kind {kind:?}")
+            }
+            ParseBenchError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseBenchError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_s27() {
+        let c = parse_bench(S27).unwrap();
+        assert_eq!(c.primary_inputs().len(), 4);
+        assert_eq!(c.primary_outputs().len(), 1);
+        assert_eq!(c.dffs().len(), 3);
+        assert_eq!(c.num_logic_gates(), 10);
+        assert_eq!(c.name(), "s27");
+    }
+
+    #[test]
+    fn parses_c17() {
+        let c = parse_bench(C17).unwrap();
+        assert_eq!(c.primary_inputs().len(), 5);
+        assert_eq!(c.primary_outputs().len(), 2);
+        assert_eq!(c.dffs().len(), 0);
+        assert_eq!(c.num_logic_gates(), 6);
+    }
+
+    #[test]
+    fn dff_forward_reference_ok() {
+        let text = "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = NOR(a, q)\n";
+        let c = parse_bench(text).unwrap();
+        assert_eq!(c.dffs().len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# demo circuit\n\nINPUT(a)  # trailing comment\nOUTPUT(b)\nb = NOT(a)\n";
+        let c = parse_bench(text).unwrap();
+        assert_eq!(c.name(), "demo");
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reported() {
+        let err = parse_bench("INPUT(a)\nwat\n").unwrap_err();
+        assert_eq!(err, ParseBenchError::Malformed { line: 2 });
+    }
+
+    #[test]
+    fn unknown_kind_reported() {
+        let err = parse_bench("INPUT(a)\nb = FROB(a)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::UnknownKind { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_fanin_reported() {
+        let err = parse_bench("INPUT(a)\nb = NOT(zz)\nOUTPUT(b)\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Netlist(NetlistError::UnknownNet { .. })));
+    }
+
+    #[test]
+    fn combinational_cycle_reported() {
+        let text = "INPUT(a)\nx = AND(a, y)\ny = AND(a, x)\nOUTPUT(y)\n";
+        let err = parse_bench(text).unwrap_err();
+        assert_eq!(
+            err,
+            ParseBenchError::Netlist(NetlistError::CombinationalCycle)
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Gate-level circuit substrate for the `ninec` suite.
+//!
+//! Provides the netlist model the fault simulator and ATPG operate on:
+//!
+//! - [`netlist`] — gates, nets, validation, topological order, and the
+//!   full-scan combinational [`ScanView`];
+//! - [`mod@bench`] — ISCAS `.bench` parser plus the bundled genuine
+//!   benchmarks [`S27`](bench::S27) and [`C17`](bench::C17);
+//! - [`random`] — random sequential circuit generation standing in for
+//!   the larger ISCAS'89 circuits (see `DESIGN.md` §4).
+//!
+//! # Example
+//!
+//! ```
+//! use ninec_circuit::bench::{parse_bench, S27};
+//!
+//! let s27 = parse_bench(S27)?;
+//! println!("{s27}");
+//! let view = s27.scan_view();
+//! assert_eq!(view.cube_width(), 4 + 3); // PIs + scan cells
+//! # Ok::<(), ninec_circuit::bench::ParseBenchError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod netlist;
+pub mod random;
+pub mod scan;
+
+pub use netlist::{Circuit, Gate, GateKind, NetId, ScanView};

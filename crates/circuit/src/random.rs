@@ -1,0 +1,165 @@
+//! Random sequential circuit generation.
+//!
+//! Stands in for the larger ISCAS'89 circuits that cannot be bundled:
+//! generates structurally plausible gate-level netlists (bounded fanin,
+//! locality-biased connectivity, DFF feedback) on which the ATPG and fault
+//! simulator produce genuine test cubes.
+
+use crate::netlist::{Circuit, GateKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a random circuit.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_circuit::random::RandomCircuitSpec;
+///
+/// let spec = RandomCircuitSpec::new("r100", 8, 16, 100);
+/// let c = spec.generate(1);
+/// assert_eq!(c.primary_inputs().len(), 8);
+/// assert_eq!(c.dffs().len(), 16);
+/// assert_eq!(c.num_logic_gates(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomCircuitSpec {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs (≥ 1).
+    pub num_inputs: usize,
+    /// Number of D flip-flops (scan cells).
+    pub num_ffs: usize,
+    /// Number of combinational gates (≥ 1).
+    pub num_gates: usize,
+    /// Number of primary outputs carved from the last gates (≥ 1).
+    pub num_outputs: usize,
+}
+
+impl RandomCircuitSpec {
+    /// Creates a spec with `max(1, num_gates / 20)` primary outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs` or `num_gates` is zero.
+    pub fn new(name: &str, num_inputs: usize, num_ffs: usize, num_gates: usize) -> Self {
+        assert!(num_inputs > 0 && num_gates > 0, "inputs and gates must be positive");
+        Self {
+            name: name.to_owned(),
+            num_inputs,
+            num_ffs,
+            num_gates,
+            num_outputs: (num_gates / 20).max(1),
+        }
+    }
+
+    /// Scan-view cube width of the generated circuits.
+    pub fn cube_width(&self) -> usize {
+        self.num_inputs + self.num_ffs
+    }
+
+    /// Generates the circuit. Deterministic for a given `seed`.
+    pub fn generate(&self, seed: u64) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gates: Vec<(String, GateKind, Vec<String>)> = Vec::new();
+        for i in 0..self.num_inputs {
+            gates.push((format!("pi{i}"), GateKind::Input, vec![]));
+        }
+        // DFFs reference gates declared later (feedback); resolve names now.
+        for i in 0..self.num_ffs {
+            let src = format!("g{}", rng.gen_range(self.num_gates / 2..self.num_gates));
+            gates.push((format!("ff{i}"), GateKind::Dff, vec![src]));
+        }
+        // Combinational gates draw fanins from PIs, FF outputs and earlier
+        // gates, biased toward recent nets so depth grows realistically.
+        let kinds = [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Not,
+        ];
+        for j in 0..self.num_gates {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let arity = match kind {
+                GateKind::Not => 1,
+                GateKind::Xor => 2,
+                _ => rng.gen_range(2..=3),
+            };
+            let mut fanins = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                fanins.push(self.pick_fanin(j, &mut rng));
+            }
+            gates.push((format!("g{j}"), kind, fanins));
+        }
+        let outputs: Vec<String> = (0..self.num_outputs)
+            .map(|i| format!("g{}", self.num_gates - 1 - i))
+            .collect();
+        Circuit::from_named_gates(&self.name, gates, &outputs)
+            .expect("generator emits structurally valid netlists")
+    }
+
+    /// Picks a fanin name for gate `j` from the available earlier nets.
+    fn pick_fanin(&self, j: usize, rng: &mut StdRng) -> String {
+        let sources = self.num_inputs + self.num_ffs;
+        let pool = sources + j;
+        // 60%: one of the 16 most recent nets (locality); else uniform.
+        let idx = if j > 0 && rng.gen_bool(0.6) {
+            let lo = pool.saturating_sub(16).max(0);
+            rng.gen_range(lo..pool)
+        } else {
+            rng.gen_range(0..pool)
+        };
+        if idx < self.num_inputs {
+            format!("pi{idx}")
+        } else if idx < sources {
+            format!("ff{}", idx - self.num_inputs)
+        } else {
+            format!("g{}", idx - sources)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let spec = RandomCircuitSpec::new("d", 6, 8, 60);
+        assert_eq!(spec.generate(3), spec.generate(3));
+        assert_ne!(spec.generate(3), spec.generate(4));
+    }
+
+    #[test]
+    fn dimensions_respected() {
+        let spec = RandomCircuitSpec::new("dim", 10, 20, 200);
+        let c = spec.generate(1);
+        assert_eq!(c.primary_inputs().len(), 10);
+        assert_eq!(c.dffs().len(), 20);
+        assert_eq!(c.num_logic_gates(), 200);
+        assert_eq!(c.primary_outputs().len(), 10);
+        assert_eq!(c.scan_view().cube_width(), spec.cube_width());
+    }
+
+    #[test]
+    fn no_ffs_is_combinational() {
+        let spec = RandomCircuitSpec::new("comb", 5, 0, 30);
+        let c = spec.generate(7);
+        assert!(c.dffs().is_empty());
+        let v = c.scan_view();
+        assert_eq!(v.cube_width(), 5);
+        assert_eq!(v.outputs.len(), v.num_pos);
+    }
+
+    #[test]
+    fn many_seeds_validate() {
+        let spec = RandomCircuitSpec::new("fuzz", 4, 6, 50);
+        for seed in 0..20 {
+            let c = spec.generate(seed);
+            // validate() ran inside generate(); topo order covers all nets.
+            assert_eq!(c.topo_order().len(), c.num_gates());
+        }
+    }
+}

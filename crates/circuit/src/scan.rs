@@ -1,0 +1,186 @@
+//! Scan-chain insertion.
+//!
+//! Converts a sequential circuit into its testable form: every flip-flop's
+//! `D` pin is fronted by a scan multiplexer so that, with `scan_en` high,
+//! the flops form one serial shift register from `scan_in` to `scan_out` —
+//! the structure every experiment in this workspace assumes and the 9C
+//! decompressor feeds.
+//!
+//! The MUX is built from plain gates (`OR(AND(se, si), AND(!se, d))`), so
+//! the stitched netlist stays simulatable and fault-simulatable with the
+//! standard stack.
+
+use crate::netlist::{Circuit, GateKind, NetId, NetlistError};
+
+/// A scan-stitched circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScannedCircuit {
+    /// The stitched netlist.
+    pub circuit: Circuit,
+    /// `scan_in` primary-input net.
+    pub scan_in: NetId,
+    /// `scan_en` primary-input net.
+    pub scan_en: NetId,
+    /// `scan_out` primary-output net (the last cell's `Q`).
+    pub scan_out: NetId,
+    /// The flops in scan order (`scan_in` feeds `chain[0]`; `chain.last()`
+    /// drives `scan_out`). Net ids refer to the stitched netlist.
+    pub chain: Vec<NetId>,
+}
+
+impl ScannedCircuit {
+    /// Chain length (number of scan cells).
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+}
+
+/// Stitches all flip-flops of `circuit` into one scan chain, in their
+/// declaration order.
+///
+/// # Errors
+///
+/// Returns [`InsertScanError::NoFlipFlops`] if the circuit has no
+/// flip-flops, and [`InsertScanError::Netlist`] if stitching produced an
+/// invalid netlist (cannot happen for valid inputs).
+///
+/// # Examples
+///
+/// ```
+/// use ninec_circuit::bench::{parse_bench, S27};
+/// use ninec_circuit::scan::insert_scan;
+///
+/// let s27 = parse_bench(S27)?;
+/// let scanned = insert_scan(&s27)?;
+/// assert_eq!(scanned.chain_len(), 3);
+/// // 2 extra PIs (scan_in, scan_en), 1 extra PO (scan_out).
+/// assert_eq!(scanned.circuit.primary_inputs().len(), 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn insert_scan(circuit: &Circuit) -> Result<ScannedCircuit, InsertScanError> {
+    if circuit.dffs().is_empty() {
+        return Err(InsertScanError::NoFlipFlops);
+    }
+    let mut c = circuit.clone();
+    let scan_in = c.add_input("scan_in");
+    let scan_en = c.add_input("scan_en");
+    let n_se = c
+        .add_gate("scan_en_n", GateKind::Not, vec![scan_en])
+        .map_err(InsertScanError::Netlist)?;
+
+    let chain: Vec<NetId> = circuit.dffs().to_vec();
+    let mut serial_src = scan_in;
+    for (pos, &ff) in chain.iter().enumerate() {
+        let func_d = c.gate(ff).inputs[0];
+        let shift = c
+            .add_gate(&format!("scan_shift{pos}"), GateKind::And, vec![scan_en, serial_src])
+            .map_err(InsertScanError::Netlist)?;
+        let hold = c
+            .add_gate(&format!("scan_hold{pos}"), GateKind::And, vec![n_se, func_d])
+            .map_err(InsertScanError::Netlist)?;
+        let mux = c
+            .add_gate(&format!("scan_mux{pos}"), GateKind::Or, vec![shift, hold])
+            .map_err(InsertScanError::Netlist)?;
+        c.rewire_fanin(ff, 0, mux).map_err(InsertScanError::Netlist)?;
+        serial_src = ff; // next cell shifts from this cell's Q
+    }
+    let scan_out = *chain.last().expect("checked non-empty");
+    c.mark_output(scan_out);
+    let circuit = c.validate().map_err(InsertScanError::Netlist)?;
+    Ok(ScannedCircuit {
+        circuit,
+        scan_in,
+        scan_en,
+        scan_out,
+        chain,
+    })
+}
+
+/// Error inserting a scan chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertScanError {
+    /// The circuit has no flip-flops to stitch.
+    NoFlipFlops,
+    /// The stitched netlist failed validation (should not happen for a
+    /// valid input circuit).
+    Netlist(NetlistError),
+}
+
+impl std::fmt::Display for InsertScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertScanError::NoFlipFlops => write!(f, "circuit has no flip-flops to stitch"),
+            InsertScanError::Netlist(e) => write!(f, "scan stitching failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InsertScanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InsertScanError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::{parse_bench, C17, S27};
+    use crate::random::RandomCircuitSpec;
+
+    #[test]
+    fn s27_stitching_structure() {
+        let s27 = parse_bench(S27).unwrap();
+        let scanned = insert_scan(&s27).unwrap();
+        // 3 flops -> 1 inverter + 3 * (2 AND + 1 OR) new gates.
+        assert_eq!(
+            scanned.circuit.num_logic_gates(),
+            s27.num_logic_gates() + 1 + 9
+        );
+        assert_eq!(scanned.chain, s27.dffs().to_vec());
+        // Every flop's D now comes from its scan mux.
+        for (pos, &ff) in scanned.chain.iter().enumerate() {
+            let d = scanned.circuit.gate(ff).inputs[0];
+            assert_eq!(
+                scanned.circuit.net_name(d),
+                format!("scan_mux{pos}"),
+                "flop {pos}"
+            );
+        }
+        assert_eq!(scanned.circuit.net_name(scanned.scan_in), "scan_in");
+        assert!(scanned
+            .circuit
+            .primary_outputs()
+            .contains(&scanned.scan_out));
+    }
+
+    #[test]
+    fn combinational_circuit_rejected() {
+        let c17 = parse_bench(C17).unwrap();
+        assert_eq!(insert_scan(&c17), Err(InsertScanError::NoFlipFlops));
+    }
+
+    #[test]
+    fn random_circuits_stitch_cleanly() {
+        for seed in 0..5 {
+            let c = RandomCircuitSpec::new("sc", 4, 9, 40).generate(seed);
+            let scanned = insert_scan(&c).unwrap();
+            assert_eq!(scanned.chain_len(), 9);
+            assert_eq!(scanned.circuit.topo_order().len(), scanned.circuit.num_gates());
+        }
+    }
+
+    #[test]
+    fn rewire_fanin_validation() {
+        let mut c = Circuit::new("rw");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate("g", GateKind::And, vec![a, a]).unwrap();
+        c.rewire_fanin(g, 1, b).unwrap();
+        assert_eq!(c.gate(g).inputs, vec![a, b]);
+        assert!(c.rewire_fanin(g, 2, b).is_err());
+        assert!(c.rewire_fanin(g, 0, 99).is_err());
+    }
+}

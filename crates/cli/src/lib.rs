@@ -1,0 +1,560 @@
+//! Library backing the `ninec` command-line tool.
+//!
+//! Subcommands (see [`run`]):
+//!
+//! - `compress <in.cubes> -o <out.te>` — 9C-compress a cube file;
+//! - `decompress <in.te> -o <out.cubes>` — expand back to scan data;
+//! - `info <file>` — statistics of a cube or `.te` file;
+//! - `generate <profile> -o <out.cubes>` — synthetic benchmark test sets;
+//! - `atpg <netlist.bench> -o <out.cubes>` — run PODEM on a netlist;
+//! - `compare <in.cubes>` — CR of 9C and every baseline code side by side;
+//! - `rtl -o <decoder.v> [--tb]` — emit the synthesizable decoder, and
+//!   optionally a self-checking testbench generated from the reference
+//!   model.
+//!
+//! All commands are pure functions of their arguments plus the named
+//! files, so the test suite drives [`run`] directly.
+
+#![warn(missing_docs)]
+
+pub mod format;
+
+use format::TeFile;
+use ninec::encode::Encoder;
+use ninec::freqdir::encode_frequency_directed;
+use ninec_atpg::generate::{generate_tests, AtpgConfig};
+use ninec_circuit::bench::parse_bench;
+use ninec_decompressor::verilog::decoder_verilog;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::fill::{fill_trits, FillStrategy};
+use ninec_testdata::gen::{mintest_profile, SyntheticProfile};
+use ninec_testdata::stats::TestSetStats;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// CLI failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Underlying operation failed.
+    Failed(String),
+    /// I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Failed(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ninec — nine-coded scan test-data compression (DATE 2004)
+
+USAGE:
+    ninec compress   <in.cubes> -o <out.te> [-k <even>=8] [--fill zero|one|random|mt|keep]
+                     [--seed <n>] [--freq-directed]
+    ninec decompress <in.te> -o <out.cubes> [--fill zero|one|random|mt|keep] [--seed <n>]
+    ninec info       <file.cubes|file.te>
+    ninec generate   <s5378|s9234|s13207|s15850|s38417|s38584|custom:P,L,X%>
+                     -o <out.cubes> [--seed <n>]
+    ninec atpg       <netlist.bench> -o <out.cubes>
+    ninec compare    <in.cubes> [-k <even>=8]
+    ninec rtl        -o <decoder.v> [-k <even>=8] [--tb]
+";
+
+/// Runs the CLI with `args` (without the program name), writing normal
+/// output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad arguments or failing operations.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut it = args.iter();
+    let command = it.next().ok_or_else(|| CliError::Usage("no command".into()))?;
+    let rest: Vec<String> = it.cloned().collect();
+    match command.as_str() {
+        "compress" => compress(&rest, out),
+        "decompress" => decompress(&rest, out),
+        "info" => info(&rest, out),
+        "generate" => generate(&rest, out),
+        "atpg" => atpg(&rest, out),
+        "compare" => compare(&rest, out),
+        "rtl" => rtl(&rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Parsed common options.
+#[derive(Debug, Default)]
+struct Opts {
+    positional: Vec<String>,
+    output: Option<PathBuf>,
+    k: Option<usize>,
+    fill: Option<String>,
+    seed: u64,
+    freq_directed: bool,
+    testbench: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
+    let mut opts = Opts { seed: 1, ..Default::default() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => {
+                let v = it.next().ok_or_else(|| CliError::Usage("-o needs a path".into()))?;
+                opts.output = Some(PathBuf::from(v));
+            }
+            "-k" => {
+                let v = it.next().ok_or_else(|| CliError::Usage("-k needs a value".into()))?;
+                opts.k = Some(v.parse().map_err(|_| CliError::Usage(format!("bad -k {v:?}")))?);
+            }
+            "--fill" => {
+                let v = it.next().ok_or_else(|| CliError::Usage("--fill needs a value".into()))?;
+                opts.fill = Some(v.clone());
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| CliError::Usage("--seed needs a value".into()))?;
+                opts.seed = v.parse().map_err(|_| CliError::Usage(format!("bad --seed {v:?}")))?;
+            }
+            "--freq-directed" => opts.freq_directed = true,
+            "--tb" | "--testbench" => opts.testbench = true,
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag {flag:?}")))
+            }
+            _ => opts.positional.push(a.clone()),
+        }
+    }
+    Ok(opts)
+}
+
+/// `keep` leaves X in place; everything else is a concrete fill.
+fn fill_strategy(opts: &Opts) -> Result<Option<FillStrategy>, CliError> {
+    match opts.fill.as_deref() {
+        None | Some("random") => Ok(Some(FillStrategy::Random { seed: opts.seed })),
+        Some("zero") => Ok(Some(FillStrategy::Zero)),
+        Some("one") => Ok(Some(FillStrategy::One)),
+        Some("mt") | Some("min-transition") => Ok(Some(FillStrategy::MinTransition)),
+        Some("keep") => Ok(None),
+        Some(other) => Err(CliError::Usage(format!("unknown fill {other:?}"))),
+    }
+}
+
+fn one_input(opts: &Opts) -> Result<&str, CliError> {
+    match opts.positional.as_slice() {
+        [one] => Ok(one),
+        _ => Err(CliError::Usage("expected exactly one input file".into())),
+    }
+}
+
+fn output(opts: &Opts) -> Result<&PathBuf, CliError> {
+    opts.output
+        .as_ref()
+        .ok_or_else(|| CliError::Usage("missing -o <output>".into()))
+}
+
+fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let input = one_input(&opts)?;
+    let k = opts.k.unwrap_or(8);
+    let cubes = ninec_testdata::io::read_test_set_file(input)
+        .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    let encoded = if opts.freq_directed {
+        encode_frequency_directed(k, cubes.as_stream())
+            .map_err(|e| CliError::Failed(e.to_string()))?
+            .best()
+            .clone()
+    } else {
+        Encoder::new(k)
+            .map_err(|e| CliError::Failed(e.to_string()))?
+            .encode_set(&cubes)
+    };
+    let mut te = TeFile::from_encoded(&encoded, cubes.pattern_len());
+    if let Some(strategy) = fill_strategy(&opts)? {
+        te.stream = fill_trits(&te.stream, strategy);
+    }
+    fs::write(output(&opts)?, te.to_text())?;
+    writeln!(
+        out,
+        "{input}: {} -> {} bits (CR {:.2}%), leftover X {}{}",
+        cubes.total_bits(),
+        encoded.compressed_len(),
+        encoded.compression_ratio(),
+        encoded.stats().leftover_x,
+        if opts.freq_directed { ", frequency-directed" } else { "" }
+    )?;
+    Ok(())
+}
+
+fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let input = one_input(&opts)?;
+    let text = fs::read_to_string(input)?;
+    let te = TeFile::parse(&text).map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    let mut decoded = te.decode().map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    if let Some(strategy) = fill_strategy(&opts)? {
+        decoded = fill_trits(&decoded, strategy);
+    }
+    let pattern_len = if te.pattern_len > 0 { te.pattern_len } else { decoded.len() };
+    if decoded.len() % pattern_len != 0 {
+        return Err(CliError::Failed(format!(
+            "decoded length {} is not a multiple of pattern length {pattern_len}",
+            decoded.len()
+        )));
+    }
+    let set = TestSet::from_stream(pattern_len, decoded);
+    ninec_testdata::io::write_test_set_file(output(&opts)?, &set)?;
+    writeln!(
+        out,
+        "{input}: decoded {} patterns x {} cells",
+        set.num_patterns(),
+        set.pattern_len()
+    )?;
+    Ok(())
+}
+
+fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let input = one_input(&opts)?;
+    let text = fs::read_to_string(input)?;
+    if let Ok(te) = TeFile::parse(&text) {
+        writeln!(
+            out,
+            "{input}: 9C stream, K={}, {} compressed bits for {} source bits \
+             (CR {:.2}%), {} leftover X, lengths {:?}",
+            te.k,
+            te.stream.len(),
+            te.source_len,
+            (te.source_len as f64 - te.stream.len() as f64) / te.source_len.max(1) as f64 * 100.0,
+            te.stream.count_x(),
+            te.table.lengths()
+        )?;
+        return Ok(());
+    }
+    let cubes = ninec_testdata::io::parse_test_set(&text)
+        .map_err(|e| CliError::Failed(format!("{input}: not a .te or cube file ({e})")))?;
+    writeln!(out, "{input}: cube file, {}", TestSetStats::compute(&cubes))?;
+    Ok(())
+}
+
+fn generate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let spec = one_input(&opts)?;
+    let profile = if let Some(rest) = spec.strip_prefix("custom:") {
+        let parts: Vec<&str> = rest.split(',').collect();
+        let [p, l, x] = parts.as_slice() else {
+            return Err(CliError::Usage("custom profile is custom:P,L,X%".into()));
+        };
+        let patterns: usize = p.parse().map_err(|_| CliError::Usage("bad P".into()))?;
+        let len: usize = l.parse().map_err(|_| CliError::Usage("bad L".into()))?;
+        let x_pct: f64 = x.parse().map_err(|_| CliError::Usage("bad X%".into()))?;
+        if !(0.0..100.0).contains(&x_pct) || x_pct == 0.0 {
+            return Err(CliError::Usage("X% must be in (0, 100)".into()));
+        }
+        SyntheticProfile::new("custom", patterns, len, x_pct / 100.0)
+    } else {
+        mintest_profile(spec)
+            .ok_or_else(|| CliError::Usage(format!("unknown profile {spec:?}")))?
+    };
+    let set = profile.generate(opts.seed);
+    ninec_testdata::io::write_test_set_file(output(&opts)?, &set)?;
+    writeln!(out, "{}: {}", profile.name, TestSetStats::compute(&set))?;
+    Ok(())
+}
+
+fn atpg(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let input = one_input(&opts)?;
+    let text = fs::read_to_string(input)?;
+    let circuit = parse_bench(&text).map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    let result = generate_tests(&circuit, AtpgConfig::default());
+    ninec_testdata::io::write_test_set_file(output(&opts)?, &result.tests)?;
+    writeln!(out, "{}: {result}", circuit.name())?;
+    Ok(())
+}
+
+fn compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use ninec_baselines::codec::TestDataCodec;
+    let opts = parse_opts(args)?;
+    let input = one_input(&opts)?;
+    let k = opts.k.unwrap_or(8);
+    let cubes = ninec_testdata::io::read_test_set_file(input)
+        .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    let stream = cubes.as_stream();
+    let ninec_cr = Encoder::new(k)
+        .map_err(|e| CliError::Failed(e.to_string()))?
+        .encode_set(&cubes)
+        .compression_ratio();
+    writeln!(out, "{input}: |T_D| = {} bits", cubes.total_bits())?;
+    writeln!(out, "{:>12}  {:>8}", "code", "CR%")?;
+    writeln!(out, "{:>12}  {:>8.2}", format!("9C (K={k})"), ninec_cr)?;
+    let baselines: Vec<(&str, f64)> = vec![
+        ("FDR", ninec_baselines::fdr::Fdr::new().compression_ratio(stream)),
+        ("EFDR", ninec_baselines::efdr::Efdr::new().compression_ratio(stream)),
+        (
+            "ARL",
+            ninec_baselines::arl::AlternatingRunLength::new().compression_ratio(stream),
+        ),
+        (
+            "Golomb(4)",
+            ninec_baselines::golomb::Golomb::new(4)
+                .expect("valid group size")
+                .compression_ratio(stream),
+        ),
+        (
+            "VIHC(8)",
+            ninec_baselines::vihc::Vihc::new(8)
+                .expect("valid group size")
+                .compression_ratio(stream),
+        ),
+        (
+            "SelHuff",
+            ninec_baselines::selhuff::SelectiveHuffman::new(8, 16)
+                .expect("valid config")
+                .compression_ratio(stream),
+        ),
+        (
+            "Dict(16,256)",
+            ninec_baselines::dict::FixedIndexDictionary::new(16, 256)
+                .expect("valid config")
+                .compression_ratio(stream),
+        ),
+    ];
+    for (name, cr) in baselines {
+        writeln!(out, "{name:>12}  {cr:>8.2}")?;
+    }
+    Ok(())
+}
+
+fn rtl(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    if !opts.positional.is_empty() {
+        return Err(CliError::Usage("rtl takes no positional arguments".into()));
+    }
+    let k = opts.k.unwrap_or(8);
+    if k < 4 || k % 2 != 0 {
+        return Err(CliError::Usage(format!("-k must be even and >= 4, got {k}")));
+    }
+    let mut rtl = decoder_verilog(k);
+    if opts.testbench {
+        // Build a short self-test stream with the reference model so the
+        // emitted testbench is self-checking out of the box.
+        use ninec_decompressor::single::{ClockRatio, SingleScanDecoder};
+        use ninec_testdata::gen::SyntheticProfile;
+        let cubes = SyntheticProfile::new("rtl-selftest", 4, 8 * k, 0.7).generate(opts.seed);
+        let encoded = Encoder::new(k)
+            .map_err(|e| CliError::Failed(e.to_string()))?
+            .encode_set(&cubes);
+        let bits = encoded.to_bitvec(FillStrategy::Zero);
+        let decoder = SingleScanDecoder::new(k, encoded.table().clone(), ClockRatio::new(8));
+        let trace = decoder
+            .run(&bits, cubes.total_bits())
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        rtl.push('\n');
+        rtl.push_str(&ninec_decompressor::verilog::testbench_verilog(
+            k,
+            8,
+            &bits,
+            &trace.scan_out,
+        ));
+    }
+    ninec_decompressor::verilog::lint(&rtl).map_err(CliError::Failed)?;
+    fs::write(output(&opts)?, &rtl)?;
+    writeln!(
+        out,
+        "wrote ninec_decoder_k{k}{} ({} lines of Verilog)",
+        if opts.testbench { " + self-checking testbench" } else { "" },
+        rtl.lines().count()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ninec_cli_{name}"));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap_or_else(|e| panic!("{args:?}: {e}"));
+        String::from_utf8(out).unwrap()
+    }
+
+    fn run_err(args: &[&str]) -> CliError {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap_err()
+    }
+
+    fn path_str(p: &Path) -> &str {
+        p.to_str().unwrap()
+    }
+
+    #[test]
+    fn generate_compress_decompress_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let cubes = dir.join("s.cubes");
+        let te = dir.join("s.te");
+        let back = dir.join("back.cubes");
+
+        let msg = run_ok(&["generate", "custom:20,64,75", "-o", path_str(&cubes), "--seed", "3"]);
+        assert!(msg.contains("20 x 64"));
+
+        let msg = run_ok(&[
+            "compress", path_str(&cubes), "-o", path_str(&te), "-k", "8", "--fill", "keep",
+        ]);
+        assert!(msg.contains("CR"));
+
+        run_ok(&["decompress", path_str(&te), "-o", path_str(&back), "--fill", "keep"]);
+        let orig = ninec_testdata::io::read_test_set_file(&cubes).unwrap();
+        let round = ninec_testdata::io::read_test_set_file(&back).unwrap();
+        assert_eq!(round.num_patterns(), orig.num_patterns());
+        assert!(round.pattern_len() == orig.pattern_len());
+        // Care bits preserved end to end.
+        for (a, b) in orig.patterns().zip(round.patterns()) {
+            for i in 0..a.len() {
+                let s = a.get(i).unwrap();
+                if s.is_care() {
+                    assert_eq!(Some(s), b.get(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_with_fill_produces_specified_stream() {
+        let dir = tmpdir("fill");
+        let cubes = dir.join("f.cubes");
+        let te = dir.join("f.te");
+        run_ok(&["generate", "custom:10,40,80", "-o", path_str(&cubes)]);
+        run_ok(&["compress", path_str(&cubes), "-o", path_str(&te), "--fill", "zero"]);
+        let parsed = TeFile::parse(&fs::read_to_string(&te).unwrap()).unwrap();
+        assert_eq!(parsed.stream.count_x(), 0);
+    }
+
+    #[test]
+    fn freq_directed_flag_reassigns_lengths() {
+        let dir = tmpdir("fd");
+        let cubes = dir.join("fd.cubes");
+        let te = dir.join("fd.te");
+        run_ok(&["generate", "s5378", "-o", path_str(&cubes)]);
+        let msg = run_ok(&[
+            "compress", path_str(&cubes), "-o", path_str(&te), "--freq-directed",
+        ]);
+        assert!(msg.contains("frequency-directed"));
+        let parsed = TeFile::parse(&fs::read_to_string(&te).unwrap()).unwrap();
+        // The decoder can be rebuilt from the stored lengths.
+        assert!(parsed.decode().is_ok());
+    }
+
+    #[test]
+    fn info_detects_both_formats() {
+        let dir = tmpdir("info");
+        let cubes = dir.join("i.cubes");
+        let te = dir.join("i.te");
+        run_ok(&["generate", "custom:5,32,70", "-o", path_str(&cubes)]);
+        run_ok(&["compress", path_str(&cubes), "-o", path_str(&te)]);
+        assert!(run_ok(&["info", path_str(&cubes)]).contains("cube file"));
+        assert!(run_ok(&["info", path_str(&te)]).contains("9C stream"));
+    }
+
+    #[test]
+    fn atpg_command_runs_on_bundled_bench() {
+        let dir = tmpdir("atpg");
+        let bench = dir.join("s27.bench");
+        fs::write(&bench, ninec_circuit::bench::S27).unwrap();
+        let out_cubes = dir.join("s27.cubes");
+        let msg = run_ok(&["atpg", path_str(&bench), "-o", path_str(&out_cubes)]);
+        assert!(msg.contains("100.0% coverage"), "{msg}");
+        let cubes = ninec_testdata::io::read_test_set_file(&out_cubes).unwrap();
+        assert_eq!(cubes.pattern_len(), 7);
+    }
+
+    #[test]
+    fn rtl_command_writes_lintable_verilog() {
+        let dir = tmpdir("rtl");
+        let v = dir.join("dec.v");
+        let msg = run_ok(&["rtl", "-o", path_str(&v), "-k", "16"]);
+        assert!(msg.contains("ninec_decoder_k16"));
+        let text = fs::read_to_string(&v).unwrap();
+        assert!(text.contains("module ninec_decoder_k16"));
+    }
+
+    #[test]
+    fn rtl_with_testbench() {
+        let dir = tmpdir("rtltb");
+        let v = dir.join("dec_tb.v");
+        let msg = run_ok(&["rtl", "-o", path_str(&v), "-k", "8", "--tb"]);
+        assert!(msg.contains("self-checking testbench"));
+        let text = fs::read_to_string(&v).unwrap();
+        assert!(text.contains("module ninec_decoder_k8_tb"));
+        assert!(text.contains("PASS"));
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run_err(&[]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["frobnicate"]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["compress"]), CliError::Usage(_)));
+        assert!(matches!(
+            run_err(&["compress", "a", "b", "-o", "c"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["rtl", "-o", "x.v", "-k", "7"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["generate", "custom:1,2", "-o", "x"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["generate", "nope", "-o", "x"]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn compare_lists_all_codecs() {
+        let dir = tmpdir("compare");
+        let cubes = dir.join("c.cubes");
+        run_ok(&["generate", "custom:15,64,80", "-o", path_str(&cubes)]);
+        let msg = run_ok(&["compare", path_str(&cubes), "-k", "8"]);
+        for name in ["9C", "FDR", "EFDR", "ARL", "Golomb", "VIHC", "SelHuff", "Dict"] {
+            assert!(msg.contains(name), "missing {name} in:\n{msg}");
+        }
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["help"]).contains("USAGE"));
+    }
+}

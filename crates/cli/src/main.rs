@@ -1,0 +1,15 @@
+//! The `ninec` command-line tool. See `ninec help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    match ninec_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ninec: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

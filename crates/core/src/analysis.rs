@@ -1,0 +1,172 @@
+//! Compression-ratio and test-application-time analysis (paper §III-C, §IV).
+
+use crate::code::{CodeTable, ALL_CASES};
+use crate::encode::{Encoded, EncodeStats};
+use std::fmt;
+
+/// One row of the paper's per-circuit result tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionReport {
+    /// Block size the row was measured at.
+    pub k: usize,
+    /// `|T_D|` in bits.
+    pub source_bits: usize,
+    /// `|T_E|` in bits.
+    pub compressed_bits: usize,
+    /// Compression ratio, percent.
+    pub cr_percent: f64,
+    /// Leftover don't-cares, percent of `|T_D|`.
+    pub lx_percent: f64,
+    /// Case occurrence counts `N1 … N9`.
+    pub case_counts: [u64; 9],
+}
+
+impl CompressionReport {
+    /// Builds a report from an encoding result.
+    pub fn from_encoded(encoded: &Encoded) -> Self {
+        Self {
+            k: encoded.k(),
+            source_bits: encoded.source_len(),
+            compressed_bits: encoded.compressed_len(),
+            cr_percent: encoded.compression_ratio(),
+            lx_percent: encoded.leftover_x_percent(),
+            case_counts: encoded.stats().case_counts,
+        }
+    }
+}
+
+impl fmt::Display for CompressionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "K={}: {} -> {} bits, CR {:.2}%, LX {:.2}%",
+            self.k, self.source_bits, self.compressed_bits, self.cr_percent, self.lx_percent
+        )
+    }
+}
+
+/// Test-application-time model of the paper's Section III-C.
+///
+/// The ATE runs at frequency `f`; the SoC shifts its scan chain at
+/// `f_scan = p·f`. Applying the *uncompressed* set costs one ATE cycle per
+/// bit: `t_nocomp = |T_D| / f`. With 9C, each block costs its ATE-side bits
+/// (codeword + verbatim payload, at `f`) plus `K` scan-shift cycles (at
+/// `f_scan`), serialized by the Ack handshake:
+///
+/// `t_comp = Σ_i N_i · (size_i + K/p) / f`.
+///
+/// All times below are reported in ATE clock periods (`1/f` units), so `f`
+/// itself never needs to be specified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TatModel {
+    /// Ratio `f_scan / f` (the paper's `p`), > 0.
+    pub p: f64,
+}
+
+impl TatModel {
+    /// Creates a model for a given clock ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p > 0`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0, "clock ratio must be positive, got {p}");
+        Self { p }
+    }
+
+    /// ATE cycles to apply the uncompressed set.
+    pub fn uncompressed_cycles(&self, source_bits: usize) -> f64 {
+        source_bits as f64
+    }
+
+    /// ATE cycles to apply the compressed set through the decoder.
+    pub fn compressed_cycles(&self, stats: &EncodeStats, table: &CodeTable, k: usize) -> f64 {
+        ALL_CASES
+            .into_iter()
+            .map(|c| {
+                stats.count(c) as f64 * (table.block_bits(c, k) as f64 + k as f64 / self.p)
+            })
+            .sum()
+    }
+
+    /// The paper's `TAT% = (t_nocomp − t_comp) / t_nocomp · 100`.
+    ///
+    /// Bounded above by the compression ratio; approaches it as `p → ∞`.
+    pub fn tat_percent(&self, encoded: &Encoded) -> f64 {
+        let t_no = self.uncompressed_cycles(encoded.source_len());
+        if t_no == 0.0 {
+            return 0.0;
+        }
+        let t_c = self.compressed_cycles(encoded.stats(), encoded.table(), encoded.k());
+        (t_no - t_c) / t_no * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoder;
+    use ninec_testdata::gen::SyntheticProfile;
+
+    fn sample_encoded(k: usize) -> Encoded {
+        let ts = SyntheticProfile::new("tat", 40, 200, 0.8).generate(3);
+        Encoder::new(k).unwrap().encode_set(&ts)
+    }
+
+    #[test]
+    fn tat_bounded_by_cr_and_monotone_in_p() {
+        let e = sample_encoded(8);
+        let cr = e.compression_ratio();
+        let mut last = f64::NEG_INFINITY;
+        for p in [1.0, 2.0, 4.0, 8.0, 16.0, 64.0] {
+            let tat = TatModel::new(p).tat_percent(&e);
+            assert!(tat <= cr + 1e-9, "TAT {tat} exceeds CR {cr} at p={p}");
+            assert!(tat >= last, "TAT must grow with p");
+            last = tat;
+        }
+    }
+
+    #[test]
+    fn tat_approaches_cr_for_large_p() {
+        let e = sample_encoded(8);
+        let tat = TatModel::new(1e9).tat_percent(&e);
+        assert!((tat - e.compression_ratio()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn compressed_cycles_formula() {
+        // One C1 block at K = 8, p = 8: 1 ATE bit + 8/8 scan-equivalent.
+        let e = Encoder::new(8).unwrap().encode_stream(&"00000000".parse().unwrap());
+        let m = TatModel::new(8.0);
+        let cycles = m.compressed_cycles(e.stats(), e.table(), 8);
+        assert!((cycles - 2.0).abs() < 1e-12);
+        // TAT = (8 - 2) / 8 = 75%.
+        assert!((m.tat_percent(&e) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_scan_clock_can_make_tat_negative() {
+        // p = 0.5: scanning dominates; even compressed data is slower
+        // than streaming raw bits at ATE speed for mismatch-heavy data.
+        let e = Encoder::new(8).unwrap().encode_stream(&"01X0101X".parse().unwrap());
+        let tat = TatModel::new(0.5).tat_percent(&e);
+        assert!(tat < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ratio_panics() {
+        let _ = TatModel::new(0.0);
+    }
+
+    #[test]
+    fn report_from_encoded() {
+        let e = sample_encoded(8);
+        let r = CompressionReport::from_encoded(&e);
+        assert_eq!(r.k, 8);
+        assert_eq!(r.source_bits, 40 * 200);
+        assert_eq!(r.compressed_bits, e.compressed_len());
+        assert_eq!(r.case_counts.iter().sum::<u64>(), e.stats().blocks);
+        assert!(r.to_string().contains("CR"));
+    }
+}

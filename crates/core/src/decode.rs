@@ -1,0 +1,299 @@
+//! The 9C software (reference) decoder.
+//!
+//! The on-chip decoder is modeled cycle-accurately in `ninec-decompressor`;
+//! this module is the behavioural reference both are checked against.
+
+use crate::code::{CodeTable, HalfSpec};
+use crate::encode::Encoded;
+use ninec_testdata::bits::BitVec;
+use ninec_testdata::trit::{Trit, TritVec};
+use std::fmt;
+
+/// Error returned when a compressed stream cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// No codeword matches at the given bit offset (truncated or corrupt
+    /// stream).
+    BadCodeword {
+        /// Bit offset where matching failed.
+        offset: usize,
+    },
+    /// A don't-care appeared inside a codeword (codewords must be fully
+    /// specified).
+    XInCodeword {
+        /// Bit offset of the offending symbol.
+        offset: usize,
+    },
+    /// The stream ended in the middle of a verbatim payload.
+    TruncatedPayload {
+        /// Bit offset where the payload started.
+        offset: usize,
+    },
+    /// Decoding produced fewer symbols than `source_len` requires.
+    TooShort {
+        /// Symbols produced.
+        produced: usize,
+        /// Symbols required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadCodeword { offset } => {
+                write!(f, "no codeword matches at bit offset {offset}")
+            }
+            DecodeError::XInCodeword { offset } => {
+                write!(f, "don't-care inside a codeword at bit offset {offset}")
+            }
+            DecodeError::TruncatedPayload { offset } => {
+                write!(f, "stream ends inside the payload starting at bit offset {offset}")
+            }
+            DecodeError::TooShort { produced, required } => {
+                write!(f, "decoded {produced} symbols but {required} were required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes a three-valued 9C stream produced with `table` and block size
+/// `k`, yielding exactly `source_len` symbols.
+///
+/// Uniform halves decode to runs of `0`/`1`; verbatim payload is copied
+/// through unchanged, so don't-cares in the payload reappear as `X` in the
+/// output. Pad symbols beyond `source_len` are dropped.
+///
+/// # Errors
+///
+/// See [`DecodeError`].
+///
+/// # Examples
+///
+/// ```
+/// use ninec::code::CodeTable;
+/// use ninec::decode::decode_stream;
+/// use ninec_testdata::trit::TritVec;
+///
+/// // C1 ("0") then C5 ("11100") with payload "01X0", at K = 8.
+/// let te: TritVec = "011100 01X0".replace(' ', "").parse()?;
+/// let out = decode_stream(&te, 8, &CodeTable::paper(), 16)?;
+/// assert_eq!(out.to_string(), "00000000" .to_owned() + "000001X0");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn decode_stream(
+    stream: &TritVec,
+    k: usize,
+    table: &CodeTable,
+    source_len: usize,
+) -> Result<TritVec, DecodeError> {
+    assert!(k >= 4 && k % 2 == 0, "block size must be even and >= 4, got {k}");
+    let half = k / 2;
+    let mut out = TritVec::with_capacity(source_len + k);
+    let mut pos = 0usize;
+    while out.len() < source_len {
+        if pos >= stream.len() {
+            return Err(DecodeError::TooShort {
+                produced: out.len(),
+                required: source_len,
+            });
+        }
+        // Match the next codeword; X inside a codeword is a corruption.
+        let mut saw_x_at = None;
+        let matched = table.match_at(|i| match stream.get(pos + i) {
+            Some(Trit::Zero) => Some(false),
+            Some(Trit::One) => Some(true),
+            Some(Trit::X) => {
+                if saw_x_at.is_none() {
+                    saw_x_at = Some(pos + i);
+                }
+                None
+            }
+            None => None,
+        });
+        let (case, used) = match matched {
+            Some(hit) => hit,
+            None => {
+                return Err(match saw_x_at {
+                    Some(offset) => DecodeError::XInCodeword { offset },
+                    None => DecodeError::BadCodeword { offset: pos },
+                })
+            }
+        };
+        pos += used;
+        let (ls, rs) = case.halves();
+        for spec in [ls, rs] {
+            match spec {
+                HalfSpec::Zero => {
+                    for _ in 0..half {
+                        out.push(Trit::Zero);
+                    }
+                }
+                HalfSpec::One => {
+                    for _ in 0..half {
+                        out.push(Trit::One);
+                    }
+                }
+                HalfSpec::Mismatch => {
+                    if pos + half > stream.len() {
+                        return Err(DecodeError::TruncatedPayload { offset: pos });
+                    }
+                    for i in 0..half {
+                        out.push(stream.get(pos + i).expect("length checked"));
+                    }
+                    pos += half;
+                }
+            }
+        }
+    }
+    Ok(out.slice(0, source_len))
+}
+
+/// Decodes an [`Encoded`] value back to a stream of `|T_D|` symbols.
+///
+/// # Errors
+///
+/// See [`DecodeError`]; cannot fail on streams produced by
+/// [`Encoder::encode_stream`](crate::encode::Encoder::encode_stream).
+pub fn decode(encoded: &Encoded) -> Result<TritVec, DecodeError> {
+    decode_stream(
+        encoded.stream(),
+        encoded.k(),
+        encoded.table(),
+        encoded.source_len(),
+    )
+}
+
+/// Decodes a fully specified bit stream (what the ATE actually stores,
+/// after X-fill) to the bits scanned into the chain.
+///
+/// # Errors
+///
+/// See [`DecodeError`].
+pub fn decode_bits(
+    bits: &BitVec,
+    k: usize,
+    table: &CodeTable,
+    source_len: usize,
+) -> Result<BitVec, DecodeError> {
+    let trits = TritVec::from(bits);
+    let out = decode_stream(&trits, k, table, source_len)?;
+    Ok(out.to_bitvec().expect("specified input decodes to specified output"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoder;
+    use ninec_testdata::fill::FillStrategy;
+
+    fn roundtrip(k: usize, s: &str) {
+        let src: TritVec = s.parse().unwrap();
+        let enc = Encoder::new(k).unwrap().encode_stream(&src);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec.len(), src.len());
+        // Every care bit of the source is preserved; every X is either
+        // preserved or bound to a constant by a uniform case.
+        for i in 0..src.len() {
+            let s = src.get(i).unwrap();
+            let d = dec.get(i).unwrap();
+            if s.is_care() {
+                assert_eq!(s, d, "care bit {i} changed in {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(8, "0X0X01X001X0101X111111110000X111");
+        roundtrip(4, "01X010XX11");
+        roundtrip(16, &"X0".repeat(40));
+        roundtrip(8, "0000000001"); // needs padding
+    }
+
+    #[test]
+    fn decode_regenerates_uniform_runs() {
+        let src: TritVec = "0X0XX11X".parse().unwrap();
+        let enc = Encoder::new(8).unwrap().encode_stream(&src);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec.to_string(), "00001111");
+    }
+
+    #[test]
+    fn payload_x_survives_decode() {
+        let src: TritVec = "000001X0".parse().unwrap();
+        let enc = Encoder::new(8).unwrap().encode_stream(&src);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec.to_string(), "000001X0");
+    }
+
+    #[test]
+    fn decode_bits_matches_filled_decode() {
+        let src: TritVec = "0X0X01X001X0101X".parse().unwrap();
+        let enc = Encoder::new(8).unwrap().encode_stream(&src);
+        let ate_bits = enc.to_bitvec(FillStrategy::Random { seed: 5 });
+        let dec = decode_bits(&ate_bits, 8, enc.table(), enc.source_len()).unwrap();
+        // The fully specified decode must cover the cube source.
+        let dec_trits = TritVec::from(&dec);
+        assert!(dec_trits.covers(&decode(&enc).unwrap()) || dec_trits.compatible_with(&src));
+        for i in 0..src.len() {
+            let s = src.get(i).unwrap();
+            if s.is_care() {
+                assert_eq!(Some(s), dec_trits.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_codeword_reported() {
+        // "11" alone is not a valid codeword prefix completion.
+        let te: TritVec = "11".parse().unwrap();
+        let err = decode_stream(&te, 8, &CodeTable::paper(), 8).unwrap_err();
+        assert!(matches!(err, DecodeError::BadCodeword { offset: 0 }));
+    }
+
+    #[test]
+    fn x_in_codeword_reported() {
+        let te: TritVec = "X".parse().unwrap();
+        let err = decode_stream(&te, 8, &CodeTable::paper(), 8).unwrap_err();
+        assert!(matches!(err, DecodeError::XInCodeword { offset: 0 }));
+    }
+
+    #[test]
+    fn truncated_payload_reported() {
+        // C9 ("1100") promises 8 payload bits but only 3 follow.
+        let te: TritVec = "1100010".parse().unwrap();
+        let err = decode_stream(&te, 8, &CodeTable::paper(), 8).unwrap_err();
+        assert!(matches!(err, DecodeError::TruncatedPayload { offset: 4 }));
+    }
+
+    #[test]
+    fn too_short_reported() {
+        // One C1 block yields 8 symbols; 16 were promised.
+        let te: TritVec = "0".parse().unwrap();
+        let err = decode_stream(&te, 8, &CodeTable::paper(), 16).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::TooShort { produced: 8, required: 16 }
+        ));
+    }
+
+    #[test]
+    fn custom_table_roundtrip() {
+        use crate::code::PAPER_LENGTHS;
+        let mut lengths = PAPER_LENGTHS;
+        lengths.swap(0, 8);
+        let table = CodeTable::from_lengths(&lengths).unwrap();
+        let src: TritVec = "01X010XX11000111".parse().unwrap();
+        let enc = Encoder::with_table(8, table.clone()).unwrap().encode_stream(&src);
+        let dec = decode(&enc).unwrap();
+        for i in 0..src.len() {
+            let s = src.get(i).unwrap();
+            if s.is_care() {
+                assert_eq!(Some(s), dec.get(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,565 @@
+//! The 9C encoder.
+
+use crate::block::HalfClass;
+use crate::code::{Case, CodeTable, HalfSpec, ALL_CASES};
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::trit::{Trit, TritVec};
+use std::fmt;
+
+/// Case-selection policy among (near-)equal-cost alternatives.
+///
+/// A block with flexible halves (e.g. all-`X`) satisfies several cases at
+/// different costs. [`CaseSelect::MinSize`] is the paper's policy: always
+/// take the cheapest case. [`CaseSelect::PowerAware`] exploits the same
+/// flexibility for scan power: among cases within `max_extra_bits` of the
+/// cheapest, pick the one whose bound values introduce the fewest
+/// transitions at the block-boundary and half-boundary seams — trading a
+/// sliver of CR for quieter scan-in (the paper's §IV remark, made
+/// concrete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CaseSelect {
+    /// The paper's greedy: cheapest case, ties to the lower case index.
+    #[default]
+    MinSize,
+    /// Transition-minimizing selection within a size budget per block.
+    PowerAware {
+        /// How many extra encoded bits per block the selector may spend.
+        max_extra_bits: usize,
+    },
+}
+
+/// Per-case occurrence counts and size bookkeeping for one encoding run —
+/// the paper's `N_1 … N_9` (Table VI) plus derived sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EncodeStats {
+    /// Occurrences of each case, `C1` … `C9`.
+    pub case_counts: [u64; 9],
+    /// Total number of `K`-bit blocks encoded.
+    pub blocks: u64,
+    /// Total encoded bits `|T_E|` (codewords + verbatim payload).
+    pub encoded_bits: u64,
+    /// Don't-care symbols that survived into the payload (leftover X).
+    pub leftover_x: u64,
+}
+
+impl EncodeStats {
+    /// Occurrences of `case`.
+    pub fn count(&self, case: Case) -> u64 {
+        self.case_counts[case.index()]
+    }
+
+    /// Recomputes `|T_E|` from the counts via the paper's formula:
+    /// `Σ N_i · (|C_i| + payload_i(K))`. Equals [`EncodeStats::encoded_bits`]
+    /// for the table/K the stats were produced with.
+    pub fn size_by_formula(&self, table: &CodeTable, k: usize) -> u64 {
+        ALL_CASES
+            .into_iter()
+            .map(|c| self.count(c) * table.block_bits(c, k) as u64)
+            .sum()
+    }
+}
+
+impl fmt::Display for EncodeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for case in ALL_CASES {
+            write!(f, "{}={} ", case.label(), self.count(case))?;
+        }
+        write!(f, "blocks={} |T_E|={}", self.blocks, self.encoded_bits)
+    }
+}
+
+/// The result of compressing a test stream with 9C.
+///
+/// The compressed stream is itself three-valued: codeword bits are care
+/// bits, but verbatim payload keeps its don't-cares — the "leftover X" the
+/// paper trades off against compression ratio. Use
+/// [`Encoded::to_bitvec`](Encoded::to_bitvec) to bind them before shipping
+/// to an ATE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Encoded {
+    k: usize,
+    table: CodeTable,
+    stream: TritVec,
+    source_len: usize,
+    stats: EncodeStats,
+}
+
+impl Encoded {
+    /// Block size `K` used for encoding.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The code table used for encoding.
+    pub fn table(&self) -> &CodeTable {
+        &self.table
+    }
+
+    /// The compressed stream `T_E` (codewords are care bits, payload may
+    /// contain `X`).
+    pub fn stream(&self) -> &TritVec {
+        &self.stream
+    }
+
+    /// Original (unpadded) length of the source stream, `|T_D|`.
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// `|T_E|` in bits.
+    pub fn compressed_len(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Encoding statistics.
+    pub fn stats(&self) -> &EncodeStats {
+        &self.stats
+    }
+
+    /// Compression ratio in percent:
+    /// `CR% = (|T_D| − |T_E|) / |T_D| · 100`. Negative when the code
+    /// expands the data.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.source_len == 0 {
+            return 0.0;
+        }
+        (self.source_len as f64 - self.compressed_len() as f64) / self.source_len as f64 * 100.0
+    }
+
+    /// Leftover don't-cares as a percentage of `|T_D|` (the paper's LX%).
+    pub fn leftover_x_percent(&self) -> f64 {
+        if self.source_len == 0 {
+            return 0.0;
+        }
+        self.stats.leftover_x as f64 / self.source_len as f64 * 100.0
+    }
+
+    /// Binds the leftover don't-cares with `strategy`, yielding the bit
+    /// stream an ATE would store.
+    pub fn to_bitvec(&self, strategy: ninec_testdata::fill::FillStrategy) -> ninec_testdata::bits::BitVec {
+        ninec_testdata::fill::fill_trits(&self.stream, strategy)
+            .to_bitvec()
+            .expect("fill produces a fully specified stream")
+    }
+}
+
+/// Error: invalid block size for 9C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidBlockSize {
+    /// The rejected size.
+    pub k: usize,
+}
+
+impl fmt::Display for InvalidBlockSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block size must be even and at least 4, got {}", self.k)
+    }
+}
+
+impl std::error::Error for InvalidBlockSize {}
+
+/// The 9C encoder for a fixed block size `K`.
+///
+/// # Examples
+///
+/// ```
+/// use ninec::encode::Encoder;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let encoder = Encoder::new(8)?;
+/// // One all-zero-compatible block and one all-ones block: "0" + "10".
+/// let stream: TritVec = "0X0X00XX1111X111".parse()?;
+/// let encoded = encoder.encode_stream(&stream);
+/// assert_eq!(encoded.stream().to_string(), "010");
+/// assert!(encoded.compression_ratio() > 80.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Encoder {
+    k: usize,
+    table: CodeTable,
+    select: CaseSelect,
+}
+
+impl Encoder {
+    /// Creates an encoder with the paper's code table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBlockSize`] unless `k` is even and at least 4.
+    pub fn new(k: usize) -> Result<Self, InvalidBlockSize> {
+        Self::with_table(k, CodeTable::paper())
+    }
+
+    /// Creates an encoder with a custom (e.g. frequency-reassigned) table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBlockSize`] unless `k` is even and at least 4.
+    pub fn with_table(k: usize, table: CodeTable) -> Result<Self, InvalidBlockSize> {
+        if k < 4 || k % 2 != 0 {
+            return Err(InvalidBlockSize { k });
+        }
+        Ok(Self { k, table, select: CaseSelect::MinSize })
+    }
+
+    /// Sets the case-selection policy (see [`CaseSelect`]).
+    pub fn with_case_select(mut self, select: CaseSelect) -> Self {
+        self.select = select;
+        self
+    }
+
+    /// Block size `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The encoder's code table.
+    pub fn table(&self) -> &CodeTable {
+        &self.table
+    }
+
+    /// Compresses a flat symbol stream.
+    ///
+    /// The stream is padded with `X` to a multiple of `K`; the pad is
+    /// free to encode (it extends the final block's halves) and the decoder
+    /// drops it again via [`Encoded::source_len`].
+    pub fn encode_stream(&self, stream: &TritVec) -> Encoded {
+        let k = self.k;
+        let source_len = stream.len();
+        let padded_len = source_len.div_ceil(k) * k;
+        let mut padded;
+        let stream = if padded_len == source_len {
+            stream
+        } else {
+            padded = stream.clone();
+            for _ in source_len..padded_len {
+                padded.push(Trit::X);
+            }
+            &padded
+        };
+
+        let mut out = TritVec::with_capacity(padded_len / 4);
+        let mut stats = EncodeStats::default();
+        let half = k / 2;
+        // For power-aware selection: the value the scan chain last saw.
+        let mut prev_last: Option<bool> = None;
+        for start in (0..padded_len).step_by(k) {
+            let left = HalfClass::classify(
+                (start..start + half).map(|i| stream.get(i).expect("in range")),
+            );
+            let right = HalfClass::classify(
+                (start + half..start + k).map(|i| stream.get(i).expect("in range")),
+            );
+            let case = self.select_case(stream, start, left, right, prev_last);
+            stats.case_counts[case.index()] += 1;
+            stats.blocks += 1;
+            for bit in self.table.codeword(case).iter_bits() {
+                out.push(Trit::from(bit));
+            }
+            let (ls, rs) = case.halves();
+            for (spec, offset) in [(ls, 0), (rs, half)] {
+                if spec == HalfSpec::Mismatch {
+                    for i in start + offset..start + offset + half {
+                        let t = stream.get(i).expect("in range");
+                        if t.is_x() {
+                            stats.leftover_x += 1;
+                        }
+                        out.push(t);
+                    }
+                }
+            }
+            prev_last = half_boundary_value(stream, start + half, half, rs, BlockEdge::Last);
+        }
+        stats.encoded_bits = out.len() as u64;
+        Encoded {
+            k,
+            table: self.table.clone(),
+            stream: out,
+            source_len,
+            stats,
+        }
+    }
+
+    /// Compresses a test set as one stream, pattern after pattern — the
+    /// single-scan-chain arrangement of the paper's Figure 4(a).
+    pub fn encode_set(&self, set: &TestSet) -> Encoded {
+        self.encode_stream(set.as_stream())
+    }
+
+    /// Picks the block's case under the configured selection policy.
+    fn select_case(
+        &self,
+        stream: &TritVec,
+        start: usize,
+        left: HalfClass,
+        right: HalfClass,
+        prev_last: Option<bool>,
+    ) -> Case {
+        let k = self.k;
+        let budget = match self.select {
+            CaseSelect::MinSize => 0,
+            CaseSelect::PowerAware { max_extra_bits } => max_extra_bits,
+        };
+        let mut candidates: Vec<(usize, Case)> = ALL_CASES
+            .into_iter()
+            .filter(|case| {
+                let (ls, rs) = case.halves();
+                left.satisfies(ls) && right.satisfies(rs)
+            })
+            .map(|case| (self.table.block_bits(case, k), case))
+            .collect();
+        let best_cost = candidates
+            .iter()
+            .map(|(c, _)| *c)
+            .min()
+            .expect("MM is always feasible");
+        candidates.retain(|(c, _)| *c <= best_cost + budget);
+        candidates
+            .into_iter()
+            .min_by_key(|&(cost, case)| {
+                let penalty = match self.select {
+                    CaseSelect::MinSize => 0,
+                    CaseSelect::PowerAware { .. } => {
+                        seam_transitions(stream, start, k, case, prev_last)
+                    }
+                };
+                (penalty, cost, case.index())
+            })
+            .map(|(_, case)| case)
+            .expect("candidate set is non-empty")
+    }
+}
+
+/// Which edge of a half to inspect.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BlockEdge {
+    First,
+    Last,
+}
+
+/// The concrete value a half presents at one of its edges after decoding,
+/// or `None` when it is data-dependent (an `X` in a verbatim payload).
+fn half_boundary_value(
+    stream: &TritVec,
+    half_start: usize,
+    half: usize,
+    spec: HalfSpec,
+    edge: BlockEdge,
+) -> Option<bool> {
+    match spec {
+        HalfSpec::Zero => Some(false),
+        HalfSpec::One => Some(true),
+        HalfSpec::Mismatch => {
+            let idx = match edge {
+                BlockEdge::First => half_start,
+                BlockEdge::Last => half_start + half - 1,
+            };
+            stream.get(idx).and_then(Trit::value)
+        }
+    }
+}
+
+/// Transitions a case introduces at the previous-block seam and the
+/// half-to-half seam (only seams whose two sides are both known count).
+fn seam_transitions(
+    stream: &TritVec,
+    start: usize,
+    k: usize,
+    case: Case,
+    prev_last: Option<bool>,
+) -> usize {
+    let half = k / 2;
+    let (ls, rs) = case.halves();
+    let left_first = half_boundary_value(stream, start, half, ls, BlockEdge::First);
+    let left_last = half_boundary_value(stream, start, half, ls, BlockEdge::Last);
+    let right_first = half_boundary_value(stream, start + half, half, rs, BlockEdge::First);
+    let seam = |a: Option<bool>, b: Option<bool>| matches!((a, b), (Some(x), Some(y)) if x != y);
+    seam(prev_last, left_first) as usize + seam(left_last, right_first) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(k: usize, s: &str) -> Encoded {
+        Encoder::new(k).unwrap().encode_stream(&s.parse().unwrap())
+    }
+
+    #[test]
+    fn rejects_bad_block_sizes() {
+        assert!(Encoder::new(0).is_err());
+        assert!(Encoder::new(2).is_err());
+        assert!(Encoder::new(7).is_err());
+        assert!(Encoder::new(4).is_ok());
+    }
+
+    #[test]
+    fn all_zero_block_is_one_bit() {
+        let e = enc(8, "0X00X0X0");
+        assert_eq!(e.stream().to_string(), "0");
+        assert_eq!(e.stats().count(Case::ZZ), 1);
+        assert_eq!(e.stats().leftover_x, 0);
+    }
+
+    #[test]
+    fn table_one_example_cases() {
+        // K = 8 blocks exercising C2, C3, C4.
+        let e = enc(8, "11111111");
+        assert_eq!(e.stream().to_string(), "10");
+        let e = enc(8, "0000X111");
+        assert_eq!(e.stream().to_string(), "11010");
+        let e = enc(8, "1X110000");
+        assert_eq!(e.stream().to_string(), "11011");
+    }
+
+    #[test]
+    fn mismatch_halves_travel_verbatim_with_their_x() {
+        // Left 0-compatible, right mismatch "01X0": C5 + payload.
+        let e = enc(8, "0X0X01X0");
+        assert_eq!(e.stream().to_string(), "1110001X0");
+        assert_eq!(e.stats().count(Case::ZM), 1);
+        assert_eq!(e.stats().leftover_x, 1);
+        assert!((e.leftover_x_percent() - 100.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_mismatch_block() {
+        let e = enc(8, "01X0101X");
+        assert_eq!(e.stream().to_string(), "110001X0101X");
+        assert_eq!(e.stats().count(Case::MM), 1);
+        assert_eq!(e.stats().leftover_x, 2);
+    }
+
+    #[test]
+    fn padding_extends_last_block_with_x() {
+        // 10 symbols at K = 8: second block is "01" + 6 X pads -> mismatch?
+        // "01XXXXXX" halves: "01XX" mismatch? contains 0 and 1 -> yes, left
+        // mismatch; right all-X -> MZ.
+        let e = enc(8, "0000000001");
+        assert_eq!(e.source_len(), 10);
+        assert_eq!(e.stats().count(Case::ZZ), 1);
+        assert_eq!(e.stats().count(Case::MZ), 1);
+        // Stream: "0" + C6 "11101" + verbatim "01XX".
+        assert_eq!(e.stream().to_string(), "01110101XX");
+    }
+
+    #[test]
+    fn formula_matches_emitted_length() {
+        let e = enc(8, "0X0X01X001X0101X111111110000X111");
+        assert_eq!(
+            e.stats().size_by_formula(e.table(), e.k()),
+            e.compressed_len() as u64
+        );
+    }
+
+    #[test]
+    fn compression_ratio_sign() {
+        // Highly compressible: all X.
+        let e = enc(16, &"X".repeat(160));
+        assert!(e.compression_ratio() > 90.0);
+        // Incompressible: alternating cares -> every block MM, CR < 0.
+        let s: String = std::iter::repeat("01").take(40).flat_map(|x| x.chars()).collect();
+        let e = enc(8, &s);
+        assert!(e.compression_ratio() < 0.0);
+    }
+
+    #[test]
+    fn to_bitvec_binds_all_x() {
+        use ninec_testdata::fill::FillStrategy;
+        let e = enc(8, "0X0X01X0");
+        let bits = e.to_bitvec(FillStrategy::Zero);
+        assert_eq!(bits.to_string(), "111000100");
+    }
+
+    #[test]
+    fn stats_display_mentions_all_cases() {
+        let e = enc(8, "00000000");
+        let s = e.stats().to_string();
+        assert!(s.contains("C1=1") && s.contains("C9=0"));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let e = enc(8, "");
+        assert_eq!(e.compressed_len(), 0);
+        assert_eq!(e.compression_ratio(), 0.0);
+        assert_eq!(e.stats().blocks, 0);
+    }
+
+    #[test]
+    fn power_aware_keeps_all_x_blocks_on_the_previous_value() {
+        // "1111 1111" then all-X: MinSize binds the X block to zeros
+        // (C1, 1 bit); PowerAware spends one extra bit on C2 to avoid the
+        // 1->0 seam transition.
+        let src: TritVec = "11111111XXXXXXXX".parse().unwrap();
+        let default = Encoder::new(8).unwrap().encode_stream(&src);
+        assert_eq!(default.stats().count(Case::ZZ), 1);
+        let quiet = Encoder::new(8)
+            .unwrap()
+            .with_case_select(CaseSelect::PowerAware { max_extra_bits: 1 })
+            .encode_stream(&src);
+        assert_eq!(quiet.stats().count(Case::OO), 2);
+        assert_eq!(quiet.stats().count(Case::ZZ), 0);
+        // Cost: one extra bit total.
+        assert_eq!(quiet.compressed_len(), default.compressed_len() + 1);
+    }
+
+    #[test]
+    fn power_aware_with_zero_budget_equals_min_size() {
+        let src: TritVec = "11111111XXXXXXXX01X0XXXX".parse().unwrap();
+        let a = Encoder::new(8).unwrap().encode_stream(&src);
+        let b = Encoder::new(8)
+            .unwrap()
+            .with_case_select(CaseSelect::PowerAware { max_extra_bits: 0 })
+            .encode_stream(&src);
+        assert_eq!(a.stream(), b.stream());
+    }
+
+    #[test]
+    fn power_aware_extra_cost_is_bounded_by_budget() {
+        use ninec_testdata::gen::SyntheticProfile;
+        let ts = SyntheticProfile::new("pw", 20, 120, 0.8).generate(5);
+        for budget in [1usize, 4] {
+            let default = Encoder::new(8).unwrap().encode_set(&ts);
+            let quiet = Encoder::new(8)
+                .unwrap()
+                .with_case_select(CaseSelect::PowerAware { max_extra_bits: budget })
+                .encode_set(&ts);
+            let extra = quiet.compressed_len() as i64 - default.compressed_len() as i64;
+            assert!(extra >= 0);
+            assert!(
+                extra as u64 <= budget as u64 * default.stats().blocks,
+                "budget {budget}: extra {extra}"
+            );
+            // Still decodes compatibly.
+            let dec = crate::decode::decode(&quiet).unwrap();
+            let src = ts.as_stream();
+            for i in 0..src.len() {
+                let s = src.get(i).unwrap();
+                if s.is_care() {
+                    assert_eq!(Some(s), dec.get(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_aware_reduces_decoded_transitions() {
+        use ninec_testdata::fill::{fill_trits, FillStrategy};
+        use ninec_testdata::gen::SyntheticProfile;
+        use ninec_testdata::power::wtm;
+        let ts = SyntheticProfile::new("pwr", 30, 128, 0.8).generate(8);
+        let measure = |select: CaseSelect| {
+            let enc = Encoder::new(8).unwrap().with_case_select(select).encode_set(&ts);
+            let dec = crate::decode::decode(&enc).unwrap();
+            wtm(&fill_trits(&dec, FillStrategy::MinTransition).to_bitvec().unwrap())
+        };
+        let default = measure(CaseSelect::MinSize);
+        let quiet = measure(CaseSelect::PowerAware { max_extra_bits: 2 });
+        assert!(
+            quiet < default,
+            "power-aware {quiet} should beat default {default}"
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Multiple-scan-chain data arrangement (paper §III-B, Figures 3 and 4).
+//!
+//! For reduced pin-count testing, the `L`-cell scan load of each pattern is
+//! split across `m` internal scan chains of length `l = ⌈L/m⌉`. At each of
+//! the `l` shift cycles the decoder's `m`-bit shifter releases one bit into
+//! every chain, so the data stream the decoder consumes is the *vertical*
+//! traversal: for each shift cycle, the `m` bits destined for chains
+//! `1 … m`. That stream is then cut into `K`-bit blocks (`K` must divide
+//! `m`) and 9C-encoded exactly like the single-chain stream.
+
+use crate::encode::{Encoded, Encoder, InvalidBlockSize};
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::trit::{Trit, TritVec};
+use std::fmt;
+
+/// A multiple-scan-chain arrangement: `m` chains of `l` cells serving
+/// patterns of `L ≤ m·l` cells.
+///
+/// Chain `c` holds the pattern cells `c·l .. (c+1)·l`; positions beyond `L`
+/// (only in the last chain when `m ∤ L`) are padding and carry `X`.
+///
+/// # Examples
+///
+/// ```
+/// use ninec::multiscan::ScanChains;
+///
+/// let chains = ScanChains::new(100, 8)?;
+/// assert_eq!(chains.chains(), 8);
+/// assert_eq!(chains.chain_len(), 13); // ceil(100 / 8)
+/// assert_eq!(chains.padded_len(), 104);
+/// # Ok::<(), ninec::multiscan::InvalidChainCount>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanChains {
+    pattern_len: usize,
+    chains: usize,
+    chain_len: usize,
+}
+
+impl ScanChains {
+    /// Splits `pattern_len` cells across `m` chains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidChainCount`] if `m` is 0 or exceeds `pattern_len`.
+    pub fn new(pattern_len: usize, m: usize) -> Result<Self, InvalidChainCount> {
+        if m == 0 || m > pattern_len {
+            return Err(InvalidChainCount { m, pattern_len });
+        }
+        Ok(Self {
+            pattern_len,
+            chains: m,
+            chain_len: pattern_len.div_ceil(m),
+        })
+    }
+
+    /// Number of chains `m`.
+    pub fn chains(&self) -> usize {
+        self.chains
+    }
+
+    /// Cells per chain `l`.
+    pub fn chain_len(&self) -> usize {
+        self.chain_len
+    }
+
+    /// Original pattern length `L`.
+    pub fn pattern_len(&self) -> usize {
+        self.pattern_len
+    }
+
+    /// `m · l`, the symbols one pattern occupies in the vertical stream.
+    pub fn padded_len(&self) -> usize {
+        self.chains * self.chain_len
+    }
+
+    /// Rearranges one pattern into its vertical stream: for each shift
+    /// cycle `j`, the bits for chains `0 … m−1` (pad cells become `X`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len() != self.pattern_len()`.
+    pub fn vertical_pattern(&self, pattern: &TritVec) -> TritVec {
+        assert_eq!(pattern.len(), self.pattern_len, "pattern length mismatch");
+        let mut out = TritVec::with_capacity(self.padded_len());
+        for j in 0..self.chain_len {
+            for c in 0..self.chains {
+                let idx = c * self.chain_len + j;
+                out.push(pattern.get(idx).unwrap_or(Trit::X));
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`vertical_pattern`](Self::vertical_pattern): recovers the
+    /// original pattern (dropping pad positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertical.len() != self.padded_len()`.
+    pub fn horizontal_pattern(&self, vertical: &TritVec) -> TritVec {
+        assert_eq!(vertical.len(), self.padded_len(), "vertical length mismatch");
+        let mut out = TritVec::with_capacity(self.pattern_len);
+        for idx in 0..self.pattern_len {
+            let (c, j) = (idx / self.chain_len, idx % self.chain_len);
+            out.push(vertical.get(j * self.chains + c).expect("length checked"));
+        }
+        out
+    }
+
+    /// Rearranges a whole test set into the stream the multi-scan decoder
+    /// consumes (patterns in order, each vertically traversed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set.pattern_len() != self.pattern_len()`.
+    pub fn vertical_stream(&self, set: &TestSet) -> TritVec {
+        assert_eq!(set.pattern_len(), self.pattern_len, "test set length mismatch");
+        let mut out = TritVec::with_capacity(set.num_patterns() * self.padded_len());
+        for p in set.patterns() {
+            out.extend_from_tritvec(&self.vertical_pattern(&p));
+        }
+        out
+    }
+
+    /// Inverse of [`vertical_stream`](Self::vertical_stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not a whole number of vertical patterns.
+    pub fn horizontal_set(&self, vertical: &TritVec) -> TestSet {
+        let per = self.padded_len();
+        assert_eq!(vertical.len() % per, 0, "stream is not whole vertical patterns");
+        let mut ts = TestSet::new(self.pattern_len);
+        for start in (0..vertical.len()).step_by(per) {
+            let v = vertical.slice(start, start + per);
+            ts.push_pattern(&self.horizontal_pattern(&v))
+                .expect("horizontal pattern has the set's length");
+        }
+        ts
+    }
+}
+
+/// Compresses a test set for an `m`-chain design: vertical rearrangement
+/// followed by 9C at block size `k`.
+///
+/// # Errors
+///
+/// Returns [`MultiScanEncodeError`] if `k` does not divide `m`, `m` is
+/// invalid for the set, or `k` itself is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use ninec::multiscan::encode_multiscan;
+/// use ninec_testdata::gen::SyntheticProfile;
+///
+/// let ts = SyntheticProfile::new("ms", 10, 64, 0.8).generate(1);
+/// let encoded = encode_multiscan(&ts, 16, 8)?;
+/// assert!(encoded.compression_ratio() > 0.0);
+/// # Ok::<(), ninec::multiscan::MultiScanEncodeError>(())
+/// ```
+pub fn encode_multiscan(
+    set: &TestSet,
+    m: usize,
+    k: usize,
+) -> Result<Encoded, MultiScanEncodeError> {
+    if m % k != 0 {
+        return Err(MultiScanEncodeError::BlockDoesNotDivideChains { k, m });
+    }
+    let chains = ScanChains::new(set.pattern_len(), m).map_err(MultiScanEncodeError::Chains)?;
+    let vertical = chains.vertical_stream(set);
+    let encoder = Encoder::new(k).map_err(MultiScanEncodeError::BlockSize)?;
+    Ok(encoder.encode_stream(&vertical))
+}
+
+/// Error: invalid chain count for a scan configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidChainCount {
+    /// Requested chain count.
+    pub m: usize,
+    /// Pattern length it was requested for.
+    pub pattern_len: usize,
+}
+
+impl fmt::Display for InvalidChainCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chain count {} invalid for pattern length {}",
+            self.m, self.pattern_len
+        )
+    }
+}
+
+impl std::error::Error for InvalidChainCount {}
+
+/// Error returned by [`encode_multiscan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiScanEncodeError {
+    /// `K` must divide the chain count so whole blocks fill the shifter.
+    BlockDoesNotDivideChains {
+        /// Block size.
+        k: usize,
+        /// Chain count.
+        m: usize,
+    },
+    /// Invalid chain count.
+    Chains(InvalidChainCount),
+    /// Invalid block size.
+    BlockSize(InvalidBlockSize),
+}
+
+impl fmt::Display for MultiScanEncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiScanEncodeError::BlockDoesNotDivideChains { k, m } => {
+                write!(f, "block size {k} must divide chain count {m}")
+            }
+            MultiScanEncodeError::Chains(e) => e.fmt(f),
+            MultiScanEncodeError::BlockSize(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for MultiScanEncodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MultiScanEncodeError::Chains(e) => Some(e),
+            MultiScanEncodeError::BlockSize(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninec_testdata::gen::SyntheticProfile;
+
+    #[test]
+    fn vertical_horizontal_roundtrip_exact_division() {
+        let chains = ScanChains::new(12, 4).unwrap();
+        let pattern: TritVec = "01X010XX11X0".parse().unwrap();
+        let v = chains.vertical_pattern(&pattern);
+        assert_eq!(v.len(), 12);
+        let back = chains.horizontal_pattern(&v);
+        assert_eq!(back, pattern);
+    }
+
+    #[test]
+    fn vertical_order_is_chain_major_per_cycle() {
+        // L = 6, m = 2, l = 3. Chain 0 = cells 0,1,2; chain 1 = cells 3,4,5.
+        // Cycle j emits (cell j of chain 0, cell j of chain 1).
+        let chains = ScanChains::new(6, 2).unwrap();
+        let pattern: TritVec = "012345".replace(['2', '3', '4', '5'], "X").parse().unwrap();
+        // pattern = 0 1 X X X X
+        let v = chains.vertical_pattern(&pattern);
+        // cycles: (c0[0], c1[0]) = (0, X), (c0[1], c1[1]) = (1, X), (X, X)
+        assert_eq!(v.to_string(), "0X1XXX");
+    }
+
+    #[test]
+    fn padding_when_chains_do_not_divide() {
+        let chains = ScanChains::new(10, 4).unwrap();
+        assert_eq!(chains.chain_len(), 3);
+        assert_eq!(chains.padded_len(), 12);
+        let pattern: TritVec = "0101010101".parse().unwrap();
+        let v = chains.vertical_pattern(&pattern);
+        assert_eq!(v.len(), 12);
+        assert_eq!(chains.horizontal_pattern(&v), pattern);
+        // Exactly two pad X's appear.
+        assert_eq!(v.count_x(), 2);
+    }
+
+    #[test]
+    fn set_roundtrip() {
+        let ts = SyntheticProfile::new("msrt", 9, 50, 0.7).generate(4);
+        let chains = ScanChains::new(50, 5).unwrap();
+        let v = chains.vertical_stream(&ts);
+        assert_eq!(v.len(), 9 * chains.padded_len());
+        let back = chains.horizontal_set(&v);
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn encode_multiscan_roundtrips_through_decode() {
+        let ts = SyntheticProfile::new("msenc", 8, 60, 0.75).generate(7);
+        let enc = encode_multiscan(&ts, 12, 4).unwrap();
+        let vertical = crate::decode::decode(&enc).unwrap();
+        let chains = ScanChains::new(60, 12).unwrap();
+        let back = chains.horizontal_set(&vertical);
+        // All care bits preserved through the whole path.
+        for (orig, got) in ts.patterns().zip(back.patterns()) {
+            for i in 0..orig.len() {
+                let o = orig.get(i).unwrap();
+                if o.is_care() {
+                    assert_eq!(Some(o), got.get(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let ts = SyntheticProfile::new("msbad", 4, 32, 0.5).generate(1);
+        assert!(matches!(
+            encode_multiscan(&ts, 12, 8),
+            Err(MultiScanEncodeError::BlockDoesNotDivideChains { .. })
+        ));
+        assert!(matches!(
+            encode_multiscan(&ts, 0, 8),
+            Err(MultiScanEncodeError::Chains(_))
+        ));
+        assert!(matches!(
+            encode_multiscan(&ts, 40, 8),
+            Err(MultiScanEncodeError::Chains(_))
+        ));
+    }
+
+    #[test]
+    fn chain_count_validation() {
+        assert!(ScanChains::new(10, 0).is_err());
+        assert!(ScanChains::new(10, 11).is_err());
+        assert!(ScanChains::new(10, 10).is_ok());
+    }
+}

@@ -1,0 +1,262 @@
+//! Decoder hardware-cost estimation (the paper's "very small decoder,
+//! independent of K and of the test set" claim, §III / §IV).
+//!
+//! The control FSM is tabulated explicitly and synthesized with
+//! [`ninec_synth`]; the `log2(K/2)`-bit counter and `K/2`-bit shifter are
+//! costed structurally. Only the counter/shifter depend on `K` — the FSM
+//! is byte-for-byte identical for every block size, which is the paper's
+//! design-reuse argument.
+
+use ninec::code::{Case, HalfSpec, ALL_CASES};
+use ninec_synth::fsm::{Fsm, SynthReport};
+use std::fmt;
+
+/// FSM input bit 0: the serial data bit from the ATE.
+pub const IN_DATA: u32 = 0b01;
+/// FSM input bit 1: the counter's `Done` pulse.
+pub const IN_DONE: u32 = 0b10;
+
+/// FSM output bits: `sel0`, `sel1` (MUX select: 00 = constant 0,
+/// 01 = constant 1, 10 = shifter data), `cnt_en`, `ack`.
+pub const OUT_SEL0: u64 = 0b0001;
+/// See [`OUT_SEL0`].
+pub const OUT_SEL1: u64 = 0b0010;
+/// Counter/scan enable.
+pub const OUT_CNT_EN: u64 = 0b0100;
+/// Handshake back to the ATE.
+pub const OUT_ACK: u64 = 0b1000;
+
+// State numbering: 0..=7 parse the prefix code bit-serially, 8..=16 drive
+// the left half of case C1..C9, 17..=19 drive the right half (by spec),
+// 20 raises Ack.
+const ROOT: usize = 0;
+const P1: usize = 1;
+const P11: usize = 2;
+const P110: usize = 3;
+const P1101: usize = 4;
+const P111: usize = 5;
+const P1110: usize = 6;
+const P1111: usize = 7;
+const LEFT_BASE: usize = 8;
+const RIGHT_BASE: usize = 17;
+const ACK: usize = 20;
+const NUM_STATES: usize = 21;
+
+fn sel_bits(spec: HalfSpec) -> u64 {
+    match spec {
+        HalfSpec::Zero => 0,
+        HalfSpec::One => OUT_SEL0,
+        HalfSpec::Mismatch => OUT_SEL1,
+    }
+}
+
+fn right_state(spec: HalfSpec) -> usize {
+    RIGHT_BASE
+        + match spec {
+            HalfSpec::Zero => 0,
+            HalfSpec::One => 1,
+            HalfSpec::Mismatch => 2,
+        }
+}
+
+/// Builds the 9C decoder control FSM (Fig. 2 of the paper, elaborated to
+/// one state per prefix-tree node plus per-half execution states).
+///
+/// The machine is independent of `K` and of the test set: `K` only sizes
+/// the counter the `Done` input comes from.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_decompressor::area::{decoder_fsm, IN_DATA};
+///
+/// let fsm = decoder_fsm();
+/// assert_eq!(fsm.num_states(), 21);
+/// // Codeword "0" (C1) jumps straight to execution.
+/// assert_eq!(fsm.next_state(0, 0), 8);
+/// // Codeword "10" (C2): root --1--> parse, --0--> execute.
+/// assert_eq!(fsm.next_state(0, IN_DATA), 1);
+/// assert_eq!(fsm.next_state(1, 0), 9);
+/// ```
+pub fn decoder_fsm() -> Fsm {
+    Fsm::from_fn("ninec-decoder", NUM_STATES, 2, 4, |state, input| {
+        let data = input & IN_DATA != 0;
+        let done = input & IN_DONE != 0;
+        match state {
+            // --- Prefix-tree walk (outputs all low).
+            ROOT => (if data { P1 } else { left_state(Case::ZZ) }, 0),
+            P1 => (if data { P11 } else { left_state(Case::OO) }, 0),
+            P11 => (if data { P111 } else { P110 }, 0),
+            P110 => (if data { P1101 } else { left_state(Case::MM) }, 0),
+            P1101 => (
+                if data { left_state(Case::OZ) } else { left_state(Case::ZO) },
+                0,
+            ),
+            P111 => (if data { P1111 } else { P1110 }, 0),
+            P1110 => (
+                if data { left_state(Case::MZ) } else { left_state(Case::ZM) },
+                0,
+            ),
+            P1111 => (
+                if data { left_state(Case::MO) } else { left_state(Case::OM) },
+                0,
+            ),
+            // --- Left-half execution: hold until the counter says Done.
+            s if (LEFT_BASE..LEFT_BASE + 9).contains(&s) => {
+                let case = ALL_CASES[s - LEFT_BASE];
+                let (left, right) = case.halves();
+                let outputs = sel_bits(left) | OUT_CNT_EN;
+                (if done { right_state(right) } else { s }, outputs)
+            }
+            // --- Right-half execution.
+            s if (RIGHT_BASE..RIGHT_BASE + 3).contains(&s) => {
+                let spec = [HalfSpec::Zero, HalfSpec::One, HalfSpec::Mismatch][s - RIGHT_BASE];
+                let outputs = sel_bits(spec) | OUT_CNT_EN;
+                (if done { ACK } else { s }, outputs)
+            }
+            // --- Ack pulse, then await the next codeword.
+            _ => (ROOT, OUT_ACK),
+        }
+    })
+}
+
+fn left_state(case: Case) -> usize {
+    LEFT_BASE + case.index()
+}
+
+/// Structural area estimate of one complete single-scan decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecoderArea {
+    /// Block size the counter/shifter are sized for.
+    pub k: usize,
+    /// Synthesized FSM report (K-independent).
+    pub fsm: SynthReport,
+    /// Gate equivalents of the `log2(K/2)`-bit counter.
+    pub counter_ge: f64,
+    /// Gate equivalents of the `K/2`-bit shifter.
+    pub shifter_ge: f64,
+}
+
+impl DecoderArea {
+    /// FSM gate equivalents.
+    pub fn fsm_ge(&self) -> f64 {
+        self.fsm.gate_equivalents()
+    }
+
+    /// Total decoder gate equivalents.
+    pub fn total_ge(&self) -> f64 {
+        self.fsm_ge() + self.counter_ge + self.shifter_ge
+    }
+}
+
+impl fmt::Display for DecoderArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "K={}: FSM ~{:.0} GE + counter ~{:.0} GE + shifter ~{:.0} GE = ~{:.0} GE",
+            self.k,
+            self.fsm_ge(),
+            self.counter_ge,
+            self.shifter_ge,
+            self.total_ge()
+        )
+    }
+}
+
+/// Estimates the area of a complete decoder for block size `k`.
+///
+/// Counter: `⌈log2(K/2)⌉` flip-flops (4 GE each) plus ~2.5 GE of
+/// increment/compare logic per bit. Shifter: `K/2` flip-flops plus a MUX
+/// (~1 GE) per bit.
+///
+/// # Panics
+///
+/// Panics unless `k` is even and at least 4.
+pub fn decoder_area(k: usize) -> DecoderArea {
+    assert!(k >= 4 && k % 2 == 0, "block size must be even and >= 4, got {k}");
+    let counter_bits = (usize::BITS - (k / 2 - 1).leading_zeros()).max(1) as f64;
+    DecoderArea {
+        k,
+        fsm: decoder_fsm().synthesize(),
+        counter_ge: counter_bits * (4.0 + 2.5),
+        shifter_ge: (k as f64 / 2.0) * (4.0 + 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninec::code::CodeTable;
+
+    /// Walks the FSM over a codeword's bits, returning the reached state.
+    fn walk(fsm: &Fsm, bits: &str) -> usize {
+        let mut state = ROOT;
+        for c in bits.chars() {
+            let input = if c == '1' { IN_DATA } else { 0 };
+            state = fsm.next_state(state, input);
+        }
+        state
+    }
+
+    #[test]
+    fn prefix_walk_reaches_the_right_case_for_all_nine_codewords() {
+        let fsm = decoder_fsm();
+        let table = CodeTable::paper();
+        for case in ALL_CASES {
+            let bits = table.codeword(case).to_string();
+            assert_eq!(
+                walk(&fsm, &bits),
+                LEFT_BASE + case.index(),
+                "codeword {bits} for {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn execution_sequence_for_c5() {
+        // C5 = ZM: left half constants (sel=00), right half data (sel=10).
+        let fsm = decoder_fsm();
+        let s = walk(&fsm, "11100");
+        assert_eq!(s, LEFT_BASE + Case::ZM.index());
+        assert_eq!(fsm.outputs(s, 0) & (OUT_SEL0 | OUT_SEL1), 0);
+        assert_ne!(fsm.outputs(s, 0) & OUT_CNT_EN, 0);
+        // Stay until done.
+        assert_eq!(fsm.next_state(s, 0), s);
+        let r = fsm.next_state(s, IN_DONE);
+        assert_eq!(r, right_state(HalfSpec::Mismatch));
+        assert_eq!(fsm.outputs(r, 0) & (OUT_SEL0 | OUT_SEL1), OUT_SEL1);
+        // Then Ack, then back to parsing.
+        let a = fsm.next_state(r, IN_DONE);
+        assert_eq!(a, ACK);
+        assert_ne!(fsm.outputs(a, 0) & OUT_ACK, 0);
+        assert_eq!(fsm.next_state(a, 0), ROOT);
+    }
+
+    #[test]
+    fn fsm_synthesis_is_small() {
+        let report = decoder_fsm().synthesize();
+        // 21 states -> 5 state bits; the whole controller stays well under
+        // 300 gate equivalents ("very small" in the paper's terms).
+        assert_eq!(report.state_bits, 5);
+        let ge = report.gate_equivalents();
+        assert!(ge > 10.0 && ge < 300.0, "FSM GE = {ge}");
+    }
+
+    #[test]
+    fn fsm_is_k_independent_and_only_datapath_grows() {
+        let a4 = decoder_area(4);
+        let a32 = decoder_area(32);
+        let a128 = decoder_area(128);
+        assert_eq!(a4.fsm, a32.fsm);
+        assert_eq!(a32.fsm, a128.fsm);
+        assert!(a4.shifter_ge < a32.shifter_ge && a32.shifter_ge < a128.shifter_ge);
+        assert!(a128.total_ge() > a4.total_ge());
+    }
+
+    #[test]
+    fn area_display() {
+        let a = decoder_area(8);
+        assert!(a.to_string().contains("FSM"));
+        assert!(a.total_ge() > 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! ATE-side model: a bit-serial channel with the paper's Ack handshake.
+
+use ninec_testdata::bits::BitVec;
+
+/// The automatic test equipment as the decoder sees it: a stream of
+/// compressed bits served one per ATE clock cycle.
+///
+/// The decoder asserts `Ack` after finishing a codeword; the channel
+/// simply tracks how many bits have been drawn and how many ATE cycles
+/// that consumed (one per bit, per the paper's timing model).
+///
+/// # Examples
+///
+/// ```
+/// use ninec_decompressor::ate::AteChannel;
+/// use ninec_testdata::bits::BitVec;
+///
+/// let mut ate = AteChannel::new(BitVec::from_str_radix2("101")?);
+/// assert_eq!(ate.next_bit(), Some(true));
+/// assert_eq!(ate.next_bit(), Some(false));
+/// assert_eq!(ate.bits_served(), 2);
+/// assert!(!ate.is_exhausted());
+/// # Ok::<(), ninec_testdata::bits::ParseBitsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AteChannel {
+    bits: BitVec,
+    pos: usize,
+}
+
+impl AteChannel {
+    /// Creates a channel serving `bits`.
+    pub fn new(bits: BitVec) -> Self {
+        Self { bits, pos: 0 }
+    }
+
+    /// Serves the next compressed bit (one ATE cycle), or `None` when the
+    /// buffer is exhausted.
+    pub fn next_bit(&mut self) -> Option<bool> {
+        let bit = self.bits.get(self.pos)?;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Bits served so far (= ATE cycles spent on data transfer).
+    pub fn bits_served(&self) -> usize {
+        self.pos
+    }
+
+    /// Total bits loaded into the channel.
+    pub fn total_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` once every bit has been served.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_in_order_then_none() {
+        let mut ate = AteChannel::new(BitVec::from_str_radix2("1100").unwrap());
+        let got: Vec<bool> = std::iter::from_fn(|| ate.next_bit()).collect();
+        assert_eq!(got, vec![true, true, false, false]);
+        assert!(ate.is_exhausted());
+        assert_eq!(ate.next_bit(), None);
+        assert_eq!(ate.bits_served(), 4);
+    }
+
+    #[test]
+    fn empty_channel() {
+        let mut ate = AteChannel::new(BitVec::new());
+        assert!(ate.is_exhausted());
+        assert_eq!(ate.next_bit(), None);
+        assert_eq!(ate.total_bits(), 0);
+    }
+}

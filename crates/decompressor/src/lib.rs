@@ -1,0 +1,46 @@
+//! Cycle-accurate models of the 9C on-chip decompression architectures
+//! (Figures 1–4 of the paper).
+//!
+//! - [`ate`] — the ATE as a bit-serial channel with Ack handshake;
+//! - [`single`] — single-scan-chain decoder (Fig. 1): FSM + counter +
+//!   `K/2`-bit shifter, ticked at the SoC scan clock with `f_scan = p·f`;
+//! - [`multi`] — single-pin, `m`-chain decoder (Fig. 3 / 4b): same test
+//!   time as single-scan, pin count 1;
+//! - [`parallel`] — `m/K` decoders with `m/K` pins (Fig. 4c): test time
+//!   divided by `m/K`;
+//! - [`area`] — the decoder control FSM (Fig. 2) tabulated and synthesized
+//!   via [`ninec_synth`], plus structural counter/shifter costs.
+//!
+//! The cycle counts these models produce are asserted (in tests) to match
+//! the paper's analytic test-application-time formulas exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use ninec::encode::Encoder;
+//! use ninec_decompressor::single::{ClockRatio, SingleScanDecoder};
+//! use ninec_testdata::fill::FillStrategy;
+//! use ninec_testdata::gen::SyntheticProfile;
+//!
+//! let ts = SyntheticProfile::new("demo", 10, 80, 0.8).generate(1);
+//! let encoded = Encoder::new(8)?.encode_set(&ts);
+//! let decoder = SingleScanDecoder::new(8, encoded.table().clone(), ClockRatio::new(8));
+//! let trace = decoder.run(&encoded.to_bitvec(FillStrategy::Zero), ts.total_bits())?;
+//! println!("decompressed in {} SoC ticks", trace.soc_ticks);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod ate;
+pub mod multi;
+pub mod parallel;
+pub mod single;
+pub mod verilog;
+
+pub use area::{decoder_area, decoder_fsm, DecoderArea};
+pub use multi::MultiScanDecoder;
+pub use parallel::ParallelDecoders;
+pub use single::{ClockRatio, DecompressError, DecompressionTrace, SingleScanDecoder};
+pub use verilog::{decoder_verilog, fsm_verilog};

@@ -1,0 +1,174 @@
+//! Multiple-scan-chain decoder with a single input pin (paper Fig. 3 /
+//! Fig. 4b).
+//!
+//! One decoder drives an `m`-bit shifter; every `m` decoded bits, `Load`
+//! transfers the word into all `m` chains in parallel (overlapped with the
+//! next shift, so it costs no extra cycles — which is exactly why the
+//! paper's multi-scan architecture keeps single-scan test time while using
+//! one pin for `m` chains).
+
+use crate::single::{ClockRatio, DecompressError, DecompressionTrace, SingleScanDecoder};
+use ninec::code::CodeTable;
+use ninec::multiscan::ScanChains;
+use ninec_testdata::bits::BitVec;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::trit::TritVec;
+
+/// Trace of a multi-scan decompression run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiScanTrace {
+    /// The reconstructed test set as loaded into the chains.
+    pub loaded: TestSet,
+    /// The underlying decoder trace (ticks, ATE bits, codeword counts).
+    pub decoder: DecompressionTrace,
+    /// Number of `Load` pulses issued (vertical words transferred).
+    pub loads: u64,
+    /// ATE input pins used (always 1 for this architecture).
+    pub pins: usize,
+}
+
+/// The single-pin multiple-scan-chain decompressor.
+///
+/// # Examples
+///
+/// ```
+/// use ninec::multiscan::encode_multiscan;
+/// use ninec_decompressor::multi::MultiScanDecoder;
+/// use ninec_decompressor::single::ClockRatio;
+/// use ninec_testdata::fill::FillStrategy;
+/// use ninec_testdata::gen::SyntheticProfile;
+///
+/// let ts = SyntheticProfile::new("ms", 10, 64, 0.8).generate(1);
+/// let encoded = encode_multiscan(&ts, 16, 8)?;
+/// let decoder = MultiScanDecoder::new(8, 16, encoded.table().clone(), ClockRatio::new(8));
+/// let ate_bits = encoded.to_bitvec(FillStrategy::Zero);
+/// let trace = decoder.run(&ate_bits, &ts)?;
+/// assert!(trace.loaded.covers(&ts));
+/// assert_eq!(trace.pins, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiScanDecoder {
+    k: usize,
+    m: usize,
+    inner: SingleScanDecoder,
+}
+
+impl MultiScanDecoder {
+    /// Creates a decoder for `m` chains at block size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is valid for 9C and divides `m`.
+    pub fn new(k: usize, m: usize, table: CodeTable, clocks: ClockRatio) -> Self {
+        assert!(m > 0 && m % k == 0, "block size {k} must divide chain count {m}");
+        Self {
+            k,
+            m,
+            inner: SingleScanDecoder::new(k, table, clocks),
+        }
+    }
+
+    /// Number of chains `m`.
+    pub fn chains(&self) -> usize {
+        self.m
+    }
+
+    /// Block size `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Runs the decoder against the compressed stream for `reference`
+    /// (used for its dimensions: pattern count and length).
+    ///
+    /// # Errors
+    ///
+    /// See [`DecompressError`].
+    pub fn run(&self, ate_bits: &BitVec, reference: &TestSet) -> Result<MultiScanTrace, DecompressError> {
+        let chains = ScanChains::new(reference.pattern_len(), self.m)
+            .expect("chain count validated against the reference set");
+        let vertical_len = reference.num_patterns() * chains.padded_len();
+        let decoder_trace = self.inner.run(ate_bits, vertical_len)?;
+
+        // Regroup the decoded vertical stream into m-bit Load words and
+        // un-rearrange into test patterns.
+        let vertical = TritVec::from(&decoder_trace.scan_out);
+        let loaded = chains.horizontal_set(&vertical);
+        let loads = (vertical_len / self.m) as u64;
+        Ok(MultiScanTrace {
+            loaded,
+            decoder: decoder_trace,
+            loads,
+            pins: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninec::encode::Encoder;
+    use ninec::multiscan::encode_multiscan;
+    use ninec_testdata::fill::FillStrategy;
+    use ninec_testdata::gen::SyntheticProfile;
+
+    fn setup(m: usize, k: usize) -> (TestSet, BitVec, MultiScanDecoder) {
+        let ts = SyntheticProfile::new("mst", 12, 80, 0.75).generate(9);
+        let encoded = encode_multiscan(&ts, m, k).unwrap();
+        let bits = encoded.to_bitvec(FillStrategy::Random { seed: 1 });
+        let dec = MultiScanDecoder::new(k, m, encoded.table().clone(), ClockRatio::new(8));
+        (ts, bits, dec)
+    }
+
+    #[test]
+    fn reconstructs_all_care_bits() {
+        let (ts, bits, dec) = setup(16, 8);
+        let trace = dec.run(&bits, &ts).unwrap();
+        assert!(trace.loaded.covers(&ts));
+        assert_eq!(trace.loaded.num_patterns(), ts.num_patterns());
+    }
+
+    #[test]
+    fn load_count_is_chain_length_times_patterns() {
+        let (ts, bits, dec) = setup(16, 8);
+        let trace = dec.run(&bits, &ts).unwrap();
+        // 80 cells over 16 chains -> l = 5 loads per pattern.
+        assert_eq!(trace.loads, (ts.num_patterns() * 5) as u64);
+    }
+
+    #[test]
+    fn same_test_time_as_single_scan_on_same_stream() {
+        // The paper's claim: 1 pin, m chains, test time unchanged relative
+        // to scanning the same (vertical) stream through one chain.
+        let ts = SyntheticProfile::new("time", 10, 96, 0.8).generate(4);
+        let k = 8;
+        let m = 16;
+        let encoded = encode_multiscan(&ts, m, k).unwrap();
+        let bits = encoded.to_bitvec(FillStrategy::Zero);
+        let multi = MultiScanDecoder::new(k, m, encoded.table().clone(), ClockRatio::new(8));
+        let mtrace = multi.run(&bits, &ts).unwrap();
+
+        let single = SingleScanDecoder::new(k, encoded.table().clone(), ClockRatio::new(8));
+        let chains = ScanChains::new(ts.pattern_len(), m).unwrap();
+        let vertical_len = ts.num_patterns() * chains.padded_len();
+        let strace = single.run(&bits, vertical_len).unwrap();
+        assert_eq!(mtrace.decoder.soc_ticks, strace.soc_ticks);
+        assert_eq!(mtrace.pins, 1);
+    }
+
+    #[test]
+    fn multiscan_encoding_differs_from_horizontal_but_decodes_back() {
+        // Sanity: vertical arrangement is a genuinely different stream.
+        let ts = SyntheticProfile::new("diff", 8, 64, 0.7).generate(2);
+        let horizontal = Encoder::new(8).unwrap().encode_set(&ts);
+        let vertical = encode_multiscan(&ts, 16, 8).unwrap();
+        assert_ne!(horizontal.stream(), vertical.stream());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn k_must_divide_m() {
+        let _ = MultiScanDecoder::new(8, 12, CodeTable::paper(), ClockRatio::new(1));
+    }
+}

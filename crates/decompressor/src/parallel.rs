@@ -1,0 +1,239 @@
+//! Parallel decoders for pin-count / test-time trade-off (paper Fig. 4c).
+//!
+//! Instead of one decoder feeding an `m`-bit shifter, `m/K` decoders each
+//! own a `K`-bit slice of the shifter and an ATE pin. All decoders run
+//! concurrently, so test time drops by a factor of `m/K` at the cost of
+//! `m/K` pins and decoders — the end point of the paper's reduced
+//! pin-count spectrum (Fig. 4a: 1 pin / 1 chain; 4b: 1 pin / m chains;
+//! 4c: m/K pins / m chains).
+
+use crate::single::{ClockRatio, DecompressError, SingleScanDecoder};
+use ninec::encode::{Encoded, Encoder};
+use ninec::multiscan::ScanChains;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::fill::FillStrategy;
+use ninec_testdata::trit::{Trit, TritVec};
+use std::fmt;
+
+/// Result of a parallel-decoder run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelTrace {
+    /// The reconstructed test set.
+    pub loaded: TestSet,
+    /// Per-decoder SoC tick counts.
+    pub per_decoder_ticks: Vec<u64>,
+    /// Wall-clock SoC ticks (the slowest decoder; they run concurrently).
+    pub soc_ticks: u64,
+    /// ATE pins used (= number of decoders).
+    pub pins: usize,
+    /// Total compressed bits across all pins.
+    pub total_ate_bits: u64,
+}
+
+impl fmt::Display for ParallelTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pins, {} SoC ticks (slowest decoder), {} compressed bits",
+            self.pins, self.soc_ticks, self.total_ate_bits
+        )
+    }
+}
+
+/// The Fig. 4c architecture: `m / K` decoders, each with its own pin.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_decompressor::parallel::ParallelDecoders;
+/// use ninec_decompressor::single::ClockRatio;
+/// use ninec_testdata::gen::SyntheticProfile;
+///
+/// let ts = SyntheticProfile::new("par", 10, 64, 0.8).generate(1);
+/// let arch = ParallelDecoders::new(8, 32, ClockRatio::new(8))?;
+/// let trace = arch.compress_and_run(&ts, ninec_testdata::fill::FillStrategy::Zero)?;
+/// assert_eq!(trace.pins, 4);
+/// assert!(trace.loaded.covers(&ts));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelDecoders {
+    k: usize,
+    m: usize,
+    clocks: ClockRatio,
+}
+
+/// Error: invalid parallel-decoder geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidGeometry {
+    /// Block size requested.
+    pub k: usize,
+    /// Chain count requested.
+    pub m: usize,
+}
+
+impl fmt::Display for InvalidGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "need even k >= 4 dividing m (got k={}, m={})",
+            self.k, self.m
+        )
+    }
+}
+
+impl std::error::Error for InvalidGeometry {}
+
+impl ParallelDecoders {
+    /// Creates the architecture: `m` chains served by `m / k` decoders.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGeometry`] unless `k` is a valid 9C block size
+    /// dividing `m`.
+    pub fn new(k: usize, m: usize, clocks: ClockRatio) -> Result<Self, InvalidGeometry> {
+        if k < 4 || k % 2 != 0 || m == 0 || m % k != 0 {
+            return Err(InvalidGeometry { k, m });
+        }
+        Ok(Self { k, m, clocks })
+    }
+
+    /// Number of decoders / pins (`m / K`).
+    pub fn pins(&self) -> usize {
+        self.m / self.k
+    }
+
+    /// Splits the vertical stream of `set` into one sub-stream per
+    /// decoder: decoder `d` owns bit positions `[d·K, (d+1)·K)` of every
+    /// `m`-bit load word.
+    pub fn slice_streams(&self, set: &TestSet) -> (ScanChains, Vec<TritVec>) {
+        let chains = ScanChains::new(set.pattern_len(), self.m)
+            .expect("m validated against pattern length by caller");
+        let vertical = chains.vertical_stream(set);
+        let words = vertical.len() / self.m;
+        let mut slices = vec![TritVec::with_capacity(words * self.k); self.pins()];
+        for w in 0..words {
+            for (d, slice) in slices.iter_mut().enumerate() {
+                for b in 0..self.k {
+                    slice.push(
+                        vertical
+                            .get(w * self.m + d * self.k + b)
+                            .expect("within vertical stream"),
+                    );
+                }
+            }
+        }
+        (chains, slices)
+    }
+
+    /// Compresses `set` per decoder, runs all decoders, and reassembles
+    /// the loaded test set.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecompressError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the set's pattern length.
+    pub fn compress_and_run(
+        &self,
+        set: &TestSet,
+        fill: FillStrategy,
+    ) -> Result<ParallelTrace, DecompressError> {
+        let (chains, slices) = self.slice_streams(set);
+        let encoder = Encoder::new(self.k).expect("geometry validated");
+        let encoded: Vec<Encoded> = slices.iter().map(|s| encoder.encode_stream(s)).collect();
+
+        let mut per_decoder_ticks = Vec::with_capacity(self.pins());
+        let mut outputs: Vec<TritVec> = Vec::with_capacity(self.pins());
+        let mut total_ate_bits = 0u64;
+        for (slice, enc) in slices.iter().zip(&encoded) {
+            let decoder = SingleScanDecoder::new(self.k, enc.table().clone(), self.clocks);
+            let bits = enc.to_bitvec(fill);
+            let trace = decoder.run(&bits, slice.len())?;
+            per_decoder_ticks.push(trace.soc_ticks);
+            total_ate_bits += trace.ate_bits;
+            outputs.push(TritVec::from(&trace.scan_out));
+        }
+
+        // Interleave decoder outputs back into the vertical stream.
+        let words = outputs[0].len() / self.k;
+        let mut vertical = TritVec::with_capacity(words * self.m);
+        for w in 0..words {
+            for output in &outputs {
+                for b in 0..self.k {
+                    vertical.push(output.get(w * self.k + b).unwrap_or(Trit::X));
+                }
+            }
+        }
+        let loaded = chains.horizontal_set(&vertical);
+        let soc_ticks = per_decoder_ticks.iter().copied().max().unwrap_or(0);
+        Ok(ParallelTrace {
+            loaded,
+            per_decoder_ticks,
+            soc_ticks,
+            pins: self.pins(),
+            total_ate_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::MultiScanDecoder;
+    use ninec::multiscan::encode_multiscan;
+    use ninec_testdata::gen::SyntheticProfile;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(ParallelDecoders::new(8, 32, ClockRatio::new(1)).is_ok());
+        assert!(ParallelDecoders::new(8, 12, ClockRatio::new(1)).is_err());
+        assert!(ParallelDecoders::new(3, 12, ClockRatio::new(1)).is_err());
+        assert!(ParallelDecoders::new(8, 0, ClockRatio::new(1)).is_err());
+    }
+
+    #[test]
+    fn reconstruction_covers_source() {
+        let ts = SyntheticProfile::new("pc", 14, 96, 0.8).generate(3);
+        let arch = ParallelDecoders::new(8, 32, ClockRatio::new(8)).unwrap();
+        let trace = arch
+            .compress_and_run(&ts, FillStrategy::Random { seed: 7 })
+            .unwrap();
+        assert!(trace.loaded.covers(&ts));
+        assert_eq!(trace.pins, 4);
+        assert_eq!(trace.per_decoder_ticks.len(), 4);
+    }
+
+    #[test]
+    fn parallelism_cuts_test_time_vs_single_pin() {
+        let ts = SyntheticProfile::new("speed", 12, 128, 0.8).generate(5);
+        let k = 8;
+        let m = 32;
+        // Single-pin multi-scan baseline.
+        let encoded = encode_multiscan(&ts, m, k).unwrap();
+        let bits = encoded.to_bitvec(FillStrategy::Zero);
+        let single_pin = MultiScanDecoder::new(k, m, encoded.table().clone(), ClockRatio::new(8));
+        let baseline = single_pin.run(&bits, &ts).unwrap().decoder.soc_ticks;
+        // Fig 4c with m/K = 4 decoders.
+        let arch = ParallelDecoders::new(k, m, ClockRatio::new(8)).unwrap();
+        let par = arch.compress_and_run(&ts, FillStrategy::Zero).unwrap();
+        let speedup = baseline as f64 / par.soc_ticks as f64;
+        assert!(
+            speedup > 2.0 && speedup <= 4.5,
+            "expected ~4x speedup, got {speedup:.2} ({baseline} vs {})",
+            par.soc_ticks
+        );
+    }
+
+    #[test]
+    fn slices_partition_the_vertical_stream() {
+        let ts = SyntheticProfile::new("slice", 6, 64, 0.7).generate(8);
+        let arch = ParallelDecoders::new(8, 16, ClockRatio::new(1)).unwrap();
+        let (chains, slices) = arch.slice_streams(&ts);
+        let total: usize = slices.iter().map(TritVec::len).sum();
+        assert_eq!(total, ts.num_patterns() * chains.padded_len());
+        assert_eq!(slices.len(), 2);
+    }
+}

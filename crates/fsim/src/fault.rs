@@ -1,0 +1,147 @@
+//! Single stuck-at faults and structural collapsing.
+
+use ninec_circuit::{Circuit, GateKind, NetId};
+use std::fmt;
+
+/// A single stuck-at fault on a net (gate output / stem).
+///
+/// # Examples
+///
+/// ```
+/// use ninec_fsim::fault::StuckFault;
+///
+/// let f = StuckFault::sa0(3);
+/// assert_eq!(f.net, 3);
+/// assert!(!f.stuck_at_one);
+/// assert_eq!(format!("{f}"), "net3/sa0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StuckFault {
+    /// The faulty net.
+    pub net: NetId,
+    /// `true` for stuck-at-1, `false` for stuck-at-0.
+    pub stuck_at_one: bool,
+}
+
+impl StuckFault {
+    /// Stuck-at-0 on `net`.
+    pub fn sa0(net: NetId) -> Self {
+        Self { net, stuck_at_one: false }
+    }
+
+    /// Stuck-at-1 on `net`.
+    pub fn sa1(net: NetId) -> Self {
+        Self { net, stuck_at_one: true }
+    }
+}
+
+impl fmt::Display for StuckFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net{}/sa{}", self.net, self.stuck_at_one as u8)
+    }
+}
+
+/// The uncollapsed fault list: stuck-at-0 and stuck-at-1 on every net.
+pub fn all_faults(circuit: &Circuit) -> Vec<StuckFault> {
+    (0..circuit.num_gates())
+        .flat_map(|n| [StuckFault::sa0(n), StuckFault::sa1(n)])
+        .collect()
+}
+
+/// Structurally collapsed fault list.
+///
+/// Uses gate-level equivalence on fanout-free nets: for an AND/NAND gate,
+/// a stuck-at-0 on a fanout-free input net is equivalent to the output
+/// stuck at the gate's 0-response (sa0 for AND, sa1 for NAND) and is
+/// dropped; dually for OR/NOR with stuck-at-1 inputs; for NOT/BUF both
+/// input faults collapse into the output. The retained representative is
+/// always the fault *closest to the outputs* in each equivalence class.
+pub fn collapsed_faults(circuit: &Circuit) -> Vec<StuckFault> {
+    // Fanout counts.
+    let n = circuit.num_gates();
+    let mut fanout = vec![0usize; n];
+    for id in 0..n {
+        for &src in &circuit.gate(id).inputs {
+            fanout[src] += 1;
+        }
+    }
+    for &po in circuit.primary_outputs() {
+        fanout[po] += 1;
+    }
+
+    let mut keep = vec![[true, true]; n]; // [sa0, sa1] per net
+    for id in 0..n {
+        let gate = circuit.gate(id);
+        for &src in &gate.inputs {
+            if fanout[src] != 1 {
+                continue; // only fanout-free nets collapse into this gate
+            }
+            match gate.kind {
+                GateKind::And | GateKind::Nand => keep[src][0] = false,
+                GateKind::Or | GateKind::Nor => keep[src][1] = false,
+                GateKind::Buf | GateKind::Not | GateKind::Dff => {
+                    keep[src][0] = false;
+                    keep[src][1] = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for net in 0..n {
+        if keep[net][0] {
+            out.push(StuckFault::sa0(net));
+        }
+        if keep[net][1] {
+            out.push(StuckFault::sa1(net));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninec_circuit::bench::{parse_bench, C17, S27};
+
+    #[test]
+    fn all_faults_count() {
+        let c17 = parse_bench(C17).unwrap();
+        assert_eq!(all_faults(&c17).len(), 2 * c17.num_gates());
+    }
+
+    #[test]
+    fn collapsing_shrinks_the_list() {
+        let s27 = parse_bench(S27).unwrap();
+        let all = all_faults(&s27);
+        let collapsed = collapsed_faults(&s27);
+        assert!(collapsed.len() < all.len());
+        assert!(!collapsed.is_empty());
+    }
+
+    #[test]
+    fn fanout_stems_keep_both_faults() {
+        // c17: N11 fans out to N16 and N19, so both its faults stay.
+        let c17 = parse_bench(C17).unwrap();
+        let n11 = c17.net_by_name("N11").unwrap();
+        let collapsed = collapsed_faults(&c17);
+        assert!(collapsed.contains(&StuckFault::sa0(n11)));
+        assert!(collapsed.contains(&StuckFault::sa1(n11)));
+    }
+
+    #[test]
+    fn fanout_free_nand_input_drops_sa0() {
+        // c17: N10 feeds only N22 (a NAND): N10/sa0 collapses away,
+        // N10/sa1 stays.
+        let c17 = parse_bench(C17).unwrap();
+        let n10 = c17.net_by_name("N10").unwrap();
+        let collapsed = collapsed_faults(&c17);
+        assert!(!collapsed.contains(&StuckFault::sa0(n10)));
+        assert!(collapsed.contains(&StuckFault::sa1(n10)));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(StuckFault::sa1(7).to_string(), "net7/sa1");
+    }
+}

@@ -1,0 +1,455 @@
+//! Parallel-pattern single-fault stuck-at fault simulation.
+//!
+//! For each fault, the circuit is re-simulated with the faulty net forced,
+//! 64 patterns per pass, and compared against the cached good-machine
+//! response. Detection is *definite*: the good and faulty values must be
+//! specified and opposite at some observation point (don't-cares never
+//! count as detection, matching the pessimism scan test requires).
+
+use crate::fault::StuckFault;
+use crate::logic::Word3;
+use crate::sim::simulate_chunk;
+use ninec_circuit::Circuit;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::trit::TritVec;
+use std::fmt;
+
+/// Outcome of fault-simulating a test set against a fault list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSimResult {
+    /// For each fault (in input order), the index of the first detecting
+    /// pattern, or `None` if undetected.
+    pub first_detection: Vec<Option<usize>>,
+    /// For each fault, whether some pattern *possibly* detects it: the
+    /// good machine is specified at an output where the faulty machine is
+    /// `X` (industry's "potential detect"; counts only when the fault was
+    /// never definitely detected).
+    pub possible_detection: Vec<bool>,
+    /// Number of faults simulated.
+    pub total_faults: usize,
+}
+
+impl FaultSimResult {
+    /// Number of detected faults.
+    pub fn detected(&self) -> usize {
+        self.first_detection.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Fault coverage in percent (definite detections only).
+    pub fn coverage_percent(&self) -> f64 {
+        if self.total_faults == 0 {
+            return 100.0;
+        }
+        self.detected() as f64 / self.total_faults as f64 * 100.0
+    }
+
+    /// Number of possibly-but-not-definitely detected faults.
+    pub fn possibly_detected(&self) -> usize {
+        self.first_detection
+            .iter()
+            .zip(&self.possible_detection)
+            .filter(|(d, p)| d.is_none() && **p)
+            .count()
+    }
+
+    /// Optimistic coverage counting each potential detect at the given
+    /// credit (industry convention: 0.5).
+    pub fn coverage_with_potential(&self, credit: f64) -> f64 {
+        if self.total_faults == 0 {
+            return 100.0;
+        }
+        (self.detected() as f64 + credit * self.possibly_detected() as f64)
+            / self.total_faults as f64
+            * 100.0
+    }
+
+    /// Indices of the undetected faults.
+    pub fn undetected_indices(&self) -> Vec<usize> {
+        self.first_detection
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.is_none().then_some(i))
+            .collect()
+    }
+}
+
+impl fmt::Display for FaultSimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} faults detected ({:.2}%)",
+            self.detected(),
+            self.total_faults,
+            self.coverage_percent()
+        )
+    }
+}
+
+/// Fault-simulates `set` against `faults` on the full-scan view of
+/// `circuit`.
+///
+/// # Panics
+///
+/// Panics if the set's cube width differs from the scan view's.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_circuit::bench::{parse_bench, C17};
+/// use ninec_fsim::fault::collapsed_faults;
+/// use ninec_fsim::fsim::fault_simulate;
+/// use ninec_testdata::cube::TestSet;
+///
+/// let c17 = parse_bench(C17)?;
+/// let faults = collapsed_faults(&c17);
+/// // Six vectors suffice for full stuck-at coverage of c17.
+/// let ts = TestSet::from_patterns(
+///     5,
+///     ["10111", "01111", "11000", "00010", "01010", "10101"],
+/// )?;
+/// let result = fault_simulate(&c17, &ts, &faults);
+/// assert_eq!(result.coverage_percent(), 100.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn fault_simulate(
+    circuit: &Circuit,
+    set: &TestSet,
+    faults: &[StuckFault],
+) -> FaultSimResult {
+    let view = circuit.scan_view();
+    assert_eq!(
+        set.pattern_len(),
+        view.cube_width(),
+        "cube width {} does not match scan view width {}",
+        set.pattern_len(),
+        view.cube_width()
+    );
+    let cubes: Vec<TritVec> = set.patterns().collect();
+    let mut first_detection = vec![None; faults.len()];
+    let mut possible_detection = vec![false; faults.len()];
+
+    for (chunk_idx, chunk) in cubes.chunks(64).enumerate() {
+        let good = simulate_chunk(circuit, chunk, None);
+        let remaining: Vec<usize> = first_detection
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.is_none().then_some(i))
+            .collect();
+        if remaining.is_empty() {
+            break;
+        }
+        let lane_mask = if chunk.len() < 64 {
+            (1u64 << chunk.len()) - 1
+        } else {
+            u64::MAX
+        };
+        for fi in remaining {
+            let fault = faults[fi];
+            let forced = if fault.stuck_at_one {
+                Word3::splat_one()
+            } else {
+                Word3::splat_zero()
+            };
+            let faulty = simulate_chunk(circuit, chunk, Some((fault.net, forced)));
+            let mut lanes = 0u64;
+            let mut maybe = 0u64;
+            for &net in &view.outputs {
+                lanes |= good[net].definite_difference(&faulty[net]);
+                // Potential detect: good specified, faulty unknown.
+                maybe |= good[net].defined() & !faulty[net].defined();
+            }
+            lanes &= lane_mask;
+            if lanes != 0 {
+                let lane = lanes.trailing_zeros() as usize;
+                first_detection[fi] = Some(chunk_idx * 64 + lane);
+            }
+            if maybe & lane_mask != 0 {
+                possible_detection[fi] = true;
+            }
+        }
+    }
+    FaultSimResult {
+        first_detection,
+        possible_detection,
+        total_faults: faults.len(),
+    }
+}
+
+/// Convenience: coverage of `set` over the collapsed fault list.
+pub fn fault_coverage(circuit: &Circuit, set: &TestSet) -> f64 {
+    let faults = crate::fault::collapsed_faults(circuit);
+    fault_simulate(circuit, set, &faults).coverage_percent()
+}
+
+/// N-detect profile: how many patterns of `set` definitely detect each
+/// fault (capped at `n_cap` to bound the work).
+///
+/// N-detect is the standard proxy for *non-modeled-fault* quality: a set
+/// that detects each stuck-at fault many times, through different
+/// activation paths, is far more likely to catch defects outside the
+/// fault model — precisely what the 9C paper's "fill the leftover
+/// don't-cares randomly" feature is for.
+///
+/// # Panics
+///
+/// Panics if the set's cube width differs from the scan view's, or if
+/// `n_cap` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_circuit::bench::{parse_bench, C17};
+/// use ninec_fsim::fault::collapsed_faults;
+/// use ninec_fsim::fsim::n_detect;
+/// use ninec_testdata::cube::TestSet;
+///
+/// let c17 = parse_bench(C17)?;
+/// let faults = collapsed_faults(&c17);
+/// let ts = TestSet::from_patterns(5, ["10111", "10111", "01111"])?;
+/// let counts = n_detect(&c17, &ts, &faults, 8);
+/// // Duplicated patterns double-count detections.
+/// assert!(counts.iter().any(|&c| c >= 2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn n_detect(
+    circuit: &Circuit,
+    set: &TestSet,
+    faults: &[StuckFault],
+    n_cap: u32,
+) -> Vec<u32> {
+    assert!(n_cap > 0, "n_cap must be positive");
+    let view = circuit.scan_view();
+    assert_eq!(
+        set.pattern_len(),
+        view.cube_width(),
+        "cube width {} does not match scan view width {}",
+        set.pattern_len(),
+        view.cube_width()
+    );
+    let cubes: Vec<TritVec> = set.patterns().collect();
+    let mut counts = vec![0u32; faults.len()];
+    for chunk in cubes.chunks(64) {
+        if counts.iter().all(|&c| c >= n_cap) {
+            break;
+        }
+        let good = simulate_chunk(circuit, chunk, None);
+        let lane_mask = if chunk.len() < 64 {
+            (1u64 << chunk.len()) - 1
+        } else {
+            u64::MAX
+        };
+        for (fi, fault) in faults.iter().enumerate() {
+            if counts[fi] >= n_cap {
+                continue;
+            }
+            let forced = if fault.stuck_at_one {
+                Word3::splat_one()
+            } else {
+                Word3::splat_zero()
+            };
+            let faulty = simulate_chunk(circuit, chunk, Some((fault.net, forced)));
+            let mut lanes = 0u64;
+            for &net in &view.outputs {
+                lanes |= good[net].definite_difference(&faulty[net]);
+            }
+            counts[fi] = (counts[fi] + (lanes & lane_mask).count_ones()).min(n_cap);
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{all_faults, collapsed_faults};
+    use ninec_circuit::bench::{parse_bench, C17, S27};
+    use ninec_circuit::random::RandomCircuitSpec;
+
+    #[test]
+    fn no_patterns_no_detection() {
+        let c17 = parse_bench(C17).unwrap();
+        let faults = collapsed_faults(&c17);
+        let ts = TestSet::new(5);
+        let r = fault_simulate(&c17, &ts, &faults);
+        assert_eq!(r.detected(), 0);
+        assert_eq!(r.coverage_percent(), 0.0);
+    }
+
+    #[test]
+    fn exhaustive_c17_reaches_full_coverage() {
+        let c17 = parse_bench(C17).unwrap();
+        let faults = collapsed_faults(&c17);
+        let mut ts = TestSet::new(5);
+        for v in 0..32u32 {
+            let bits: String = (0..5).map(|b| if v >> b & 1 == 1 { '1' } else { '0' }).collect();
+            ts.push_pattern(&bits.parse().unwrap()).unwrap();
+        }
+        let r = fault_simulate(&c17, &ts, &faults);
+        assert_eq!(r.detected(), r.total_faults, "undetected: {:?}", r.undetected_indices());
+        assert_eq!(r.coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn x_cubes_detect_conservatively() {
+        let c17 = parse_bench(C17).unwrap();
+        let faults = all_faults(&c17);
+        let all_x = TestSet::from_patterns(5, ["XXXXX"]).unwrap();
+        let r = fault_simulate(&c17, &all_x, &faults);
+        assert_eq!(r.detected(), 0, "all-X cube cannot definitely detect anything");
+    }
+
+    #[test]
+    fn targeted_cube_detects_with_x() {
+        let c17 = parse_bench(C17).unwrap();
+        // N1=1, N3=1 -> N10=0; N10/sa1 should be detected if the effect
+        // propagates: N22=!(N10&N16). Need N16=1: N2=0 suffices (N16=!(N2&N11)).
+        let n10 = c17.net_by_name("N10").unwrap();
+        let cube = TestSet::from_patterns(5, ["1010X"]).unwrap();
+        let r = fault_simulate(&c17, &cube, &[StuckFault::sa1(n10)]);
+        assert_eq!(r.first_detection[0], Some(0));
+    }
+
+    #[test]
+    fn first_detection_index_is_first() {
+        let c17 = parse_bench(C17).unwrap();
+        let n10 = c17.net_by_name("N10").unwrap();
+        let ts = TestSet::from_patterns(5, ["00000", "1010X", "1010X"]).unwrap();
+        let r = fault_simulate(&c17, &ts, &[StuckFault::sa1(n10)]);
+        assert_eq!(r.first_detection[0], Some(1));
+    }
+
+    #[test]
+    fn s27_random_patterns_get_high_coverage() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let s27 = parse_bench(S27).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ts = TestSet::new(7);
+        for _ in 0..64 {
+            let bits: String = (0..7).map(|_| if rng.gen_bool(0.5) { '1' } else { '0' }).collect();
+            ts.push_pattern(&bits.parse().unwrap()).unwrap();
+        }
+        let cov = fault_coverage(&s27, &ts);
+        assert!(cov > 80.0, "coverage {cov}");
+    }
+
+    #[test]
+    fn random_circuit_simulates_without_panic() {
+        let c = RandomCircuitSpec::new("fz", 6, 6, 80).generate(11);
+        let faults = collapsed_faults(&c);
+        let ts = TestSet::from_patterns(12, ["010101010101", "111111000000"]).unwrap();
+        let r = fault_simulate(&c, &ts, &faults);
+        assert!(r.detected() <= r.total_faults);
+    }
+
+    #[test]
+    fn n_detect_counts_every_detection() {
+        let c17 = parse_bench(C17).unwrap();
+        let faults = collapsed_faults(&c17);
+        let once = TestSet::from_patterns(5, ["10111"]).unwrap();
+        let thrice = TestSet::from_patterns(5, ["10111", "10111", "10111"]).unwrap();
+        let a = n_detect(&c17, &once, &faults, 16);
+        let b = n_detect(&c17, &thrice, &faults, 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(*y, x * 3, "triplicated pattern must triple the count");
+        }
+    }
+
+    #[test]
+    fn n_detect_caps() {
+        let c17 = parse_bench(C17).unwrap();
+        let faults = collapsed_faults(&c17);
+        let mut ts = TestSet::new(5);
+        for _ in 0..10 {
+            ts.push_pattern(&"10111".parse().unwrap()).unwrap();
+        }
+        let counts = n_detect(&c17, &ts, &faults, 4);
+        assert!(counts.iter().all(|&c| c <= 4));
+        assert!(counts.iter().any(|&c| c == 4));
+    }
+
+    #[test]
+    fn n_detect_consistent_with_first_detection() {
+        let s27 = parse_bench(S27).unwrap();
+        let faults = collapsed_faults(&s27);
+        let ts = TestSet::from_patterns(7, ["1010101", "0101010", "1111111", "0000000"]).unwrap();
+        let sim = fault_simulate(&s27, &ts, &faults);
+        let counts = n_detect(&s27, &ts, &faults, 8);
+        for (d, &c) in sim.first_detection.iter().zip(&counts) {
+            assert_eq!(d.is_some(), c > 0, "detected iff n-detect > 0");
+        }
+    }
+
+    #[test]
+    fn repeated_random_fill_raises_distinct_n_detect() {
+        // The paper's headline feature: re-applying X-rich patterns with
+        // fresh random fill keeps adding *distinct* detecting patterns,
+        // while constant fill saturates after the first application.
+        use ninec_testdata::fill::{fill_test_set, FillStrategy};
+        let s27 = parse_bench(S27).unwrap();
+        let faults = collapsed_faults(&s27);
+        let ts = TestSet::from_patterns(
+            7,
+            ["1XXXXXX", "X0XXXXX", "XX1XXXX", "XXX0XXX", "XXXX1XX", "XXXXX0X", "XXXXXX1"],
+        )
+        .unwrap();
+        // Zero fill: repetition yields the identical pattern set.
+        let zero = fill_test_set(&ts, FillStrategy::Zero);
+        let nz: u32 = n_detect(&s27, &zero, &faults, 64).iter().sum();
+        // Random fill applied 4 times, deduplicated.
+        let mut seen = std::collections::HashSet::new();
+        let mut union = TestSet::new(7);
+        for r in 0..4u64 {
+            for p in fill_test_set(&ts, FillStrategy::Random { seed: 11 + r }).patterns() {
+                if seen.insert(p.to_string()) {
+                    union.push_pattern(&p).unwrap();
+                }
+            }
+        }
+        let nr: u32 = n_detect(&s27, &union, &faults, 64).iter().sum();
+        assert!(
+            nr > nz,
+            "4x random fill ({nr} distinct detections) should beat constant fill ({nz})"
+        );
+    }
+
+    #[test]
+    fn result_display() {
+        let r = FaultSimResult {
+            first_detection: vec![Some(0), None],
+            possible_detection: vec![false, true],
+            total_faults: 2,
+        };
+        assert_eq!(r.to_string(), "1/2 faults detected (50.00%)");
+        assert_eq!(r.possibly_detected(), 1);
+        assert!((r.coverage_with_potential(0.5) - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_detects_counted_for_x_cubes() {
+        // An all-X cube: nothing is definite, but a fault forcing a
+        // constant makes the faulty side specified while the good side is
+        // X — that is NOT a potential detect (we need good specified,
+        // faulty X). Build the converse: good specified, faulty X.
+        // c17 with a cube specifying all inputs: good fully specified.
+        // Fault sa1 on an input the cube sets to 1 never produces any
+        // difference (and no X) -> neither detected nor potential.
+        let c17 = parse_bench(C17).unwrap();
+        let n1 = c17.net_by_name("N1").unwrap();
+        let ts = TestSet::from_patterns(5, ["10111"]).unwrap();
+        let r = fault_simulate(&c17, &ts, &[StuckFault::sa1(n1)]);
+        assert_eq!(r.first_detection[0], None);
+        assert!(!r.possible_detection[0]);
+        assert_eq!(r.coverage_with_potential(0.5), 0.0);
+    }
+
+    #[test]
+    fn coverage_with_potential_at_least_definite() {
+        let s27 = parse_bench(S27).unwrap();
+        let faults = collapsed_faults(&s27);
+        let ts = TestSet::from_patterns(7, ["101X10X", "X1X0X01", "0101010"]).unwrap();
+        let r = fault_simulate(&s27, &ts, &faults);
+        assert!(r.coverage_with_potential(0.5) >= r.coverage_percent());
+        assert!(r.coverage_with_potential(1.0) >= r.coverage_with_potential(0.5));
+    }
+}

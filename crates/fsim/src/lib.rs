@@ -1,0 +1,36 @@
+//! Three-valued logic simulation and stuck-at fault simulation.
+//!
+//! Operates on the full-scan combinational view of a
+//! [`ninec_circuit::Circuit`]: PIs and scan cells drive the logic, POs and
+//! scan-cell `D` inputs are observed. 64 patterns are simulated per pass
+//! (packed [`Word3`](logic::Word3) bit-planes), and faults are injected by
+//! forcing the faulty net.
+//!
+//! - [`logic`] — packed Kleene three-valued logic;
+//! - [`sim`] — parallel-pattern good-machine simulation;
+//! - [`fault`] — stuck-at faults and structural collapsing;
+//! - [`fsim`] — single-fault parallel-pattern fault simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use ninec_circuit::bench::{parse_bench, S27};
+//! use ninec_fsim::fsim::fault_coverage;
+//! use ninec_testdata::cube::TestSet;
+//!
+//! let s27 = parse_bench(S27)?;
+//! let ts = TestSet::from_patterns(7, ["1010101", "0101010", "1111111"])?;
+//! println!("coverage: {:.1}%", fault_coverage(&s27, &ts));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod fsim;
+pub mod logic;
+pub mod seq;
+pub mod sim;
+
+pub use fault::{all_faults, collapsed_faults, StuckFault};
+pub use fsim::{fault_coverage, fault_simulate, n_detect, FaultSimResult};

@@ -1,0 +1,254 @@
+//! Packed three-valued logic.
+//!
+//! A [`Word3`] holds 64 three-valued signals as two bit-planes: `ones`
+//! (definitely 1) and `zeros` (definitely 0); a bit set in neither plane is
+//! unknown (`X`). The planes are disjoint by construction. Gate evaluation
+//! over `Word3` simulates 64 patterns per operation.
+
+use ninec_circuit::GateKind;
+use ninec_testdata::trit::Trit;
+use std::fmt;
+
+/// 64 packed three-valued signals.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_fsim::logic::Word3;
+///
+/// let a = Word3::splat_one();
+/// let b = Word3::splat_x();
+/// // 1 AND X = X, 1 OR X = 1.
+/// assert_eq!(Word3::and2(a, b), Word3::splat_x());
+/// assert_eq!(Word3::or2(a, b), Word3::splat_one());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Word3 {
+    /// Lanes that are definitely 1.
+    pub ones: u64,
+    /// Lanes that are definitely 0.
+    pub zeros: u64,
+}
+
+impl Word3 {
+    /// All lanes `X`.
+    pub fn splat_x() -> Self {
+        Self { ones: 0, zeros: 0 }
+    }
+
+    /// All lanes 0.
+    pub fn splat_zero() -> Self {
+        Self { ones: 0, zeros: u64::MAX }
+    }
+
+    /// All lanes 1.
+    pub fn splat_one() -> Self {
+        Self { ones: u64::MAX, zeros: 0 }
+    }
+
+    /// Sets lane `i` from a trit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn set_lane(&mut self, i: usize, t: Trit) {
+        assert!(i < 64, "lane {i} out of range");
+        let bit = 1u64 << i;
+        self.ones &= !bit;
+        self.zeros &= !bit;
+        match t {
+            Trit::One => self.ones |= bit,
+            Trit::Zero => self.zeros |= bit,
+            Trit::X => {}
+        }
+    }
+
+    /// Reads lane `i` as a trit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn lane(&self, i: usize) -> Trit {
+        assert!(i < 64, "lane {i} out of range");
+        let bit = 1u64 << i;
+        if self.ones & bit != 0 {
+            Trit::One
+        } else if self.zeros & bit != 0 {
+            Trit::Zero
+        } else {
+            Trit::X
+        }
+    }
+
+    /// Lanes with a definite value (either plane set).
+    pub fn defined(&self) -> u64 {
+        self.ones | self.zeros
+    }
+
+    /// Lane-wise NOT.
+    pub fn not(self) -> Self {
+        Self { ones: self.zeros, zeros: self.ones }
+    }
+
+    /// Lane-wise two-input AND (Kleene logic).
+    pub fn and2(a: Self, b: Self) -> Self {
+        Self {
+            ones: a.ones & b.ones,
+            zeros: a.zeros | b.zeros,
+        }
+    }
+
+    /// Lane-wise two-input OR (Kleene logic).
+    pub fn or2(a: Self, b: Self) -> Self {
+        Self {
+            ones: a.ones | b.ones,
+            zeros: a.zeros & b.zeros,
+        }
+    }
+
+    /// Lane-wise two-input XOR (`X` if either side is `X`).
+    pub fn xor2(a: Self, b: Self) -> Self {
+        let defined = a.defined() & b.defined();
+        let val = a.ones ^ b.ones;
+        Self {
+            ones: val & defined,
+            zeros: !val & defined,
+        }
+    }
+
+    /// Lanes where `self` and `other` hold *definite, opposite* values —
+    /// the detection criterion of stuck-at fault simulation.
+    pub fn definite_difference(&self, other: &Self) -> u64 {
+        (self.ones & other.zeros) | (self.zeros & other.ones)
+    }
+}
+
+impl fmt::Display for Word3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..64 {
+            write!(f, "{}", self.lane(i))?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates one gate over packed fanin values.
+///
+/// # Panics
+///
+/// Panics on [`GateKind::Input`] / [`GateKind::Dff`] (they are sources, not
+/// evaluated) or on an empty fanin list.
+pub fn eval_gate(kind: GateKind, fanins: &[Word3]) -> Word3 {
+    assert!(!fanins.is_empty(), "gate evaluation needs at least one fanin");
+    match kind {
+        GateKind::Input | GateKind::Dff => {
+            panic!("{kind} is a source, not an evaluated gate")
+        }
+        GateKind::Buf => fanins[0],
+        GateKind::Not => fanins[0].not(),
+        GateKind::And => fanins.iter().copied().fold(Word3::splat_one(), Word3::and2),
+        GateKind::Nand => eval_gate(GateKind::And, fanins).not(),
+        GateKind::Or => fanins.iter().copied().fold(Word3::splat_zero(), Word3::or2),
+        GateKind::Nor => eval_gate(GateKind::Or, fanins).not(),
+        GateKind::Xor => fanins[1..].iter().copied().fold(fanins[0], Word3::xor2),
+        GateKind::Xnor => eval_gate(GateKind::Xor, fanins).not(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(t: Trit) -> Word3 {
+        match t {
+            Trit::Zero => Word3::splat_zero(),
+            Trit::One => Word3::splat_one(),
+            Trit::X => Word3::splat_x(),
+        }
+    }
+
+    #[test]
+    fn kleene_truth_tables() {
+        use Trit::{One as I, X, Zero as O};
+        let cases = [
+            // (a, b, and, or, xor)
+            (O, O, O, O, O),
+            (O, I, O, I, I),
+            (I, I, I, I, O),
+            (O, X, O, X, X),
+            (I, X, X, I, X),
+            (X, X, X, X, X),
+        ];
+        for (a, b, and, or, xor) in cases {
+            assert_eq!(Word3::and2(w(a), w(b)), w(and), "{a} AND {b}");
+            assert_eq!(Word3::or2(w(a), w(b)), w(or), "{a} OR {b}");
+            assert_eq!(Word3::xor2(w(a), w(b)), w(xor), "{a} XOR {b}");
+            // Commutativity.
+            assert_eq!(Word3::and2(w(b), w(a)), w(and));
+            assert_eq!(Word3::or2(w(b), w(a)), w(or));
+            assert_eq!(Word3::xor2(w(b), w(a)), w(xor));
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut v = Word3::splat_x();
+        v.set_lane(0, Trit::One);
+        v.set_lane(1, Trit::Zero);
+        v.set_lane(63, Trit::One);
+        assert_eq!(v.lane(0), Trit::One);
+        assert_eq!(v.lane(1), Trit::Zero);
+        assert_eq!(v.lane(2), Trit::X);
+        assert_eq!(v.lane(63), Trit::One);
+        // Overwriting a lane clears the old plane bit.
+        v.set_lane(0, Trit::Zero);
+        assert_eq!(v.lane(0), Trit::Zero);
+        assert_eq!(v.ones & 1, 0);
+    }
+
+    #[test]
+    fn gate_eval_multi_input() {
+        let a = w(Trit::One);
+        let b = w(Trit::One);
+        let c = w(Trit::Zero);
+        assert_eq!(eval_gate(GateKind::And, &[a, b, c]), w(Trit::Zero));
+        assert_eq!(eval_gate(GateKind::Nand, &[a, b, c]), w(Trit::One));
+        assert_eq!(eval_gate(GateKind::Or, &[c, c, a]), w(Trit::One));
+        assert_eq!(eval_gate(GateKind::Nor, &[c, c]), w(Trit::One));
+        assert_eq!(eval_gate(GateKind::Xor, &[a, b, a]), w(Trit::One));
+        assert_eq!(eval_gate(GateKind::Xnor, &[a, b]), w(Trit::One));
+        assert_eq!(eval_gate(GateKind::Not, &[a]), w(Trit::Zero));
+        assert_eq!(eval_gate(GateKind::Buf, &[c]), w(Trit::Zero));
+    }
+
+    #[test]
+    fn controlling_values_beat_x() {
+        // 0 AND X = 0 even though X is unknown; dually for OR.
+        assert_eq!(
+            eval_gate(GateKind::And, &[w(Trit::Zero), w(Trit::X)]),
+            w(Trit::Zero)
+        );
+        assert_eq!(
+            eval_gate(GateKind::Or, &[w(Trit::One), w(Trit::X)]),
+            w(Trit::One)
+        );
+    }
+
+    #[test]
+    fn definite_difference() {
+        let mut good = Word3::splat_x();
+        let mut bad = Word3::splat_x();
+        good.set_lane(0, Trit::One);
+        bad.set_lane(0, Trit::Zero); // definite difference
+        good.set_lane(1, Trit::One);
+        bad.set_lane(1, Trit::One); // same
+        good.set_lane(2, Trit::One); // bad lane 2 is X: not definite
+        assert_eq!(good.definite_difference(&bad), 0b001);
+    }
+
+    #[test]
+    #[should_panic(expected = "source")]
+    fn input_not_evaluable() {
+        let _ = eval_gate(GateKind::Input, &[Word3::splat_x()]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Sequential (cycle-by-cycle) three-valued simulation.
+//!
+//! Complements the combinational scan-view simulator: flip-flop state is
+//! held across [`SequentialSimulator::step`] calls, so scan shifting,
+//! capture cycles and full scan-test protocols can be replayed exactly as
+//! a tester would drive them.
+
+use crate::logic::{eval_gate, Word3};
+use ninec_circuit::{Circuit, GateKind};
+use ninec_testdata::trit::{Trit, TritVec};
+
+/// A single-lane sequential simulator (64-lane packing is unnecessary
+/// here; protocols are inherently serial).
+///
+/// # Examples
+///
+/// Drive the s27 benchmark for a couple of cycles:
+///
+/// ```
+/// use ninec_circuit::bench::{parse_bench, S27};
+/// use ninec_fsim::seq::SequentialSimulator;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let s27 = parse_bench(S27)?;
+/// let mut sim = SequentialSimulator::new(&s27);
+/// sim.reset_state(ninec_testdata::trit::Trit::Zero);
+/// let pis: TritVec = "0000".parse()?;
+/// let outputs = sim.step(&pis);
+/// assert_eq!(outputs.len(), 1); // one PO
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialSimulator<'a> {
+    circuit: &'a Circuit,
+    /// Current Q value per flip-flop, parallel to `circuit.dffs()`.
+    state: Vec<Trit>,
+}
+
+impl<'a> SequentialSimulator<'a> {
+    /// Creates a simulator with all flops at `X`.
+    pub fn new(circuit: &'a Circuit) -> Self {
+        Self {
+            circuit,
+            state: vec![Trit::X; circuit.dffs().len()],
+        }
+    }
+
+    /// Forces every flop to `value` (e.g. a global reset).
+    pub fn reset_state(&mut self, value: Trit) {
+        self.state.fill(value);
+    }
+
+    /// Current flop states, in `circuit.dffs()` order.
+    pub fn state(&self) -> &[Trit] {
+        &self.state
+    }
+
+    /// Overwrites one flop's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff_index` is out of range.
+    pub fn set_flop(&mut self, ff_index: usize, value: Trit) {
+        self.state[ff_index] = value;
+    }
+
+    /// Applies `pi_values` (one trit per primary input, in declaration
+    /// order), evaluates the combinational logic, returns the primary
+    /// outputs, and clocks every flop (`Q ← D`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values.len()` differs from the PI count.
+    pub fn step(&mut self, pi_values: &TritVec) -> TritVec {
+        let outputs = self.evaluate(pi_values, |c, values| {
+            c.dffs()
+                .iter()
+                .map(|&ff| values[c.gate(ff).inputs[0]].lane(0))
+                .collect()
+        });
+        outputs
+    }
+
+    /// Like [`step`](Self::step) but without clocking the flops — a pure
+    /// combinational peek at the POs under the current state.
+    pub fn peek(&self, pi_values: &TritVec) -> TritVec {
+        let mut clone = self.clone();
+        let keep = clone.state.clone();
+        clone.evaluate(pi_values, move |_, _| keep)
+    }
+
+    fn evaluate<F>(&mut self, pi_values: &TritVec, next_state: F) -> TritVec
+    where
+        F: FnOnce(&Circuit, &[Word3]) -> Vec<Trit>,
+    {
+        let c = self.circuit;
+        assert_eq!(
+            pi_values.len(),
+            c.primary_inputs().len(),
+            "expected {} primary-input values, got {}",
+            c.primary_inputs().len(),
+            pi_values.len()
+        );
+        let mut values = vec![Word3::splat_x(); c.num_gates()];
+        for (i, &net) in c.primary_inputs().iter().enumerate() {
+            let mut w = Word3::splat_x();
+            w.set_lane(0, pi_values.get(i).expect("length checked"));
+            values[net] = w;
+        }
+        for (i, &ff) in c.dffs().iter().enumerate() {
+            let mut w = Word3::splat_x();
+            w.set_lane(0, self.state[i]);
+            values[ff] = w;
+        }
+        for &net in c.topo_order() {
+            let gate = c.gate(net);
+            if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
+                continue;
+            }
+            let fanins: Vec<Word3> = gate.inputs.iter().map(|&i| values[i]).collect();
+            values[net] = eval_gate(gate.kind, &fanins);
+        }
+        let outputs: TritVec = c
+            .primary_outputs()
+            .iter()
+            .map(|&net| values[net].lane(0))
+            .collect();
+        self.state = next_state(c, &values);
+        outputs
+    }
+
+    /// Convenience for scan protocols on a
+    /// [`ScannedCircuit`](ninec_circuit::scan::ScannedCircuit): shifts
+    /// `pattern` in serially (scan_en = 1, one cycle per bit, functional
+    /// PIs held at `X`), so `pattern[0]` — shifted first — ends up in the
+    /// *last* chain cell.
+    ///
+    /// Returns the bits observed on `scan_out` during the shift (the
+    /// previous chain contents, unloading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len()` differs from the chain length.
+    pub fn scan_shift(
+        &mut self,
+        scanned: &ninec_circuit::scan::ScannedCircuit,
+        pattern: &TritVec,
+    ) -> TritVec {
+        let c = &scanned.circuit;
+        assert!(std::ptr::eq(self.circuit, c), "simulator must wrap the scanned circuit");
+        assert_eq!(pattern.len(), scanned.chain.len(), "pattern length != chain length");
+        let num_pis = c.primary_inputs().len();
+        let si_pos = c
+            .primary_inputs()
+            .iter()
+            .position(|&n| n == scanned.scan_in)
+            .expect("scan_in is a PI");
+        let se_pos = c
+            .primary_inputs()
+            .iter()
+            .position(|&n| n == scanned.scan_en)
+            .expect("scan_en is a PI");
+        let so_pos = c
+            .primary_outputs()
+            .iter()
+            .position(|&n| n == scanned.scan_out)
+            .expect("scan_out is a PO");
+        let mut unloaded = TritVec::with_capacity(pattern.len());
+        for bit in pattern.iter() {
+            let mut pis = TritVec::repeat(Trit::X, num_pis);
+            pis.set(si_pos, bit);
+            pis.set(se_pos, Trit::One);
+            let outs = self.step(&pis);
+            unloaded.push(outs.get(so_pos).expect("scan_out present"));
+        }
+        unloaded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninec_circuit::bench::{parse_bench, S27};
+    use ninec_circuit::scan::insert_scan;
+    use ninec_circuit::Circuit;
+
+    /// A 1-bit toggler: q = DFF(NOT q), y = q.
+    fn toggler() -> Circuit {
+        parse_bench("INPUT(en)\nOUTPUT(y)\nq = DFF(nq)\nnq = NOT(q)\ny = BUF(q)\n").unwrap()
+    }
+
+    #[test]
+    fn state_advances_each_step() {
+        let c = toggler();
+        let mut sim = SequentialSimulator::new(&c);
+        sim.reset_state(Trit::Zero);
+        let pis: TritVec = "X".parse().unwrap();
+        assert_eq!(sim.step(&pis).to_string(), "0");
+        assert_eq!(sim.step(&pis).to_string(), "1");
+        assert_eq!(sim.step(&pis).to_string(), "0");
+    }
+
+    #[test]
+    fn peek_does_not_clock() {
+        let c = toggler();
+        let mut sim = SequentialSimulator::new(&c);
+        sim.reset_state(Trit::Zero);
+        let pis: TritVec = "X".parse().unwrap();
+        assert_eq!(sim.peek(&pis).to_string(), "0");
+        assert_eq!(sim.peek(&pis).to_string(), "0");
+        assert_eq!(sim.state(), &[Trit::Zero]);
+        sim.step(&pis);
+        assert_eq!(sim.state(), &[Trit::One]);
+    }
+
+    #[test]
+    fn unknown_state_propagates_until_reset() {
+        let c = toggler();
+        let mut sim = SequentialSimulator::new(&c);
+        let pis: TritVec = "X".parse().unwrap();
+        assert_eq!(sim.step(&pis).to_string(), "X");
+        sim.set_flop(0, Trit::One);
+        assert_eq!(sim.step(&pis).to_string(), "1");
+    }
+
+    #[test]
+    fn scan_shift_loads_the_chain_serially() {
+        let s27 = parse_bench(S27).unwrap();
+        let scanned = insert_scan(&s27).unwrap();
+        let mut sim = SequentialSimulator::new(&scanned.circuit);
+        sim.reset_state(Trit::Zero);
+        let pattern: TritVec = "101".parse().unwrap();
+        sim.scan_shift(&scanned, &pattern);
+        // First-shifted bit ends in the last cell: state = reverse order.
+        assert_eq!(
+            sim.state(),
+            &[Trit::One, Trit::Zero, Trit::One],
+            "chain contents after shifting 101"
+        );
+    }
+
+    #[test]
+    fn scan_shift_unloads_previous_contents() {
+        let s27 = parse_bench(S27).unwrap();
+        let scanned = insert_scan(&s27).unwrap();
+        let mut sim = SequentialSimulator::new(&scanned.circuit);
+        // Preload a known state, then shift: scan_out yields it MSB-ish
+        // (last cell first).
+        sim.set_flop(0, Trit::One);
+        sim.set_flop(1, Trit::Zero);
+        sim.set_flop(2, Trit::One);
+        let zeros: TritVec = "000".parse().unwrap();
+        let unloaded = sim.scan_shift(&scanned, &zeros);
+        assert_eq!(unloaded.to_string(), "101");
+        assert_eq!(sim.state(), &[Trit::Zero, Trit::Zero, Trit::Zero]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Parallel-pattern three-valued logic simulation of the full-scan view.
+
+use crate::logic::{eval_gate, Word3};
+use ninec_circuit::{Circuit, GateKind};
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::trit::TritVec;
+
+/// Simulates one chunk of up to 64 cubes, returning per-net packed values.
+///
+/// Cubes address the scan view: positions `0..num_pis` drive the PIs,
+/// the rest drive the FF outputs (PPIs).
+pub(crate) fn simulate_chunk(
+    circuit: &Circuit,
+    cubes: &[TritVec],
+    force: Option<(usize, Word3)>,
+) -> Vec<Word3> {
+    debug_assert!(cubes.len() <= 64, "chunk too wide");
+    let view = circuit.scan_view();
+    let mut values = vec![Word3::splat_x(); circuit.num_gates()];
+    for (pos, &net) in view.inputs.iter().enumerate() {
+        let mut w = Word3::splat_x();
+        for (lane, cube) in cubes.iter().enumerate() {
+            w.set_lane(lane, cube.get(pos).expect("cube width matches scan view"));
+        }
+        values[net] = w;
+    }
+    if let Some((net, w)) = force {
+        values[net] = w;
+    }
+    for &net in circuit.topo_order() {
+        let gate = circuit.gate(net);
+        if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
+            continue;
+        }
+        let fanins: Vec<Word3> = gate.inputs.iter().map(|&i| values[i]).collect();
+        let mut out = eval_gate(gate.kind, &fanins);
+        if let Some((fnet, w)) = force {
+            if fnet == net {
+                out = w;
+            }
+        }
+        values[net] = out;
+    }
+    values
+}
+
+/// Simulates every cube of `set` through the full-scan view, returning one
+/// response per cube over the view's outputs (POs then PPOs).
+///
+/// Don't-cares propagate pessimistically (Kleene logic): an output is `X`
+/// unless the cube's care bits force it.
+///
+/// # Panics
+///
+/// Panics if `set.pattern_len()` differs from the scan view's cube width.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_circuit::bench::{parse_bench, C17};
+/// use ninec_fsim::sim::simulate_cubes;
+/// use ninec_testdata::cube::TestSet;
+///
+/// let c17 = parse_bench(C17)?;
+/// let cubes = TestSet::from_patterns(5, ["00000", "11111"])?;
+/// let responses = simulate_cubes(&c17, &cubes);
+/// // All-0 inputs: the second NAND layer sees all 1s, so both POs are 0.
+/// assert_eq!(responses[0].to_string(), "00");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate_cubes(circuit: &Circuit, set: &TestSet) -> Vec<TritVec> {
+    let view = circuit.scan_view();
+    assert_eq!(
+        set.pattern_len(),
+        view.cube_width(),
+        "cube width {} does not match scan view width {}",
+        set.pattern_len(),
+        view.cube_width()
+    );
+    let cubes: Vec<TritVec> = set.patterns().collect();
+    let mut out = Vec::with_capacity(cubes.len());
+    for chunk in cubes.chunks(64) {
+        let values = simulate_chunk(circuit, chunk, None);
+        for lane in 0..chunk.len() {
+            let mut resp = TritVec::with_capacity(view.outputs.len());
+            for &net in &view.outputs {
+                resp.push(values[net].lane(lane));
+            }
+            out.push(resp);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninec_circuit::bench::{parse_bench, C17, S27};
+
+    #[test]
+    fn c17_known_vectors() {
+        let c17 = parse_bench(C17).unwrap();
+        // Inputs N1 N2 N3 N6 N7; outputs N22 N23.
+        // N10=!(N1&N3) N11=!(N3&N6) N16=!(N2&N11) N19=!(N11&N7)
+        // N22=!(N10&N16) N23=!(N16&N19)
+        let cases = [
+            ("00000", "11"), // N10=1 N11=1 N16=1 N19=1 -> N22=0? check below
+            ("11111", "11"),
+            ("10101", "11"),
+        ];
+        // Recompute case 1 by hand: N10=!(0&0)=1, N11=!(0&0)=1,
+        // N16=!(0&1)=1, N19=!(1&0)=1, N22=!(1&1)=0, N23=!(1&1)=0.
+        let cubes = TestSet::from_patterns(5, cases.iter().map(|c| c.0)).unwrap();
+        let resp = simulate_cubes(&c17, &cubes);
+        assert_eq!(resp[0].to_string(), "00");
+        // 11111: N10=0 N11=0 N16=1 N19=1 N22=1 N23=0.
+        assert_eq!(resp[1].to_string(), "10");
+        // 10101: N1=1 N2=0 N3=1 N6=0 N7=1: N10=0 N11=1 N16=1 N19=0
+        // N22=!(0&1)=1 N23=!(1&0)=1.
+        assert_eq!(resp[2].to_string(), "11");
+    }
+
+    #[test]
+    fn x_inputs_propagate() {
+        let c17 = parse_bench(C17).unwrap();
+        let cubes = TestSet::from_patterns(5, ["XXXXX", "0X0XX"]).unwrap();
+        let resp = simulate_cubes(&c17, &cubes);
+        assert_eq!(resp[0].to_string(), "XX");
+        // N1=0, N3=0: N10=1, N11=1; N16=!(X&1)=X, N19=!(1&X)=X ->
+        // N22=!(1&X)=X, N23=X.
+        assert_eq!(resp[1].to_string(), "XX");
+    }
+
+    #[test]
+    fn controlling_x_resolution() {
+        let c17 = parse_bench(C17).unwrap();
+        // N3=1,N6=1 -> N11=0 -> N16=1,N19=1 -> N23=0 regardless of X.
+        let cubes = TestSet::from_patterns(5, ["XX111"]).unwrap();
+        let resp = simulate_cubes(&c17, &cubes);
+        assert_eq!(resp[0].get(1).unwrap().to_char(), '0');
+    }
+
+    #[test]
+    fn s27_scan_view_simulation() {
+        let s27 = parse_bench(S27).unwrap();
+        let width = s27.scan_view().cube_width();
+        assert_eq!(width, 7);
+        let cubes = TestSet::from_patterns(7, ["0000000", "1111111", "XXXXXXX"]).unwrap();
+        let resp = simulate_cubes(&s27, &cubes);
+        assert_eq!(resp.len(), 3);
+        // 4 outputs: 1 PO + 3 PPOs.
+        assert_eq!(resp[0].len(), 4);
+        // Fully specified cubes give fully specified responses.
+        assert_eq!(resp[0].count_x(), 0);
+        assert_eq!(resp[1].count_x(), 0);
+    }
+
+    #[test]
+    fn more_than_64_patterns() {
+        let c17 = parse_bench(C17).unwrap();
+        let mut ts = TestSet::new(5);
+        for i in 0..150 {
+            let bits: String = (0..5).map(|b| if i >> b & 1 == 1 { '1' } else { '0' }).collect();
+            ts.push_pattern(&bits.parse().unwrap()).unwrap();
+        }
+        let resp = simulate_cubes(&c17, &ts);
+        assert_eq!(resp.len(), 150);
+        // Pattern i and pattern i+32 have identical inputs (5 bits wrap).
+        assert_eq!(resp[3], resp[35]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Finite-state-machine synthesis and area estimation.
+//!
+//! The 9C paper reports that the decoder FSM, synthesized with a
+//! commercial tool, is tiny and independent of both `K` and the test set.
+//! This module reproduces that claim with an open flow: binary state
+//! encoding, Quine–McCluskey minimization of every next-state and output
+//! bit, and a literal-based gate-equivalent estimate.
+
+use crate::qm::{minimize, Cover};
+use std::fmt;
+
+/// A Mealy finite-state machine given as a complete transition function.
+///
+/// States are `0..num_states`; inputs are `num_input_bits`-wide vectors;
+/// outputs are packed into a `u64`.
+///
+/// # Examples
+///
+/// A 2-state toggler that mirrors its input:
+///
+/// ```
+/// use ninec_synth::fsm::Fsm;
+///
+/// let fsm = Fsm::from_fn("toggle", 2, 1, 1, |state, input| {
+///     ((state + 1) % 2, u64::from(input & 1))
+/// });
+/// assert_eq!(fsm.next_state(0, 1), 1);
+/// let report = fsm.synthesize();
+/// assert!(report.gate_equivalents() > 0.0);
+/// ```
+#[derive(Clone)]
+pub struct Fsm {
+    name: String,
+    num_states: usize,
+    num_input_bits: usize,
+    num_output_bits: usize,
+    /// `table[state << num_input_bits | input] = (next, outputs)`.
+    table: Vec<(usize, u64)>,
+}
+
+impl Fsm {
+    /// Builds an FSM by tabulating `f(state, input) -> (next_state,
+    /// outputs)` over the full state/input product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero/oversized or `f` returns an invalid
+    /// next state.
+    pub fn from_fn<F>(
+        name: &str,
+        num_states: usize,
+        num_input_bits: usize,
+        num_output_bits: usize,
+        f: F,
+    ) -> Self
+    where
+        F: Fn(usize, u32) -> (usize, u64),
+    {
+        assert!(num_states >= 1, "need at least one state");
+        assert!(num_input_bits <= 8, "tabulated build supports up to 8 input bits");
+        assert!(num_output_bits <= 64, "outputs are packed in a u64");
+        let mut table = Vec::with_capacity(num_states << num_input_bits);
+        for state in 0..num_states {
+            for input in 0..1u32 << num_input_bits {
+                let (next, outputs) = f(state, input);
+                assert!(next < num_states, "f({state}, {input}) -> invalid state {next}");
+                table.push((next, outputs));
+            }
+        }
+        Self {
+            name: name.to_owned(),
+            num_states,
+            num_input_bits,
+            num_output_bits,
+            table,
+        }
+    }
+
+    /// FSM name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// State-register width under binary encoding.
+    pub fn state_bits(&self) -> usize {
+        (usize::BITS - (self.num_states - 1).leading_zeros()) as usize
+    }
+
+    /// The tabulated next state.
+    pub fn next_state(&self, state: usize, input: u32) -> usize {
+        self.table[(state << self.num_input_bits) | input as usize].0
+    }
+
+    /// The tabulated outputs.
+    pub fn outputs(&self, state: usize, input: u32) -> u64 {
+        self.table[(state << self.num_input_bits) | input as usize].1
+    }
+
+    /// Synthesizes the machine: one minimized cover per next-state bit and
+    /// per output bit, over `state_bits + num_input_bits` variables.
+    /// Unreachable state codes become don't-cares.
+    pub fn synthesize(&self) -> SynthReport {
+        let sbits = self.state_bits().max(1);
+        let vars = sbits + self.num_input_bits;
+        let mut functions = Vec::new();
+
+        let mut build = |label: String, bit_of: &dyn Fn(usize, u32) -> bool| {
+            let mut on = Vec::new();
+            let mut dc = Vec::new();
+            for code in 0..1usize << sbits {
+                for input in 0..1u32 << self.num_input_bits {
+                    let vector = (code << self.num_input_bits) as u32 | input;
+                    if code >= self.num_states {
+                        dc.push(vector);
+                    } else if bit_of(code, input) {
+                        on.push(vector);
+                    }
+                }
+            }
+            let cover = minimize(vars, &on, &dc);
+            functions.push(SynthFunction { label, cover });
+        };
+
+        for bit in 0..sbits {
+            build(format!("next_state[{bit}]"), &|s, i| {
+                self.next_state(s, i) >> bit & 1 == 1
+            });
+        }
+        for bit in 0..self.num_output_bits {
+            build(format!("out[{bit}]"), &|s, i| self.outputs(s, i) >> bit & 1 == 1);
+        }
+        SynthReport {
+            name: self.name.clone(),
+            state_bits: sbits,
+            input_bits: self.num_input_bits,
+            functions,
+        }
+    }
+}
+
+impl fmt::Debug for Fsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Fsm({}: {} states, {} input bits, {} output bits)",
+            self.name, self.num_states, self.num_input_bits, self.num_output_bits
+        )
+    }
+}
+
+/// One synthesized combinational function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthFunction {
+    /// Human-readable label (`next_state[0]`, `out[3]`, …).
+    pub label: String,
+    /// The minimized cover.
+    pub cover: Cover,
+}
+
+/// Area report for a synthesized FSM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthReport {
+    /// FSM name.
+    pub name: String,
+    /// State-register width.
+    pub state_bits: usize,
+    /// Input-vector width.
+    pub input_bits: usize,
+    /// Minimized next-state and output functions.
+    pub functions: Vec<SynthFunction>,
+}
+
+impl SynthReport {
+    /// Total two-level literal count across all functions.
+    pub fn total_literals(&self) -> usize {
+        self.functions.iter().map(|f| f.cover.literal_count()).sum()
+    }
+
+    /// Total product terms across all functions.
+    pub fn total_products(&self) -> usize {
+        self.functions.iter().map(|f| f.cover.implicants.len()).sum()
+    }
+
+    /// Gate-equivalent estimate (2-input-NAND units) using the standard
+    /// two-level mapping: an `n`-literal product costs `n − 1` GE, an
+    /// `m`-product OR costs `m − 1` GE, plus half a GE per literal for
+    /// inversions/buffering, plus 4 GE per state flip-flop.
+    pub fn gate_equivalents(&self) -> f64 {
+        let mut ge = 0.0;
+        for f in &self.functions {
+            let products = f.cover.implicants.len();
+            for imp in &f.cover.implicants {
+                let lits = imp.literals(f.cover.num_vars);
+                ge += lits.saturating_sub(1) as f64;
+            }
+            ge += products.saturating_sub(1) as f64;
+            ge += f.cover.literal_count() as f64 * 0.5;
+        }
+        ge + self.state_bits as f64 * 4.0
+    }
+}
+
+impl fmt::Display for SynthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} state bits + {} input bits, {} functions",
+            self.name,
+            self.state_bits,
+            self.input_bits,
+            self.functions.len()
+        )?;
+        for func in &self.functions {
+            writeln!(
+                f,
+                "  {:>14}: {} products, {} literals",
+                func.label,
+                func.cover.implicants.len(),
+                func.cover.literal_count()
+            )?;
+        }
+        write!(
+            f,
+            "  total: {} literals, ~{:.0} gate equivalents",
+            self.total_literals(),
+            self.gate_equivalents()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A modulo-`n` counter with an enable input.
+    fn counter(n: usize) -> Fsm {
+        Fsm::from_fn("ctr", n, 1, 1, move |s, i| {
+            let next = if i & 1 == 1 { (s + 1) % n } else { s };
+            (next, u64::from(next == 0 && i & 1 == 1))
+        })
+    }
+
+    #[test]
+    fn state_bits() {
+        assert_eq!(counter(2).state_bits(), 1);
+        assert_eq!(counter(3).state_bits(), 2);
+        assert_eq!(counter(4).state_bits(), 2);
+        assert_eq!(counter(5).state_bits(), 3);
+    }
+
+    #[test]
+    fn synthesized_covers_match_the_table() {
+        let fsm = counter(5);
+        let report = fsm.synthesize();
+        let sbits = fsm.state_bits();
+        for state in 0..5usize {
+            for input in 0..2u32 {
+                let vector = (state << 1) as u32 | input;
+                let mut next = 0usize;
+                for bit in 0..sbits {
+                    if report.functions[bit].cover.eval(vector) {
+                        next |= 1 << bit;
+                    }
+                }
+                assert_eq!(next, fsm.next_state(state, input), "state {state} input {input}");
+                let out = report.functions[sbits].cover.eval(vector);
+                assert_eq!(out, fsm.outputs(state, input) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_codes_reduce_cost() {
+        // A 5-state machine leaves 3 binary codes as don't-cares; its
+        // synthesis must not cost more than the same table padded to 8
+        // fully specified states that loop to 0.
+        let five = counter(5).synthesize();
+        let padded = Fsm::from_fn("pad8", 8, 1, 1, |s, i| {
+            if s < 5 {
+                let next = if i & 1 == 1 { (s + 1) % 5 } else { s };
+                (next, u64::from(next == 0 && i & 1 == 1))
+            } else {
+                (0, 0)
+            }
+        })
+        .synthesize();
+        assert!(five.total_literals() <= padded.total_literals());
+    }
+
+    #[test]
+    fn report_display() {
+        let report = counter(3).synthesize();
+        let text = report.to_string();
+        assert!(text.contains("next_state[0]"));
+        assert!(text.contains("gate equivalents"));
+    }
+
+    #[test]
+    fn gate_equivalents_scale_with_complexity() {
+        let small = counter(2).synthesize().gate_equivalents();
+        let big = counter(7).synthesize().gate_equivalents();
+        assert!(big > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid state")]
+    fn invalid_next_state_panics() {
+        let _ = Fsm::from_fn("bad", 2, 1, 0, |_, _| (5, 0));
+    }
+}

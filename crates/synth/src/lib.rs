@@ -1,0 +1,34 @@
+//! Two-level logic synthesis for decoder-area estimation.
+//!
+//! The 9C paper synthesizes its decoder FSM with Synopsys Design Compiler
+//! and reports a tiny gate count. This crate replaces that proprietary
+//! step with an open flow:
+//!
+//! - [`qm`] — exact Quine–McCluskey prime generation plus
+//!   essential/greedy covering;
+//! - [`fsm`] — Mealy FSM tabulation, binary state encoding, per-bit
+//!   minimization, and a gate-equivalent area estimate.
+//!
+//! # Example
+//!
+//! ```
+//! use ninec_synth::fsm::Fsm;
+//!
+//! // A 3-state ring counter with an enable input.
+//! let ring = Fsm::from_fn("ring3", 3, 1, 0, |s, i| {
+//!     (if i & 1 == 1 { (s + 1) % 3 } else { s }, 0)
+//! });
+//! let report = ring.synthesize();
+//! println!("{report}");
+//! assert!(report.total_literals() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fsm;
+pub mod netlist;
+pub mod qm;
+
+pub use fsm::{Fsm, SynthReport};
+pub use netlist::{covers_to_circuit, report_to_circuit};
+pub use qm::{minimize, Cover, Implicant};

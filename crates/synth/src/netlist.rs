@@ -1,0 +1,265 @@
+//! Lowering minimized covers to gate-level netlists.
+//!
+//! A [`Cover`] (sum of products) maps directly onto a two-level
+//! NOT/AND/OR structure; a synthesized FSM becomes the combinational
+//! next-state/output block of the decoder. The exported
+//! [`ninec_circuit::Circuit`] can be simulated, fault-simulated, and
+//! checked for equivalence against the behavioral machine — which is how
+//! this workspace verifies its decoder synthesis end-to-end.
+
+use crate::fsm::SynthReport;
+use crate::qm::Cover;
+use ninec_circuit::netlist::{Circuit, GateKind, NetId, NetlistError};
+
+/// Builds the two-level circuit of a set of covers sharing one input
+/// space.
+///
+/// Inputs are named `in0 … in{n-1}` (`in0` = variable 0, the LSB of the
+/// minterm encoding); one primary output per cover, named by `labels`.
+/// Constant-0 covers become `AND(x, NOT x)`; constant-1 covers become
+/// `OR(x, NOT x)` (the netlist model has no constant gates).
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] if a cover's variable count disagrees with
+/// `num_vars` (surfaced as a dangling fanin) — callers pass covers from
+/// one [`SynthReport`], where this cannot happen.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_synth::netlist::covers_to_circuit;
+/// use ninec_synth::qm::minimize;
+///
+/// let xor = minimize(2, &[0b01, 0b10], &[]);
+/// let circuit = covers_to_circuit("xor", 2, &[("y".to_owned(), xor)])?;
+/// assert_eq!(circuit.primary_inputs().len(), 2);
+/// assert_eq!(circuit.primary_outputs().len(), 1);
+/// # Ok::<(), ninec_circuit::netlist::NetlistError>(())
+/// ```
+pub fn covers_to_circuit(
+    name: &str,
+    num_vars: usize,
+    covers: &[(String, Cover)],
+) -> Result<Circuit, NetlistError> {
+    assert!(num_vars >= 1, "need at least one input variable");
+    let mut c = Circuit::new(name);
+    let inputs: Vec<NetId> = (0..num_vars).map(|i| c.add_input(&format!("in{i}"))).collect();
+    // Shared inverters, created lazily.
+    let mut inverted: Vec<Option<NetId>> = vec![None; num_vars];
+    let mut unique = 0usize;
+
+    for (label, cover) in covers {
+        let mut product_nets: Vec<NetId> = Vec::new();
+        for (pi, imp) in cover.implicants.iter().enumerate() {
+            let mut literals: Vec<NetId> = Vec::new();
+            for (var, &input) in inputs.iter().enumerate() {
+                if imp.mask >> var & 1 == 1 {
+                    continue;
+                }
+                if imp.value >> var & 1 == 1 {
+                    literals.push(input);
+                } else {
+                    let inv = match inverted[var] {
+                        Some(n) => n,
+                        None => {
+                            let n = c.add_gate(&format!("n_in{var}"), GateKind::Not, vec![input])?;
+                            inverted[var] = Some(n);
+                            n
+                        }
+                    };
+                    literals.push(inv);
+                }
+            }
+            let net = match literals.len() {
+                0 => {
+                    // Tautological implicant: constant 1 via x OR NOT x.
+                    let inv = get_inverter(&mut c, &mut inverted, inputs[0], 0)?;
+                    c.add_gate(&format!("{label}_one{pi}"), GateKind::Or, vec![inputs[0], inv])?
+                }
+                1 => literals[0],
+                _ => c.add_gate(&format!("{label}_p{pi}"), GateKind::And, literals)?,
+            };
+            product_nets.push(net);
+        }
+        let out = match product_nets.len() {
+            0 => {
+                // Constant 0 via x AND NOT x.
+                let inv = get_inverter(&mut c, &mut inverted, inputs[0], 0)?;
+                c.add_gate(&format!("{label}_zero"), GateKind::And, vec![inputs[0], inv])?
+            }
+            1 => {
+                // Buffer so the PO has a dedicated, named net.
+                c.add_gate(&format!("{label}_buf{unique}"), GateKind::Buf, vec![product_nets[0]])?
+            }
+            _ => c.add_gate(&format!("{label}_or"), GateKind::Or, product_nets)?,
+        };
+        unique += 1;
+        c.mark_output(out);
+    }
+    c.validate()
+}
+
+fn get_inverter(
+    c: &mut Circuit,
+    inverted: &mut [Option<NetId>],
+    input: NetId,
+    var: usize,
+) -> Result<NetId, NetlistError> {
+    match inverted[var] {
+        Some(n) => Ok(n),
+        None => {
+            let n = c.add_gate(&format!("n_in{var}"), GateKind::Not, vec![input])?;
+            inverted[var] = Some(n);
+            Ok(n)
+        }
+    }
+}
+
+/// Lowers a whole [`SynthReport`] (all next-state and output functions of
+/// an FSM) into one combinational circuit.
+///
+/// Inputs: `in0 … in{s+i-1}` where variable order matches the synthesis
+/// encoding — input bits are the low variables, state bits the high ones.
+/// Outputs: one per synthesized function, in report order.
+///
+/// # Errors
+///
+/// See [`covers_to_circuit`].
+pub fn report_to_circuit(report: &SynthReport) -> Result<Circuit, NetlistError> {
+    let num_vars = report.state_bits + report.input_bits;
+    let covers: Vec<(String, Cover)> = report
+        .functions
+        .iter()
+        .map(|f| (sanitize(&f.label), f.cover.clone()))
+        .collect();
+    covers_to_circuit(&report.name, num_vars, &covers)
+}
+
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::Fsm;
+    use crate::qm::minimize;
+
+    /// Evaluates the exported circuit on one input vector using a plain
+    /// recursive interpreter (no dependency on the simulator crates).
+    fn eval_circuit(c: &Circuit, input: u32) -> Vec<bool> {
+        let mut values = vec![None::<bool>; c.num_gates()];
+        for (i, &net) in c.primary_inputs().iter().enumerate() {
+            values[net] = Some(input >> i & 1 == 1);
+        }
+        for &net in c.topo_order() {
+            if values[net].is_some() {
+                continue;
+            }
+            let gate = c.gate(net);
+            let ins: Vec<bool> = gate
+                .inputs
+                .iter()
+                .map(|&i| values[i].expect("topo order"))
+                .collect();
+            let v = match gate.kind {
+                GateKind::And => ins.iter().all(|&b| b),
+                GateKind::Or => ins.iter().any(|&b| b),
+                GateKind::Not => !ins[0],
+                GateKind::Buf => ins[0],
+                other => panic!("unexpected gate kind {other}"),
+            };
+            values[net] = Some(v);
+        }
+        c.primary_outputs()
+            .iter()
+            .map(|&net| values[net].expect("evaluated"))
+            .collect()
+    }
+
+    #[test]
+    fn xor_circuit_matches_cover() {
+        let cover = minimize(2, &[0b01, 0b10], &[]);
+        let c = covers_to_circuit("xor", 2, &[("y".to_owned(), cover.clone())]).unwrap();
+        for input in 0..4u32 {
+            assert_eq!(eval_circuit(&c, input)[0], cover.eval(input), "input {input:02b}");
+        }
+    }
+
+    #[test]
+    fn constant_functions_lower() {
+        let zero = minimize(2, &[], &[]);
+        let one = minimize(2, &[0, 1, 2, 3], &[]);
+        let c = covers_to_circuit(
+            "consts",
+            2,
+            &[("z".to_owned(), zero), ("o".to_owned(), one)],
+        )
+        .unwrap();
+        for input in 0..4u32 {
+            let outs = eval_circuit(&c, input);
+            assert!(!outs[0]);
+            assert!(outs[1]);
+        }
+    }
+
+    #[test]
+    fn single_literal_cover_gets_buffered_output() {
+        // f = x1 (variable 1).
+        let cover = minimize(2, &[0b10, 0b11], &[]);
+        let c = covers_to_circuit("lit", 2, &[("y".to_owned(), cover)]).unwrap();
+        for input in 0..4u32 {
+            assert_eq!(eval_circuit(&c, input)[0], input >> 1 & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn fsm_report_lowers_and_matches_table_exhaustively() {
+        // A modulo-5 counter with enable: check every (state, input).
+        let fsm = Fsm::from_fn("ctr5", 5, 1, 1, |s, i| {
+            let next = if i & 1 == 1 { (s + 1) % 5 } else { s };
+            (next, u64::from(next == 0 && i & 1 == 1))
+        });
+        let report = fsm.synthesize();
+        let circuit = report_to_circuit(&report).unwrap();
+        let sbits = report.state_bits;
+        for state in 0..5usize {
+            for input in 0..2u32 {
+                let vector = (state << report.input_bits) as u32 | input;
+                let outs = eval_circuit(&circuit, vector);
+                let mut next = 0usize;
+                for bit in 0..sbits {
+                    if outs[bit] {
+                        next |= 1 << bit;
+                    }
+                }
+                assert_eq!(next, fsm.next_state(state, input), "state {state} in {input}");
+                assert_eq!(
+                    outs[sbits],
+                    fsm.outputs(state, input) & 1 == 1,
+                    "state {state} in {input}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_inverters_are_reused() {
+        // Two covers both needing NOT(in0): only one inverter is built.
+        let f = minimize(1, &[0], &[]); // NOT x
+        let c = covers_to_circuit(
+            "shared",
+            1,
+            &[("a".to_owned(), f.clone()), ("b".to_owned(), f)],
+        )
+        .unwrap();
+        let inverters = (0..c.num_gates())
+            .filter(|&n| c.gate(n).kind == GateKind::Not)
+            .count();
+        assert_eq!(inverters, 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Quine–McCluskey two-level minimization.
+//!
+//! Exact prime-implicant generation followed by essential-prime selection
+//! and a greedy cover of the remainder. Intended for the small functions
+//! that arise from FSM synthesis (≲ 16 variables), where it is exact
+//! enough and fast enough.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A product term over `n` variables: for each variable, either a literal
+/// (bit of `value`, where `mask` is 0) or absent (`mask` bit 1).
+///
+/// # Examples
+///
+/// ```
+/// use ninec_synth::qm::Implicant;
+///
+/// // x1·x̄0 over 3 variables: value 0b010, mask 0b100 (x2 absent).
+/// let imp = Implicant { value: 0b010, mask: 0b100 };
+/// assert!(imp.covers(0b010));
+/// assert!(imp.covers(0b110));
+/// assert!(!imp.covers(0b011));
+/// assert_eq!(imp.literals(3), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Implicant {
+    /// Literal polarities on the non-masked positions.
+    pub value: u32,
+    /// 1-bits mark variables absent from the product term.
+    pub mask: u32,
+}
+
+impl Implicant {
+    /// `true` if the implicant covers `minterm`.
+    pub fn covers(self, minterm: u32) -> bool {
+        (minterm ^ self.value) & !self.mask == 0
+    }
+
+    /// Number of literals in the product term over `n` variables.
+    pub fn literals(self, n: usize) -> usize {
+        n - (self.mask & ((1u32 << n) - 1)).count_ones() as usize
+    }
+
+    /// Tries to merge with another implicant differing in exactly one
+    /// literal position.
+    fn combine(self, other: Implicant) -> Option<Implicant> {
+        if self.mask != other.mask {
+            return None;
+        }
+        let diff = self.value ^ other.value;
+        if diff.count_ones() == 1 {
+            Some(Implicant {
+                value: self.value & !diff,
+                mask: self.mask | diff,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Renders the implicant as a cube string (`1`, `0`, `-` per variable,
+    /// MSB first).
+    pub fn to_cube_string(self, n: usize) -> String {
+        (0..n)
+            .rev()
+            .map(|i| {
+                if self.mask >> i & 1 == 1 {
+                    '-'
+                } else if self.value >> i & 1 == 1 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Implicant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Implicant(value={:b}, mask={:b})", self.value, self.mask)
+    }
+}
+
+/// A minimized sum-of-products cover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    /// Number of input variables.
+    pub num_vars: usize,
+    /// The selected implicants (empty for the constant-0 function).
+    pub implicants: Vec<Implicant>,
+}
+
+impl Cover {
+    /// Evaluates the cover on an input vector.
+    pub fn eval(&self, input: u32) -> bool {
+        self.implicants.iter().any(|imp| imp.covers(input))
+    }
+
+    /// Total literal count (classic two-level cost).
+    pub fn literal_count(&self) -> usize {
+        self.implicants.iter().map(|i| i.literals(self.num_vars)).sum()
+    }
+
+    /// `true` if the cover is the constant-1 function.
+    pub fn is_constant_one(&self) -> bool {
+        self.implicants
+            .iter()
+            .any(|i| i.literals(self.num_vars) == 0)
+    }
+}
+
+/// Minimizes the function that is 1 on `on_set`, don't-care on `dc_set`,
+/// and 0 elsewhere, over `num_vars` variables.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 20` (the exact method would blow up) or if any
+/// minterm is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_synth::qm::minimize;
+///
+/// // f(a,b) = a XOR b needs two products; f(a,b) = a OR b needs two
+/// // 1-literal products.
+/// let xor = minimize(2, &[0b01, 0b10], &[]);
+/// assert_eq!(xor.implicants.len(), 2);
+/// assert_eq!(xor.literal_count(), 4);
+/// let or = minimize(2, &[0b01, 0b10, 0b11], &[]);
+/// assert_eq!(or.literal_count(), 2);
+/// ```
+pub fn minimize(num_vars: usize, on_set: &[u32], dc_set: &[u32]) -> Cover {
+    assert!(num_vars <= 20, "QM is exact but exponential; {num_vars} vars is too many");
+    let limit = if num_vars == 32 { u32::MAX } else { (1u32 << num_vars) - 1 };
+    for &m in on_set.iter().chain(dc_set) {
+        assert!(m <= limit, "minterm {m} out of range for {num_vars} vars");
+    }
+    if on_set.is_empty() {
+        return Cover { num_vars, implicants: vec![] };
+    }
+
+    // Stage 1: prime implicants by iterative combination.
+    let mut current: BTreeSet<Implicant> = on_set
+        .iter()
+        .chain(dc_set)
+        .map(|&m| Implicant { value: m, mask: 0 })
+        .collect();
+    let mut primes: BTreeSet<Implicant> = BTreeSet::new();
+    while !current.is_empty() {
+        let items: Vec<Implicant> = current.iter().copied().collect();
+        let mut combined_flags = vec![false; items.len()];
+        let mut next: BTreeSet<Implicant> = BTreeSet::new();
+        for i in 0..items.len() {
+            for j in i + 1..items.len() {
+                if let Some(c) = items[i].combine(items[j]) {
+                    combined_flags[i] = true;
+                    combined_flags[j] = true;
+                    next.insert(c);
+                }
+            }
+        }
+        for (item, combined) in items.iter().zip(&combined_flags) {
+            if !combined {
+                primes.insert(*item);
+            }
+        }
+        current = next;
+    }
+
+    // Stage 2: cover the on-set (don't-cares need no cover).
+    let primes: Vec<Implicant> = primes.into_iter().collect();
+    let mut uncovered: BTreeSet<u32> = on_set.iter().copied().collect();
+    let mut chosen: Vec<Implicant> = Vec::new();
+
+    // Essential primes first.
+    loop {
+        let mut essential: Option<Implicant> = None;
+        'scan: for &m in &uncovered {
+            let mut covering = primes.iter().filter(|p| p.covers(m));
+            if let (Some(&p), None) = (covering.next(), covering.next()) {
+                essential = Some(p);
+                break 'scan;
+            }
+        }
+        match essential {
+            Some(p) => {
+                uncovered.retain(|&m| !p.covers(m));
+                chosen.push(p);
+            }
+            None => break,
+        }
+    }
+    // Greedy cover for the rest: most new minterms, fewest literals.
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .filter(|p| !chosen.contains(p))
+            .max_by_key(|p| {
+                let gain = uncovered.iter().filter(|&&m| p.covers(m)).count();
+                (gain, p.mask.count_ones())
+            })
+            .copied()
+            .expect("primes cover every on-set minterm");
+        uncovered.retain(|&m| !best.covers(m));
+        chosen.push(best);
+    }
+    chosen.sort_unstable();
+    Cover { num_vars, implicants: chosen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check: the cover equals the spec on every input.
+    fn verify(num_vars: usize, on: &[u32], dc: &[u32], cover: &Cover) {
+        for input in 0..1u32 << num_vars {
+            let got = cover.eval(input);
+            if on.contains(&input) {
+                assert!(got, "input {input:b} must be 1");
+            } else if !dc.contains(&input) {
+                assert!(!got, "input {input:b} must be 0");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_functions() {
+        let zero = minimize(3, &[], &[]);
+        assert!(zero.implicants.is_empty());
+        assert!(!zero.eval(0));
+        let one = minimize(2, &[0, 1, 2, 3], &[]);
+        assert!(one.is_constant_one());
+        assert_eq!(one.literal_count(), 0);
+    }
+
+    #[test]
+    fn classic_textbook_example() {
+        // f = Σm(4,8,10,11,12,15) + d(9,14) over 4 vars minimizes to
+        // 3 products / 8 literals (one optimal solution).
+        let on = [4, 8, 10, 11, 12, 15];
+        let dc = [9, 14];
+        let cover = minimize(4, &on, &dc);
+        verify(4, &on, &dc, &cover);
+        assert!(cover.implicants.len() <= 3, "{:?}", cover.implicants);
+        assert!(cover.literal_count() <= 8);
+    }
+
+    #[test]
+    fn xor_is_irreducible() {
+        let on = [0b01, 0b10];
+        let cover = minimize(2, &on, &[]);
+        verify(2, &on, &[], &cover);
+        assert_eq!(cover.literal_count(), 4);
+    }
+
+    #[test]
+    fn dont_cares_shrink_covers() {
+        // f = Σm(1) + d(3): x0 alone suffices (1 literal) instead of x0·x̄1.
+        let with_dc = minimize(2, &[1], &[3]);
+        let without = minimize(2, &[1], &[]);
+        assert!(with_dc.literal_count() < without.literal_count());
+        verify(2, &[1], &[3], &with_dc);
+    }
+
+    #[test]
+    fn random_functions_verified_exhaustively() {
+        // Deterministic pseudo-random specs over 5 vars.
+        let mut state = 0x2545_f491u32;
+        for _ in 0..25 {
+            let mut on = Vec::new();
+            let mut dc = Vec::new();
+            for m in 0..32u32 {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                match state >> 28 & 0b11 {
+                    0 => on.push(m),
+                    1 => dc.push(m),
+                    _ => {}
+                }
+            }
+            let cover = minimize(5, &on, &dc);
+            verify(5, &on, &dc, &cover);
+        }
+    }
+
+    #[test]
+    fn cube_string_rendering() {
+        let imp = Implicant { value: 0b010, mask: 0b100 };
+        assert_eq!(imp.to_cube_string(3), "-10");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_minterm_panics() {
+        let _ = minimize(2, &[4], &[]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Don't-care fill strategies.
+//!
+//! A key selling point of the 9C technique is that many don't-cares survive
+//! compression ("leftover X") and can be filled *after* decompression:
+//! randomly to catch non-modeled faults, or transition-minimizing to cut
+//! scan-in power. This module implements the fill policies discussed in the
+//! paper's Sections I and IV.
+
+use crate::cube::TestSet;
+use crate::trit::{Trit, TritVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Policy for replacing `X` symbols with care bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillStrategy {
+    /// Every `X` becomes `0`.
+    Zero,
+    /// Every `X` becomes `1`.
+    One,
+    /// Every `X` becomes an independent fair coin flip, seeded for
+    /// reproducibility (the paper's "filled randomly to detect non-modeled
+    /// faults").
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Minimum-transition fill: each `X` repeats the nearest specified bit
+    /// to its left (the first run repeats the first care bit; an all-`X`
+    /// vector becomes all zeros). Minimizes scan-chain transitions and
+    /// therefore shift power.
+    MinTransition,
+}
+
+/// Fills every `X` in `trits` according to `strategy`, returning a fully
+/// specified vector. Care bits are never altered.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_testdata::fill::{fill_trits, FillStrategy};
+/// use ninec_testdata::trit::TritVec;
+///
+/// let cube: TritVec = "X1XX0X".parse()?;
+/// assert_eq!(fill_trits(&cube, FillStrategy::Zero).to_string(), "010000");
+/// assert_eq!(fill_trits(&cube, FillStrategy::MinTransition).to_string(), "111100");
+/// # Ok::<(), ninec_testdata::trit::ParseTritError>(())
+/// ```
+pub fn fill_trits(trits: &TritVec, strategy: FillStrategy) -> TritVec {
+    match strategy {
+        FillStrategy::Zero => fill_const(trits, Trit::Zero),
+        FillStrategy::One => fill_const(trits, Trit::One),
+        FillStrategy::Random { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            trits
+                .iter()
+                .map(|t| {
+                    if t.is_x() {
+                        Trit::from(rng.gen_bool(0.5))
+                    } else {
+                        t
+                    }
+                })
+                .collect()
+        }
+        FillStrategy::MinTransition => fill_min_transition(trits),
+    }
+}
+
+fn fill_const(trits: &TritVec, fill: Trit) -> TritVec {
+    trits.iter().map(|t| if t.is_x() { fill } else { t }).collect()
+}
+
+fn fill_min_transition(trits: &TritVec) -> TritVec {
+    // First pass: find the first care bit so a leading X run can repeat it.
+    let first_care = trits.iter().find(|t| t.is_care()).unwrap_or(Trit::Zero);
+    let mut last = first_care;
+    trits
+        .iter()
+        .map(|t| {
+            if t.is_care() {
+                last = t;
+                t
+            } else {
+                last
+            }
+        })
+        .collect()
+}
+
+/// Fills every cube of a test set independently (MT-fill state does not leak
+/// across pattern boundaries — each scan load starts fresh).
+pub fn fill_test_set(set: &TestSet, strategy: FillStrategy) -> TestSet {
+    let mut out = TestSet::new(set.pattern_len());
+    for (i, cube) in set.patterns().enumerate() {
+        // Derive a distinct sub-seed per pattern so random fill is not
+        // identical across cubes yet stays deterministic overall.
+        let strategy = match strategy {
+            FillStrategy::Random { seed } => FillStrategy::Random {
+                seed: seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            },
+            other => other,
+        };
+        out.push_pattern(&fill_trits(&cube, strategy))
+            .expect("fill preserves length");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(s: &str) -> TritVec {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zero_one_fill() {
+        let c = cube("X0X1X");
+        assert_eq!(fill_trits(&c, FillStrategy::Zero).to_string(), "00010");
+        assert_eq!(fill_trits(&c, FillStrategy::One).to_string(), "10111");
+    }
+
+    #[test]
+    fn fills_cover_the_original() {
+        let c = cube("X0XX1XX0");
+        for strategy in [
+            FillStrategy::Zero,
+            FillStrategy::One,
+            FillStrategy::Random { seed: 3 },
+            FillStrategy::MinTransition,
+        ] {
+            let filled = fill_trits(&c, strategy);
+            assert_eq!(filled.count_x(), 0, "{strategy:?} left an X");
+            assert!(filled.covers(&c), "{strategy:?} altered a care bit");
+        }
+    }
+
+    #[test]
+    fn random_fill_is_deterministic() {
+        let c = cube("XXXXXXXXXXXXXXXX");
+        let a = fill_trits(&c, FillStrategy::Random { seed: 9 });
+        let b = fill_trits(&c, FillStrategy::Random { seed: 9 });
+        let d = fill_trits(&c, FillStrategy::Random { seed: 10 });
+        assert_eq!(a, b);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn min_transition_repeats_left_neighbor() {
+        assert_eq!(
+            fill_trits(&cube("0XX1X0XX"), FillStrategy::MinTransition).to_string(),
+            "00011000"
+        );
+    }
+
+    #[test]
+    fn min_transition_leading_run_uses_first_care_bit() {
+        assert_eq!(
+            fill_trits(&cube("XXX1X"), FillStrategy::MinTransition).to_string(),
+            "11111"
+        );
+    }
+
+    #[test]
+    fn min_transition_all_x_is_zeros() {
+        assert_eq!(
+            fill_trits(&cube("XXXX"), FillStrategy::MinTransition).to_string(),
+            "0000"
+        );
+    }
+
+    #[test]
+    fn set_fill_random_differs_across_patterns() {
+        let ts = TestSet::from_patterns(8, ["XXXXXXXX", "XXXXXXXX"]).unwrap();
+        let filled = fill_test_set(&ts, FillStrategy::Random { seed: 1 });
+        assert_ne!(filled.pattern(0), filled.pattern(1));
+        assert!(filled.covers(&ts));
+    }
+
+    #[test]
+    fn set_fill_preserves_dimensions() {
+        let ts = TestSet::from_patterns(4, ["X1XX", "0XX1", "XXXX"]).unwrap();
+        let filled = fill_test_set(&ts, FillStrategy::MinTransition);
+        assert_eq!(filled.num_patterns(), 3);
+        assert_eq!(filled.pattern_len(), 4);
+        assert_eq!(filled.x_density(), 0.0);
+    }
+}

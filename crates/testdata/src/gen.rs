@@ -1,0 +1,321 @@
+//! Synthetic test-cube generation calibrated to published benchmark profiles.
+//!
+//! The 9C paper compresses precomputed (Mintest) test sets for six ISCAS'89
+//! circuits and two large IBM circuits. Those files are not redistributable,
+//! so this module substitutes *profile-calibrated* synthetic sets: pattern
+//! count, scan length and don't-care density are fixed to the published
+//! values, and care bits are placed in correlated bursts with a 0-biased
+//! value distribution — the structure real compacted ATPG cubes exhibit and
+//! the structure fixed-block codes exploit. See `DESIGN.md` §4.
+
+use crate::cube::TestSet;
+use crate::trit::{Trit, TritVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statistical profile of a benchmark test set.
+///
+/// [`SyntheticProfile::generate`] turns a profile into a concrete
+/// [`TestSet`], deterministically for a given seed.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_testdata::gen::SyntheticProfile;
+///
+/// let profile = SyntheticProfile::new("demo", 20, 128, 0.80);
+/// let ts = profile.generate(42);
+/// assert_eq!(ts.num_patterns(), 20);
+/// assert_eq!(ts.pattern_len(), 128);
+/// // Achieved X density tracks the target closely.
+/// assert!((ts.x_density() - 0.80).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticProfile {
+    /// Human-readable circuit name (e.g. `"s5378"`).
+    pub name: String,
+    /// Number of test cubes.
+    pub num_patterns: usize,
+    /// Scan length (cells per cube).
+    pub pattern_len: usize,
+    /// Target fraction of don't-care symbols, in `(0, 1)`.
+    pub x_density: f64,
+    /// Probability that a care burst is a burst of zeros (ATPG cubes are
+    /// 0-heavy; Mintest-era sets sit around 0.6–0.75).
+    pub zero_bias: f64,
+    /// Mean length of a care-bit burst, in symbols.
+    pub mean_care_run: f64,
+    /// Probability that a single bit inside a burst deviates from the
+    /// burst's base value.
+    pub flip_prob: f64,
+    /// How much denser the first cubes are than the last (compacted sets
+    /// front-load specified bits). 1.0 = uniform.
+    pub density_skew: f64,
+}
+
+impl SyntheticProfile {
+    /// Creates a profile with default burst structure
+    /// (`zero_bias` 0.68, `mean_care_run` 6, `flip_prob` 0.12,
+    /// `density_skew` 3.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_density` is not in `(0, 1)` or a dimension is zero.
+    pub fn new(name: &str, num_patterns: usize, pattern_len: usize, x_density: f64) -> Self {
+        assert!(num_patterns > 0 && pattern_len > 0, "dimensions must be positive");
+        assert!(
+            x_density > 0.0 && x_density < 1.0,
+            "x_density must be in (0, 1), got {x_density}"
+        );
+        Self {
+            name: name.to_owned(),
+            num_patterns,
+            pattern_len,
+            x_density,
+            zero_bias: 0.68,
+            mean_care_run: 6.0,
+            flip_prob: 0.12,
+            density_skew: 3.0,
+        }
+    }
+
+    /// Total symbols of the generated set (`|T_D|`).
+    pub fn total_bits(&self) -> usize {
+        self.num_patterns * self.pattern_len
+    }
+
+    /// Generates the test set. Deterministic for a given `seed`.
+    pub fn generate(&self, seed: u64) -> TestSet {
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&self.name));
+        let mut ts = TestSet::new(self.pattern_len);
+        let n = self.num_patterns;
+        // Per-pattern care-density multipliers: geometric decay from the
+        // first to the last cube, normalized to mean 1 so the overall X
+        // density stays on target.
+        let decay: Vec<f64> = (0..n)
+            .map(|i| self.density_skew.powf(-(i as f64) / n.max(1) as f64))
+            .collect();
+        let mean_decay = decay.iter().sum::<f64>() / n as f64;
+        let base_care = 1.0 - self.x_density;
+        for factor in decay {
+            let care_density = (base_care * factor / mean_decay).clamp(0.001, 0.999);
+            let cube = self.generate_cube(care_density, &mut rng);
+            ts.push_pattern(&cube).expect("generated cube has profile length");
+        }
+        ts
+    }
+
+    /// Returns a copy scaled down by `factor` in both dimensions (at least
+    /// 1 pattern / 1 cell) — handy for fast unit tests.
+    pub fn scaled_down(&self, factor: usize) -> Self {
+        let mut p = self.clone();
+        p.num_patterns = (self.num_patterns / factor).max(1);
+        p.pattern_len = (self.pattern_len / factor).max(2);
+        p
+    }
+
+    fn generate_cube(&self, care_density: f64, rng: &mut StdRng) -> TritVec {
+        let len = self.pattern_len;
+        let mut cube = TritVec::with_capacity(len);
+        // Alternate geometric X runs and care bursts sized so the expected
+        // care fraction is `care_density`.
+        let mean_x_run = (self.mean_care_run * (1.0 - care_density) / care_density).max(0.05);
+        let mut in_care = rng.gen_bool(care_density);
+        while cube.len() < len {
+            if in_care {
+                let run = geometric(self.mean_care_run, rng);
+                let base = Trit::from(!rng.gen_bool(self.zero_bias));
+                for _ in 0..run {
+                    if cube.len() >= len {
+                        break;
+                    }
+                    let t = if rng.gen_bool(self.flip_prob) {
+                        flip(base)
+                    } else {
+                        base
+                    };
+                    cube.push(t);
+                }
+            } else {
+                let run = geometric(mean_x_run, rng);
+                for _ in 0..run {
+                    if cube.len() >= len {
+                        break;
+                    }
+                    cube.push(Trit::X);
+                }
+            }
+            in_care = !in_care;
+        }
+        cube
+    }
+}
+
+fn flip(t: Trit) -> Trit {
+    match t {
+        Trit::Zero => Trit::One,
+        Trit::One => Trit::Zero,
+        Trit::X => Trit::X,
+    }
+}
+
+/// Samples a geometric run length with the given mean (at least 1).
+fn geometric(mean: f64, rng: &mut StdRng) -> usize {
+    let mean = mean.max(1.0);
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (1.0 + (1.0 - u).ln() / (1.0 - p).max(f64::EPSILON).ln()).floor() as usize
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, so each profile gets an independent stream for the same seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The six ISCAS'89 circuits of the paper's Tables II–VII, with the
+/// published Mintest dimensions and approximate don't-care densities.
+///
+/// | circuit | patterns | scan cells | |T_D| bits | ~X% |
+/// |---------|----------|------------|-----------|-----|
+/// | s5378   | 111      | 214        | 23 754    | 72.6|
+/// | s9234   | 159      | 247        | 39 273    | 73.0|
+/// | s13207  | 236      | 700        | 165 200   | 93.2|
+/// | s15850  | 126      | 611        | 76 986    | 83.6|
+/// | s38417  | 99       | 1664       | 164 736   | 68.1|
+/// | s38584  | 136      | 1464       | 199 104   | 82.2|
+pub fn mintest_profiles() -> Vec<SyntheticProfile> {
+    vec![
+        SyntheticProfile::new("s5378", 111, 214, 0.726),
+        SyntheticProfile::new("s9234", 159, 247, 0.730),
+        SyntheticProfile::new("s13207", 236, 700, 0.932),
+        SyntheticProfile::new("s15850", 126, 611, 0.836),
+        SyntheticProfile::new("s38417", 99, 1664, 0.681),
+        SyntheticProfile::new("s38584", 136, 1464, 0.822),
+    ]
+}
+
+/// Looks up one of the [`mintest_profiles`] by circuit name.
+pub fn mintest_profile(name: &str) -> Option<SyntheticProfile> {
+    mintest_profiles().into_iter().find(|p| p.name == name)
+}
+
+/// IBM-like large industrial profiles for the paper's Table VIII
+/// (substitution for the proprietary CKT1/CKT2; see `DESIGN.md` §4).
+///
+/// Very high X density and long care bursts, 16 Mbit and 4 Mbit of data —
+/// large enough to show the "optimal K grows for very sparse sets" effect
+/// at laptop scale.
+pub fn ibm_profiles() -> Vec<SyntheticProfile> {
+    let mut ckt1 = SyntheticProfile::new("CKT1", 2000, 8000, 0.968);
+    ckt1.mean_care_run = 10.0;
+    ckt1.zero_bias = 0.72;
+    let mut ckt2 = SyntheticProfile::new("CKT2", 1000, 4000, 0.935);
+    ckt2.mean_care_run = 8.0;
+    ckt2.zero_bias = 0.70;
+    vec![ckt1, ckt2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let p = SyntheticProfile::new("det", 10, 64, 0.8);
+        assert_eq!(p.generate(7), p.generate(7));
+        assert_ne!(p.generate(7), p.generate(8));
+    }
+
+    #[test]
+    fn profiles_differ_by_name_for_same_seed() {
+        let a = SyntheticProfile::new("a", 10, 64, 0.8).generate(1);
+        let b = SyntheticProfile::new("b", 10, 64, 0.8).generate(1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hits_target_density() {
+        for &target in &[0.3, 0.7, 0.93] {
+            let p = SyntheticProfile::new("dens", 60, 500, target);
+            let ts = p.generate(11);
+            let got = ts.x_density();
+            assert!(
+                (got - target).abs() < 0.04,
+                "target {target}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_bias_shows_in_values() {
+        let p = SyntheticProfile::new("bias", 40, 400, 0.5);
+        let ts = p.generate(3);
+        let stream = ts.as_stream();
+        let zeros = stream.count_zeros() as f64;
+        let ones = stream.count_ones() as f64;
+        assert!(zeros > ones, "expected 0-biased care bits: {zeros} vs {ones}");
+    }
+
+    #[test]
+    fn density_skew_front_loads_care_bits() {
+        let p = SyntheticProfile::new("skew", 50, 400, 0.8);
+        let ts = p.generate(5);
+        let first: f64 = (0..10).map(|i| ts.pattern(i).count_care() as f64).sum();
+        let last: f64 = (40..50).map(|i| ts.pattern(i).count_care() as f64).sum();
+        assert!(
+            first > last,
+            "first cubes should be denser: {first} vs {last}"
+        );
+    }
+
+    #[test]
+    fn mintest_dimensions_match_published_sizes() {
+        let sizes: Vec<(String, usize)> = mintest_profiles()
+            .iter()
+            .map(|p| (p.name.clone(), p.total_bits()))
+            .collect();
+        let expected = [
+            ("s5378", 23754),
+            ("s9234", 39273),
+            ("s13207", 165200),
+            ("s15850", 76986),
+            ("s38417", 164736),
+            ("s38584", 199104),
+        ];
+        for (name, bits) in expected {
+            assert!(
+                sizes.iter().any(|(n, b)| n == name && *b == bits),
+                "{name} should have |T_D| = {bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(mintest_profile("s9234").is_some());
+        assert!(mintest_profile("s0000").is_none());
+    }
+
+    #[test]
+    fn scaled_down_keeps_shape() {
+        let p = mintest_profile("s13207").unwrap().scaled_down(10);
+        assert_eq!(p.num_patterns, 23);
+        assert_eq!(p.pattern_len, 70);
+        let ts = p.generate(1);
+        assert!((ts.x_density() - 0.932).abs() < 0.08);
+    }
+
+    #[test]
+    fn geometric_mean_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| geometric(6.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 6.0).abs() < 0.3, "mean {mean}");
+    }
+}

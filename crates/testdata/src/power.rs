@@ -1,0 +1,155 @@
+//! Scan power metrics.
+//!
+//! The paper notes that leftover don't-cares "can also be used to reduce the
+//! total scan-in power". The standard proxy for shift power is the
+//! *weighted transitions metric* (WTM): a transition early in the scan-in
+//! sequence ripples through more scan cells, so it is weighted by its
+//! distance from the end of the chain.
+
+use crate::bits::BitVec;
+use crate::cube::TestSet;
+use crate::fill::{fill_test_set, FillStrategy};
+use std::fmt;
+
+/// Weighted transitions metric of a single, fully specified scan pattern.
+///
+/// For a pattern `b_1 … b_L` (scanned in first-bit-first):
+/// `WTM = Σ_{j=1}^{L-1} (L − j) · (b_j ⊕ b_{j+1})`.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_testdata::bits::BitVec;
+/// use ninec_testdata::power::wtm;
+///
+/// // "0101" has transitions at j = 1, 2, 3 with weights 3, 2, 1.
+/// let p = BitVec::from_str_radix2("0101")?;
+/// assert_eq!(wtm(&p), 6);
+/// // A constant pattern costs nothing.
+/// assert_eq!(wtm(&BitVec::repeat(true, 16)), 0);
+/// # Ok::<(), ninec_testdata::bits::ParseBitsError>(())
+/// ```
+pub fn wtm(pattern: &BitVec) -> u64 {
+    let l = pattern.len();
+    let mut total = 0u64;
+    for j in 1..l {
+        let a = pattern.get(j - 1).expect("in range");
+        let b = pattern.get(j).expect("in range");
+        if a != b {
+            total += (l - j) as u64;
+        }
+    }
+    total
+}
+
+/// Average and peak scan-in power of a fully specified test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerReport {
+    /// Sum of per-pattern WTM over the whole set.
+    pub total: u64,
+    /// Largest single-pattern WTM.
+    pub peak: u64,
+    /// Number of patterns measured.
+    pub patterns: usize,
+}
+
+impl PowerReport {
+    /// Mean WTM per pattern.
+    pub fn average(&self) -> f64 {
+        if self.patterns == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.patterns as f64
+        }
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WTM avg {:.0}, peak {}, over {} patterns",
+            self.average(),
+            self.peak,
+            self.patterns
+        )
+    }
+}
+
+/// Measures scan power of a test set after applying `strategy` to its
+/// don't-cares.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_testdata::cube::TestSet;
+/// use ninec_testdata::fill::FillStrategy;
+/// use ninec_testdata::power::scan_power;
+///
+/// let ts = TestSet::from_patterns(8, ["0XXXXXX1", "1XXXXXX0"])?;
+/// let mt = scan_power(&ts, FillStrategy::MinTransition);
+/// let rnd = scan_power(&ts, FillStrategy::Random { seed: 1 });
+/// assert!(mt.total < rnd.total, "MT-fill should cut shift power");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn scan_power(set: &TestSet, strategy: FillStrategy) -> PowerReport {
+    let filled = fill_test_set(set, strategy);
+    let mut total = 0u64;
+    let mut peak = 0u64;
+    for p in filled.patterns() {
+        let bits = p.to_bitvec().expect("filled set is fully specified");
+        let w = wtm(&bits);
+        total += w;
+        peak = peak.max(w);
+    }
+    PowerReport {
+        total,
+        peak,
+        patterns: filled.num_patterns(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wtm_hand_computed() {
+        // 1 0 0 1: transitions at j=1 (w=3) and j=3 (w=1).
+        let p = BitVec::from_str_radix2("1001").unwrap();
+        assert_eq!(wtm(&p), 4);
+    }
+
+    #[test]
+    fn wtm_alternating_is_maximal() {
+        let alt = BitVec::from_str_radix2("10101010").unwrap();
+        let l = alt.len() as u64;
+        assert_eq!(wtm(&alt), l * (l - 1) / 2);
+    }
+
+    #[test]
+    fn wtm_edge_cases() {
+        assert_eq!(wtm(&BitVec::new()), 0);
+        assert_eq!(wtm(&BitVec::from_str_radix2("1").unwrap()), 0);
+    }
+
+    #[test]
+    fn mt_fill_never_worse_than_zero_fill_on_sparse_sets() {
+        let ts = TestSet::from_patterns(
+            12,
+            ["1XXXXXXXXXX1", "0XX1XXXX0XXX", "XXXXX1XXXXXX"],
+        )
+        .unwrap();
+        let mt = scan_power(&ts, FillStrategy::MinTransition);
+        let zero = scan_power(&ts, FillStrategy::Zero);
+        assert!(mt.total <= zero.total, "mt {} vs zero {}", mt.total, zero.total);
+    }
+
+    #[test]
+    fn report_average() {
+        let r = PowerReport { total: 30, peak: 20, patterns: 3 };
+        assert!((r.average() - 10.0).abs() < 1e-12);
+        let empty = PowerReport { total: 0, peak: 0, patterns: 0 };
+        assert_eq!(empty.average(), 0.0);
+    }
+}

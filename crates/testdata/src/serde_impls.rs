@@ -1,0 +1,105 @@
+//! Serde support (behind the `serde` feature).
+//!
+//! Data types serialize in their human-readable text forms — a [`TritVec`]
+//! is a `"01X"` string, a [`TestSet`] a pattern list — so JSON dumps stay
+//! diffable and hand-editable.
+
+use crate::cube::TestSet;
+use crate::trit::{Trit, TritVec};
+use serde::de::{Error as DeError, Unexpected};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for Trit {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_char(self.to_char())
+    }
+}
+
+impl<'de> Deserialize<'de> for Trit {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let c = char::deserialize(deserializer)?;
+        Trit::try_from(c).map_err(|_| D::Error::invalid_value(Unexpected::Char(c), &"0, 1 or X"))
+    }
+}
+
+impl Serialize for TritVec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for TritVec {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse()
+            .map_err(|_| D::Error::invalid_value(Unexpected::Str(&s), &"a string over 0/1/X"))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct TestSetRepr {
+    pattern_len: usize,
+    patterns: Vec<TritVec>,
+}
+
+impl Serialize for TestSet {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        TestSetRepr {
+            pattern_len: self.pattern_len(),
+            patterns: self.patterns().collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for TestSet {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = TestSetRepr::deserialize(deserializer)?;
+        let mut set = TestSet::new(repr.pattern_len.max(1));
+        for (i, p) in repr.patterns.iter().enumerate() {
+            set.push_pattern(p).map_err(|e| {
+                D::Error::custom(format!("pattern {i}: {e}"))
+            })?;
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::SyntheticProfile;
+
+    #[test]
+    fn trit_json_roundtrip() {
+        for t in [Trit::Zero, Trit::One, Trit::X] {
+            let json = serde_json::to_string(&t).unwrap();
+            let back: Trit = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, t);
+        }
+        assert!(serde_json::from_str::<Trit>("\"z\"").is_err());
+    }
+
+    #[test]
+    fn tritvec_serializes_as_string() {
+        let tv: TritVec = "01XX1".parse().unwrap();
+        assert_eq!(serde_json::to_string(&tv).unwrap(), "\"01XX1\"");
+        let back: TritVec = serde_json::from_str("\"01XX1\"").unwrap();
+        assert_eq!(back, tv);
+        assert!(serde_json::from_str::<TritVec>("\"012\"").is_err());
+    }
+
+    #[test]
+    fn test_set_json_roundtrip() {
+        let ts = SyntheticProfile::new("serde", 5, 24, 0.7).generate(2);
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: TestSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn test_set_rejects_inconsistent_lengths() {
+        let json = r#"{"pattern_len": 3, "patterns": ["010", "01"]}"#;
+        assert!(serde_json::from_str::<TestSet>(json).is_err());
+    }
+}

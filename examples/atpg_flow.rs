@@ -1,0 +1,81 @@
+//! The full DFT flow the paper assumes, end to end on real circuits:
+//!
+//! netlist -> ATPG (PODEM) -> test cubes T_D -> 9C compression -> ATE ->
+//! cycle-accurate on-chip decompression -> random X-fill -> fault
+//! simulation, confirming that compression lost no stuck-at coverage.
+//!
+//! ```text
+//! cargo run --example atpg_flow
+//! ```
+
+use ninec::encode::Encoder;
+use ninec_atpg::generate::{generate_tests, AtpgConfig};
+use ninec_circuit::bench::{parse_bench, S27};
+use ninec_circuit::random::RandomCircuitSpec;
+use ninec_circuit::Circuit;
+use ninec_decompressor::single::{ClockRatio, SingleScanDecoder};
+use ninec_fsim::fault::collapsed_faults;
+use ninec_fsim::fsim::fault_simulate;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::fill::{fill_test_set, FillStrategy};
+use ninec_testdata::trit::TritVec;
+
+fn run_flow(circuit: &Circuit) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== {circuit}");
+
+    // 1. ATPG: cubes with don't-cares.
+    let atpg = generate_tests(circuit, AtpgConfig::default());
+    println!("   ATPG: {atpg}");
+    let cubes = &atpg.tests;
+    println!(
+        "   cubes: {} x {} bits, {:.1}% X",
+        cubes.num_patterns(),
+        cubes.pattern_len(),
+        cubes.x_density() * 100.0
+    );
+
+    // 2. Compress with 9C at K = 8.
+    let encoded = Encoder::new(8)?.encode_set(cubes);
+    println!(
+        "   9C: {} -> {} bits (CR {:.1}%), leftover X {}",
+        cubes.total_bits(),
+        encoded.compressed_len(),
+        encoded.compression_ratio(),
+        encoded.stats().leftover_x
+    );
+
+    // 3. Random-fill the leftover X in T_E and ship through the
+    //    cycle-accurate decoder.
+    let ate_bits = encoded.to_bitvec(FillStrategy::Random { seed: 99 });
+    let decoder = SingleScanDecoder::new(8, encoded.table().clone(), ClockRatio::new(8));
+    let trace = decoder.run(&ate_bits, cubes.total_bits())?;
+    println!(
+        "   decompressed in {} SoC ticks ({} ATE bits)",
+        trace.soc_ticks, trace.ate_bits
+    );
+
+    // 4. The decompressed patterns (now fully specified) must keep the
+    //    cube set's fault coverage.
+    let applied = TestSet::from_stream(cubes.pattern_len(), TritVec::from(&trace.scan_out));
+    assert!(applied.covers(cubes), "decompression altered a care bit");
+    let faults = collapsed_faults(circuit);
+    let cube_cov = fault_simulate(circuit, &fill_test_set(cubes, FillStrategy::Zero), &faults);
+    let applied_cov = fault_simulate(circuit, &applied, &faults);
+    println!(
+        "   coverage: cubes (0-fill) {:.2}% vs decompressed+random-fill {:.2}%",
+        cube_cov.coverage_percent(),
+        applied_cov.coverage_percent()
+    );
+    assert!(
+        applied_cov.detected() >= atpg.detected(),
+        "decompressed patterns must detect at least the targeted faults"
+    );
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run_flow(&parse_bench(S27)?)?;
+    run_flow(&RandomCircuitSpec::new("rand400", 12, 20, 400).generate(7))?;
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! DFT bring-up on a netlist, end to end: insert a scan chain, prove the
+//! shift/capture protocol against the combinational scan view, run ATPG,
+//! compress the cubes with 9C, and emit the matching decoder RTL.
+//!
+//! ```text
+//! cargo run --example dft_bringup
+//! ```
+
+use ninec::encode::Encoder;
+use ninec_atpg::generate::{generate_tests, AtpgConfig};
+use ninec_circuit::bench::{parse_bench, S27};
+use ninec_circuit::scan::insert_scan;
+use ninec_decompressor::verilog::decoder_verilog;
+use ninec_fsim::seq::SequentialSimulator;
+use ninec_fsim::sim::simulate_cubes;
+use ninec_testdata::trit::{Trit, TritVec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Read the netlist and stitch the scan chain.
+    let s27 = parse_bench(S27)?;
+    println!("netlist: {s27}");
+    let scanned = insert_scan(&s27)?;
+    println!(
+        "scan inserted: {} cells, +{} gates for the muxes\n",
+        scanned.chain_len(),
+        scanned.circuit.num_logic_gates() - s27.num_logic_gates()
+    );
+
+    // 2. ATPG on the original circuit's scan view.
+    let atpg = generate_tests(&s27, AtpgConfig::default());
+    println!("ATPG: {atpg}");
+
+    // 3. Replay one cube through the *real* chain: shift, capture, compare.
+    let cube = atpg.tests.pattern(0);
+    let num_pis = s27.primary_inputs().len();
+    let ppi: TritVec = (num_pis..cube.len()).map(|i| cube.get(i).unwrap()).collect();
+    let reversed: TritVec = ppi.iter().rev().collect();
+    let mut sim = SequentialSimulator::new(&scanned.circuit);
+    sim.scan_shift(&scanned, &reversed);
+    let mut pis = TritVec::repeat(Trit::X, scanned.circuit.primary_inputs().len());
+    for i in 0..num_pis {
+        pis.set(i, cube.get(i).unwrap());
+    }
+    let se = scanned
+        .circuit
+        .primary_inputs()
+        .iter()
+        .position(|&n| n == scanned.scan_en)
+        .expect("scan_en exists");
+    pis.set(se, Trit::Zero);
+    let captured_pos = sim.step(&pis);
+    let expected = &simulate_cubes(&s27, &atpg.tests)[0];
+    let agreement = (0..s27.primary_outputs().len())
+        .all(|o| captured_pos.get(o) == expected.get(o));
+    println!(
+        "protocol check on cube 0: serial shift/capture {} the scan view\n",
+        if agreement { "matches" } else { "DISAGREES with" }
+    );
+    assert!(agreement);
+
+    // 4. Compress the cube set and print the numbers.
+    let encoded = Encoder::new(8)?.encode_set(&atpg.tests);
+    println!(
+        "9C @ K=8: {} -> {} bits (CR {:.1}%), {} leftover X",
+        atpg.tests.total_bits(),
+        encoded.compressed_len(),
+        encoded.compression_ratio(),
+        encoded.stats().leftover_x
+    );
+
+    // 5. Emit the decoder RTL that pairs with this test set.
+    let rtl = decoder_verilog(8);
+    println!(
+        "\ndecoder RTL: {} lines of Verilog (module ninec_decoder_k8); first lines:",
+        rtl.lines().count()
+    );
+    for line in rtl.lines().take(5) {
+        println!("    {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: compress a scan test set with 9C, decompress it, and look
+//! at the numbers the paper reports (CR%, leftover X, TAT%).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ninec::analysis::TatModel;
+use ninec::decode::decode;
+use ninec::encode::Encoder;
+use ninec_testdata::gen::SyntheticProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An s5378-shaped synthetic test-cube set: 111 patterns x 214 scan
+    // cells, ~72% don't-cares (see DESIGN.md §4 for why synthetic).
+    let profile = SyntheticProfile::new("s5378-like", 111, 214, 0.726);
+    let cubes = profile.generate(1);
+    println!(
+        "test set: {} patterns x {} cells = {} bits, {:.1}% X\n",
+        cubes.num_patterns(),
+        cubes.pattern_len(),
+        cubes.total_bits(),
+        cubes.x_density() * 100.0
+    );
+
+    println!("{:>4} {:>8} {:>8} {:>8} {:>10}", "K", "CR%", "LX%", "TAT%p=8", "|T_E| bits");
+    for k in [4usize, 8, 12, 16, 24, 32] {
+        let encoder = Encoder::new(k)?;
+        let encoded = encoder.encode_set(&cubes);
+        let tat = TatModel::new(8.0).tat_percent(&encoded);
+        println!(
+            "{:>4} {:>8.1} {:>8.1} {:>8.1} {:>10}",
+            k,
+            encoded.compression_ratio(),
+            encoded.leftover_x_percent(),
+            tat,
+            encoded.compressed_len()
+        );
+    }
+
+    // Decode at the sweet spot and verify every care bit survived.
+    let encoded = Encoder::new(8)?.encode_set(&cubes);
+    let decoded = decode(&encoded)?;
+    let src = cubes.as_stream();
+    let mut preserved = 0usize;
+    for i in 0..src.len() {
+        let s = src.get(i).expect("in range");
+        if s.is_care() {
+            assert_eq!(Some(s), decoded.get(i), "care bit {i} corrupted");
+            preserved += 1;
+        }
+    }
+    println!(
+        "\ndecode check: all {preserved} care bits preserved; \
+         {} X symbols survive in T_E for later fill",
+        encoded.stats().leftover_x
+    );
+    Ok(())
+}

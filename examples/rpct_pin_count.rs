@@ -1,0 +1,80 @@
+//! Reduced pin-count testing: walk the paper's Figure 4 spectrum on one
+//! circuit — (a) one chain / one pin, (b) `m` chains / one pin, (c) `m`
+//! chains / `m/K` pins — with the cycle-accurate decompressor models.
+//!
+//! ```text
+//! cargo run --example rpct_pin_count
+//! ```
+
+use ninec::encode::Encoder;
+use ninec::multiscan::encode_multiscan;
+use ninec_decompressor::multi::MultiScanDecoder;
+use ninec_decompressor::parallel::ParallelDecoders;
+use ninec_decompressor::single::{ClockRatio, SingleScanDecoder};
+use ninec_testdata::fill::FillStrategy;
+use ninec_testdata::gen::mintest_profile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = mintest_profile("s5378").expect("bundled profile");
+    let cubes = profile.generate(1);
+    let (k, p) = (8usize, 8u32);
+    let clocks = ClockRatio::new(p);
+    println!(
+        "circuit {} ({} cells), K={k}, f_scan = {p} x f_ate\n",
+        profile.name,
+        cubes.pattern_len()
+    );
+    println!(
+        "{:<28} {:>5} {:>12} {:>10} {:>8}",
+        "architecture", "pins", "SoC ticks", "ATE bits", "CR%"
+    );
+
+    // (a) single scan chain.
+    let enc = Encoder::new(k)?.encode_set(&cubes);
+    let bits = enc.to_bitvec(FillStrategy::Random { seed: 7 });
+    let trace = SingleScanDecoder::new(k, enc.table().clone(), clocks)
+        .run(&bits, cubes.total_bits())?;
+    let base_ticks = trace.soc_ticks;
+    println!(
+        "{:<28} {:>5} {:>12} {:>10} {:>8.1}",
+        "4a: 1 chain", 1, trace.soc_ticks, trace.ate_bits, enc.compression_ratio()
+    );
+
+    // (b) m chains, one pin — pin count collapses, time ~unchanged.
+    for m in [16usize, 32, 64] {
+        let enc = encode_multiscan(&cubes, m, k)?;
+        let bits = enc.to_bitvec(FillStrategy::Random { seed: 7 });
+        let dec = MultiScanDecoder::new(k, m, enc.table().clone(), clocks);
+        let trace = dec.run(&bits, &cubes)?;
+        assert!(trace.loaded.covers(&cubes), "multi-scan lost care bits");
+        println!(
+            "{:<28} {:>5} {:>12} {:>10} {:>8.1}",
+            format!("4b: {m} chains, 1 pin"),
+            trace.pins,
+            trace.decoder.soc_ticks,
+            trace.decoder.ate_bits,
+            enc.compression_ratio()
+        );
+    }
+
+    // (c) m chains, m/K pins — test time divides by the decoder count.
+    for m in [16usize, 32, 64] {
+        let arch = ParallelDecoders::new(k, m, clocks)?;
+        let trace = arch.compress_and_run(&cubes, FillStrategy::Random { seed: 7 })?;
+        assert!(trace.loaded.covers(&cubes), "parallel decode lost care bits");
+        println!(
+            "{:<28} {:>5} {:>12} {:>10} {:>8}",
+            format!("4c: {m} chains, {} pins", trace.pins),
+            trace.pins,
+            trace.soc_ticks,
+            trace.total_ate_bits,
+            format!("{:.2}x", base_ticks as f64 / trace.soc_ticks as f64)
+        );
+    }
+
+    println!(
+        "\ntrade-off: one decoder serves any chain count at 1 pin with\n\
+         single-chain test time; parallel decoders buy speed with pins."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Explore the paper's three-way trade-off (§IV): compression ratio vs
+//! leftover don't-cares vs block size K — and what the leftover X buys you
+//! (random fill for non-modeled faults, or MT-fill for scan power).
+//!
+//! Give a target LX% on the command line to get the K recommendation the
+//! paper describes ("if the user asks for a specific amount of
+//! don't-cares, K is obtained from Table III"):
+//!
+//! ```text
+//! cargo run --example tradeoff_explorer -- 10
+//! ```
+
+use ninec::decode::decode;
+use ninec::encode::Encoder;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::fill::FillStrategy;
+use ninec_testdata::gen::mintest_profile;
+use ninec_testdata::power::scan_power;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target_lx: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(8.0);
+
+    let profile = mintest_profile("s15850").expect("bundled profile");
+    let cubes = profile.generate(1);
+    println!(
+        "circuit {}: {} bits, {:.1}% X; target leftover X >= {target_lx}%\n",
+        profile.name,
+        cubes.total_bits(),
+        cubes.x_density() * 100.0
+    );
+
+    println!(
+        "{:>4} {:>8} {:>8} {:>14} {:>14}",
+        "K", "CR%", "LX%", "WTM random", "WTM MT-fill"
+    );
+    let mut recommendation: Option<(usize, f64, f64)> = None;
+    for k in [4usize, 8, 12, 16, 20, 24, 28, 32] {
+        let encoded = Encoder::new(k)?.encode_set(&cubes);
+        let cr = encoded.compression_ratio();
+        let lx = encoded.leftover_x_percent();
+        // What the surviving X is worth: decode, then fill both ways.
+        let decoded = TestSet::from_stream(cubes.pattern_len(), decode(&encoded)?);
+        let rnd = scan_power(&decoded, FillStrategy::Random { seed: 5 });
+        let mt = scan_power(&decoded, FillStrategy::MinTransition);
+        println!(
+            "{:>4} {:>8.1} {:>8.1} {:>14} {:>14}",
+            k, cr, lx, rnd.total, mt.total
+        );
+        if lx >= target_lx && recommendation.map_or(true, |(_, best_cr, _)| cr > best_cr) {
+            recommendation = Some((k, cr, lx));
+        }
+    }
+
+    match recommendation {
+        Some((k, cr, lx)) => println!(
+            "\nrecommendation: K={k} gives the best CR ({cr:.1}%) with at \
+             least {target_lx}% leftover X (achieves {lx:.1}%)"
+        ),
+        None => println!(
+            "\nno K in the sweep leaves {target_lx}% of |T_D| as don't-cares; \
+             the maximum is at K=32"
+        ),
+    }
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! Cross-crate architecture integration: the cycle-accurate decompressor
+//! models must agree with the paper's analytic timing model and with each
+//! other.
+
+use ninec::analysis::TatModel;
+use ninec::encode::Encoder;
+use ninec::multiscan::{encode_multiscan, ScanChains};
+use ninec_decompressor::area::decoder_area;
+use ninec_decompressor::multi::MultiScanDecoder;
+use ninec_decompressor::parallel::ParallelDecoders;
+use ninec_decompressor::single::{ClockRatio, SingleScanDecoder};
+use ninec_testdata::fill::FillStrategy;
+use ninec_testdata::gen::{mintest_profile, SyntheticProfile};
+
+#[test]
+fn hardware_cycles_equal_analytic_model_across_k_and_p() {
+    let ts = SyntheticProfile::new("arch", 30, 150, 0.78).generate(21);
+    for k in [4usize, 8, 12, 16, 32] {
+        for p in [1u32, 4, 8, 16, 24] {
+            let encoded = Encoder::new(k).unwrap().encode_set(&ts);
+            let bits = encoded.to_bitvec(FillStrategy::Zero);
+            let decoder = SingleScanDecoder::new(k, encoded.table().clone(), ClockRatio::new(p));
+            let trace = decoder.run(&bits, ts.total_bits()).unwrap();
+            let analytic =
+                TatModel::new(p as f64).compressed_cycles(encoded.stats(), encoded.table(), k);
+            let expected = analytic * p as f64;
+            assert!(
+                (trace.soc_ticks as f64 - expected).abs() < 1e-6,
+                "k={k} p={p}: hardware {} disagrees with the paper's formula {expected}",
+                trace.soc_ticks
+            );
+        }
+    }
+}
+
+#[test]
+fn single_pin_multiscan_keeps_single_scan_test_time() {
+    // Paper claim (Fig 3): same compressed stream, m chains, 1 pin, no
+    // test-time increase vs pushing that stream through one chain.
+    let profile = mintest_profile("s5378").unwrap().scaled_down(2);
+    let ts = profile.generate(3);
+    for m in [8usize, 16, 32] {
+        let k = 8;
+        let encoded = encode_multiscan(&ts, m, k).unwrap();
+        let bits = encoded.to_bitvec(FillStrategy::Zero);
+        let chains = ScanChains::new(ts.pattern_len(), m).unwrap();
+        let vertical_len = ts.num_patterns() * chains.padded_len();
+
+        let multi = MultiScanDecoder::new(k, m, encoded.table().clone(), ClockRatio::new(8));
+        let mtrace = multi.run(&bits, &ts).unwrap();
+        let single = SingleScanDecoder::new(k, encoded.table().clone(), ClockRatio::new(8));
+        let strace = single.run(&bits, vertical_len).unwrap();
+
+        assert_eq!(mtrace.decoder.soc_ticks, strace.soc_ticks, "m={m}");
+        assert_eq!(mtrace.pins, 1);
+        assert!(mtrace.loaded.covers(&ts), "m={m}");
+    }
+}
+
+#[test]
+fn parallel_decoders_speedup_scales_with_pin_count() {
+    let ts = SyntheticProfile::new("pscale", 16, 256, 0.8).generate(9);
+    let k = 8;
+    let p = 8;
+    let mut last_ticks = u64::MAX;
+    for m in [16usize, 32, 64] {
+        let arch = ParallelDecoders::new(k, m, ClockRatio::new(p)).unwrap();
+        let trace = arch.compress_and_run(&ts, FillStrategy::Zero).unwrap();
+        assert_eq!(trace.pins, m / k);
+        assert!(trace.loaded.covers(&ts), "m={m}");
+        assert!(
+            trace.soc_ticks < last_ticks,
+            "m={m}: more pins must not slow the test down"
+        );
+        last_ticks = trace.soc_ticks;
+    }
+}
+
+#[test]
+fn parallel_total_data_equals_sum_of_slices() {
+    let ts = SyntheticProfile::new("psum", 10, 128, 0.75).generate(4);
+    let arch = ParallelDecoders::new(8, 32, ClockRatio::new(8)).unwrap();
+    let (_, slices) = arch.slice_streams(&ts);
+    let encoder = Encoder::new(8).unwrap();
+    let expected: u64 = slices
+        .iter()
+        .map(|s| encoder.encode_stream(s).compressed_len() as u64)
+        .sum();
+    let trace = arch.compress_and_run(&ts, FillStrategy::Zero).unwrap();
+    assert_eq!(trace.total_ate_bits, expected);
+}
+
+#[test]
+fn decoder_fsm_identical_for_every_k() {
+    let reference = decoder_area(8).fsm;
+    for k in [4usize, 12, 16, 20, 24, 28, 32, 64, 128, 256] {
+        let area = decoder_area(k);
+        assert_eq!(area.fsm, reference, "K={k}: FSM must be K-independent");
+    }
+}
+
+#[test]
+fn decoder_area_grows_sublinearly_in_k() {
+    // Counter is logarithmic, shifter linear in K/2; the FSM dominates at
+    // small K. Doubling K from 8 to 16 must grow total area by well under
+    // 2x (the paper's "small, flexible decoder" claim).
+    let a8 = decoder_area(8).total_ge();
+    let a16 = decoder_area(16).total_ge();
+    assert!(a16 < a8 * 1.3, "a8={a8}, a16={a16}");
+}
+
+#[test]
+fn custom_table_flows_through_hardware() {
+    use ninec::freqdir::encode_frequency_directed;
+    let ts = SyntheticProfile::new("fdhw", 12, 96, 0.7).generate(6);
+    let out = encode_frequency_directed(8, ts.as_stream()).unwrap();
+    let enc = &out.reassigned;
+    let bits = enc.to_bitvec(FillStrategy::Random { seed: 3 });
+    let decoder = SingleScanDecoder::new(8, enc.table().clone(), ClockRatio::new(8));
+    let trace = decoder.run(&bits, ts.total_bits()).unwrap();
+    let src = ts.as_stream();
+    for i in 0..src.len() {
+        if let Some(v) = src.get(i).unwrap().value() {
+            assert_eq!(trace.scan_out.get(i), Some(v), "care bit {i}");
+        }
+    }
+    assert_eq!(trace.case_counts, enc.stats().case_counts);
+}

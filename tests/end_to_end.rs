@@ -1,0 +1,107 @@
+//! End-to-end integration: netlist → ATPG → 9C → cycle-accurate
+//! decompression → X-fill → fault simulation, across architectures.
+
+use ninec::encode::Encoder;
+use ninec::multiscan::encode_multiscan;
+use ninec_atpg::generate::{generate_tests, AtpgConfig};
+use ninec_circuit::bench::{parse_bench, C17, S27};
+use ninec_circuit::random::RandomCircuitSpec;
+use ninec_circuit::Circuit;
+use ninec_decompressor::multi::MultiScanDecoder;
+use ninec_decompressor::single::{ClockRatio, SingleScanDecoder};
+use ninec_fsim::fault::collapsed_faults;
+use ninec_fsim::fsim::fault_simulate;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::fill::FillStrategy;
+use ninec_testdata::trit::TritVec;
+
+/// ATPG's detections must survive 9C compression + hardware decompression
+/// + random fill.
+fn assert_flow_preserves_coverage(circuit: &Circuit, k: usize) {
+    let atpg = generate_tests(circuit, AtpgConfig::default());
+    let cubes = &atpg.tests;
+    assert!(cubes.num_patterns() > 0, "{}: ATPG produced no cubes", circuit.name());
+
+    let encoded = Encoder::new(k).expect("valid K").encode_set(cubes);
+    let ate_bits = encoded.to_bitvec(FillStrategy::Random { seed: 2024 });
+    let decoder = SingleScanDecoder::new(k, encoded.table().clone(), ClockRatio::new(8));
+    let trace = decoder
+        .run(&ate_bits, cubes.total_bits())
+        .expect("own encoding decompresses");
+
+    let applied = TestSet::from_stream(cubes.pattern_len(), TritVec::from(&trace.scan_out));
+    assert!(applied.covers(cubes), "{}: care bit lost", circuit.name());
+
+    let faults = collapsed_faults(circuit);
+    let applied_cov = fault_simulate(circuit, &applied, &faults);
+    assert!(
+        applied_cov.detected() >= atpg.detected(),
+        "{}: coverage dropped from {} to {}",
+        circuit.name(),
+        atpg.detected(),
+        applied_cov.detected()
+    );
+}
+
+#[test]
+fn s27_flow_at_multiple_k() {
+    let s27 = parse_bench(S27).unwrap();
+    for k in [4usize, 8, 16] {
+        assert_flow_preserves_coverage(&s27, k);
+    }
+}
+
+#[test]
+fn c17_flow() {
+    let c17 = parse_bench(C17).unwrap();
+    assert_flow_preserves_coverage(&c17, 8);
+}
+
+#[test]
+fn random_circuits_flow() {
+    for seed in [1u64, 2] {
+        let c = RandomCircuitSpec::new(&format!("e2e{seed}"), 8, 16, 150).generate(seed);
+        assert_flow_preserves_coverage(&c, 8);
+    }
+}
+
+#[test]
+fn multiscan_flow_preserves_coverage() {
+    // A random circuit with enough scan cells to split into chains.
+    let circuit = RandomCircuitSpec::new("e2e-ms", 8, 24, 200).generate(11);
+    let atpg = generate_tests(&circuit, AtpgConfig::default());
+    let cubes = &atpg.tests;
+    let (k, m) = (8usize, 16usize);
+
+    let encoded = encode_multiscan(cubes, m, k).unwrap();
+    let ate_bits = encoded.to_bitvec(FillStrategy::Random { seed: 5 });
+    let decoder = MultiScanDecoder::new(k, m, encoded.table().clone(), ClockRatio::new(8));
+    let trace = decoder.run(&ate_bits, cubes).unwrap();
+    assert!(trace.loaded.covers(cubes));
+    assert_eq!(trace.pins, 1);
+
+    let faults = collapsed_faults(&circuit);
+    let cov = fault_simulate(&circuit, &trace.loaded, &faults);
+    assert!(
+        cov.detected() >= atpg.detected(),
+        "multiscan coverage dropped: {} < {}",
+        cov.detected(),
+        atpg.detected()
+    );
+}
+
+#[test]
+fn frequency_directed_flow_roundtrips() {
+    let s27 = parse_bench(S27).unwrap();
+    let atpg = generate_tests(&s27, AtpgConfig::default());
+    let out = ninec::freqdir::encode_frequency_directed(8, atpg.tests.as_stream()).unwrap();
+    let best = out.best();
+    let ate_bits = best.to_bitvec(FillStrategy::Zero);
+    let decoder = SingleScanDecoder::new(8, best.table().clone(), ClockRatio::new(4));
+    let trace = decoder.run(&ate_bits, atpg.tests.total_bits()).unwrap();
+    let applied = TestSet::from_stream(
+        atpg.tests.pattern_len(),
+        TritVec::from(&trace.scan_out),
+    );
+    assert!(applied.covers(&atpg.tests));
+}

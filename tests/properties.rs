@@ -1,0 +1,307 @@
+//! Property-based tests over the core invariants of the suite.
+
+use ninec::analysis::TatModel;
+use ninec::code::{CodeTable, PAPER_LENGTHS};
+use ninec::decode::decode;
+use ninec::encode::Encoder;
+use ninec::freqdir::encode_frequency_directed;
+use ninec::multiscan::ScanChains;
+use ninec_baselines::arl::AlternatingRunLength;
+use ninec_baselines::efdr::Efdr;
+use ninec_baselines::fdr::Fdr;
+use ninec_baselines::golomb::Golomb;
+use ninec_baselines::huffman::HuffmanCode;
+use ninec_baselines::selhuff::SelectiveHuffman;
+use ninec_baselines::vihc::Vihc;
+use ninec_testdata::bits::BitVec;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::fill::{fill_trits, FillStrategy};
+use ninec_testdata::trit::{Trit, TritVec};
+use proptest::prelude::*;
+
+fn arb_trit() -> impl Strategy<Value = Trit> {
+    prop_oneof![
+        3 => Just(Trit::X),
+        1 => Just(Trit::Zero),
+        1 => Just(Trit::One),
+    ]
+}
+
+fn arb_stream(max_len: usize) -> impl Strategy<Value = TritVec> {
+    proptest::collection::vec(arb_trit(), 0..max_len).prop_map(TritVec::from_iter)
+}
+
+fn arb_k() -> impl Strategy<Value = usize> {
+    (2usize..=16).prop_map(|h| h * 2)
+}
+
+proptest! {
+    /// decode(encode(x)) preserves every care bit and binds or preserves
+    /// every X; the emitted length matches the analytic formula; TAT is
+    /// bounded by CR for any p >= 1.
+    #[test]
+    fn ninec_roundtrip_invariants(stream in arb_stream(600), k in arb_k(), p in 1u32..32) {
+        let encoder = Encoder::new(k).unwrap();
+        let encoded = encoder.encode_stream(&stream);
+        // Formula vs emitted bits.
+        prop_assert_eq!(
+            encoded.stats().size_by_formula(encoded.table(), k),
+            encoded.compressed_len() as u64
+        );
+        // Roundtrip compatibility.
+        let decoded = decode(&encoded).unwrap();
+        prop_assert_eq!(decoded.len(), stream.len());
+        for i in 0..stream.len() {
+            let s = stream.get(i).unwrap();
+            let d = decoded.get(i).unwrap();
+            if s.is_care() {
+                prop_assert_eq!(s, d, "care bit {} changed", i);
+            }
+        }
+        // Leftover X appears only in the payload and never exceeds the
+        // source's X count plus the end-of-stream padding.
+        let pad = (k - stream.len() % k) % k;
+        prop_assert!(encoded.stats().leftover_x <= (stream.count_x() + pad) as u64);
+        // TAT bounded by CR.
+        let tat = TatModel::new(p as f64).tat_percent(&encoded);
+        prop_assert!(tat <= encoded.compression_ratio() + 1e-9);
+    }
+
+    /// At K = 4 no don't-care can survive (a 2-bit half with an X is never
+    /// a mismatch) — the paper's Table III boundary column.
+    #[test]
+    fn no_leftover_x_at_k4(stream in arb_stream(400)) {
+        let encoded = Encoder::new(4).unwrap().encode_stream(&stream);
+        prop_assert_eq!(encoded.stats().leftover_x, 0);
+    }
+
+    /// A fully specified ATE stream decodes identically through any
+    /// fill: binding the leftover X before or after decoding commutes.
+    #[test]
+    fn fill_commutes_with_decode(stream in arb_stream(400), k in arb_k()) {
+        let encoded = Encoder::new(k).unwrap().encode_stream(&stream);
+        // Path A: fill T_E, then decode bits.
+        let ate = encoded.to_bitvec(FillStrategy::Zero);
+        let a = ninec::decode::decode_bits(&ate, k, encoded.table(), stream.len()).unwrap();
+        // Path B: decode trits, then zero-fill.
+        let b = fill_trits(&decode(&encoded).unwrap(), FillStrategy::Zero)
+            .to_bitvec()
+            .unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Frequency-directed reassignment never enlarges the stream it was
+    /// tuned on, and its table stays prefix-free/Kraft-tight.
+    #[test]
+    fn freqdir_never_hurts(stream in arb_stream(500), k in arb_k()) {
+        let out = encode_frequency_directed(k, &stream).unwrap();
+        prop_assert!(out.reassigned.compressed_len() <= out.baseline.compressed_len());
+        prop_assert!(out.reassigned.table().is_prefix_free());
+        prop_assert!((out.reassigned.table().kraft_sum() - 1.0).abs() < 1e-9);
+    }
+
+    /// Any permutation of the paper's codeword lengths yields a decodable
+    /// prefix code.
+    #[test]
+    fn permuted_tables_roundtrip(stream in arb_stream(300), rot in 0usize..9) {
+        let mut lengths = PAPER_LENGTHS;
+        lengths.rotate_left(rot);
+        let table = CodeTable::from_lengths(&lengths).unwrap();
+        let encoder = Encoder::with_table(8, table).unwrap();
+        let encoded = encoder.encode_stream(&stream);
+        let decoded = decode(&encoded).unwrap();
+        for i in 0..stream.len() {
+            let s = stream.get(i).unwrap();
+            if s.is_care() {
+                prop_assert_eq!(Some(s), decoded.get(i));
+            }
+        }
+    }
+
+    /// The run-length baselines reproduce the filled source exactly.
+    #[test]
+    fn baseline_roundtrips(stream in arb_stream(400)) {
+        let zero_filled = fill_trits(&stream, FillStrategy::Zero).to_bitvec().unwrap();
+        let mt_filled = fill_trits(&stream, FillStrategy::MinTransition).to_bitvec().unwrap();
+
+        let fdr = Fdr::new();
+        prop_assert_eq!(
+            fdr.decompress(&fdr.compress(&stream), stream.len()).unwrap(),
+            zero_filled.clone()
+        );
+        let golomb = Golomb::new(4).unwrap();
+        prop_assert_eq!(
+            golomb.decompress(&golomb.compress(&stream), stream.len()).unwrap(),
+            zero_filled.clone()
+        );
+        let efdr = Efdr::new();
+        prop_assert_eq!(
+            efdr.decompress(&efdr.compress(&stream), stream.len()).unwrap(),
+            mt_filled.clone()
+        );
+        let arl = AlternatingRunLength::new();
+        prop_assert_eq!(
+            arl.decompress(&arl.compress(&stream), stream.len()).unwrap(),
+            mt_filled
+        );
+        let vihc = Vihc::new(8).unwrap().encode(&stream);
+        prop_assert_eq!(vihc.decode().unwrap(), zero_filled);
+    }
+
+    /// Selective Huffman decodes to something covering the source cubes.
+    #[test]
+    fn selhuff_covers_source(stream in arb_stream(300)) {
+        prop_assume!(!stream.is_empty());
+        let enc = SelectiveHuffman::new(4, 3).unwrap().encode(&stream);
+        let dec = TritVec::from(&enc.decode().unwrap());
+        prop_assert_eq!(dec.len(), stream.len());
+        prop_assert!(dec.covers(&stream));
+    }
+
+    /// Huffman codes over random frequencies are prefix-free and decode
+    /// what they encode.
+    #[test]
+    fn huffman_roundtrip(freqs in proptest::collection::vec(0u64..200, 1..12),
+                         picks in proptest::collection::vec(0usize..12, 0..40)) {
+        let code = HuffmanCode::from_frequencies(&freqs).unwrap();
+        prop_assert!(code.is_prefix_free());
+        let symbols: Vec<usize> = picks.into_iter().map(|p| p % freqs.len()).collect();
+        let mut bits = BitVec::new();
+        for &s in &symbols {
+            code.encode_symbol(s, &mut bits);
+        }
+        let mut reader = ninec_testdata::bits::BitReader::new(&bits);
+        for &s in &symbols {
+            prop_assert_eq!(code.decode_symbol(&mut reader), Some(s));
+        }
+        prop_assert!(reader.is_at_end());
+    }
+
+    /// Vertical/horizontal multi-scan rearrangement is a bijection.
+    #[test]
+    fn multiscan_bijection(patterns in 1usize..6, len in 4usize..40, m in 1usize..8,
+                           seed in 0u64..50) {
+        prop_assume!(m <= len);
+        let profile = ninec_testdata::gen::SyntheticProfile::new("prop", patterns, len, 0.5);
+        let ts = profile.generate(seed);
+        let chains = ScanChains::new(len, m).unwrap();
+        let vertical = chains.vertical_stream(&ts);
+        let back = chains.horizontal_set(&vertical);
+        prop_assert_eq!(back, ts);
+    }
+
+    /// Fill strategies always produce covering, fully specified sets.
+    #[test]
+    fn fills_cover(stream in arb_stream(300), seed in 0u64..100) {
+        for strategy in [
+            FillStrategy::Zero,
+            FillStrategy::One,
+            FillStrategy::Random { seed },
+            FillStrategy::MinTransition,
+        ] {
+            let filled = fill_trits(&stream, strategy);
+            prop_assert_eq!(filled.count_x(), 0);
+            prop_assert!(filled.covers(&stream));
+        }
+    }
+
+    /// TestSet text serialization roundtrips.
+    #[test]
+    fn cube_file_roundtrip(patterns in 1usize..8, len in 1usize..30, seed in 0u64..50) {
+        let ts = ninec_testdata::gen::SyntheticProfile::new("io", patterns, len.max(2), 0.6)
+            .generate(seed);
+        let text = ninec_testdata::io::format_test_set(&ts);
+        let back = ninec_testdata::io::parse_test_set(&text).unwrap();
+        prop_assert_eq!(back, ts);
+    }
+}
+
+#[test]
+fn empty_stream_edge_cases() {
+    let empty = TritVec::new();
+    let encoded = Encoder::new(8).unwrap().encode_stream(&empty);
+    assert_eq!(encoded.compressed_len(), 0);
+    assert_eq!(decode(&encoded).unwrap(), empty);
+    assert_eq!(Fdr::new().compress(&empty), BitVec::new());
+    let ts = TestSet::new(4);
+    assert_eq!(ts.num_patterns(), 0);
+}
+
+proptest! {
+    /// Power-aware encoding stays decodable and within its size budget for
+    /// any stream, table and budget.
+    #[test]
+    fn power_aware_roundtrip_and_budget(stream in arb_stream(400), k in arb_k(),
+                                        budget in 0usize..6) {
+        use ninec::encode::CaseSelect;
+        let base = Encoder::new(k).unwrap().encode_stream(&stream);
+        let quiet = Encoder::new(k)
+            .unwrap()
+            .with_case_select(CaseSelect::PowerAware { max_extra_bits: budget })
+            .encode_stream(&stream);
+        let extra = quiet.compressed_len() as i64 - base.compressed_len() as i64;
+        prop_assert!(extra >= 0);
+        prop_assert!(extra as u64 <= budget as u64 * base.stats().blocks);
+        let decoded = decode(&quiet).unwrap();
+        for i in 0..stream.len() {
+            let s = stream.get(i).unwrap();
+            if s.is_care() {
+                prop_assert_eq!(Some(s), decoded.get(i));
+            }
+        }
+    }
+
+    /// LFSR-reseeding (whole-pattern and windowed) always expands to a
+    /// covering set, whatever mix of seeds and raw fallbacks it chose.
+    #[test]
+    fn reseeding_expansion_covers(patterns in 1usize..8, len in 8usize..60,
+                                  x in 2u32..9, seed in 0u64..40) {
+        use ninec_bist::reseed::ReseedEncoder;
+        let profile = ninec_testdata::gen::SyntheticProfile::new(
+            "prop-rs", patterns, len, f64::from(x) / 10.0,
+        );
+        let cubes = profile.generate(seed);
+        let encoder = ReseedEncoder::new(24).unwrap();
+        let whole = encoder.encode_set(&cubes);
+        prop_assert!(encoder.expand(&whole).covers(&cubes));
+        let window = (len / 2).max(1);
+        let windowed = encoder.encode_set_windowed(&cubes, window);
+        prop_assert!(encoder.expand_windowed(&windowed, len, window).covers(&cubes));
+    }
+
+    /// The dictionary baseline decodes to a covering stream for any cube
+    /// input and geometry.
+    #[test]
+    fn dictionary_covers(stream in arb_stream(300), b in 2usize..10, d in 1usize..20) {
+        use ninec_baselines::dict::FixedIndexDictionary;
+        prop_assume!(!stream.is_empty());
+        let codec = FixedIndexDictionary::new(b, d).unwrap();
+        let enc = codec.encode(&stream);
+        let dec = TritVec::from(&enc.decode().unwrap());
+        prop_assert_eq!(dec.len(), stream.len());
+        prop_assert!(dec.covers(&stream));
+    }
+
+    /// Merge compaction never violates compatibility and never grows the
+    /// set.
+    #[test]
+    fn merge_compaction_sound(patterns in 1usize..10, len in 2usize..24, seed in 0u64..40) {
+        use ninec_atpg::generate::compact_merge;
+        let cubes = ninec_testdata::gen::SyntheticProfile::new("prop-mc", patterns, len, 0.7)
+            .generate(seed);
+        let merged = compact_merge(&cubes);
+        prop_assert!(merged.num_patterns() <= cubes.num_patterns());
+        // Every original cube is covered by some merged cube.
+        for orig in cubes.patterns() {
+            prop_assert!(
+                merged.patterns().any(|m| {
+                    (0..orig.len()).all(|i| {
+                        let o = orig.get(i).unwrap();
+                        !o.is_care() || m.get(i) == Some(o)
+                    })
+                }),
+                "cube {} lost", orig
+            );
+        }
+    }
+}

