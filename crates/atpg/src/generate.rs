@@ -52,17 +52,26 @@ pub struct AtpgResult {
 impl AtpgResult {
     /// Number of detected faults.
     pub fn detected(&self) -> usize {
-        self.status.iter().filter(|s| **s == FaultStatus::Detected).count()
+        self.status
+            .iter()
+            .filter(|s| **s == FaultStatus::Detected)
+            .count()
     }
 
     /// Number of proven-untestable faults.
     pub fn untestable(&self) -> usize {
-        self.status.iter().filter(|s| **s == FaultStatus::Untestable).count()
+        self.status
+            .iter()
+            .filter(|s| **s == FaultStatus::Untestable)
+            .count()
     }
 
     /// Number of aborted faults.
     pub fn aborted(&self) -> usize {
-        self.status.iter().filter(|s| **s == FaultStatus::Aborted).count()
+        self.status
+            .iter()
+            .filter(|s| **s == FaultStatus::Aborted)
+            .count()
     }
 
     /// Fault coverage over all targeted faults, percent.
@@ -131,7 +140,9 @@ pub fn generate_tests(circuit: &Circuit, config: AtpgConfig) -> AtpgResult {
         match podem(circuit, faults[target], config.podem) {
             PodemOutcome::Detected(cube) => {
                 let mut single = TestSet::new(width);
-                single.push_pattern(&cube).expect("PODEM cube has scan width");
+                single
+                    .push_pattern(&cube)
+                    .expect("PODEM cube has scan width");
                 // Drop every remaining fault this cube detects.
                 let remaining: Vec<usize> =
                     (0..faults.len()).filter(|&i| status[i].is_none()).collect();
@@ -144,7 +155,9 @@ pub fn generate_tests(circuit: &Circuit, config: AtpgConfig) -> AtpgResult {
                 }
                 debug_assert_eq!(status[target], Some(FaultStatus::Detected));
                 status[target].get_or_insert(FaultStatus::Detected);
-                tests.push_pattern(&cube).expect("PODEM cube has scan width");
+                tests
+                    .push_pattern(&cube)
+                    .expect("PODEM cube has scan width");
             }
             PodemOutcome::Untestable => status[target] = Some(FaultStatus::Untestable),
             PodemOutcome::Aborted => status[target] = Some(FaultStatus::Aborted),
@@ -160,7 +173,11 @@ pub fn generate_tests(circuit: &Circuit, config: AtpgConfig) -> AtpgResult {
     } else {
         tests
     };
-    AtpgResult { tests, faults, status }
+    AtpgResult {
+        tests,
+        faults,
+        status,
+    }
 }
 
 /// Static merge compaction: greedily merges *compatible* cubes (no
@@ -214,11 +231,7 @@ pub fn compact_merge(tests: &TestSet) -> TestSet {
 ///
 /// Later ATPG cubes tend to be the hard, specific ones; replaying them
 /// first lets them absorb the fortuitous coverage of early cubes.
-pub fn compact_reverse_order(
-    circuit: &Circuit,
-    tests: &TestSet,
-    faults: &[StuckFault],
-) -> TestSet {
+pub fn compact_reverse_order(circuit: &Circuit, tests: &TestSet, faults: &[StuckFault]) -> TestSet {
     let mut undetected: Vec<StuckFault> = faults.to_vec();
     let mut keep: Vec<usize> = Vec::new();
     for idx in (0..tests.num_patterns()).rev() {
@@ -226,7 +239,9 @@ pub fn compact_reverse_order(
             break;
         }
         let mut single = TestSet::new(tests.pattern_len());
-        single.push_pattern(&tests.pattern(idx)).expect("same width");
+        single
+            .push_pattern(&tests.pattern(idx))
+            .expect("same width");
         let sim = fault_simulate(circuit, &single, &undetected);
         let detected_any = sim.first_detection.iter().any(Option::is_some);
         if detected_any {
@@ -276,7 +291,13 @@ mod tests {
     #[test]
     fn merge_compaction_reduces_patterns_and_keeps_coverage() {
         let c = RandomCircuitSpec::new("mg", 6, 8, 90).generate(4);
-        let r = generate_tests(&c, AtpgConfig { compact: false, ..Default::default() });
+        let r = generate_tests(
+            &c,
+            AtpgConfig {
+                compact: false,
+                ..Default::default()
+            },
+        );
         let merged = compact_merge(&r.tests);
         assert!(merged.num_patterns() <= r.tests.num_patterns());
         let before = fsim(&c, &r.tests, &r.faults).detected();
@@ -305,7 +326,13 @@ mod tests {
     fn merge_then_reverse_order_stack() {
         // The two compaction passes compose.
         let c = RandomCircuitSpec::new("stack", 6, 8, 90).generate(8);
-        let r = generate_tests(&c, AtpgConfig { compact: false, ..Default::default() });
+        let r = generate_tests(
+            &c,
+            AtpgConfig {
+                compact: false,
+                ..Default::default()
+            },
+        );
         let merged = compact_merge(&r.tests);
         let final_set = compact_reverse_order(&c, &merged, &r.faults);
         assert!(final_set.num_patterns() <= merged.num_patterns());
@@ -317,7 +344,13 @@ mod tests {
     #[test]
     fn compaction_never_loses_coverage() {
         let c = RandomCircuitSpec::new("cz", 6, 8, 80).generate(5);
-        let full = generate_tests(&c, AtpgConfig { compact: false, ..Default::default() });
+        let full = generate_tests(
+            &c,
+            AtpgConfig {
+                compact: false,
+                ..Default::default()
+            },
+        );
         let compacted = compact_reverse_order(&c, &full.tests, &full.faults);
         assert!(compacted.num_patterns() <= full.tests.num_patterns());
         let before = fsim(&c, &full.tests, &full.faults).detected();

@@ -30,15 +30,30 @@ pub struct DValue {
 
 impl DValue {
     /// Fully unknown.
-    pub const X: DValue = DValue { good: Trit::X, faulty: Trit::X };
+    pub const X: DValue = DValue {
+        good: Trit::X,
+        faulty: Trit::X,
+    };
     /// Good 1 / faulty 0.
-    pub const D: DValue = DValue { good: Trit::One, faulty: Trit::Zero };
+    pub const D: DValue = DValue {
+        good: Trit::One,
+        faulty: Trit::Zero,
+    };
     /// Good 0 / faulty 1.
-    pub const DBAR: DValue = DValue { good: Trit::Zero, faulty: Trit::One };
+    pub const DBAR: DValue = DValue {
+        good: Trit::Zero,
+        faulty: Trit::One,
+    };
     /// Constant 0 in both machines.
-    pub const ZERO: DValue = DValue { good: Trit::Zero, faulty: Trit::Zero };
+    pub const ZERO: DValue = DValue {
+        good: Trit::Zero,
+        faulty: Trit::Zero,
+    };
     /// Constant 1 in both machines.
-    pub const ONE: DValue = DValue { good: Trit::One, faulty: Trit::One };
+    pub const ONE: DValue = DValue {
+        good: Trit::One,
+        faulty: Trit::One,
+    };
 
     /// Creates a pair.
     pub fn new(good: Trit, faulty: Trit) -> Self {
@@ -194,7 +209,7 @@ mod tests {
 
     #[test]
     fn trit_op_tables() {
-        use Trit::{One as I, X, Zero as O};
+        use Trit::{One as I, Zero as O, X};
         assert_eq!(and3(O, X), O);
         assert_eq!(and3(I, X), X);
         assert_eq!(or3(I, X), I);

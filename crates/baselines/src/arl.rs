@@ -6,7 +6,7 @@
 //! type bits are needed because polarity alternates deterministically.
 //! Minimum-transition fill is applied first to lengthen the runs.
 
-use crate::codec::TestDataCodec;
+use crate::codec::{CodecStream, Payload, TestDataCodec};
 use crate::fdr::RunLengthDecodeError;
 use crate::runlength::{alternating_runs, fdr_decode_run, fdr_encode_run};
 use ninec_testdata::bits::{BitReader, BitVec};
@@ -52,20 +52,27 @@ impl AlternatingRunLength {
     /// # Errors
     ///
     /// Returns [`RunLengthDecodeError`] on truncated or overlong streams.
-    pub fn decompress(&self, bits: &BitVec, out_len: usize) -> Result<BitVec, RunLengthDecodeError> {
+    pub fn decompress(
+        &self,
+        bits: &BitVec,
+        out_len: usize,
+    ) -> Result<BitVec, RunLengthDecodeError> {
         let mut reader = BitReader::new(bits);
         let mut out = BitVec::with_capacity(out_len);
         let mut symbol = false;
         while out.len() < out_len {
-            let l = fdr_decode_run(&mut reader)
-                .ok_or(RunLengthDecodeError::Truncated { produced: out.len() })?;
+            let l = fdr_decode_run(&mut reader).ok_or(RunLengthDecodeError::Truncated {
+                produced: out.len(),
+            })?;
             for _ in 0..l {
                 out.push(symbol);
             }
             symbol = !symbol;
         }
         if out.len() > out_len {
-            return Err(RunLengthDecodeError::Overrun { produced: out.len() });
+            return Err(RunLengthDecodeError::Overrun {
+                produced: out.len(),
+            });
         }
         Ok(out)
     }
@@ -76,8 +83,8 @@ impl TestDataCodec for AlternatingRunLength {
         "ARL"
     }
 
-    fn compressed_size(&self, stream: &TritVec) -> usize {
-        self.compress(stream).len()
+    fn encode_stream(&self, stream: &TritVec) -> CodecStream {
+        CodecStream::new(stream.len(), Payload::Arl(self.compress(stream)))
     }
 }
 
@@ -111,7 +118,10 @@ mod tests {
     fn leading_one_costs_an_empty_run() {
         // "111" = runs [0, 3]: FDR(0)="00", FDR(3)="1001".
         let s: TritVec = "111".parse().unwrap();
-        assert_eq!(AlternatingRunLength::new().compress(&s).to_string(), "001001");
+        assert_eq!(
+            AlternatingRunLength::new().compress(&s).to_string(),
+            "001001"
+        );
     }
 
     #[test]
@@ -121,7 +131,10 @@ mod tests {
         let arl = AlternatingRunLength::new().compressed_size(&s);
         let fdr = Fdr::new().compressed_size(&s);
         // One empty 0-run + one 64-long 1-run vs sixty-four 0-length runs.
-        assert!(arl < fdr / 4, "ARL {arl} should crush FDR {fdr} on runs of 1s");
+        assert!(
+            arl < fdr / 4,
+            "ARL {arl} should crush FDR {fdr} on runs of 1s"
+        );
     }
 
     #[test]

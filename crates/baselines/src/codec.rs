@@ -1,23 +1,75 @@
 //! Common interface for the baseline test-data compression codes.
+//!
+//! [`TestDataCodec`] is the uniform entry point the Table IV harness
+//! dispatches through: [`encode_stream`](TestDataCodec::encode_stream)
+//! produces a self-describing [`CodecStream`] and
+//! [`decode_stream`](TestDataCodec::decode_stream) reconstructs the test
+//! data from it, so every code — the run-length family, the Huffman
+//! family, the dictionary code, and 9C itself (via
+//! [`crate::nine_coded::NineCoded`]) — roundtrips behind one trait object.
+//! [`crate::registry::table4_registry`] returns the full Table IV column
+//! set as `Box<dyn TestDataCodec>`.
+//!
+//! A [`CodecStream`] carries whatever decoder model its code needs
+//! (Golomb's group size, VIHC's Huffman code, the dictionary contents, 9C's
+//! code table), mirroring how the on-chip decompressors of the literature
+//! hold that state in hardware rather than in the ATE stream.
 
+use crate::arl::AlternatingRunLength;
+use crate::dict::{DictionaryDecodeError, DictionaryEncoded};
+use crate::efdr::Efdr;
+use crate::fdr::{Fdr, RunLengthDecodeError};
+use crate::golomb::Golomb;
+use crate::selhuff::{SelectiveHuffmanDecodeError, SelectiveHuffmanEncoded};
+use crate::vihc::{VihcDecodeError, VihcEncoded};
+use ninec_testdata::bits::BitVec;
 use ninec_testdata::trit::TritVec;
+use std::fmt;
 
 /// A baseline test-data compression code, as compared against 9C in the
 /// paper's Table IV.
 ///
-/// The uniform entry point is [`compressed_size`](TestDataCodec::compressed_size)
+/// The uniform entry points are
+/// [`encode_stream`](TestDataCodec::encode_stream) /
+/// [`decode_stream`](TestDataCodec::decode_stream) (a self-describing
+/// roundtrip) and [`compressed_size`](TestDataCodec::compressed_size)
 /// (enough to reproduce the compression-ratio comparisons); each concrete
 /// codec additionally exposes its own typed encode/decode API, which the
-/// test suites use for roundtrip verification.
+/// test suites use for error-path verification.
 pub trait TestDataCodec {
     /// Short display name (e.g. `"FDR"`).
     fn name(&self) -> &str;
 
-    /// Size in bits of the compressed form of `stream` (a test-cube stream;
-    /// the codec applies its own preferred don't-care fill).
-    fn compressed_size(&self, stream: &TritVec) -> usize;
+    /// Compresses `stream` (a test-cube stream; the codec applies its own
+    /// preferred don't-care fill) into a self-describing [`CodecStream`].
+    fn encode_stream(&self, stream: &TritVec) -> CodecStream;
+
+    /// Reconstructs test data from an [`encode_stream`](TestDataCodec::encode_stream)
+    /// result.
+    ///
+    /// The reconstruction is the codec's canonical one: the fill-based
+    /// baselines return the *filled* (fully specified) source, while 9C
+    /// preserves its leftover don't-cares. In every case each care bit of
+    /// the original stream is reproduced exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecDecodeError`] on truncated or corrupt streams.
+    fn decode_stream(&self, encoded: &CodecStream) -> Result<TritVec, CodecDecodeError> {
+        encoded.decode()
+    }
+
+    /// Size in bits of the compressed form of `stream`.
+    fn compressed_size(&self, stream: &TritVec) -> usize {
+        self.encode_stream(stream).compressed_bits()
+    }
 
     /// Compression ratio in percent against `|T_D| = stream.len()`.
+    ///
+    /// By convention the ratio of the **empty stream is 0.0** (neither
+    /// compression nor expansion): every codec in this crate produces 0
+    /// compressed bits for 0 input bits, and `0/0` is pinned to zero
+    /// rather than NaN so sweep maxima and table averages stay finite.
     fn compression_ratio(&self, stream: &TritVec) -> f64 {
         if stream.is_empty() {
             return 0.0;
@@ -27,17 +79,264 @@ pub trait TestDataCodec {
     }
 }
 
+/// A self-describing compressed stream: the ATE payload plus whatever
+/// decoder model the code keeps on chip.
+///
+/// Produced by [`TestDataCodec::encode_stream`]; decoded by
+/// [`CodecStream::decode`] (or the trait's
+/// [`decode_stream`](TestDataCodec::decode_stream), which dispatches
+/// here).
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::codec::TestDataCodec;
+/// use ninec_baselines::fdr::Fdr;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let stream: TritVec = "000000010000001".parse()?;
+/// let enc = Fdr::new().encode_stream(&stream);
+/// assert!(enc.compressed_bits() < stream.len());
+/// let back = enc.decode()?;
+/// assert_eq!(back.len(), stream.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecStream {
+    source_len: usize,
+    payload: Payload,
+}
+
+/// The per-code payload + decoder model. `pub(crate)` so each codec module
+/// constructs its own variant; consumers only see [`CodecStream`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Payload {
+    /// FDR-coded 0-runs of the 0-filled source.
+    Fdr(BitVec),
+    /// Golomb-coded 0-runs; `b` is the group size the decoder needs.
+    Golomb {
+        /// Group size (validated power of two at encode time).
+        b: u64,
+        /// The ATE bit stream.
+        bits: BitVec,
+    },
+    /// EFDR-coded runs of both polarities.
+    Efdr(BitVec),
+    /// Alternating run-length coded runs of the MT-filled source.
+    Arl(BitVec),
+    /// VIHC stream plus its Huffman decoder model.
+    Vihc(VihcEncoded),
+    /// Selective-Huffman stream plus dictionary and code.
+    SelHuff(SelectiveHuffmanEncoded),
+    /// Fixed-index dictionary stream plus the dictionary.
+    Dict(DictionaryEncoded),
+    /// A 9C-encoded stream (carries `K` and the code table).
+    NineC(ninec::Encoded),
+}
+
+impl CodecStream {
+    pub(crate) fn new(source_len: usize, payload: Payload) -> Self {
+        Self {
+            source_len,
+            payload,
+        }
+    }
+
+    /// Original (unpadded) length of the source stream, `|T_D|`.
+    #[must_use]
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// Size of the ATE payload in bits, `|T_E|`.
+    ///
+    /// On-chip decoder state (Huffman tables, dictionaries, the 9C code
+    /// table) is *not* counted, matching the accounting of the literature.
+    #[must_use]
+    pub fn compressed_bits(&self) -> usize {
+        match &self.payload {
+            Payload::Fdr(bits) | Payload::Efdr(bits) | Payload::Arl(bits) => bits.len(),
+            Payload::Golomb { bits, .. } => bits.len(),
+            Payload::Vihc(enc) => enc.bits.len(),
+            Payload::SelHuff(enc) => enc.bits.len(),
+            Payload::Dict(enc) => enc.bits.len(),
+            Payload::NineC(enc) => enc.compressed_len(),
+        }
+    }
+
+    /// Reconstructs the test data (see
+    /// [`TestDataCodec::decode_stream`] for the fill semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecDecodeError`] wrapping the underlying typed error on
+    /// truncated or corrupt streams.
+    pub fn decode(&self) -> Result<TritVec, CodecDecodeError> {
+        let n = self.source_len;
+        match &self.payload {
+            Payload::Fdr(bits) => Ok(TritVec::from(&Fdr::new().decompress(bits, n)?)),
+            Payload::Golomb { b, bits } => {
+                let golomb = Golomb::new(*b).expect("group size validated at encode time");
+                Ok(TritVec::from(&golomb.decompress(bits, n)?))
+            }
+            Payload::Efdr(bits) => Ok(TritVec::from(&Efdr::new().decompress(bits, n)?)),
+            Payload::Arl(bits) => Ok(TritVec::from(
+                &AlternatingRunLength::new().decompress(bits, n)?,
+            )),
+            Payload::Vihc(enc) => Ok(TritVec::from(&enc.decode()?)),
+            Payload::SelHuff(enc) => Ok(TritVec::from(&enc.decode()?)),
+            Payload::Dict(enc) => Ok(TritVec::from(&enc.decode()?)),
+            Payload::NineC(enc) => Ok(ninec::decode(enc)?),
+        }
+    }
+}
+
+/// Error decoding a [`CodecStream`], wrapping the codec's typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecDecodeError {
+    /// A run-length code (FDR, Golomb, EFDR, ARL) failed.
+    RunLength(RunLengthDecodeError),
+    /// VIHC failed.
+    Vihc(VihcDecodeError),
+    /// Selective Huffman failed.
+    SelHuff(SelectiveHuffmanDecodeError),
+    /// The dictionary code failed.
+    Dict(DictionaryDecodeError),
+    /// 9C failed.
+    NineC(ninec::DecodeError),
+}
+
+impl fmt::Display for CodecDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecDecodeError::RunLength(e) => write!(f, "run-length decode: {e}"),
+            CodecDecodeError::Vihc(e) => write!(f, "vihc decode: {e}"),
+            CodecDecodeError::SelHuff(e) => write!(f, "selective-huffman decode: {e}"),
+            CodecDecodeError::Dict(e) => write!(f, "dictionary decode: {e}"),
+            CodecDecodeError::NineC(e) => write!(f, "9c decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecDecodeError::RunLength(e) => Some(e),
+            CodecDecodeError::Vihc(e) => Some(e),
+            CodecDecodeError::SelHuff(e) => Some(e),
+            CodecDecodeError::Dict(e) => Some(e),
+            CodecDecodeError::NineC(e) => Some(e),
+        }
+    }
+}
+
+impl From<RunLengthDecodeError> for CodecDecodeError {
+    fn from(e: RunLengthDecodeError) -> Self {
+        CodecDecodeError::RunLength(e)
+    }
+}
+
+impl From<VihcDecodeError> for CodecDecodeError {
+    fn from(e: VihcDecodeError) -> Self {
+        CodecDecodeError::Vihc(e)
+    }
+}
+
+impl From<SelectiveHuffmanDecodeError> for CodecDecodeError {
+    fn from(e: SelectiveHuffmanDecodeError) -> Self {
+        CodecDecodeError::SelHuff(e)
+    }
+}
+
+impl From<DictionaryDecodeError> for CodecDecodeError {
+    fn from(e: DictionaryDecodeError) -> Self {
+        CodecDecodeError::Dict(e)
+    }
+}
+
+impl From<ninec::DecodeError> for CodecDecodeError {
+    fn from(e: ninec::DecodeError) -> Self {
+        CodecDecodeError::NineC(e)
+    }
+}
+
+/// A parameter sweep behind the codec interface: encodes with every
+/// candidate and keeps the smallest stream.
+///
+/// Table IV's VIHC, Golomb and dictionary columns are "best over a
+/// parameter sweep"; `BestOf` makes those columns ordinary registry
+/// entries.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::codec::{BestOf, TestDataCodec};
+/// use ninec_baselines::golomb::Golomb;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let sweep = BestOf::new(
+///     "Golomb",
+///     [2u64, 4, 8].map(|b| Golomb::new(b).unwrap()).to_vec(),
+/// );
+/// let sparse: TritVec = format!("{}1", "0".repeat(30)).parse()?;
+/// assert!(sweep.compressed_size(&sparse) <= Golomb::new(2)?.compressed_size(&sparse));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BestOf<C> {
+    name: String,
+    candidates: Vec<C>,
+}
+
+impl<C: TestDataCodec> BestOf<C> {
+    /// Wraps `candidates` under display name `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn new(name: impl Into<String>, candidates: Vec<C>) -> Self {
+        assert!(
+            !candidates.is_empty(),
+            "BestOf needs at least one candidate"
+        );
+        Self {
+            name: name.into(),
+            candidates,
+        }
+    }
+}
+
+impl<C: TestDataCodec> TestDataCodec for BestOf<C> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn encode_stream(&self, stream: &TritVec) -> CodecStream {
+        self.candidates
+            .iter()
+            .map(|c| c.encode_stream(stream))
+            .min_by_key(CodecStream::compressed_bits)
+            .expect("BestOf is non-empty")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ninec_testdata::trit::Trit;
 
     struct Fake;
     impl TestDataCodec for Fake {
         fn name(&self) -> &str {
             "fake"
         }
-        fn compressed_size(&self, stream: &TritVec) -> usize {
-            stream.len() / 2
+        fn encode_stream(&self, stream: &TritVec) -> CodecStream {
+            // Half-size dummy payload, enough to exercise the defaults.
+            let mut bits = BitVec::new();
+            for _ in 0..stream.len() / 2 {
+                bits.push(false);
+            }
+            CodecStream::new(stream.len(), Payload::Fdr(bits))
         }
     }
 
@@ -46,5 +345,77 @@ mod tests {
         let s: TritVec = "0".repeat(100).parse().unwrap();
         assert!((Fake.compression_ratio(&s) - 50.0).abs() < 1e-12);
         assert_eq!(Fake.compression_ratio(&TritVec::new()), 0.0);
+    }
+
+    #[test]
+    fn default_compressed_size_measures_the_stream() {
+        let s: TritVec = "0".repeat(10).parse().unwrap();
+        assert_eq!(Fake.compressed_size(&s), 5);
+    }
+
+    /// Every care bit of `src` must survive the codec's roundtrip.
+    fn assert_roundtrip_covers(codec: &dyn TestDataCodec, src: &TritVec) {
+        let enc = codec.encode_stream(src);
+        assert_eq!(enc.source_len(), src.len(), "{}", codec.name());
+        let back = codec.decode_stream(&enc).unwrap();
+        assert_eq!(back.len(), src.len(), "{}", codec.name());
+        for i in 0..src.len() {
+            if let Some(v) = src.get(i).unwrap().value() {
+                assert_eq!(
+                    back.get(i).and_then(Trit::value),
+                    Some(v),
+                    "{} care bit {i}",
+                    codec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_codec_roundtrips_through_the_stream_interface() {
+        let src: TritVec = "0X0X0X1XX01110000000001XXXX10X0X".parse().unwrap();
+        let codecs: Vec<Box<dyn TestDataCodec>> = crate::registry::table4_registry(8).unwrap();
+        assert_eq!(codecs.len(), 8);
+        for codec in &codecs {
+            assert_roundtrip_covers(codec.as_ref(), &src);
+        }
+    }
+
+    #[test]
+    fn every_codec_emits_zero_bits_on_empty_input() {
+        let empty = TritVec::new();
+        for codec in crate::registry::table4_registry(8).unwrap() {
+            let enc = codec.encode_stream(&empty);
+            assert_eq!(enc.compressed_bits(), 0, "{}", codec.name());
+            assert_eq!(codec.compression_ratio(&empty), 0.0, "{}", codec.name());
+            assert!(
+                codec.decode_stream(&enc).unwrap().is_empty(),
+                "{}",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn best_of_picks_the_smallest_stream() {
+        use crate::golomb::Golomb;
+        let sweep = BestOf::new(
+            "Golomb",
+            vec![Golomb::new(2).unwrap(), Golomb::new(16).unwrap()],
+        );
+        let sparse: TritVec = format!("{}1", "0".repeat(63)).parse().unwrap();
+        let best = [2u64, 16]
+            .into_iter()
+            .map(|b| Golomb::new(b).unwrap().compressed_size(&sparse))
+            .min()
+            .unwrap();
+        assert_eq!(sweep.compressed_size(&sparse), best);
+        assert_roundtrip_covers(&sweep, &sparse);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn best_of_rejects_empty_sweeps() {
+        let _ = BestOf::new("empty", Vec::<Fake>::new());
     }
 }

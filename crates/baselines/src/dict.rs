@@ -7,7 +7,7 @@
 //! standard approximation). A dictionary hit costs `1 + ⌈log2 d⌉` bits, a
 //! miss costs `1 + b` bits.
 
-use crate::codec::TestDataCodec;
+use crate::codec::{CodecStream, Payload, TestDataCodec};
 use ninec_testdata::bits::{BitReader, BitVec};
 use ninec_testdata::fill::{fill_trits, FillStrategy};
 use ninec_testdata::trit::{Trit, TritVec};
@@ -44,10 +44,17 @@ impl FixedIndexDictionary {
     /// or `entries` is 0.
     pub fn new(block_bits: usize, entries: usize) -> Result<Self, InvalidDictionaryConfig> {
         if block_bits == 0 || block_bits > 64 || entries == 0 {
-            return Err(InvalidDictionaryConfig { block_bits, entries });
+            return Err(InvalidDictionaryConfig {
+                block_bits,
+                entries,
+            });
         }
         let index_bits = (usize::BITS - (entries - 1).leading_zeros()).max(1) as usize;
-        Ok(Self { block_bits, entries, index_bits })
+        Ok(Self {
+            block_bits,
+            entries,
+            index_bits,
+        })
     }
 
     /// Bits per dictionary index.
@@ -59,6 +66,16 @@ impl FixedIndexDictionary {
     pub fn encode(&self, stream: &TritVec) -> DictionaryEncoded {
         let b = self.block_bits;
         let source_len = stream.len();
+        if source_len == 0 {
+            // The empty stream compresses to zero bits and needs no
+            // dictionary.
+            return DictionaryEncoded {
+                config: *self,
+                bits: BitVec::new(),
+                dictionary: Vec::new(),
+                source_len: 0,
+            };
+        }
         let padded_len = source_len.div_ceil(b).max(1) * b;
         let mut padded = stream.clone();
         for _ in source_len..padded_len {
@@ -83,7 +100,7 @@ impl FixedIndexDictionary {
                 None => clusters.push((block.clone(), 1)),
             }
         }
-        clusters.sort_by(|a, b| b.1.cmp(&a.1));
+        clusters.sort_by_key(|c| std::cmp::Reverse(c.1));
         clusters.truncate(self.entries);
         let dictionary: Vec<BitVec> = clusters
             .iter()
@@ -128,8 +145,8 @@ impl TestDataCodec for FixedIndexDictionary {
         "Dict"
     }
 
-    fn compressed_size(&self, stream: &TritVec) -> usize {
-        self.encode(stream).bits.len()
+    fn encode_stream(&self, stream: &TritVec) -> CodecStream {
+        CodecStream::new(stream.len(), Payload::Dict(self.encode(stream)))
     }
 }
 
@@ -174,14 +191,15 @@ impl DictionaryEncoded {
         let mut reader = BitReader::new(&self.bits);
         let mut out = BitVec::with_capacity(self.source_len + b);
         while out.len() < self.source_len {
-            let coded = reader
-                .read_bit()
-                .ok_or(DictionaryDecodeError::Truncated { produced: out.len() })?;
+            let coded = reader.read_bit().ok_or(DictionaryDecodeError::Truncated {
+                produced: out.len(),
+            })?;
             if coded {
-                let idx = reader
-                    .read_bits_msb(self.config.index_bits)
-                    .ok_or(DictionaryDecodeError::Truncated { produced: out.len() })?
-                    as usize;
+                let idx = reader.read_bits_msb(self.config.index_bits).ok_or(
+                    DictionaryDecodeError::Truncated {
+                        produced: out.len(),
+                    },
+                )? as usize;
                 let entry = self
                     .dictionary
                     .get(idx)
@@ -189,9 +207,9 @@ impl DictionaryEncoded {
                 out.extend_from_bitvec(entry);
             } else {
                 for _ in 0..b {
-                    let bit = reader
-                        .read_bit()
-                        .ok_or(DictionaryDecodeError::Truncated { produced: out.len() })?;
+                    let bit = reader.read_bit().ok_or(DictionaryDecodeError::Truncated {
+                        produced: out.len(),
+                    })?;
                     out.push(bit);
                 }
             }
@@ -313,7 +331,10 @@ mod tests {
     fn truncation_and_bad_index_detected() {
         let d = FixedIndexDictionary::new(4, 4).unwrap();
         let enc = d.encode(&"0000".parse().unwrap());
-        let broken = DictionaryEncoded { bits: BitVec::new(), ..enc.clone() };
+        let broken = DictionaryEncoded {
+            bits: BitVec::new(),
+            ..enc.clone()
+        };
         assert!(matches!(
             broken.decode(),
             Err(DictionaryDecodeError::Truncated { .. })

@@ -7,7 +7,7 @@
 //! codeword of `l − 1`. Minimum-transition fill is applied first — it
 //! maximizes uniform runs of both polarities, the structure EFDR exploits.
 
-use crate::codec::TestDataCodec;
+use crate::codec::{CodecStream, Payload, TestDataCodec};
 use crate::fdr::RunLengthDecodeError;
 use crate::runlength::{fdr_decode_run, fdr_encode_run};
 use ninec_testdata::bits::{BitReader, BitVec};
@@ -65,16 +65,20 @@ impl Efdr {
     /// # Errors
     ///
     /// Returns [`RunLengthDecodeError`] on truncated or overlong streams.
-    pub fn decompress(&self, bits: &BitVec, out_len: usize) -> Result<BitVec, RunLengthDecodeError> {
+    pub fn decompress(
+        &self,
+        bits: &BitVec,
+        out_len: usize,
+    ) -> Result<BitVec, RunLengthDecodeError> {
         let mut reader = BitReader::new(bits);
         let mut out = BitVec::with_capacity(out_len);
         while out.len() < out_len {
-            let symbol = reader
-                .read_bit()
-                .ok_or(RunLengthDecodeError::Truncated { produced: out.len() })?;
-            let l = fdr_decode_run(&mut reader)
-                .ok_or(RunLengthDecodeError::Truncated { produced: out.len() })?
-                + 1;
+            let symbol = reader.read_bit().ok_or(RunLengthDecodeError::Truncated {
+                produced: out.len(),
+            })?;
+            let l = fdr_decode_run(&mut reader).ok_or(RunLengthDecodeError::Truncated {
+                produced: out.len(),
+            })? + 1;
             for _ in 0..l {
                 out.push(symbol);
             }
@@ -83,7 +87,9 @@ impl Efdr {
             }
         }
         if out.len() > out_len {
-            return Err(RunLengthDecodeError::Overrun { produced: out.len() });
+            return Err(RunLengthDecodeError::Overrun {
+                produced: out.len(),
+            });
         }
         Ok(out)
     }
@@ -94,8 +100,8 @@ impl TestDataCodec for Efdr {
         "EFDR"
     }
 
-    fn compressed_size(&self, stream: &TritVec) -> usize {
-        self.compress(stream).len()
+    fn encode_stream(&self, stream: &TritVec) -> CodecStream {
+        CodecStream::new(stream.len(), Payload::Efdr(self.compress(stream)))
     }
 }
 
@@ -146,7 +152,10 @@ mod tests {
         let ones: TritVec = "1".repeat(64).parse::<TritVec>().unwrap();
         let efdr = Efdr::new().compressed_size(&ones);
         let fdr = Fdr::new().compressed_size(&ones);
-        assert!(efdr < fdr, "EFDR {efdr} should beat FDR {fdr} on runs of 1s");
+        assert!(
+            efdr < fdr,
+            "EFDR {efdr} should beat FDR {fdr} on runs of 1s"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! Test cubes are 0-filled (the fill that maximizes 0-runs), then each
 //! 0-run terminated by a `1` is replaced by its FDR codeword.
 
-use crate::codec::TestDataCodec;
+use crate::codec::{CodecStream, Payload, TestDataCodec};
 use crate::runlength::{fdr_decode_run, fdr_encode_run, zero_runs};
 use ninec_testdata::bits::{BitReader, BitVec};
 use ninec_testdata::fill::{fill_trits, FillStrategy};
@@ -52,7 +52,11 @@ impl Fdr {
     /// # Errors
     ///
     /// Returns [`RunLengthDecodeError`] on truncated or overlong streams.
-    pub fn decompress(&self, bits: &BitVec, out_len: usize) -> Result<BitVec, RunLengthDecodeError> {
+    pub fn decompress(
+        &self,
+        bits: &BitVec,
+        out_len: usize,
+    ) -> Result<BitVec, RunLengthDecodeError> {
         let mut reader = BitReader::new(bits);
         let mut out = BitVec::with_capacity(out_len);
         while out.len() < out_len {
@@ -67,7 +71,9 @@ impl Fdr {
         // The final run's terminating 1 may be virtual (source ended in 0s).
         while out.len() > out_len {
             if out.get(out.len() - 1) != Some(true) {
-                return Err(RunLengthDecodeError::Overrun { produced: out.len() });
+                return Err(RunLengthDecodeError::Overrun {
+                    produced: out.len(),
+                });
             }
             let mut trimmed = BitVec::with_capacity(out_len);
             for i in 0..out.len() - 1 {
@@ -84,8 +90,8 @@ impl TestDataCodec for Fdr {
         "FDR"
     }
 
-    fn compressed_size(&self, stream: &TritVec) -> usize {
-        self.compress(stream).len()
+    fn encode_stream(&self, stream: &TritVec) -> CodecStream {
+        CodecStream::new(stream.len(), Payload::Fdr(self.compress(stream)))
     }
 }
 
@@ -109,10 +115,16 @@ impl fmt::Display for RunLengthDecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunLengthDecodeError::Truncated { produced } => {
-                write!(f, "compressed stream truncated after {produced} output bits")
+                write!(
+                    f,
+                    "compressed stream truncated after {produced} output bits"
+                )
             }
             RunLengthDecodeError::Overrun { produced } => {
-                write!(f, "compressed stream overruns the output length at {produced} bits")
+                write!(
+                    f,
+                    "compressed stream overruns the output length at {produced} bits"
+                )
             }
         }
     }

@@ -5,7 +5,7 @@
 //! length `l` with group size `b = 2^g` is coded as `⌊l/b⌋` ones, a zero,
 //! and the `g`-bit binary remainder.
 
-use crate::codec::TestDataCodec;
+use crate::codec::{CodecStream, Payload, TestDataCodec};
 use crate::fdr::RunLengthDecodeError;
 use crate::runlength::zero_runs;
 use ninec_testdata::bits::{BitReader, BitVec};
@@ -43,7 +43,10 @@ impl Golomb {
         if b < 2 || !b.is_power_of_two() {
             return Err(InvalidGroupSize { b });
         }
-        Ok(Self { b, g: b.trailing_zeros() })
+        Ok(Self {
+            b,
+            g: b.trailing_zeros(),
+        })
     }
 
     /// The group size `b`.
@@ -78,7 +81,11 @@ impl Golomb {
     /// # Errors
     ///
     /// Returns [`RunLengthDecodeError`] on truncated or overlong streams.
-    pub fn decompress(&self, bits: &BitVec, out_len: usize) -> Result<BitVec, RunLengthDecodeError> {
+    pub fn decompress(
+        &self,
+        bits: &BitVec,
+        out_len: usize,
+    ) -> Result<BitVec, RunLengthDecodeError> {
         let mut reader = BitReader::new(bits);
         let mut out = BitVec::with_capacity(out_len);
         while out.len() < out_len {
@@ -88,13 +95,18 @@ impl Golomb {
                     Some(true) => q += 1,
                     Some(false) => break,
                     None => {
-                        return Err(RunLengthDecodeError::Truncated { produced: out.len() })
+                        return Err(RunLengthDecodeError::Truncated {
+                            produced: out.len(),
+                        })
                     }
                 }
             }
-            let r = reader
-                .read_bits_msb(self.g as usize)
-                .ok_or(RunLengthDecodeError::Truncated { produced: out.len() })?;
+            let r =
+                reader
+                    .read_bits_msb(self.g as usize)
+                    .ok_or(RunLengthDecodeError::Truncated {
+                        produced: out.len(),
+                    })?;
             let l = q * self.b + r;
             for _ in 0..l {
                 out.push(false);
@@ -103,7 +115,9 @@ impl Golomb {
         }
         if out.len() > out_len {
             if out.len() != out_len + 1 || out.get(out_len) != Some(true) {
-                return Err(RunLengthDecodeError::Overrun { produced: out.len() });
+                return Err(RunLengthDecodeError::Overrun {
+                    produced: out.len(),
+                });
             }
             let mut trimmed = BitVec::with_capacity(out_len);
             for i in 0..out_len {
@@ -120,8 +134,14 @@ impl TestDataCodec for Golomb {
         "Golomb"
     }
 
-    fn compressed_size(&self, stream: &TritVec) -> usize {
-        self.compress(stream).len()
+    fn encode_stream(&self, stream: &TritVec) -> CodecStream {
+        CodecStream::new(
+            stream.len(),
+            Payload::Golomb {
+                b: self.b,
+                bits: self.compress(stream),
+            },
+        )
     }
 }
 

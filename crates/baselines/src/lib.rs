@@ -14,7 +14,10 @@
 //! - [`dict`] — dictionary compression with fixed-length indices;
 //! - [`vihc`] — variable-length input Huffman coding;
 //! - [`huffman`], [`runlength`] — shared machinery;
-//! - [`codec`] — the [`TestDataCodec`] interface.
+//! - [`codec`] — the [`TestDataCodec`] interface with its self-describing
+//!   [`codec::CodecStream`] roundtrip and [`codec::BestOf`] sweep wrapper;
+//! - [`nine_coded`] — 9C itself behind the same interface;
+//! - [`registry`] — every Table IV column as one `Box<dyn TestDataCodec>`.
 //!
 //! MTC (Rosinger et al.) is not independently specified in our available
 //! sources; the experiment harness substitutes EFDR for that column and
@@ -44,8 +47,12 @@ pub mod efdr;
 pub mod fdr;
 pub mod golomb;
 pub mod huffman;
+pub mod nine_coded;
+pub mod registry;
 pub mod runlength;
 pub mod selhuff;
 pub mod vihc;
 
-pub use codec::TestDataCodec;
+pub use codec::{BestOf, CodecDecodeError, CodecStream, TestDataCodec};
+pub use nine_coded::NineCoded;
+pub use registry::table4_registry;

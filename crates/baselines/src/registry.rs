@@ -1,0 +1,116 @@
+//! The Table IV codec registry: every comparison column as one
+//! `Box<dyn TestDataCodec>`.
+//!
+//! The paper's Table IV compares 9C (at its per-circuit best `K`) against
+//! FDR, VIHC, MTC and selective Huffman; our harness adds Golomb,
+//! alternating run-length and a fixed-index dictionary, and substitutes
+//! EFDR for the unspecified MTC column (see `DESIGN.md` §4). Parameterized
+//! codes sweep the same ranges the literature reports, wrapped in
+//! [`BestOf`] so the sweep is invisible to the dispatcher.
+
+use crate::arl::AlternatingRunLength;
+use crate::codec::{BestOf, TestDataCodec};
+use crate::dict::FixedIndexDictionary;
+use crate::efdr::Efdr;
+use crate::fdr::Fdr;
+use crate::golomb::Golomb;
+use crate::nine_coded::NineCoded;
+use crate::selhuff::SelectiveHuffman;
+use crate::vihc::Vihc;
+use ninec::encode::InvalidBlockSize;
+
+/// VIHC group sizes swept for the Table IV column.
+pub const VIHC_MH_SWEEP: [usize; 4] = [4, 8, 16, 32];
+
+/// Golomb group sizes swept for the Table IV column.
+pub const GOLOMB_B_SWEEP: [u64; 5] = [2, 4, 8, 16, 32];
+
+/// Dictionary block sizes swept for the Table IV column.
+pub const DICT_B_SWEEP: [usize; 2] = [16, 32];
+
+/// Dictionary entry budget for the Table IV column.
+pub const DICT_ENTRIES: usize = 256;
+
+/// Selective-Huffman `(block_bits, coded_patterns)` for the Table IV
+/// column.
+pub const SELHUFF_CONFIG: (usize, usize) = (8, 16);
+
+/// Builds the Table IV column set, with 9C configured at block size
+/// `ninec_k` (callers pass the per-circuit best `K` from the Table II
+/// sweep).
+///
+/// Columns, in table order: `9C`, `FDR`, `VIHC`, `EFDR`, `SelHuff`,
+/// `Golomb`, `ARL`, `Dict`. Dispatch by [`TestDataCodec::name`].
+///
+/// # Errors
+///
+/// Returns [`InvalidBlockSize`] if `ninec_k` is odd or below 4.
+///
+/// # Examples
+///
+/// ```
+/// use ninec_baselines::registry::table4_registry;
+/// use ninec_testdata::trit::TritVec;
+///
+/// let stream: TritVec = "0000XXXX".repeat(8).parse()?;
+/// for codec in table4_registry(8)? {
+///     println!("{}: {:.1}%", codec.name(), codec.compression_ratio(&stream));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn table4_registry(ninec_k: usize) -> Result<Vec<Box<dyn TestDataCodec>>, InvalidBlockSize> {
+    Ok(vec![
+        Box::new(NineCoded::new(ninec_k)?),
+        Box::new(Fdr::new()),
+        Box::new(BestOf::new(
+            "VIHC",
+            VIHC_MH_SWEEP
+                .iter()
+                .map(|&mh| Vihc::new(mh).expect("sweep mh is valid"))
+                .collect(),
+        )),
+        Box::new(Efdr::new()),
+        Box::new(
+            SelectiveHuffman::new(SELHUFF_CONFIG.0, SELHUFF_CONFIG.1)
+                .expect("selective-huffman config is valid"),
+        ),
+        Box::new(BestOf::new(
+            "Golomb",
+            GOLOMB_B_SWEEP
+                .iter()
+                .map(|&b| Golomb::new(b).expect("sweep b is valid"))
+                .collect(),
+        )),
+        Box::new(AlternatingRunLength::new()),
+        Box::new(BestOf::new(
+            "Dict",
+            DICT_B_SWEEP
+                .iter()
+                .map(|&b| FixedIndexDictionary::new(b, DICT_ENTRIES).expect("dict config is valid"))
+                .collect(),
+        )),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_every_table4_column() {
+        let names: Vec<String> = table4_registry(8)
+            .unwrap()
+            .iter()
+            .map(|c| c.name().to_owned())
+            .collect();
+        assert_eq!(
+            names,
+            ["9C", "FDR", "VIHC", "EFDR", "SelHuff", "Golomb", "ARL", "Dict"]
+        );
+    }
+
+    #[test]
+    fn registry_validates_k() {
+        assert!(table4_registry(7).is_err());
+    }
+}

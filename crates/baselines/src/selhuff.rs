@@ -10,7 +10,7 @@
 //! not in the ATE stream; [`SelectiveHuffmanEncoded::dictionary_bits`]
 //! reports its size separately, matching how the literature accounts for it.
 
-use crate::codec::TestDataCodec;
+use crate::codec::{CodecStream, Payload, TestDataCodec};
 use crate::huffman::HuffmanCode;
 use ninec_testdata::bits::{BitReader, BitVec};
 use ninec_testdata::fill::{fill_trits, FillStrategy};
@@ -51,9 +51,15 @@ impl SelectiveHuffman {
         coded_patterns: usize,
     ) -> Result<Self, InvalidSelectiveHuffmanConfig> {
         if block_bits == 0 || block_bits > 32 || coded_patterns == 0 {
-            return Err(InvalidSelectiveHuffmanConfig { block_bits, coded_patterns });
+            return Err(InvalidSelectiveHuffmanConfig {
+                block_bits,
+                coded_patterns,
+            });
         }
-        Ok(Self { block_bits, coded_patterns })
+        Ok(Self {
+            block_bits,
+            coded_patterns,
+        })
     }
 
     /// Block size in bits.
@@ -65,6 +71,18 @@ impl SelectiveHuffman {
     pub fn encode(&self, stream: &TritVec) -> SelectiveHuffmanEncoded {
         let b = self.block_bits;
         let source_len = stream.len();
+        if source_len == 0 {
+            // The empty stream compresses to zero bits (decode never
+            // consults the dictionary or code, so a singleton placeholder
+            // keeps the struct well-formed).
+            return SelectiveHuffmanEncoded {
+                config: *self,
+                bits: BitVec::new(),
+                dictionary: Vec::new(),
+                code: HuffmanCode::from_frequencies(&[1]).expect("singleton alphabet"),
+                source_len: 0,
+            };
+        }
         // Pad with X to whole blocks.
         let padded_len = source_len.div_ceil(b).max(1) * b;
         let mut padded = stream.clone();
@@ -129,8 +147,8 @@ impl TestDataCodec for SelectiveHuffman {
         "SelHuff"
     }
 
-    fn compressed_size(&self, stream: &TritVec) -> usize {
-        self.encode(stream).bits.len()
+    fn encode_stream(&self, stream: &TritVec) -> CodecStream {
+        CodecStream::new(stream.len(), Payload::SelHuff(self.encode(stream)))
     }
 }
 
@@ -187,23 +205,25 @@ impl SelectiveHuffmanEncoded {
         let mut reader = BitReader::new(&self.bits);
         let mut out = BitVec::with_capacity(self.source_len + b);
         while out.len() < self.source_len {
-            let coded = reader
-                .read_bit()
-                .ok_or(SelectiveHuffmanDecodeError { produced: out.len() })?;
+            let coded = reader.read_bit().ok_or(SelectiveHuffmanDecodeError {
+                produced: out.len(),
+            })?;
             if coded {
-                let sym = self
-                    .code
-                    .decode_symbol(&mut reader)
-                    .ok_or(SelectiveHuffmanDecodeError { produced: out.len() })?;
+                let sym =
+                    self.code
+                        .decode_symbol(&mut reader)
+                        .ok_or(SelectiveHuffmanDecodeError {
+                            produced: out.len(),
+                        })?;
                 let pat = self.dictionary[sym];
                 for i in 0..b {
                     out.push(pat >> (b - 1 - i) & 1 == 1);
                 }
             } else {
                 for _ in 0..b {
-                    let bit = reader
-                        .read_bit()
-                        .ok_or(SelectiveHuffmanDecodeError { produced: out.len() })?;
+                    let bit = reader.read_bit().ok_or(SelectiveHuffmanDecodeError {
+                        produced: out.len(),
+                    })?;
                     out.push(bit);
                 }
             }
@@ -221,7 +241,11 @@ pub struct SelectiveHuffmanDecodeError {
 
 impl fmt::Display for SelectiveHuffmanDecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "selective-huffman stream truncated after {} bits", self.produced)
+        write!(
+            f,
+            "selective-huffman stream truncated after {} bits",
+            self.produced
+        )
     }
 }
 

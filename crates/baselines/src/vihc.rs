@@ -7,7 +7,7 @@
 //! Huffman-coded. `mh` is the *group size*; the paper sweeps it like 9C's
 //! `K`.
 
-use crate::codec::TestDataCodec;
+use crate::codec::{CodecStream, Payload, TestDataCodec};
 use crate::huffman::HuffmanCode;
 use ninec_testdata::bits::{BitReader, BitVec};
 use ninec_testdata::fill::{fill_trits, FillStrategy};
@@ -107,8 +107,8 @@ impl TestDataCodec for Vihc {
         "VIHC"
     }
 
-    fn compressed_size(&self, stream: &TritVec) -> usize {
-        self.encode(stream).bits.len()
+    fn encode_stream(&self, stream: &TritVec) -> CodecStream {
+        CodecStream::new(stream.len(), Payload::Vihc(self.encode(stream)))
     }
 }
 
@@ -144,7 +144,9 @@ impl VihcEncoded {
             let sym = self
                 .code
                 .decode_symbol(&mut reader)
-                .ok_or(VihcDecodeError { produced: out.len() })?;
+                .ok_or(VihcDecodeError {
+                    produced: out.len(),
+                })?;
             if sym == self.mh {
                 for _ in 0..self.mh {
                     out.push(false);
@@ -219,7 +221,15 @@ mod tests {
 
     #[test]
     fn roundtrips() {
-        for s in ["0000001", "1111", "000000", "0X0X0X1XX0", "1", "0", "0010010000000000001"] {
+        for s in [
+            "0000001",
+            "1111",
+            "000000",
+            "0X0X0X1XX0",
+            "1",
+            "0",
+            "0010010000000000001",
+        ] {
             let cubes: TritVec = s.parse().unwrap();
             let filled = fill_trits(&cubes, FillStrategy::Zero).to_bitvec().unwrap();
             let enc = Vihc::new(4).unwrap().encode(&cubes);

@@ -35,7 +35,7 @@ use std::collections::HashMap;
 ///
 /// Panics unless `q >= 1` and `q` divides `k`.
 pub fn parts_code_estimate(stream: &TritVec, k: usize, q: usize) -> usize {
-    assert!(q >= 1 && k % q == 0, "q={q} must divide k={k}");
+    assert!(q >= 1 && k.is_multiple_of(q), "q={q} must divide k={k}");
     let part = k / q;
     let blocks = stream.len().div_ceil(k);
     // Classify each block into its case id (base-3 over part classes).
@@ -85,7 +85,13 @@ pub fn parts_code_estimate(stream: &TritVec, k: usize, q: usize) -> usize {
 
 /// Renders the code-size ablation across datasets.
 pub fn render_parts_ablation(datasets: &[Dataset], k: usize) -> String {
-    let mut t = TextTable::new(["circuit", "9C CR%", "q=2 Huffman", "q=4 Huffman", "gain q=4 vs 9C"]);
+    let mut t = TextTable::new([
+        "circuit",
+        "9C CR%",
+        "q=2 Huffman",
+        "q=4 Huffman",
+        "gain q=4 vs 9C",
+    ]);
     for ds in datasets {
         let stream = ds.cubes.as_stream();
         let td = stream.len() as f64;
@@ -257,10 +263,16 @@ pub fn fill_ablation(datasets: &[Dataset], k: usize) -> Vec<FillAblation> {
             let decoded = decode(&enc).expect("own encoding decodes");
             let decoded_set = TestSet::from_stream(ds.cubes.pattern_len(), decoded);
             let rows = vec![
-                ("random", scan_power(&decoded_set, FillStrategy::Random { seed: 1 })),
+                (
+                    "random",
+                    scan_power(&decoded_set, FillStrategy::Random { seed: 1 }),
+                ),
                 ("zero", scan_power(&decoded_set, FillStrategy::Zero)),
                 ("one", scan_power(&decoded_set, FillStrategy::One)),
-                ("min-transition", scan_power(&decoded_set, FillStrategy::MinTransition)),
+                (
+                    "min-transition",
+                    scan_power(&decoded_set, FillStrategy::MinTransition),
+                ),
             ];
             FillAblation {
                 circuit: ds.name.clone(),
@@ -310,8 +322,9 @@ pub fn power_encoding_ablation(
                 (cr, power.total)
             };
             let (cr_min_size, wtm_min_size) = measure(CaseSelect::MinSize);
-            let (cr_power_aware, wtm_power_aware) =
-                measure(CaseSelect::PowerAware { max_extra_bits: budget });
+            let (cr_power_aware, wtm_power_aware) = measure(CaseSelect::PowerAware {
+                max_extra_bits: budget,
+            });
             PowerEncodingAblation {
                 circuit: ds.name.clone(),
                 budget,
@@ -327,7 +340,12 @@ pub fn power_encoding_ablation(
 /// Renders the power-aware-encoding ablation.
 pub fn render_power_encoding_ablation(rows: &[PowerEncodingAblation], k: usize) -> String {
     let mut t = TextTable::new([
-        "circuit", "CR% min-size", "CR% power-aware", "WTM min-size", "WTM power-aware", "power saved",
+        "circuit",
+        "CR% min-size",
+        "CR% power-aware",
+        "WTM min-size",
+        "WTM power-aware",
+        "power saved",
     ]);
     for r in rows {
         let saved = 100.0 * (1.0 - r.wtm_power_aware as f64 / r.wtm_min_size.max(1) as f64);

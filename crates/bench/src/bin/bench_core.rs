@@ -1,0 +1,59 @@
+//! Regenerates `results/BENCH_core.json`: encode throughput of the scalar
+//! reference vs the word-parallel kernels on the IBM-profile streams.
+//!
+//! ```text
+//! cargo run -p ninec-bench --release --bin bench_core [-- <out.json>]
+//! ```
+//!
+//! CKT1 is the 16 Mbit stream the word-kernel speedup target is measured
+//! on; a scaled CKT2 and a K-sweep on CKT1 give context. Run in `--release`
+//! — debug-build numbers are meaningless.
+
+use ninec_bench::datasets::ibm_datasets;
+use ninec_bench::throughput::{measure, throughput_json, ThroughputRow};
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_core.json".to_owned())
+        .into();
+    let ibm = ibm_datasets();
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    // The headline number: K-sweep on the 16 Mbit CKT1 stream.
+    let ckt1 = ibm[0].cubes.as_stream();
+    for k in [8usize, 16, 32, 64] {
+        let row = measure(&ibm[0].name, ckt1, k, 3);
+        eprintln!(
+            "{} K={:<3} {:>8.1} -> {:>8.1} Mbit/s ({:.2}x)",
+            row.circuit,
+            row.k,
+            row.scalar_mbit_s,
+            row.word_mbit_s,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    // CKT2 (4 Mbit) at the Table VIII block sizes, for context.
+    let ckt2 = ibm[1].cubes.as_stream();
+    for k in [16usize, 64] {
+        let row = measure(&ibm[1].name, ckt2, k, 3);
+        eprintln!(
+            "{} K={:<3} {:>8.1} -> {:>8.1} Mbit/s ({:.2}x)",
+            row.circuit,
+            row.k,
+            row.scalar_mbit_s,
+            row.word_mbit_s,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    if let Some(dir) = out.parent() {
+        fs::create_dir_all(dir).expect("create results dir");
+    }
+    let doc = throughput_json(&rows);
+    let text = serde_json::to_string_pretty(&doc).expect("serialize results");
+    fs::write(&out, text + "\n").expect("write results");
+    println!("wrote {}", out.display());
+}

@@ -14,15 +14,29 @@ use ninec_bench::datasets::{
     ibm_datasets, ibm_datasets_scaled, mintest_datasets, mintest_datasets_scaled, Dataset,
 };
 use ninec_bench::tables::{
-    fig3, fig4, render_fig2, render_fig3, render_fig4, render_table1, render_table2,
-    render_table3, render_table4, render_table5, render_table6, render_table7, render_table8,
-    table2, table4, table7, table8, KSweep,
+    fig3, fig4, render_fig2, render_fig3, render_fig4, render_table1, render_table2, render_table3,
+    render_table4, render_table5, render_table6, render_table7, render_table8, table2, table4,
+    table7, table8, KSweep,
 };
 
 const ALL: [&str; 17] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig2",
-    "fig3", "fig4", "ablation_code_size", "ablation_fill", "ablation_density", "motivation",
-    "decoder_cost", "ndetect",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig2",
+    "fig3",
+    "fig4",
+    "ablation_code_size",
+    "ablation_fill",
+    "ablation_density",
+    "motivation",
+    "decoder_cost",
+    "ndetect",
 ];
 
 fn main() {
@@ -50,10 +64,14 @@ fn main() {
         mintest_datasets()
     };
     // The K sweep is shared by several tables; compute it once.
-    let needs_sweep = wanted.iter().any(|w| {
-        matches!(*w, "table2" | "table3" | "table4" | "table5" | "table6")
-    });
-    let sweeps: Vec<KSweep> = if needs_sweep { table2(&mintest) } else { Vec::new() };
+    let needs_sweep = wanted
+        .iter()
+        .any(|w| matches!(*w, "table2" | "table3" | "table4" | "table5" | "table6"));
+    let sweeps: Vec<KSweep> = if needs_sweep {
+        table2(&mintest)
+    } else {
+        Vec::new()
+    };
 
     if json {
         emit_json(&wanted, &mintest, &sweeps, scaled);
@@ -70,7 +88,11 @@ fn main() {
             "table6" => render_table6(&sweeps, 8),
             "table7" => render_table7(&table7(&mintest)),
             "table8" => {
-                let ibm = if scaled { ibm_datasets_scaled(16) } else { ibm_datasets() };
+                let ibm = if scaled {
+                    ibm_datasets_scaled(16)
+                } else {
+                    ibm_datasets()
+                };
                 let ks = [8, 16, 24, 32, 48, 64, 96, 128];
                 render_table8(&table8(&ibm, &ks))
             }
@@ -98,8 +120,7 @@ fn main() {
             }
             "motivation" => {
                 use ninec_bench::motivation::{
-                    bist_vs_atpg, render_bist_vs_atpg, render_reseed_comparison,
-                    reseed_comparison,
+                    bist_vs_atpg, render_bist_vs_atpg, render_reseed_comparison, reseed_comparison,
                 };
                 format!(
                     "{}\n{}",
@@ -137,7 +158,11 @@ fn emit_json(wanted: &[&str], mintest: &[Dataset], sweeps: &[KSweep], scaled: bo
             "table6" => docs.push(json::codeword_stats_json(sweeps, 8)),
             "table7" => docs.push(json::freqdir_json(&table7(mintest))),
             "table8" => {
-                let ibm = if scaled { ibm_datasets_scaled(16) } else { ibm_datasets() };
+                let ibm = if scaled {
+                    ibm_datasets_scaled(16)
+                } else {
+                    ibm_datasets()
+                };
                 let ks = [8, 16, 24, 32, 48, 64, 96, 128];
                 docs.push(json::large_json(&table8(&ibm, &ks)));
             }

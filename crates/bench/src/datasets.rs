@@ -39,7 +39,10 @@ impl Dataset {
 
 /// The six ISCAS'89 datasets of Tables II–VII.
 pub fn mintest_datasets() -> Vec<Dataset> {
-    mintest_profiles().into_iter().map(Dataset::from_profile).collect()
+    mintest_profiles()
+        .into_iter()
+        .map(Dataset::from_profile)
+        .collect()
 }
 
 /// Scaled-down variants for fast tests (about 1/`factor` in each
@@ -53,7 +56,10 @@ pub fn mintest_datasets_scaled(factor: usize) -> Vec<Dataset> {
 
 /// The two IBM-profile datasets of Table VIII.
 pub fn ibm_datasets() -> Vec<Dataset> {
-    ibm_profiles().into_iter().map(Dataset::from_profile).collect()
+    ibm_profiles()
+        .into_iter()
+        .map(Dataset::from_profile)
+        .collect()
 }
 
 /// Scaled-down IBM datasets for tests.

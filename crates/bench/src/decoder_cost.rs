@@ -125,7 +125,10 @@ mod tests {
             assert_eq!(r.config_bits, 0, "{}", r.circuit);
         }
         // Dictionary schemes always carry configuration.
-        for r in rows.iter().filter(|r| r.scheme == "Dict" || r.scheme == "SelHuff") {
+        for r in rows
+            .iter()
+            .filter(|r| r.scheme == "Dict" || r.scheme == "SelHuff")
+        {
             assert!(r.config_bits > 0, "{} {}", r.scheme, r.circuit);
         }
     }

@@ -68,9 +68,9 @@ pub fn tat_json(sweeps: &[KSweep]) -> Value {
             let (k, enc) = s.best();
             let tats: Vec<Value> = P_SWEEP
                 .iter()
-                .map(|&p| {
-                    json!({ "p": p, "tat_percent": TatModel::new(p as f64).tat_percent(enc) })
-                })
+                .map(
+                    |&p| json!({ "p": p, "tat_percent": TatModel::new(p as f64).tat_percent(enc) }),
+                )
                 .collect();
             json!({
                 "circuit": s.circuit,
@@ -118,7 +118,7 @@ pub fn freqdir_json(sweeps: &[FreqDirSweep]) -> Value {
 }
 
 /// Table VIII as JSON.
-pub fn large_json(rows: &[(String, usize, Vec<(usize, f64)>)]) -> Value {
+pub fn large_json(rows: &[crate::tables::Table8Row]) -> Value {
     let entries: Vec<Value> = rows
         .iter()
         .map(|(name, td, sweep)| {
@@ -181,7 +181,10 @@ mod tests {
         let ds = mintest_datasets_scaled(12);
         let sweeps = table2(&ds);
         let tat = tat_json(&sweeps);
-        assert_eq!(tat["rows"][0]["tat"].as_array().unwrap().len(), P_SWEEP.len());
+        assert_eq!(
+            tat["rows"][0]["tat"].as_array().unwrap().len(),
+            P_SWEEP.len()
+        );
         let stats = codeword_stats_json(&sweeps, 8);
         assert_eq!(stats["rows"][0]["counts"].as_array().unwrap().len(), 9);
     }

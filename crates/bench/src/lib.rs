@@ -6,11 +6,14 @@
 //! - [`tables`] — engines + renderers for Tables I–VIII and Figures 1–4;
 //! - [`ablation`] — code-granularity, codeword-assignment and X-fill
 //!   ablations;
-//! - [`mod@format`] — plain-text table rendering.
+//! - [`mod@format`] — plain-text table rendering;
+//! - [`throughput`] — scalar vs word-parallel encode throughput
+//!   (`results/BENCH_core.json`).
 //!
 //! Run `cargo run -p ninec-bench --release --bin tables -- all` to print
 //! everything; `cargo bench` runs the Criterion timing benches built on
-//! the same engines.
+//! the same engines; `cargo run -p ninec-bench --release --bin bench_core`
+//! regenerates the throughput record.
 
 #![warn(missing_docs)]
 
@@ -22,3 +25,4 @@ pub mod json;
 pub mod motivation;
 pub mod ndetect;
 pub mod tables;
+pub mod throughput;

@@ -112,8 +112,7 @@ pub fn reseed_comparison(datasets: &[Dataset]) -> Vec<ReseedComparison> {
                 let result = encoder.encode_set_windowed(&ds.cubes, window);
                 let cr = (td - result.compressed_bits() as f64) / td * 100.0;
                 if cr > best.0 {
-                    let fb = result.raw_fallbacks() as f64
-                        / result.encodings.len().max(1) as f64
+                    let fb = result.raw_fallbacks() as f64 / result.encodings.len().max(1) as f64
                         * 100.0;
                     best = (cr, window, fb);
                 }
@@ -132,7 +131,11 @@ pub fn reseed_comparison(datasets: &[Dataset]) -> Vec<ReseedComparison> {
 /// Renders the reseeding comparison.
 pub fn render_reseed_comparison(rows: &[ReseedComparison]) -> String {
     let mut t = TextTable::new([
-        "circuit", "9C CR% (K=8)", "reseed CR%", "window", "raw windows",
+        "circuit",
+        "9C CR% (K=8)",
+        "reseed CR%",
+        "window",
+        "raw windows",
     ]);
     for r in rows {
         t.row([

@@ -40,10 +40,7 @@ pub fn ndetect_experiment(k: usize, repeats: usize) -> Vec<NDetectRow> {
     let mut circuits: Vec<Circuit> = vec![parse_bench(S27).expect("bundled netlist parses")];
     circuits.push(RandomCircuitSpec::new("rand150", 8, 12, 150).generate(31));
     circuits.push(RandomCircuitSpec::new("rand300", 10, 16, 300).generate(37));
-    circuits
-        .iter()
-        .map(|c| ndetect_on(c, k, repeats))
-        .collect()
+    circuits.iter().map(|c| ndetect_on(c, k, repeats)).collect()
 }
 
 /// The experiment core for one circuit: the test set is applied `repeats`
@@ -79,14 +76,20 @@ pub fn ndetect_on(circuit: &Circuit, k: usize, repeats: usize) -> NDetectRow {
         circuit: circuit.name().to_owned(),
         leftover_x: encoded.stats().leftover_x,
         zero_fill: apply(&|_| FillStrategy::Zero),
-        random_fill: apply(&|r| FillStrategy::Random { seed: 0xfeed + r as u64 }),
+        random_fill: apply(&|r| FillStrategy::Random {
+            seed: 0xfeed + r as u64,
+        }),
     }
 }
 
 /// Renders the experiment.
 pub fn render_ndetect(rows: &[NDetectRow], k: usize, repeats: usize) -> String {
     let mut t = TextTable::new([
-        "circuit", "leftover X", "distinct n-detect (0-fill)", "distinct n-detect (random)", "gain",
+        "circuit",
+        "leftover X",
+        "distinct n-detect (0-fill)",
+        "distinct n-detect (random)",
+        "gain",
     ]);
     for r in rows {
         t.row([
@@ -94,7 +97,10 @@ pub fn render_ndetect(rows: &[NDetectRow], k: usize, repeats: usize) -> String {
             r.leftover_x.to_string(),
             format!("{:.2}", r.zero_fill),
             format!("{:.2}", r.random_fill),
-            format!("{:+.1}%", (r.random_fill / r.zero_fill.max(1e-9) - 1.0) * 100.0),
+            format!(
+                "{:+.1}%",
+                (r.random_fill / r.zero_fill.max(1e-9) - 1.0) * 100.0
+            ),
         ]);
     }
     format!(
@@ -121,7 +127,10 @@ mod tests {
     fn random_fill_beats_zero_fill_on_s27() {
         let s27 = parse_bench(S27).unwrap();
         let row = ndetect_on(&s27, 8, 4);
-        assert!(row.leftover_x > 0, "need surviving X for the feature to matter");
+        assert!(
+            row.leftover_x > 0,
+            "need surviving X for the feature to matter"
+        );
         assert!(
             row.random_fill > row.zero_fill,
             "random {:.2} should beat zero {:.2}",

@@ -11,14 +11,7 @@ use ninec::analysis::TatModel;
 use ninec::code::{CodeTable, ALL_CASES};
 use ninec::encode::{Encoded, Encoder};
 use ninec::freqdir::encode_frequency_directed;
-use ninec_baselines::arl::AlternatingRunLength;
-use ninec_baselines::codec::TestDataCodec;
-use ninec_baselines::dict::FixedIndexDictionary;
-use ninec_baselines::efdr::Efdr;
-use ninec_baselines::fdr::Fdr;
-use ninec_baselines::golomb::Golomb;
-use ninec_baselines::selhuff::SelectiveHuffman;
-use ninec_baselines::vihc::Vihc;
+use ninec_baselines::registry::table4_registry;
 use ninec_decompressor::area::decoder_area;
 use ninec_decompressor::multi::MultiScanDecoder;
 use ninec_decompressor::parallel::ParallelDecoders;
@@ -59,7 +52,9 @@ impl KSweep {
         let encodings = K_SWEEP
             .iter()
             .map(|&k| {
-                let enc = Encoder::new(k).expect("sweep uses valid K").encode_set(&dataset.cubes);
+                let enc = Encoder::new(k)
+                    .expect("sweep uses valid K")
+                    .encode_set(&dataset.cubes);
                 (k, enc)
             })
             .collect();
@@ -107,7 +102,10 @@ pub fn render_table2(sweeps: &[KSweep]) -> String {
     let mut avg_row = vec!["Avg".to_owned(), String::new()];
     avg_row.extend(avg.iter().map(|a| pct(a / n)));
     t.row(avg_row);
-    format!("Table II — compression ratio CR% for different K\n{}", t.render())
+    format!(
+        "Table II — compression ratio CR% for different K\n{}",
+        t.render()
+    )
 }
 
 /// Renders Table III (leftover don't-cares for different K).
@@ -129,7 +127,10 @@ pub fn render_table3(sweeps: &[KSweep], datasets: &[Dataset]) -> String {
     let mut avg_row = vec!["Avg".to_owned(), String::new()];
     avg_row.extend(avg.iter().map(|a| pct(a / n)));
     t.row(avg_row);
-    format!("Table III — leftover don't-cares LX% (of |T_D|) for different K\n{}", t.render())
+    format!(
+        "Table III — leftover don't-cares LX% (of |T_D|) for different K\n{}",
+        t.render()
+    )
 }
 
 /// One row of the Table IV baseline comparison.
@@ -160,42 +161,45 @@ pub struct ComparisonRow {
 }
 
 /// Table IV engine: 9C at its best K vs the baseline codes.
+///
+/// Every column — 9C included — is computed through the unified
+/// [`table4_registry`] of `Box<dyn TestDataCodec>` trait objects, so
+/// adding a code to the comparison means adding a registry entry, not a
+/// new hand-dispatched arm here.
 pub fn table4(datasets: &[Dataset], sweeps: &[KSweep]) -> Vec<ComparisonRow> {
     datasets
         .iter()
         .zip(sweeps)
         .map(|(ds, sweep)| {
             let stream = ds.cubes.as_stream();
-            let (best_k, best_enc) = sweep.best();
-            let vihc = [4, 8, 16, 32]
-                .into_iter()
-                .map(|mh| Vihc::new(mh).expect("valid mh").compression_ratio(stream))
-                .fold(f64::NEG_INFINITY, f64::max);
-            let golomb = [2u64, 4, 8, 16, 32]
-                .into_iter()
-                .map(|b| Golomb::new(b).expect("valid b").compression_ratio(stream))
-                .fold(f64::NEG_INFINITY, f64::max);
-            ComparisonRow {
+            let (best_k, _) = sweep.best();
+            let mut row = ComparisonRow {
                 circuit: ds.name.clone(),
                 best_k: *best_k,
-                ninec: best_enc.compression_ratio(),
-                fdr: Fdr::new().compression_ratio(stream),
-                vihc,
-                efdr_mtc: Efdr::new().compression_ratio(stream),
-                selhuff: SelectiveHuffman::new(8, 16)
-                    .expect("valid config")
-                    .compression_ratio(stream),
-                golomb,
-                arl: AlternatingRunLength::new().compression_ratio(stream),
-                dict: [16usize, 32]
-                    .into_iter()
-                    .map(|b| {
-                        FixedIndexDictionary::new(b, 256)
-                            .expect("valid config")
-                            .compression_ratio(stream)
-                    })
-                    .fold(f64::NEG_INFINITY, f64::max),
+                ninec: 0.0,
+                fdr: 0.0,
+                vihc: 0.0,
+                efdr_mtc: 0.0,
+                selhuff: 0.0,
+                golomb: 0.0,
+                arl: 0.0,
+                dict: 0.0,
+            };
+            for codec in table4_registry(*best_k).expect("sweep K is valid") {
+                let cr = codec.compression_ratio(stream);
+                match codec.name() {
+                    "9C" => row.ninec = cr,
+                    "FDR" => row.fdr = cr,
+                    "VIHC" => row.vihc = cr,
+                    "EFDR" => row.efdr_mtc = cr,
+                    "SelHuff" => row.selhuff = cr,
+                    "Golomb" => row.golomb = cr,
+                    "ARL" => row.arl = cr,
+                    "Dict" => row.dict = cr,
+                    other => unreachable!("unknown registry codec {other}"),
+                }
             }
+            row
         })
         .collect()
 }
@@ -249,7 +253,11 @@ pub fn render_table5(sweeps: &[KSweep]) -> String {
     let mut sums = vec![0.0f64; P_SWEEP.len() + 2];
     for sweep in sweeps {
         let (k, enc) = sweep.best();
-        let mut row = vec![sweep.circuit.clone(), k.to_string(), pct(enc.compression_ratio())];
+        let mut row = vec![
+            sweep.circuit.clone(),
+            k.to_string(),
+            pct(enc.compression_ratio()),
+        ];
         sums[0] += enc.compression_ratio();
         for (i, &p) in P_SWEEP.iter().enumerate() {
             let tat = TatModel::new(p as f64).tat_percent(enc);
@@ -304,7 +312,10 @@ pub fn render_table6(sweeps: &[KSweep], k: usize) -> String {
     let mut avg = vec!["Sum".to_owned(), String::new()];
     avg.extend(sums.iter().map(|s| s.to_string()));
     t.row(avg);
-    format!("Table VI — codeword statistics N1..N9 at K={k}\n{}", t.render())
+    format!(
+        "Table VI — codeword statistics N1..N9 at K={k}\n{}",
+        t.render()
+    )
 }
 
 /// One circuit's frequency-directed reassignment sweep (Table VII).
@@ -365,8 +376,11 @@ pub fn render_table7(sweeps: &[FreqDirSweep]) -> String {
     )
 }
 
+/// One Table VIII row: `(circuit, |T_D| bits, per-K (K, CR%) sweep)`.
+pub type Table8Row = (String, usize, Vec<(usize, f64)>);
+
 /// Table VIII engine: large-circuit K sweep.
-pub fn table8(datasets: &[Dataset], ks: &[usize]) -> Vec<(String, usize, Vec<(usize, f64)>)> {
+pub fn table8(datasets: &[Dataset], ks: &[usize]) -> Vec<Table8Row> {
     datasets
         .iter()
         .map(|ds| {
@@ -383,7 +397,7 @@ pub fn table8(datasets: &[Dataset], ks: &[usize]) -> Vec<(String, usize, Vec<(us
 }
 
 /// Renders Table VIII.
-pub fn render_table8(rows: &[(String, usize, Vec<(usize, f64)>)]) -> String {
+pub fn render_table8(rows: &[Table8Row]) -> String {
     let ks: Vec<usize> = rows
         .first()
         .map(|(_, _, r)| r.iter().map(|(k, _)| *k).collect())
@@ -437,7 +451,12 @@ pub fn fig3(dataset: &Dataset, k: usize, ms: &[usize], p: u32) -> Vec<(usize, u6
             let dec = MultiScanDecoder::new(k, m, enc.table().clone(), ClockRatio::new(p));
             let trace = dec.run(&bits, &dataset.cubes).expect("stream decodes");
             assert!(trace.loaded.covers(&dataset.cubes), "m={m}: coverage lost");
-            (m, trace.decoder.soc_ticks, trace.loads, enc.compression_ratio())
+            (
+                m,
+                trace.decoder.soc_ticks,
+                trace.loads,
+                enc.compression_ratio(),
+            )
         })
         .collect()
 }
@@ -468,7 +487,9 @@ pub fn fig4(dataset: &Dataset, k: usize, m: usize, p: u32) -> [(String, usize, u
     let enc_a = Encoder::new(k).expect("valid K").encode_set(cubes);
     let bits_a = enc_a.to_bitvec(FillStrategy::Zero);
     let dec_a = SingleScanDecoder::new(k, enc_a.table().clone(), ClockRatio::new(p));
-    let a = dec_a.run(&bits_a, cubes.total_bits()).expect("stream decodes");
+    let a = dec_a
+        .run(&bits_a, cubes.total_bits())
+        .expect("stream decodes");
 
     // (b) m chains, one pin.
     let enc_b = ninec::multiscan::encode_multiscan(cubes, m, k).expect("valid config");
@@ -485,7 +506,11 @@ pub fn fig4(dataset: &Dataset, k: usize, m: usize, p: u32) -> [(String, usize, u
     [
         ("4a: 1 chain, 1 pin".to_owned(), 1, a.soc_ticks),
         (format!("4b: {m} chains, 1 pin"), 1, b.decoder.soc_ticks),
-        (format!("4c: {m} chains, {} pins", arch.pins()), arch.pins(), c.soc_ticks),
+        (
+            format!("4c: {m} chains, {} pins", arch.pins()),
+            arch.pins(),
+            c.soc_ticks,
+        ),
     ]
 }
 

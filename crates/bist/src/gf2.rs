@@ -155,7 +155,11 @@ mod tests {
 
     #[test]
     fn simple_systems() {
-        let rows = vec![row(3, &[0, 1], true), row(3, &[1, 2], false), row(3, &[2], true)];
+        let rows = vec![
+            row(3, &[0, 1], true),
+            row(3, &[1, 2], false),
+            row(3, &[2], true),
+        ];
         match solve(rows.clone(), 3) {
             Solution::Solved(a) => check(&rows, &a),
             other => panic!("{other:?}"),

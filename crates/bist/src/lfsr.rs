@@ -69,13 +69,17 @@ impl Lfsr {
     /// Panics if `width` is 0 or exceeds 64, or the tap mask has bits
     /// outside the register.
     pub fn new(width: usize, taps: u64) -> Self {
-        assert!(width >= 1 && width <= 64, "width {width} out of range");
+        assert!((1..=64).contains(&width), "width {width} out of range");
         assert!(
             width == 64 || taps < 1u64 << width,
             "tap mask 0x{taps:x} exceeds width {width}"
         );
         assert!(taps != 0, "tap mask must be non-zero");
-        Self { width, taps, state: 1 }
+        Self {
+            width,
+            taps,
+            state: 1,
+        }
     }
 
     /// Creates an LFSR with a known-primitive polynomial for `width`.
@@ -205,8 +209,14 @@ mod tests {
         let width = 12;
         let n = 40;
         for (s1, s2) in [(0x123u64, 0x456u64), (0x800, 0x001), (0xfff, 0xabc)] {
-            let o1 = Lfsr::with_primitive_taps(width).unwrap().seeded(s1).output_sequence(n);
-            let o2 = Lfsr::with_primitive_taps(width).unwrap().seeded(s2).output_sequence(n);
+            let o1 = Lfsr::with_primitive_taps(width)
+                .unwrap()
+                .seeded(s1)
+                .output_sequence(n);
+            let o2 = Lfsr::with_primitive_taps(width)
+                .unwrap()
+                .seeded(s2)
+                .output_sequence(n);
             let ox = Lfsr::with_primitive_taps(width)
                 .unwrap()
                 .seeded(s1 ^ s2)

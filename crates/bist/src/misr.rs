@@ -41,13 +41,17 @@ impl Misr {
     /// Panics on a zero tap mask or out-of-range width (see
     /// [`Lfsr::new`](crate::lfsr::Lfsr::new) for the conventions).
     pub fn new(width: usize, taps: u64) -> Self {
-        assert!(width >= 1 && width <= 64, "width {width} out of range");
+        assert!((1..=64).contains(&width), "width {width} out of range");
         assert!(
             width == 64 || taps < 1u64 << width,
             "tap mask 0x{taps:x} exceeds width {width}"
         );
         assert!(taps != 0, "tap mask must be non-zero");
-        Self { width, taps, state: 0 }
+        Self {
+            width,
+            taps,
+            state: 0,
+        }
     }
 
     /// Creates a MISR with a known-primitive polynomial for `width`.
@@ -66,8 +70,16 @@ impl Misr {
     ///
     /// Panics if `word` has bits outside the register.
     pub fn absorb(&mut self, word: u64) {
-        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
-        assert!(word & !mask == 0, "response word 0x{word:x} exceeds width {}", self.width);
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        assert!(
+            word & !mask == 0,
+            "response word 0x{word:x} exceeds width {}",
+            self.width
+        );
         let feedback = (self.state & self.taps).count_ones() as u64 & 1;
         self.state = ((self.state << 1 | feedback) & mask) ^ word;
     }
@@ -126,7 +138,9 @@ mod tests {
     fn single_bit_errors_never_alias() {
         // A single corrupted bit always changes the signature (linearity:
         // the error signature is the error word run forward, nonzero).
-        let base: Vec<u64> = (0..50).map(|t: u64| t.wrapping_mul(0xABCD) & 0xFFFF).collect();
+        let base: Vec<u64> = (0..50)
+            .map(|t: u64| t.wrapping_mul(0xABCD) & 0xFFFF)
+            .collect();
         let mut good = Misr::with_primitive_taps(16).unwrap();
         for &w in &base {
             good.absorb(w);
@@ -148,7 +162,9 @@ mod tests {
         // time t and its shifted image at t+1 can cancel. Verify linearity
         // instead: sig(r ^ e) = sig(r) ^ sig(e).
         let responses: Vec<u64> = (0..30).map(|t: u64| t * 37 % 256).collect();
-        let errors: Vec<u64> = (0..30).map(|t: u64| (t % 7 == 0) as u64 * 0x80).collect();
+        let errors: Vec<u64> = (0..30)
+            .map(|t: u64| t.is_multiple_of(7) as u64 * 0x80)
+            .collect();
         let run = |words: &[u64]| {
             let mut m = Misr::with_primitive_taps(8).unwrap();
             for &w in words {

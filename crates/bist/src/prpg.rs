@@ -32,7 +32,8 @@ pub fn random_patterns(circuit: &Circuit, lfsr_width: usize, seed: u64, count: u
             .into_iter()
             .map(Trit::from)
             .collect();
-        set.push_pattern(&cube).expect("generated pattern has scan width");
+        set.push_pattern(&cube)
+            .expect("generated pattern has scan width");
     }
     set
 }
@@ -85,7 +86,7 @@ pub fn random_coverage_curve(
             let detected = sim
                 .first_detection
                 .iter()
-                .filter(|d| d.map_or(false, |p| p < cp))
+                .filter(|d| d.is_some_and(|p| p < cp))
                 .count();
             CoveragePoint {
                 patterns: cp,
@@ -128,7 +129,10 @@ mod tests {
         let c17 = parse_bench(C17).unwrap();
         let faults = collapsed_faults(&c17);
         let curve = random_coverage_curve(&c17, &faults, 12, 1, &[64]);
-        assert_eq!(curve[0].coverage_percent, 100.0, "c17 is easy for random test");
+        assert_eq!(
+            curve[0].coverage_percent, 100.0,
+            "c17 is easy for random test"
+        );
     }
 
     #[test]

@@ -252,7 +252,8 @@ impl ReseedEncoder {
             };
             pattern.extend_from_tritvec(&TritVec::from(&bits));
             if (i + 1) % windows_per_pattern == 0 {
-                set.push_pattern(&pattern).expect("windows tile the pattern");
+                set.push_pattern(&pattern)
+                    .expect("windows tile the pattern");
                 pattern = TritVec::new();
             }
         }
@@ -298,11 +299,7 @@ mod tests {
         let mut profile = SyntheticProfile::new("rs", 30, 64, 0.9);
         profile.mean_care_run = 2.0;
         let cubes = profile.generate(3);
-        let s_max = cubes
-            .patterns()
-            .map(|p| p.count_care())
-            .max()
-            .unwrap_or(0);
+        let s_max = cubes.patterns().map(|p| p.count_care()).max().unwrap_or(0);
         assert!(
             s_max + 20 <= 64,
             "profile produced unexpectedly dense cubes ({s_max})"

@@ -73,11 +73,10 @@ pub fn parse_bench(text: &str) -> Result<Circuit, ParseBenchError> {
             let args = args
                 .strip_suffix(')')
                 .ok_or(ParseBenchError::Malformed { line: line_no })?;
-            let kind = parse_kind(kind_str.trim())
-                .ok_or_else(|| ParseBenchError::UnknownKind {
-                    line: line_no,
-                    kind: kind_str.trim().to_owned(),
-                })?;
+            let kind = parse_kind(kind_str.trim()).ok_or_else(|| ParseBenchError::UnknownKind {
+                line: line_no,
+                kind: kind_str.trim().to_owned(),
+            })?;
             let fanins: Vec<String> = args
                 .split(',')
                 .map(|s| s.trim().to_owned())
@@ -93,7 +92,10 @@ pub fn parse_bench(text: &str) -> Result<Circuit, ParseBenchError> {
 
 fn directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
     let rest = line.strip_prefix(keyword)?.trim_start();
-    rest.strip_prefix('(')?.trim_end().strip_suffix(')').map(str::trim)
+    rest.strip_prefix('(')?
+        .trim_end()
+        .strip_suffix(')')
+        .map(str::trim)
 }
 
 fn parse_kind(s: &str) -> Option<GateKind> {
@@ -204,7 +206,10 @@ mod tests {
     #[test]
     fn unknown_fanin_reported() {
         let err = parse_bench("INPUT(a)\nb = NOT(zz)\nOUTPUT(b)\n").unwrap_err();
-        assert!(matches!(err, ParseBenchError::Netlist(NetlistError::UnknownNet { .. })));
+        assert!(matches!(
+            err,
+            ParseBenchError::Netlist(NetlistError::UnknownNet { .. })
+        ));
     }
 
     #[test]

@@ -140,8 +140,14 @@ impl Circuit {
     ///
     /// Panics if the name is already taken.
     pub fn add_input(&mut self, name: &str) -> NetId {
-        self.insert(name, Gate { kind: GateKind::Input, inputs: vec![] })
-            .expect("input names must be unique")
+        self.insert(
+            name,
+            Gate {
+                kind: GateKind::Input,
+                inputs: vec![],
+            },
+        )
+        .expect("input names must be unique")
     }
 
     /// Adds a gate, returning its net.
@@ -157,7 +163,9 @@ impl Circuit {
         inputs: Vec<NetId>,
     ) -> Result<NetId, NetlistError> {
         if kind == GateKind::Input {
-            return Err(NetlistError::UseAddInput { name: name.to_owned() });
+            return Err(NetlistError::UseAddInput {
+                name: name.to_owned(),
+            });
         }
         match kind.arity() {
             Some(n) if inputs.len() != n => {
@@ -189,7 +197,9 @@ impl Circuit {
 
     fn insert(&mut self, name: &str, gate: Gate) -> Result<NetId, NetlistError> {
         if self.by_name.contains_key(name) {
-            return Err(NetlistError::DuplicateName { name: name.to_owned() });
+            return Err(NetlistError::DuplicateName {
+                name: name.to_owned(),
+            });
         }
         let id = self.gates.len();
         if gate.kind == GateKind::Input {
@@ -226,7 +236,9 @@ impl Circuit {
         // Pass 1: allocate every net id.
         for (gname, kind, _) in &gates {
             if c.by_name.contains_key(gname) {
-                return Err(NetlistError::DuplicateName { name: gname.clone() });
+                return Err(NetlistError::DuplicateName {
+                    name: gname.clone(),
+                });
             }
             let id = c.gates.len();
             if *kind == GateKind::Input {
@@ -235,7 +247,10 @@ impl Circuit {
             if *kind == GateKind::Dff {
                 c.dffs.push(id);
             }
-            c.gates.push(Gate { kind: *kind, inputs: vec![] });
+            c.gates.push(Gate {
+                kind: *kind,
+                inputs: vec![],
+            });
             c.net_names.push(gname.clone());
             c.by_name.insert(gname.clone(), id);
         }

@@ -43,7 +43,10 @@ impl RandomCircuitSpec {
     ///
     /// Panics if `num_inputs` or `num_gates` is zero.
     pub fn new(name: &str, num_inputs: usize, num_ffs: usize, num_gates: usize) -> Self {
-        assert!(num_inputs > 0 && num_gates > 0, "inputs and gates must be positive");
+        assert!(
+            num_inputs > 0 && num_gates > 0,
+            "inputs and gates must be positive"
+        );
         Self {
             name: name.to_owned(),
             num_inputs,
@@ -106,7 +109,7 @@ impl RandomCircuitSpec {
         let pool = sources + j;
         // 60%: one of the 16 most recent nets (locality); else uniform.
         let idx = if j > 0 && rng.gen_bool(0.6) {
-            let lo = pool.saturating_sub(16).max(0);
+            let lo = pool.saturating_sub(16);
             rng.gen_range(lo..pool)
         } else {
             rng.gen_range(0..pool)

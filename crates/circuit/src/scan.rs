@@ -73,15 +73,24 @@ pub fn insert_scan(circuit: &Circuit) -> Result<ScannedCircuit, InsertScanError>
     for (pos, &ff) in chain.iter().enumerate() {
         let func_d = c.gate(ff).inputs[0];
         let shift = c
-            .add_gate(&format!("scan_shift{pos}"), GateKind::And, vec![scan_en, serial_src])
+            .add_gate(
+                &format!("scan_shift{pos}"),
+                GateKind::And,
+                vec![scan_en, serial_src],
+            )
             .map_err(InsertScanError::Netlist)?;
         let hold = c
-            .add_gate(&format!("scan_hold{pos}"), GateKind::And, vec![n_se, func_d])
+            .add_gate(
+                &format!("scan_hold{pos}"),
+                GateKind::And,
+                vec![n_se, func_d],
+            )
             .map_err(InsertScanError::Netlist)?;
         let mux = c
             .add_gate(&format!("scan_mux{pos}"), GateKind::Or, vec![shift, hold])
             .map_err(InsertScanError::Netlist)?;
-        c.rewire_fanin(ff, 0, mux).map_err(InsertScanError::Netlist)?;
+        c.rewire_fanin(ff, 0, mux)
+            .map_err(InsertScanError::Netlist)?;
         serial_src = ff; // next cell shifts from this cell's Q
     }
     let scan_out = *chain.last().expect("checked non-empty");
@@ -168,7 +177,10 @@ mod tests {
             let c = RandomCircuitSpec::new("sc", 4, 9, 40).generate(seed);
             let scanned = insert_scan(&c).unwrap();
             assert_eq!(scanned.chain_len(), 9);
-            assert_eq!(scanned.circuit.topo_order().len(), scanned.circuit.num_gates());
+            assert_eq!(
+                scanned.circuit.topo_order().len(),
+                scanned.circuit.num_gates()
+            );
         }
     }
 

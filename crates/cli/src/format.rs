@@ -125,11 +125,12 @@ impl TeFile {
         }
         let _ = data_line;
         let lengths = lengths.ok_or(ParseTeError::MissingField { field: "lengths" })?;
-        let table = CodeTable::from_lengths(&lengths)
-            .map_err(|_| ParseTeError::BadLengths)?;
+        let table = CodeTable::from_lengths(&lengths).map_err(|_| ParseTeError::BadLengths)?;
         Ok(Self {
             k: k.ok_or(ParseTeError::MissingField { field: "k" })?,
-            source_len: source_len.ok_or(ParseTeError::MissingField { field: "source-len" })?,
+            source_len: source_len.ok_or(ParseTeError::MissingField {
+                field: "source-len",
+            })?,
             pattern_len,
             table,
             stream,
@@ -243,7 +244,8 @@ mod tests {
 
     #[test]
     fn keeps_x_in_data() {
-        let te_text = "k: 8\nsource-len: 8\npattern-len: 8\nlengths: 1 2 5 5 5 5 5 5 4\ndata:\n1110001X\n0\n";
+        let te_text =
+            "k: 8\nsource-len: 8\npattern-len: 8\nlengths: 1 2 5 5 5 5 5 5 4\ndata:\n1110001X\n0\n";
         // "11100" = C5, payload "01X0"? Construct consistently instead:
         let te = TeFile::parse(te_text).unwrap();
         assert_eq!(te.stream.count_x(), 1);

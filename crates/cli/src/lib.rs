@@ -20,6 +20,7 @@
 pub mod format;
 
 use format::TeFile;
+use ninec::decode::StreamDecoder;
 use ninec::encode::Encoder;
 use ninec::freqdir::encode_frequency_directed;
 use ninec_atpg::generate::{generate_tests, AtpgConfig};
@@ -87,7 +88,9 @@ USAGE:
 /// Returns [`CliError`] for bad arguments or failing operations.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut it = args.iter();
-    let command = it.next().ok_or_else(|| CliError::Usage("no command".into()))?;
+    let command = it
+        .next()
+        .ok_or_else(|| CliError::Usage("no command".into()))?;
     let rest: Vec<String> = it.cloned().collect();
     match command.as_str() {
         "compress" => compress(&rest, out),
@@ -118,25 +121,41 @@ struct Opts {
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
-    let mut opts = Opts { seed: 1, ..Default::default() };
+    let mut opts = Opts {
+        seed: 1,
+        ..Default::default()
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" | "--output" => {
-                let v = it.next().ok_or_else(|| CliError::Usage("-o needs a path".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("-o needs a path".into()))?;
                 opts.output = Some(PathBuf::from(v));
             }
             "-k" => {
-                let v = it.next().ok_or_else(|| CliError::Usage("-k needs a value".into()))?;
-                opts.k = Some(v.parse().map_err(|_| CliError::Usage(format!("bad -k {v:?}")))?);
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("-k needs a value".into()))?;
+                opts.k = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad -k {v:?}")))?,
+                );
             }
             "--fill" => {
-                let v = it.next().ok_or_else(|| CliError::Usage("--fill needs a value".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--fill needs a value".into()))?;
                 opts.fill = Some(v.clone());
             }
             "--seed" => {
-                let v = it.next().ok_or_else(|| CliError::Usage("--seed needs a value".into()))?;
-                opts.seed = v.parse().map_err(|_| CliError::Usage(format!("bad --seed {v:?}")))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--seed needs a value".into()))?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --seed {v:?}")))?;
             }
             "--freq-directed" => opts.freq_directed = true,
             "--tb" | "--testbench" => opts.testbench = true,
@@ -174,6 +193,10 @@ fn output(opts: &Opts) -> Result<&PathBuf, CliError> {
         .ok_or_else(|| CliError::Usage("missing -o <output>".into()))
 }
 
+/// Chunk size (in symbols) for the streaming compress/decompress paths —
+/// peak codec state stays `O(STREAM_CHUNK + K)` regardless of input size.
+const STREAM_CHUNK: usize = 4096;
+
 fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let input = one_input(&opts)?;
@@ -186,9 +209,11 @@ fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .best()
             .clone()
     } else {
+        // Streaming path: the encoder sees the source in fixed chunks and
+        // holds at most one partial block between them.
         Encoder::new(k)
             .map_err(|e| CliError::Failed(e.to_string()))?
-            .encode_set(&cubes)
+            .encode_chunked(cubes.as_stream().chunks(STREAM_CHUNK))
     };
     let mut te = TeFile::from_encoded(&encoded, cubes.pattern_len());
     if let Some(strategy) = fill_strategy(&opts)? {
@@ -202,7 +227,11 @@ fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         encoded.compressed_len(),
         encoded.compression_ratio(),
         encoded.stats().leftover_x,
-        if opts.freq_directed { ", frequency-directed" } else { "" }
+        if opts.freq_directed {
+            ", frequency-directed"
+        } else {
+            ""
+        }
     )?;
     Ok(())
 }
@@ -212,12 +241,32 @@ fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let input = one_input(&opts)?;
     let text = fs::read_to_string(input)?;
     let te = TeFile::parse(&text).map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
-    let mut decoded = te.decode().map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    // Streaming path: pull codewords one block at a time; the decoder
+    // itself holds only one codeword-plus-payload of state.
+    let mut decoded = ninec_testdata::trit::TritVec::with_capacity(te.source_len);
+    let mut dec = StreamDecoder::new(
+        te.stream.as_slice().iter(),
+        te.k,
+        te.table.clone(),
+        te.source_len,
+    )
+    .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    loop {
+        match dec.decode_block_into(&mut decoded) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(CliError::Failed(format!("{input}: {e}"))),
+        }
+    }
     if let Some(strategy) = fill_strategy(&opts)? {
         decoded = fill_trits(&decoded, strategy);
     }
-    let pattern_len = if te.pattern_len > 0 { te.pattern_len } else { decoded.len() };
-    if decoded.len() % pattern_len != 0 {
+    let pattern_len = if te.pattern_len > 0 {
+        te.pattern_len
+    } else {
+        decoded.len()
+    };
+    if !decoded.len().is_multiple_of(pattern_len) {
         return Err(CliError::Failed(format!(
             "decoded length {} is not a multiple of pattern length {pattern_len}",
             decoded.len()
@@ -274,8 +323,7 @@ fn generate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         SyntheticProfile::new("custom", patterns, len, x_pct / 100.0)
     } else {
-        mintest_profile(spec)
-            .ok_or_else(|| CliError::Usage(format!("unknown profile {spec:?}")))?
+        mintest_profile(spec).ok_or_else(|| CliError::Usage(format!("unknown profile {spec:?}")))?
     };
     let set = profile.generate(opts.seed);
     ninec_testdata::io::write_test_set_file(output(&opts)?, &set)?;
@@ -295,54 +343,23 @@ fn atpg(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    use ninec_baselines::codec::TestDataCodec;
+    use ninec_baselines::registry::table4_registry;
     let opts = parse_opts(args)?;
     let input = one_input(&opts)?;
     let k = opts.k.unwrap_or(8);
     let cubes = ninec_testdata::io::read_test_set_file(input)
         .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
     let stream = cubes.as_stream();
-    let ninec_cr = Encoder::new(k)
-        .map_err(|e| CliError::Failed(e.to_string()))?
-        .encode_set(&cubes)
-        .compression_ratio();
     writeln!(out, "{input}: |T_D| = {} bits", cubes.total_bits())?;
     writeln!(out, "{:>12}  {:>8}", "code", "CR%")?;
-    writeln!(out, "{:>12}  {:>8.2}", format!("9C (K={k})"), ninec_cr)?;
-    let baselines: Vec<(&str, f64)> = vec![
-        ("FDR", ninec_baselines::fdr::Fdr::new().compression_ratio(stream)),
-        ("EFDR", ninec_baselines::efdr::Efdr::new().compression_ratio(stream)),
-        (
-            "ARL",
-            ninec_baselines::arl::AlternatingRunLength::new().compression_ratio(stream),
-        ),
-        (
-            "Golomb(4)",
-            ninec_baselines::golomb::Golomb::new(4)
-                .expect("valid group size")
-                .compression_ratio(stream),
-        ),
-        (
-            "VIHC(8)",
-            ninec_baselines::vihc::Vihc::new(8)
-                .expect("valid group size")
-                .compression_ratio(stream),
-        ),
-        (
-            "SelHuff",
-            ninec_baselines::selhuff::SelectiveHuffman::new(8, 16)
-                .expect("valid config")
-                .compression_ratio(stream),
-        ),
-        (
-            "Dict(16,256)",
-            ninec_baselines::dict::FixedIndexDictionary::new(16, 256)
-                .expect("valid config")
-                .compression_ratio(stream),
-        ),
-    ];
-    for (name, cr) in baselines {
-        writeln!(out, "{name:>12}  {cr:>8.2}")?;
+    // One unified registry covers 9C and every baseline; the sweep-style
+    // columns (VIHC, Golomb, Dict) report their best parameter.
+    for codec in table4_registry(k).map_err(|e| CliError::Failed(e.to_string()))? {
+        let label = match codec.name() {
+            "9C" => format!("9C (K={k})"),
+            other => other.to_owned(),
+        };
+        writeln!(out, "{label:>12}  {:>8.2}", codec.compression_ratio(stream))?;
     }
     Ok(())
 }
@@ -354,7 +371,9 @@ fn rtl(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
     let k = opts.k.unwrap_or(8);
     if k < 4 || k % 2 != 0 {
-        return Err(CliError::Usage(format!("-k must be even and >= 4, got {k}")));
+        return Err(CliError::Usage(format!(
+            "-k must be even and >= 4, got {k}"
+        )));
     }
     let mut rtl = decoder_verilog(k);
     if opts.testbench {
@@ -384,7 +403,11 @@ fn rtl(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(
         out,
         "wrote ninec_decoder_k{k}{} ({} lines of Verilog)",
-        if opts.testbench { " + self-checking testbench" } else { "" },
+        if opts.testbench {
+            " + self-checking testbench"
+        } else {
+            ""
+        },
         rtl.lines().count()
     )?;
     Ok(())
@@ -425,15 +448,36 @@ mod tests {
         let te = dir.join("s.te");
         let back = dir.join("back.cubes");
 
-        let msg = run_ok(&["generate", "custom:20,64,75", "-o", path_str(&cubes), "--seed", "3"]);
+        let msg = run_ok(&[
+            "generate",
+            "custom:20,64,75",
+            "-o",
+            path_str(&cubes),
+            "--seed",
+            "3",
+        ]);
         assert!(msg.contains("20 x 64"));
 
         let msg = run_ok(&[
-            "compress", path_str(&cubes), "-o", path_str(&te), "-k", "8", "--fill", "keep",
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&te),
+            "-k",
+            "8",
+            "--fill",
+            "keep",
         ]);
         assert!(msg.contains("CR"));
 
-        run_ok(&["decompress", path_str(&te), "-o", path_str(&back), "--fill", "keep"]);
+        run_ok(&[
+            "decompress",
+            path_str(&te),
+            "-o",
+            path_str(&back),
+            "--fill",
+            "keep",
+        ]);
         let orig = ninec_testdata::io::read_test_set_file(&cubes).unwrap();
         let round = ninec_testdata::io::read_test_set_file(&back).unwrap();
         assert_eq!(round.num_patterns(), orig.num_patterns());
@@ -455,7 +499,14 @@ mod tests {
         let cubes = dir.join("f.cubes");
         let te = dir.join("f.te");
         run_ok(&["generate", "custom:10,40,80", "-o", path_str(&cubes)]);
-        run_ok(&["compress", path_str(&cubes), "-o", path_str(&te), "--fill", "zero"]);
+        run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&te),
+            "--fill",
+            "zero",
+        ]);
         let parsed = TeFile::parse(&fs::read_to_string(&te).unwrap()).unwrap();
         assert_eq!(parsed.stream.count_x(), 0);
     }
@@ -467,7 +518,11 @@ mod tests {
         let te = dir.join("fd.te");
         run_ok(&["generate", "s5378", "-o", path_str(&cubes)]);
         let msg = run_ok(&[
-            "compress", path_str(&cubes), "-o", path_str(&te), "--freq-directed",
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&te),
+            "--freq-directed",
         ]);
         assert!(msg.contains("frequency-directed"));
         let parsed = TeFile::parse(&fs::read_to_string(&te).unwrap()).unwrap();
@@ -548,7 +603,9 @@ mod tests {
         let cubes = dir.join("c.cubes");
         run_ok(&["generate", "custom:15,64,80", "-o", path_str(&cubes)]);
         let msg = run_ok(&["compare", path_str(&cubes), "-k", "8"]);
-        for name in ["9C", "FDR", "EFDR", "ARL", "Golomb", "VIHC", "SelHuff", "Dict"] {
+        for name in [
+            "9C", "FDR", "EFDR", "ARL", "Golomb", "VIHC", "SelHuff", "Dict",
+        ] {
             assert!(msg.contains(name), "missing {name} in:\n{msg}");
         }
     }

@@ -1,7 +1,7 @@
 //! Compression-ratio and test-application-time analysis (paper §III-C, §IV).
 
 use crate::code::{CodeTable, ALL_CASES};
-use crate::encode::{Encoded, EncodeStats};
+use crate::encode::{EncodeStats, Encoded};
 use std::fmt;
 
 /// One row of the paper's per-circuit result tables.
@@ -83,9 +83,7 @@ impl TatModel {
     pub fn compressed_cycles(&self, stats: &EncodeStats, table: &CodeTable, k: usize) -> f64 {
         ALL_CASES
             .into_iter()
-            .map(|c| {
-                stats.count(c) as f64 * (table.block_bits(c, k) as f64 + k as f64 / self.p)
-            })
+            .map(|c| stats.count(c) as f64 * (table.block_bits(c, k) as f64 + k as f64 / self.p))
             .sum()
     }
 
@@ -136,7 +134,9 @@ mod tests {
     #[test]
     fn compressed_cycles_formula() {
         // One C1 block at K = 8, p = 8: 1 ATE bit + 8/8 scan-equivalent.
-        let e = Encoder::new(8).unwrap().encode_stream(&"00000000".parse().unwrap());
+        let e = Encoder::new(8)
+            .unwrap()
+            .encode_stream(&"00000000".parse().unwrap());
         let m = TatModel::new(8.0);
         let cycles = m.compressed_cycles(e.stats(), e.table(), 8);
         assert!((cycles - 2.0).abs() < 1e-12);
@@ -148,7 +148,9 @@ mod tests {
     fn slow_scan_clock_can_make_tat_negative() {
         // p = 0.5: scanning dominates; even compressed data is slower
         // than streaming raw bits at ATE speed for mismatch-heavy data.
-        let e = Encoder::new(8).unwrap().encode_stream(&"01X0101X".parse().unwrap());
+        let e = Encoder::new(8)
+            .unwrap()
+            .encode_stream(&"01X0101X".parse().unwrap());
         let tat = TatModel::new(0.5).tat_percent(&e);
         assert!(tat < 0.0);
     }

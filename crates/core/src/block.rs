@@ -1,6 +1,7 @@
 //! Block and half classification, and greedy case selection.
 
 use crate::code::{Case, CodeTable, HalfSpec, ALL_CASES};
+use ninec_testdata::slice::TritSlice;
 use ninec_testdata::trit::{Trit, TritVec};
 
 /// Compatibility classes of one `K/2`-bit half.
@@ -33,8 +34,23 @@ pub struct HalfClass {
 
 impl HalfClass {
     /// Classifies a half given its symbols.
+    ///
+    /// This is the scalar (per-symbol) reference; hot paths use
+    /// [`HalfClass::classify_slice`], which does the same in `O(len / 64)`
+    /// word operations. The two are checked against each other by the
+    /// differential test-suite.
     pub fn classify<I: IntoIterator<Item = Trit>>(half: I) -> Self {
-        let mut class = HalfClass { can_zero: true, can_one: true };
+        Self::classify_scalar(half)
+    }
+
+    /// Scalar per-symbol classification, kept as the behavioural reference
+    /// for differential testing against [`HalfClass::classify_slice`].
+    #[doc(hidden)]
+    pub fn classify_scalar<I: IntoIterator<Item = Trit>>(half: I) -> Self {
+        let mut class = HalfClass {
+            can_zero: true,
+            can_one: true,
+        };
         for t in half {
             match t {
                 Trit::Zero => class.can_one = false,
@@ -46,6 +62,34 @@ impl HalfClass {
             }
         }
         class
+    }
+
+    /// Word-parallel classification of `slice[from .. to]`.
+    ///
+    /// Uses the packed care/value planes: the half is one-compatible iff no
+    /// specified zero exists (`care & !value == 0` over the range) and
+    /// zero-compatible iff no specified one exists (`value == 0`), each a
+    /// masked popcount-style scan costing `O((to - from) / 64)` word
+    /// operations. An empty range is compatible with both, matching the
+    /// `X`-padding semantics of partial final blocks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ninec::block::HalfClass;
+    /// use ninec_testdata::trit::TritVec;
+    ///
+    /// let stream: TritVec = "0X0X1X11".parse()?;
+    /// let left = HalfClass::classify_slice(stream.as_slice(), 0, 4);
+    /// assert!(left.can_zero && !left.can_one);
+    /// let right = HalfClass::classify_slice(stream.as_slice(), 4, 8);
+    /// assert!(right.can_one && !right.can_zero);
+    /// # Ok::<(), ninec_testdata::trit::ParseTritError>(())
+    /// ```
+    #[must_use]
+    pub fn classify_slice(slice: TritSlice<'_>, from: usize, to: usize) -> Self {
+        let (can_zero, can_one) = slice.classify_range(from, to);
+        HalfClass { can_zero, can_one }
     }
 
     /// `true` if the half is compatible with neither uniform value.
@@ -112,13 +156,15 @@ pub fn choose_case(left: HalfClass, right: HalfClass, table: &CodeTable, k: usiz
 ///
 /// Panics if the block does not fit in `stream` or `k` is odd/zero.
 pub fn classify_block(stream: &TritVec, start: usize, k: usize, table: &CodeTable) -> Case {
-    assert!(k >= 2 && k % 2 == 0, "block size must be even and >= 2, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "block size must be even and >= 2, got {k}"
+    );
     assert!(start + k <= stream.len(), "block out of range");
     let half = k / 2;
-    let left = HalfClass::classify((start..start + half).map(|i| stream.get(i).expect("in range")));
-    let right = HalfClass::classify(
-        (start + half..start + k).map(|i| stream.get(i).expect("in range")),
-    );
+    let block = stream.slice_view(start, start + k);
+    let left = HalfClass::classify_slice(block, 0, half);
+    let right = HalfClass::classify_slice(block, half, k);
     choose_case(left, right, table, k)
 }
 

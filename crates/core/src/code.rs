@@ -148,7 +148,10 @@ impl Codeword {
     ///
     /// Panics if `len` is 0 or exceeds 16, or if `bits` has stray high bits.
     pub fn new(bits: u16, len: u8) -> Self {
-        assert!(len >= 1 && len <= 16, "codeword length {len} out of range");
+        assert!(
+            (1..=16).contains(&len),
+            "codeword length {len} out of range"
+        );
         assert!(
             len == 16 || bits < 1 << len,
             "codeword bits 0b{bits:b} do not fit in {len} bits"
@@ -229,7 +232,9 @@ impl CodeTable {
     /// inequality or any length is outside `1..=16`.
     pub fn from_lengths(lengths: &[u8; 9]) -> Result<Self, KraftViolation> {
         if lengths.iter().any(|&l| l == 0 || l > 16) {
-            return Err(KraftViolation { kraft_64ths: u64::MAX });
+            return Err(KraftViolation {
+                kraft_64ths: u64::MAX,
+            });
         }
         // Kraft check in units of 2^-16 to stay exact.
         let kraft: u64 = lengths.iter().map(|&l| 1u64 << (16 - l)).sum();

@@ -4,7 +4,8 @@
 //! this module is the behavioural reference both are checked against.
 
 use crate::code::{CodeTable, HalfSpec};
-use crate::encode::Encoded;
+use crate::encode::{Encoded, InvalidBlockSize};
+use crate::stream::{BitSink, BitSource};
 use ninec_testdata::bits::BitVec;
 use ninec_testdata::trit::{Trit, TritVec};
 use std::fmt;
@@ -48,7 +49,10 @@ impl fmt::Display for DecodeError {
                 write!(f, "don't-care inside a codeword at bit offset {offset}")
             }
             DecodeError::TruncatedPayload { offset } => {
-                write!(f, "stream ends inside the payload starting at bit offset {offset}")
+                write!(
+                    f,
+                    "stream ends inside the payload starting at bit offset {offset}"
+                )
             }
             DecodeError::TooShort { produced, required } => {
                 write!(f, "decoded {produced} symbols but {required} were required")
@@ -89,66 +93,177 @@ pub fn decode_stream(
     table: &CodeTable,
     source_len: usize,
 ) -> Result<TritVec, DecodeError> {
-    assert!(k >= 4 && k % 2 == 0, "block size must be even and >= 4, got {k}");
-    let half = k / 2;
-    let mut out = TritVec::with_capacity(source_len + k);
-    let mut pos = 0usize;
-    while out.len() < source_len {
-        if pos >= stream.len() {
-            return Err(DecodeError::TooShort {
-                produced: out.len(),
-                required: source_len,
-            });
+    assert!(
+        k >= 4 && k.is_multiple_of(2),
+        "block size must be even and >= 4, got {k}"
+    );
+    let mut out = TritVec::with_capacity(source_len);
+    let mut dec = StreamDecoder::new(stream.as_slice().iter(), k, table.clone(), source_len)
+        .expect("block size validated above");
+    while dec.decode_block_into(&mut out)? > 0 {}
+    Ok(out)
+}
+
+/// A streaming 9C decoder pulling codewords and payload from a
+/// [`BitSource`] and emitting decoded symbols into any [`BitSink`], one
+/// block per step — memory stays `O(K)` regardless of stream length.
+///
+/// Produces exactly `source_len` symbols in total: pad symbols the encoder
+/// appended to fill its final block are consumed from the source but never
+/// emitted.
+///
+/// # Examples
+///
+/// ```
+/// use ninec::code::CodeTable;
+/// use ninec::decode::StreamDecoder;
+/// use ninec_testdata::trit::TritVec;
+///
+/// // C1 ("0") then C5 ("11100") with payload "01X0", at K = 8.
+/// let te: TritVec = "01110001X0".parse()?;
+/// let mut dec = StreamDecoder::new(te.as_slice().iter(), 8, CodeTable::paper(), 16)?;
+/// let mut out = TritVec::new();
+/// while dec.decode_block_into(&mut out)? > 0 {}
+/// assert_eq!(out.to_string(), "0000000000000 1X0".replace(' ', ""));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct StreamDecoder<S: BitSource> {
+    source: S,
+    table: CodeTable,
+    half: usize,
+    source_len: usize,
+    /// Symbols produced so far *before clipping to `source_len`* (the
+    /// final block may overshoot by the encoder's pad).
+    produced: usize,
+    /// Bit offset consumed from the source, for error reporting.
+    pos: usize,
+}
+
+impl<S: BitSource> StreamDecoder<S> {
+    /// Creates a decoder for a stream of `source_len` symbols encoded at
+    /// block size `k` with `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBlockSize`] unless `k` is even and at least 4.
+    pub fn new(
+        source: S,
+        k: usize,
+        table: CodeTable,
+        source_len: usize,
+    ) -> Result<Self, InvalidBlockSize> {
+        if k < 4 || !k.is_multiple_of(2) {
+            return Err(InvalidBlockSize { k });
+        }
+        Ok(Self {
+            source,
+            table,
+            half: k / 2,
+            source_len,
+            produced: 0,
+            pos: 0,
+        })
+    }
+
+    /// Symbols emitted so far (clipped to the promised `source_len`).
+    #[must_use]
+    pub fn produced(&self) -> usize {
+        self.produced.min(self.source_len)
+    }
+
+    /// `true` once all `source_len` symbols have been emitted.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.produced >= self.source_len
+    }
+
+    /// Decodes the next block into `out`, returning the number of symbols
+    /// emitted — `0` once the stream is complete. Uniform halves are
+    /// emitted as word-level runs via [`BitSink::push_run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DecodeError`].
+    pub fn decode_block_into<O: BitSink>(&mut self, out: &mut O) -> Result<usize, DecodeError> {
+        if self.produced >= self.source_len {
+            return Ok(0);
         }
         // Match the next codeword; X inside a codeword is a corruption.
         let mut saw_x_at = None;
-        let matched = table.match_at(|i| match stream.get(pos + i) {
-            Some(Trit::Zero) => Some(false),
-            Some(Trit::One) => Some(true),
+        let mut pulled = 0usize;
+        let pos0 = self.pos;
+        let matched = self.table.match_at(|i| match self.source.next_trit() {
+            Some(Trit::Zero) => {
+                pulled += 1;
+                Some(false)
+            }
+            Some(Trit::One) => {
+                pulled += 1;
+                Some(true)
+            }
             Some(Trit::X) => {
+                pulled += 1;
                 if saw_x_at.is_none() {
-                    saw_x_at = Some(pos + i);
+                    saw_x_at = Some(pos0 + i);
                 }
                 None
             }
             None => None,
         });
-        let (case, used) = match matched {
+        self.pos += pulled;
+        let (case, _used) = match matched {
             Some(hit) => hit,
             None => {
                 return Err(match saw_x_at {
                     Some(offset) => DecodeError::XInCodeword { offset },
-                    None => DecodeError::BadCodeword { offset: pos },
+                    None if pulled == 0 => DecodeError::TooShort {
+                        produced: self.produced,
+                        required: self.source_len,
+                    },
+                    None => DecodeError::BadCodeword { offset: pos0 },
                 })
             }
         };
-        pos += used;
+        let half = self.half;
+        let mut emitted = 0usize;
         let (ls, rs) = case.halves();
         for spec in [ls, rs] {
+            // Clip emission to the promised source length; pad symbols are
+            // consumed but dropped.
+            let take = half.min(self.source_len.saturating_sub(self.produced));
             match spec {
-                HalfSpec::Zero => {
-                    for _ in 0..half {
-                        out.push(Trit::Zero);
-                    }
-                }
-                HalfSpec::One => {
-                    for _ in 0..half {
-                        out.push(Trit::One);
-                    }
-                }
+                HalfSpec::Zero => out.push_run(Trit::Zero, take),
+                HalfSpec::One => out.push_run(Trit::One, take),
                 HalfSpec::Mismatch => {
-                    if pos + half > stream.len() {
-                        return Err(DecodeError::TruncatedPayload { offset: pos });
-                    }
+                    let payload_at = self.pos;
                     for i in 0..half {
-                        out.push(stream.get(pos + i).expect("length checked"));
+                        let t = self
+                            .source
+                            .next_trit()
+                            .ok_or(DecodeError::TruncatedPayload { offset: payload_at })?;
+                        self.pos += 1;
+                        if i < take {
+                            out.push_trit(t);
+                        }
                     }
-                    pos += half;
                 }
             }
+            self.produced += half;
+            emitted += take;
         }
+        Ok(emitted)
     }
-    Ok(out.slice(0, source_len))
+
+    /// Drives the decoder to completion, emitting everything into `out`.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecodeError`].
+    pub fn run_into<O: BitSink>(mut self, out: &mut O) -> Result<(), DecodeError> {
+        while self.decode_block_into(out)? > 0 {}
+        Ok(())
+    }
 }
 
 /// Decodes an [`Encoded`] value back to a stream of `|T_D|` symbols.
@@ -180,7 +295,9 @@ pub fn decode_bits(
 ) -> Result<BitVec, DecodeError> {
     let trits = TritVec::from(bits);
     let out = decode_stream(&trits, k, table, source_len)?;
-    Ok(out.to_bitvec().expect("specified input decodes to specified output"))
+    Ok(out
+        .to_bitvec()
+        .expect("specified input decodes to specified output"))
 }
 
 #[cfg(test)]
@@ -276,8 +393,64 @@ mod tests {
         let err = decode_stream(&te, 8, &CodeTable::paper(), 16).unwrap_err();
         assert!(matches!(
             err,
-            DecodeError::TooShort { produced: 8, required: 16 }
+            DecodeError::TooShort {
+                produced: 8,
+                required: 16
+            }
         ));
+    }
+
+    #[test]
+    fn stream_decoder_drains_block_by_block() {
+        let src: TritVec = "0X0X01X001X0101X111111110000X11101".parse().unwrap();
+        let enc = Encoder::new(8).unwrap().encode_stream(&src);
+        let expect = decode(&enc).unwrap();
+        let mut dec = StreamDecoder::new(
+            enc.stream().as_slice().iter(),
+            enc.k(),
+            enc.table().clone(),
+            enc.source_len(),
+        )
+        .unwrap();
+        // Drain after every block: peak buffering is one block.
+        let mut got = TritVec::new();
+        let mut buf = TritVec::new();
+        loop {
+            let n = dec.decode_block_into(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(buf.len() <= 8, "drained buffer exceeded one block");
+            got.extend_from_tritvec(&buf);
+            buf.truncate(0);
+        }
+        assert!(dec.is_done());
+        assert_eq!(dec.produced(), src.len());
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stream_decoder_run_into_matches_one_shot() {
+        let src: TritVec = "01X0101XXXXXXXXX0000000011".parse().unwrap();
+        let enc = Encoder::new(8).unwrap().encode_stream(&src);
+        let mut out = TritVec::new();
+        StreamDecoder::new(
+            enc.stream().as_slice().iter(),
+            enc.k(),
+            enc.table().clone(),
+            enc.source_len(),
+        )
+        .unwrap()
+        .run_into(&mut out)
+        .unwrap();
+        assert_eq!(out, decode(&enc).unwrap());
+    }
+
+    #[test]
+    fn stream_decoder_rejects_bad_block_size() {
+        let v = TritVec::new();
+        assert!(StreamDecoder::new(v.as_slice().iter(), 7, CodeTable::paper(), 0).is_err());
+        assert!(StreamDecoder::new(v.as_slice().iter(), 2, CodeTable::paper(), 0).is_err());
     }
 
     #[test]
@@ -287,7 +460,9 @@ mod tests {
         lengths.swap(0, 8);
         let table = CodeTable::from_lengths(&lengths).unwrap();
         let src: TritVec = "01X010XX11000111".parse().unwrap();
-        let enc = Encoder::with_table(8, table.clone()).unwrap().encode_stream(&src);
+        let enc = Encoder::with_table(8, table.clone())
+            .unwrap()
+            .encode_stream(&src);
         let dec = decode(&enc).unwrap();
         for i in 0..src.len() {
             let s = src.get(i).unwrap();

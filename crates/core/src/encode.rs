@@ -2,7 +2,9 @@
 
 use crate::block::HalfClass;
 use crate::code::{Case, CodeTable, HalfSpec, ALL_CASES};
+use crate::stream::BitSink;
 use ninec_testdata::cube::TestSet;
+use ninec_testdata::slice::TritSlice;
 use ninec_testdata::trit::{Trit, TritVec};
 use std::fmt;
 
@@ -136,7 +138,10 @@ impl Encoded {
 
     /// Binds the leftover don't-cares with `strategy`, yielding the bit
     /// stream an ATE would store.
-    pub fn to_bitvec(&self, strategy: ninec_testdata::fill::FillStrategy) -> ninec_testdata::bits::BitVec {
+    pub fn to_bitvec(
+        &self,
+        strategy: ninec_testdata::fill::FillStrategy,
+    ) -> ninec_testdata::bits::BitVec {
         ninec_testdata::fill::fill_trits(&self.stream, strategy)
             .to_bitvec()
             .expect("fill produces a fully specified stream")
@@ -197,10 +202,14 @@ impl Encoder {
     ///
     /// Returns [`InvalidBlockSize`] unless `k` is even and at least 4.
     pub fn with_table(k: usize, table: CodeTable) -> Result<Self, InvalidBlockSize> {
-        if k < 4 || k % 2 != 0 {
+        if k < 4 || !k.is_multiple_of(2) {
             return Err(InvalidBlockSize { k });
         }
-        Ok(Self { k, table, select: CaseSelect::MinSize })
+        Ok(Self {
+            k,
+            table,
+            select: CaseSelect::MinSize,
+        })
     }
 
     /// Sets the case-selection policy (see [`CaseSelect`]).
@@ -224,7 +233,97 @@ impl Encoder {
     /// The stream is padded with `X` to a multiple of `K`; the pad is
     /// free to encode (it extends the final block's halves) and the decoder
     /// drops it again via [`Encoded::source_len`].
+    ///
+    /// This is a thin wrapper over the streaming path: it feeds the whole
+    /// stream to a [`StreamEncoder`] writing into a [`TritVec`] sink. The
+    /// hot loop classifies each `K/2` half in `O(K/64)` word operations on
+    /// the packed care/value planes and never allocates per block.
     pub fn encode_stream(&self, stream: &TritVec) -> Encoded {
+        let mut out = TritVec::with_capacity(stream.len() / 4 + 8);
+        let mut enc = self.stream_encoder(&mut out);
+        enc.feed(stream.as_slice());
+        let totals = enc.finish();
+        Encoded {
+            k: self.k,
+            table: self.table.clone(),
+            stream: out,
+            source_len: totals.source_len,
+            stats: totals.stats,
+        }
+    }
+
+    /// Compresses chunked input, proving chunk boundaries are invisible:
+    /// the result is bit-identical to [`Encoder::encode_stream`] on the
+    /// concatenation of the chunks.
+    pub fn encode_chunked<'a, I>(&self, chunks: I) -> Encoded
+    where
+        I: IntoIterator<Item = TritSlice<'a>>,
+    {
+        let mut out = TritVec::new();
+        let mut enc = self.stream_encoder(&mut out);
+        for chunk in chunks {
+            enc.feed(chunk);
+        }
+        let totals = enc.finish();
+        Encoded {
+            k: self.k,
+            table: self.table.clone(),
+            stream: out,
+            source_len: totals.source_len,
+            stats: totals.stats,
+        }
+    }
+
+    /// Compresses a test set as one stream, pattern after pattern — the
+    /// single-scan-chain arrangement of the paper's Figure 4(a).
+    pub fn encode_set(&self, set: &TestSet) -> Encoded {
+        self.encode_stream(set.as_stream())
+    }
+
+    /// Starts a streaming encode writing into `sink`.
+    ///
+    /// Feed chunks of any size with [`StreamEncoder::feed`]; the encoder
+    /// buffers at most `K − 1` symbols between calls, so peak memory is
+    /// `O(K + chunk)` regardless of stream length. Call
+    /// [`StreamEncoder::finish`] to flush the final partial block (padded
+    /// with `X`) and collect the [`EncodeStats`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ninec::encode::Encoder;
+    /// use ninec_testdata::trit::TritVec;
+    ///
+    /// let encoder = Encoder::new(8)?;
+    /// let stream: TritVec = "0X0X00XX1111X111".parse()?;
+    ///
+    /// let mut out = TritVec::new();
+    /// let mut enc = encoder.stream_encoder(&mut out);
+    /// for chunk in stream.chunks(3) {
+    ///     enc.feed(chunk);
+    /// }
+    /// let totals = enc.finish();
+    /// assert_eq!(out.to_string(), "010");
+    /// assert_eq!(totals.source_len, 16);
+    /// assert_eq!(totals.stats.blocks, 2);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn stream_encoder<'a, S: BitSink>(&'a self, sink: &'a mut S) -> StreamEncoder<'a, S> {
+        StreamEncoder {
+            encoder: self,
+            sink,
+            pending: TritVec::with_capacity(self.k),
+            stats: EncodeStats::default(),
+            source_len: 0,
+            prev_last: None,
+        }
+    }
+
+    /// Scalar per-symbol reference encoder, kept for differential testing
+    /// and as the baseline of the throughput benchmarks. Produces a stream
+    /// bit-identical to [`Encoder::encode_stream`].
+    #[doc(hidden)]
+    pub fn encode_stream_scalar(&self, stream: &TritVec) -> Encoded {
         let k = self.k;
         let source_len = stream.len();
         let padded_len = source_len.div_ceil(k) * k;
@@ -245,13 +344,14 @@ impl Encoder {
         // For power-aware selection: the value the scan chain last saw.
         let mut prev_last: Option<bool> = None;
         for start in (0..padded_len).step_by(k) {
-            let left = HalfClass::classify(
+            let block = stream.slice_view(start, start + k);
+            let left = HalfClass::classify_scalar(
                 (start..start + half).map(|i| stream.get(i).expect("in range")),
             );
-            let right = HalfClass::classify(
+            let right = HalfClass::classify_scalar(
                 (start + half..start + k).map(|i| stream.get(i).expect("in range")),
             );
-            let case = self.select_case(stream, start, left, right, prev_last);
+            let case = self.select_case(block, left, right, prev_last);
             stats.case_counts[case.index()] += 1;
             stats.blocks += 1;
             for bit in self.table.codeword(case).iter_bits() {
@@ -269,7 +369,7 @@ impl Encoder {
                     }
                 }
             }
-            prev_last = half_boundary_value(stream, start + half, half, rs, BlockEdge::Last);
+            prev_last = half_boundary_value(block, half, half, rs, BlockEdge::Last);
         }
         stats.encoded_bits = out.len() as u64;
         Encoded {
@@ -281,17 +381,14 @@ impl Encoder {
         }
     }
 
-    /// Compresses a test set as one stream, pattern after pattern — the
-    /// single-scan-chain arrangement of the paper's Figure 4(a).
-    pub fn encode_set(&self, set: &TestSet) -> Encoded {
-        self.encode_stream(set.as_stream())
-    }
-
     /// Picks the block's case under the configured selection policy.
-    fn select_case(
+    ///
+    /// `block` is the (possibly short, `X`-pad-implied) block slice;
+    /// allocation-free: candidates are filtered in two passes over the
+    /// fixed nine-case table.
+    pub(crate) fn select_case(
         &self,
-        stream: &TritVec,
-        start: usize,
+        block: TritSlice<'_>,
         left: HalfClass,
         right: HalfClass,
         prev_last: Option<bool>,
@@ -301,34 +398,166 @@ impl Encoder {
             CaseSelect::MinSize => 0,
             CaseSelect::PowerAware { max_extra_bits } => max_extra_bits,
         };
-        let mut candidates: Vec<(usize, Case)> = ALL_CASES
+        let feasible = |case: Case| {
+            let (ls, rs) = case.halves();
+            left.satisfies(ls) && right.satisfies(rs)
+        };
+        let best_cost = ALL_CASES
             .into_iter()
-            .filter(|case| {
-                let (ls, rs) = case.halves();
-                left.satisfies(ls) && right.satisfies(rs)
-            })
-            .map(|case| (self.table.block_bits(case, k), case))
-            .collect();
-        let best_cost = candidates
-            .iter()
-            .map(|(c, _)| *c)
+            .filter(|&c| feasible(c))
+            .map(|c| self.table.block_bits(c, k))
             .min()
             .expect("MM is always feasible");
-        candidates.retain(|(c, _)| *c <= best_cost + budget);
-        candidates
-            .into_iter()
-            .min_by_key(|&(cost, case)| {
-                let penalty = match self.select {
-                    CaseSelect::MinSize => 0,
-                    CaseSelect::PowerAware { .. } => {
-                        seam_transitions(stream, start, k, case, prev_last)
-                    }
-                };
-                (penalty, cost, case.index())
-            })
-            .map(|(_, case)| case)
-            .expect("candidate set is non-empty")
+        let mut best: Option<((usize, usize, usize), Case)> = None;
+        for case in ALL_CASES {
+            if !feasible(case) {
+                continue;
+            }
+            let cost = self.table.block_bits(case, k);
+            if cost > best_cost + budget {
+                continue;
+            }
+            let penalty = match self.select {
+                CaseSelect::MinSize => 0,
+                CaseSelect::PowerAware { .. } => seam_transitions(block, k, case, prev_last),
+            };
+            let key = (penalty, cost, case.index());
+            if best.is_none_or(|(b, _)| key < b) {
+                best = Some((key, case));
+            }
+        }
+        best.expect("candidate set is non-empty").1
     }
+}
+
+/// Totals collected by a [`StreamEncoder`] over its whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EncodeTotals {
+    /// Per-case counts and `|T_E|` bookkeeping.
+    pub stats: EncodeStats,
+    /// Symbols fed in total, `|T_D|`.
+    pub source_len: usize,
+}
+
+/// An in-progress streaming 9C encode (see [`Encoder::stream_encoder`]).
+///
+/// Holds at most one partial block (`< K` symbols) between
+/// [`feed`](StreamEncoder::feed) calls; everything else goes straight to
+/// the sink, so memory stays bounded no matter how long the stream is.
+#[derive(Debug)]
+pub struct StreamEncoder<'a, S: BitSink> {
+    encoder: &'a Encoder,
+    sink: &'a mut S,
+    pending: TritVec,
+    stats: EncodeStats,
+    source_len: usize,
+    prev_last: Option<bool>,
+}
+
+impl<S: BitSink> StreamEncoder<'_, S> {
+    /// Feeds the next chunk of the source stream.
+    ///
+    /// Whole blocks are classified word-parallel directly on the chunk's
+    /// packed planes; only a sub-block remainder (`< K` symbols) is
+    /// buffered for the next call.
+    pub fn feed(&mut self, mut chunk: TritSlice<'_>) {
+        let k = self.encoder.k;
+        self.source_len += chunk.len();
+        // Top up a pending partial block first.
+        if !self.pending.is_empty() {
+            let need = k - self.pending.len();
+            let take = need.min(chunk.len());
+            self.pending.extend_from_slice(chunk.subslice(0, take));
+            chunk = chunk.subslice(take, chunk.len());
+            if self.pending.len() == k {
+                encode_block(
+                    self.encoder,
+                    self.sink,
+                    &mut self.stats,
+                    &mut self.prev_last,
+                    self.pending.as_slice(),
+                );
+                self.pending.truncate(0);
+            } else {
+                return; // chunk exhausted inside the pending block
+            }
+        }
+        // Whole blocks straight off the chunk, no copies.
+        let whole = chunk.len() / k * k;
+        let mut start = 0;
+        while start < whole {
+            encode_block(
+                self.encoder,
+                self.sink,
+                &mut self.stats,
+                &mut self.prev_last,
+                chunk.subslice(start, start + k),
+            );
+            start += k;
+        }
+        // Buffer the remainder.
+        if whole < chunk.len() {
+            self.pending
+                .extend_from_slice(chunk.subslice(whole, chunk.len()));
+        }
+    }
+
+    /// Flushes the final partial block (implicitly padded with `X`) and
+    /// returns the run's totals.
+    pub fn finish(mut self) -> EncodeTotals {
+        if !self.pending.is_empty() {
+            encode_block(
+                self.encoder,
+                self.sink,
+                &mut self.stats,
+                &mut self.prev_last,
+                self.pending.as_slice(),
+            );
+        }
+        EncodeTotals {
+            stats: self.stats,
+            source_len: self.source_len,
+        }
+    }
+}
+
+/// Encodes one block given as a slice of `1 ..= K` symbols; symbols past
+/// `block.len()` are implicit `X` padding (they classify as compatible
+/// with everything, and pad positions inside a verbatim half are emitted
+/// as `X` and counted as leftover don't-cares).
+fn encode_block<S: BitSink>(
+    enc: &Encoder,
+    sink: &mut S,
+    stats: &mut EncodeStats,
+    prev_last: &mut Option<bool>,
+    block: TritSlice<'_>,
+) {
+    let k = enc.k;
+    let half = k / 2;
+    let len = block.len();
+    debug_assert!(len >= 1 && len <= k);
+    let left = HalfClass::classify_slice(block, 0, half.min(len));
+    let right = HalfClass::classify_slice(block, half.min(len), len);
+    let case = enc.select_case(block, left, right, *prev_last);
+    stats.case_counts[case.index()] += 1;
+    stats.blocks += 1;
+    stats.encoded_bits += enc.table.block_bits(case, k) as u64;
+    for bit in enc.table.codeword(case).iter_bits() {
+        sink.push_bit(bit);
+    }
+    let (ls, rs) = case.halves();
+    for (spec, offset) in [(ls, 0), (rs, half)] {
+        if spec == HalfSpec::Mismatch {
+            let from = offset.min(len);
+            let to = (offset + half).min(len);
+            let sub = block.subslice(from, to);
+            let pad = half - (to - from);
+            stats.leftover_x += (sub.count_x() + pad) as u64;
+            sink.push_slice(sub);
+            sink.push_run(Trit::X, pad);
+        }
+    }
+    *prev_last = half_boundary_value(block, half, half, rs, BlockEdge::Last);
 }
 
 /// Which edge of a half to inspect.
@@ -340,8 +569,9 @@ enum BlockEdge {
 
 /// The concrete value a half presents at one of its edges after decoding,
 /// or `None` when it is data-dependent (an `X` in a verbatim payload).
+/// Positions past `block.len()` are implicit pad `X` (also `None`).
 fn half_boundary_value(
-    stream: &TritVec,
+    block: TritSlice<'_>,
     half_start: usize,
     half: usize,
     spec: HalfSpec,
@@ -355,25 +585,23 @@ fn half_boundary_value(
                 BlockEdge::First => half_start,
                 BlockEdge::Last => half_start + half - 1,
             };
-            stream.get(idx).and_then(Trit::value)
+            if idx < block.len() {
+                block.get(idx).and_then(Trit::value)
+            } else {
+                None
+            }
         }
     }
 }
 
 /// Transitions a case introduces at the previous-block seam and the
 /// half-to-half seam (only seams whose two sides are both known count).
-fn seam_transitions(
-    stream: &TritVec,
-    start: usize,
-    k: usize,
-    case: Case,
-    prev_last: Option<bool>,
-) -> usize {
+fn seam_transitions(block: TritSlice<'_>, k: usize, case: Case, prev_last: Option<bool>) -> usize {
     let half = k / 2;
     let (ls, rs) = case.halves();
-    let left_first = half_boundary_value(stream, start, half, ls, BlockEdge::First);
-    let left_last = half_boundary_value(stream, start, half, ls, BlockEdge::Last);
-    let right_first = half_boundary_value(stream, start + half, half, rs, BlockEdge::First);
+    let left_first = half_boundary_value(block, 0, half, ls, BlockEdge::First);
+    let left_last = half_boundary_value(block, 0, half, ls, BlockEdge::Last);
+    let right_first = half_boundary_value(block, half, half, rs, BlockEdge::First);
     let seam = |a: Option<bool>, b: Option<bool>| matches!((a, b), (Some(x), Some(y)) if x != y);
     seam(prev_last, left_first) as usize + seam(left_last, right_first) as usize
 }
@@ -459,7 +687,9 @@ mod tests {
         let e = enc(16, &"X".repeat(160));
         assert!(e.compression_ratio() > 90.0);
         // Incompressible: alternating cares -> every block MM, CR < 0.
-        let s: String = std::iter::repeat("01").take(40).flat_map(|x| x.chars()).collect();
+        let s: String = std::iter::repeat_n("01", 40)
+            .flat_map(|x| x.chars())
+            .collect();
         let e = enc(8, &s);
         assert!(e.compression_ratio() < 0.0);
     }
@@ -485,6 +715,60 @@ mod tests {
         assert_eq!(e.compressed_len(), 0);
         assert_eq!(e.compression_ratio(), 0.0);
         assert_eq!(e.stats().blocks, 0);
+    }
+
+    #[test]
+    fn chunked_feed_is_invisible() {
+        let src: TritVec = "0X0X01X001X0101X111111110000X1111X0".parse().unwrap();
+        let one_shot = Encoder::new(8).unwrap().encode_stream(&src);
+        for chunk in [1usize, 3, 7, 8, 64] {
+            let chunked = Encoder::new(8).unwrap().encode_chunked(src.chunks(chunk));
+            assert_eq!(chunked, one_shot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn scalar_reference_is_bit_identical() {
+        let src: TritVec = "0X0X01X001X0101X111111110000X111XXXXXXXX01"
+            .parse()
+            .unwrap();
+        for k in [4usize, 8, 16, 32] {
+            let word = Encoder::new(k).unwrap().encode_stream(&src);
+            let scalar = Encoder::new(k).unwrap().encode_stream_scalar(&src);
+            assert_eq!(word, scalar, "K={k}");
+        }
+    }
+
+    #[test]
+    fn counting_sink_sizes_without_buffering() {
+        use crate::stream::BitCounter;
+        let src: TritVec = "0X0X01X001X0101X1111111100".parse().unwrap();
+        let enc = Encoder::new(8).unwrap();
+        let mut counter = BitCounter::default();
+        let mut se = enc.stream_encoder(&mut counter);
+        se.feed(src.as_slice());
+        let totals = se.finish();
+        let full = enc.encode_stream(&src);
+        assert_eq!(counter.bits(), full.compressed_len() as u64);
+        assert_eq!(totals.stats, *full.stats());
+        assert_eq!(totals.stats.encoded_bits, counter.bits());
+    }
+
+    #[test]
+    fn streaming_buffer_stays_sub_block() {
+        // Feed one symbol at a time; the pending buffer must never reach K.
+        let src: TritVec = "01X0101X0X0X01X011111111".parse().unwrap();
+        let mut out = TritVec::new();
+        let enc = Encoder::new(8).unwrap();
+        let mut se = enc.stream_encoder(&mut out);
+        for chunk in src.chunks(1) {
+            se.feed(chunk);
+            assert!(se.pending.len() < 8, "pending {} >= K", se.pending.len());
+        }
+        let totals = se.finish();
+        let full = enc.encode_stream(&src);
+        assert_eq!(&out, full.stream());
+        assert_eq!(totals.source_len, src.len());
     }
 
     #[test]
@@ -524,7 +808,9 @@ mod tests {
             let default = Encoder::new(8).unwrap().encode_set(&ts);
             let quiet = Encoder::new(8)
                 .unwrap()
-                .with_case_select(CaseSelect::PowerAware { max_extra_bits: budget })
+                .with_case_select(CaseSelect::PowerAware {
+                    max_extra_bits: budget,
+                })
                 .encode_set(&ts);
             let extra = quiet.compressed_len() as i64 - default.compressed_len() as i64;
             assert!(extra >= 0);
@@ -551,9 +837,14 @@ mod tests {
         use ninec_testdata::power::wtm;
         let ts = SyntheticProfile::new("pwr", 30, 128, 0.8).generate(8);
         let measure = |select: CaseSelect| {
-            let enc = Encoder::new(8).unwrap().with_case_select(select).encode_set(&ts);
+            let enc = Encoder::new(8)
+                .unwrap()
+                .with_case_select(select)
+                .encode_set(&ts);
             let dec = crate::decode::decode(&enc).unwrap();
-            wtm(&fill_trits(&dec, FillStrategy::MinTransition).to_bitvec().unwrap())
+            wtm(&fill_trits(&dec, FillStrategy::MinTransition)
+                .to_bitvec()
+                .unwrap())
         };
         let default = measure(CaseSelect::MinSize);
         let quiet = measure(CaseSelect::PowerAware { max_extra_bits: 2 });

@@ -8,7 +8,7 @@
 //! compression with the same decoder structure.
 
 use crate::code::{CodeTable, PAPER_LENGTHS};
-use crate::encode::{Encoded, EncodeStats, Encoder, InvalidBlockSize};
+use crate::encode::{EncodeStats, Encoded, Encoder, InvalidBlockSize};
 use ninec_testdata::trit::TritVec;
 
 /// Builds a code table whose shortest codewords go to the most frequent
@@ -82,7 +82,10 @@ pub fn encode_frequency_directed(
     let baseline = Encoder::new(k)?.encode_stream(stream);
     let table = frequency_directed_table(baseline.stats());
     let reassigned = Encoder::with_table(k, table)?.encode_stream(stream);
-    Ok(FreqDirectedOutcome { baseline, reassigned })
+    Ok(FreqDirectedOutcome {
+        baseline,
+        reassigned,
+    })
 }
 
 #[cfg(test)]
@@ -93,8 +96,10 @@ mod tests {
 
     #[test]
     fn default_frequencies_reproduce_paper_table() {
-        let mut stats = EncodeStats::default();
-        stats.case_counts = [900, 300, 10, 10, 5, 5, 5, 5, 100];
+        let stats = EncodeStats {
+            case_counts: [900, 300, 10, 10, 5, 5, 5, 5, 100],
+            ..Default::default()
+        };
         let t = frequency_directed_table(&stats);
         assert_eq!(t.lengths(), PAPER_LENGTHS);
     }

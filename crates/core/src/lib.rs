@@ -14,7 +14,12 @@
 //!
 //! - [`code`] — the nine cases and the prefix code table;
 //! - [`block`] — half/block classification and greedy case selection;
-//! - [`mod@encode`] / [`mod@decode`] — the codec;
+//! - [`mod@encode`] / [`mod@decode`] — the codec, word-parallel on the
+//!   packed care/value planes, with streaming entry points
+//!   ([`encode::StreamEncoder`], [`decode::StreamDecoder`]) that hold only
+//!   `O(K)` state between chunks;
+//! - [`stream`] — the [`stream::BitSink`] / [`stream::BitSource`]
+//!   abstractions the streaming codec reads and writes;
 //! - [`analysis`] — compression-ratio and test-application-time models;
 //! - [`freqdir`] — frequency-directed codeword reassignment (Table VII);
 //! - [`multiscan`] — vertical data arrangement for `m` scan chains
@@ -49,8 +54,10 @@ pub mod decode;
 pub mod encode;
 pub mod freqdir;
 pub mod multiscan;
+pub mod stream;
 
 pub use analysis::{CompressionReport, TatModel};
 pub use code::{Case, CodeTable};
-pub use decode::{decode, decode_bits, DecodeError};
-pub use encode::{CaseSelect, Encoded, EncodeStats, Encoder};
+pub use decode::{decode, decode_bits, DecodeError, StreamDecoder};
+pub use encode::{CaseSelect, EncodeStats, EncodeTotals, Encoded, Encoder, StreamEncoder};
+pub use stream::{BitCounter, BitSink, BitSource};

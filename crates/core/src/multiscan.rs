@@ -99,7 +99,11 @@ impl ScanChains {
     ///
     /// Panics if `vertical.len() != self.padded_len()`.
     pub fn horizontal_pattern(&self, vertical: &TritVec) -> TritVec {
-        assert_eq!(vertical.len(), self.padded_len(), "vertical length mismatch");
+        assert_eq!(
+            vertical.len(),
+            self.padded_len(),
+            "vertical length mismatch"
+        );
         let mut out = TritVec::with_capacity(self.pattern_len);
         for idx in 0..self.pattern_len {
             let (c, j) = (idx / self.chain_len, idx % self.chain_len);
@@ -115,7 +119,11 @@ impl ScanChains {
     ///
     /// Panics if `set.pattern_len() != self.pattern_len()`.
     pub fn vertical_stream(&self, set: &TestSet) -> TritVec {
-        assert_eq!(set.pattern_len(), self.pattern_len, "test set length mismatch");
+        assert_eq!(
+            set.pattern_len(),
+            self.pattern_len,
+            "test set length mismatch"
+        );
         let mut out = TritVec::with_capacity(set.num_patterns() * self.padded_len());
         for p in set.patterns() {
             out.extend_from_tritvec(&self.vertical_pattern(&p));
@@ -130,7 +138,11 @@ impl ScanChains {
     /// Panics if the stream is not a whole number of vertical patterns.
     pub fn horizontal_set(&self, vertical: &TritVec) -> TestSet {
         let per = self.padded_len();
-        assert_eq!(vertical.len() % per, 0, "stream is not whole vertical patterns");
+        assert_eq!(
+            vertical.len() % per,
+            0,
+            "stream is not whole vertical patterns"
+        );
         let mut ts = TestSet::new(self.pattern_len);
         for start in (0..vertical.len()).step_by(per) {
             let v = vertical.slice(start, start + per);
@@ -165,7 +177,7 @@ pub fn encode_multiscan(
     m: usize,
     k: usize,
 ) -> Result<Encoded, MultiScanEncodeError> {
-    if m % k != 0 {
+    if !m.is_multiple_of(k) {
         return Err(MultiScanEncodeError::BlockDoesNotDivideChains { k, m });
     }
     let chains = ScanChains::new(set.pattern_len(), m).map_err(MultiScanEncodeError::Chains)?;

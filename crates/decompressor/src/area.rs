@@ -89,16 +89,28 @@ pub fn decoder_fsm() -> Fsm {
             P11 => (if data { P111 } else { P110 }, 0),
             P110 => (if data { P1101 } else { left_state(Case::MM) }, 0),
             P1101 => (
-                if data { left_state(Case::OZ) } else { left_state(Case::ZO) },
+                if data {
+                    left_state(Case::OZ)
+                } else {
+                    left_state(Case::ZO)
+                },
                 0,
             ),
             P111 => (if data { P1111 } else { P1110 }, 0),
             P1110 => (
-                if data { left_state(Case::MZ) } else { left_state(Case::ZM) },
+                if data {
+                    left_state(Case::MZ)
+                } else {
+                    left_state(Case::ZM)
+                },
                 0,
             ),
             P1111 => (
-                if data { left_state(Case::MO) } else { left_state(Case::OM) },
+                if data {
+                    left_state(Case::MO)
+                } else {
+                    left_state(Case::OM)
+                },
                 0,
             ),
             // --- Left-half execution: hold until the counter says Done.
@@ -173,7 +185,10 @@ impl fmt::Display for DecoderArea {
 ///
 /// Panics unless `k` is even and at least 4.
 pub fn decoder_area(k: usize) -> DecoderArea {
-    assert!(k >= 4 && k % 2 == 0, "block size must be even and >= 4, got {k}");
+    assert!(
+        k >= 4 && k.is_multiple_of(2),
+        "block size must be even and >= 4, got {k}"
+    );
     let counter_bits = (usize::BITS - (k / 2 - 1).leading_zeros()).max(1) as f64;
     DecoderArea {
         k,

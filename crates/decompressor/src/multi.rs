@@ -61,7 +61,10 @@ impl MultiScanDecoder {
     ///
     /// Panics unless `k` is valid for 9C and divides `m`.
     pub fn new(k: usize, m: usize, table: CodeTable, clocks: ClockRatio) -> Self {
-        assert!(m > 0 && m % k == 0, "block size {k} must divide chain count {m}");
+        assert!(
+            m > 0 && m.is_multiple_of(k),
+            "block size {k} must divide chain count {m}"
+        );
         Self {
             k,
             m,
@@ -85,7 +88,11 @@ impl MultiScanDecoder {
     /// # Errors
     ///
     /// See [`DecompressError`].
-    pub fn run(&self, ate_bits: &BitVec, reference: &TestSet) -> Result<MultiScanTrace, DecompressError> {
+    pub fn run(
+        &self,
+        ate_bits: &BitVec,
+        reference: &TestSet,
+    ) -> Result<MultiScanTrace, DecompressError> {
         let chains = ScanChains::new(reference.pattern_len(), self.m)
             .expect("chain count validated against the reference set");
         let vertical_len = reference.num_patterns() * chains.padded_len();

@@ -92,7 +92,7 @@ impl ParallelDecoders {
     /// Returns [`InvalidGeometry`] unless `k` is a valid 9C block size
     /// dividing `m`.
     pub fn new(k: usize, m: usize, clocks: ClockRatio) -> Result<Self, InvalidGeometry> {
-        if k < 4 || k % 2 != 0 || m == 0 || m % k != 0 {
+        if k < 4 || !k.is_multiple_of(2) || m == 0 || !m.is_multiple_of(k) {
             return Err(InvalidGeometry { k, m });
         }
         Ok(Self { k, m, clocks })

@@ -123,7 +123,10 @@ impl SingleScanDecoder {
     ///
     /// Panics unless `k` is even and at least 4.
     pub fn new(k: usize, table: CodeTable, clocks: ClockRatio) -> Self {
-        assert!(k >= 4 && k % 2 == 0, "block size must be even and >= 4, got {k}");
+        assert!(
+            k >= 4 && k.is_multiple_of(2),
+            "block size must be even and >= 4, got {k}"
+        );
         Self { k, table, clocks }
     }
 
@@ -137,7 +140,11 @@ impl SingleScanDecoder {
     /// # Errors
     ///
     /// See [`DecompressError`].
-    pub fn run(&self, ate_bits: &BitVec, out_len: usize) -> Result<DecompressionTrace, DecompressError> {
+    pub fn run(
+        &self,
+        ate_bits: &BitVec,
+        out_len: usize,
+    ) -> Result<DecompressionTrace, DecompressError> {
         let mut ate = AteChannel::new(ate_bits.clone());
         let mut trace = DecompressionTrace {
             scan_out: BitVec::with_capacity(out_len + self.k),
@@ -162,7 +169,9 @@ impl SingleScanDecoder {
                 trace.ate_bits += 1;
                 acc.push(bit);
                 if acc.len() > 16 {
-                    return Err(DecompressError::BadCodeword { offset: start_offset });
+                    return Err(DecompressError::BadCodeword {
+                        offset: start_offset,
+                    });
                 }
                 if let Some((case, used)) = self.table.match_at(|i| acc.get(i).copied()) {
                     debug_assert_eq!(used, acc.len());

@@ -31,15 +31,32 @@ pub fn fsm_verilog() -> String {
     let fsm = decoder_fsm();
     let sbits = fsm.state_bits();
     let mut v = String::new();
-    writeln!(v, "// 9C decoder control FSM — generated from the verified table.").unwrap();
-    writeln!(v, "// {} states, inputs: data_in (serial codeword/payload), done (counter).", fsm.num_states()).unwrap();
+    writeln!(
+        v,
+        "// 9C decoder control FSM — generated from the verified table."
+    )
+    .unwrap();
+    writeln!(
+        v,
+        "// {} states, inputs: data_in (serial codeword/payload), done (counter).",
+        fsm.num_states()
+    )
+    .unwrap();
     writeln!(v, "module ninec_decoder_fsm (").unwrap();
     writeln!(v, "    input  wire clk,").unwrap();
     writeln!(v, "    input  wire rst_n,").unwrap();
-    writeln!(v, "    input  wire step,      // advance on codeword-bit arrival or count tick").unwrap();
+    writeln!(
+        v,
+        "    input  wire step,      // advance on codeword-bit arrival or count tick"
+    )
+    .unwrap();
     writeln!(v, "    input  wire data_in,").unwrap();
     writeln!(v, "    input  wire done,").unwrap();
-    writeln!(v, "    output wire [1:0] sel, // 00: const 0, 01: const 1, 10: shifter data").unwrap();
+    writeln!(
+        v,
+        "    output wire [1:0] sel, // 00: const 0, 01: const 1, 10: shifter data"
+    )
+    .unwrap();
     writeln!(v, "    output wire cnt_en,").unwrap();
     writeln!(v, "    output wire ack").unwrap();
     writeln!(v, ");").unwrap();
@@ -68,7 +85,11 @@ pub fn fsm_verilog() -> String {
             .unwrap();
         }
     }
-    writeln!(v, "            default: begin state_next = {sbits}'d0; outs = 4'b0000; end").unwrap();
+    writeln!(
+        v,
+        "            default: begin state_next = {sbits}'d0; outs = 4'b0000; end"
+    )
+    .unwrap();
     writeln!(v, "        endcase").unwrap();
     writeln!(v, "    end").unwrap();
     writeln!(v).unwrap();
@@ -96,20 +117,39 @@ pub fn fsm_verilog() -> String {
 /// assert!(rtl.contains("ninec_decoder_fsm"));
 /// ```
 pub fn decoder_verilog(k: usize) -> String {
-    assert!(k >= 4 && k % 2 == 0, "block size must be even and >= 4, got {k}");
+    assert!(
+        k >= 4 && k.is_multiple_of(2),
+        "block size must be even and >= 4, got {k}"
+    );
     let half = k / 2;
     let cbits = (usize::BITS - (half - 1).leading_zeros()).max(1) as usize;
     let mut v = fsm_verilog();
     writeln!(v).unwrap();
-    writeln!(v, "// 9C single-scan decoder for K = {k} (Figure 1 of the paper).").unwrap();
-    writeln!(v, "// data_in carries codeword bits and verbatim payload; scan_out feeds").unwrap();
+    writeln!(
+        v,
+        "// 9C single-scan decoder for K = {k} (Figure 1 of the paper)."
+    )
+    .unwrap();
+    writeln!(
+        v,
+        "// data_in carries codeword bits and verbatim payload; scan_out feeds"
+    )
+    .unwrap();
     writeln!(v, "// the scan chain at the SoC scan clock.").unwrap();
     writeln!(v, "module ninec_decoder_k{k} (").unwrap();
     writeln!(v, "    input  wire clk,          // SoC scan clock").unwrap();
     writeln!(v, "    input  wire rst_n,").unwrap();
-    writeln!(v, "    input  wire ate_strobe,   // pulses when an ATE bit is valid").unwrap();
+    writeln!(
+        v,
+        "    input  wire ate_strobe,   // pulses when an ATE bit is valid"
+    )
+    .unwrap();
     writeln!(v, "    input  wire data_in,").unwrap();
-    writeln!(v, "    output wire ack,          // request the next codeword").unwrap();
+    writeln!(
+        v,
+        "    output wire ack,          // request the next codeword"
+    )
+    .unwrap();
     writeln!(v, "    output wire scan_en,").unwrap();
     writeln!(v, "    output wire scan_out").unwrap();
     writeln!(v, ");").unwrap();
@@ -120,7 +160,11 @@ pub fn decoder_verilog(k: usize) -> String {
     writeln!(v, "    wire done = cnt == {cbits}'d{};", half - 1).unwrap();
     writeln!(v, "    reg  [{}:0] shifter;", half - 1).unwrap();
     writeln!(v).unwrap();
-    writeln!(v, "    // Control: steps on ATE bits while parsing/receiving, on every").unwrap();
+    writeln!(
+        v,
+        "    // Control: steps on ATE bits while parsing/receiving, on every"
+    )
+    .unwrap();
     writeln!(v, "    // scan tick while emitting.").unwrap();
     writeln!(v, "    wire step = cnt_en | ate_strobe;").unwrap();
     writeln!(v, "    ninec_decoder_fsm fsm (").unwrap();
@@ -137,17 +181,40 @@ pub fn decoder_verilog(k: usize) -> String {
     writeln!(v, "        else             cnt <= cnt + {cbits}'d1;").unwrap();
     writeln!(v, "    end").unwrap();
     writeln!(v).unwrap();
-    writeln!(v, "    // K/2-bit payload shifter: fills from the ATE, drains to the chain.").unwrap();
+    writeln!(
+        v,
+        "    // K/2-bit payload shifter: fills from the ATE, drains to the chain."
+    )
+    .unwrap();
     writeln!(v, "    always @(posedge clk) begin").unwrap();
     writeln!(v, "        if (ate_strobe)").unwrap();
-    writeln!(v, "            shifter <= {{shifter[{}:0], data_in}};", half - 2).unwrap();
+    writeln!(
+        v,
+        "            shifter <= {{shifter[{}:0], data_in}};",
+        half - 2
+    )
+    .unwrap();
     writeln!(v, "        else if (cnt_en && sel == 2'b10)").unwrap();
-    writeln!(v, "            shifter <= {{shifter[{}:0], 1'b0}};", half - 2).unwrap();
+    writeln!(
+        v,
+        "            shifter <= {{shifter[{}:0], 1'b0}};",
+        half - 2
+    )
+    .unwrap();
     writeln!(v, "    end").unwrap();
     writeln!(v).unwrap();
-    writeln!(v, "    // Output MUX (constant 0 / constant 1 / shifter MSB).").unwrap();
+    writeln!(
+        v,
+        "    // Output MUX (constant 0 / constant 1 / shifter MSB)."
+    )
+    .unwrap();
     writeln!(v, "    assign scan_out = sel == 2'b01 ? 1'b1").unwrap();
-    writeln!(v, "                    : sel == 2'b10 ? shifter[{}]", half - 1).unwrap();
+    writeln!(
+        v,
+        "                    : sel == 2'b10 ? shifter[{}]",
+        half - 1
+    )
+    .unwrap();
     writeln!(v, "                    : 1'b0;").unwrap();
     writeln!(v, "    assign scan_en  = cnt_en;").unwrap();
     writeln!(v, "endmodule").unwrap();
@@ -169,10 +236,17 @@ pub fn testbench_verilog(
     ate_bits: &ninec_testdata::bits::BitVec,
     expected: &ninec_testdata::bits::BitVec,
 ) -> String {
-    assert!(k >= 4 && k % 2 == 0, "block size must be even and >= 4, got {k}");
+    assert!(
+        k >= 4 && k.is_multiple_of(2),
+        "block size must be even and >= 4, got {k}"
+    );
     assert!(p > 0, "clock ratio must be positive");
     let mut v = String::new();
-    writeln!(v, "// Self-checking testbench for ninec_decoder_k{k} (p = {p}).").unwrap();
+    writeln!(
+        v,
+        "// Self-checking testbench for ninec_decoder_k{k} (p = {p})."
+    )
+    .unwrap();
     writeln!(v, "// Generated from the cycle-accurate reference model.").unwrap();
     writeln!(v, "`timescale 1ns/1ps").unwrap();
     writeln!(v, "module ninec_decoder_k{k}_tb;").unwrap();
@@ -184,12 +258,32 @@ pub fn testbench_verilog(
     writeln!(v).unwrap();
     writeln!(v, "    localparam ATE_BITS = {};", ate_bits.len()).unwrap();
     writeln!(v, "    localparam SCAN_BITS = {};", expected.len()).unwrap();
-    writeln!(v, "    reg [0:ATE_BITS-1] stimulus = {}'b{};", ate_bits.len(), ate_bits).unwrap();
-    writeln!(v, "    reg [0:SCAN_BITS-1] expected = {}'b{};", expected.len(), expected).unwrap();
+    writeln!(
+        v,
+        "    reg [0:ATE_BITS-1] stimulus = {}'b{};",
+        ate_bits.len(),
+        ate_bits
+    )
+    .unwrap();
+    writeln!(
+        v,
+        "    reg [0:SCAN_BITS-1] expected = {}'b{};",
+        expected.len(),
+        expected
+    )
+    .unwrap();
     writeln!(v).unwrap();
     writeln!(v, "    ninec_decoder_k{k} dut (").unwrap();
-    writeln!(v, "        .clk(clk), .rst_n(rst_n), .ate_strobe(ate_strobe),").unwrap();
-    writeln!(v, "        .data_in(data_in), .ack(ack), .scan_en(scan_en),").unwrap();
+    writeln!(
+        v,
+        "        .clk(clk), .rst_n(rst_n), .ate_strobe(ate_strobe),"
+    )
+    .unwrap();
+    writeln!(
+        v,
+        "        .data_in(data_in), .ack(ack), .scan_en(scan_en),"
+    )
+    .unwrap();
     writeln!(v, "        .scan_out(scan_out)").unwrap();
     writeln!(v, "    );").unwrap();
     writeln!(v).unwrap();
@@ -199,10 +293,18 @@ pub fn testbench_verilog(
     writeln!(v, "    integer scan_pos = 0;").unwrap();
     writeln!(v, "    integer errors = 0;").unwrap();
     writeln!(v).unwrap();
-    writeln!(v, "    // Serve one ATE bit every {p} SoC clocks while the decoder wants data.").unwrap();
+    writeln!(
+        v,
+        "    // Serve one ATE bit every {p} SoC clocks while the decoder wants data."
+    )
+    .unwrap();
     writeln!(v, "    integer phase = 0;").unwrap();
     writeln!(v, "    always @(negedge clk) begin").unwrap();
-    writeln!(v, "        if (rst_n && !scan_en && ate_pos < ATE_BITS) begin").unwrap();
+    writeln!(
+        v,
+        "        if (rst_n && !scan_en && ate_pos < ATE_BITS) begin"
+    )
+    .unwrap();
     writeln!(v, "            phase = phase + 1;").unwrap();
     writeln!(v, "            if (phase >= {p}) begin").unwrap();
     writeln!(v, "                phase = 0;").unwrap();
@@ -213,19 +315,43 @@ pub fn testbench_verilog(
     writeln!(v, "        end else ate_strobe <= 0;").unwrap();
     writeln!(v, "    end").unwrap();
     writeln!(v).unwrap();
-    writeln!(v, "    // Check every scanned bit against the reference model.").unwrap();
+    writeln!(
+        v,
+        "    // Check every scanned bit against the reference model."
+    )
+    .unwrap();
     writeln!(v, "    always @(posedge clk) begin").unwrap();
-    writeln!(v, "        if (rst_n && scan_en && scan_pos < SCAN_BITS) begin").unwrap();
+    writeln!(
+        v,
+        "        if (rst_n && scan_en && scan_pos < SCAN_BITS) begin"
+    )
+    .unwrap();
     writeln!(v, "            if (scan_out !== expected[scan_pos]) begin").unwrap();
-    writeln!(v, "                $display(\"MISMATCH at scan bit %0d: got %b want %b\",").unwrap();
-    writeln!(v, "                         scan_pos, scan_out, expected[scan_pos]);").unwrap();
+    writeln!(
+        v,
+        "                $display(\"MISMATCH at scan bit %0d: got %b want %b\","
+    )
+    .unwrap();
+    writeln!(
+        v,
+        "                         scan_pos, scan_out, expected[scan_pos]);"
+    )
+    .unwrap();
     writeln!(v, "                errors = errors + 1;").unwrap();
     writeln!(v, "            end").unwrap();
     writeln!(v, "            scan_pos = scan_pos + 1;").unwrap();
     writeln!(v, "        end").unwrap();
     writeln!(v, "        if (scan_pos == SCAN_BITS) begin").unwrap();
-    writeln!(v, "            if (errors == 0) $display(\"PASS: %0d scan bits verified\", scan_pos);").unwrap();
-    writeln!(v, "            else $display(\"FAIL: %0d mismatches\", errors);").unwrap();
+    writeln!(
+        v,
+        "            if (errors == 0) $display(\"PASS: %0d scan bits verified\", scan_pos);"
+    )
+    .unwrap();
+    writeln!(
+        v,
+        "            else $display(\"FAIL: %0d mismatches\", errors);"
+    )
+    .unwrap();
     writeln!(v, "            $finish;").unwrap();
     writeln!(v, "        end").unwrap();
     writeln!(v, "    end").unwrap();
@@ -248,12 +374,16 @@ pub fn lint(rtl: &str) -> Result<(), String> {
         .count();
     let m_close = rtl.matches("endmodule").count();
     if m_open != m_close {
-        return Err(format!("unbalanced modules: {m_open} module vs {m_close} endmodule"));
+        return Err(format!(
+            "unbalanced modules: {m_open} module vs {m_close} endmodule"
+        ));
     }
     let begins = rtl.matches("begin").count();
     let ends = rtl
         .lines()
-        .map(|l| l.matches("end").count() - l.matches("endcase").count() - l.matches("endmodule").count())
+        .map(|l| {
+            l.matches("end").count() - l.matches("endcase").count() - l.matches("endmodule").count()
+        })
         .sum::<usize>();
     if begins != ends {
         return Err(format!("unbalanced begin/end: {begins} vs {ends}"));
@@ -299,7 +429,10 @@ mod tests {
             let rtl = decoder_verilog(k);
             assert!(rtl.contains(&format!("module ninec_decoder_k{k}")));
             assert!(rtl.contains(&format!("reg  [{cnt_msb}:0] cnt;")), "k={k}");
-            assert!(rtl.contains(&format!("reg  [{shift_msb}:0] shifter;")), "k={k}");
+            assert!(
+                rtl.contains(&format!("reg  [{shift_msb}:0] shifter;")),
+                "k={k}"
+            );
             lint(&rtl).unwrap();
         }
     }

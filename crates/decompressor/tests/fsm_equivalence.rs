@@ -56,8 +56,8 @@ fn synthesized_decoder_fsm_equals_behavioral_table() {
             let outs = eval(&circuit, vector);
             // Next-state bits.
             let mut next = 0usize;
-            for bit in 0..sbits {
-                if outs[bit] {
+            for (bit, &out) in outs.iter().enumerate().take(sbits) {
+                if out {
                     next |= 1 << bit;
                 }
             }

@@ -26,12 +26,18 @@ pub struct StuckFault {
 impl StuckFault {
     /// Stuck-at-0 on `net`.
     pub fn sa0(net: NetId) -> Self {
-        Self { net, stuck_at_one: false }
+        Self {
+            net,
+            stuck_at_one: false,
+        }
     }
 
     /// Stuck-at-1 on `net`.
     pub fn sa1(net: NetId) -> Self {
-        Self { net, stuck_at_one: true }
+        Self {
+            net,
+            stuck_at_one: true,
+        }
     }
 }
 
@@ -88,11 +94,11 @@ pub fn collapsed_faults(circuit: &Circuit) -> Vec<StuckFault> {
         }
     }
     let mut out = Vec::new();
-    for net in 0..n {
-        if keep[net][0] {
+    for (net, k) in keep.iter().enumerate() {
+        if k[0] {
             out.push(StuckFault::sa0(net));
         }
-        if keep[net][1] {
+        if k[1] {
             out.push(StuckFault::sa1(net));
         }
     }

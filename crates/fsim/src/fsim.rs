@@ -111,11 +111,7 @@ impl fmt::Display for FaultSimResult {
 /// assert_eq!(result.coverage_percent(), 100.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn fault_simulate(
-    circuit: &Circuit,
-    set: &TestSet,
-    faults: &[StuckFault],
-) -> FaultSimResult {
+pub fn fault_simulate(circuit: &Circuit, set: &TestSet, faults: &[StuckFault]) -> FaultSimResult {
     let view = circuit.scan_view();
     assert_eq!(
         set.pattern_len(),
@@ -211,12 +207,7 @@ pub fn fault_coverage(circuit: &Circuit, set: &TestSet) -> f64 {
 /// assert!(counts.iter().any(|&c| c >= 2));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn n_detect(
-    circuit: &Circuit,
-    set: &TestSet,
-    faults: &[StuckFault],
-    n_cap: u32,
-) -> Vec<u32> {
+pub fn n_detect(circuit: &Circuit, set: &TestSet, faults: &[StuckFault], n_cap: u32) -> Vec<u32> {
     assert!(n_cap > 0, "n_cap must be positive");
     let view = circuit.scan_view();
     assert_eq!(
@@ -281,11 +272,18 @@ mod tests {
         let faults = collapsed_faults(&c17);
         let mut ts = TestSet::new(5);
         for v in 0..32u32 {
-            let bits: String = (0..5).map(|b| if v >> b & 1 == 1 { '1' } else { '0' }).collect();
+            let bits: String = (0..5)
+                .map(|b| if v >> b & 1 == 1 { '1' } else { '0' })
+                .collect();
             ts.push_pattern(&bits.parse().unwrap()).unwrap();
         }
         let r = fault_simulate(&c17, &ts, &faults);
-        assert_eq!(r.detected(), r.total_faults, "undetected: {:?}", r.undetected_indices());
+        assert_eq!(
+            r.detected(),
+            r.total_faults,
+            "undetected: {:?}",
+            r.undetected_indices()
+        );
         assert_eq!(r.coverage_percent(), 100.0);
     }
 
@@ -295,7 +293,11 @@ mod tests {
         let faults = all_faults(&c17);
         let all_x = TestSet::from_patterns(5, ["XXXXX"]).unwrap();
         let r = fault_simulate(&c17, &all_x, &faults);
-        assert_eq!(r.detected(), 0, "all-X cube cannot definitely detect anything");
+        assert_eq!(
+            r.detected(),
+            0,
+            "all-X cube cannot definitely detect anything"
+        );
     }
 
     #[test]
@@ -326,7 +328,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut ts = TestSet::new(7);
         for _ in 0..64 {
-            let bits: String = (0..7).map(|_| if rng.gen_bool(0.5) { '1' } else { '0' }).collect();
+            let bits: String = (0..7)
+                .map(|_| if rng.gen_bool(0.5) { '1' } else { '0' })
+                .collect();
             ts.push_pattern(&bits.parse().unwrap()).unwrap();
         }
         let cov = fault_coverage(&s27, &ts);
@@ -365,7 +369,7 @@ mod tests {
         }
         let counts = n_detect(&c17, &ts, &faults, 4);
         assert!(counts.iter().all(|&c| c <= 4));
-        assert!(counts.iter().any(|&c| c == 4));
+        assert!(counts.contains(&4));
     }
 
     #[test]
@@ -390,7 +394,9 @@ mod tests {
         let faults = collapsed_faults(&s27);
         let ts = TestSet::from_patterns(
             7,
-            ["1XXXXXX", "X0XXXXX", "XX1XXXX", "XXX0XXX", "XXXX1XX", "XXXXX0X", "XXXXXX1"],
+            [
+                "1XXXXXX", "X0XXXXX", "XX1XXXX", "XXX0XXX", "XXXX1XX", "XXXXX0X", "XXXXXX1",
+            ],
         )
         .unwrap();
         // Zero fill: repetition yields the identical pattern set.

@@ -38,12 +38,18 @@ impl Word3 {
 
     /// All lanes 0.
     pub fn splat_zero() -> Self {
-        Self { ones: 0, zeros: u64::MAX }
+        Self {
+            ones: 0,
+            zeros: u64::MAX,
+        }
     }
 
     /// All lanes 1.
     pub fn splat_one() -> Self {
-        Self { ones: u64::MAX, zeros: 0 }
+        Self {
+            ones: u64::MAX,
+            zeros: 0,
+        }
     }
 
     /// Sets lane `i` from a trit.
@@ -85,11 +91,6 @@ impl Word3 {
         self.ones | self.zeros
     }
 
-    /// Lane-wise NOT.
-    pub fn not(self) -> Self {
-        Self { ones: self.zeros, zeros: self.ones }
-    }
-
     /// Lane-wise two-input AND (Kleene logic).
     pub fn and2(a: Self, b: Self) -> Self {
         Self {
@@ -123,6 +124,18 @@ impl Word3 {
     }
 }
 
+impl std::ops::Not for Word3 {
+    type Output = Self;
+
+    /// Lane-wise NOT (Kleene logic: `!X = X`).
+    fn not(self) -> Self {
+        Self {
+            ones: self.zeros,
+            zeros: self.ones,
+        }
+    }
+}
+
 impl fmt::Display for Word3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in 0..64 {
@@ -139,19 +152,22 @@ impl fmt::Display for Word3 {
 /// Panics on [`GateKind::Input`] / [`GateKind::Dff`] (they are sources, not
 /// evaluated) or on an empty fanin list.
 pub fn eval_gate(kind: GateKind, fanins: &[Word3]) -> Word3 {
-    assert!(!fanins.is_empty(), "gate evaluation needs at least one fanin");
+    assert!(
+        !fanins.is_empty(),
+        "gate evaluation needs at least one fanin"
+    );
     match kind {
         GateKind::Input | GateKind::Dff => {
             panic!("{kind} is a source, not an evaluated gate")
         }
         GateKind::Buf => fanins[0],
-        GateKind::Not => fanins[0].not(),
+        GateKind::Not => !fanins[0],
         GateKind::And => fanins.iter().copied().fold(Word3::splat_one(), Word3::and2),
-        GateKind::Nand => eval_gate(GateKind::And, fanins).not(),
+        GateKind::Nand => !eval_gate(GateKind::And, fanins),
         GateKind::Or => fanins.iter().copied().fold(Word3::splat_zero(), Word3::or2),
-        GateKind::Nor => eval_gate(GateKind::Or, fanins).not(),
+        GateKind::Nor => !eval_gate(GateKind::Or, fanins),
         GateKind::Xor => fanins[1..].iter().copied().fold(fanins[0], Word3::xor2),
-        GateKind::Xnor => eval_gate(GateKind::Xor, fanins).not(),
+        GateKind::Xnor => !eval_gate(GateKind::Xor, fanins),
     }
 }
 
@@ -169,7 +185,7 @@ mod tests {
 
     #[test]
     fn kleene_truth_tables() {
-        use Trit::{One as I, X, Zero as O};
+        use Trit::{One as I, Zero as O, X};
         let cases = [
             // (a, b, and, or, xor)
             (O, O, O, O, O),

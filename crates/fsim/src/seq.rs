@@ -147,8 +147,15 @@ impl<'a> SequentialSimulator<'a> {
         pattern: &TritVec,
     ) -> TritVec {
         let c = &scanned.circuit;
-        assert!(std::ptr::eq(self.circuit, c), "simulator must wrap the scanned circuit");
-        assert_eq!(pattern.len(), scanned.chain.len(), "pattern length != chain length");
+        assert!(
+            std::ptr::eq(self.circuit, c),
+            "simulator must wrap the scanned circuit"
+        );
+        assert_eq!(
+            pattern.len(),
+            scanned.chain.len(),
+            "pattern length != chain length"
+        );
         let num_pis = c.primary_inputs().len();
         let si_pos = c
             .primary_inputs()

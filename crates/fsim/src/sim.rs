@@ -160,7 +160,9 @@ mod tests {
         let c17 = parse_bench(C17).unwrap();
         let mut ts = TestSet::new(5);
         for i in 0..150 {
-            let bits: String = (0..5).map(|b| if i >> b & 1 == 1 { '1' } else { '0' }).collect();
+            let bits: String = (0..5)
+                .map(|b| if i >> b & 1 == 1 { '1' } else { '0' })
+                .collect();
             ts.push_pattern(&bits.parse().unwrap()).unwrap();
         }
         let resp = simulate_cubes(&c17, &ts);

@@ -57,13 +57,19 @@ impl Fsm {
         F: Fn(usize, u32) -> (usize, u64),
     {
         assert!(num_states >= 1, "need at least one state");
-        assert!(num_input_bits <= 8, "tabulated build supports up to 8 input bits");
+        assert!(
+            num_input_bits <= 8,
+            "tabulated build supports up to 8 input bits"
+        );
         assert!(num_output_bits <= 64, "outputs are packed in a u64");
         let mut table = Vec::with_capacity(num_states << num_input_bits);
         for state in 0..num_states {
             for input in 0..1u32 << num_input_bits {
                 let (next, outputs) = f(state, input);
-                assert!(next < num_states, "f({state}, {input}) -> invalid state {next}");
+                assert!(
+                    next < num_states,
+                    "f({state}, {input}) -> invalid state {next}"
+                );
                 table.push((next, outputs));
             }
         }
@@ -132,7 +138,9 @@ impl Fsm {
             });
         }
         for bit in 0..self.num_output_bits {
-            build(format!("out[{bit}]"), &|s, i| self.outputs(s, i) >> bit & 1 == 1);
+            build(format!("out[{bit}]"), &|s, i| {
+                self.outputs(s, i) >> bit & 1 == 1
+            });
         }
         SynthReport {
             name: self.name.clone(),
@@ -183,7 +191,10 @@ impl SynthReport {
 
     /// Total product terms across all functions.
     pub fn total_products(&self) -> usize {
-        self.functions.iter().map(|f| f.cover.implicants.len()).sum()
+        self.functions
+            .iter()
+            .map(|f| f.cover.implicants.len())
+            .sum()
     }
 
     /// Gate-equivalent estimate (2-input-NAND units) using the standard
@@ -267,7 +278,11 @@ mod tests {
                         next |= 1 << bit;
                     }
                 }
-                assert_eq!(next, fsm.next_state(state, input), "state {state} input {input}");
+                assert_eq!(
+                    next,
+                    fsm.next_state(state, input),
+                    "state {state} input {input}"
+                );
                 let out = report.functions[sbits].cover.eval(vector);
                 assert_eq!(out, fsm.outputs(state, input) & 1 == 1);
             }

@@ -44,7 +44,9 @@ pub fn covers_to_circuit(
 ) -> Result<Circuit, NetlistError> {
     assert!(num_vars >= 1, "need at least one input variable");
     let mut c = Circuit::new(name);
-    let inputs: Vec<NetId> = (0..num_vars).map(|i| c.add_input(&format!("in{i}"))).collect();
+    let inputs: Vec<NetId> = (0..num_vars)
+        .map(|i| c.add_input(&format!("in{i}")))
+        .collect();
     // Shared inverters, created lazily.
     let mut inverted: Vec<Option<NetId>> = vec![None; num_vars];
     let mut unique = 0usize;
@@ -63,7 +65,8 @@ pub fn covers_to_circuit(
                     let inv = match inverted[var] {
                         Some(n) => n,
                         None => {
-                            let n = c.add_gate(&format!("n_in{var}"), GateKind::Not, vec![input])?;
+                            let n =
+                                c.add_gate(&format!("n_in{var}"), GateKind::Not, vec![input])?;
                             inverted[var] = Some(n);
                             n
                         }
@@ -75,7 +78,11 @@ pub fn covers_to_circuit(
                 0 => {
                     // Tautological implicant: constant 1 via x OR NOT x.
                     let inv = get_inverter(&mut c, &mut inverted, inputs[0], 0)?;
-                    c.add_gate(&format!("{label}_one{pi}"), GateKind::Or, vec![inputs[0], inv])?
+                    c.add_gate(
+                        &format!("{label}_one{pi}"),
+                        GateKind::Or,
+                        vec![inputs[0], inv],
+                    )?
                 }
                 1 => literals[0],
                 _ => c.add_gate(&format!("{label}_p{pi}"), GateKind::And, literals)?,
@@ -86,11 +93,19 @@ pub fn covers_to_circuit(
             0 => {
                 // Constant 0 via x AND NOT x.
                 let inv = get_inverter(&mut c, &mut inverted, inputs[0], 0)?;
-                c.add_gate(&format!("{label}_zero"), GateKind::And, vec![inputs[0], inv])?
+                c.add_gate(
+                    &format!("{label}_zero"),
+                    GateKind::And,
+                    vec![inputs[0], inv],
+                )?
             }
             1 => {
                 // Buffer so the PO has a dedicated, named net.
-                c.add_gate(&format!("{label}_buf{unique}"), GateKind::Buf, vec![product_nets[0]])?
+                c.add_gate(
+                    &format!("{label}_buf{unique}"),
+                    GateKind::Buf,
+                    vec![product_nets[0]],
+                )?
             }
             _ => c.add_gate(&format!("{label}_or"), GateKind::Or, product_nets)?,
         };
@@ -186,7 +201,11 @@ mod tests {
         let cover = minimize(2, &[0b01, 0b10], &[]);
         let c = covers_to_circuit("xor", 2, &[("y".to_owned(), cover.clone())]).unwrap();
         for input in 0..4u32 {
-            assert_eq!(eval_circuit(&c, input)[0], cover.eval(input), "input {input:02b}");
+            assert_eq!(
+                eval_circuit(&c, input)[0],
+                cover.eval(input),
+                "input {input:02b}"
+            );
         }
     }
 
@@ -232,12 +251,16 @@ mod tests {
                 let vector = (state << report.input_bits) as u32 | input;
                 let outs = eval_circuit(&circuit, vector);
                 let mut next = 0usize;
-                for bit in 0..sbits {
-                    if outs[bit] {
+                for (bit, &out) in outs.iter().enumerate().take(sbits) {
+                    if out {
                         next |= 1 << bit;
                     }
                 }
-                assert_eq!(next, fsm.next_state(state, input), "state {state} in {input}");
+                assert_eq!(
+                    next,
+                    fsm.next_state(state, input),
+                    "state {state} in {input}"
+                );
                 assert_eq!(
                     outs[sbits],
                     fsm.outputs(state, input) & 1 == 1,

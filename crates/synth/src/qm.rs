@@ -100,7 +100,10 @@ impl Cover {
 
     /// Total literal count (classic two-level cost).
     pub fn literal_count(&self) -> usize {
-        self.implicants.iter().map(|i| i.literals(self.num_vars)).sum()
+        self.implicants
+            .iter()
+            .map(|i| i.literals(self.num_vars))
+            .sum()
     }
 
     /// `true` if the cover is the constant-1 function.
@@ -133,13 +136,23 @@ impl Cover {
 /// assert_eq!(or.literal_count(), 2);
 /// ```
 pub fn minimize(num_vars: usize, on_set: &[u32], dc_set: &[u32]) -> Cover {
-    assert!(num_vars <= 20, "QM is exact but exponential; {num_vars} vars is too many");
-    let limit = if num_vars == 32 { u32::MAX } else { (1u32 << num_vars) - 1 };
+    assert!(
+        num_vars <= 20,
+        "QM is exact but exponential; {num_vars} vars is too many"
+    );
+    let limit = if num_vars == 32 {
+        u32::MAX
+    } else {
+        (1u32 << num_vars) - 1
+    };
     for &m in on_set.iter().chain(dc_set) {
         assert!(m <= limit, "minterm {m} out of range for {num_vars} vars");
     }
     if on_set.is_empty() {
-        return Cover { num_vars, implicants: vec![] };
+        return Cover {
+            num_vars,
+            implicants: vec![],
+        };
     }
 
     // Stage 1: prime implicants by iterative combination.
@@ -208,7 +221,10 @@ pub fn minimize(num_vars: usize, on_set: &[u32], dc_set: &[u32]) -> Cover {
         chosen.push(best);
     }
     chosen.sort_unstable();
-    Cover { num_vars, implicants: chosen }
+    Cover {
+        num_vars,
+        implicants: chosen,
+    }
 }
 
 #[cfg(test)]
@@ -288,7 +304,10 @@ mod tests {
 
     #[test]
     fn cube_string_rendering() {
-        let imp = Implicant { value: 0b010, mask: 0b100 };
+        let imp = Implicant {
+            value: 0b010,
+            mask: 0b100,
+        };
         assert_eq!(imp.to_cube_string(3), "-10");
     }
 

@@ -33,11 +33,13 @@ pub struct BitVec {
 
 impl BitVec {
     /// Creates an empty bit vector.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Creates an empty bit vector with room for `bits` bits.
+    #[must_use]
     pub fn with_capacity(bits: usize) -> Self {
         Self {
             words: Vec::with_capacity(bits.div_ceil(64)),
@@ -46,6 +48,7 @@ impl BitVec {
     }
 
     /// Creates a bit vector of `len` copies of `bit`.
+    #[must_use]
     pub fn repeat(bit: bool, len: usize) -> Self {
         let word = if bit { u64::MAX } else { 0 };
         let mut v = Self {
@@ -67,20 +70,54 @@ impl BitVec {
             match c {
                 '0' => v.push(false),
                 '1' => v.push(true),
-                other => return Err(ParseBitsError { position: i, found: other }),
+                other => {
+                    return Err(ParseBitsError {
+                        position: i,
+                        found: other,
+                    })
+                }
             }
         }
         Ok(v)
     }
 
     /// Number of bits stored.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// `true` when no bits are stored.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The packed backing words, LSB-first; bit `i` of the vector is
+    /// `words()[i / 64] >> (i % 64) & 1`. Bits at positions `>= len()` in
+    /// the last word are zero.
+    ///
+    /// This is the zero-copy entry point for the word-parallel kernels in
+    /// [`crate::words`].
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reserves room for at least `additional` more bits.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = (self.len + additional).div_ceil(64);
+        self.words.reserve(needed.saturating_sub(self.words.len()));
+    }
+
+    /// Shortens the vector to `len` bits; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        self.len = len;
+        self.words.truncate(len.div_ceil(64));
+        self.mask_tail();
     }
 
     /// Appends one bit.
@@ -109,7 +146,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, bit: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let (w, b) = (index / 64, index % 64);
         if bit {
             self.words[w] |= 1 << b;
@@ -118,15 +159,61 @@ impl BitVec {
         }
     }
 
-    /// Appends the `n` low bits of `value`, LSB first.
+    /// Appends the `n` low bits of `value`, LSB first — in O(1) word
+    /// operations, not per-bit.
     ///
     /// # Panics
     ///
     /// Panics if `n > 64`.
     pub fn push_bits_lsb(&mut self, value: u64, n: usize) {
         assert!(n <= 64, "cannot push more than 64 bits at once");
-        for i in 0..n {
-            self.push(value >> i & 1 == 1);
+        if n == 0 {
+            return;
+        }
+        let value = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(value);
+        } else {
+            *self.words.last_mut().expect("off != 0 implies a word") |= value << off;
+            if off + n > 64 {
+                self.words.push(value >> (64 - off));
+            }
+        }
+        self.len += n;
+    }
+
+    /// Appends `n` copies of `bit` in O(n / 64) word operations.
+    pub fn push_repeat(&mut self, bit: bool, n: usize) {
+        let word = if bit { u64::MAX } else { 0 };
+        let mut remaining = n;
+        self.reserve(n);
+        while remaining > 0 {
+            let take = remaining.min(64);
+            self.push_bits_lsb(word, take);
+            remaining -= take;
+        }
+    }
+
+    /// Appends the bit range `[start, start + len)` of a packed word slice
+    /// (as exposed by [`BitVec::words`]) in O(len / 64) word operations.
+    pub fn extend_from_words(&mut self, words: &[u64], start: usize, len: usize) {
+        assert!(
+            start + len <= words.len() * 64,
+            "bit range {start}+{len} out of range for {} words",
+            words.len()
+        );
+        self.reserve(len);
+        let mut pos = start;
+        let end = start + len;
+        while pos < end {
+            let take = (end - pos).min(64);
+            self.push_bits_lsb(crate::words::extract_word(words, pos, take), take);
+            pos += take;
         }
     }
 
@@ -142,11 +229,9 @@ impl BitVec {
         }
     }
 
-    /// Appends all bits of `other`.
+    /// Appends all bits of `other` in O(len / 64) word operations.
     pub fn extend_from_bitvec(&mut self, other: &BitVec) {
-        for bit in other.iter() {
-            self.push(bit);
-        }
+        self.extend_from_words(&other.words, 0, other.len);
     }
 
     /// Number of 1-bits.
@@ -161,7 +246,10 @@ impl BitVec {
 
     /// Iterates over the bits in order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { bits: self, index: 0 }
+        Iter {
+            bits: self,
+            index: 0,
+        }
     }
 
     /// Number of positions where `self` and `other` differ.
@@ -170,7 +258,10 @@ impl BitVec {
     ///
     /// Panics if the lengths differ.
     pub fn hamming_distance(&self, other: &BitVec) -> usize {
-        assert_eq!(self.len, other.len, "hamming distance requires equal lengths");
+        assert_eq!(
+            self.len, other.len,
+            "hamming distance requires equal lengths"
+        );
         self.words
             .iter()
             .zip(&other.words)
@@ -205,7 +296,8 @@ impl fmt::Debug for BitVec {
 
 impl FromIterator<bool> for BitVec {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        let mut v = BitVec::new();
+        let iter = iter.into_iter();
+        let mut v = BitVec::with_capacity(iter.size_hint().0);
         for bit in iter {
             v.push(bit);
         }
@@ -215,6 +307,8 @@ impl FromIterator<bool> for BitVec {
 
 impl Extend<bool> for BitVec {
     fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        let iter = iter.into_iter();
+        self.reserve(iter.size_hint().0);
         for bit in iter {
             self.push(bit);
         }
@@ -490,6 +584,97 @@ mod tests {
         let a = BitVec::from_str_radix2("10110").unwrap();
         let b = BitVec::from_str_radix2("10011").unwrap();
         assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    fn push_bits_lsb_word_level_matches_bitwise() {
+        // Cross word boundaries at every alignment.
+        for prefix in 0..67usize {
+            let mut word_level = BitVec::new();
+            let mut bitwise = BitVec::new();
+            for i in 0..prefix {
+                word_level.push(i % 3 == 0);
+                bitwise.push(i % 3 == 0);
+            }
+            for &(v, n) in &[
+                (0xDEAD_BEEF_u64, 32usize),
+                (0b101, 3),
+                (u64::MAX, 64),
+                (0, 0),
+                (1, 1),
+            ] {
+                word_level.push_bits_lsb(v, n);
+                for i in 0..n {
+                    bitwise.push(v >> i & 1 == 1);
+                }
+            }
+            assert_eq!(word_level, bitwise, "prefix {prefix}");
+        }
+    }
+
+    #[test]
+    fn push_repeat_runs() {
+        let mut bv = BitVec::new();
+        bv.push(true);
+        bv.push_repeat(false, 70);
+        bv.push_repeat(true, 130);
+        assert_eq!(bv.len(), 201);
+        assert_eq!(bv.count_ones(), 131);
+        assert_eq!(bv.get(0), Some(true));
+        assert_eq!(bv.get(70), Some(false));
+        assert_eq!(bv.get(71), Some(true));
+    }
+
+    #[test]
+    fn extend_from_bitvec_unaligned() {
+        for prefix_len in [0usize, 1, 63, 64, 65] {
+            let mut dst = BitVec::repeat(true, prefix_len);
+            let src: BitVec = (0..150).map(|i| i % 7 < 3).collect();
+            dst.extend_from_bitvec(&src);
+            assert_eq!(dst.len(), prefix_len + 150);
+            for i in 0..150 {
+                assert_eq!(
+                    dst.get(prefix_len + i),
+                    src.get(i),
+                    "prefix {prefix_len} bit {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_from_words_subrange() {
+        let src: BitVec = (0..200).map(|i| i % 5 == 0).collect();
+        let mut dst = BitVec::new();
+        dst.push(true);
+        dst.extend_from_words(src.words(), 3, 130);
+        assert_eq!(dst.len(), 131);
+        for i in 0..130 {
+            assert_eq!(dst.get(1 + i), src.get(3 + i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn truncate_masks_tail() {
+        let mut bv = BitVec::repeat(true, 130);
+        bv.truncate(65);
+        assert_eq!(bv.len(), 65);
+        assert_eq!(bv.count_ones(), 65);
+        // Pushing after truncation must not resurrect stale bits.
+        bv.push(false);
+        assert_eq!(bv.get(65), Some(false));
+        assert_eq!(bv.count_ones(), 65);
+        bv.truncate(200); // no-op
+        assert_eq!(bv.len(), 66);
+    }
+
+    #[test]
+    fn words_expose_packed_planes() {
+        let mut bv = BitVec::new();
+        bv.push_bits_lsb(0b1011, 4);
+        assert_eq!(bv.words(), &[0b1011]);
+        let full = BitVec::repeat(true, 64);
+        assert_eq!(full.words(), &[u64::MAX]);
     }
 
     #[test]

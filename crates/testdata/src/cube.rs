@@ -111,12 +111,16 @@ impl TestSet {
     /// Panics if `i >= self.num_patterns()`.
     pub fn pattern(&self, i: usize) -> TritVec {
         assert!(i < self.num_patterns(), "pattern index {i} out of range");
-        self.data.slice(i * self.pattern_len, (i + 1) * self.pattern_len)
+        self.data
+            .slice(i * self.pattern_len, (i + 1) * self.pattern_len)
     }
 
     /// Iterates over the cubes.
     pub fn patterns(&self) -> Patterns<'_> {
-        Patterns { set: self, index: 0 }
+        Patterns {
+            set: self,
+            index: 0,
+        }
     }
 
     /// The whole set as one flat symbol stream, pattern after pattern —
@@ -255,8 +259,15 @@ impl fmt::Display for BuildTestSetError {
             BuildTestSetError::Parse { index, source } => {
                 write!(f, "pattern {index}: {source}")
             }
-            BuildTestSetError::Length { index, expected, found } => {
-                write!(f, "pattern {index}: expected length {expected}, found {found}")
+            BuildTestSetError::Length {
+                index,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "pattern {index}: expected length {expected}, found {found}"
+                )
             }
         }
     }
@@ -287,7 +298,14 @@ mod tests {
     #[test]
     fn rejects_wrong_length() {
         let err = TestSet::from_patterns(3, ["01"]).unwrap_err();
-        assert!(matches!(err, BuildTestSetError::Length { index: 0, expected: 3, found: 2 }));
+        assert!(matches!(
+            err,
+            BuildTestSetError::Length {
+                index: 0,
+                expected: 3,
+                found: 2
+            }
+        ));
     }
 
     #[test]

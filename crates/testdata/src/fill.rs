@@ -68,7 +68,10 @@ pub fn fill_trits(trits: &TritVec, strategy: FillStrategy) -> TritVec {
 }
 
 fn fill_const(trits: &TritVec, fill: Trit) -> TritVec {
-    trits.iter().map(|t| if t.is_x() { fill } else { t }).collect()
+    trits
+        .iter()
+        .map(|t| if t.is_x() { fill } else { t })
+        .collect()
 }
 
 fn fill_min_transition(trits: &TritVec) -> TritVec {
@@ -97,7 +100,9 @@ pub fn fill_test_set(set: &TestSet, strategy: FillStrategy) -> TestSet {
         // identical across cubes yet stays deterministic overall.
         let strategy = match strategy {
             FillStrategy::Random { seed } => FillStrategy::Random {
-                seed: seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                seed: seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15),
             },
             other => other,
         };

@@ -62,7 +62,10 @@ impl SyntheticProfile {
     ///
     /// Panics if `x_density` is not in `(0, 1)` or a dimension is zero.
     pub fn new(name: &str, num_patterns: usize, pattern_len: usize, x_density: f64) -> Self {
-        assert!(num_patterns > 0 && pattern_len > 0, "dimensions must be positive");
+        assert!(
+            num_patterns > 0 && pattern_len > 0,
+            "dimensions must be positive"
+        );
         assert!(
             x_density > 0.0 && x_density < 1.0,
             "x_density must be in (0, 1), got {x_density}"
@@ -100,7 +103,8 @@ impl SyntheticProfile {
         for factor in decay {
             let care_density = (base_care * factor / mean_decay).clamp(0.001, 0.999);
             let cube = self.generate_cube(care_density, &mut rng);
-            ts.push_pattern(&cube).expect("generated cube has profile length");
+            ts.push_pattern(&cube)
+                .expect("generated cube has profile length");
         }
         ts
     }
@@ -244,10 +248,7 @@ mod tests {
             let p = SyntheticProfile::new("dens", 60, 500, target);
             let ts = p.generate(11);
             let got = ts.x_density();
-            assert!(
-                (got - target).abs() < 0.04,
-                "target {target}, got {got}"
-            );
+            assert!((got - target).abs() < 0.04, "target {target}, got {got}");
         }
     }
 
@@ -258,7 +259,10 @@ mod tests {
         let stream = ts.as_stream();
         let zeros = stream.count_zeros() as f64;
         let ones = stream.count_ones() as f64;
-        assert!(zeros > ones, "expected 0-biased care bits: {zeros} vs {ones}");
+        assert!(
+            zeros > ones,
+            "expected 0-biased care bits: {zeros} vs {ones}"
+        );
     }
 
     #[test]

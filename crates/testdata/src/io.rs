@@ -42,11 +42,12 @@ pub fn parse_test_set(text: &str) -> Result<TestSet, ReadTestSetError> {
             source,
         })?;
         let set = set.get_or_insert_with(|| TestSet::new(cube.len().max(1)));
-        set.push_pattern(&cube).map_err(|e| ReadTestSetError::Length {
-            line: line_no + 1,
-            expected: e.expected,
-            found: e.found,
-        })?;
+        set.push_pattern(&cube)
+            .map_err(|e| ReadTestSetError::Length {
+                line: line_no + 1,
+                expected: e.expected,
+                found: e.found,
+            })?;
     }
     set.ok_or(ReadTestSetError::Empty)
 }
@@ -116,7 +117,11 @@ impl fmt::Display for ReadTestSetError {
         match self {
             ReadTestSetError::Empty => write!(f, "cube file contains no patterns"),
             ReadTestSetError::Parse { line, source } => write!(f, "line {line}: {source}"),
-            ReadTestSetError::Length { line, expected, found } => {
+            ReadTestSetError::Length {
+                line,
+                expected,
+                found,
+            } => {
                 write!(f, "line {line}: expected length {expected}, found {found}")
             }
             ReadTestSetError::Io(e) => write!(f, "cube file i/o error: {e}"),
@@ -155,14 +160,21 @@ mod tests {
 
     #[test]
     fn empty_is_an_error() {
-        assert!(matches!(parse_test_set("# nothing\n"), Err(ReadTestSetError::Empty)));
+        assert!(matches!(
+            parse_test_set("# nothing\n"),
+            Err(ReadTestSetError::Empty)
+        ));
     }
 
     #[test]
     fn length_mismatch_reports_line() {
         let err = parse_test_set("01X\n0101\n").unwrap_err();
         match err {
-            ReadTestSetError::Length { line, expected, found } => {
+            ReadTestSetError::Length {
+                line,
+                expected,
+                found,
+            } => {
                 assert_eq!((line, expected, found), (2, 3, 4));
             }
             other => panic!("unexpected error {other}"),

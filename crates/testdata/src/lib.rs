@@ -8,6 +8,10 @@
 //!   reader/writer, the substrate of every compression code;
 //! - [`trit`] — the three-valued symbol [`Trit`] and packed
 //!   [`TritVec`];
+//! - [`slice`] — zero-copy [`TritSlice`] subrange views and the
+//!   allocation-free [`slice::Chunks`] cursor streaming consumers iterate;
+//! - [`words`] — word-parallel kernels over packed LSB-first bit ranges
+//!   (popcount classification, cross-boundary word extraction);
 //! - [`cube`] — [`TestSet`], the precomputed test set `T_D`;
 //! - [`gen`] — profile-calibrated synthetic test-set generators standing in
 //!   for the paper's Mintest/IBM data (see `DESIGN.md` §4);
@@ -42,9 +46,12 @@ pub mod io;
 pub mod power;
 #[cfg(feature = "serde")]
 mod serde_impls;
+pub mod slice;
 pub mod stats;
 pub mod trit;
+pub mod words;
 
 pub use bits::BitVec;
 pub use cube::TestSet;
+pub use slice::TritSlice;
 pub use trit::{Trit, TritVec};

@@ -135,21 +135,31 @@ mod tests {
 
     #[test]
     fn mt_fill_never_worse_than_zero_fill_on_sparse_sets() {
-        let ts = TestSet::from_patterns(
-            12,
-            ["1XXXXXXXXXX1", "0XX1XXXX0XXX", "XXXXX1XXXXXX"],
-        )
-        .unwrap();
+        let ts =
+            TestSet::from_patterns(12, ["1XXXXXXXXXX1", "0XX1XXXX0XXX", "XXXXX1XXXXXX"]).unwrap();
         let mt = scan_power(&ts, FillStrategy::MinTransition);
         let zero = scan_power(&ts, FillStrategy::Zero);
-        assert!(mt.total <= zero.total, "mt {} vs zero {}", mt.total, zero.total);
+        assert!(
+            mt.total <= zero.total,
+            "mt {} vs zero {}",
+            mt.total,
+            zero.total
+        );
     }
 
     #[test]
     fn report_average() {
-        let r = PowerReport { total: 30, peak: 20, patterns: 3 };
+        let r = PowerReport {
+            total: 30,
+            peak: 20,
+            patterns: 3,
+        };
         assert!((r.average() - 10.0).abs() < 1e-12);
-        let empty = PowerReport { total: 0, peak: 0, patterns: 0 };
+        let empty = PowerReport {
+            total: 0,
+            peak: 0,
+            patterns: 0,
+        };
         assert_eq!(empty.average(), 0.0);
     }
 }

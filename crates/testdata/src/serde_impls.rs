@@ -57,9 +57,8 @@ impl<'de> Deserialize<'de> for TestSet {
         let repr = TestSetRepr::deserialize(deserializer)?;
         let mut set = TestSet::new(repr.pattern_len.max(1));
         for (i, p) in repr.patterns.iter().enumerate() {
-            set.push_pattern(p).map_err(|e| {
-                D::Error::custom(format!("pattern {i}: {e}"))
-            })?;
+            set.push_pattern(p)
+                .map_err(|e| D::Error::custom(format!("pattern {i}: {e}")))?;
         }
         Ok(set)
     }

@@ -5,6 +5,7 @@
 //! plane and a *value* plane, so a symbol costs 2 bits of storage).
 
 use crate::bits::BitVec;
+use crate::slice::{Chunks, TritSlice};
 use std::fmt;
 
 /// One test-data symbol: a care bit (`Zero`/`One`) or a don't-care (`X`).
@@ -104,7 +105,11 @@ pub struct ParseTritError {
 
 impl fmt::Display for ParseTritError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid trit character {:?} (expected 0, 1, X or -)", self.found)
+        write!(
+            f,
+            "invalid trit character {:?} (expected 0, 1, X or -)",
+            self.found
+        )
     }
 }
 
@@ -115,6 +120,14 @@ impl std::error::Error for ParseTritError {}
 /// Storage is two [`BitVec`] planes: `care` (1 = specified) and `value`
 /// (meaningful only where `care` is set). This keeps multi-megabit test
 /// sets compact and makes X-counting a popcount.
+///
+/// # Plane invariant
+///
+/// Every constructor and mutator maintains `value ⊆ care`: the value plane
+/// is zero wherever the care plane is zero (`X` stores `care = 0,
+/// value = 0`). The word-parallel kernels in [`crate::slice`] and
+/// [`crate::words`] rely on this — a specified one is a set value bit, a
+/// specified zero is `care & !value`.
 ///
 /// # Examples
 ///
@@ -136,11 +149,13 @@ pub struct TritVec {
 
 impl TritVec {
     /// Creates an empty vector.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Creates an empty vector with room for `n` symbols.
+    #[must_use]
     pub fn with_capacity(n: usize) -> Self {
         Self {
             care: BitVec::with_capacity(n),
@@ -149,6 +164,7 @@ impl TritVec {
     }
 
     /// Creates a vector of `len` copies of `t`.
+    #[must_use]
     pub fn repeat(t: Trit, len: usize) -> Self {
         Self {
             care: BitVec::repeat(t.is_care(), len),
@@ -157,13 +173,27 @@ impl TritVec {
     }
 
     /// Number of symbols.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.care.len()
     }
 
     /// `true` when no symbols are stored.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.care.is_empty()
+    }
+
+    /// Reserves room for at least `n` more symbols.
+    pub fn reserve(&mut self, n: usize) {
+        self.care.reserve(n);
+        self.value.reserve(n);
+    }
+
+    /// Shortens the vector to `len` symbols; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.care.truncate(len);
+        self.value.truncate(len);
     }
 
     /// Appends one symbol.
@@ -193,30 +223,50 @@ impl TritVec {
         self.value.set(index, t == Trit::One);
     }
 
-    /// Appends all symbols of `other`.
+    /// Appends all symbols of `other` in O(len / 64) word operations.
     pub fn extend_from_tritvec(&mut self, other: &TritVec) {
         self.care.extend_from_bitvec(&other.care);
         self.value.extend_from_bitvec(&other.value);
     }
 
+    /// Appends all symbols of a zero-copy [`TritSlice`] view in
+    /// O(len / 64) word operations.
+    pub fn extend_from_slice(&mut self, slice: TritSlice<'_>) {
+        self.care
+            .extend_from_words(slice.care_words(), slice.bit_start(), slice.len());
+        self.value
+            .extend_from_words(slice.value_words(), slice.bit_start(), slice.len());
+    }
+
+    /// Appends `n` copies of `t` in O(n / 64) word operations.
+    pub fn push_run(&mut self, t: Trit, n: usize) {
+        self.care.push_repeat(t.is_care(), n);
+        self.value.push_repeat(t == Trit::One, n);
+    }
+
     /// Number of don't-care symbols.
+    #[must_use]
     pub fn count_x(&self) -> usize {
         self.care.count_zeros()
     }
 
     /// Number of specified symbols.
+    #[must_use]
     pub fn count_care(&self) -> usize {
         self.care.count_ones()
     }
 
-    /// Number of specified zeros.
+    /// Number of specified zeros (word-parallel `care & !value` popcount).
+    #[must_use]
     pub fn count_zeros(&self) -> usize {
-        self.iter().filter(|&t| t == Trit::Zero).count()
+        crate::words::count_and_not(self.care.words(), self.value.words(), 0, self.len())
     }
 
-    /// Number of specified ones.
+    /// Number of specified ones (word-parallel popcount of the value
+    /// plane; valid by the plane invariant).
+    #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.iter().filter(|&t| t == Trit::One).count()
+        self.value.count_ones()
     }
 
     /// Fraction of symbols that are `X`, in `[0, 1]`; 0 for an empty vector.
@@ -230,21 +280,59 @@ impl TritVec {
 
     /// Iterates over the symbols in order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { trits: self, index: 0, back: self.len() }
+        Iter {
+            trits: self,
+            index: 0,
+            back: self.len(),
+        }
     }
 
-    /// Copies the half-open range `[start, end)` into a new vector.
+    /// Copies the half-open range `[start, end)` into a new vector in
+    /// O(len / 64) word operations.
+    ///
+    /// Prefer [`TritVec::slice_view`] when a borrowed, zero-copy view
+    /// suffices.
     ///
     /// # Panics
     ///
     /// Panics if `start > end` or `end > self.len()`.
+    #[must_use]
     pub fn slice(&self, start: usize, end: usize) -> TritVec {
-        assert!(start <= end && end <= self.len(), "slice {start}..{end} out of range");
-        let mut out = TritVec::with_capacity(end - start);
-        for i in start..end {
-            out.push(self.get(i).expect("range checked"));
-        }
-        out
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of range"
+        );
+        self.slice_view(start, end).to_tritvec()
+    }
+
+    /// Zero-copy view of the half-open range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    #[must_use]
+    pub fn slice_view(&self, start: usize, end: usize) -> TritSlice<'_> {
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of range"
+        );
+        TritSlice::from_raw(self.care.words(), self.value.words(), start, end - start)
+    }
+
+    /// Zero-copy view of the whole vector.
+    #[must_use]
+    pub fn as_slice(&self) -> TritSlice<'_> {
+        TritSlice::from_raw(self.care.words(), self.value.words(), 0, self.len())
+    }
+
+    /// Walks the vector in `chunk`-symbol zero-copy slices (the last chunk
+    /// may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn chunks(&self, chunk: usize) -> Chunks<'_> {
+        Chunks::new(self.as_slice(), chunk)
     }
 
     /// `true` if every symbol of `self` is [compatible] with the symbol of
@@ -256,8 +344,14 @@ impl TritVec {
     ///
     /// Panics if the lengths differ.
     pub fn compatible_with(&self, other: &TritVec) -> bool {
-        assert_eq!(self.len(), other.len(), "compatibility requires equal lengths");
-        self.iter().zip(other.iter()).all(|(a, b)| a.compatible_with(b))
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "compatibility requires equal lengths"
+        );
+        self.iter()
+            .zip(other.iter())
+            .all(|(a, b)| a.compatible_with(b))
     }
 
     /// `true` if `self` *covers* `other`: wherever `other` has a care bit,
@@ -322,7 +416,8 @@ impl std::str::FromStr for TritVec {
 
 impl FromIterator<Trit> for TritVec {
     fn from_iter<I: IntoIterator<Item = Trit>>(iter: I) -> Self {
-        let mut v = TritVec::new();
+        let iter = iter.into_iter();
+        let mut v = TritVec::with_capacity(iter.size_hint().0);
         for t in iter {
             v.push(t);
         }
@@ -332,6 +427,8 @@ impl FromIterator<Trit> for TritVec {
 
 impl Extend<Trit> for TritVec {
     fn extend<I: IntoIterator<Item = Trit>>(&mut self, iter: I) {
+        let iter = iter.into_iter();
+        self.reserve(iter.size_hint().0);
         for t in iter {
             self.push(t);
         }

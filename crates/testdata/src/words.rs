@@ -1,0 +1,268 @@
+//! Word-level kernels over packed, LSB-first bit ranges.
+//!
+//! [`crate::bits::BitVec`] and [`crate::trit::TritVec`] store bits packed
+//! LSB-first in `u64` words. The functions here operate directly on those
+//! word slices so hot paths (9C half classification, payload copies, run
+//! emission) cost `O(len / 64)` word operations instead of `O(len)`
+//! per-symbol dispatch. They are the substrate behind
+//! [`crate::slice::TritSlice`] and the word-parallel codec kernels in the
+//! `ninec` core crate.
+//!
+//! All ranges are half-open bit ranges `[start, start + len)` over a word
+//! slice; bit `i` lives at `words[i / 64] >> (i % 64) & 1`. Callers are
+//! responsible for `start + len` staying within `words.len() * 64`
+//! (debug-asserted here).
+
+/// Returns the bit at `index`.
+#[inline]
+#[must_use]
+pub fn get_bit(words: &[u64], index: usize) -> bool {
+    debug_assert!(index < words.len() * 64);
+    words[index / 64] >> (index % 64) & 1 == 1
+}
+
+/// Extracts up to 64 bits starting at bit `start`, returned LSB-first in
+/// the low bits of the result. Bits past the end of `words` read as 0.
+///
+/// # Panics
+///
+/// Panics if `n > 64`.
+#[inline]
+#[must_use]
+pub fn extract_word(words: &[u64], start: usize, n: usize) -> u64 {
+    assert!(n <= 64, "cannot extract more than 64 bits at once");
+    if n == 0 {
+        return 0;
+    }
+    let w = start / 64;
+    let off = start % 64;
+    let lo = words.get(w).copied().unwrap_or(0) >> off;
+    let value = if off == 0 || off + n <= 64 {
+        lo
+    } else {
+        lo | words.get(w + 1).copied().unwrap_or(0) << (64 - off)
+    };
+    if n == 64 {
+        value
+    } else {
+        value & ((1u64 << n) - 1)
+    }
+}
+
+/// Counts the 1-bits in the range.
+#[inline]
+#[must_use]
+pub fn count_ones(words: &[u64], start: usize, len: usize) -> usize {
+    fold_range(words, start, len, 0usize, |acc, w| {
+        acc + w.count_ones() as usize
+    })
+}
+
+/// `true` if any bit in the range is 1.
+#[inline]
+#[must_use]
+pub fn any_set(words: &[u64], start: usize, len: usize) -> bool {
+    short_circuit_range(words, start, len, |w| w != 0)
+}
+
+/// `true` if any position in the range has `a = 1` and `b = 0`
+/// (word-parallel `a & !b != 0`).
+///
+/// With `a` = care plane and `b` = value plane this detects a specified
+/// zero, the kernel behind 9C half classification.
+#[inline]
+#[must_use]
+pub fn any_and_not(a: &[u64], b: &[u64], start: usize, len: usize) -> bool {
+    debug_assert!(start + len <= a.len() * 64 && start + len <= b.len() * 64 || len == 0);
+    let mut pos = start;
+    let end = start + len;
+    while pos < end {
+        let take = (end - pos).min(64 - pos % 64);
+        let w = pos / 64;
+        let off = pos % 64;
+        let mask = range_mask(off, take);
+        if a[w] & !b[w] & mask != 0 {
+            return true;
+        }
+        pos += take;
+    }
+    false
+}
+
+/// Counts positions in the range where `a = 1` and `b = 0`.
+#[inline]
+#[must_use]
+pub fn count_and_not(a: &[u64], b: &[u64], start: usize, len: usize) -> usize {
+    debug_assert!(start + len <= a.len() * 64 && start + len <= b.len() * 64 || len == 0);
+    let mut pos = start;
+    let end = start + len;
+    let mut total = 0usize;
+    while pos < end {
+        let take = (end - pos).min(64 - pos % 64);
+        let w = pos / 64;
+        let off = pos % 64;
+        let mask = range_mask(off, take);
+        total += (a[w] & !b[w] & mask).count_ones() as usize;
+        pos += take;
+    }
+    total
+}
+
+/// A mask with `len` 1-bits starting at bit `off` (`off + len <= 64`).
+#[inline]
+#[must_use]
+fn range_mask(off: usize, len: usize) -> u64 {
+    debug_assert!(off + len <= 64);
+    if len == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << len) - 1) << off
+    }
+}
+
+/// Folds the masked words of a bit range. Each callback receives the word
+/// with out-of-range bits cleared and already shifted *in place* (not
+/// normalized), which is sufficient for popcount-style folds.
+#[inline]
+fn fold_range<T>(
+    words: &[u64],
+    start: usize,
+    len: usize,
+    init: T,
+    mut f: impl FnMut(T, u64) -> T,
+) -> T {
+    debug_assert!(start + len <= words.len() * 64 || len == 0);
+    let mut acc = init;
+    let mut pos = start;
+    let end = start + len;
+    while pos < end {
+        let take = (end - pos).min(64 - pos % 64);
+        let w = words[pos / 64] & range_mask(pos % 64, take);
+        acc = f(acc, w);
+        pos += take;
+    }
+    acc
+}
+
+/// Like [`fold_range`] but stops early once `f` returns `true`.
+#[inline]
+fn short_circuit_range(
+    words: &[u64],
+    start: usize,
+    len: usize,
+    mut f: impl FnMut(u64) -> bool,
+) -> bool {
+    debug_assert!(start + len <= words.len() * 64 || len == 0);
+    let mut pos = start;
+    let end = start + len;
+    while pos < end {
+        let take = (end - pos).min(64 - pos % 64);
+        let w = words[pos / 64] & range_mask(pos % 64, take);
+        if f(w) {
+            return true;
+        }
+        pos += take;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_to_words(bits: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; bits.len().div_ceil(64)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+
+    fn ref_count(bits: &[bool], start: usize, len: usize) -> usize {
+        bits[start..start + len].iter().filter(|&&b| b).count()
+    }
+
+    #[test]
+    fn extract_word_all_alignments() {
+        let bits: Vec<bool> = (0..200).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        let words = bits_to_words(&bits);
+        for start in 0..(200 - 64) {
+            for n in [0usize, 1, 7, 13, 63, 64] {
+                let got = extract_word(&words, start, n);
+                for (j, &b) in bits[start..start + n].iter().enumerate() {
+                    assert_eq!(got >> j & 1 == 1, b, "start {start} n {n} bit {j}");
+                }
+                if n < 64 {
+                    assert_eq!(got >> n, 0, "high bits must be clear");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_word_past_end_reads_zero() {
+        let words = vec![u64::MAX];
+        assert_eq!(extract_word(&words, 60, 8), 0b1111);
+        assert_eq!(extract_word(&words, 64, 8), 0);
+        assert_eq!(extract_word(&[], 0, 8), 0);
+    }
+
+    #[test]
+    fn count_and_any_match_reference() {
+        let bits: Vec<bool> = (0..300).map(|i| i % 17 == 0 || i % 3 == 1).collect();
+        let words = bits_to_words(&bits);
+        for &(start, len) in &[
+            (0usize, 300usize),
+            (1, 63),
+            (63, 2),
+            (64, 64),
+            (65, 130),
+            (150, 0),
+            (299, 1),
+        ] {
+            assert_eq!(
+                count_ones(&words, start, len),
+                ref_count(&bits, start, len),
+                "count {start}+{len}"
+            );
+            assert_eq!(
+                any_set(&words, start, len),
+                ref_count(&bits, start, len) > 0,
+                "any {start}+{len}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_not_detects_care_zeros() {
+        // care = 1 everywhere, value = 1 on evens -> care & !value on odds.
+        let care: Vec<bool> = (0..130).map(|_| true).collect();
+        let value: Vec<bool> = (0..130).map(|i| i % 2 == 0).collect();
+        let (cw, vw) = (bits_to_words(&care), bits_to_words(&value));
+        assert!(any_and_not(&cw, &vw, 0, 130));
+        assert_eq!(count_and_not(&cw, &vw, 0, 130), 65);
+        // A range covering only even positions has no specified zero.
+        assert!(!any_and_not(&cw, &vw, 2, 1));
+        assert!(any_and_not(&cw, &vw, 2, 2));
+        // Empty range.
+        assert!(!any_and_not(&cw, &vw, 64, 0));
+        assert_eq!(count_and_not(&cw, &vw, 64, 0), 0);
+    }
+
+    #[test]
+    fn masks_do_not_leak_across_word_boundaries() {
+        let mut bits = vec![false; 192];
+        bits[63] = true;
+        bits[64] = true;
+        bits[127] = true;
+        let words = bits_to_words(&bits);
+        assert_eq!(count_ones(&words, 0, 63), 0);
+        assert_eq!(count_ones(&words, 63, 1), 1);
+        assert_eq!(count_ones(&words, 63, 2), 2);
+        assert_eq!(count_ones(&words, 65, 62), 0);
+        assert_eq!(count_ones(&words, 65, 63), 1);
+        assert!(!any_set(&words, 128, 64));
+    }
+}

@@ -33,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Replay one cube through the *real* chain: shift, capture, compare.
     let cube = atpg.tests.pattern(0);
     let num_pis = s27.primary_inputs().len();
-    let ppi: TritVec = (num_pis..cube.len()).map(|i| cube.get(i).unwrap()).collect();
+    let ppi: TritVec = (num_pis..cube.len())
+        .map(|i| cube.get(i).unwrap())
+        .collect();
     let reversed: TritVec = ppi.iter().rev().collect();
     let mut sim = SequentialSimulator::new(&scanned.circuit);
     sim.scan_shift(&scanned, &reversed);
@@ -50,11 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pis.set(se, Trit::Zero);
     let captured_pos = sim.step(&pis);
     let expected = &simulate_cubes(&s27, &atpg.tests)[0];
-    let agreement = (0..s27.primary_outputs().len())
-        .all(|o| captured_pos.get(o) == expected.get(o));
+    let agreement =
+        (0..s27.primary_outputs().len()).all(|o| captured_pos.get(o) == expected.get(o));
     println!(
         "protocol check on cube 0: serial shift/capture {} the scan view\n",
-        if agreement { "matches" } else { "DISAGREES with" }
+        if agreement {
+            "matches"
+        } else {
+            "DISAGREES with"
+        }
     );
     assert!(agreement);
 

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cubes.x_density() * 100.0
     );
 
-    println!("{:>4} {:>8} {:>8} {:>8} {:>10}", "K", "CR%", "LX%", "TAT%p=8", "|T_E| bits");
+    println!(
+        "{:>4} {:>8} {:>8} {:>8} {:>10}",
+        "K", "CR%", "LX%", "TAT%p=8", "|T_E| bits"
+    );
     for k in [4usize, 8, 12, 16, 24, 32] {
         let encoder = Encoder::new(k)?;
         let encoded = encoder.encode_set(&cubes);

@@ -32,12 +32,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (a) single scan chain.
     let enc = Encoder::new(k)?.encode_set(&cubes);
     let bits = enc.to_bitvec(FillStrategy::Random { seed: 7 });
-    let trace = SingleScanDecoder::new(k, enc.table().clone(), clocks)
-        .run(&bits, cubes.total_bits())?;
+    let trace =
+        SingleScanDecoder::new(k, enc.table().clone(), clocks).run(&bits, cubes.total_bits())?;
     let base_ticks = trace.soc_ticks;
     println!(
         "{:<28} {:>5} {:>12} {:>10} {:>8.1}",
-        "4a: 1 chain", 1, trace.soc_ticks, trace.ate_bits, enc.compression_ratio()
+        "4a: 1 chain",
+        1,
+        trace.soc_ticks,
+        trace.ate_bits,
+        enc.compression_ratio()
     );
 
     // (b) m chains, one pin — pin count collapses, time ~unchanged.
@@ -61,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for m in [16usize, 32, 64] {
         let arch = ParallelDecoders::new(k, m, clocks)?;
         let trace = arch.compress_and_run(&cubes, FillStrategy::Random { seed: 7 })?;
-        assert!(trace.loaded.covers(&cubes), "parallel decode lost care bits");
+        assert!(
+            trace.loaded.covers(&cubes),
+            "parallel decode lost care bits"
+        );
         println!(
             "{:<28} {:>5} {:>12} {:>10} {:>8}",
             format!("4c: {m} chains, {} pins", trace.pins),

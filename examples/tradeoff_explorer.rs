@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>4} {:>8.1} {:>8.1} {:>14} {:>14}",
             k, cr, lx, rnd.total, mt.total
         );
-        if lx >= target_lx && recommendation.map_or(true, |(_, best_cr, _)| cr > best_cr) {
+        if lx >= target_lx && recommendation.is_none_or(|(_, best_cr, _)| cr > best_cr) {
             recommendation = Some((k, cr, lx));
         }
     }

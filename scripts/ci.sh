@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, full test suite.
+#
+#   ./scripts/ci.sh
+#
+# Mirrors what reviewers run before merging; keep it green. The vendored
+# API-subset crates under vendor/ are workspace-excluded, so fmt/clippy
+# sweeps only touch first-party code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI OK"

@@ -20,7 +20,11 @@ use ninec_testdata::trit::TritVec;
 fn assert_flow_preserves_coverage(circuit: &Circuit, k: usize) {
     let atpg = generate_tests(circuit, AtpgConfig::default());
     let cubes = &atpg.tests;
-    assert!(cubes.num_patterns() > 0, "{}: ATPG produced no cubes", circuit.name());
+    assert!(
+        cubes.num_patterns() > 0,
+        "{}: ATPG produced no cubes",
+        circuit.name()
+    );
 
     let encoded = Encoder::new(k).expect("valid K").encode_set(cubes);
     let ate_bits = encoded.to_bitvec(FillStrategy::Random { seed: 2024 });
@@ -99,9 +103,6 @@ fn frequency_directed_flow_roundtrips() {
     let ate_bits = best.to_bitvec(FillStrategy::Zero);
     let decoder = SingleScanDecoder::new(8, best.table().clone(), ClockRatio::new(4));
     let trace = decoder.run(&ate_bits, atpg.tests.total_bits()).unwrap();
-    let applied = TestSet::from_stream(
-        atpg.tests.pattern_len(),
-        TritVec::from(&trace.scan_out),
-    );
+    let applied = TestSet::from_stream(atpg.tests.pattern_len(), TritVec::from(&trace.scan_out));
     assert!(applied.covers(&atpg.tests));
 }

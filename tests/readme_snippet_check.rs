@@ -1,0 +1,35 @@
+//! Compile-and-run guard for the README "streaming usage" example.
+//!
+//! README code blocks are not doctested, so this file mirrors the
+//! snippet verbatim — keep the two in sync when the API changes.
+fn main_snippet() -> Result<(), Box<dyn std::error::Error>> {
+    use ninec::decode::StreamDecoder;
+    use ninec::encode::Encoder;
+    use ninec_testdata::trit::TritVec;
+
+    let stream: TritVec = "0X0X00XX1111X11101X0".parse()?;
+    let encoder = Encoder::new(8)?;
+
+    let mut compressed = TritVec::new();
+    let mut enc = encoder.stream_encoder(&mut compressed);
+    for chunk in stream.chunks(7) {
+        enc.feed(chunk);
+    }
+    let totals = enc.finish();
+
+    let mut back = TritVec::new();
+    let mut dec = StreamDecoder::new(
+        compressed.as_slice().iter(),
+        8,
+        encoder.table().clone(),
+        totals.source_len,
+    )?;
+    while dec.decode_block_into(&mut back)? > 0 {}
+    assert!(back.covers(&stream));
+    Ok(())
+}
+
+#[test]
+fn readme_streaming_example_runs() {
+    main_snippet().unwrap();
+}

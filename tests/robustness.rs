@@ -26,9 +26,8 @@ proptest! {
     #[test]
     fn ninec_decode_arbitrary_bits(bits in arb_bits(512), out_len in 0usize..256) {
         let table = CodeTable::paper();
-        match decode_bits(&bits, 8, &table, out_len) {
-            Ok(out) => prop_assert_eq!(out.len(), out_len),
-            Err(_) => {}
+        if let Ok(out) = decode_bits(&bits, 8, &table, out_len) {
+            prop_assert_eq!(out.len(), out_len);
         }
     }
 
@@ -36,9 +35,8 @@ proptest! {
     #[test]
     fn hardware_decoder_arbitrary_bits(bits in arb_bits(512), out_len in 0usize..256) {
         let decoder = SingleScanDecoder::new(8, CodeTable::paper(), ClockRatio::new(4));
-        match decoder.run(&bits, out_len) {
-            Ok(trace) => prop_assert_eq!(trace.scan_out.len(), out_len),
-            Err(_) => {}
+        if let Ok(trace) = decoder.run(&bits, out_len) {
+            prop_assert_eq!(trace.scan_out.len(), out_len);
         }
     }
 
@@ -53,9 +51,8 @@ proptest! {
         prop_assume!(flip < bits.len());
         let original = bits.get(flip).unwrap();
         bits.set(flip, !original);
-        match decode_bits(&bits, 8, encoded.table(), encoded.source_len()) {
-            Ok(out) => prop_assert_eq!(out.len(), encoded.source_len()),
-            Err(_) => {}
+        if let Ok(out) = decode_bits(&bits, 8, encoded.table(), encoded.source_len()) {
+            prop_assert_eq!(out.len(), encoded.source_len());
         }
     }
 

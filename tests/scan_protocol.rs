@@ -25,7 +25,9 @@ fn shift_capture(
     let c = &scanned.circuit;
     // Cube layout (original circuit's scan view): PIs then PPIs.
     let pi_part: TritVec = (0..num_func_pis).map(|i| cube.get(i).unwrap()).collect();
-    let ppi_part: TritVec = (num_func_pis..cube.len()).map(|i| cube.get(i).unwrap()).collect();
+    let ppi_part: TritVec = (num_func_pis..cube.len())
+        .map(|i| cube.get(i).unwrap())
+        .collect();
 
     // Shift in reversed so chain cell i ends up holding ppi_part[i].
     let reversed: TritVec = ppi_part.iter().rev().collect();

@@ -1,0 +1,165 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The workspace builds in a sandbox without crates.io access, so the slice
+//! of `proptest` its test suites rely on is vendored here:
+//!
+//! - [`Strategy`] with `prop_map`, [`Just`], numeric range strategies,
+//!   [`collection::vec`], [`prelude::any`] and a small `[class]{lo,hi}`
+//!   string-pattern strategy;
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros.
+//!
+//! Differences from upstream: no shrinking (failures report the raw inputs),
+//! no persisted regression files, and a fixed deterministic RNG per test
+//! (derived from the test name). Case count defaults to 64 and honours the
+//! `PROPTEST_CASES` environment variable.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for [`vec`]: a count or a range of counts.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        pub(crate) lo: usize,
+        /// Inclusive upper bound.
+        pub(crate) hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements are drawn from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// The glob-import surface mirrored from upstream `proptest`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Types with a canonical strategy generating arbitrary values.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// The canonical strategy for `Self`.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Canonical strategy for `A` (e.g. `any::<bool>()`).
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = crate::strategy::BoolAny;
+        fn arbitrary() -> Self::Strategy {
+            crate::strategy::BoolAny
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = std::ops::RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..500 {
+            let v = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&v));
+            let w = (5i32..=7).generate(&mut rng);
+            assert!((5..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let strat = crate::collection::vec(0u8..4, 2..6).prop_map(|v| v.len());
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..200 {
+            let n = strat.generate(&mut rng);
+            assert!((2..6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_respected() {
+        let strat = prop_oneof![3 => Just(true), 1 => Just(false)];
+        let mut rng = TestRng::from_name("oneof");
+        let hits = (0..10_000).filter(|_| strat.generate(&mut rng)).count();
+        assert!((6500..8500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn string_pattern_strategy() {
+        let strat = "[ -~\n]{0,40}";
+        let mut rng = TestRng::from_name("strings");
+        for _ in 0..300 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        /// The macro pipeline itself: args, assume, assert.
+        #[test]
+        #[allow(clippy::overly_complex_bool_expr)] // the tautology is the point
+        fn macro_smoke(a in 0usize..50, b in any::<bool>()) {
+            prop_assume!(a != 13);
+            prop_assert!(a < 50);
+            prop_assert_eq!(b || !b, true, "tautology with a = {}", a);
+            prop_assert_ne!(a, 13usize);
+        }
+    }
+}

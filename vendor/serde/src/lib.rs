@@ -1,0 +1,66 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace builds in a sandbox without crates.io access. `serde` is
+//! only referenced as an *optional* dependency behind the (never enabled)
+//! `serde` cargo feature of `ninec-testdata`, so this placeholder exists
+//! purely to keep manifest resolution working. It defines skeletal
+//! `Serialize`/`Deserialize` traits but no derive macros or data formats;
+//! enabling the `ninec-testdata/serde` feature against this placeholder will
+//! not compile `serde_impls.rs` (it relies on upstream derive) — vendor the
+//! real `serde` before turning that feature on.
+
+#![warn(missing_docs)]
+
+/// A data structure that can be serialized (skeletal; see crate docs).
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization format (skeletal; see crate docs).
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Serialization error type.
+    type Error;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Deserialization traits (skeletal; see crate docs).
+pub mod de {
+    use std::fmt;
+
+    /// A data structure that can be deserialized (skeletal).
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A deserialization format (skeletal).
+    pub trait Deserializer<'de>: Sized {
+        /// Deserialization error type.
+        type Error: Error;
+
+        /// Deserializes a string.
+        fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    }
+
+    /// Drives deserialization of one value (skeletal).
+    pub trait Visitor<'de>: Sized {
+        /// The type this visitor produces.
+        type Value;
+
+        /// Visits a borrowed string.
+        fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E>;
+    }
+
+    /// Errors produced during deserialization.
+    pub trait Error: Sized + fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub use de::{Deserialize, Deserializer};

@@ -1,0 +1,414 @@
+//! Offline drop-in subset of the `serde_json` API.
+//!
+//! The workspace builds in a sandbox without crates.io access, so the slice
+//! of `serde_json` it uses is vendored here: the [`Value`] tree, a [`json!`]
+//! macro for object/array literals with expression values, `&str`/`usize`
+//! indexing, the `as_*`/`is_*` accessors the benches assert on, and
+//! [`to_string`] / [`to_string_pretty`] serialization.
+//!
+//! There is no serde integration and no parser — this crate *produces*
+//! machine-readable experiment output; nothing in the workspace parses JSON
+//! back in.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object. Insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number (integer or float).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Finite floating-point number.
+    Float(f64),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Returns the elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is any number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// `true` if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up a key in an object (`None` if absent or not an object).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Conversion into a [`Value`], used by the [`json!`] macro.
+///
+/// Implemented for the primitive types, strings, `Value` itself and
+/// slices/arrays/`Vec`s of convertible elements. Takes `&self` so the macro
+/// never moves out of borrowed struct fields.
+pub trait ToJson {
+    /// Converts to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+macro_rules! impl_tojson_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_tojson_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+impl_tojson_int!(i8, i16, i32, i64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Builds a [`Value`] from an object/array literal whose values are
+/// arbitrary expressions implementing [`ToJson`].
+///
+/// Supports the flat forms this workspace uses:
+/// `json!({ "k": expr, ... })`, `json!([expr, ...])`, `json!(expr)` and
+/// `json!(null)`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::ToJson::to_json(&$value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::ToJson::to_json(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Error type of the serialization functions.
+///
+/// Serializing a [`Value`] cannot fail in this vendored build; the `Result`
+/// return mirrors upstream so call sites stay source-compatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to compact JSON.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable JSON (2-space indent).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Object(entries) => {
+            write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                let (k, v) = &entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            });
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if v.is_finite() {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    out.push_str(&format!("{v:.1}"));
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            } else {
+                // serde_json maps non-finite floats to null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_indexing_and_accessors() {
+        let items = vec![1usize, 2, 3];
+        let name = String::from("s5378");
+        let v = json!({
+            "circuit": name,
+            "k_values": items,
+            "cr": 45.5,
+            "count": 7usize,
+        });
+        // `name` must still be usable: the macro borrows.
+        assert_eq!(name, "s5378");
+        assert_eq!(v["circuit"].as_str(), Some("s5378"));
+        assert_eq!(v["k_values"].as_array().unwrap().len(), 3);
+        assert!(v["k_values"][1].is_number());
+        assert_eq!(v["k_values"][1].as_u64(), Some(2));
+        assert!(v["cr"].is_number());
+        assert!(v["missing"].is_null());
+        assert!(v[99].is_null());
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = json!({ "a": 1usize, "b": [true, false], "c": "x\"y" });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.starts_with("{\n  \"a\": 1,"));
+        assert!(s.contains("\"b\": [\n    true,\n    false\n  ]"));
+        assert!(s.contains("\\\"y\""));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn float_formatting_matches_serde_json() {
+        assert_eq!(to_string(&json!(97.0f64)).unwrap(), "97.0");
+        assert_eq!(to_string(&json!(0.5f64)).unwrap(), "0.5");
+        assert_eq!(to_string(&json!(12usize)).unwrap(), "12");
+        assert_eq!(to_string(&json!(-3i32)).unwrap(), "-3");
+    }
+
+    #[test]
+    fn compact_vs_pretty() {
+        let v = Value::Array(vec![json!(1usize), json!(null)]);
+        assert_eq!(to_string(&v).unwrap(), "[1,null]");
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  null\n]");
+    }
+}
