@@ -55,8 +55,18 @@ pub trait TestDataCodec {
     /// # Errors
     ///
     /// Returns [`CodecDecodeError`] on truncated or corrupt streams.
+    ///
+    /// Successful decodes record their wall time into the per-codec
+    /// `ninec.baseline.<name>.decode_ns` histogram (a no-op with
+    /// telemetry compiled out or runtime-disabled).
     fn decode_stream(&self, encoded: &CodecStream) -> Result<TritVec, CodecDecodeError> {
-        encoded.decode()
+        let t0 = ninec_obs::runtime_enabled().then(std::time::Instant::now);
+        let out = encoded.decode();
+        if let (Some(t0), Ok(_)) = (t0, &out) {
+            ninec_obs::histogram(&format!("ninec.baseline.{}.decode_ns", self.name()))
+                .record(t0.elapsed().as_nanos() as u64);
+        }
+        out
     }
 
     /// Size in bits of the compressed form of `stream`.
@@ -70,12 +80,28 @@ pub trait TestDataCodec {
     /// compression nor expansion): every codec in this crate produces 0
     /// compressed bits for 0 input bits, and `0/0` is pinned to zero
     /// rather than NaN so sweep maxima and table averages stay finite.
+    ///
+    /// This is the Table IV harness entry point, so it doubles as the
+    /// per-codec measurement site: encode wall time goes to the
+    /// `ninec.baseline.<name>.encode_ns` histogram and the resulting
+    /// ratio to the `ninec.baseline.<name>.cr_pct` gauge (last write
+    /// wins — the gauge reflects the most recent circuit compared).
     fn compression_ratio(&self, stream: &TritVec) -> f64 {
         if stream.is_empty() {
             return 0.0;
         }
         let td = stream.len() as f64;
-        (td - self.compressed_size(stream) as f64) / td * 100.0
+        let t0 = ninec_obs::runtime_enabled().then(std::time::Instant::now);
+        let size = self.compressed_size(stream);
+        let cr = (td - size as f64) / td * 100.0;
+        if let Some(t0) = t0 {
+            let reg = ninec_obs::global();
+            reg.histogram(&format!("ninec.baseline.{}.encode_ns", self.name()))
+                .record(t0.elapsed().as_nanos() as u64);
+            reg.gauge(&format!("ninec.baseline.{}.cr_pct", self.name()))
+                .set(cr);
+        }
+        cr
     }
 }
 

@@ -10,7 +10,9 @@
 //! — debug-build numbers are meaningless.
 
 use ninec_bench::datasets::ibm_datasets;
-use ninec_bench::throughput::{measure, throughput_json, ThroughputRow};
+use ninec_bench::throughput::{
+    bench_core_json, measure, measure_obs_overhead, ObsOverheadRow, ThroughputRow,
+};
 use std::fs;
 use std::path::PathBuf;
 
@@ -49,11 +51,33 @@ fn main() {
         );
         rows.push(row);
     }
+    // Telemetry cost on the headline stream: same word-parallel encode with
+    // the obs runtime switch on vs off (the acceptance bar for the
+    // batched-publishing design is an obs-on delta within noise).
+    let mut obs_rows: Vec<ObsOverheadRow> = Vec::new();
+    for k in [8usize, 64] {
+        let row = measure_obs_overhead(&ibm[0].name, ckt1, k, 3);
+        eprintln!(
+            "{} K={:<3} obs on/off {:>8.1} / {:>8.1} Mbit/s ({:+.2}% overhead)",
+            row.circuit,
+            row.k,
+            row.on_mbit_s,
+            row.off_mbit_s,
+            row.overhead_pct()
+        );
+        obs_rows.push(row);
+    }
     if let Some(dir) = out.parent() {
         fs::create_dir_all(dir).expect("create results dir");
     }
-    let doc = throughput_json(&rows);
+    let doc = bench_core_json(&rows, &obs_rows);
     let text = serde_json::to_string_pretty(&doc).expect("serialize results");
     fs::write(&out, text + "\n").expect("write results");
     println!("wrote {}", out.display());
+    // Dump the live registry — populated by every encode this run timed —
+    // next to the throughput numbers, so the metric set backing the
+    // paper-table provenance notes is a tracked artifact.
+    let obs_out = out.with_file_name("OBS_core.json");
+    fs::write(&obs_out, ninec_obs::snapshot().render_json() + "\n").expect("write obs snapshot");
+    println!("wrote {}", obs_out.display());
 }

@@ -46,17 +46,52 @@ pub enum CliError {
     Io(std::io::Error),
 }
 
+impl CliError {
+    /// Process exit code for this error class.
+    ///
+    /// Scripts can distinguish a bad invocation (2) from an operation
+    /// that failed on valid arguments (3) and an I/O problem (4).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Failed(_) => 3,
+            CliError::Io(_) => 4,
+        }
+    }
+
+    /// Full structured report: the `ninec:`-prefixed headline plus one
+    /// `  caused by:` line per link of the [`std::error::Error::source`]
+    /// chain. This is what `main` prints to stderr.
+    pub fn report(&self) -> String {
+        use std::error::Error as _;
+        let mut s = format!("ninec: {self}");
+        let mut cause = self.source();
+        while let Some(e) = cause {
+            s.push_str(&format!("\n  caused by: {e}"));
+            cause = e.source();
+        }
+        s
+    }
+}
+
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
             CliError::Failed(msg) => write!(f, "{msg}"),
-            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Io(_) => write!(f, "i/o error"),
         }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            CliError::Usage(_) | CliError::Failed(_) => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
@@ -78,6 +113,13 @@ USAGE:
     ninec atpg       <netlist.bench> -o <out.cubes>
     ninec compare    <in.cubes> [-k <even>=8]
     ninec rtl        -o <decoder.v> [-k <even>=8] [--tb]
+
+GLOBAL FLAGS (any command):
+    --stats text|json   after the command succeeds, print the telemetry
+                        registry (counters, gauges, histograms) in
+                        Prometheus text format or as a JSON document
+    --trace-spans       also print the span-timer trace (one line per
+                        timed region, indented by nesting depth)
 ";
 
 /// Runs the CLI with `args` (without the program name), writing normal
@@ -87,25 +129,117 @@ USAGE:
 ///
 /// Returns [`CliError`] for bad arguments or failing operations.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (args, global) = extract_global_opts(args)?;
+    if global.trace_spans {
+        ninec_obs::set_trace_spans(true);
+    }
     let mut it = args.iter();
     let command = it
         .next()
         .ok_or_else(|| CliError::Usage("no command".into()))?;
     let rest: Vec<String> = it.cloned().collect();
-    match command.as_str() {
-        "compress" => compress(&rest, out),
-        "decompress" => decompress(&rest, out),
-        "info" => info(&rest, out),
-        "generate" => generate(&rest, out),
-        "atpg" => atpg(&rest, out),
-        "compare" => compare(&rest, out),
-        "rtl" => rtl(&rest, out),
-        "help" | "--help" | "-h" => {
-            writeln!(out, "{USAGE}")?;
-            Ok(())
+    let result = {
+        // One span per invocation so `--trace-spans` shows the library
+        // spans (encode_chunked, decode_stream, ...) nested under the
+        // command that triggered them.
+        let _span = ninec_obs::span(command_span_name(command));
+        match command.as_str() {
+            "compress" => compress(&rest, out),
+            "decompress" => decompress(&rest, out),
+            "info" => info(&rest, out),
+            "generate" => generate(&rest, out),
+            "atpg" => atpg(&rest, out),
+            "compare" => compare(&rest, out),
+            "rtl" => rtl(&rest, out),
+            "help" | "--help" | "-h" => {
+                writeln!(out, "{USAGE}")?;
+                Ok(())
+            }
+            other => Err(CliError::Usage(format!("unknown command {other:?}"))),
         }
-        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    };
+    if global.trace_spans {
+        // Drain even on error so a failed run doesn't leak events into
+        // the next invocation of a long-lived process (e.g. the tests).
+        let spans = ninec_obs::take_spans();
+        ninec_obs::set_trace_spans(false);
+        result?;
+        writeln!(out, "# spans ({} events)", spans.len())?;
+        for ev in &spans {
+            writeln!(
+                out,
+                "{:>12} ns  {}{}",
+                ev.nanos,
+                "  ".repeat(ev.depth),
+                ev.name
+            )?;
+        }
+    } else {
+        result?;
     }
+    match global.stats {
+        None => {}
+        Some(StatsFormat::Text) => write!(out, "{}", ninec_obs::snapshot().render_prometheus())?,
+        Some(StatsFormat::Json) => writeln!(out, "{}", ninec_obs::snapshot().render_json())?,
+    }
+    Ok(())
+}
+
+/// Static span label for a command (span names are `&'static str`).
+fn command_span_name(command: &str) -> &'static str {
+    match command {
+        "compress" => "cli_compress",
+        "decompress" => "cli_decompress",
+        "info" => "cli_info",
+        "generate" => "cli_generate",
+        "atpg" => "cli_atpg",
+        "compare" => "cli_compare",
+        "rtl" => "cli_rtl",
+        _ => "cli",
+    }
+}
+
+/// Output format for `--stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatsFormat {
+    Text,
+    Json,
+}
+
+/// Global flags that apply to every command.
+#[derive(Debug, Default)]
+struct GlobalOpts {
+    stats: Option<StatsFormat>,
+    trace_spans: bool,
+}
+
+/// Strips `--stats <fmt>` and `--trace-spans` out of `args` (they may
+/// appear anywhere on the line) and returns the remaining arguments.
+fn extract_global_opts(args: &[String]) -> Result<(Vec<String>, GlobalOpts), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut global = GlobalOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stats" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--stats needs text|json".into()))?;
+                global.stats = Some(match v.as_str() {
+                    "text" => StatsFormat::Text,
+                    "json" => StatsFormat::Json,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--stats wants text or json, got {other:?}"
+                        )))
+                    }
+                });
+            }
+            "--trace-spans" => global.trace_spans = true,
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((rest, global))
 }
 
 /// Parsed common options.
@@ -613,5 +747,124 @@ mod tests {
     #[test]
     fn help_prints_usage() {
         assert!(run_ok(&["help"]).contains("USAGE"));
+    }
+
+    #[test]
+    fn exit_codes_distinguish_error_classes() {
+        assert_eq!(run_err(&["frobnicate"]).exit_code(), 2);
+        let dir = tmpdir("exitcodes");
+        let bogus = dir.join("bogus.cubes");
+        fs::write(&bogus, "not a cube file at all\n!!!").unwrap();
+        let te = dir.join("x.te");
+        let failed = run_err(&["compress", path_str(&bogus), "-o", path_str(&te)]);
+        assert!(matches!(failed, CliError::Failed(_)));
+        assert_eq!(failed.exit_code(), 3);
+        let io = run_err(&["decompress", "/nonexistent/no/such.te", "-o", "out"]);
+        assert!(matches!(io, CliError::Io(_)));
+        assert_eq!(io.exit_code(), 4);
+    }
+
+    #[test]
+    fn io_error_report_prints_source_chain() {
+        let err = run_err(&["decompress", "/nonexistent/no/such.te", "-o", "out"]);
+        let report = err.report();
+        assert!(report.starts_with("ninec: i/o error"), "{report}");
+        assert!(report.contains("caused by:"), "{report}");
+        // The io::Error detail lives in the chain, not the headline.
+        assert!(
+            report.contains("No such file") || report.contains("not found"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn stats_text_prints_prometheus_exposition() {
+        let dir = tmpdir("statstext");
+        let cubes = dir.join("s.cubes");
+        let te = dir.join("s.te");
+        run_ok(&["generate", "custom:12,64,80", "-o", path_str(&cubes)]);
+        let msg = run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&te),
+            "--stats",
+            "text",
+        ]);
+        if ninec_obs::is_compiled() {
+            assert!(msg.contains("# TYPE"), "{msg}");
+            assert!(msg.contains("ninec_encode_blocks"), "{msg}");
+        } else {
+            // Compiled out: the command still works, the registry is empty.
+            assert!(msg.contains("CR"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn stats_json_parses_and_has_nonzero_encode_metrics() {
+        let dir = tmpdir("statsjson");
+        let cubes = dir.join("s.cubes");
+        let te = dir.join("s.te");
+        run_ok(&["generate", "custom:12,64,80", "-o", path_str(&cubes)]);
+        let msg = run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&te),
+            "--stats",
+            "json",
+        ]);
+        // The JSON document follows the human summary line: parse from the
+        // first '{' to the last '}'.
+        let start = msg.find('{').expect("json object in output");
+        let end = msg.rfind('}').expect("json object in output");
+        let doc = serde_json::from_str(&msg[start..=end]).expect("--stats json must be valid JSON");
+        if ninec_obs::is_compiled() {
+            let blocks = doc["counters"]["ninec.encode.blocks"]
+                .as_u64()
+                .expect("encode block counter present");
+            assert!(blocks > 0, "expected nonzero blocks: {doc:?}");
+            assert!(
+                doc["histograms"]["ninec.encode.throughput_mbit_s"]["count"]
+                    .as_u64()
+                    .unwrap_or(0)
+                    > 0,
+                "expected a throughput sample: {doc:?}"
+            );
+        } else {
+            // Compiled out: the document is still well-formed JSON with
+            // (empty) top-level sections.
+            assert!(matches!(doc["counters"], serde_json::Value::Object(_)));
+        }
+    }
+
+    #[test]
+    fn trace_spans_show_nested_encode_span() {
+        let dir = tmpdir("spans");
+        let cubes = dir.join("s.cubes");
+        let te = dir.join("s.te");
+        run_ok(&["generate", "custom:8,64,75", "-o", path_str(&cubes)]);
+        let msg = run_ok(&[
+            "--trace-spans",
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&te),
+        ]);
+        if ninec_obs::is_compiled() {
+            assert!(msg.contains("cli_compress"), "{msg}");
+            assert!(msg.contains("encode_chunked"), "{msg}");
+        } else {
+            assert!(msg.contains("# spans (0 events)"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn stats_flag_rejects_unknown_format() {
+        assert!(matches!(
+            run_err(&["help", "--stats", "xml"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(run_err(&["help", "--stats"]), CliError::Usage(_)));
     }
 }

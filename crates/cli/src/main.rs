@@ -8,8 +8,11 @@ fn main() -> ExitCode {
     match ninec_cli::run(&args, &mut stdout) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("ninec: {e}");
-            ExitCode::from(2)
+            // Structured report: headline plus the full source chain,
+            // and a distinct exit code per error class (usage=2,
+            // failed=3, i/o=4) so scripts can tell them apart.
+            eprintln!("{}", e.report());
+            ExitCode::from(e.exit_code())
         }
     }
 }

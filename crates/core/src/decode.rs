@@ -97,6 +97,7 @@ pub fn decode_stream(
         k >= 4 && k.is_multiple_of(2),
         "block size must be even and >= 4, got {k}"
     );
+    let _span = ninec_obs::span("decode_stream");
     let mut out = TritVec::with_capacity(source_len);
     let mut dec = StreamDecoder::new(stream.as_slice().iter(), k, table.clone(), source_len)
         .expect("block size validated above");
@@ -138,6 +139,9 @@ pub struct StreamDecoder<S: BitSource> {
     produced: usize,
     /// Bit offset consumed from the source, for error reporting.
     pos: usize,
+    /// Blocks decoded so far — local tally, flushed once to the
+    /// `ninec.decode.*` counters when the decoder is dropped.
+    blocks: u64,
 }
 
 impl<S: BitSource> StreamDecoder<S> {
@@ -163,6 +167,7 @@ impl<S: BitSource> StreamDecoder<S> {
             source_len,
             produced: 0,
             pos: 0,
+            blocks: 0,
         })
     }
 
@@ -252,6 +257,7 @@ impl<S: BitSource> StreamDecoder<S> {
             self.produced += half;
             emitted += take;
         }
+        self.blocks += 1;
         Ok(emitted)
     }
 
@@ -263,6 +269,18 @@ impl<S: BitSource> StreamDecoder<S> {
     pub fn run_into<O: BitSink>(mut self, out: &mut O) -> Result<(), DecodeError> {
         while self.decode_block_into(out)? > 0 {}
         Ok(())
+    }
+}
+
+impl<S: BitSource> Drop for StreamDecoder<S> {
+    /// Flushes the run's tally into the global [`ninec_obs`] registry
+    /// (`ninec.decode.runs` / `.blocks` / `.bits_in` / `.symbols_out`) —
+    /// one batched flush per decoder lifetime, skipped for decoders that
+    /// never emitted a block and compiled out with telemetry disabled.
+    fn drop(&mut self) {
+        if self.blocks > 0 {
+            crate::metrics::publish_decode(self.blocks, self.pos as u64, self.produced() as u64);
+        }
     }
 }
 

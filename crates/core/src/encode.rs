@@ -32,6 +32,13 @@ pub enum CaseSelect {
 
 /// Per-case occurrence counts and size bookkeeping for one encoding run —
 /// the paper's `N_1 … N_9` (Table VI) plus derived sizes.
+///
+/// Since the introduction of the [`crate::metrics`] telemetry layer this
+/// struct is the *local tally* the streaming encoder keeps on the hot
+/// path; at [`StreamEncoder::finish`] it is flushed once into the
+/// process-wide [`ninec_obs`] registry (counters
+/// `ninec.encode.case.C1 … C9`, `ninec.encode.blocks`, …). The public
+/// fields and accessors are kept as a thin per-run compatibility shim.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EncodeStats {
     /// Occurrences of each case, `C1` … `C9`.
@@ -46,8 +53,24 @@ pub struct EncodeStats {
 
 impl EncodeStats {
     /// Occurrences of `case`.
+    ///
+    /// **Deprecation note:** for cross-run aggregation prefer the
+    /// `ninec.encode.case.C*` counters in the [`ninec_obs::global`]
+    /// registry (see [`crate::metrics`]); this accessor only sees one
+    /// run's tally and will eventually become crate-private.
     pub fn count(&self, case: Case) -> u64 {
         self.case_counts[case.index()]
+    }
+
+    /// Flushes this tally into the global [`ninec_obs`] registry under
+    /// the `ninec.encode.*` names, exactly as [`StreamEncoder::finish`]
+    /// does automatically. `table`/`k` rebuild the per-block size
+    /// histogram from the case counts; `source_len` is `|T_D|`.
+    ///
+    /// This is the compatibility bridge for callers that assembled their
+    /// stats manually (e.g. from the scalar reference encoder).
+    pub fn publish(&self, source_len: usize, table: &CodeTable, k: usize) {
+        crate::metrics::publish_encode(self, source_len, table, k);
     }
 
     /// Recomputes `|T_E|` from the counts via the paper's formula:
@@ -239,10 +262,15 @@ impl Encoder {
     /// hot loop classifies each `K/2` half in `O(K/64)` word operations on
     /// the packed care/value planes and never allocates per block.
     pub fn encode_stream(&self, stream: &TritVec) -> Encoded {
+        let _span = ninec_obs::span("encode_stream");
+        let t0 = ninec_obs::runtime_enabled().then(std::time::Instant::now);
         let mut out = TritVec::with_capacity(stream.len() / 4 + 8);
         let mut enc = self.stream_encoder(&mut out);
         enc.feed(stream.as_slice());
         let totals = enc.finish();
+        if let Some(t0) = t0 {
+            crate::metrics::publish_encode_throughput(stream.len(), t0.elapsed().as_secs_f64());
+        }
         Encoded {
             k: self.k,
             table: self.table.clone(),
@@ -259,12 +287,20 @@ impl Encoder {
     where
         I: IntoIterator<Item = TritSlice<'a>>,
     {
+        let _span = ninec_obs::span("encode_chunked");
+        let t0 = ninec_obs::runtime_enabled().then(std::time::Instant::now);
         let mut out = TritVec::new();
         let mut enc = self.stream_encoder(&mut out);
         for chunk in chunks {
             enc.feed(chunk);
         }
         let totals = enc.finish();
+        if let Some(t0) = t0 {
+            crate::metrics::publish_encode_throughput(
+                totals.source_len,
+                t0.elapsed().as_secs_f64(),
+            );
+        }
         Encoded {
             k: self.k,
             table: self.table.clone(),
@@ -504,6 +540,11 @@ impl<S: BitSink> StreamEncoder<'_, S> {
 
     /// Flushes the final partial block (implicitly padded with `X`) and
     /// returns the run's totals.
+    ///
+    /// Also publishes the tally into the global [`ninec_obs`] registry
+    /// (one batched flush per run — the per-block hot loop never touches
+    /// an atomic); a no-op when telemetry is compiled out or runtime
+    /// disabled.
     pub fn finish(mut self) -> EncodeTotals {
         if !self.pending.is_empty() {
             encode_block(
@@ -514,6 +555,12 @@ impl<S: BitSink> StreamEncoder<'_, S> {
                 self.pending.as_slice(),
             );
         }
+        crate::metrics::publish_encode(
+            &self.stats,
+            self.source_len,
+            &self.encoder.table,
+            self.encoder.k,
+        );
         EncodeTotals {
             stats: self.stats,
             source_len: self.source_len,

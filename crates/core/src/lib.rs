@@ -21,6 +21,9 @@
 //! - [`stream`] — the [`stream::BitSink`] / [`stream::BitSource`]
 //!   abstractions the streaming codec reads and writes;
 //! - [`analysis`] — compression-ratio and test-application-time models;
+//! - [`metrics`] — the crate's telemetry names and batched publishing
+//!   into the [`ninec_obs`] global registry (compiled out without the
+//!   default-on `obs` feature);
 //! - [`freqdir`] — frequency-directed codeword reassignment (Table VII);
 //! - [`multiscan`] — vertical data arrangement for `m` scan chains
 //!   (reduced pin-count testing, Figures 3–4).
@@ -53,6 +56,7 @@ pub mod code;
 pub mod decode;
 pub mod encode;
 pub mod freqdir;
+pub mod metrics;
 pub mod multiscan;
 pub mod stream;
 

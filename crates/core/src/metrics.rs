@@ -1,0 +1,136 @@
+//! Metric names and publishing helpers for the codec's telemetry.
+//!
+//! All metric names the `ninec` crate emits into the
+//! [`ninec_obs::global()`] registry are defined here as constants so
+//! exporter consumers (CLI `--stats`, `bench_core`'s `OBS_core.json`)
+//! can reference them without string drift.
+//!
+//! Publishing is *batched*: the streaming encoder/decoder tally into
+//! plain local structs on the hot path and flush once per run through
+//! [`publish_encode`] / histogram helpers here, guarded by
+//! [`ninec_obs::runtime_enabled`] — with the `obs` feature off the
+//! whole module body compiles to nothing.
+
+use crate::code::{CodeTable, ALL_CASES};
+use crate::encode::EncodeStats;
+
+/// Counter: total `K`-bit blocks encoded.
+pub const ENCODE_BLOCKS: &str = "ninec.encode.blocks";
+/// Counter: total encoded bits `|T_E|` emitted.
+pub const ENCODE_BITS: &str = "ninec.encode.encoded_bits";
+/// Counter: total source symbols `|T_D|` consumed.
+pub const ENCODE_SOURCE_BITS: &str = "ninec.encode.source_bits";
+/// Counter: don't-cares that survived into verbatim payload.
+pub const ENCODE_LEFTOVER_X: &str = "ninec.encode.leftover_x";
+/// Counter name for one case's hits: `ninec.encode.case.C1` … `.C9`.
+#[must_use]
+pub fn case_counter_name(index: usize) -> String {
+    format!("ninec.encode.case.C{}", index + 1)
+}
+/// Histogram: per-block encoded size (codeword + payload) in bits.
+pub const ENCODE_BLOCK_BITS: &str = "ninec.encode.block_bits";
+/// Histogram: leftover-X density per run, in percent of `|T_D|`.
+pub const ENCODE_LX_PCT: &str = "ninec.encode.leftover_x_pct";
+/// Histogram: encoder throughput per run, in Mbit/s of source stream.
+pub const ENCODE_THROUGHPUT: &str = "ninec.encode.throughput_mbit_s";
+
+/// Counter: decode runs completed.
+pub const DECODE_RUNS: &str = "ninec.decode.runs";
+/// Counter: blocks decoded.
+pub const DECODE_BLOCKS: &str = "ninec.decode.blocks";
+/// Counter: compressed bits consumed.
+pub const DECODE_BITS_IN: &str = "ninec.decode.bits_in";
+/// Counter: symbols emitted (clipped to `source_len`).
+pub const DECODE_SYMBOLS_OUT: &str = "ninec.decode.symbols_out";
+
+/// Flushes one encoding run's totals into the global registry.
+///
+/// `table`/`k` reconstruct the per-block size distribution from the case
+/// counts (`N_i` samples of `|C_i| + payload_i(K)` each), so the hot loop
+/// never touches a histogram. No-op unless telemetry is compiled in *and*
+/// runtime-enabled.
+pub fn publish_encode(stats: &EncodeStats, source_len: usize, table: &CodeTable, k: usize) {
+    if !ninec_obs::runtime_enabled() {
+        return;
+    }
+    let reg = ninec_obs::global();
+    reg.counter(ENCODE_BLOCKS).add(stats.blocks);
+    reg.counter(ENCODE_BITS).add(stats.encoded_bits);
+    reg.counter(ENCODE_SOURCE_BITS).add(source_len as u64);
+    reg.counter(ENCODE_LEFTOVER_X).add(stats.leftover_x);
+    for case in ALL_CASES {
+        let n = stats.case_counts[case.index()];
+        if n > 0 {
+            reg.counter(&case_counter_name(case.index())).add(n);
+        }
+    }
+    let block_bits = reg.histogram(ENCODE_BLOCK_BITS);
+    for case in ALL_CASES {
+        let n = stats.case_counts[case.index()];
+        if n > 0 {
+            block_bits.record_n(table.block_bits(case, k) as u64, n);
+        }
+    }
+    if source_len > 0 {
+        let lx_pct = stats.leftover_x as f64 / source_len as f64 * 100.0;
+        reg.histogram(ENCODE_LX_PCT).record(lx_pct.round() as u64);
+    }
+}
+
+/// Records one run's encoder throughput (`source_bits` over `secs`).
+///
+/// No-op unless runtime-enabled or when the measurement is degenerate.
+pub fn publish_encode_throughput(source_bits: usize, secs: f64) {
+    if !ninec_obs::runtime_enabled() || secs <= 0.0 || source_bits == 0 {
+        return;
+    }
+    let mbit_s = source_bits as f64 / secs / 1e6;
+    ninec_obs::histogram(ENCODE_THROUGHPUT).record(mbit_s.round() as u64);
+}
+
+/// Flushes one decode run's totals into the global registry.
+///
+/// No-op unless telemetry is compiled in *and* runtime-enabled.
+pub fn publish_decode(blocks: u64, bits_in: u64, symbols_out: u64) {
+    if !ninec_obs::runtime_enabled() {
+        return;
+    }
+    let reg = ninec_obs::global();
+    reg.counter(DECODE_RUNS).inc();
+    reg.counter(DECODE_BLOCKS).add(blocks);
+    reg.counter(DECODE_BITS_IN).add(bits_in);
+    reg.counter(DECODE_SYMBOLS_OUT).add(symbols_out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_counter_names_are_c1_to_c9() {
+        assert_eq!(case_counter_name(0), "ninec.encode.case.C1");
+        assert_eq!(case_counter_name(8), "ninec.encode.case.C9");
+    }
+
+    #[test]
+    fn publish_encode_matches_stats() {
+        // Exercise the publishing path; exact-count assertions live in the
+        // isolated differential suite (tests/obs_differential.rs at the
+        // workspace root) because the global registry is process-wide.
+        let table = CodeTable::paper();
+        let stats = EncodeStats {
+            case_counts: [3, 0, 0, 0, 1, 0, 0, 0, 2],
+            blocks: 6,
+            encoded_bits: 40,
+            leftover_x: 4,
+        };
+        publish_encode(&stats, 48, &table, 8);
+        if ninec_obs::is_compiled() {
+            let snap = ninec_obs::snapshot();
+            assert!(snap.counter(ENCODE_BLOCKS).unwrap_or(0) >= 6);
+            assert!(snap.histogram(ENCODE_BLOCK_BITS).is_some());
+        } else {
+            assert!(ninec_obs::snapshot().is_empty());
+        }
+    }
+}

@@ -103,6 +103,15 @@ impl MultiScanDecoder {
         let vertical = TritVec::from(&decoder_trace.scan_out);
         let loaded = chains.horizontal_set(&vertical);
         let loads = (vertical_len / self.m) as u64;
+        // Live FSM cycle/load metrics for the multi-chain architecture;
+        // the inner single-scan run already published its own counters.
+        if ninec_obs::runtime_enabled() {
+            let reg = ninec_obs::global();
+            reg.counter("ninec.decomp.multi.runs").inc();
+            reg.counter("ninec.decomp.multi.loads").add(loads);
+            reg.counter("ninec.decomp.multi.soc_ticks")
+                .add(decoder_trace.soc_ticks);
+        }
         Ok(MultiScanTrace {
             loaded,
             decoder: decoder_trace,

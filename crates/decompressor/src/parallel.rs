@@ -169,6 +169,23 @@ impl ParallelDecoders {
         }
         let loaded = chains.horizontal_set(&vertical);
         let soc_ticks = per_decoder_ticks.iter().copied().max().unwrap_or(0);
+        // Live metrics for the parallel architecture: aggregate cycle
+        // counts plus a per-decoder tick histogram exposing the load
+        // imbalance that determines the critical path.
+        if ninec_obs::runtime_enabled() {
+            let reg = ninec_obs::global();
+            reg.counter("ninec.decomp.parallel.runs").inc();
+            reg.counter("ninec.decomp.parallel.soc_ticks")
+                .add(soc_ticks);
+            reg.counter("ninec.decomp.parallel.ate_bits")
+                .add(total_ate_bits);
+            reg.gauge("ninec.decomp.parallel.pins")
+                .set(self.pins() as f64);
+            let ticks = reg.histogram("ninec.decomp.parallel.decoder_ticks");
+            for &t in &per_decoder_ticks {
+                ticks.record(t);
+            }
+        }
         Ok(ParallelTrace {
             loaded,
             per_decoder_ticks,

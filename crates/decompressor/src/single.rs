@@ -145,6 +145,7 @@ impl SingleScanDecoder {
         ate_bits: &BitVec,
         out_len: usize,
     ) -> Result<DecompressionTrace, DecompressError> {
+        let _span = ninec_obs::span("decomp_single_run");
         let mut ate = AteChannel::new(ate_bits.clone());
         let mut trace = DecompressionTrace {
             scan_out: BitVec::with_capacity(out_len + self.k),
@@ -220,6 +221,17 @@ impl SingleScanDecoder {
         // Drop pad bits beyond the requested length.
         if trace.scan_out.len() > out_len {
             trace.scan_out = trace.scan_out.iter().take(out_len).collect();
+        }
+        // Batched telemetry flush: the per-tick FSM loop above never
+        // touches an atomic. No-op with `obs` off or runtime-disabled.
+        if ninec_obs::runtime_enabled() {
+            let reg = ninec_obs::global();
+            reg.counter("ninec.decomp.single.runs").inc();
+            reg.counter("ninec.decomp.single.blocks").add(trace.blocks);
+            reg.counter("ninec.decomp.single.soc_ticks")
+                .add(trace.soc_ticks);
+            reg.counter("ninec.decomp.single.ate_bits")
+                .add(trace.ate_bits);
         }
         Ok(trace)
     }

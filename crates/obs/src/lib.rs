@@ -1,0 +1,110 @@
+//! # `ninec-obs` — zero-external-dependency telemetry for the ninec workspace
+//!
+//! The paper's claims are quantitative (Table I codeword accounting,
+//! Table IV cross-codec ratios, decoder cycle costs), so every hot path
+//! in the workspace should be self-reporting. This crate is the substrate:
+//!
+//! - [`Counter`] / [`Gauge`] — lock-free atomics behind `Arc` handles;
+//! - [`Histogram`] — fixed 65-bucket log2 histogram (`0`, `[1,1]`,
+//!   `[2,3]`, …, up to `u64::MAX`) with count/sum/min/max;
+//! - [`SpanTimer`] — RAII monotonic-clock timer with per-thread nesting
+//!   depth, feeding a `span.<name>.ns` histogram and an optional ordered
+//!   trace buffer ([`set_trace_spans`] / [`take_spans`]);
+//! - [`Registry`] — named get-or-register metric handles, with a
+//!   process-wide instance at [`global()`];
+//! - [`export::Snapshot`] — a decoupled point-in-time copy with
+//!   Prometheus-text and JSON renderers.
+//!
+//! ## Feature story
+//!
+//! The default-on `enabled` feature selects the real implementation.
+//! With `--no-default-features` every type degenerates to a unit struct
+//! and every operation to an inlined empty body — call sites need no
+//! `cfg` guards, and the optimizer removes the instrumentation from the
+//! data plane entirely ([`is_compiled`] reports which build you got).
+//! [`export`] is compiled in both builds so exporters and golden tests
+//! are feature-independent.
+//!
+//! On top of the compile-time switch there is a *runtime* kill switch,
+//! [`set_runtime_enabled`]: benchmarks flip it to measure the
+//! obs-on vs obs-off delta inside a single binary.
+//!
+//! ## Example
+//!
+//! ```
+//! use ninec_obs as obs;
+//!
+//! let hits = obs::counter("ninec.encode.case.C1");
+//! hits.add(3);
+//! let h = obs::histogram("ninec.encode.codeword_bits");
+//! h.record(2);
+//! h.record(7);
+//! {
+//!     let _t = obs::span("encode");
+//!     // ... timed work ...
+//! }
+//! let snap = obs::snapshot();
+//! # #[cfg(feature = "enabled")]
+//! assert_eq!(snap.counter("ninec.encode.case.C1"), Some(3));
+//! let _text = snap.render_prometheus();
+//! let _json = snap.render_json();
+//! ```
+//!
+//! (With the feature disabled the snapshot is empty and the renderers
+//! produce valid empty documents — the example compiles either way.)
+
+#![warn(missing_docs)]
+
+pub mod export;
+
+#[cfg(feature = "enabled")]
+mod live;
+#[cfg(feature = "enabled")]
+pub use live::{
+    global, is_compiled, runtime_enabled, set_runtime_enabled, set_trace_spans, span, take_spans,
+    Counter, Gauge, Histogram, Registry, SpanEvent, SpanTimer,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    global, is_compiled, runtime_enabled, set_runtime_enabled, set_trace_spans, span, take_spans,
+    Counter, Gauge, Histogram, Registry, SpanEvent, SpanTimer,
+};
+
+pub use export::{HistogramSnapshot, Snapshot};
+
+/// Get-or-register the counter `name` on the [`global()`] registry.
+#[inline]
+#[must_use]
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Get-or-register the gauge `name` on the [`global()`] registry.
+#[inline]
+#[must_use]
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Get-or-register the histogram `name` on the [`global()`] registry.
+#[inline]
+#[must_use]
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
+/// A point-in-time [`Snapshot`] of the [`global()`] registry.
+#[inline]
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Clear every metric in the [`global()`] registry (handles stay valid).
+#[inline]
+pub fn reset() {
+    global().reset();
+}

@@ -1,0 +1,516 @@
+//! The real (feature `enabled`) metric implementation: lock-free atomic
+//! cells behind cloneable handles, registered in a named [`Registry`].
+//!
+//! Handles are cheap `Arc`s onto the shared atomic state; the registry
+//! mutex is touched only at registration/snapshot time, never on the hot
+//! path. All updates use relaxed ordering — metrics need totals, not
+//! ordering, and a [`Registry::snapshot`] sees every update that
+//! happened-before it via the mutex acquire.
+
+use crate::export::{bucket_index, bucket_upper, HistogramSnapshot, Snapshot, BUCKETS};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonically increasing atomic counter handle.
+///
+/// Clones share the same cell; updates are wait-free.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge handle.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` while empty.
+    min: AtomicU64,
+    /// `0` while empty (disambiguated by `count`).
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket log2 histogram handle (65 buckets covering all of
+/// `u64`; see [`crate::export::bucket_index`]).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value` in one update — how per-case
+    /// codeword-length distributions are flushed in bulk.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let core = &*self.0;
+        core.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        core.count.fetch_add(n, Ordering::Relaxed);
+        core.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        core.min.fetch_min(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean (`0.0` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Smallest observation, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.0.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest observation, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.0.max.load(Ordering::Relaxed))
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_upper(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            buckets,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named metric registry.
+///
+/// `Registry::new()` is `const`, so registries can live in statics; the
+/// process-wide default is [`global`]. Handle lookups lock a mutex —
+/// resolve handles once (e.g. in a `OnceLock`) on hot paths.
+#[derive(Debug, Default)]
+pub struct Registry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            slots: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Returns the counter `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.slot(name, || Slot::Counter(Counter(Arc::new(AtomicU64::new(0))))) {
+            Slot::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.slot(name, || Slot::Gauge(Gauge(Arc::new(AtomicU64::new(0))))) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.slot(name, || {
+            Slot::Histogram(Histogram(Arc::new(HistogramCore::new())))
+        }) {
+            Slot::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn slot(&self, name: &str, make: impl FnOnce() -> Slot) -> Slot {
+        let mut slots = self.slots.lock().expect("registry poisoned");
+        slots.entry(name.to_owned()).or_insert_with(make).clone()
+    }
+
+    /// Copies every metric into a [`Snapshot`], sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let slots = self.slots.lock().expect("registry poisoned");
+        let mut snap = Snapshot::default();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Slot::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Slot::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+
+    /// Zeroes every metric, keeping registrations (and outstanding
+    /// handles) alive.
+    pub fn reset(&self) {
+        let slots = self.slots.lock().expect("registry poisoned");
+        for slot in slots.values() {
+            match slot {
+                Slot::Counter(c) => c.0.store(0, Ordering::Relaxed),
+                Slot::Gauge(g) => g.set(0.0),
+                Slot::Histogram(h) => h.0.reset(),
+            }
+        }
+    }
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-wide default registry every `ninec` crate reports into.
+#[must_use]
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+static RUNTIME: AtomicBool = AtomicBool::new(true);
+
+/// Runtime kill switch consulted by the instrumentation call sites
+/// (flushes and span timers). Defaults to on; the `bench_core` binary
+/// toggles it to measure the obs-on vs obs-off throughput delta without
+/// a rebuild.
+pub fn set_runtime_enabled(on: bool) {
+    RUNTIME.store(on, Ordering::Relaxed);
+}
+
+/// Whether runtime collection is currently on (always `false` in the
+/// no-op build).
+#[must_use]
+pub fn runtime_enabled() -> bool {
+    RUNTIME.load(Ordering::Relaxed)
+}
+
+/// `true` when the crate was compiled with the `enabled` feature.
+#[must_use]
+pub const fn is_compiled() -> bool {
+    true
+}
+
+// --- span timers -----------------------------------------------------
+
+thread_local! {
+    static SPAN_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static SPAN_SEQ: AtomicU64 = AtomicU64::new(0);
+static SPAN_TRACE: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+/// One completed span, captured when span tracing is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Start order across the process (pre-order for nested spans).
+    pub seq: u64,
+    /// Span name as passed to [`span`].
+    pub name: &'static str,
+    /// Nesting depth on the opening thread at start time.
+    pub depth: usize,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Turns span-event capture on or off (duration histograms are always
+/// recorded while [`runtime_enabled`]); the CLI's `--trace-spans` flag
+/// sets this.
+pub fn set_trace_spans(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Drains and returns the captured span events in start order.
+#[must_use]
+pub fn take_spans() -> Vec<SpanEvent> {
+    let mut spans = std::mem::take(&mut *SPAN_TRACE.lock().expect("span trace poisoned"));
+    spans.sort_by_key(|s| s.seq);
+    spans
+}
+
+/// An RAII span timer over the monotonic clock.
+///
+/// Created by [`span`]; on drop it records its wall-clock duration into
+/// the global histogram `span.<name>.ns` and, when tracing is on,
+/// captures a [`SpanEvent`] with its nesting depth. Timers nest per
+/// thread: a span opened while another is live records one level deeper.
+#[derive(Debug)]
+pub struct SpanTimer {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: &'static str,
+    start: Instant,
+    depth: usize,
+    seq: u64,
+    hist: Histogram,
+}
+
+/// Opens a span named `name` on the global registry. Inert (and free)
+/// when [`runtime_enabled`] is off.
+#[must_use]
+pub fn span(name: &'static str) -> SpanTimer {
+    if !runtime_enabled() {
+        return SpanTimer { inner: None };
+    }
+    let depth = SPAN_DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanTimer {
+        inner: Some(SpanInner {
+            name,
+            start: Instant::now(),
+            depth,
+            seq: SPAN_SEQ.fetch_add(1, Ordering::Relaxed),
+            hist: global().histogram(&format!("span.{name}.ns")),
+        }),
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let nanos = inner.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        inner.hist.record(nanos);
+        if TRACING.load(Ordering::Relaxed) {
+            SPAN_TRACE
+                .lock()
+                .expect("span trace poisoned")
+                .push(SpanEvent {
+                    seq: inner.seq,
+                    name: inner.name,
+                    depth: inner.depth,
+                    nanos,
+                });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("c").get(), 5); // same cell via name
+        let g = reg.gauge("g");
+        g.set(2.25);
+        assert_eq!(reg.gauge("g").get(), 2.25);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        h.record(0);
+        h.record(3);
+        h.record_n(5, 2);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 13);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(5));
+        assert!((h.mean() - 3.25).abs() < 1e-12);
+        let snap = h.snapshot();
+        // 0 -> bucket 0 (le 0); 3 -> bucket 2 (le 3); 5,5 -> bucket 3 (le 7).
+        assert_eq!(snap.buckets, vec![(0, 1), (3, 1), (7, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn reset_keeps_handles_live() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        c.add(7);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(reg.snapshot().counter("c"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").inc();
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        set_trace_spans(true);
+        let _ = take_spans(); // drain anything from other tests
+        {
+            let _outer = span("test.outer");
+            let _inner = span("test.inner");
+        }
+        let spans = take_spans();
+        set_trace_spans(false);
+        let outer = spans.iter().find(|s| s.name == "test.outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "test.inner").unwrap();
+        assert_eq!(inner.depth, outer.depth + 1);
+        assert!(outer.seq < inner.seq);
+        assert!(global().histogram("span.test.outer.ns").count() >= 1);
+    }
+
+    #[test]
+    fn runtime_switch_makes_spans_inert() {
+        set_runtime_enabled(false);
+        let before = global().histogram("span.test.off.ns").count();
+        {
+            let _s = span("test.off");
+        }
+        set_runtime_enabled(true);
+        assert_eq!(global().histogram("span.test.off.ns").count(), before);
+    }
+}

@@ -1,0 +1,236 @@
+//! No-op twin of [`live`](../live.rs): the API surface compiled when the
+//! `enabled` feature is **off**.
+//!
+//! Every type is a unit struct and every operation an inlined empty body,
+//! so the optimizer erases instrumentation call sites entirely. The
+//! [`Snapshot`]-producing entry points return empty snapshots, which keeps
+//! exporters (and their golden tests) feature-independent.
+
+use crate::export::Snapshot;
+
+/// Monotonic event counter (no-op build: always zero).
+#[derive(Debug, Clone, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always `0`.
+    #[inline(always)]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Last-write-wins float gauge (no-op build: always zero).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(&self, _value: f64) {}
+
+    /// Always `0.0`.
+    #[inline(always)]
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Fixed-bucket log2 histogram (no-op build: always empty).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&self, _value: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record_n(&self, _value: u64, _n: u64) {}
+
+    /// Always `0`.
+    #[inline(always)]
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always `0`.
+    #[inline(always)]
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        0
+    }
+
+    /// Always `0.0`.
+    #[inline(always)]
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        0.0
+    }
+
+    /// Always `None`.
+    #[inline(always)]
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        None
+    }
+
+    /// Always `None`.
+    #[inline(always)]
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Named-metric registry (no-op build: permanently empty).
+#[derive(Debug, Default)]
+pub struct Registry;
+
+impl Registry {
+    /// A new, permanently empty registry.
+    #[must_use]
+    pub const fn new() -> Self {
+        Registry
+    }
+
+    /// A unit [`Counter`]; the name is discarded.
+    #[inline(always)]
+    #[must_use]
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+
+    /// A unit [`Gauge`]; the name is discarded.
+    #[inline(always)]
+    #[must_use]
+    pub fn gauge(&self, _name: &str) -> Gauge {
+        Gauge
+    }
+
+    /// A unit [`Histogram`]; the name is discarded.
+    #[inline(always)]
+    #[must_use]
+    pub fn histogram(&self, _name: &str) -> Histogram {
+        Histogram
+    }
+
+    /// Always the empty [`Snapshot`].
+    #[inline(always)]
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn reset(&self) {}
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-wide registry (no-op build: permanently empty).
+#[inline(always)]
+#[must_use]
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Does nothing: there is no runtime switch to flip in the no-op build.
+#[inline(always)]
+pub fn set_runtime_enabled(_on: bool) {}
+
+/// Always `false`: instrumentation is compiled out.
+#[inline(always)]
+#[must_use]
+pub fn runtime_enabled() -> bool {
+    false
+}
+
+/// Always `false` in this build.
+#[inline(always)]
+#[must_use]
+pub fn is_compiled() -> bool {
+    false
+}
+
+/// One completed span occurrence (no-op build: never produced).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Global start order of the span.
+    pub seq: u64,
+    /// Static span name.
+    pub name: &'static str,
+    /// Nesting depth on the recording thread (`0` = outermost).
+    pub depth: usize,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Does nothing: span tracing does not exist in the no-op build.
+#[inline(always)]
+pub fn set_trace_spans(_on: bool) {}
+
+/// Always empty.
+#[inline(always)]
+#[must_use]
+pub fn take_spans() -> Vec<SpanEvent> {
+    Vec::new()
+}
+
+/// An inert timer; dropping it records nothing.
+#[inline(always)]
+#[must_use]
+pub fn span(_name: &'static str) -> SpanTimer {
+    SpanTimer
+}
+
+/// RAII span timer (no-op build: a unit struct whose drop is empty).
+#[derive(Debug)]
+pub struct SpanTimer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_inert() {
+        let reg = global();
+        let c = reg.counter("x");
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = reg.gauge("g");
+        g.set(3.5);
+        assert!((g.get() - 0.0).abs() < 1e-12);
+        let h = reg.histogram("h");
+        h.record(7);
+        h.record_n(4, 3);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(reg.snapshot().is_empty());
+        assert!(!is_compiled());
+        set_runtime_enabled(true);
+        assert!(!runtime_enabled());
+        set_trace_spans(true);
+        {
+            let _t = span("work");
+        }
+        assert!(take_spans().is_empty());
+        reg.reset();
+    }
+}

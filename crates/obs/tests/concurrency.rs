@@ -1,0 +1,66 @@
+//! Multi-threaded hammer test: 8 threads increment the same counter and
+//! histogram handles; totals must be exact (no lost updates).
+//!
+//! Only meaningful in the real build — with the feature off the metrics
+//! are inert and the assertions flip to the always-zero contract.
+
+use std::thread;
+
+const THREADS: u64 = 8;
+const ITERS: u64 = 10_000;
+
+#[test]
+fn eight_threads_exact_totals() {
+    let reg = ninec_obs::global();
+    let counter = reg.counter("conc.hits");
+    let hist = reg.histogram("conc.values");
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    counter.inc();
+                    // Deterministic value mix spanning several buckets.
+                    hist.record(t * ITERS + i);
+                }
+            });
+        }
+    });
+
+    if ninec_obs::is_compiled() {
+        assert_eq!(counter.get(), THREADS * ITERS);
+        assert_eq!(hist.count(), THREADS * ITERS);
+        // Sum of 0 .. THREADS*ITERS - 1.
+        let n = THREADS * ITERS;
+        assert_eq!(hist.sum(), n * (n - 1) / 2);
+        assert_eq!(hist.min(), Some(0));
+        assert_eq!(hist.max(), Some(n - 1));
+        // The snapshot agrees and its buckets account for every sample.
+        let snap = reg.snapshot();
+        let hs = snap.histogram("conc.values").unwrap();
+        assert_eq!(hs.buckets.iter().map(|&(_, c)| c).sum::<u64>(), n);
+    } else {
+        assert_eq!(counter.get(), 0);
+        assert_eq!(hist.count(), 0);
+    }
+}
+
+#[test]
+fn concurrent_get_or_register_is_one_handle() {
+    // All threads asking for the same name must share one underlying slot.
+    let reg = ninec_obs::global();
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..ITERS {
+                    reg.counter("conc.shared").inc();
+                }
+            });
+        }
+    });
+    if ninec_obs::is_compiled() {
+        assert_eq!(reg.counter("conc.shared").get(), THREADS * ITERS);
+    }
+}

@@ -103,6 +103,16 @@ impl TestSetStats {
         if set.num_patterns() == 0 {
             min_care = 0.0;
         }
+        // One histogram sample per analyzed set: the X-density the paper's
+        // LX trade-off depends on, surfaced through the telemetry registry
+        // (`testdata.x_density_pct`). Batched here — never in the per-symbol
+        // loop — and compiled out without the `obs` feature.
+        let total = zeros + ones + xs;
+        if ninec_obs::runtime_enabled() && total > 0 {
+            let pct = xs as f64 / total as f64 * 100.0;
+            ninec_obs::histogram("testdata.x_density_pct").record(pct.round() as u64);
+            ninec_obs::counter("testdata.sets_analyzed").inc();
+        }
         TestSetStats {
             num_patterns: set.num_patterns(),
             pattern_len: set.pattern_len(),

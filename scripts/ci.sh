@@ -21,4 +21,22 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The telemetry layer must be provably optional: the whole suite also
+# passes with the obs feature (and every probe it gates) compiled out.
+echo "==> cargo test -q --workspace --no-default-features"
+cargo test -q --workspace --no-default-features
+
+# Release-binary smoke test of the stats plumbing on a tiny CKT profile:
+# generate -> compress --stats json must emit a JSON document with the
+# encode counters in it.
+echo "==> ninec --stats smoke test"
+cargo build -q --release -p ninec-cli
+smokedir="$(mktemp -d)"
+trap 'rm -rf "$smokedir"' EXIT
+./target/release/ninec generate custom:8,64,75 -o "$smokedir/t.cubes" >/dev/null
+./target/release/ninec compress "$smokedir/t.cubes" -o "$smokedir/t.te" \
+    --stats json | grep -q '"ninec.encode.blocks"'
+./target/release/ninec compress "$smokedir/t.cubes" -o "$smokedir/t.te" \
+    --stats text | grep -q '^# TYPE ninec_encode_blocks counter'
+
 echo "CI OK"

@@ -33,3 +33,26 @@ fn main_snippet() -> Result<(), Box<dyn std::error::Error>> {
 fn readme_streaming_example_runs() {
     main_snippet().unwrap();
 }
+
+/// Mirrors the README "Observability" snippet verbatim (modulo the
+/// `println!`, elided to keep test output quiet).
+fn observability_snippet() -> Result<(), Box<dyn std::error::Error>> {
+    use ninec::encode::Encoder;
+    use ninec_testdata::trit::TritVec;
+
+    let stream: TritVec = "0X0X00XX1111X11101X0".parse()?;
+    Encoder::new(4)?.encode_stream(&stream); // 5 blocks of K=4
+
+    let snap = ninec_obs::snapshot();
+    if ninec_obs::is_compiled() {
+        // false under --no-default-features
+        assert!(snap.counter("ninec.encode.blocks").unwrap_or(0) >= 5);
+    }
+    let _ = snap.render_prometheus(); // or snap.render_json()
+    Ok(())
+}
+
+#[test]
+fn readme_observability_example_runs() {
+    observability_snippet().unwrap();
+}

@@ -6,9 +6,10 @@
 //! indexing, the `as_*`/`is_*` accessors the benches assert on, and
 //! [`to_string`] / [`to_string_pretty`] serialization.
 //!
-//! There is no serde integration and no parser — this crate *produces*
-//! machine-readable experiment output; nothing in the workspace parses JSON
-//! back in.
+//! There is no serde integration. A minimal recursive-descent [`from_str`]
+//! parser is provided so tests can round-trip the machine-readable output
+//! this workspace produces (e.g. CLI `--stats json` snapshots); it accepts
+//! strict JSON with the standard escapes and rejects trailing input.
 
 #![warn(missing_docs)]
 
@@ -344,6 +345,242 @@ fn write_number(out: &mut String, n: Number) {
     }
 }
 
+/// Parses a strict-JSON document into a [`Value`].
+///
+/// Accepts the full value grammar (objects, arrays, strings with the
+/// standard `\uXXXX` escapes incl. surrogate pairs, numbers, booleans,
+/// `null`) and errors on garbage, truncation, or trailing non-whitespace.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(Error(format!(
+                "unexpected character '{}' at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".to_owned())),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".to_owned())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.parse_hex4()?;
+                                    let combined = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + lo.checked_sub(0xDC00).ok_or_else(|| {
+                                            Error("invalid low surrogate".to_owned())
+                                        })?;
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| Error("invalid surrogate pair".to_owned()))?
+                                } else {
+                                    return Err(Error("lone high surrogate".to_owned()));
+                                }
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error("invalid \\u escape".to_owned()))?
+                            };
+                            out.push(c);
+                            // parse_hex4 left pos just past the digits.
+                            continue;
+                        }
+                        _ => return Err(Error(format!("bad escape at byte {}", self.pos))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 character from the source.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid utf-8 in string".to_owned()))?;
+                    let c = s.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(Error("raw control character in string".to_owned()));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error("truncated \\u escape".to_owned()));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error("invalid \\u escape".to_owned()))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error("invalid \\u escape".to_owned()))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<i64>() {
+                    return Ok(Value::Number(Number::NegInt(-v)));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| Error(format!("invalid number '{text}'")))
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -410,5 +647,55 @@ mod tests {
         let v = Value::Array(vec![json!(1usize), json!(null)]);
         assert_eq!(to_string(&v).unwrap(), "[1,null]");
         assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  null\n]");
+    }
+
+    #[test]
+    fn parser_round_trips_own_output() {
+        let v = json!({
+            "name": "CKT1 \"quoted\"\n",
+            "counts": [0usize, 17, 4096],
+            "cr": 61.25,
+            "neg": -3i32,
+            "flag": true,
+            "none": Value::Null,
+            "nested": Value::Object(vec![("k".to_owned(), json!(2usize))]),
+        });
+        for rendered in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back = from_str(&rendered).unwrap();
+            assert_eq!(back, v, "round trip through {rendered:?}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_standard_json() {
+        assert_eq!(from_str(" null ").unwrap(), Value::Null);
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
+        assert_eq!(from_str("\"a\\u0041\"").unwrap().as_str(), Some("aA"));
+        // Surrogate pair for U+1D11E (musical G clef).
+        assert_eq!(
+            from_str("\"\\uD834\\uDD1E\"").unwrap().as_str(),
+            Some("\u{1D11E}")
+        );
+        assert_eq!(from_str("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(from_str("-12").unwrap().as_f64(), Some(-12.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "\"\\q\"",
+            "1 2",
+            "{\"a\" 1}",
+            "\"\\uD834\"",
+        ] {
+            assert!(from_str(bad).is_err(), "should reject {bad:?}");
+        }
     }
 }
