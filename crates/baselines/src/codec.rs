@@ -36,13 +36,70 @@ use std::fmt;
 /// (enough to reproduce the compression-ratio comparisons); each concrete
 /// codec additionally exposes its own typed encode/decode API, which the
 /// test suites use for error-path verification.
-pub trait TestDataCodec {
+///
+/// The `Send + Sync` supertrait lets the default *segmented* methods
+/// ([`encode_segmented`](TestDataCodec::encode_segmented) /
+/// [`decode_segmented`](TestDataCodec::decode_segmented)) shard one stream
+/// across the engine's work-stealing pool — every codec in this crate is a
+/// plain owned-data struct, so the bound costs nothing.
+pub trait TestDataCodec: Send + Sync {
     /// Short display name (e.g. `"FDR"`).
     fn name(&self) -> &str;
 
     /// Compresses `stream` (a test-cube stream; the codec applies its own
     /// preferred don't-care fill) into a self-describing [`CodecStream`].
     fn encode_stream(&self, stream: &TritVec) -> CodecStream;
+
+    /// Parallel default-method path: partitions `stream` into segments of
+    /// `segment_bits` source trits (the same segment geometry as
+    /// [`ninec::engine::Engine`]) and encodes each independently on the
+    /// engine's work-stealing pool.
+    ///
+    /// Determinism: segments are keyed by index and reassembled in source
+    /// order, so the result is independent of `threads`. Each segment is a
+    /// self-contained [`CodecStream`] — exactly the paper's Fig. 4(c)
+    /// picture of one encoded sub-stream per on-chip decoder.
+    fn encode_segmented(
+        &self,
+        stream: &TritVec,
+        threads: usize,
+        segment_bits: usize,
+    ) -> SegmentedStream {
+        let seg_len = segment_bits.max(1);
+        let ranges: Vec<(usize, usize)> = (0..stream.len().div_ceil(seg_len))
+            .map(|i| (i * seg_len, ((i + 1) * seg_len).min(stream.len())))
+            .collect();
+        let segments = ninec::engine::pool::map_indexed(threads, ranges.len(), |i| {
+            let (start, end) = ranges[i];
+            let mut sub = TritVec::with_capacity(end - start);
+            sub.extend_from_slice(stream.slice_view(start, end));
+            self.encode_stream(&sub)
+        });
+        SegmentedStream { segments }
+    }
+
+    /// Decodes a [`SegmentedStream`] produced by
+    /// [`encode_segmented`](TestDataCodec::encode_segmented), decoding
+    /// segments concurrently and concatenating them in stream order.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CodecDecodeError`] in segment order, if any segment is
+    /// truncated or corrupt.
+    fn decode_segmented(
+        &self,
+        encoded: &SegmentedStream,
+        threads: usize,
+    ) -> Result<TritVec, CodecDecodeError> {
+        let parts = ninec::engine::pool::map_indexed(threads, encoded.segments.len(), |i| {
+            self.decode_stream(&encoded.segments[i])
+        });
+        let mut out = TritVec::with_capacity(encoded.source_len());
+        for part in parts {
+            out.extend_from_tritvec(&part?);
+        }
+        Ok(out)
+    }
 
     /// Reconstructs test data from an [`encode_stream`](TestDataCodec::encode_stream)
     /// result.
@@ -102,6 +159,36 @@ pub trait TestDataCodec {
                 .set(cr);
         }
         cr
+    }
+}
+
+/// A stream sharded into independently decodable [`CodecStream`]
+/// segments — the output of [`TestDataCodec::encode_segmented`].
+///
+/// Segment order is source order; concatenating the decoded segments
+/// reproduces the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentedStream {
+    segments: Vec<CodecStream>,
+}
+
+impl SegmentedStream {
+    /// The per-segment compressed streams, in source order.
+    #[must_use]
+    pub fn segments(&self) -> &[CodecStream] {
+        &self.segments
+    }
+
+    /// Total source trits covered, `|T_D|`.
+    #[must_use]
+    pub fn source_len(&self) -> usize {
+        self.segments.iter().map(CodecStream::source_len).sum()
+    }
+
+    /// Total ATE payload bits across segments, `|T_E|`.
+    #[must_use]
+    pub fn compressed_bits(&self) -> usize {
+        self.segments.iter().map(CodecStream::compressed_bits).sum()
     }
 }
 
@@ -212,7 +299,7 @@ impl CodecStream {
             Payload::Vihc(enc) => Ok(TritVec::from(&enc.decode()?)),
             Payload::SelHuff(enc) => Ok(TritVec::from(&enc.decode()?)),
             Payload::Dict(enc) => Ok(TritVec::from(&enc.decode()?)),
-            Payload::NineC(enc) => Ok(ninec::decode(enc)?),
+            Payload::NineC(enc) => Ok(ninec::DecodeSession::new().decode(enc)?),
         }
     }
 }
@@ -420,6 +507,43 @@ mod tests {
                 codec.name()
             );
         }
+    }
+
+    #[test]
+    fn segmented_path_is_thread_count_independent_for_every_codec() {
+        let src: TritVec = "0X0X0X1XX01110000000001XXXX10X0X"
+            .repeat(8)
+            .parse()
+            .unwrap();
+        for codec in crate::registry::table4_registry(8).unwrap() {
+            let serial = codec.encode_segmented(&src, 1, 64);
+            assert_eq!(serial.source_len(), src.len(), "{}", codec.name());
+            for threads in [2usize, 8] {
+                let par = codec.encode_segmented(&src, threads, 64);
+                assert_eq!(par, serial, "{} threads={threads}", codec.name());
+            }
+            let back = codec.decode_segmented(&serial, 4).unwrap();
+            assert_eq!(back.len(), src.len(), "{}", codec.name());
+            for i in 0..src.len() {
+                if let Some(v) = src.get(i).unwrap().value() {
+                    assert_eq!(
+                        back.get(i).and_then(Trit::value),
+                        Some(v),
+                        "{} care bit {i}",
+                        codec.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_empty_stream_has_no_segments() {
+        let empty = TritVec::new();
+        let enc = Fake.encode_segmented(&empty, 4, 64);
+        assert!(enc.segments().is_empty());
+        assert_eq!(enc.compressed_bits(), 0);
+        assert!(Fake.decode_segmented(&enc, 4).unwrap().is_empty());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use crate::codec::{CodecStream, Payload, TestDataCodec};
 use ninec::encode::{Encoder, InvalidBlockSize};
+use ninec::engine::Engine;
+use ninec::DecodeError;
 use ninec_testdata::trit::TritVec;
 
 /// The nine-coded compression technique as a [`TestDataCodec`].
@@ -53,6 +55,40 @@ impl NineCoded {
     pub fn k(&self) -> usize {
         self.encoder.k()
     }
+
+    /// Compresses `stream` into a self-describing `9CSF` segment frame,
+    /// encoding segments concurrently on `threads` workers — the real
+    /// framed container (unlike the generic
+    /// [`TestDataCodec::encode_segmented`] path, which shards into
+    /// in-memory [`CodecStream`]s). The bytes are independent of the
+    /// thread count.
+    #[must_use]
+    pub fn encode_frame(&self, stream: &TritVec, threads: usize, segment_bits: usize) -> Vec<u8> {
+        self.engine(threads, segment_bits)
+            .encode_frame(self.k(), stream)
+            .expect("block size validated at construction")
+    }
+
+    /// Decodes a `9CSF` frame produced by
+    /// [`encode_frame`](NineCoded::encode_frame), sharding segments across
+    /// `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`DecodeError`] on corrupt, truncated or hostile frames —
+    /// never panics.
+    pub fn decode_frame(&self, bytes: &[u8], threads: usize) -> Result<TritVec, DecodeError> {
+        self.engine(threads, ninec::engine::DEFAULT_SEGMENT_BITS)
+            .decode_frame(bytes)
+    }
+
+    fn engine(&self, threads: usize, segment_bits: usize) -> Engine {
+        Engine::builder()
+            .threads(threads)
+            .segment_bits(segment_bits)
+            .table(self.encoder.table().clone())
+            .build()
+    }
 }
 
 impl TestDataCodec for NineCoded {
@@ -88,6 +124,32 @@ mod tests {
             adapter.compression_ratio(&stream),
             direct.compression_ratio()
         );
+    }
+
+    #[test]
+    fn frame_roundtrip_is_thread_count_independent() {
+        let stream: TritVec = "0X0X0X1XX01110000000001XXXX10X0X"
+            .repeat(16)
+            .parse()
+            .unwrap();
+        let adapter = NineCoded::new(8).unwrap();
+        let serial = adapter.encode_frame(&stream, 1, 128);
+        for threads in [2usize, 8] {
+            assert_eq!(adapter.encode_frame(&stream, threads, 128), serial);
+        }
+        let back = adapter.decode_frame(&serial, 4).unwrap();
+        assert_eq!(back.len(), stream.len());
+        for i in 0..stream.len() {
+            let s = stream.get(i).unwrap();
+            if s.is_care() {
+                assert_eq!(Some(s), back.get(i), "care bit {i}");
+            }
+        }
+        // Hostile bytes are typed errors, never panics.
+        assert!(adapter.decode_frame(b"garbage", 2).is_err());
+        assert!(adapter
+            .decode_frame(&serial[..serial.len() - 1], 2)
+            .is_err());
     }
 
     #[test]

@@ -13,9 +13,9 @@
 
 use crate::datasets::Dataset;
 use crate::format::{pct, TextTable};
-use ninec::decode::decode;
 use ninec::encode::Encoder;
 use ninec::freqdir::frequency_directed_table;
+use ninec::session::DecodeSession;
 use ninec_baselines::huffman::HuffmanCode;
 use ninec_testdata::cube::TestSet;
 use ninec_testdata::fill::FillStrategy;
@@ -260,7 +260,9 @@ pub fn fill_ablation(datasets: &[Dataset], k: usize) -> Vec<FillAblation> {
         .iter()
         .map(|ds| {
             let enc = Encoder::new(k).expect("valid K").encode_set(&ds.cubes);
-            let decoded = decode(&enc).expect("own encoding decodes");
+            let decoded = DecodeSession::new()
+                .decode(&enc)
+                .expect("own encoding decodes");
             let decoded_set = TestSet::from_stream(ds.cubes.pattern_len(), decoded);
             let rows = vec![
                 (
@@ -316,7 +318,9 @@ pub fn power_encoding_ablation(
                     .with_case_select(select)
                     .encode_set(&ds.cubes);
                 let cr = enc.compression_ratio();
-                let decoded = decode(&enc).expect("own encoding decodes");
+                let decoded = DecodeSession::new()
+                    .decode(&enc)
+                    .expect("own encoding decodes");
                 let decoded_set = TestSet::from_stream(ds.cubes.pattern_len(), decoded);
                 let power = scan_power(&decoded_set, FillStrategy::MinTransition);
                 (cr, power.total)

@@ -11,7 +11,8 @@
 
 use ninec_bench::datasets::ibm_datasets;
 use ninec_bench::throughput::{
-    bench_core_json, measure, measure_obs_overhead, ObsOverheadRow, ThroughputRow,
+    bench_core_json, measure, measure_engine_scaling, measure_obs_overhead, EngineScalingRow,
+    ObsOverheadRow, ThroughputRow,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -67,10 +68,24 @@ fn main() {
         );
         obs_rows.push(row);
     }
+    // Sharded-engine scaling: frame encode/decode of the 16 Mbit CKT1
+    // stream at 1/2/4/8 worker threads. Frames are asserted byte-identical
+    // to the serial engine at every thread count; the JSON records the
+    // machine's available parallelism so the speedups can be judged in
+    // context (a 1-core box necessarily measures ~1.0x at every count).
+    let mut scaling_rows: Vec<EngineScalingRow> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let row = measure_engine_scaling(&ibm[0].name, ckt1, 8, threads, 1 << 20, 3);
+        eprintln!(
+            "{} K=8 threads={:<2} encode {:>8.1} Mbit/s, decode {:>8.1} Mbit/s",
+            row.circuit, row.threads, row.encode_mbit_s, row.decode_mbit_s
+        );
+        scaling_rows.push(row);
+    }
     if let Some(dir) = out.parent() {
         fs::create_dir_all(dir).expect("create results dir");
     }
-    let doc = bench_core_json(&rows, &obs_rows);
+    let doc = bench_core_json(&rows, &obs_rows, &scaling_rows);
     let text = serde_json::to_string_pretty(&doc).expect("serialize results");
     fs::write(&out, text + "\n").expect("write results");
     println!("wrote {}", out.display());

@@ -9,8 +9,8 @@
 //! against constant fill of the *same* decompressed patterns.
 
 use crate::format::TextTable;
-use ninec::decode::decode;
 use ninec::encode::Encoder;
+use ninec::session::DecodeSession;
 use ninec_atpg::generate::{generate_tests, AtpgConfig};
 use ninec_circuit::bench::{parse_bench, S27};
 use ninec_circuit::random::RandomCircuitSpec;
@@ -49,7 +49,9 @@ pub fn ndetect_experiment(k: usize, repeats: usize) -> Vec<NDetectRow> {
 pub fn ndetect_on(circuit: &Circuit, k: usize, repeats: usize) -> NDetectRow {
     let atpg = generate_tests(circuit, AtpgConfig::default());
     let encoded = Encoder::new(k).expect("valid K").encode_set(&atpg.tests);
-    let decoded = decode(&encoded).expect("own encoding decodes");
+    let decoded = DecodeSession::new()
+        .decode(&encoded)
+        .expect("own encoding decodes");
     let decoded_set = TestSet::from_stream(atpg.tests.pattern_len(), decoded);
     let faults = collapsed_faults(circuit);
 
@@ -115,7 +117,9 @@ pub fn render_ndetect(rows: &[NDetectRow], k: usize, repeats: usize) -> String {
 pub fn decoded_set_of(circuit: &Circuit, k: usize) -> TestSet {
     let atpg = generate_tests(circuit, AtpgConfig::default());
     let encoded = Encoder::new(k).expect("valid K").encode_set(&atpg.tests);
-    let decoded: TritVec = decode(&encoded).expect("own encoding decodes");
+    let decoded: TritVec = DecodeSession::new()
+        .decode(&encoded)
+        .expect("own encoding decodes");
     TestSet::from_stream(atpg.tests.pattern_len(), decoded)
 }
 

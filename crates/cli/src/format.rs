@@ -143,7 +143,11 @@ impl TeFile {
     ///
     /// Propagates [`ninec::decode::DecodeError`].
     pub fn decode(&self) -> Result<TritVec, ninec::decode::DecodeError> {
-        ninec::decode::decode_stream(&self.stream, self.k, &self.table, self.source_len)
+        ninec::session::DecodeSession::new()
+            .k(self.k)
+            .table(self.table.clone())
+            .source_len(self.source_len)
+            .decode_trits(&self.stream)
     }
 }
 

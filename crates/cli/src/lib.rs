@@ -20,9 +20,10 @@
 pub mod format;
 
 use format::TeFile;
-use ninec::decode::StreamDecoder;
 use ninec::encode::Encoder;
+use ninec::engine::{frame, Engine};
 use ninec::freqdir::encode_frequency_directed;
+use ninec::session::DecodeSession;
 use ninec_atpg::generate::{generate_tests, AtpgConfig};
 use ninec_circuit::bench::parse_bench;
 use ninec_decompressor::verilog::decoder_verilog;
@@ -104,15 +105,29 @@ pub const USAGE: &str = "\
 ninec — nine-coded scan test-data compression (DATE 2004)
 
 USAGE:
-    ninec compress   <in.cubes> -o <out.te> [-k <even>=8] [--fill zero|one|random|mt|keep]
-                     [--seed <n>] [--freq-directed]
-    ninec decompress <in.te> -o <out.cubes> [--fill zero|one|random|mt|keep] [--seed <n>]
-    ninec info       <file.cubes|file.te>
+    ninec compress   <in.cubes> -o <out.te|out.9cf> [-k <even>=8]
+                     [--fill zero|one|random|mt|keep] [--seed <n>] [--freq-directed]
+                     [--threads <n>] [--segment-bits <n>]
+    ninec decompress <in.te|in.9cf> -o <out.cubes> [--fill zero|one|random|mt|keep]
+                     [--seed <n>] [--threads <n>]
+    ninec info       <file.cubes|file.te|file.9cf>
     ninec generate   <s5378|s9234|s13207|s15850|s38417|s38584|custom:P,L,X%>
                      -o <out.cubes> [--seed <n>]
     ninec atpg       <netlist.bench> -o <out.cubes>
     ninec compare    <in.cubes> [-k <even>=8]
     ninec rtl        -o <decoder.v> [-k <even>=8] [--tb]
+
+PARALLEL ENGINE:
+    --threads <n>       worker threads for the sharded codec engine
+                        (default: NINEC_THREADS, else the machine's
+                        available parallelism); output is byte-identical
+                        at every thread count
+    --segment-bits <n>  target segment size in source bits for the `9CSF`
+                        frame container (default 1048576)
+    An output path ending in `.9cf` selects the binary segment-frame
+    container (parallel decode); anything else writes the textual `.te`
+    format. `.9cf` frames always keep leftover don't-cares — bind them at
+    decompress time with `--fill`. `decompress` sniffs the input format.
 
 GLOBAL FLAGS (any command):
     --stats text|json   after the command succeeds, print the telemetry
@@ -252,6 +267,8 @@ struct Opts {
     seed: u64,
     freq_directed: bool,
     testbench: bool,
+    threads: Option<usize>,
+    segment_bits: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -290,6 +307,30 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 opts.seed = v
                     .parse()
                     .map_err(|_| CliError::Usage(format!("bad --seed {v:?}")))?;
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--threads needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --threads {v:?}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--threads must be >= 1".into()));
+                }
+                opts.threads = Some(n);
+            }
+            "--segment-bits" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--segment-bits needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --segment-bits {v:?}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--segment-bits must be >= 1".into()));
+                }
+                opts.segment_bits = Some(n);
             }
             "--freq-directed" => opts.freq_directed = true,
             "--tb" | "--testbench" => opts.testbench = true,
@@ -331,17 +372,74 @@ fn output(opts: &Opts) -> Result<&PathBuf, CliError> {
 /// peak codec state stays `O(STREAM_CHUNK + K)` regardless of input size.
 const STREAM_CHUNK: usize = 4096;
 
+/// True when `path` selects the binary `9CSF` segment-frame container.
+fn wants_frame(path: &std::path::Path) -> bool {
+    path.extension().and_then(|e| e.to_str()) == Some("9cf")
+}
+
+/// Builds the sharded engine from the CLI flags (paper code table).
+fn engine_from_opts(opts: &Opts) -> Engine {
+    let mut builder = Engine::builder();
+    if let Some(threads) = opts.threads {
+        builder = builder.threads(threads);
+    }
+    if let Some(bits) = opts.segment_bits {
+        builder = builder.segment_bits(bits);
+    }
+    builder.build()
+}
+
 fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let input = one_input(&opts)?;
     let k = opts.k.unwrap_or(8);
     let cubes = ninec_testdata::io::read_test_set_file(input)
         .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    let out_path = output(&opts)?;
+    if wants_frame(out_path) {
+        // Binary segment-frame container: encoded concurrently, decoded
+        // in parallel, byte-identical at every thread count. Frames always
+        // keep leftover X so the decompressor can bind them later.
+        if !matches!(opts.fill.as_deref(), None | Some("keep")) {
+            return Err(CliError::Usage(
+                "a .9cf frame always keeps leftover X; bind them at \
+                 decompress time with --fill"
+                    .into(),
+            ));
+        }
+        if opts.freq_directed {
+            return Err(CliError::Usage(
+                "--freq-directed applies to the .te text format only".into(),
+            ));
+        }
+        let engine = engine_from_opts(&opts);
+        let stream = cubes.as_stream();
+        let bytes = engine
+            .encode_frame(k, stream)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        fs::write(out_path, &bytes)?;
+        writeln!(
+            out,
+            "{input}: {} -> {} bits (CR {:.2}%), 9CSF frame, {} threads",
+            cubes.total_bits(),
+            bytes.len() * 8,
+            (cubes.total_bits() as f64 - (bytes.len() * 8) as f64)
+                / cubes.total_bits().max(1) as f64
+                * 100.0,
+            engine.threads(),
+        )?;
+        return Ok(());
+    }
     let encoded = if opts.freq_directed {
         encode_frequency_directed(k, cubes.as_stream())
             .map_err(|e| CliError::Failed(e.to_string()))?
             .best()
             .clone()
+    } else if opts.threads.is_some() || opts.segment_bits.is_some() {
+        // Sharded engine path: bit-identical to the serial encoder.
+        engine_from_opts(&opts)
+            .encode(k, cubes.as_stream())
+            .map_err(|e| CliError::Failed(e.to_string()))?
     } else {
         // Streaming path: the encoder sees the source in fixed chunks and
         // holds at most one partial block between them.
@@ -353,7 +451,7 @@ fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(strategy) = fill_strategy(&opts)? {
         te.stream = fill_trits(&te.stream, strategy);
     }
-    fs::write(output(&opts)?, te.to_text())?;
+    fs::write(out_path, te.to_text())?;
     writeln!(
         out,
         "{input}: {} -> {} bits (CR {:.2}%), leftover X {}{}",
@@ -373,30 +471,32 @@ fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let input = one_input(&opts)?;
-    let text = fs::read_to_string(input)?;
-    let te = TeFile::parse(&text).map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
-    // Streaming path: pull codewords one block at a time; the decoder
-    // itself holds only one codeword-plus-payload of state.
-    let mut decoded = ninec_testdata::trit::TritVec::with_capacity(te.source_len);
-    let mut dec = StreamDecoder::new(
-        te.stream.as_slice().iter(),
-        te.k,
-        te.table.clone(),
-        te.source_len,
-    )
-    .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
-    loop {
-        match dec.decode_block_into(&mut decoded) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e) => return Err(CliError::Failed(format!("{input}: {e}"))),
+    let bytes = fs::read(input)?;
+    let (mut decoded, te_pattern_len) = if frame::is_frame(&bytes) {
+        // Binary 9CSF frame: self-describing (K, table, segment bounds),
+        // decoded in parallel by the session's sharded engine.
+        let mut session = DecodeSession::new();
+        if let Some(threads) = opts.threads {
+            session = session.threads(threads);
         }
-    }
+        let decoded = session
+            .decode_frame(&bytes)
+            .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+        (decoded, 0)
+    } else {
+        let text = String::from_utf8(bytes)
+            .map_err(|_| CliError::Failed(format!("{input}: not a .te or 9CSF file")))?;
+        let te = TeFile::parse(&text).map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+        let decoded = te
+            .decode()
+            .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+        (decoded, te.pattern_len)
+    };
     if let Some(strategy) = fill_strategy(&opts)? {
         decoded = fill_trits(&decoded, strategy);
     }
-    let pattern_len = if te.pattern_len > 0 {
-        te.pattern_len
+    let pattern_len = if te_pattern_len > 0 {
+        te_pattern_len
     } else {
         decoded.len()
     };
@@ -420,7 +520,26 @@ fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let input = one_input(&opts)?;
-    let text = fs::read_to_string(input)?;
+    let bytes = fs::read(input)?;
+    if frame::is_frame(&bytes) {
+        let parsed = frame::parse(&bytes).map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+        let compressed_bits = bytes.len() * 8;
+        writeln!(
+            out,
+            "{input}: 9CSF frame, {} segments, {} compressed bits for {} source bits \
+             (CR {:.2}%), lengths {:?}",
+            parsed.segments.len(),
+            compressed_bits,
+            parsed.source_len,
+            (parsed.source_len as f64 - compressed_bits as f64)
+                / (parsed.source_len as f64).max(1.0)
+                * 100.0,
+            parsed.table_lengths,
+        )?;
+        return Ok(());
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| CliError::Failed(format!("{input}: not a .te, 9CSF, or cube file")))?;
     if let Ok(te) = TeFile::parse(&text) {
         writeln!(
             out,
@@ -857,6 +976,166 @@ mod tests {
         } else {
             assert!(msg.contains("# spans (0 events)"), "{msg}");
         }
+    }
+
+    #[test]
+    fn frame_roundtrip_through_9cf_container() {
+        let dir = tmpdir("frame");
+        let cubes = dir.join("f.cubes");
+        let frame = dir.join("f.9cf");
+        let back = dir.join("back.cubes");
+        run_ok(&[
+            "generate",
+            "custom:24,64,75",
+            "-o",
+            path_str(&cubes),
+            "--seed",
+            "7",
+        ]);
+        let msg = run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&frame),
+            "--threads",
+            "4",
+            "--segment-bits",
+            "256",
+        ]);
+        assert!(msg.contains("9CSF frame"), "{msg}");
+        // Byte-identical at every thread count.
+        let bytes4 = fs::read(&frame).unwrap();
+        run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&frame),
+            "--threads",
+            "1",
+            "--segment-bits",
+            "256",
+        ]);
+        assert_eq!(fs::read(&frame).unwrap(), bytes4);
+        let msg = run_ok(&["info", path_str(&frame)]);
+        assert!(msg.contains("9CSF frame"), "{msg}");
+        run_ok(&[
+            "decompress",
+            path_str(&frame),
+            "-o",
+            path_str(&back),
+            "--threads",
+            "2",
+            "--fill",
+            "keep",
+        ]);
+        let orig = ninec_testdata::io::read_test_set_file(&cubes).unwrap();
+        let round = ninec_testdata::io::read_test_set_file(&back).unwrap();
+        assert_eq!(round.total_bits(), orig.total_bits());
+        let (a, b) = (orig.as_stream(), round.as_stream());
+        for i in 0..a.len() {
+            let s = a.get(i).unwrap();
+            if s.is_care() {
+                assert_eq!(Some(s), b.get(i), "care bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_rejects_fill_and_freq_directed() {
+        let dir = tmpdir("framefill");
+        let cubes = dir.join("f.cubes");
+        run_ok(&["generate", "custom:8,32,70", "-o", path_str(&cubes)]);
+        let out_9cf = dir.join("f.9cf");
+        assert!(matches!(
+            run_err(&[
+                "compress",
+                path_str(&cubes),
+                "-o",
+                path_str(&out_9cf),
+                "--fill",
+                "zero",
+            ]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&[
+                "compress",
+                path_str(&cubes),
+                "-o",
+                path_str(&out_9cf),
+                "--freq-directed",
+            ]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn corrupt_frame_is_a_failed_error() {
+        let dir = tmpdir("framecorrupt");
+        let cubes = dir.join("c.cubes");
+        let frame = dir.join("c.9cf");
+        run_ok(&["generate", "custom:8,64,70", "-o", path_str(&cubes)]);
+        run_ok(&["compress", path_str(&cubes), "-o", path_str(&frame)]);
+        // Truncate the frame: typed Failed (exit 3), never a panic.
+        let mut bytes = fs::read(&frame).unwrap();
+        bytes.truncate(bytes.len() - 1);
+        fs::write(&frame, &bytes).unwrap();
+        let err = run_err(&["decompress", path_str(&frame), "-o", "out"]);
+        assert!(matches!(err, CliError::Failed(_)));
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn threads_flag_on_te_path_is_bit_identical_to_serial() {
+        let dir = tmpdir("threadste");
+        let cubes = dir.join("t.cubes");
+        let serial = dir.join("serial.te");
+        let parallel = dir.join("parallel.te");
+        run_ok(&["generate", "custom:16,64,75", "-o", path_str(&cubes)]);
+        run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&serial),
+            "--fill",
+            "keep",
+        ]);
+        run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&parallel),
+            "--threads",
+            "8",
+            "--segment-bits",
+            "128",
+            "--fill",
+            "keep",
+        ]);
+        assert_eq!(
+            fs::read_to_string(&serial).unwrap(),
+            fs::read_to_string(&parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_thread_flags_are_usage_errors() {
+        assert!(matches!(
+            run_err(&["compress", "x", "-o", "y", "--threads", "0"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["compress", "x", "-o", "y", "--threads", "lots"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["compress", "x", "-o", "y", "--segment-bits", "0"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["compress", "x", "-o", "y", "--segment-bits"]),
+            CliError::Usage(_)
+        ));
     }
 
     #[test]

@@ -5,13 +5,19 @@
 
 use crate::code::{CodeTable, HalfSpec};
 use crate::encode::{Encoded, InvalidBlockSize};
+use crate::engine::frame::FrameError;
 use crate::stream::{BitSink, BitSource};
 use ninec_testdata::bits::BitVec;
 use ninec_testdata::trit::{Trit, TritVec};
 use std::fmt;
 
 /// Error returned when a compressed stream cannot be decoded.
+///
+/// Every malformed input — including an invalid block size, which older
+/// releases rejected with an `assert!` — is reported as a typed variant:
+/// library callers never abort.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DecodeError {
     /// No codeword matches at the given bit offset (truncated or corrupt
     /// stream).
@@ -37,6 +43,27 @@ pub enum DecodeError {
         /// Symbols required.
         required: usize,
     },
+    /// The requested block size is not even and at least 4. (Replaces the
+    /// pre-session `assert!` in `decode_stream`.)
+    InvalidBlockSize {
+        /// The rejected block size.
+        k: usize,
+    },
+    /// A framed (`9CSF`) byte stream ended before the promised structure
+    /// was complete.
+    TruncatedStream {
+        /// Byte offset at which more data was required.
+        offset: usize,
+    },
+    /// A framed (`9CSF`) byte stream is structurally invalid (bad magic,
+    /// bad CRC, unsupported version, bad table, malformed segment).
+    Frame(FrameError),
+    /// A [`DecodeSession`](crate::session::DecodeSession) was asked to
+    /// decode without a required parameter.
+    MissingParameter {
+        /// Which builder parameter was missing (`"k"` / `"source_len"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -57,52 +84,77 @@ impl fmt::Display for DecodeError {
             DecodeError::TooShort { produced, required } => {
                 write!(f, "decoded {produced} symbols but {required} were required")
             }
+            DecodeError::InvalidBlockSize { k } => {
+                write!(f, "block size must be even and at least 4, got {k}")
+            }
+            DecodeError::TruncatedStream { offset } => {
+                write!(f, "framed stream truncated at byte offset {offset}")
+            }
+            DecodeError::Frame(e) => write!(f, "invalid segment frame: {e}"),
+            DecodeError::MissingParameter { what } => {
+                write!(f, "decode session is missing the `{what}` parameter")
+            }
         }
     }
 }
 
-impl std::error::Error for DecodeError {}
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InvalidBlockSize> for DecodeError {
+    fn from(e: InvalidBlockSize) -> Self {
+        DecodeError::InvalidBlockSize { k: e.k }
+    }
+}
 
 /// Decodes a three-valued 9C stream produced with `table` and block size
 /// `k`, yielding exactly `source_len` symbols.
 ///
-/// Uniform halves decode to runs of `0`/`1`; verbatim payload is copied
-/// through unchanged, so don't-cares in the payload reappear as `X` in the
-/// output. Pad symbols beyond `source_len` are dropped.
+/// **Deprecated:** thin shim over
+/// [`DecodeSession`](crate::session::DecodeSession) — migrate to
+///
+/// ```
+/// # use ninec::code::CodeTable;
+/// # use ninec::session::DecodeSession;
+/// # use ninec_testdata::trit::TritVec;
+/// // C1 ("0") then C5 ("11100") with payload "01X0", at K = 8.
+/// let te: TritVec = "011100 01X0".replace(' ', "").parse()?;
+/// let out = DecodeSession::new()
+///     .k(8)
+///     .table(CodeTable::paper())
+///     .source_len(16)
+///     .decode_trits(&te)?;
+/// assert_eq!(out.to_string(), "00000000".to_owned() + "000001X0");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// Unlike older releases this no longer panics on an invalid `k`; it
+/// returns [`DecodeError::InvalidBlockSize`].
 ///
 /// # Errors
 ///
 /// See [`DecodeError`].
-///
-/// # Examples
-///
-/// ```
-/// use ninec::code::CodeTable;
-/// use ninec::decode::decode_stream;
-/// use ninec_testdata::trit::TritVec;
-///
-/// // C1 ("0") then C5 ("11100") with payload "01X0", at K = 8.
-/// let te: TritVec = "011100 01X0".replace(' ', "").parse()?;
-/// let out = decode_stream(&te, 8, &CodeTable::paper(), 16)?;
-/// assert_eq!(out.to_string(), "00000000" .to_owned() + "000001X0");
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
+#[deprecated(
+    since = "0.3.0",
+    note = "use ninec::session::DecodeSession::new().k(..).table(..).source_len(..).decode_trits(..)"
+)]
 pub fn decode_stream(
     stream: &TritVec,
     k: usize,
     table: &CodeTable,
     source_len: usize,
 ) -> Result<TritVec, DecodeError> {
-    assert!(
-        k >= 4 && k.is_multiple_of(2),
-        "block size must be even and >= 4, got {k}"
-    );
-    let _span = ninec_obs::span("decode_stream");
-    let mut out = TritVec::with_capacity(source_len);
-    let mut dec = StreamDecoder::new(stream.as_slice().iter(), k, table.clone(), source_len)
-        .expect("block size validated above");
-    while dec.decode_block_into(&mut out)? > 0 {}
-    Ok(out)
+    crate::session::DecodeSession::new()
+        .k(k)
+        .table(table.clone())
+        .source_len(source_len)
+        .decode_trits(stream)
 }
 
 /// A streaming 9C decoder pulling codewords and payload from a
@@ -286,48 +338,73 @@ impl<S: BitSource> Drop for StreamDecoder<S> {
 
 /// Decodes an [`Encoded`] value back to a stream of `|T_D|` symbols.
 ///
+/// **Deprecated:** thin shim over
+/// [`DecodeSession`](crate::session::DecodeSession) — migrate to
+/// `DecodeSession::new().decode(&encoded)`.
+///
 /// # Errors
 ///
 /// See [`DecodeError`]; cannot fail on streams produced by
 /// [`Encoder::encode_stream`](crate::encode::Encoder::encode_stream).
+#[deprecated(
+    since = "0.3.0",
+    note = "use ninec::session::DecodeSession::new().decode(&encoded)"
+)]
 pub fn decode(encoded: &Encoded) -> Result<TritVec, DecodeError> {
-    decode_stream(
-        encoded.stream(),
-        encoded.k(),
-        encoded.table(),
-        encoded.source_len(),
-    )
+    crate::session::DecodeSession::new().decode(encoded)
 }
 
 /// Decodes a fully specified bit stream (what the ATE actually stores,
 /// after X-fill) to the bits scanned into the chain.
 ///
+/// **Deprecated:** thin shim over
+/// [`DecodeSession`](crate::session::DecodeSession) — migrate to
+/// `DecodeSession::new().k(..).table(..).source_len(..).decode_bits(..)`.
+///
 /// # Errors
 ///
 /// See [`DecodeError`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use ninec::session::DecodeSession::new().k(..).table(..).source_len(..).decode_bits(..)"
+)]
 pub fn decode_bits(
     bits: &BitVec,
     k: usize,
     table: &CodeTable,
     source_len: usize,
 ) -> Result<BitVec, DecodeError> {
-    let trits = TritVec::from(bits);
-    let out = decode_stream(&trits, k, table, source_len)?;
-    Ok(out
-        .to_bitvec()
-        .expect("specified input decodes to specified output"))
+    crate::session::DecodeSession::new()
+        .k(k)
+        .table(table.clone())
+        .source_len(source_len)
+        .decode_bits(bits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::encode::Encoder;
+    use crate::session::DecodeSession;
     use ninec_testdata::fill::FillStrategy;
+
+    /// Session-based decode of an [`Encoded`] (the canonical entry point).
+    fn sdecode(enc: &Encoded) -> Result<TritVec, DecodeError> {
+        DecodeSession::new().decode(enc)
+    }
+
+    /// Session-based decode of a raw trit stream with the paper table.
+    fn sdecode_trits(te: &TritVec, k: usize, source_len: usize) -> Result<TritVec, DecodeError> {
+        DecodeSession::new()
+            .k(k)
+            .source_len(source_len)
+            .decode_trits(te)
+    }
 
     fn roundtrip(k: usize, s: &str) {
         let src: TritVec = s.parse().unwrap();
         let enc = Encoder::new(k).unwrap().encode_stream(&src);
-        let dec = decode(&enc).unwrap();
+        let dec = sdecode(&enc).unwrap();
         assert_eq!(dec.len(), src.len());
         // Every care bit of the source is preserved; every X is either
         // preserved or bound to a constant by a uniform case.
@@ -352,7 +429,7 @@ mod tests {
     fn decode_regenerates_uniform_runs() {
         let src: TritVec = "0X0XX11X".parse().unwrap();
         let enc = Encoder::new(8).unwrap().encode_stream(&src);
-        let dec = decode(&enc).unwrap();
+        let dec = sdecode(&enc).unwrap();
         assert_eq!(dec.to_string(), "00001111");
     }
 
@@ -360,7 +437,7 @@ mod tests {
     fn payload_x_survives_decode() {
         let src: TritVec = "000001X0".parse().unwrap();
         let enc = Encoder::new(8).unwrap().encode_stream(&src);
-        let dec = decode(&enc).unwrap();
+        let dec = sdecode(&enc).unwrap();
         assert_eq!(dec.to_string(), "000001X0");
     }
 
@@ -369,10 +446,15 @@ mod tests {
         let src: TritVec = "0X0X01X001X0101X".parse().unwrap();
         let enc = Encoder::new(8).unwrap().encode_stream(&src);
         let ate_bits = enc.to_bitvec(FillStrategy::Random { seed: 5 });
-        let dec = decode_bits(&ate_bits, 8, enc.table(), enc.source_len()).unwrap();
+        let dec = DecodeSession::new()
+            .k(8)
+            .table(enc.table().clone())
+            .source_len(enc.source_len())
+            .decode_bits(&ate_bits)
+            .unwrap();
         // The fully specified decode must cover the cube source.
         let dec_trits = TritVec::from(&dec);
-        assert!(dec_trits.covers(&decode(&enc).unwrap()) || dec_trits.compatible_with(&src));
+        assert!(dec_trits.covers(&sdecode(&enc).unwrap()) || dec_trits.compatible_with(&src));
         for i in 0..src.len() {
             let s = src.get(i).unwrap();
             if s.is_care() {
@@ -385,14 +467,14 @@ mod tests {
     fn bad_codeword_reported() {
         // "11" alone is not a valid codeword prefix completion.
         let te: TritVec = "11".parse().unwrap();
-        let err = decode_stream(&te, 8, &CodeTable::paper(), 8).unwrap_err();
+        let err = sdecode_trits(&te, 8, 8).unwrap_err();
         assert!(matches!(err, DecodeError::BadCodeword { offset: 0 }));
     }
 
     #[test]
     fn x_in_codeword_reported() {
         let te: TritVec = "X".parse().unwrap();
-        let err = decode_stream(&te, 8, &CodeTable::paper(), 8).unwrap_err();
+        let err = sdecode_trits(&te, 8, 8).unwrap_err();
         assert!(matches!(err, DecodeError::XInCodeword { offset: 0 }));
     }
 
@@ -400,7 +482,7 @@ mod tests {
     fn truncated_payload_reported() {
         // C9 ("1100") promises 8 payload bits but only 3 follow.
         let te: TritVec = "1100010".parse().unwrap();
-        let err = decode_stream(&te, 8, &CodeTable::paper(), 8).unwrap_err();
+        let err = sdecode_trits(&te, 8, 8).unwrap_err();
         assert!(matches!(err, DecodeError::TruncatedPayload { offset: 4 }));
     }
 
@@ -408,7 +490,7 @@ mod tests {
     fn too_short_reported() {
         // One C1 block yields 8 symbols; 16 were promised.
         let te: TritVec = "0".parse().unwrap();
-        let err = decode_stream(&te, 8, &CodeTable::paper(), 16).unwrap_err();
+        let err = sdecode_trits(&te, 8, 16).unwrap_err();
         assert!(matches!(
             err,
             DecodeError::TooShort {
@@ -419,10 +501,46 @@ mod tests {
     }
 
     #[test]
+    fn invalid_block_size_is_an_error_not_a_panic() {
+        // Replaces the pre-session `assert!`: library callers never abort.
+        let te: TritVec = "0".parse().unwrap();
+        for k in [0usize, 2, 7] {
+            let err = sdecode_trits(&te, k, 8).unwrap_err();
+            assert_eq!(err, DecodeError::InvalidBlockSize { k });
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_session() {
+        let src: TritVec = "0X0X01X001X0101X111111110000X111".parse().unwrap();
+        let enc = Encoder::new(8).unwrap().encode_stream(&src);
+        assert_eq!(decode(&enc), sdecode(&enc));
+        assert_eq!(
+            decode_stream(enc.stream(), enc.k(), enc.table(), enc.source_len()),
+            sdecode(&enc)
+        );
+        let ate_bits = enc.to_bitvec(FillStrategy::Zero);
+        assert_eq!(
+            decode_bits(&ate_bits, enc.k(), enc.table(), enc.source_len()),
+            DecodeSession::new()
+                .k(enc.k())
+                .table(enc.table().clone())
+                .source_len(enc.source_len())
+                .decode_bits(&ate_bits)
+        );
+        // The old panic path is now a typed error through the shim too.
+        assert_eq!(
+            decode_stream(&src, 7, enc.table(), 8),
+            Err(DecodeError::InvalidBlockSize { k: 7 })
+        );
+    }
+
+    #[test]
     fn stream_decoder_drains_block_by_block() {
         let src: TritVec = "0X0X01X001X0101X111111110000X11101".parse().unwrap();
         let enc = Encoder::new(8).unwrap().encode_stream(&src);
-        let expect = decode(&enc).unwrap();
+        let expect = sdecode(&enc).unwrap();
         let mut dec = StreamDecoder::new(
             enc.stream().as_slice().iter(),
             enc.k(),
@@ -461,7 +579,7 @@ mod tests {
         .unwrap()
         .run_into(&mut out)
         .unwrap();
-        assert_eq!(out, decode(&enc).unwrap());
+        assert_eq!(out, sdecode(&enc).unwrap());
     }
 
     #[test]
@@ -481,7 +599,7 @@ mod tests {
         let enc = Encoder::with_table(8, table.clone())
             .unwrap()
             .encode_stream(&src);
-        let dec = decode(&enc).unwrap();
+        let dec = sdecode(&enc).unwrap();
         for i in 0..src.len() {
             let s = src.get(i).unwrap();
             if s.is_care() {

@@ -110,6 +110,24 @@ pub struct Encoded {
 }
 
 impl Encoded {
+    /// Assembles an `Encoded` from already-validated parts — used by the
+    /// engine to merge per-segment encodes into one stream value.
+    pub(crate) fn from_parts(
+        k: usize,
+        table: CodeTable,
+        stream: TritVec,
+        source_len: usize,
+        stats: EncodeStats,
+    ) -> Self {
+        Self {
+            k,
+            table,
+            stream,
+            source_len,
+            stats,
+        }
+    }
+
     /// Block size `K` used for encoding.
     pub fn k(&self) -> usize {
         self.k
@@ -866,7 +884,7 @@ mod tests {
                 "budget {budget}: extra {extra}"
             );
             // Still decodes compatibly.
-            let dec = crate::decode::decode(&quiet).unwrap();
+            let dec = crate::session::DecodeSession::new().decode(&quiet).unwrap();
             let src = ts.as_stream();
             for i in 0..src.len() {
                 let s = src.get(i).unwrap();
@@ -888,7 +906,7 @@ mod tests {
                 .unwrap()
                 .with_case_select(select)
                 .encode_set(&ts);
-            let dec = crate::decode::decode(&enc).unwrap();
+            let dec = crate::session::DecodeSession::new().decode(&enc).unwrap();
             wtm(&fill_trits(&dec, FillStrategy::MinTransition)
                 .to_bitvec()
                 .unwrap())

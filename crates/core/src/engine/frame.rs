@@ -1,0 +1,513 @@
+//! The `9CSF` segment-frame container format.
+//!
+//! A frame makes a 9C stream *splittable*: variable-length codewords have
+//! no internal sync points, so parallel decode needs out-of-band segment
+//! boundaries. The frame records them self-describingly — each segment
+//! carries its own block size `K`, source trit count, encoded payload
+//! length and a CRC — mirroring the paper's Fig. 4(c) parallel-decoder
+//! architecture, where the encoded stream is pre-split across independent
+//! FSMs.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! file header (27 bytes):
+//!   magic        4  b"9CSF"
+//!   version      1  = 1
+//!   flags        1  = 0 (reserved)
+//!   code lengths 9  codeword length of C1..C9 (rebuilds the CodeTable)
+//!   segments     4  u32 segment count
+//!   source_len   8  u64 total source trits across all segments
+//! per segment (16-byte header + payload):
+//!   k            2  u16 block size for this segment
+//!   reserved     2  = 0
+//!   source_trits 4  u32 source trits this segment covers
+//!   payload_trits4  u32 encoded trits in the payload
+//!   crc32        4  CRC-32 (IEEE) over the 12 header bytes above + payload
+//!   payload      ceil(payload_trits / 4) bytes, 2 bits per trit LSB-first
+//!                (00 = 0, 01 = 1, 10 = X, 11 = invalid)
+//! ```
+//!
+//! Every parse error is a typed [`FrameError`] — a corrupt or truncated
+//! frame can never panic the decoder.
+
+use ninec_testdata::trit::{Trit, TritVec};
+use std::fmt;
+
+/// The four magic bytes opening every segment frame.
+pub const MAGIC: [u8; 4] = *b"9CSF";
+/// Current frame format version.
+pub const VERSION: u8 = 1;
+/// File header size in bytes.
+pub const HEADER_BYTES: usize = 27;
+/// Per-segment header size in bytes.
+pub const SEGMENT_HEADER_BYTES: usize = 16;
+
+/// Typed error for a malformed, corrupt or truncated segment frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The stream does not start with the `9CSF` magic.
+    BadMagic,
+    /// The frame version is newer than this decoder understands.
+    UnsupportedVersion {
+        /// The version byte found in the header.
+        found: u8,
+    },
+    /// The byte stream ended before the promised structure was complete.
+    Truncated {
+        /// Byte offset at which more data was required.
+        offset: usize,
+    },
+    /// A segment's CRC-32 does not match its header + payload bytes.
+    BadCrc {
+        /// Zero-based segment index.
+        segment: usize,
+    },
+    /// The stored code lengths violate the Kraft inequality and cannot
+    /// rebuild a prefix-free table.
+    BadTable,
+    /// A structurally invalid segment (bad `K`, reserved bits set, an
+    /// invalid `11` trit code, or lengths that disagree with the header).
+    Malformed {
+        /// Zero-based segment index (or the segment count for file-level
+        /// inconsistencies discovered after the last segment).
+        segment: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "not a 9CSF segment frame (bad magic)"),
+            FrameError::UnsupportedVersion { found } => {
+                write!(f, "unsupported 9CSF frame version {found}")
+            }
+            FrameError::Truncated { offset } => {
+                write!(f, "frame truncated at byte offset {offset}")
+            }
+            FrameError::BadCrc { segment } => {
+                write!(f, "CRC mismatch in segment {segment}")
+            }
+            FrameError::BadTable => {
+                write!(f, "stored code lengths violate the Kraft inequality")
+            }
+            FrameError::Malformed { segment, what } => {
+                write!(f, "malformed segment {segment}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// One parsed (CRC-verified) segment, borrowing its payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedSegment<'a> {
+    /// Block size `K` for this segment.
+    pub k: usize,
+    /// Source trits this segment covers.
+    pub source_trits: usize,
+    /// Encoded trits in the payload.
+    pub payload_trits: usize,
+    /// The packed payload bytes (2 bits per trit).
+    pub payload: &'a [u8],
+}
+
+impl ParsedSegment<'_> {
+    /// Unpacks the payload into a [`TritVec`].
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] if a reserved `11` trit code appears
+    /// (`segment` is filled in by the caller as `usize::MAX` here; use
+    /// [`unpack_payload`] for a properly attributed error).
+    pub fn unpack(&self) -> Result<TritVec, FrameError> {
+        unpack_payload(self, usize::MAX)
+    }
+}
+
+/// A parsed (fully CRC-verified) segment frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedFrame<'a> {
+    /// Codeword lengths of C1..C9, as stored in the header.
+    pub table_lengths: [u8; 9],
+    /// Total source trits across all segments, as stored in the header.
+    pub source_len: usize,
+    /// The segments, in stream order.
+    pub segments: Vec<ParsedSegment<'a>>,
+}
+
+/// Appends the file header for `segments` segments totalling `source_len`
+/// source trits, encoded with a table of codeword `lengths`.
+pub fn write_header(out: &mut Vec<u8>, lengths: [u8; 9], segments: u32, source_len: u64) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(0); // flags
+    out.extend_from_slice(&lengths);
+    out.extend_from_slice(&segments.to_le_bytes());
+    out.extend_from_slice(&source_len.to_le_bytes());
+}
+
+/// Packs `payload` at 2 bits per trit, LSB-first within each byte.
+#[must_use]
+pub fn pack_payload(payload: &TritVec) -> Vec<u8> {
+    let mut bytes = vec![0u8; payload.len().div_ceil(4)];
+    for (i, t) in payload.iter().enumerate() {
+        let code: u8 = match t {
+            Trit::Zero => 0b00,
+            Trit::One => 0b01,
+            Trit::X => 0b10,
+        };
+        bytes[i / 4] |= code << ((i % 4) * 2);
+    }
+    bytes
+}
+
+/// Appends one segment (header + packed payload) to `out`.
+///
+/// # Panics
+///
+/// Panics if `k`, `source_trits` or the payload length overflow their
+/// header fields — the engine's segmentation keeps all three in range.
+pub fn write_segment(out: &mut Vec<u8>, k: usize, source_trits: usize, payload: &TritVec) {
+    let k16 = u16::try_from(k).expect("segment K fits in u16");
+    let src32 = u32::try_from(source_trits).expect("segment source length fits in u32");
+    let pay32 = u32::try_from(payload.len()).expect("segment payload length fits in u32");
+    let mut header = [0u8; 12];
+    header[0..2].copy_from_slice(&k16.to_le_bytes());
+    // bytes 2..4 reserved, zero
+    header[4..8].copy_from_slice(&src32.to_le_bytes());
+    header[8..12].copy_from_slice(&pay32.to_le_bytes());
+    let bytes = pack_payload(payload);
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in header.iter().chain(bytes.iter()) {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    out.extend_from_slice(&header);
+    out.extend_from_slice(&(!crc).to_le_bytes());
+    out.extend_from_slice(&bytes);
+}
+
+/// `true` if `bytes` starts with the `9CSF` magic (cheap format sniff).
+#[must_use]
+pub fn is_frame(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Result<u32, FrameError> {
+    let slice = bytes
+        .get(at..at + 4)
+        .ok_or(FrameError::Truncated { offset: at })?;
+    let arr: [u8; 4] = slice.try_into().expect("4-byte slice converts to [u8; 4]");
+    Ok(u32::from_le_bytes(arr))
+}
+
+/// Parses and CRC-verifies a whole frame without unpacking any payload.
+///
+/// # Errors
+///
+/// Any structural problem is a typed [`FrameError`]; this function never
+/// panics on hostile input.
+pub fn parse(bytes: &[u8]) -> Result<ParsedFrame<'_>, FrameError> {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes.len() < HEADER_BYTES {
+        return Err(FrameError::Truncated {
+            offset: bytes.len(),
+        });
+    }
+    let version = bytes[4];
+    if version != VERSION {
+        return Err(FrameError::UnsupportedVersion { found: version });
+    }
+    let mut table_lengths = [0u8; 9];
+    table_lengths.copy_from_slice(&bytes[6..15]);
+    let segments = read_u32(bytes, 15)? as usize;
+    let source_len_arr: [u8; 8] = bytes[19..27]
+        .try_into()
+        .expect("8-byte slice converts to [u8; 8]");
+    let source_len_u64 = u64::from_le_bytes(source_len_arr);
+    let source_len = usize::try_from(source_len_u64).map_err(|_| FrameError::Malformed {
+        segment: 0,
+        what: "source length exceeds the address space",
+    })?;
+
+    let mut parsed = Vec::with_capacity(segments);
+    let mut at = HEADER_BYTES;
+    let mut covered = 0usize;
+    for segment in 0..segments {
+        let header = bytes
+            .get(at..at + SEGMENT_HEADER_BYTES)
+            .ok_or(FrameError::Truncated { offset: at })?;
+        let k = u16::from_le_bytes(header[0..2].try_into().expect("2-byte slice")) as usize;
+        if header[2] != 0 || header[3] != 0 {
+            return Err(FrameError::Malformed {
+                segment,
+                what: "reserved segment-header bytes are nonzero",
+            });
+        }
+        let source_trits =
+            u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice")) as usize;
+        let payload_trits =
+            u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice")) as usize;
+        let crc_stored = u32::from_le_bytes(header[12..16].try_into().expect("4-byte slice"));
+        if k < 4 || !k.is_multiple_of(2) {
+            return Err(FrameError::Malformed {
+                segment,
+                what: "segment block size must be even and at least 4",
+            });
+        }
+        let payload_bytes = payload_trits.div_ceil(4);
+        let payload_at = at + SEGMENT_HEADER_BYTES;
+        let payload =
+            bytes
+                .get(payload_at..payload_at + payload_bytes)
+                .ok_or(FrameError::Truncated {
+                    offset: bytes.len(),
+                })?;
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in header[..12].iter().chain(payload.iter()) {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        if !crc != crc_stored {
+            return Err(FrameError::BadCrc { segment });
+        }
+        covered = covered
+            .checked_add(source_trits)
+            .ok_or(FrameError::Malformed {
+                segment,
+                what: "segment source lengths overflow",
+            })?;
+        parsed.push(ParsedSegment {
+            k,
+            source_trits,
+            payload_trits,
+            payload,
+        });
+        at = payload_at + payload_bytes;
+    }
+    if covered != source_len {
+        return Err(FrameError::Malformed {
+            segment: segments,
+            what: "segment source lengths do not sum to the header total",
+        });
+    }
+    if at != bytes.len() {
+        return Err(FrameError::Malformed {
+            segment: segments,
+            what: "trailing bytes after the last segment",
+        });
+    }
+    Ok(ParsedFrame {
+        table_lengths,
+        source_len,
+        segments: parsed,
+    })
+}
+
+/// Unpacks a segment's payload, attributing errors to `segment`.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] if a reserved `11` trit code appears. (The
+/// CRC already caught random corruption; this guards against a buggy or
+/// adversarial *writer*.)
+pub fn unpack_payload(seg: &ParsedSegment<'_>, segment: usize) -> Result<TritVec, FrameError> {
+    let mut out = TritVec::with_capacity(seg.payload_trits);
+    for i in 0..seg.payload_trits {
+        let byte = seg.payload[i / 4];
+        let code = (byte >> ((i % 4) * 2)) & 0b11;
+        out.push(match code {
+            0b00 => Trit::Zero,
+            0b01 => Trit::One,
+            0b10 => Trit::X,
+            _ => {
+                return Err(FrameError::Malformed {
+                    segment,
+                    what: "invalid trit code 11 in payload",
+                })
+            }
+        });
+    }
+    // Pad bits past payload_trits in the last byte must be zero (the
+    // writer zero-fills); tolerated if not — they are outside the data.
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(s: &str) -> TritVec {
+        s.parse().expect("valid trit literal")
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical "123456789" check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn sample_frame() -> Vec<u8> {
+        let mut out = Vec::new();
+        let payload_a = tv("0110X01");
+        let payload_b = tv("111000X");
+        write_header(&mut out, [1, 2, 5, 5, 5, 5, 5, 5, 4], 2, 32);
+        write_segment(&mut out, 8, 16, &payload_a);
+        write_segment(&mut out, 8, 16, &payload_b);
+        out
+    }
+
+    #[test]
+    fn roundtrip_parse() {
+        let bytes = sample_frame();
+        assert!(is_frame(&bytes));
+        let frame = parse(&bytes).expect("well-formed frame parses");
+        assert_eq!(frame.source_len, 32);
+        assert_eq!(frame.segments.len(), 2);
+        assert_eq!(frame.segments[0].k, 8);
+        assert_eq!(frame.segments[0].source_trits, 16);
+        assert_eq!(frame.segments[0].payload_trits, 7);
+        let a = unpack_payload(&frame.segments[0], 0).expect("payload unpacks");
+        assert_eq!(a.to_string(), "0110X01");
+        let b = frame.segments[1].unpack().expect("payload unpacks");
+        assert_eq!(b.to_string(), "111000X");
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = sample_frame();
+        bytes[0] ^= 0xFF;
+        assert!(!is_frame(&bytes));
+        assert_eq!(parse(&bytes), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version_detected() {
+        let mut bytes = sample_frame();
+        bytes[4] = 99;
+        assert_eq!(
+            parse(&bytes),
+            Err(FrameError::UnsupportedVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn payload_corruption_fails_crc() {
+        let mut bytes = sample_frame();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(parse(&bytes), Err(FrameError::BadCrc { segment: 1 }));
+    }
+
+    #[test]
+    fn header_corruption_fails_crc_or_shape() {
+        let mut bytes = sample_frame();
+        // Flip the first segment's K field: CRC covers it.
+        bytes[HEADER_BYTES] ^= 0x02;
+        let err = parse(&bytes).expect_err("corrupt K must not parse");
+        assert!(
+            matches!(
+                err,
+                FrameError::BadCrc { .. }
+                    | FrameError::Malformed { .. }
+                    | FrameError::Truncated { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let bytes = sample_frame();
+        for cut in 0..bytes.len() {
+            let err = parse(&bytes[..cut]).expect_err("truncated frame must not parse");
+            if cut >= HEADER_BYTES {
+                assert!(
+                    matches!(err, FrameError::Truncated { .. }),
+                    "cut {cut}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample_frame();
+        bytes.push(0xAB);
+        assert!(matches!(
+            parse(&bytes),
+            Err(FrameError::Malformed {
+                what: "trailing bytes after the last segment",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn segment_sum_must_match_header() {
+        let mut out = Vec::new();
+        write_header(&mut out, [1, 2, 5, 5, 5, 5, 5, 5, 4], 1, 99);
+        write_segment(&mut out, 8, 16, &tv("01"));
+        assert!(matches!(
+            parse(&out),
+            Err(FrameError::Malformed {
+                what: "segment source lengths do not sum to the header total",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            FrameError::BadMagic,
+            FrameError::UnsupportedVersion { found: 9 },
+            FrameError::Truncated { offset: 3 },
+            FrameError::BadCrc { segment: 1 },
+            FrameError::BadTable,
+            FrameError::Malformed {
+                segment: 0,
+                what: "x",
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

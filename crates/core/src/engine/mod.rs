@@ -1,0 +1,549 @@
+//! Sharded multi-core codec engine.
+//!
+//! The paper's Fig. 4(c) parallel-decompressor splits the encoded stream
+//! across independent FSMs; [`Engine`] is the software mirror of that
+//! architecture. It partitions a source stream into block-aligned
+//! **segments**, encodes/decodes them concurrently on a vendored, std-only
+//! work-stealing pool ([`pool`]), and merges deterministically — the
+//! output is byte-identical regardless of thread count, with a serial
+//! in-caller fallback at `threads = 1`.
+//!
+//! Two output shapes:
+//!
+//! - [`Engine::encode`] — a plain [`Encoded`] stream, **bit-identical**
+//!   to [`Encoder::encode_stream`](crate::encode::Encoder::encode_stream)
+//!   on the same input (segments are aligned to `K`-block boundaries and
+//!   9C's min-size case selection is block-local, so concatenation is
+//!   exact);
+//! - [`Engine::encode_frame`] — the self-describing [`frame`] container
+//!   (`9CSF`: magic, version, per-segment `K`, trit length, encoded
+//!   length, CRC), which is what makes *parallel decode* possible:
+//!   variable-length codewords have no sync points, so the decoder needs
+//!   out-of-band segment boundaries. Frames also unlock per-segment block
+//!   size selection ([`Engine::encode_frame_best_k`]), the per-shard
+//!   parameter choice that code-based schemes win on.
+//!
+//! Case selection is the paper's min-size greedy: it is block-local, which
+//! is exactly the property that makes segment-parallel encoding exact.
+//! (Power-aware selection tracks state across block seams and is therefore
+//! only available on the serial [`Encoder`](crate::encode::Encoder).)
+//!
+//! Telemetry (default-on `obs` feature, batched at segment boundaries):
+//! per-worker queue-depth gauges, steal/segment counters and
+//! segment-latency histograms — see [`crate::metrics`].
+//!
+//! ```
+//! use ninec::engine::Engine;
+//! use ninec::encode::Encoder;
+//! use ninec_testdata::trit::TritVec;
+//!
+//! let stream: TritVec = "0X0X00XX1111X11101X0".repeat(50).parse()?;
+//! let engine = Engine::builder().threads(4).segment_bits(128).build();
+//!
+//! // Parallel encode is bit-identical to the serial encoder...
+//! let parallel = engine.encode(8, &stream)?;
+//! assert_eq!(parallel, Encoder::new(8)?.encode_stream(&stream));
+//!
+//! // ...and the framed container decodes in parallel too.
+//! let frame = engine.encode_frame(8, &stream)?;
+//! let back = engine.decode_frame(&frame)?;
+//! assert_eq!(back.len(), stream.len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![deny(clippy::unwrap_used)]
+
+pub mod frame;
+pub mod pool;
+
+pub use frame::FrameError;
+
+use crate::code::CodeTable;
+use crate::decode::{DecodeError, StreamDecoder};
+use crate::encode::{EncodeStats, EncodeTotals, Encoded, Encoder, InvalidBlockSize};
+use crate::stream::BitCounter;
+use ninec_testdata::trit::TritVec;
+
+/// Default segment size in source trits (1 Mbit), before block alignment.
+pub const DEFAULT_SEGMENT_BITS: usize = 1 << 20;
+
+/// Environment variable overriding the default worker-thread count.
+pub const THREADS_ENV: &str = "NINEC_THREADS";
+
+/// The default worker-thread count: `NINEC_THREADS` if set to a positive
+/// integer, else [`std::thread::available_parallelism`], clamped to
+/// [`pool::MAX_THREADS`].
+#[must_use]
+pub fn default_threads() -> usize {
+    let env = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let n = env.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    n.clamp(1, pool::MAX_THREADS)
+}
+
+/// Builder for [`Engine`] (see the module docs for the knobs' meaning).
+#[derive(Debug, Clone, Default)]
+#[must_use]
+pub struct EngineBuilder {
+    threads: Option<usize>,
+    segment_bits: Option<usize>,
+    table: Option<CodeTable>,
+}
+
+impl EngineBuilder {
+    /// Worker threads. Defaults to [`default_threads`] (the
+    /// `NINEC_THREADS` environment variable, else the machine's available
+    /// parallelism). `1` selects the serial in-caller fallback.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.clamp(1, pool::MAX_THREADS));
+        self
+    }
+
+    /// Target segment size in source trits (default
+    /// [`DEFAULT_SEGMENT_BITS`]). Rounded down to a whole number of
+    /// `K`-bit blocks at encode time (minimum one block), so thread count
+    /// never influences where segments fall.
+    pub fn segment_bits(mut self, bits: usize) -> Self {
+        self.segment_bits = Some(bits.max(1));
+        self
+    }
+
+    /// Code table (default: the paper's Table I code).
+    pub fn table(mut self, table: CodeTable) -> Self {
+        self.table = Some(table);
+        self
+    }
+
+    /// Finalizes the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            threads: self.threads.unwrap_or_else(default_threads),
+            segment_bits: self.segment_bits.unwrap_or(DEFAULT_SEGMENT_BITS),
+            table: self.table.unwrap_or_else(CodeTable::paper),
+        }
+    }
+}
+
+/// The sharded multi-core codec engine (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Engine {
+    threads: usize,
+    segment_bits: usize,
+    table: CodeTable,
+}
+
+impl Default for Engine {
+    /// An engine with default threads/segmenting and the paper's table.
+    fn default() -> Self {
+        Engine::builder().build()
+    }
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Worker threads this engine schedules onto.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Target segment size in source trits (before block alignment).
+    #[must_use]
+    pub fn segment_bits(&self) -> usize {
+        self.segment_bits
+    }
+
+    /// The engine's code table.
+    #[must_use]
+    pub fn table(&self) -> &CodeTable {
+        &self.table
+    }
+
+    /// Segment length for block size `k`: `segment_bits` rounded down to
+    /// a whole number of blocks, minimum one block.
+    fn segment_len(&self, k: usize) -> usize {
+        (self.segment_bits / k * k).max(k)
+    }
+
+    /// Splits `[0, len)` into `[start, end)` segment ranges of `seg_len`
+    /// trits (the last segment may be ragged).
+    fn segment_ranges(len: usize, seg_len: usize) -> Vec<(usize, usize)> {
+        (0..len.div_ceil(seg_len))
+            .map(|i| (i * seg_len, ((i + 1) * seg_len).min(len)))
+            .collect()
+    }
+
+    /// Compresses `stream` at block size `k`, sharding the work across the
+    /// pool. The result — stream bits, stats, everything — is bit-identical
+    /// to [`Encoder::encode_stream`] and independent of the thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidBlockSize`] unless `k` is even and at least 4.
+    pub fn encode(&self, k: usize, stream: &TritVec) -> Result<Encoded, InvalidBlockSize> {
+        let _span = ninec_obs::span("engine_encode");
+        let encoder = Encoder::with_table(k, self.table.clone())?;
+        let t0 = ninec_obs::runtime_enabled().then(std::time::Instant::now);
+        let ranges = Self::segment_ranges(stream.len(), self.segment_len(k));
+        let parts: Vec<(TritVec, EncodeTotals)> =
+            pool::map_indexed(self.threads, ranges.len(), |i| {
+                let (start, end) = ranges[i];
+                encode_segment(&encoder, stream, start, end)
+            });
+        // Deterministic merge: segment order is source order.
+        let mut out = TritVec::with_capacity(parts.iter().map(|(s, _)| s.len()).sum());
+        let mut stats = EncodeStats::default();
+        for (seg_stream, totals) in &parts {
+            out.extend_from_tritvec(seg_stream);
+            merge_stats(&mut stats, &totals.stats);
+        }
+        if let Some(t0) = t0 {
+            crate::metrics::publish_encode_throughput(stream.len(), t0.elapsed().as_secs_f64());
+        }
+        Ok(Encoded::from_parts(
+            k,
+            self.table.clone(),
+            out,
+            stream.len(),
+            stats,
+        ))
+    }
+
+    /// Compresses `stream` into a self-describing `9CSF` [`frame`] with a
+    /// uniform per-segment block size `k`. Segment payloads are encoded
+    /// concurrently; the frame bytes are independent of the thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidBlockSize`] unless `k` is even and at least 4.
+    pub fn encode_frame(&self, k: usize, stream: &TritVec) -> Result<Vec<u8>, InvalidBlockSize> {
+        self.encode_frame_best_k(&[k], stream)
+    }
+
+    /// Compresses `stream` into a `9CSF` frame, choosing for **each
+    /// segment** the candidate block size that minimizes that segment's
+    /// encoded length (ties to the smaller `K`) — per-shard parameter
+    /// selection in the spirit of the evolutionary code-based schemes.
+    ///
+    /// Segment boundaries come from the *first* candidate (so the frame
+    /// geometry is deterministic); every candidate is sized with a
+    /// counting pass and the winner is re-encoded for real.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidBlockSize`] if `candidates` is empty (reported as `k = 0`)
+    /// or contains an odd / undersized block size.
+    pub fn encode_frame_best_k(
+        &self,
+        candidates: &[usize],
+        stream: &TritVec,
+    ) -> Result<Vec<u8>, InvalidBlockSize> {
+        let _span = ninec_obs::span("engine_encode_frame");
+        let Some(&first) = candidates.first() else {
+            return Err(InvalidBlockSize { k: 0 });
+        };
+        let encoders = candidates
+            .iter()
+            .map(|&k| Encoder::with_table(k, self.table.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ranges = Self::segment_ranges(stream.len(), self.segment_len(first));
+        let parts: Vec<(usize, TritVec)> = pool::map_indexed(self.threads, ranges.len(), |i| {
+            let (start, end) = ranges[i];
+            let t0 = ninec_obs::runtime_enabled().then(std::time::Instant::now);
+            let enc = if encoders.len() == 1 {
+                &encoders[0]
+            } else {
+                // Counting pass per candidate; deterministic tie-break on
+                // (size, K).
+                encoders
+                    .iter()
+                    .min_by_key(|enc| {
+                        let mut counter = BitCounter::default();
+                        let mut se = enc.stream_encoder(&mut counter);
+                        se.feed(stream.slice_view(start, end));
+                        se.finish();
+                        (counter.bits(), enc.k())
+                    })
+                    .expect("candidate list verified non-empty above")
+            };
+            let (seg_stream, _totals) = encode_segment(enc, stream, start, end);
+            if let Some(t0) = t0 {
+                crate::metrics::publish_segment_encode(t0.elapsed().as_nanos() as u64);
+            }
+            (enc.k(), seg_stream)
+        });
+        let mut out = Vec::new();
+        frame::write_header(
+            &mut out,
+            self.table.lengths(),
+            u32::try_from(ranges.len()).expect("segment count fits in u32"),
+            stream.len() as u64,
+        );
+        for (i, (k, seg_stream)) in parts.iter().enumerate() {
+            let (start, end) = ranges[i];
+            frame::write_segment(&mut out, *k, end - start, seg_stream);
+        }
+        Ok(out)
+    }
+
+    /// Decodes a `9CSF` frame, decoding segments concurrently and
+    /// concatenating them in stream order. Output is independent of the
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// - [`DecodeError::TruncatedStream`] when the byte stream ends early;
+    /// - [`DecodeError::Frame`] for every other structural problem (bad
+    ///   magic, bad CRC, bad table, malformed segment);
+    /// - the usual [`DecodeError`] variants when a CRC-valid segment still
+    ///   fails 9C decoding.
+    ///
+    /// Never panics on hostile input.
+    pub fn decode_frame(&self, bytes: &[u8]) -> Result<TritVec, DecodeError> {
+        let _span = ninec_obs::span("engine_decode_frame");
+        let parsed = frame::parse(bytes).map_err(|e| match e {
+            frame::FrameError::Truncated { offset } => DecodeError::TruncatedStream { offset },
+            other => DecodeError::Frame(other),
+        })?;
+        let table = CodeTable::from_lengths(&parsed.table_lengths)
+            .map_err(|_| frame::FrameError::BadTable)?;
+        let outputs: Vec<Result<TritVec, DecodeError>> =
+            pool::map_indexed(self.threads, parsed.segments.len(), |i| {
+                let seg = &parsed.segments[i];
+                let t0 = ninec_obs::runtime_enabled().then(std::time::Instant::now);
+                let payload = frame::unpack_payload(seg, i)?;
+                if payload.len() != seg.payload_trits {
+                    return Err(DecodeError::Frame(frame::FrameError::Malformed {
+                        segment: i,
+                        what: "payload length disagrees with the segment header",
+                    }));
+                }
+                let dec = StreamDecoder::new(
+                    payload.as_slice().iter(),
+                    seg.k,
+                    table.clone(),
+                    seg.source_trits,
+                )
+                .map_err(|e| DecodeError::InvalidBlockSize { k: e.k })?;
+                let mut out = TritVec::with_capacity(seg.source_trits);
+                dec.run_into(&mut out)?;
+                if let Some(t0) = t0 {
+                    crate::metrics::publish_segment_decode(t0.elapsed().as_nanos() as u64);
+                }
+                Ok(out)
+            });
+        let mut out = TritVec::with_capacity(parsed.source_len);
+        for seg_out in outputs {
+            out.extend_from_tritvec(&seg_out?);
+        }
+        Ok(out)
+    }
+}
+
+/// Encodes one `[start, end)` segment of `stream` with `enc`, recording
+/// the segment-latency histogram sample (batched, once per segment).
+fn encode_segment(
+    enc: &Encoder,
+    stream: &TritVec,
+    start: usize,
+    end: usize,
+) -> (TritVec, EncodeTotals) {
+    let t0 = ninec_obs::runtime_enabled().then(std::time::Instant::now);
+    let mut out = TritVec::with_capacity((end - start) / 4 + 8);
+    let mut se = enc.stream_encoder(&mut out);
+    se.feed(stream.slice_view(start, end));
+    let totals = se.finish();
+    if let Some(t0) = t0 {
+        crate::metrics::publish_segment_encode(t0.elapsed().as_nanos() as u64);
+    }
+    (out, totals)
+}
+
+/// Accumulates `part` into `acc` (case counts, blocks, bits, leftover X).
+fn merge_stats(acc: &mut EncodeStats, part: &EncodeStats) {
+    for (a, p) in acc.case_counts.iter_mut().zip(part.case_counts.iter()) {
+        *a += p;
+    }
+    acc.blocks += part.blocks;
+    acc.encoded_bits += part.encoded_bits;
+    acc.leftover_x += part.leftover_x;
+}
+
+impl From<frame::FrameError> for DecodeError {
+    fn from(e: frame::FrameError) -> Self {
+        match e {
+            frame::FrameError::Truncated { offset } => DecodeError::TruncatedStream { offset },
+            other => DecodeError::Frame(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoder;
+
+    fn tv(s: &str) -> TritVec {
+        s.parse().expect("valid trit literal")
+    }
+
+    fn sample(repeat: usize) -> TritVec {
+        tv(&"0X0X01X001X0101X111111110000X1111X0110XX".repeat(repeat))
+    }
+
+    #[test]
+    fn parallel_encode_is_bit_identical_to_serial() {
+        let stream = sample(40);
+        for k in [4usize, 8, 16, 32] {
+            let serial = Encoder::new(k).expect("valid K").encode_stream(&stream);
+            for threads in [1usize, 2, 8] {
+                for seg in [k, 3 * k, 4096] {
+                    let engine = Engine::builder().threads(threads).segment_bits(seg).build();
+                    let par = engine.encode(k, &stream).expect("valid K");
+                    assert_eq!(par, serial, "K={k} threads={threads} seg={seg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_bytes_are_thread_count_independent() {
+        let stream = sample(25);
+        let frames: Vec<Vec<u8>> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                Engine::builder()
+                    .threads(t)
+                    .segment_bits(100)
+                    .build()
+                    .encode_frame(8, &stream)
+                    .expect("valid K")
+            })
+            .collect();
+        assert_eq!(frames[0], frames[1]);
+        assert_eq!(frames[0], frames[2]);
+    }
+
+    #[test]
+    fn frame_roundtrip_matches_serial_decode() {
+        let stream = sample(20);
+        let engine = Engine::builder().threads(4).segment_bits(64).build();
+        for k in [4usize, 8, 16] {
+            let frame = engine.encode_frame(k, &stream).expect("valid K");
+            let back = engine.decode_frame(&frame).expect("own frame decodes");
+            assert_eq!(back.len(), stream.len());
+            // Every care bit survives; X is preserved or bound uniform.
+            for i in 0..stream.len() {
+                let s = stream.get(i).expect("in range");
+                if s.is_care() {
+                    assert_eq!(Some(s), back.get(i), "K={k} bit {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_an_empty_frame() {
+        let engine = Engine::builder().threads(4).build();
+        let empty = TritVec::new();
+        let enc = engine.encode(8, &empty).expect("valid K");
+        assert_eq!(enc.compressed_len(), 0);
+        let frame = engine.encode_frame(8, &empty).expect("valid K");
+        assert_eq!(frame.len(), frame::HEADER_BYTES);
+        assert!(engine.decode_frame(&frame).expect("decodes").is_empty());
+    }
+
+    #[test]
+    fn invalid_k_is_rejected_not_asserted() {
+        let engine = Engine::default();
+        let stream = sample(1);
+        assert_eq!(engine.encode(7, &stream), Err(InvalidBlockSize { k: 7 }));
+        assert_eq!(
+            engine.encode_frame(2, &stream).expect_err("odd K rejected"),
+            InvalidBlockSize { k: 2 }
+        );
+        assert_eq!(
+            engine
+                .encode_frame_best_k(&[], &stream)
+                .expect_err("empty candidates rejected"),
+            InvalidBlockSize { k: 0 }
+        );
+    }
+
+    #[test]
+    fn best_k_never_beats_worse_than_its_candidates() {
+        let stream = sample(30);
+        let engine = Engine::builder().threads(2).segment_bits(160).build();
+        let best = engine
+            .encode_frame_best_k(&[4, 8, 16], &stream)
+            .expect("valid candidates");
+        let parsed = frame::parse(&best).expect("own frame parses");
+        let payload: usize = parsed.segments.iter().map(|s| s.payload_trits).sum();
+        for k in [4usize, 8, 16] {
+            let single = engine.encode_frame(k, &stream).expect("valid K");
+            let single_parsed = frame::parse(&single).expect("own frame parses");
+            let single_payload: usize =
+                single_parsed.segments.iter().map(|s| s.payload_trits).sum();
+            assert!(
+                payload <= single_payload,
+                "best-K payload {payload} > K={k} payload {single_payload}"
+            );
+        }
+        // Best-K frames still roundtrip.
+        let back = engine.decode_frame(&best).expect("best-K frame decodes");
+        assert_eq!(back.len(), stream.len());
+    }
+
+    #[test]
+    fn corrupt_frames_yield_typed_errors() {
+        let stream = sample(10);
+        let engine = Engine::builder().threads(2).segment_bits(80).build();
+        let frame_bytes = engine.encode_frame(8, &stream).expect("valid K");
+
+        let mut bad_magic = frame_bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            engine.decode_frame(&bad_magic),
+            Err(DecodeError::Frame(frame::FrameError::BadMagic))
+        ));
+
+        let mut bad_crc = frame_bytes.clone();
+        let last = bad_crc.len() - 1;
+        bad_crc[last] ^= 0x01;
+        assert!(matches!(
+            engine.decode_frame(&bad_crc),
+            Err(DecodeError::Frame(frame::FrameError::BadCrc { .. }))
+        ));
+
+        let truncated = &frame_bytes[..frame_bytes.len() - 3];
+        assert!(matches!(
+            engine.decode_frame(truncated),
+            Err(DecodeError::TruncatedStream { .. })
+        ));
+    }
+
+    #[test]
+    fn default_threads_honors_env_clamping() {
+        // Not a concurrency test — just the parse/clamp logic. The env var
+        // is only read here, so mutation is safe within this test binary.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(default_threads() >= 1);
+        std::env::set_var(THREADS_ENV, "garbage");
+        assert!(default_threads() >= 1);
+        std::env::set_var(THREADS_ENV, "99999");
+        assert_eq!(default_threads(), pool::MAX_THREADS);
+        std::env::remove_var(THREADS_ENV);
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! A vendored, std-only work-stealing thread pool for segment jobs.
+//!
+//! The engine's unit of work is a *segment index*: all jobs are known up
+//! front, none spawns new ones, and every job writes exactly one result
+//! slot. That lets the pool stay tiny — per-worker deques seeded
+//! round-robin, LIFO pops from the owner, FIFO steals from siblings, and
+//! scoped threads so borrows of the source stream flow straight into the
+//! workers without `Arc`.
+//!
+//! Determinism: results are keyed by job index and collected in index
+//! order, so the output of [`map_indexed`] is independent of how the jobs
+//! were interleaved across workers. `threads <= 1` (or a single job)
+//! short-circuits to a serial in-caller loop — the engine's serial
+//! fallback path.
+//!
+//! Telemetry (batched at segment boundaries, never inside a job): each
+//! worker publishes its queue depth to the
+//! `ninec.engine.worker.<i>.queue_depth` gauge after every pop, and its
+//! steal/completion tallies once at exit (`ninec.engine.steals`,
+//! `ninec.engine.segments`).
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+/// Upper bound on worker threads — keeps the per-worker gauge family
+/// bounded and guards against absurd `NINEC_THREADS` values.
+pub const MAX_THREADS: usize = 256;
+
+/// Runs `f(0..jobs)` across at most `threads` workers and returns the
+/// results in job-index order.
+///
+/// Jobs are distributed round-robin across per-worker deques; an idle
+/// worker steals from the front of a sibling's deque. The mapping of jobs
+/// to workers affects only scheduling, never the returned vector: slot `i`
+/// always holds `f(i)`.
+///
+/// With `threads <= 1` or fewer than two jobs the closure runs serially on
+/// the calling thread (no pool, no atomics) — this is the engine's
+/// `threads = 1` fallback and keeps single-threaded latency identical to a
+/// plain loop.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn map_indexed<T, F>(threads: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS);
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let workers = threads.min(jobs);
+    // Round-robin seeding: job i starts on worker i % workers.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(
+                (0..jobs)
+                    .filter(|job| job % workers == w)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+    let slots: Vec<OnceLock<T>> = (0..jobs).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                let mut steals = 0u64;
+                let mut done = 0u64;
+                loop {
+                    let job = match pop_own(queues, w) {
+                        Some(job) => Some(job),
+                        None => steal(queues, w, &mut steals),
+                    };
+                    let Some(job) = job else { break };
+                    // One gauge write per segment — batched at the segment
+                    // boundary, never inside the encode/decode hot loop.
+                    crate::metrics::publish_worker_queue_depth(w, queue_len(queues, w));
+                    let out = f(job);
+                    // Each job index is popped exactly once, so the slot is
+                    // empty; a second set is impossible by construction.
+                    let _ = slots[job].set(out);
+                    done += 1;
+                }
+                crate::metrics::publish_pool_worker(steals, done);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every job index was queued exactly once and ran to completion")
+        })
+        .collect()
+}
+
+/// LIFO pop from the worker's own deque (hot segments stay cache-warm).
+fn pop_own(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    queues[w]
+        .lock()
+        .expect("pool worker panicked while holding its queue lock")
+        .pop_back()
+}
+
+/// Current depth of the worker's own deque.
+fn queue_len(queues: &[Mutex<VecDeque<usize>>], w: usize) -> usize {
+    queues[w]
+        .lock()
+        .expect("pool worker panicked while holding its queue lock")
+        .len()
+}
+
+/// FIFO steal from the first non-empty sibling, scanning from `w + 1`
+/// round-robin so the load spreads instead of piling on worker 0.
+fn steal(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &mut u64) -> Option<usize> {
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (w + off) % n;
+        let job = queues[victim]
+            .lock()
+            .expect("pool worker panicked while holding its queue lock")
+            .pop_front();
+        if let Some(job) = job {
+            *steals += 1;
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_fallback_matches_parallel() {
+        let serial = map_indexed(1, 17, |i| i * i);
+        let parallel = map_indexed(4, 17, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let out = map_indexed(8, 64, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn results_stay_in_index_order_under_skewed_load() {
+        // Make early jobs slow so late jobs finish first; order must hold.
+        let out = map_indexed(4, 12, |i| {
+            if i < 3 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..12).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_job_edge_cases() {
+        assert_eq!(map_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        assert_eq!(map_indexed(32, 3, |i| i), vec![0, 1, 2]);
+    }
+}

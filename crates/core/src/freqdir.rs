@@ -126,7 +126,9 @@ mod tests {
     fn reassigned_stream_still_decodes_consistently() {
         let ts = SyntheticProfile::new("fd2", 20, 128, 0.6).generate(9);
         let out = encode_frequency_directed(8, ts.as_stream()).unwrap();
-        let dec = crate::decode::decode(&out.reassigned).unwrap();
+        let dec = crate::session::DecodeSession::new()
+            .decode(&out.reassigned)
+            .unwrap();
         let src = ts.as_stream();
         for i in 0..src.len() {
             let s = src.get(i).unwrap();

@@ -20,6 +20,13 @@
 //!   `O(K)` state between chunks;
 //! - [`stream`] — the [`stream::BitSink`] / [`stream::BitSource`]
 //!   abstractions the streaming codec reads and writes;
+//! - [`session`] — the unified [`session::DecodeSession`] builder entry
+//!   point for everything decode (the old `decode*` free functions are
+//!   deprecated shims over it);
+//! - [`engine`] — the sharded multi-core codec engine: a vendored
+//!   work-stealing pool, the self-describing `9CSF` segment-frame
+//!   container, and parallel encode/decode that is byte-identical to the
+//!   serial path at any thread count;
 //! - [`analysis`] — compression-ratio and test-application-time models;
 //! - [`metrics`] — the crate's telemetry names and batched publishing
 //!   into the [`ninec_obs`] global registry (compiled out without the
@@ -32,7 +39,7 @@
 //!
 //! ```
 //! use ninec::encode::Encoder;
-//! use ninec::decode::decode;
+//! use ninec::session::DecodeSession;
 //! use ninec_testdata::gen::SyntheticProfile;
 //!
 //! // An s5378-shaped synthetic test set, compressed at K = 8.
@@ -42,7 +49,7 @@
 //! println!("CR = {:.1}%", encoded.compression_ratio());
 //!
 //! // Decoding preserves every care bit of the source.
-//! let decoded = decode(&encoded)?;
+//! let decoded = DecodeSession::new().decode(&encoded)?;
 //! let src = cubes.as_stream();
 //! assert!(decoded.len() == src.len());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -55,13 +62,18 @@ pub mod block;
 pub mod code;
 pub mod decode;
 pub mod encode;
+pub mod engine;
 pub mod freqdir;
 pub mod metrics;
 pub mod multiscan;
+pub mod session;
 pub mod stream;
 
 pub use analysis::{CompressionReport, TatModel};
 pub use code::{Case, CodeTable};
+#[allow(deprecated)]
 pub use decode::{decode, decode_bits, DecodeError, StreamDecoder};
 pub use encode::{CaseSelect, EncodeStats, EncodeTotals, Encoded, Encoder, StreamEncoder};
+pub use engine::{Engine, EngineBuilder, FrameError};
+pub use session::DecodeSession;
 pub use stream::{BitCounter, BitSink, BitSource};

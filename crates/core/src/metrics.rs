@@ -34,6 +34,63 @@ pub const ENCODE_LX_PCT: &str = "ninec.encode.leftover_x_pct";
 /// Histogram: encoder throughput per run, in Mbit/s of source stream.
 pub const ENCODE_THROUGHPUT: &str = "ninec.encode.throughput_mbit_s";
 
+/// Counter: segments completed by engine pool workers.
+pub const ENGINE_SEGMENTS: &str = "ninec.engine.segments";
+/// Counter: jobs an engine worker stole from a sibling's deque.
+pub const ENGINE_STEALS: &str = "ninec.engine.steals";
+/// Histogram: wall-clock nanoseconds spent encoding one segment.
+pub const ENGINE_SEG_ENCODE_NS: &str = "ninec.engine.segment.encode_ns";
+/// Histogram: wall-clock nanoseconds spent decoding one segment.
+pub const ENGINE_SEG_DECODE_NS: &str = "ninec.engine.segment.decode_ns";
+/// Gauge name for one pool worker's queue depth:
+/// `ninec.engine.worker.<i>.queue_depth`.
+#[must_use]
+pub fn worker_queue_depth_name(worker: usize) -> String {
+    format!("ninec.engine.worker.{worker}.queue_depth")
+}
+
+/// Publishes one pool worker's current queue depth gauge.
+///
+/// Called once per segment pop — batched at the segment boundary, never
+/// inside the encode/decode hot loop. No-op unless runtime-enabled.
+pub fn publish_worker_queue_depth(worker: usize, depth: usize) {
+    if !ninec_obs::runtime_enabled() {
+        return;
+    }
+    ninec_obs::global()
+        .gauge(&worker_queue_depth_name(worker))
+        .set(depth as f64);
+}
+
+/// Flushes one pool worker's lifetime tallies (`steals`, `done` segments)
+/// into the global registry — one batched flush per worker exit.
+pub fn publish_pool_worker(steals: u64, done: u64) {
+    if !ninec_obs::runtime_enabled() {
+        return;
+    }
+    let reg = ninec_obs::global();
+    if steals > 0 {
+        reg.counter(ENGINE_STEALS).add(steals);
+    }
+    reg.counter(ENGINE_SEGMENTS).add(done);
+}
+
+/// Records one segment's encode latency in nanoseconds.
+pub fn publish_segment_encode(nanos: u64) {
+    if !ninec_obs::runtime_enabled() {
+        return;
+    }
+    ninec_obs::histogram(ENGINE_SEG_ENCODE_NS).record(nanos);
+}
+
+/// Records one segment's decode latency in nanoseconds.
+pub fn publish_segment_decode(nanos: u64) {
+    if !ninec_obs::runtime_enabled() {
+        return;
+    }
+    ninec_obs::histogram(ENGINE_SEG_DECODE_NS).record(nanos);
+}
+
 /// Counter: decode runs completed.
 pub const DECODE_RUNS: &str = "ninec.decode.runs";
 /// Counter: blocks decoded.
@@ -110,6 +167,18 @@ mod tests {
     fn case_counter_names_are_c1_to_c9() {
         assert_eq!(case_counter_name(0), "ninec.encode.case.C1");
         assert_eq!(case_counter_name(8), "ninec.encode.case.C9");
+    }
+
+    #[test]
+    fn worker_gauge_names_are_indexed() {
+        assert_eq!(
+            worker_queue_depth_name(0),
+            "ninec.engine.worker.0.queue_depth"
+        );
+        assert_eq!(
+            worker_queue_depth_name(7),
+            "ninec.engine.worker.7.queue_depth"
+        );
     }
 
     #[test]

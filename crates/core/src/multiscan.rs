@@ -299,7 +299,7 @@ mod tests {
     fn encode_multiscan_roundtrips_through_decode() {
         let ts = SyntheticProfile::new("msenc", 8, 60, 0.75).generate(7);
         let enc = encode_multiscan(&ts, 12, 4).unwrap();
-        let vertical = crate::decode::decode(&enc).unwrap();
+        let vertical = crate::session::DecodeSession::new().decode(&enc).unwrap();
         let chains = ScanChains::new(60, 12).unwrap();
         let back = chains.horizontal_set(&vertical);
         // All care bits preserved through the whole path.

@@ -1,0 +1,305 @@
+//! The unified decode entry point: [`DecodeSession`].
+//!
+//! Before the session API, decoding was scattered over three free
+//! functions — `decode(&Encoded)`, `decode_bits(..)` and
+//! `decode_stream(..)` — each with its own parameter order. A
+//! `DecodeSession` collapses them into one builder: set what you know
+//! (`.k()`, `.table()`, `.source_len()`, `.threads()`), then call the
+//! entry matching your input shape:
+//!
+//! | input | call | parameters |
+//! |---|---|---|
+//! | [`Encoded`] | [`decode`](DecodeSession::decode) | all defaulted from the value; overrides win |
+//! | raw trit stream | [`decode_trits`](DecodeSession::decode_trits) | `k` + `source_len` required, `table` defaults to the paper's |
+//! | ATE bit stream | [`decode_bits`](DecodeSession::decode_bits) | same as `decode_trits` |
+//! | `9CSF` frame bytes | [`decode_frame`](DecodeSession::decode_frame) | self-describing; only `threads` applies |
+//!
+//! Every malformed input is a typed [`DecodeError`] — a session never
+//! panics, unlike the `assert!` the pre-session `decode_stream` carried.
+//!
+//! The old free functions remain as `#[deprecated]` shims delegating
+//! here; see the README's migration note.
+//!
+//! ```
+//! use ninec::encode::Encoder;
+//! use ninec::session::DecodeSession;
+//! use ninec_testdata::trit::TritVec;
+//!
+//! let src: TritVec = "0X0X00XX1111X111".parse()?;
+//! let encoded = Encoder::new(8)?.encode_stream(&src);
+//! let back = DecodeSession::new().decode(&encoded)?;
+//! assert_eq!(back.len(), src.len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::code::CodeTable;
+use crate::decode::{DecodeError, StreamDecoder};
+use crate::encode::Encoded;
+use crate::engine::Engine;
+use ninec_testdata::bits::BitVec;
+use ninec_testdata::trit::TritVec;
+
+/// Builder-style decode entry point (see the module docs).
+///
+/// A session is cheap to build and reusable: none of the `decode_*`
+/// methods consume it, so one configured session can decode many streams.
+#[derive(Debug, Clone, Default)]
+#[must_use]
+pub struct DecodeSession {
+    k: Option<usize>,
+    table: Option<CodeTable>,
+    source_len: Option<usize>,
+    threads: Option<usize>,
+}
+
+impl DecodeSession {
+    /// Starts an empty session; every parameter is unset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Block size `K` the stream was encoded with.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Code table the stream was encoded with (default: the paper's
+    /// Table I code, or the [`Encoded`] value's own table in
+    /// [`decode`](DecodeSession::decode)).
+    pub fn table(mut self, table: CodeTable) -> Self {
+        self.table = Some(table);
+        self
+    }
+
+    /// Unpadded source length `|T_D|` to produce.
+    pub fn source_len(mut self, source_len: usize) -> Self {
+        self.source_len = Some(source_len);
+        self
+    }
+
+    /// Worker threads for [`decode_frame`](DecodeSession::decode_frame)
+    /// (default: [`crate::engine::default_threads`]). Raw streams have no
+    /// segment boundaries, so the other entries are always serial.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Decodes an [`Encoded`] value. Parameters default to the value's
+    /// own `k`/`table`/`source_len`; explicitly set ones win.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecodeError`]; cannot fail on unmodified encoder output
+    /// decoded with its own parameters.
+    pub fn decode(&self, encoded: &Encoded) -> Result<TritVec, DecodeError> {
+        let k = self.k.unwrap_or_else(|| encoded.k());
+        let table = self
+            .table
+            .clone()
+            .unwrap_or_else(|| encoded.table().clone());
+        let source_len = self.source_len.unwrap_or_else(|| encoded.source_len());
+        decode_trits_with(encoded.stream(), k, &table, source_len)
+    }
+
+    /// Decodes a raw three-valued 9C stream. Requires
+    /// [`k`](DecodeSession::k) and [`source_len`](DecodeSession::source_len);
+    /// [`table`](DecodeSession::table) defaults to the paper's.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::MissingParameter`] when `k` or `source_len` is
+    /// unset; otherwise see [`DecodeError`].
+    pub fn decode_trits(&self, stream: &TritVec) -> Result<TritVec, DecodeError> {
+        let k = self.k.ok_or(DecodeError::MissingParameter { what: "k" })?;
+        let source_len = self
+            .source_len
+            .ok_or(DecodeError::MissingParameter { what: "source_len" })?;
+        let table = self.table.clone().unwrap_or_else(CodeTable::paper);
+        decode_trits_with(stream, k, &table, source_len)
+    }
+
+    /// Decodes a fully specified bit stream (what the ATE stores after
+    /// X-fill) to the bits scanned into the chain. Same parameter rules
+    /// as [`decode_trits`](DecodeSession::decode_trits).
+    ///
+    /// # Errors
+    ///
+    /// See [`decode_trits`](DecodeSession::decode_trits).
+    pub fn decode_bits(&self, bits: &BitVec) -> Result<BitVec, DecodeError> {
+        let trits = TritVec::from(bits);
+        let out = self.decode_trits(&trits)?;
+        Ok(out
+            .to_bitvec()
+            .expect("specified input decodes to specified output"))
+    }
+
+    /// Decodes a self-describing `9CSF` segment frame, sharding segments
+    /// across [`threads`](DecodeSession::threads) workers. The frame
+    /// carries its own per-segment `K`, source length and code table, so
+    /// no other parameter applies.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::TruncatedStream`] / [`DecodeError::Frame`] for
+    /// structural problems, plus the usual variants when a CRC-valid
+    /// segment still fails 9C decoding. Never panics on hostile input.
+    pub fn decode_frame(&self, bytes: &[u8]) -> Result<TritVec, DecodeError> {
+        let mut builder = Engine::builder();
+        if let Some(threads) = self.threads {
+            builder = builder.threads(threads);
+        }
+        builder.build().decode_frame(bytes)
+    }
+}
+
+/// Shared serial decode core for the session's non-frame entries.
+fn decode_trits_with(
+    stream: &TritVec,
+    k: usize,
+    table: &CodeTable,
+    source_len: usize,
+) -> Result<TritVec, DecodeError> {
+    let _span = ninec_obs::span("decode_session");
+    let mut out = TritVec::with_capacity(source_len);
+    let dec = StreamDecoder::new(stream.as_slice().iter(), k, table.clone(), source_len)?;
+    dec.run_into(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoder;
+    use ninec_testdata::fill::FillStrategy;
+
+    fn sample() -> (TritVec, Encoded) {
+        let src: TritVec = "0X0X01X001X0101X111111110000X111".parse().unwrap();
+        let enc = Encoder::new(8).unwrap().encode_stream(&src);
+        (src, enc)
+    }
+
+    #[test]
+    fn decode_defaults_from_the_encoded_value() {
+        let (src, enc) = sample();
+        let out = DecodeSession::new().decode(&enc).unwrap();
+        assert_eq!(out.len(), src.len());
+        for i in 0..src.len() {
+            let s = src.get(i).unwrap();
+            if s.is_care() {
+                assert_eq!(Some(s), out.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_overrides_beat_the_encoded_value() {
+        let (_, enc) = sample();
+        // Overriding K with a wrong-but-valid value decodes differently
+        // (or errors) — proving the override actually applies.
+        let with_own = DecodeSession::new().decode(&enc).unwrap();
+        let with_k16 = DecodeSession::new().k(16).decode(&enc);
+        assert_ne!(Ok(with_own), with_k16);
+        // Overriding source_len truncates the output.
+        let short = DecodeSession::new().source_len(5).decode(&enc).unwrap();
+        assert_eq!(short.len(), 5);
+    }
+
+    #[test]
+    fn decode_trits_requires_k_and_source_len() {
+        let (_, enc) = sample();
+        assert_eq!(
+            DecodeSession::new()
+                .source_len(enc.source_len())
+                .decode_trits(enc.stream()),
+            Err(DecodeError::MissingParameter { what: "k" })
+        );
+        assert_eq!(
+            DecodeSession::new().k(8).decode_trits(enc.stream()),
+            Err(DecodeError::MissingParameter { what: "source_len" })
+        );
+        let ok = DecodeSession::new()
+            .k(8)
+            .source_len(enc.source_len())
+            .decode_trits(enc.stream())
+            .unwrap();
+        assert_eq!(ok, DecodeSession::new().decode(&enc).unwrap());
+    }
+
+    #[test]
+    fn invalid_k_is_a_typed_error() {
+        let (_, enc) = sample();
+        assert_eq!(
+            DecodeSession::new()
+                .k(7)
+                .source_len(enc.source_len())
+                .decode_trits(enc.stream()),
+            Err(DecodeError::InvalidBlockSize { k: 7 })
+        );
+        assert_eq!(
+            DecodeSession::new().k(2).decode(&enc),
+            Err(DecodeError::InvalidBlockSize { k: 2 })
+        );
+    }
+
+    #[test]
+    fn decode_bits_roundtrips_ate_stream() {
+        let (src, enc) = sample();
+        let ate = enc.to_bitvec(FillStrategy::Zero);
+        let out = DecodeSession::new()
+            .k(enc.k())
+            .source_len(enc.source_len())
+            .decode_bits(&ate)
+            .unwrap();
+        let out_trits = TritVec::from(&out);
+        for i in 0..src.len() {
+            let s = src.get(i).unwrap();
+            if s.is_care() {
+                assert_eq!(Some(s), out_trits.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_frame_is_self_describing() {
+        let (src, _) = sample();
+        let big: TritVec = {
+            let mut v = TritVec::new();
+            for _ in 0..50 {
+                v.extend_from_tritvec(&src);
+            }
+            v
+        };
+        let frame = Engine::builder()
+            .threads(2)
+            .segment_bits(128)
+            .build()
+            .encode_frame(8, &big)
+            .unwrap();
+        // No k/table/source_len needed; threads is the only knob.
+        let out = DecodeSession::new()
+            .threads(2)
+            .decode_frame(&frame)
+            .unwrap();
+        assert_eq!(out.len(), big.len());
+        // Hostile bytes: typed error, no panic.
+        assert!(matches!(
+            DecodeSession::new().decode_frame(&frame[..frame.len() - 1]),
+            Err(DecodeError::TruncatedStream { .. })
+        ));
+        assert!(matches!(
+            DecodeSession::new().decode_frame(b"not a frame"),
+            Err(DecodeError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn session_is_reusable() {
+        let (_, enc) = sample();
+        let session = DecodeSession::new();
+        let a = session.decode(&enc).unwrap();
+        let b = session.decode(&enc).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -316,13 +316,18 @@ mod tests {
 
     #[test]
     fn matches_software_decoder() {
-        use ninec::decode::decode_bits;
+        use ninec::session::DecodeSession;
         let ts = SyntheticProfile::new("swhw", 25, 104, 0.8).generate(17);
         let src = ts.as_stream();
         let encoder = Encoder::new(8).unwrap();
         let encoded = encoder.encode_stream(src);
         let ate_bits = encoded.to_bitvec(FillStrategy::Zero);
-        let sw = decode_bits(&ate_bits, 8, encoded.table(), src.len()).unwrap();
+        let sw = DecodeSession::new()
+            .k(8)
+            .table(encoded.table().clone())
+            .source_len(src.len())
+            .decode_bits(&ate_bits)
+            .unwrap();
         let hw = SingleScanDecoder::new(8, encoded.table().clone(), ClockRatio::new(8))
             .run(&ate_bits, src.len())
             .unwrap();

@@ -6,8 +6,8 @@
 //! ```
 
 use ninec::analysis::TatModel;
-use ninec::decode::decode;
 use ninec::encode::Encoder;
+use ninec::session::DecodeSession;
 use ninec_testdata::gen::SyntheticProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Decode at the sweet spot and verify every care bit survived.
     let encoded = Encoder::new(8)?.encode_set(&cubes);
-    let decoded = decode(&encoded)?;
+    let decoded = DecodeSession::new().decode(&encoded)?;
     let src = cubes.as_stream();
     let mut preserved = 0usize;
     for i in 0..src.len() {

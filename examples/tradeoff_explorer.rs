@@ -10,8 +10,8 @@
 //! cargo run --example tradeoff_explorer -- 10
 //! ```
 
-use ninec::decode::decode;
 use ninec::encode::Encoder;
+use ninec::session::DecodeSession;
 use ninec_testdata::cube::TestSet;
 use ninec_testdata::fill::FillStrategy;
 use ninec_testdata::gen::mintest_profile;
@@ -43,7 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cr = encoded.compression_ratio();
         let lx = encoded.leftover_x_percent();
         // What the surviving X is worth: decode, then fill both ways.
-        let decoded = TestSet::from_stream(cubes.pattern_len(), decode(&encoded)?);
+        let decoded =
+            TestSet::from_stream(cubes.pattern_len(), DecodeSession::new().decode(&encoded)?);
         let rnd = scan_power(&decoded, FillStrategy::Random { seed: 5 });
         let mt = scan_power(&decoded, FillStrategy::MinTransition);
         println!(

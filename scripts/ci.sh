@@ -15,11 +15,27 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The sharded engine forbids unwrap() outright (deny(clippy::unwrap_used)
+# at the engine module root, which covers the frame and pool submodules);
+# guard the attribute so a refactor can't silently drop it.
+echo "==> engine unwrap_used deny guard"
+grep -q '^#!\[deny(clippy::unwrap_used)\]' crates/core/src/engine/mod.rs || {
+    echo "crates/core/src/engine/mod.rs must keep #![deny(clippy::unwrap_used)]" >&2
+    exit 1
+}
+
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# Run the suite at both ends of the engine's thread spectrum: the serial
+# in-caller fallback and an oversubscribed pool. Output must be identical
+# (the differential suite asserts byte-identity; this catches anything
+# thread-count-sensitive that only manifests at runtime).
+echo "==> cargo test -q (NINEC_THREADS=1)"
+NINEC_THREADS=1 cargo test -q
+
+echo "==> cargo test -q (NINEC_THREADS=8)"
+NINEC_THREADS=8 cargo test -q
 
 # The telemetry layer must be provably optional: the whole suite also
 # passes with the obs feature (and every probe it gates) compiled out.
@@ -38,5 +54,17 @@ trap 'rm -rf "$smokedir"' EXIT
     --stats json | grep -q '"ninec.encode.blocks"'
 ./target/release/ninec compress "$smokedir/t.cubes" -o "$smokedir/t.te" \
     --stats text | grep -q '^# TYPE ninec_encode_blocks counter'
+
+# Parallel-engine smoke test: a 9CSF frame written with --threads 4 must
+# be byte-identical to the serial one and decompress back losslessly.
+echo "==> ninec --threads smoke test"
+./target/release/ninec compress "$smokedir/t.cubes" -o "$smokedir/t4.9cf" \
+    --threads 4 --segment-bits 128 >/dev/null
+./target/release/ninec compress "$smokedir/t.cubes" -o "$smokedir/t1.9cf" \
+    --threads 1 --segment-bits 128 >/dev/null
+cmp "$smokedir/t4.9cf" "$smokedir/t1.9cf"
+./target/release/ninec decompress "$smokedir/t4.9cf" -o "$smokedir/back.cubes" \
+    --threads 4 --fill keep >/dev/null
+./target/release/ninec info "$smokedir/t4.9cf" | grep -q '9CSF frame'
 
 echo "CI OK"

@@ -2,10 +2,10 @@
 
 use ninec::analysis::TatModel;
 use ninec::code::{CodeTable, PAPER_LENGTHS};
-use ninec::decode::decode;
 use ninec::encode::Encoder;
 use ninec::freqdir::encode_frequency_directed;
 use ninec::multiscan::ScanChains;
+use ninec::session::DecodeSession;
 use ninec_baselines::arl::AlternatingRunLength;
 use ninec_baselines::efdr::Efdr;
 use ninec_baselines::fdr::Fdr;
@@ -49,7 +49,7 @@ proptest! {
             encoded.compressed_len() as u64
         );
         // Roundtrip compatibility.
-        let decoded = decode(&encoded).unwrap();
+        let decoded = DecodeSession::new().decode(&encoded).unwrap();
         prop_assert_eq!(decoded.len(), stream.len());
         for i in 0..stream.len() {
             let s = stream.get(i).unwrap();
@@ -82,9 +82,14 @@ proptest! {
         let encoded = Encoder::new(k).unwrap().encode_stream(&stream);
         // Path A: fill T_E, then decode bits.
         let ate = encoded.to_bitvec(FillStrategy::Zero);
-        let a = ninec::decode::decode_bits(&ate, k, encoded.table(), stream.len()).unwrap();
+        let a = DecodeSession::new()
+            .k(k)
+            .table(encoded.table().clone())
+            .source_len(stream.len())
+            .decode_bits(&ate)
+            .unwrap();
         // Path B: decode trits, then zero-fill.
-        let b = fill_trits(&decode(&encoded).unwrap(), FillStrategy::Zero)
+        let b = fill_trits(&DecodeSession::new().decode(&encoded).unwrap(), FillStrategy::Zero)
             .to_bitvec()
             .unwrap();
         prop_assert_eq!(a, b);
@@ -109,7 +114,7 @@ proptest! {
         let table = CodeTable::from_lengths(&lengths).unwrap();
         let encoder = Encoder::with_table(8, table).unwrap();
         let encoded = encoder.encode_stream(&stream);
-        let decoded = decode(&encoded).unwrap();
+        let decoded = DecodeSession::new().decode(&encoded).unwrap();
         for i in 0..stream.len() {
             let s = stream.get(i).unwrap();
             if s.is_care() {
@@ -221,7 +226,7 @@ fn empty_stream_edge_cases() {
     let empty = TritVec::new();
     let encoded = Encoder::new(8).unwrap().encode_stream(&empty);
     assert_eq!(encoded.compressed_len(), 0);
-    assert_eq!(decode(&encoded).unwrap(), empty);
+    assert_eq!(DecodeSession::new().decode(&encoded).unwrap(), empty);
     assert_eq!(Fdr::new().compress(&empty), BitVec::new());
     let ts = TestSet::new(4);
     assert_eq!(ts.num_patterns(), 0);
@@ -242,7 +247,7 @@ proptest! {
         let extra = quiet.compressed_len() as i64 - base.compressed_len() as i64;
         prop_assert!(extra >= 0);
         prop_assert!(extra as u64 <= budget as u64 * base.stats().blocks);
-        let decoded = decode(&quiet).unwrap();
+        let decoded = DecodeSession::new().decode(&quiet).unwrap();
         for i in 0..stream.len() {
             let s = stream.get(i).unwrap();
             if s.is_care() {

@@ -34,6 +34,58 @@ fn readme_streaming_example_runs() {
     main_snippet().unwrap();
 }
 
+/// Mirrors the README "Parallel engine" snippet verbatim.
+fn parallel_engine_snippet() -> Result<(), Box<dyn std::error::Error>> {
+    use ninec::engine::Engine;
+    use ninec::session::DecodeSession;
+    use ninec_testdata::trit::TritVec;
+
+    let stream: TritVec = "0X0X00XX1111X11101X0".repeat(100).parse()?;
+    let engine = Engine::builder().threads(8).segment_bits(256).build();
+
+    // Bit-identical to the serial `Encoder::encode_stream`:
+    let encoded = engine.encode(8, &stream)?;
+
+    // Self-describing 9CSF frame: parallel decode, typed errors on corruption.
+    let frame = engine.encode_frame(8, &stream)?;
+    assert_eq!(
+        frame,
+        Engine::builder()
+            .threads(1)
+            .segment_bits(256)
+            .build()
+            .encode_frame(8, &stream)?
+    ); // byte-identical at any thread count
+    let back = DecodeSession::new().threads(4).decode_frame(&frame)?;
+    assert!(back.covers(&stream));
+    let _ = encoded;
+    Ok(())
+}
+
+#[test]
+fn readme_parallel_engine_example_runs() {
+    parallel_engine_snippet().unwrap();
+}
+
+/// Mirrors the README "Quick start" compress-in-code snippet (modulo the
+/// `println!`).
+fn quick_start_snippet() -> Result<(), Box<dyn std::error::Error>> {
+    use ninec::encode::Encoder;
+    use ninec::session::DecodeSession;
+    use ninec_testdata::gen::SyntheticProfile;
+
+    let cubes = SyntheticProfile::new("demo", 111, 214, 0.726).generate(1);
+    let encoded = Encoder::new(8)?.encode_set(&cubes);
+    let decoded = DecodeSession::new().decode(&encoded)?; // every care bit preserved
+    assert_eq!(decoded.len(), cubes.total_bits());
+    Ok(())
+}
+
+#[test]
+fn readme_quick_start_example_runs() {
+    quick_start_snippet().unwrap();
+}
+
 /// Mirrors the README "Observability" snippet verbatim (modulo the
 /// `println!`, elided to keep test output quiet).
 fn observability_snippet() -> Result<(), Box<dyn std::error::Error>> {

@@ -3,8 +3,8 @@
 //! must not silently fabricate plausible output lengths.
 
 use ninec::code::CodeTable;
-use ninec::decode::decode_bits;
 use ninec::encode::Encoder;
+use ninec::session::DecodeSession;
 use ninec_baselines::arl::AlternatingRunLength;
 use ninec_baselines::efdr::Efdr;
 use ninec_baselines::fdr::Fdr;
@@ -26,7 +26,8 @@ proptest! {
     #[test]
     fn ninec_decode_arbitrary_bits(bits in arb_bits(512), out_len in 0usize..256) {
         let table = CodeTable::paper();
-        if let Ok(out) = decode_bits(&bits, 8, &table, out_len) {
+        let session = DecodeSession::new().k(8).table(table).source_len(out_len);
+        if let Ok(out) = session.decode_bits(&bits) {
             prop_assert_eq!(out.len(), out_len);
         }
     }
@@ -51,7 +52,11 @@ proptest! {
         prop_assume!(flip < bits.len());
         let original = bits.get(flip).unwrap();
         bits.set(flip, !original);
-        if let Ok(out) = decode_bits(&bits, 8, encoded.table(), encoded.source_len()) {
+        let session = DecodeSession::new()
+            .k(8)
+            .table(encoded.table().clone())
+            .source_len(encoded.source_len());
+        if let Ok(out) = session.decode_bits(&bits) {
             prop_assert_eq!(out.len(), encoded.source_len());
         }
     }
@@ -106,15 +111,24 @@ fn decode_with_wrong_k_fails_or_mismatches_but_never_panics() {
     let encoded = Encoder::new(8).unwrap().encode_set(&ts);
     let bits = encoded.to_bitvec(FillStrategy::Zero);
     for wrong_k in [4usize, 12, 16, 32] {
-        let _ = decode_bits(&bits, wrong_k, encoded.table(), encoded.source_len());
+        let _ = DecodeSession::new()
+            .k(wrong_k)
+            .table(encoded.table().clone())
+            .source_len(encoded.source_len())
+            .decode_bits(&bits);
     }
 }
 
 #[test]
 fn corrupt_trit_stream_decode_reports_x_in_codeword() {
-    use ninec::decode::{decode_stream, DecodeError};
+    use ninec::decode::DecodeError;
     // An X where a codeword must start.
     let te: TritVec = "X0110".parse().unwrap();
-    let err = decode_stream(&te, 8, &CodeTable::paper(), 16).unwrap_err();
+    let err = DecodeSession::new()
+        .k(8)
+        .table(CodeTable::paper())
+        .source_len(16)
+        .decode_trits(&te)
+        .unwrap_err();
     assert!(matches!(err, DecodeError::XInCodeword { offset: 0 }));
 }

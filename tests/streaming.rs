@@ -6,8 +6,9 @@
 //! `HalfClass::classify_scalar`) and against the one-shot API.
 
 use ninec::block::HalfClass;
-use ninec::decode::{decode, StreamDecoder};
+use ninec::decode::StreamDecoder;
 use ninec::encode::Encoder;
+use ninec::session::DecodeSession;
 use ninec::stream::BitCounter;
 use ninec_testdata::trit::{Trit, TritVec};
 use proptest::prelude::*;
@@ -102,7 +103,7 @@ proptest! {
             .unwrap();
             while dec.decode_block_into(&mut out).unwrap() > 0 {}
             prop_assert!(dec.is_done());
-            prop_assert_eq!(&out, &decode(&encoded).unwrap());
+            prop_assert_eq!(&out, &DecodeSession::new().decode(&encoded).unwrap());
             assert_covers(&stream, &out);
         }
     }
