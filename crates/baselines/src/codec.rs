@@ -23,7 +23,7 @@ use crate::golomb::Golomb;
 use crate::selhuff::{SelectiveHuffmanDecodeError, SelectiveHuffmanEncoded};
 use crate::vihc::{VihcDecodeError, VihcEncoded};
 use ninec_testdata::bits::BitVec;
-use ninec_testdata::trit::TritVec;
+use ninec_testdata::trit::{Trit, TritVec};
 use std::fmt;
 
 /// A baseline test-data compression code, as compared against 9C in the
@@ -173,6 +173,16 @@ pub struct SegmentedStream {
 }
 
 impl SegmentedStream {
+    /// Assembles a stream from hand-built segments — the mutation entry
+    /// point for robustness harnesses (drop, duplicate, reorder or splice
+    /// segments between codecs). [`TestDataCodec::decode_segmented`] must
+    /// answer any such concoction with a typed error or a decode of
+    /// whatever the segments claim — never a panic.
+    #[must_use]
+    pub fn from_segments(segments: Vec<CodecStream>) -> Self {
+        Self { segments }
+    }
+
     /// The per-segment compressed streams, in source order.
     #[must_use]
     pub fn segments(&self) -> &[CodecStream] {
@@ -277,6 +287,75 @@ impl CodecStream {
         }
     }
 
+    /// Copy of this stream claiming a different source length — the
+    /// header/payload-mismatch case of the robustness harness.
+    #[must_use]
+    pub fn with_source_len(&self, source_len: usize) -> Self {
+        Self {
+            source_len,
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Copy with the ATE payload cut to at most `keep` symbols (bits for
+    /// the binary codes, trits for 9C) — models a transfer that stopped
+    /// short. The claimed source length is unchanged, so decoding should
+    /// report truncation.
+    #[must_use]
+    pub fn truncated(&self, keep: usize) -> Self {
+        let mut out = self.clone();
+        match &mut out.payload {
+            Payload::Fdr(bits) | Payload::Efdr(bits) | Payload::Arl(bits) => bits.truncate(keep),
+            Payload::Golomb { bits, .. } => bits.truncate(keep),
+            Payload::Vihc(enc) => enc.bits.truncate(keep),
+            Payload::SelHuff(enc) => enc.bits.truncate(keep),
+            Payload::Dict(enc) => enc.bits.truncate(keep),
+            Payload::NineC(enc) => {
+                let mut stream = enc.stream().clone();
+                stream.truncate(keep);
+                out.payload = Payload::NineC(enc.clone().with_stream(stream));
+            }
+        }
+        out
+    }
+
+    /// Copy with payload symbol `i % len` inverted (bit flip for the
+    /// binary codes; for 9C the trit cycles `0→1→X→0`, hitting both the
+    /// wrong-care and lost-care corruption classes). No-op on an empty
+    /// payload.
+    #[must_use]
+    pub fn with_flipped_symbol(&self, i: usize) -> Self {
+        fn flip_bits(bits: &mut BitVec, i: usize) {
+            if !bits.is_empty() {
+                let at = i % bits.len();
+                let cur = bits.get(at).unwrap_or(false);
+                bits.set(at, !cur);
+            }
+        }
+        let mut out = self.clone();
+        match &mut out.payload {
+            Payload::Fdr(bits) | Payload::Efdr(bits) | Payload::Arl(bits) => flip_bits(bits, i),
+            Payload::Golomb { bits, .. } => flip_bits(bits, i),
+            Payload::Vihc(enc) => flip_bits(&mut enc.bits, i),
+            Payload::SelHuff(enc) => flip_bits(&mut enc.bits, i),
+            Payload::Dict(enc) => flip_bits(&mut enc.bits, i),
+            Payload::NineC(enc) => {
+                let mut stream = enc.stream().clone();
+                if !stream.is_empty() {
+                    let at = i % stream.len();
+                    let next = match stream.get(at) {
+                        Some(Trit::Zero) => Trit::One,
+                        Some(Trit::One) => Trit::X,
+                        _ => Trit::Zero,
+                    };
+                    stream.set(at, next);
+                }
+                out.payload = Payload::NineC(enc.clone().with_stream(stream));
+            }
+        }
+        out
+    }
+
     /// Reconstructs the test data (see
     /// [`TestDataCodec::decode_stream`] for the fill semantics).
     ///
@@ -286,21 +365,29 @@ impl CodecStream {
     /// truncated or corrupt streams.
     pub fn decode(&self) -> Result<TritVec, CodecDecodeError> {
         let n = self.source_len;
-        match &self.payload {
-            Payload::Fdr(bits) => Ok(TritVec::from(&Fdr::new().decompress(bits, n)?)),
+        let out = match &self.payload {
+            Payload::Fdr(bits) => TritVec::from(&Fdr::new().decompress(bits, n)?),
             Payload::Golomb { b, bits } => {
                 let golomb = Golomb::new(*b).expect("group size validated at encode time");
-                Ok(TritVec::from(&golomb.decompress(bits, n)?))
+                TritVec::from(&golomb.decompress(bits, n)?)
             }
-            Payload::Efdr(bits) => Ok(TritVec::from(&Efdr::new().decompress(bits, n)?)),
-            Payload::Arl(bits) => Ok(TritVec::from(
-                &AlternatingRunLength::new().decompress(bits, n)?,
-            )),
-            Payload::Vihc(enc) => Ok(TritVec::from(&enc.decode()?)),
-            Payload::SelHuff(enc) => Ok(TritVec::from(&enc.decode()?)),
-            Payload::Dict(enc) => Ok(TritVec::from(&enc.decode()?)),
-            Payload::NineC(enc) => Ok(ninec::DecodeSession::new().decode(enc)?),
+            Payload::Efdr(bits) => TritVec::from(&Efdr::new().decompress(bits, n)?),
+            Payload::Arl(bits) => TritVec::from(&AlternatingRunLength::new().decompress(bits, n)?),
+            Payload::Vihc(enc) => TritVec::from(&enc.decode()?),
+            Payload::SelHuff(enc) => TritVec::from(&enc.decode()?),
+            Payload::Dict(enc) => TritVec::from(&enc.decode()?),
+            Payload::NineC(enc) => ninec::DecodeSession::new().decode(enc)?,
+        };
+        // The model-carrying payloads (VIHC, SelHuff, Dict, 9C) decode to
+        // the length *their own* decoder model claims; a mutated stream
+        // header that disagrees is corruption, not a shorter answer.
+        if out.len() != n {
+            return Err(CodecDecodeError::LengthMismatch {
+                claimed: n,
+                decoded: out.len(),
+            });
         }
+        Ok(out)
     }
 }
 
@@ -317,6 +404,14 @@ pub enum CodecDecodeError {
     Dict(DictionaryDecodeError),
     /// 9C failed.
     NineC(ninec::DecodeError),
+    /// The payload decoded, but to a different length than the stream's
+    /// `source_len` header claims — a header/payload mismatch.
+    LengthMismatch {
+        /// The `source_len` the stream header claims.
+        claimed: usize,
+        /// What the payload actually decoded to.
+        decoded: usize,
+    },
 }
 
 impl fmt::Display for CodecDecodeError {
@@ -327,6 +422,10 @@ impl fmt::Display for CodecDecodeError {
             CodecDecodeError::SelHuff(e) => write!(f, "selective-huffman decode: {e}"),
             CodecDecodeError::Dict(e) => write!(f, "dictionary decode: {e}"),
             CodecDecodeError::NineC(e) => write!(f, "9c decode: {e}"),
+            CodecDecodeError::LengthMismatch { claimed, decoded } => write!(
+                f,
+                "stream header claims {claimed} source trits but the payload decodes to {decoded}"
+            ),
         }
     }
 }
@@ -339,6 +438,7 @@ impl std::error::Error for CodecDecodeError {
             CodecDecodeError::SelHuff(e) => Some(e),
             CodecDecodeError::Dict(e) => Some(e),
             CodecDecodeError::NineC(e) => Some(e),
+            CodecDecodeError::LengthMismatch { .. } => None,
         }
     }
 }

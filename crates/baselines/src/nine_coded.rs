@@ -9,7 +9,7 @@
 use crate::codec::{CodecStream, Payload, TestDataCodec};
 use ninec::encode::{Encoder, InvalidBlockSize};
 use ninec::engine::Engine;
-use ninec::DecodeError;
+use ninec::{DecodeError, EncodeFrameError};
 use ninec_testdata::trit::TritVec;
 
 /// The nine-coded compression technique as a [`TestDataCodec`].
@@ -62,11 +62,21 @@ impl NineCoded {
     /// [`TestDataCodec::encode_segmented`] path, which shards into
     /// in-memory [`CodecStream`]s). The bytes are independent of the
     /// thread count.
-    #[must_use]
-    pub fn encode_frame(&self, stream: &TritVec, threads: usize, segment_bits: usize) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeFrameError::Frame`] when a segment overflows the `9CSF`
+    /// header's `u32` fields (a > 4 Gi-trit segment); the block size
+    /// itself was validated at construction, so
+    /// [`EncodeFrameError::InvalidBlockSize`] cannot occur here.
+    pub fn encode_frame(
+        &self,
+        stream: &TritVec,
+        threads: usize,
+        segment_bits: usize,
+    ) -> Result<Vec<u8>, EncodeFrameError> {
         self.engine(threads, segment_bits)
             .encode_frame(self.k(), stream)
-            .expect("block size validated at construction")
     }
 
     /// Decodes a `9CSF` frame produced by
@@ -133,9 +143,9 @@ mod tests {
             .parse()
             .unwrap();
         let adapter = NineCoded::new(8).unwrap();
-        let serial = adapter.encode_frame(&stream, 1, 128);
+        let serial = adapter.encode_frame(&stream, 1, 128).unwrap();
         for threads in [2usize, 8] {
-            assert_eq!(adapter.encode_frame(&stream, threads, 128), serial);
+            assert_eq!(adapter.encode_frame(&stream, threads, 128).unwrap(), serial);
         }
         let back = adapter.decode_frame(&serial, 4).unwrap();
         assert_eq!(back.len(), stream.len());

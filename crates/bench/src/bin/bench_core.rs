@@ -82,6 +82,49 @@ fn main() {
         );
         scaling_rows.push(row);
     }
+    // Fault-tolerance counters: corrupt one payload byte of a CKT1 frame,
+    // watch strict decode reject it (crc_failures), salvage it
+    // (salvaged_segments), and reject a decode under a hostile limit
+    // (limit_rejections) — so the recovery counters in the committed OBS
+    // snapshot are nonzero and tracked. `worker_panics` intentionally stays
+    // 0 here: the failpoint hooks that can force one are a test-only cargo
+    // feature (`failpoints`) that this bin does not enable.
+    {
+        use ninec::engine::frame::{HEADER_BYTES, SEGMENT_HEADER_BYTES};
+        use ninec::engine::{DecodeLimits, Engine};
+        use ninec::session::DecodeSession;
+        let engine = Engine::builder().threads(1).segment_bits(1 << 20).build();
+        let mut frame = engine.encode_frame(8, ckt1).expect("encode CKT1 frame");
+        // Limit rejection first, on the intact frame: segment CRCs are
+        // verified before the limit check, so a corrupt segment would
+        // surface as BadCrc instead.
+        let hostile = DecodeLimits {
+            max_segment_trits: 1,
+            ..DecodeLimits::default()
+        };
+        assert!(
+            DecodeSession::new()
+                .limits(hostile)
+                .decode_frame(&frame)
+                .is_err(),
+            "hostile limit must reject the frame"
+        );
+        frame[HEADER_BYTES + SEGMENT_HEADER_BYTES] ^= 0x55; // first payload byte
+        assert!(
+            DecodeSession::new().decode_frame(&frame).is_err(),
+            "strict decode of a corrupted frame must fail"
+        );
+        let report = DecodeSession::new()
+            .decode_frame_salvage(&frame)
+            .expect("salvage decode");
+        eprintln!(
+            "{} salvage: {}/{} segments recovered, {} damaged",
+            ibm[0].name,
+            report.recovered_segments,
+            report.total_segments,
+            report.damaged.len()
+        );
+    }
     if let Some(dir) = out.parent() {
         fs::create_dir_all(dir).expect("create results dir");
     }

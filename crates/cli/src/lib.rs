@@ -45,18 +45,24 @@ pub enum CliError {
     Failed(String),
     /// I/O failure.
     Io(std::io::Error),
+    /// `decompress --salvage` recovered *some* but not all segments: the
+    /// output file was written (damaged spans as `X` or their fill), and
+    /// the message carries the damage map.
+    PartialRecovery(String),
 }
 
 impl CliError {
     /// Process exit code for this error class.
     ///
     /// Scripts can distinguish a bad invocation (2) from an operation
-    /// that failed on valid arguments (3) and an I/O problem (4).
+    /// that failed on valid arguments (3), an I/O problem (4), and a
+    /// salvage decompress that wrote output but lost segments (5).
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
             CliError::Failed(_) => 3,
             CliError::Io(_) => 4,
+            CliError::PartialRecovery(_) => 5,
         }
     }
 
@@ -81,6 +87,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
             CliError::Failed(msg) => write!(f, "{msg}"),
             CliError::Io(_) => write!(f, "i/o error"),
+            CliError::PartialRecovery(msg) => write!(f, "partial recovery: {msg}"),
         }
     }
 }
@@ -89,7 +96,7 @@ impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CliError::Io(e) => Some(e),
-            CliError::Usage(_) | CliError::Failed(_) => None,
+            CliError::Usage(_) | CliError::Failed(_) | CliError::PartialRecovery(_) => None,
         }
     }
 }
@@ -109,7 +116,7 @@ USAGE:
                      [--fill zero|one|random|mt|keep] [--seed <n>] [--freq-directed]
                      [--threads <n>] [--segment-bits <n>]
     ninec decompress <in.te|in.9cf> -o <out.cubes> [--fill zero|one|random|mt|keep]
-                     [--seed <n>] [--threads <n>]
+                     [--seed <n>] [--threads <n>] [--salvage]
     ninec info       <file.cubes|file.te|file.9cf>
     ninec generate   <s5378|s9234|s13207|s15850|s38417|s38584|custom:P,L,X%>
                      -o <out.cubes> [--seed <n>]
@@ -128,6 +135,13 @@ PARALLEL ENGINE:
     container (parallel decode); anything else writes the textual `.te`
     format. `.9cf` frames always keep leftover don't-cares — bind them at
     decompress time with `--fill`. `decompress` sniffs the input format.
+    --salvage           decode a damaged `.9cf` frame best-effort: CRC-valid
+                        segments are recovered, damaged spans come back as
+                        don't-cares (then `--fill` applies). Exit code 0 when
+                        everything was intact, 5 when output was written but
+                        segments were lost (the damage map goes to stderr).
+    `info` on a `.9cf` frame prints the per-segment damage map when the
+    frame is corrupt instead of failing on the first bad segment.
 
 GLOBAL FLAGS (any command):
     --stats text|json   after the command succeeds, print the telemetry
@@ -269,6 +283,7 @@ struct Opts {
     testbench: bool,
     threads: Option<usize>,
     segment_bits: Option<usize>,
+    salvage: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -333,6 +348,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 opts.segment_bits = Some(n);
             }
             "--freq-directed" => opts.freq_directed = true,
+            "--salvage" => opts.salvage = true,
             "--tb" | "--testbench" => opts.testbench = true,
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag {flag:?}")))
@@ -472,6 +488,7 @@ fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let input = one_input(&opts)?;
     let bytes = fs::read(input)?;
+    let mut damage: Option<String> = None;
     let (mut decoded, te_pattern_len) = if frame::is_frame(&bytes) {
         // Binary 9CSF frame: self-describing (K, table, segment bounds),
         // decoded in parallel by the session's sharded engine.
@@ -479,11 +496,43 @@ fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         if let Some(threads) = opts.threads {
             session = session.threads(threads);
         }
-        let decoded = session
-            .decode_frame(&bytes)
-            .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+        let decoded = if opts.salvage {
+            // Best-effort: keep every CRC-valid segment, materialize the
+            // rest as X (bound below by --fill like any other leftover X).
+            let report = session
+                .decode_frame_salvage(&bytes)
+                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+            if !report.is_full_recovery() {
+                let mut msg = format!(
+                    "{input}: salvaged {}/{} segments; damaged:",
+                    report.recovered_segments, report.total_segments,
+                );
+                for d in &report.damaged {
+                    msg.push_str(&format!(
+                        "\n  segment {} bytes {}..{} trits {}..{}: {}",
+                        d.index,
+                        d.byte_range.start,
+                        d.byte_range.end,
+                        d.trit_range.start,
+                        d.trit_range.end,
+                        d.reason,
+                    ));
+                }
+                damage = Some(msg);
+            }
+            report.trits
+        } else {
+            session
+                .decode_frame(&bytes)
+                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?
+        };
         (decoded, 0)
     } else {
+        if opts.salvage {
+            return Err(CliError::Usage(
+                "--salvage applies to binary 9CSF frames only".into(),
+            ));
+        }
         let text = String::from_utf8(bytes)
             .map_err(|_| CliError::Failed(format!("{input}: not a .te or 9CSF file")))?;
         let te = TeFile::parse(&text).map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
@@ -510,11 +559,21 @@ fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     ninec_testdata::io::write_test_set_file(output(&opts)?, &set)?;
     writeln!(
         out,
-        "{input}: decoded {} patterns x {} cells",
+        "{input}: decoded {} patterns x {} cells{}",
         set.num_patterns(),
-        set.pattern_len()
+        set.pattern_len(),
+        if damage.is_some() {
+            " (partial recovery)"
+        } else {
+            ""
+        }
     )?;
-    Ok(())
+    // Output was written; a lossy salvage still reports exit code 5 so
+    // scripts can tell full from partial recovery.
+    match damage {
+        Some(msg) => Err(CliError::PartialRecovery(msg)),
+        None => Ok(()),
+    }
 }
 
 fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -522,20 +581,35 @@ fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let input = one_input(&opts)?;
     let bytes = fs::read(input)?;
     if frame::is_frame(&bytes) {
-        let parsed = frame::parse(&bytes).map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+        // The salvage scan keeps going past damaged segments, so `info`
+        // can print a damage map instead of dying on the first bad CRC.
+        let scan = frame::scan_salvage(&bytes, &frame::DecodeLimits::default())
+            .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
         let compressed_bits = bytes.len() * 8;
         writeln!(
             out,
-            "{input}: 9CSF frame, {} segments, {} compressed bits for {} source bits \
-             (CR {:.2}%), lengths {:?}",
-            parsed.segments.len(),
+            "{input}: 9CSF frame, {} segments ({} intact), {} compressed bits for {} source \
+             bits (CR {:.2}%), lengths {:?}",
+            scan.entries.len(),
+            scan.intact_count(),
             compressed_bits,
-            parsed.source_len,
-            (parsed.source_len as f64 - compressed_bits as f64)
-                / (parsed.source_len as f64).max(1.0)
+            scan.source_len,
+            (scan.source_len as f64 - compressed_bits as f64) / (scan.source_len as f64).max(1.0)
                 * 100.0,
-            parsed.table_lengths,
+            scan.table_lengths,
         )?;
+        for (i, entry) in scan.entries.iter().enumerate() {
+            if let frame::ScanEntry::Damaged {
+                byte_range, reason, ..
+            } = entry
+            {
+                writeln!(
+                    out,
+                    "  damaged segment {i}: bytes {}..{}: {reason}",
+                    byte_range.start, byte_range.end,
+                )?;
+            }
+        }
         return Ok(());
     }
     let text = String::from_utf8(bytes)
@@ -1083,6 +1157,86 @@ mod tests {
         let err = run_err(&["decompress", path_str(&frame), "-o", "out"]);
         assert!(matches!(err, CliError::Failed(_)));
         assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn salvage_decompress_distinguishes_full_from_partial_recovery() {
+        let dir = tmpdir("salvage");
+        let cubes = dir.join("s.cubes");
+        let frame_path = dir.join("s.9cf");
+        let back = dir.join("back.cubes");
+        run_ok(&["generate", "custom:24,64,75", "-o", path_str(&cubes)]);
+        run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&frame_path),
+            "--segment-bits",
+            "256",
+        ]);
+        // Intact frame: --salvage is a no-op, exit 0.
+        let msg = run_ok(&[
+            "decompress",
+            path_str(&frame_path),
+            "-o",
+            path_str(&back),
+            "--salvage",
+            "--fill",
+            "keep",
+        ]);
+        assert!(!msg.contains("partial"), "{msg}");
+
+        // Corrupt one payload byte of the first segment.
+        let mut bytes = fs::read(&frame_path).unwrap();
+        bytes[frame::HEADER_BYTES + frame::SEGMENT_HEADER_BYTES] ^= 0x55;
+        fs::write(&frame_path, &bytes).unwrap();
+
+        // Strict decompress fails closed (exit 3)...
+        let err = run_err(&["decompress", path_str(&frame_path), "-o", path_str(&back)]);
+        assert_eq!(err.exit_code(), 3);
+
+        // ...salvage writes the output and reports partial recovery (5).
+        let args: Vec<String> = [
+            "decompress",
+            path_str(&frame_path),
+            "-o",
+            path_str(&back),
+            "--salvage",
+            "--fill",
+            "keep",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut out = Vec::new();
+        let err = run(&args, &mut out).unwrap_err();
+        assert!(matches!(err, CliError::PartialRecovery(_)));
+        assert_eq!(err.exit_code(), 5);
+        assert!(err.report().contains("damaged"), "{}", err.report());
+        let written = String::from_utf8(out).unwrap();
+        assert!(written.contains("partial recovery"), "{written}");
+        let set = ninec_testdata::io::read_test_set_file(&back).unwrap();
+        let orig = ninec_testdata::io::read_test_set_file(&cubes).unwrap();
+        assert_eq!(set.total_bits(), orig.total_bits());
+
+        // `info` prints the damage map instead of dying on the bad CRC.
+        let msg = run_ok(&["info", path_str(&frame_path)]);
+        assert!(msg.contains("damaged segment 0"), "{msg}");
+        assert!(msg.contains("intact"), "{msg}");
+
+        // --salvage makes no sense for the textual format.
+        let te = dir.join("s.te");
+        run_ok(&["compress", path_str(&cubes), "-o", path_str(&te)]);
+        assert!(matches!(
+            run_err(&[
+                "decompress",
+                path_str(&te),
+                "-o",
+                path_str(&back),
+                "--salvage"
+            ]),
+            CliError::Usage(_)
+        ));
     }
 
     #[test]

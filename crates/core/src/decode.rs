@@ -64,6 +64,24 @@ pub enum DecodeError {
         /// Which builder parameter was missing (`"k"` / `"source_len"`).
         what: &'static str,
     },
+    /// A frame's header-claimed sizes exceed the configured
+    /// [`DecodeLimits`](crate::engine::DecodeLimits) — rejected *before*
+    /// any allocation (decompression-bomb guard).
+    LimitExceeded {
+        /// Which limit was hit.
+        what: &'static str,
+        /// The size the frame claimed.
+        requested: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// The pool worker decoding one segment panicked; the panic was
+    /// caught at the task boundary and every other segment completed.
+    /// (In salvage mode this becomes a damage-map entry instead.)
+    WorkerPanicked {
+        /// Zero-based index of the segment whose worker panicked.
+        segment: usize,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -93,6 +111,19 @@ impl fmt::Display for DecodeError {
             DecodeError::Frame(e) => write!(f, "invalid segment frame: {e}"),
             DecodeError::MissingParameter { what } => {
                 write!(f, "decode session is missing the `{what}` parameter")
+            }
+            DecodeError::LimitExceeded {
+                what,
+                requested,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "decode limit exceeded: {what} {requested} > limit {limit}"
+                )
+            }
+            DecodeError::WorkerPanicked { segment } => {
+                write!(f, "decode worker panicked on segment {segment}")
             }
         }
     }

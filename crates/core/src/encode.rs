@@ -128,6 +128,21 @@ impl Encoded {
         }
     }
 
+    /// Replaces the compressed stream `T_E`, keeping `k`, the table and
+    /// `source_len` from `self`.
+    ///
+    /// This is the corruption-modelling hook for robustness harnesses: it
+    /// presents an arbitrary (bit-flipped, truncated, spliced) stream to
+    /// the decoder under the original header parameters, exactly what a
+    /// damaged ATE image looks like. Decoding the result must yield a
+    /// typed [`crate::DecodeError`] or a correct-length stream — never a
+    /// panic. Normal encoding never needs this.
+    #[must_use]
+    pub fn with_stream(mut self, stream: TritVec) -> Self {
+        self.stream = stream;
+        self
+    }
+
     /// Block size `K` used for encoding.
     pub fn k(&self) -> usize {
         self.k

@@ -11,13 +11,14 @@
 //! ## Layout (all integers little-endian)
 //!
 //! ```text
-//! file header (27 bytes):
+//! file header (31 bytes):
 //!   magic        4  b"9CSF"
-//!   version      1  = 1
+//!   version      1  = 2
 //!   flags        1  = 0 (reserved)
 //!   code lengths 9  codeword length of C1..C9 (rebuilds the CodeTable)
 //!   segments     4  u32 segment count
 //!   source_len   8  u64 total source trits across all segments
+//!   header_crc   4  CRC-32 (IEEE) over the 27 bytes above
 //! per segment (16-byte header + payload):
 //!   k            2  u16 block size for this segment
 //!   reserved     2  = 0
@@ -28,20 +29,94 @@
 //!                (00 = 0, 01 = 1, 10 = X, 11 = invalid)
 //! ```
 //!
+//! The `u32` length fields give every segment a hard ceiling of
+//! `u32::MAX` (≈4 Gi) source trits and payload trits; the writer reports
+//! oversized segments as [`FrameError::SegmentTooLarge`] rather than
+//! panicking, so callers that shard their own streams must keep each
+//! segment under 4 Gi trits.
+//!
+//! Version history: v1 had no `header_crc` field (27-byte header). A
+//! corrupted code-length byte could rebuild a *different* Kraft-valid
+//! table and decode to silently wrong bits, so v2 covers the file header
+//! with its own CRC and v1 is no longer accepted.
+//!
 //! Every parse error is a typed [`FrameError`] — a corrupt or truncated
-//! frame can never panic the decoder.
+//! frame can never panic the decoder. Parsing is also *allocation-safe*:
+//! all header-claimed sizes are validated against the remaining input
+//! bytes and the caller's [`DecodeLimits`] **before** any allocation, so
+//! a decompression-bomb header (e.g. a 40-byte file claiming `u32::MAX`
+//! segments) is rejected with [`FrameError::Truncated`] /
+//! [`FrameError::LimitExceeded`] instead of triggering a huge
+//! `with_capacity`.
+//!
+//! For fault *tolerance* (not just detection), [`scan_salvage`] walks a
+//! frame segment-by-segment, resynchronising after damage, and classifies
+//! every byte range as intact or damaged — the engine's salvage decode
+//! builds on it to recover every intact segment from a corrupted frame.
 
 use ninec_testdata::trit::{Trit, TritVec};
 use std::fmt;
+use std::ops::Range;
 
 /// The four magic bytes opening every segment frame.
 pub const MAGIC: [u8; 4] = *b"9CSF";
 /// Current frame format version.
-pub const VERSION: u8 = 1;
-/// File header size in bytes.
-pub const HEADER_BYTES: usize = 27;
+pub const VERSION: u8 = 2;
+/// File header size in bytes (v2: includes the trailing header CRC).
+pub const HEADER_BYTES: usize = 31;
 /// Per-segment header size in bytes.
 pub const SEGMENT_HEADER_BYTES: usize = 16;
+/// Byte count of the file header covered by `header_crc`.
+const HEADER_CRC_COVERS: usize = 27;
+
+/// Resource ceilings enforced while parsing or salvaging a frame.
+///
+/// Every limit is checked *before* the corresponding allocation, so a
+/// hostile frame whose headers claim absurd sizes is rejected with
+/// [`FrameError::LimitExceeded`] instead of exhausting memory. The
+/// [`Default`] limits are generous for test-data workloads (a million
+/// segments, 256 Mi trits per segment, 1 GiB of total decode
+/// allocation); [`DecodeLimits::unlimited`] switches every ceiling off
+/// for trusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Maximum number of segments a frame may claim.
+    pub max_segments: usize,
+    /// Maximum source or payload trits any single segment may claim.
+    pub max_segment_trits: usize,
+    /// Approximate ceiling, in bytes, on the total memory a decode may
+    /// allocate for trit buffers (output + per-segment scratch).
+    pub max_total_alloc: usize,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        Self {
+            max_segments: 1 << 20,
+            max_segment_trits: 1 << 28,
+            max_total_alloc: 1 << 30,
+        }
+    }
+}
+
+impl DecodeLimits {
+    /// No ceilings at all — for trusted frames (e.g. ones this process
+    /// just encoded). Structural bomb checks (claimed sizes vs. the
+    /// bytes actually present) still apply; they are free.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self {
+            max_segments: usize::MAX,
+            max_segment_trits: usize::MAX,
+            max_total_alloc: usize::MAX,
+        }
+    }
+}
+
+/// Bytes a [`TritVec`] of `trits` trits allocates (2 bits per trit).
+fn trit_alloc_bytes(trits: usize) -> usize {
+    trits.div_ceil(4)
+}
 
 /// Typed error for a malformed, corrupt or truncated segment frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +134,10 @@ pub enum FrameError {
         /// Byte offset at which more data was required.
         offset: usize,
     },
+    /// The file header's own CRC-32 does not match its bytes — the code
+    /// table and segment count are untrustworthy, so even salvage mode
+    /// treats this as fatal.
+    BadHeaderCrc,
     /// A segment's CRC-32 does not match its header + payload bytes.
     BadCrc {
         /// Zero-based segment index.
@@ -76,6 +155,23 @@ pub enum FrameError {
         /// What was wrong.
         what: &'static str,
     },
+    /// A header-claimed size exceeds the caller's [`DecodeLimits`].
+    LimitExceeded {
+        /// Which limit was hit.
+        what: &'static str,
+        /// The size the frame claimed.
+        requested: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// Encode-side: a segment is too large for its `u16`/`u32` header
+    /// fields (4 Gi-trit per-segment ceiling; see the module docs).
+    SegmentTooLarge {
+        /// Which field overflowed.
+        what: &'static str,
+        /// The offending length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for FrameError {
@@ -88,6 +184,9 @@ impl fmt::Display for FrameError {
             FrameError::Truncated { offset } => {
                 write!(f, "frame truncated at byte offset {offset}")
             }
+            FrameError::BadHeaderCrc => {
+                write!(f, "file header CRC mismatch (header corrupt)")
+            }
             FrameError::BadCrc { segment } => {
                 write!(f, "CRC mismatch in segment {segment}")
             }
@@ -97,11 +196,79 @@ impl fmt::Display for FrameError {
             FrameError::Malformed { segment, what } => {
                 write!(f, "malformed segment {segment}: {what}")
             }
+            FrameError::LimitExceeded {
+                what,
+                requested,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "decode limit exceeded: {what} {requested} > limit {limit}"
+                )
+            }
+            FrameError::SegmentTooLarge { what, len } => {
+                write!(
+                    f,
+                    "segment too large to frame: {what} {len} overflows its header field"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for FrameError {}
+
+/// Why a byte range of a frame was classified as damaged during a
+/// salvage scan or salvage decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DamageReason {
+    /// The segment's CRC-32 did not match its bytes.
+    BadCrc,
+    /// The frame ended before the segment's promised bytes.
+    Truncated,
+    /// The segment header was structurally invalid.
+    Malformed(&'static str),
+    /// A header-claimed size exceeded the [`DecodeLimits`].
+    LimitExceeded(&'static str),
+    /// The segment passed its CRC but its payload failed 9C decoding
+    /// (an adversarial or buggy writer).
+    Decode(crate::decode::DecodeError),
+    /// The worker decoding this segment panicked (only reachable with a
+    /// fault injected via the `failpoints` feature, or a codec bug).
+    WorkerPanicked,
+    /// The file header's claims (segment count / source-length total)
+    /// disagree with the segments actually present — e.g. spliced or
+    /// duplicated segments.
+    HeaderMismatch(&'static str),
+}
+
+impl fmt::Display for DamageReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DamageReason::BadCrc => write!(f, "CRC mismatch"),
+            DamageReason::Truncated => write!(f, "truncated"),
+            DamageReason::Malformed(what) => write!(f, "malformed: {what}"),
+            DamageReason::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
+            DamageReason::Decode(e) => write!(f, "payload decode failed: {e}"),
+            DamageReason::WorkerPanicked => write!(f, "decode worker panicked"),
+            DamageReason::HeaderMismatch(what) => write!(f, "header mismatch: {what}"),
+        }
+    }
+}
+
+impl DamageReason {
+    fn from_frame_error(e: FrameError) -> Self {
+        match e {
+            FrameError::BadCrc { .. } => DamageReason::BadCrc,
+            FrameError::Truncated { .. } => DamageReason::Truncated,
+            FrameError::Malformed { what, .. } => DamageReason::Malformed(what),
+            FrameError::LimitExceeded { what, .. } => DamageReason::LimitExceeded(what),
+            // Unreachable from `segment_at`, but total anyway.
+            _ => DamageReason::Malformed("unparseable segment"),
+        }
+    }
+}
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table.
 const CRC_TABLE: [u32; 256] = {
@@ -172,14 +339,18 @@ pub struct ParsedFrame<'a> {
 }
 
 /// Appends the file header for `segments` segments totalling `source_len`
-/// source trits, encoded with a table of codeword `lengths`.
+/// source trits, encoded with a table of codeword `lengths`. The trailing
+/// header CRC-32 is computed and appended automatically.
 pub fn write_header(out: &mut Vec<u8>, lengths: [u8; 9], segments: u32, source_len: u64) {
+    let start = out.len();
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(0); // flags
     out.extend_from_slice(&lengths);
     out.extend_from_slice(&segments.to_le_bytes());
     out.extend_from_slice(&source_len.to_le_bytes());
+    let crc = crc32(&out[start..start + HEADER_CRC_COVERS]);
+    out.extend_from_slice(&crc.to_le_bytes());
 }
 
 /// Packs `payload` at 2 bits per trit, LSB-first within each byte.
@@ -199,14 +370,44 @@ pub fn pack_payload(payload: &TritVec) -> Vec<u8> {
 
 /// Appends one segment (header + packed payload) to `out`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `k`, `source_trits` or the payload length overflow their
-/// header fields — the engine's segmentation keeps all three in range.
-pub fn write_segment(out: &mut Vec<u8>, k: usize, source_trits: usize, payload: &TritVec) {
-    let k16 = u16::try_from(k).expect("segment K fits in u16");
-    let src32 = u32::try_from(source_trits).expect("segment source length fits in u32");
-    let pay32 = u32::try_from(payload.len()).expect("segment payload length fits in u32");
+/// [`FrameError::SegmentTooLarge`] when `k` exceeds `u16::MAX` or either
+/// length exceeds the `u32` header fields (the 4 Gi-trit per-segment
+/// ceiling; see the module docs). On error nothing is appended.
+pub fn write_segment(
+    out: &mut Vec<u8>,
+    k: usize,
+    source_trits: usize,
+    payload: &TritVec,
+) -> Result<(), FrameError> {
+    let k16 = match u16::try_from(k) {
+        Ok(v) => v,
+        Err(_) => {
+            return Err(FrameError::SegmentTooLarge {
+                what: "block size K",
+                len: k,
+            })
+        }
+    };
+    let src32 = match u32::try_from(source_trits) {
+        Ok(v) => v,
+        Err(_) => {
+            return Err(FrameError::SegmentTooLarge {
+                what: "segment source trits",
+                len: source_trits,
+            })
+        }
+    };
+    let pay32 = match u32::try_from(payload.len()) {
+        Ok(v) => v,
+        Err(_) => {
+            return Err(FrameError::SegmentTooLarge {
+                what: "segment payload trits",
+                len: payload.len(),
+            })
+        }
+    };
     let mut header = [0u8; 12];
     header[0..2].copy_from_slice(&k16.to_le_bytes());
     // bytes 2..4 reserved, zero
@@ -220,6 +421,7 @@ pub fn write_segment(out: &mut Vec<u8>, k: usize, source_trits: usize, payload: 
     out.extend_from_slice(&header);
     out.extend_from_slice(&(!crc).to_le_bytes());
     out.extend_from_slice(&bytes);
+    Ok(())
 }
 
 /// `true` if `bytes` starts with the `9CSF` magic (cheap format sniff).
@@ -228,21 +430,30 @@ pub fn is_frame(bytes: &[u8]) -> bool {
     bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
 }
 
-fn read_u32(bytes: &[u8], at: usize) -> Result<u32, FrameError> {
-    let slice = bytes
-        .get(at..at + 4)
-        .ok_or(FrameError::Truncated { offset: at })?;
-    let arr: [u8; 4] = slice.try_into().expect("4-byte slice converts to [u8; 4]");
-    Ok(u32::from_le_bytes(arr))
+/// Reads a little-endian `u32` at `at`, or `None` past the end.
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let s = bytes.get(at..at.checked_add(4)?)?;
+    Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
 }
 
-/// Parses and CRC-verifies a whole frame without unpacking any payload.
-///
-/// # Errors
-///
-/// Any structural problem is a typed [`FrameError`]; this function never
-/// panics on hostile input.
-pub fn parse(bytes: &[u8]) -> Result<ParsedFrame<'_>, FrameError> {
+/// Reads a little-endian `u64` at `at`, or `None` past the end.
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let s = bytes.get(at..at.checked_add(8)?)?;
+    Some(u64::from_le_bytes([
+        s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+    ]))
+}
+
+/// The validated file header of a frame.
+struct FileHeader {
+    table_lengths: [u8; 9],
+    claimed_segments: usize,
+    source_len: usize,
+}
+
+/// Parses and validates the 31-byte file header (magic, version, header
+/// CRC, count/source-length limits). Shared by strict parse and salvage.
+fn parse_file_header(bytes: &[u8], limits: &DecodeLimits) -> Result<FileHeader, FrameError> {
     if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
         return Err(FrameError::BadMagic);
     }
@@ -255,73 +466,219 @@ pub fn parse(bytes: &[u8]) -> Result<ParsedFrame<'_>, FrameError> {
     if version != VERSION {
         return Err(FrameError::UnsupportedVersion { found: version });
     }
+    let stored = le_u32(bytes, HEADER_CRC_COVERS).ok_or(FrameError::Truncated {
+        offset: bytes.len(),
+    })?;
+    if crc32(&bytes[..HEADER_CRC_COVERS]) != stored {
+        return Err(FrameError::BadHeaderCrc);
+    }
     let mut table_lengths = [0u8; 9];
     table_lengths.copy_from_slice(&bytes[6..15]);
-    let segments = read_u32(bytes, 15)? as usize;
-    let source_len_arr: [u8; 8] = bytes[19..27]
-        .try_into()
-        .expect("8-byte slice converts to [u8; 8]");
-    let source_len_u64 = u64::from_le_bytes(source_len_arr);
+    let claimed_segments = le_u32(bytes, 15).ok_or(FrameError::Truncated {
+        offset: bytes.len(),
+    })? as usize;
+    let source_len_u64 = le_u64(bytes, 19).ok_or(FrameError::Truncated {
+        offset: bytes.len(),
+    })?;
     let source_len = usize::try_from(source_len_u64).map_err(|_| FrameError::Malformed {
         segment: 0,
         what: "source length exceeds the address space",
     })?;
+    if claimed_segments > limits.max_segments {
+        return Err(FrameError::LimitExceeded {
+            what: "segment count",
+            requested: claimed_segments,
+            limit: limits.max_segments,
+        });
+    }
+    if trit_alloc_bytes(source_len) > limits.max_total_alloc {
+        return Err(FrameError::LimitExceeded {
+            what: "source-length allocation",
+            requested: trit_alloc_bytes(source_len),
+            limit: limits.max_total_alloc,
+        });
+    }
+    Ok(FileHeader {
+        table_lengths,
+        claimed_segments,
+        source_len,
+    })
+}
 
-    let mut parsed = Vec::with_capacity(segments);
-    let mut at = HEADER_BYTES;
-    let mut covered = 0usize;
-    for segment in 0..segments {
-        let header = bytes
-            .get(at..at + SEGMENT_HEADER_BYTES)
-            .ok_or(FrameError::Truncated { offset: at })?;
-        let k = u16::from_le_bytes(header[0..2].try_into().expect("2-byte slice")) as usize;
-        if header[2] != 0 || header[3] != 0 {
-            return Err(FrameError::Malformed {
-                segment,
-                what: "reserved segment-header bytes are nonzero",
-            });
-        }
-        let source_trits =
-            u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice")) as usize;
-        let payload_trits =
-            u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice")) as usize;
-        let crc_stored = u32::from_le_bytes(header[12..16].try_into().expect("4-byte slice"));
-        if k < 4 || !k.is_multiple_of(2) {
-            return Err(FrameError::Malformed {
-                segment,
-                what: "segment block size must be even and at least 4",
-            });
-        }
-        let payload_bytes = payload_trits.div_ceil(4);
-        let payload_at = at + SEGMENT_HEADER_BYTES;
-        let payload =
-            bytes
-                .get(payload_at..payload_at + payload_bytes)
-                .ok_or(FrameError::Truncated {
-                    offset: bytes.len(),
-                })?;
-        let mut crc = 0xFFFF_FFFFu32;
-        for &b in header[..12].iter().chain(payload.iter()) {
-            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-        }
-        if !crc != crc_stored {
-            return Err(FrameError::BadCrc { segment });
-        }
-        covered = covered
-            .checked_add(source_trits)
-            .ok_or(FrameError::Malformed {
-                segment,
-                what: "segment source lengths overflow",
-            })?;
-        parsed.push(ParsedSegment {
+/// Parses and CRC-verifies one segment starting at byte `at`, returning
+/// the segment and the offset just past its payload. Performs *no*
+/// allocation: every claimed size is checked against the bytes actually
+/// present and against `limits` first.
+fn segment_at<'a>(
+    bytes: &'a [u8],
+    at: usize,
+    segment: usize,
+    limits: &DecodeLimits,
+) -> Result<(ParsedSegment<'a>, usize), FrameError> {
+    let header_end = at
+        .checked_add(SEGMENT_HEADER_BYTES)
+        .ok_or(FrameError::Truncated { offset: at })?;
+    let header = bytes
+        .get(at..header_end)
+        .ok_or(FrameError::Truncated { offset: at })?;
+    let k = u16::from_le_bytes([header[0], header[1]]) as usize;
+    if header[2] != 0 || header[3] != 0 {
+        return Err(FrameError::Malformed {
+            segment,
+            what: "reserved segment-header bytes are nonzero",
+        });
+    }
+    let source_trits = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    let payload_trits = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    let crc_stored = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+    if k < 4 || !k.is_multiple_of(2) {
+        return Err(FrameError::Malformed {
+            segment,
+            what: "segment block size must be even and at least 4",
+        });
+    }
+    // Bomb check: the payload must physically fit in the remaining input
+    // before anything trusts `payload_trits`. Slicing allocates nothing.
+    let payload_bytes = payload_trits.div_ceil(4);
+    let payload_end = header_end
+        .checked_add(payload_bytes)
+        .ok_or(FrameError::Truncated {
+            offset: bytes.len(),
+        })?;
+    let payload = bytes
+        .get(header_end..payload_end)
+        .ok_or(FrameError::Truncated {
+            offset: bytes.len(),
+        })?;
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in header[..12].iter().chain(payload.iter()) {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    if !crc != crc_stored {
+        return Err(FrameError::BadCrc { segment });
+    }
+    // CRC is good, so the claims are what the writer wrote — now hold
+    // them to the caller's limits and to 9C structure (each K-trit block
+    // consumes at least one payload trit, so a CRC-valid header claiming
+    // more output than `payload_trits * k` is an expansion bomb).
+    if source_trits > limits.max_segment_trits {
+        return Err(FrameError::LimitExceeded {
+            what: "segment source trits",
+            requested: source_trits,
+            limit: limits.max_segment_trits,
+        });
+    }
+    if payload_trits > limits.max_segment_trits {
+        return Err(FrameError::LimitExceeded {
+            what: "segment payload trits",
+            requested: payload_trits,
+            limit: limits.max_segment_trits,
+        });
+    }
+    if source_trits > payload_trits.saturating_mul(k) {
+        return Err(FrameError::Malformed {
+            segment,
+            what: "segment claims more source trits than its payload can encode",
+        });
+    }
+    Ok((
+        ParsedSegment {
             k,
             source_trits,
             payload_trits,
             payload,
-        });
-        at = payload_at + payload_bytes;
+        },
+        payload_end,
+    ))
+}
+
+/// Publishes frame-health counters for a failed parse/scan step.
+fn publish_failure_metrics(e: &FrameError) {
+    match e {
+        FrameError::BadCrc { .. } | FrameError::BadHeaderCrc => {
+            crate::metrics::publish_crc_failures(1);
+        }
+        FrameError::LimitExceeded { .. } => {
+            crate::metrics::publish_limit_rejections(1);
+        }
+        _ => {}
     }
-    if covered != source_len {
+}
+
+/// Parses and CRC-verifies a whole frame without unpacking any payload,
+/// using the [`Default`] [`DecodeLimits`].
+///
+/// # Errors
+///
+/// Any structural problem is a typed [`FrameError`]; this function never
+/// panics and never allocates more than the limits allow on hostile
+/// input.
+pub fn parse(bytes: &[u8]) -> Result<ParsedFrame<'_>, FrameError> {
+    parse_limited(bytes, &DecodeLimits::default())
+}
+
+/// [`parse`] with caller-chosen [`DecodeLimits`].
+///
+/// # Errors
+///
+/// See [`parse`]; additionally [`FrameError::LimitExceeded`] when a
+/// header-claimed size exceeds `limits`.
+pub fn parse_limited<'a>(
+    bytes: &'a [u8],
+    limits: &DecodeLimits,
+) -> Result<ParsedFrame<'a>, FrameError> {
+    let out = parse_limited_inner(bytes, limits);
+    if let Err(e) = &out {
+        publish_failure_metrics(e);
+    }
+    out
+}
+
+fn parse_limited_inner<'a>(
+    bytes: &'a [u8],
+    limits: &DecodeLimits,
+) -> Result<ParsedFrame<'a>, FrameError> {
+    let head = parse_file_header(bytes, limits)?;
+    let segments = head.claimed_segments;
+    // Bomb check: each claimed segment needs at least a 16-byte header,
+    // so `segments * 16` must fit in the remaining bytes *before* the
+    // `Vec::with_capacity` below — a tiny file claiming `u32::MAX`
+    // segments is rejected here without allocating.
+    let body = bytes.len() - HEADER_BYTES;
+    match segments.checked_mul(SEGMENT_HEADER_BYTES) {
+        Some(need) if need <= body => {}
+        _ => {
+            return Err(FrameError::Truncated {
+                offset: bytes.len(),
+            })
+        }
+    }
+    let mut alloc_budget = trit_alloc_bytes(head.source_len);
+    let mut parsed = Vec::with_capacity(segments);
+    let mut at = HEADER_BYTES;
+    let mut covered = 0usize;
+    for segment in 0..segments {
+        let (seg, next) = segment_at(bytes, at, segment, limits)?;
+        alloc_budget = alloc_budget
+            .saturating_add(trit_alloc_bytes(seg.source_trits))
+            .saturating_add(trit_alloc_bytes(seg.payload_trits));
+        if alloc_budget > limits.max_total_alloc {
+            return Err(FrameError::LimitExceeded {
+                what: "total decode allocation",
+                requested: alloc_budget,
+                limit: limits.max_total_alloc,
+            });
+        }
+        covered = covered
+            .checked_add(seg.source_trits)
+            .ok_or(FrameError::Malformed {
+                segment,
+                what: "segment source lengths overflow",
+            })?;
+        parsed.push(seg);
+        at = next;
+    }
+    if covered != head.source_len {
         return Err(FrameError::Malformed {
             segment: segments,
             what: "segment source lengths do not sum to the header total",
@@ -334,9 +691,180 @@ pub fn parse(bytes: &[u8]) -> Result<ParsedFrame<'_>, FrameError> {
         });
     }
     Ok(ParsedFrame {
-        table_lengths,
-        source_len,
+        table_lengths: head.table_lengths,
+        source_len: head.source_len,
         segments: parsed,
+    })
+}
+
+/// One classified byte range from a [`scan_salvage`] walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanEntry<'a> {
+    /// A CRC-valid, structurally sound segment.
+    Intact {
+        /// The parsed segment.
+        seg: ParsedSegment<'a>,
+        /// The bytes it occupies (header + payload).
+        byte_range: Range<usize>,
+    },
+    /// A byte range that could not be parsed as a valid segment.
+    Damaged {
+        /// The bytes written off, up to the resynchronisation point.
+        byte_range: Range<usize>,
+        /// The `source_trits` field the (untrusted) header claimed, if
+        /// the 16 header bytes were at least present.
+        claimed_source_trits: Option<usize>,
+        /// Why the range failed.
+        reason: DamageReason,
+    },
+}
+
+impl ScanEntry<'_> {
+    /// The byte range this entry covers.
+    #[must_use]
+    pub fn byte_range(&self) -> Range<usize> {
+        match self {
+            ScanEntry::Intact { byte_range, .. } | ScanEntry::Damaged { byte_range, .. } => {
+                byte_range.clone()
+            }
+        }
+    }
+}
+
+/// The result of a fault-tolerant frame walk: every byte of the body
+/// classified as part of an intact segment or a damaged range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageScan<'a> {
+    /// Codeword lengths of C1..C9, as stored in the (CRC-valid) header.
+    pub table_lengths: [u8; 9],
+    /// Total source trits the header claims.
+    pub source_len: usize,
+    /// Segment count the header claims (may disagree with `entries`
+    /// when segments were spliced in or out).
+    pub claimed_segments: usize,
+    /// The classified byte ranges, in stream order.
+    pub entries: Vec<ScanEntry<'a>>,
+}
+
+impl SalvageScan<'_> {
+    /// Number of intact segments found.
+    #[must_use]
+    pub fn intact_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, ScanEntry::Intact { .. }))
+            .count()
+    }
+}
+
+/// Cap on resynchronisation probe positions per damaged range, bounding
+/// the scan's worst case on adversarial input.
+const RESYNC_MAX_PROBES: usize = 1 << 20;
+
+/// Finds the next offset in `(at, len)` where a CRC-valid segment parses,
+/// or `len` when the rest of the frame is unrecoverable. Probing never
+/// allocates (it reuses [`segment_at`]'s bomb checks) and never publishes
+/// metrics — probes are expected to fail.
+fn find_resync(bytes: &[u8], at: usize, limits: &DecodeLimits) -> usize {
+    let len = bytes.len();
+    let mut probes = 0usize;
+    let mut p = at + 1;
+    // A valid segment needs a 16-byte header, so stop early.
+    while p + SEGMENT_HEADER_BYTES <= len && probes < RESYNC_MAX_PROBES {
+        probes += 1;
+        if segment_at(bytes, p, 0, limits).is_ok() {
+            return p;
+        }
+        p += 1;
+    }
+    len
+}
+
+/// Walks a frame fault-tolerantly, classifying every body byte range as
+/// an intact segment or damage, resynchronising on the next CRC-valid
+/// segment after each damaged range.
+///
+/// The walk is driven by the input length, not the header's claimed
+/// segment count, so corrupted counts and spliced/truncated bodies still
+/// scan. The per-entry `reason` records what failed; the engine's
+/// salvage decode turns damaged ranges into X-trit erasures.
+///
+/// # Errors
+///
+/// Only file-level problems are fatal: [`FrameError::BadMagic`], a
+/// header shorter than [`HEADER_BYTES`],
+/// [`FrameError::UnsupportedVersion`], [`FrameError::BadHeaderCrc`] (the
+/// code table and totals are untrustworthy, so there is nothing sound to
+/// salvage against) and [`FrameError::LimitExceeded`] for file-level
+/// bomb claims. Segment-level damage is never an error — it becomes a
+/// [`ScanEntry::Damaged`].
+pub fn scan_salvage<'a>(
+    bytes: &'a [u8],
+    limits: &DecodeLimits,
+) -> Result<SalvageScan<'a>, FrameError> {
+    let head = match parse_file_header(bytes, limits) {
+        Ok(h) => h,
+        Err(e) => {
+            publish_failure_metrics(&e);
+            return Err(e);
+        }
+    };
+    let mut entries: Vec<ScanEntry<'a>> = Vec::new();
+    let mut alloc_budget = trit_alloc_bytes(head.source_len);
+    let mut at = HEADER_BYTES;
+    let mut index = 0usize;
+    while at < bytes.len() {
+        if entries.len() >= limits.max_segments {
+            let e = FrameError::LimitExceeded {
+                what: "scanned segment count",
+                requested: entries.len() + 1,
+                limit: limits.max_segments,
+            };
+            publish_failure_metrics(&e);
+            return Err(e);
+        }
+        match segment_at(bytes, at, index, limits) {
+            Ok((seg, next)) => {
+                let add = trit_alloc_bytes(seg.source_trits)
+                    .saturating_add(trit_alloc_bytes(seg.payload_trits));
+                if alloc_budget.saturating_add(add) > limits.max_total_alloc {
+                    // Too expensive to decode — skip it, keep scanning.
+                    crate::metrics::publish_limit_rejections(1);
+                    entries.push(ScanEntry::Damaged {
+                        byte_range: at..next,
+                        claimed_source_trits: Some(seg.source_trits),
+                        reason: DamageReason::LimitExceeded("total decode allocation"),
+                    });
+                } else {
+                    alloc_budget = alloc_budget.saturating_add(add);
+                    entries.push(ScanEntry::Intact {
+                        seg,
+                        byte_range: at..next,
+                    });
+                }
+                at = next;
+            }
+            Err(e) => {
+                publish_failure_metrics(&e);
+                // The header fields are untrusted but still useful as a
+                // *claim* for sizing the erasure run.
+                let claimed = le_u32(bytes, at + 4).map(|v| v as usize);
+                let resync = find_resync(bytes, at, limits);
+                entries.push(ScanEntry::Damaged {
+                    byte_range: at..resync,
+                    claimed_source_trits: claimed,
+                    reason: DamageReason::from_frame_error(e),
+                });
+                at = resync;
+            }
+        }
+        index += 1;
+    }
+    Ok(SalvageScan {
+        table_lengths: head.table_lengths,
+        source_len: head.source_len,
+        claimed_segments: head.claimed_segments,
+        entries,
     })
 }
 
@@ -348,9 +876,18 @@ pub fn parse(bytes: &[u8]) -> Result<ParsedFrame<'_>, FrameError> {
 /// CRC already caught random corruption; this guards against a buggy or
 /// adversarial *writer*.)
 pub fn unpack_payload(seg: &ParsedSegment<'_>, segment: usize) -> Result<TritVec, FrameError> {
+    // `parse`/`scan_salvage` guarantee `payload` physically holds
+    // `payload_trits` packed trits, so this capacity is input-bounded.
     let mut out = TritVec::with_capacity(seg.payload_trits);
     for i in 0..seg.payload_trits {
-        let byte = seg.payload[i / 4];
+        let byte = match seg.payload.get(i / 4) {
+            Some(&b) => b,
+            None => {
+                return Err(FrameError::Truncated {
+                    offset: seg.payload.len(),
+                })
+            }
+        };
         let code = (byte >> ((i % 4) * 2)) & 0b11;
         out.push(match code {
             0b00 => Trit::Zero,
@@ -389,8 +926,8 @@ mod tests {
         let payload_a = tv("0110X01");
         let payload_b = tv("111000X");
         write_header(&mut out, [1, 2, 5, 5, 5, 5, 5, 5, 4], 2, 32);
-        write_segment(&mut out, 8, 16, &payload_a);
-        write_segment(&mut out, 8, 16, &payload_b);
+        write_segment(&mut out, 8, 16, &payload_a).expect("segment fits");
+        write_segment(&mut out, 8, 16, &payload_b).expect("segment fits");
         out
     }
 
@@ -425,6 +962,20 @@ mod tests {
         assert_eq!(
             parse(&bytes),
             Err(FrameError::UnsupportedVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn header_corruption_fails_header_crc() {
+        let mut bytes = sample_frame();
+        // Flip a code-length byte: without the v2 header CRC this could
+        // rebuild a different Kraft-valid table and decode silently wrong.
+        bytes[6] ^= 0x01;
+        assert_eq!(parse(&bytes), Err(FrameError::BadHeaderCrc));
+        // Salvage treats an untrustworthy header as fatal too.
+        assert_eq!(
+            scan_salvage(&bytes, &DecodeLimits::default()),
+            Err(FrameError::BadHeaderCrc)
         );
     }
 
@@ -484,7 +1035,7 @@ mod tests {
     fn segment_sum_must_match_header() {
         let mut out = Vec::new();
         write_header(&mut out, [1, 2, 5, 5, 5, 5, 5, 5, 4], 1, 99);
-        write_segment(&mut out, 8, 16, &tv("01"));
+        write_segment(&mut out, 8, 16, &tv("01")).expect("segment fits");
         assert!(matches!(
             parse(&out),
             Err(FrameError::Malformed {
@@ -495,19 +1046,213 @@ mod tests {
     }
 
     #[test]
+    fn oversized_segment_is_a_typed_error_not_a_panic() {
+        let mut out = Vec::new();
+        let before = out.len();
+        let err = write_segment(&mut out, 1 << 20, 8, &tv("01")).expect_err("K overflows u16");
+        assert!(matches!(
+            err,
+            FrameError::SegmentTooLarge {
+                what: "block size K",
+                ..
+            }
+        ));
+        // Nothing was appended on the error path.
+        assert_eq!(out.len(), before);
+        let err =
+            write_segment(&mut out, 8, usize::MAX, &tv("01")).expect_err("source overflows u32");
+        assert!(matches!(
+            err,
+            FrameError::SegmentTooLarge {
+                what: "segment source trits",
+                ..
+            }
+        ));
+        assert_eq!(out.len(), before);
+    }
+
+    /// Regression: a tiny file whose header claims `u32::MAX` segments
+    /// must be rejected *before* `Vec::with_capacity(u32::MAX)`.
+    #[test]
+    fn segment_count_bomb_is_rejected_before_allocation() {
+        let mut out = Vec::new();
+        write_header(&mut out, [1, 2, 5, 5, 5, 5, 5, 5, 4], u32::MAX, 0);
+        assert_eq!(out.len(), HEADER_BYTES);
+        // Default limits: the claimed count exceeds max_segments.
+        assert!(matches!(
+            parse(&out),
+            Err(FrameError::LimitExceeded {
+                what: "segment count",
+                ..
+            })
+        ));
+        // Even unlimited: the count can't fit in the remaining bytes.
+        assert!(matches!(
+            parse_limited(&out, &DecodeLimits::unlimited()),
+            Err(FrameError::Truncated { .. })
+        ));
+        // Salvage refuses the bomb claim under default limits too.
+        assert!(matches!(
+            scan_salvage(&out, &DecodeLimits::default()),
+            Err(FrameError::LimitExceeded { .. })
+        ));
+    }
+
+    /// Regression: a CRC-valid segment claiming vastly more source trits
+    /// than its payload could encode must be rejected before the decoder
+    /// allocates the claimed output.
+    #[test]
+    fn expansion_bomb_segment_is_rejected() {
+        let mut out = Vec::new();
+        write_header(&mut out, [1, 2, 5, 5, 5, 5, 5, 5, 4], 1, 1 << 20);
+        // Hand-build a segment header claiming 2^20 source trits from a
+        // 2-trit payload at K = 8 (2 * 8 = 16 < 2^20), with a valid CRC.
+        let mut header = [0u8; 12];
+        header[0..2].copy_from_slice(&8u16.to_le_bytes());
+        header[4..8].copy_from_slice(&(1u32 << 20).to_le_bytes());
+        header[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let payload = [0b0001u8]; // two trits: 1, 0
+        let mut seg = Vec::new();
+        seg.extend_from_slice(&header);
+        let crc = {
+            let mut all = header.to_vec();
+            all.extend_from_slice(&payload);
+            crc32(&all)
+        };
+        seg.extend_from_slice(&crc.to_le_bytes());
+        seg.extend_from_slice(&payload);
+        out.extend_from_slice(&seg);
+        assert!(matches!(
+            parse(&out),
+            Err(FrameError::Malformed {
+                what: "segment claims more source trits than its payload can encode",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn per_segment_trit_limit_is_enforced() {
+        let bytes = sample_frame();
+        let tight = DecodeLimits {
+            max_segment_trits: 4,
+            ..DecodeLimits::default()
+        };
+        assert!(matches!(
+            parse_limited(&bytes, &tight),
+            Err(FrameError::LimitExceeded {
+                what: "segment source trits",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn total_alloc_limit_is_enforced() {
+        let bytes = sample_frame();
+        let tight = DecodeLimits {
+            max_total_alloc: 8, // 32 source trits need at least 8 bytes out + scratch
+            ..DecodeLimits::default()
+        };
+        assert!(matches!(
+            parse_limited(&bytes, &tight),
+            Err(FrameError::LimitExceeded { .. })
+        ));
+        assert!(parse_limited(&bytes, &DecodeLimits::unlimited()).is_ok());
+    }
+
+    #[test]
+    fn salvage_scan_on_clean_frame_is_all_intact() {
+        let bytes = sample_frame();
+        let scan = scan_salvage(&bytes, &DecodeLimits::default()).expect("clean frame scans");
+        assert_eq!(scan.source_len, 32);
+        assert_eq!(scan.claimed_segments, 2);
+        assert_eq!(scan.entries.len(), 2);
+        assert_eq!(scan.intact_count(), 2);
+        // Entries tile the body exactly.
+        assert_eq!(scan.entries[0].byte_range().start, HEADER_BYTES);
+        assert_eq!(
+            scan.entries[0].byte_range().end,
+            scan.entries[1].byte_range().start
+        );
+        assert_eq!(scan.entries[1].byte_range().end, bytes.len());
+    }
+
+    #[test]
+    fn salvage_scan_resyncs_past_a_corrupt_payload() {
+        let mut bytes = sample_frame();
+        // Corrupt the first segment's payload (just past its header).
+        bytes[HEADER_BYTES + SEGMENT_HEADER_BYTES] ^= 0xFF;
+        let scan = scan_salvage(&bytes, &DecodeLimits::default()).expect("scan survives");
+        assert_eq!(scan.entries.len(), 2);
+        assert!(matches!(
+            &scan.entries[0],
+            ScanEntry::Damaged {
+                reason: DamageReason::BadCrc,
+                claimed_source_trits: Some(16),
+                ..
+            }
+        ));
+        assert!(
+            matches!(&scan.entries[1], ScanEntry::Intact { seg, .. } if seg.source_trits == 16)
+        );
+        // The damaged range covers exactly the first segment's bytes.
+        let clean = sample_frame();
+        let clean_scan = scan_salvage(&clean, &DecodeLimits::default()).expect("clean");
+        assert_eq!(
+            scan.entries[0].byte_range(),
+            clean_scan.entries[0].byte_range()
+        );
+    }
+
+    #[test]
+    fn salvage_scan_handles_truncated_tail() {
+        let bytes = sample_frame();
+        let cut = bytes.len() - 2;
+        let scan = scan_salvage(&bytes[..cut], &DecodeLimits::default()).expect("scan survives");
+        assert_eq!(scan.intact_count(), 1);
+        let last = scan.entries.last().expect("has entries");
+        assert!(matches!(
+            last,
+            ScanEntry::Damaged {
+                reason: DamageReason::Truncated,
+                ..
+            }
+        ));
+        assert_eq!(last.byte_range().end, cut);
+    }
+
+    #[test]
     fn errors_display() {
         for e in [
             FrameError::BadMagic,
             FrameError::UnsupportedVersion { found: 9 },
             FrameError::Truncated { offset: 3 },
+            FrameError::BadHeaderCrc,
             FrameError::BadCrc { segment: 1 },
             FrameError::BadTable,
             FrameError::Malformed {
                 segment: 0,
                 what: "x",
             },
+            FrameError::LimitExceeded {
+                what: "x",
+                requested: 2,
+                limit: 1,
+            },
+            FrameError::SegmentTooLarge { what: "x", len: 5 },
         ] {
             assert!(!e.to_string().is_empty());
+        }
+        for r in [
+            DamageReason::BadCrc,
+            DamageReason::Truncated,
+            DamageReason::Malformed("x"),
+            DamageReason::LimitExceeded("x"),
+            DamageReason::WorkerPanicked,
+            DamageReason::HeaderMismatch("x"),
+        ] {
+            assert!(!r.to_string().is_empty());
         }
     }
 }

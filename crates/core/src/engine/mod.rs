@@ -52,16 +52,20 @@
 //! ```
 #![deny(clippy::unwrap_used)]
 
+pub mod faultpoint;
 pub mod frame;
 pub mod pool;
+pub mod salvage;
 
-pub use frame::FrameError;
+pub use frame::{DamageReason, DecodeLimits, FrameError};
+pub use salvage::{DamagedSegment, SalvageReport};
 
 use crate::code::CodeTable;
 use crate::decode::{DecodeError, StreamDecoder};
 use crate::encode::{EncodeStats, EncodeTotals, Encoded, Encoder, InvalidBlockSize};
 use crate::stream::BitCounter;
-use ninec_testdata::trit::TritVec;
+use ninec_testdata::trit::{Trit, TritVec};
+use std::fmt;
 
 /// Default segment size in source trits (1 Mbit), before block alignment.
 pub const DEFAULT_SEGMENT_BITS: usize = 1 << 20;
@@ -86,6 +90,49 @@ pub fn default_threads() -> usize {
     n.clamp(1, pool::MAX_THREADS)
 }
 
+/// Error from framing a stream: either the block size is invalid or a
+/// segment overflows the `9CSF` header fields (4 Gi-trit per-segment
+/// ceiling). Replaces the encode-side `expect`s older releases carried —
+/// oversized segments are an error, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeFrameError {
+    /// The requested block size is not even and at least 4.
+    InvalidBlockSize(InvalidBlockSize),
+    /// A segment (or the segment count) overflows its frame header field.
+    Frame(FrameError),
+}
+
+impl fmt::Display for EncodeFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeFrameError::InvalidBlockSize(e) => write!(f, "{e}"),
+            EncodeFrameError::Frame(e) => write!(f, "cannot frame stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeFrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EncodeFrameError::InvalidBlockSize(e) => Some(e),
+            EncodeFrameError::Frame(e) => Some(e),
+        }
+    }
+}
+
+impl From<InvalidBlockSize> for EncodeFrameError {
+    fn from(e: InvalidBlockSize) -> Self {
+        EncodeFrameError::InvalidBlockSize(e)
+    }
+}
+
+impl From<FrameError> for EncodeFrameError {
+    fn from(e: FrameError) -> Self {
+        EncodeFrameError::Frame(e)
+    }
+}
+
 /// Builder for [`Engine`] (see the module docs for the knobs' meaning).
 #[derive(Debug, Clone, Default)]
 #[must_use]
@@ -93,6 +140,9 @@ pub struct EngineBuilder {
     threads: Option<usize>,
     segment_bits: Option<usize>,
     table: Option<CodeTable>,
+    limits: Option<DecodeLimits>,
+    #[cfg(feature = "failpoints")]
+    failpoints: Vec<faultpoint::FailPoint>,
 }
 
 impl EngineBuilder {
@@ -119,12 +169,46 @@ impl EngineBuilder {
         self
     }
 
-    /// Finalizes the engine.
+    /// Resource ceilings for frame decode (default:
+    /// [`DecodeLimits::default`]). Use [`DecodeLimits::unlimited`] for
+    /// trusted input.
+    pub fn limits(mut self, limits: DecodeLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Arms a deterministic fault-injection point on the decode path
+    /// (see [`faultpoint`]). Only available with the `failpoints` cargo
+    /// feature; production builds cannot arm faults.
+    #[cfg(feature = "failpoints")]
+    pub fn failpoint(mut self, point: faultpoint::FailPoint) -> Self {
+        self.failpoints.push(point);
+        self
+    }
+
+    /// Finalizes the engine. With the `failpoints` feature, any
+    /// [`faultpoint::ENV`] (`NINEC_FAILPOINT`) spec is parsed here and
+    /// appended to the explicitly armed points; a malformed spec is
+    /// ignored rather than panicking.
     pub fn build(self) -> Engine {
+        #[cfg(feature = "failpoints")]
+        let failpoints = {
+            let mut points = self.failpoints;
+            if let Ok(spec) = std::env::var(faultpoint::ENV) {
+                if let Ok(mut parsed) = faultpoint::parse_spec(&spec) {
+                    points.append(&mut parsed);
+                }
+            }
+            points
+        };
+        #[cfg(not(feature = "failpoints"))]
+        let failpoints = Vec::new();
         Engine {
             threads: self.threads.unwrap_or_else(default_threads),
             segment_bits: self.segment_bits.unwrap_or(DEFAULT_SEGMENT_BITS),
             table: self.table.unwrap_or_else(CodeTable::paper),
+            limits: self.limits.unwrap_or_default(),
+            failpoints,
         }
     }
 }
@@ -135,6 +219,11 @@ pub struct Engine {
     threads: usize,
     segment_bits: usize,
     table: CodeTable,
+    limits: DecodeLimits,
+    /// Armed fault-injection points. Always empty unless the
+    /// `failpoints` feature armed some — the decode path checks an empty
+    /// slice, which is free.
+    failpoints: Vec<faultpoint::FailPoint>,
 }
 
 impl Default for Engine {
@@ -166,6 +255,12 @@ impl Engine {
     #[must_use]
     pub fn table(&self) -> &CodeTable {
         &self.table
+    }
+
+    /// The resource ceilings applied to frame decodes.
+    #[must_use]
+    pub fn limits(&self) -> &DecodeLimits {
+        &self.limits
     }
 
     /// Segment length for block size `k`: `segment_bits` rounded down to
@@ -224,8 +319,10 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`InvalidBlockSize`] unless `k` is even and at least 4.
-    pub fn encode_frame(&self, k: usize, stream: &TritVec) -> Result<Vec<u8>, InvalidBlockSize> {
+    /// [`EncodeFrameError::InvalidBlockSize`] unless `k` is even and at
+    /// least 4; [`EncodeFrameError::Frame`] when a segment overflows the
+    /// `9CSF` header fields (the 4 Gi-trit per-segment ceiling).
+    pub fn encode_frame(&self, k: usize, stream: &TritVec) -> Result<Vec<u8>, EncodeFrameError> {
         self.encode_frame_best_k(&[k], stream)
     }
 
@@ -240,16 +337,18 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`InvalidBlockSize`] if `candidates` is empty (reported as `k = 0`)
-    /// or contains an odd / undersized block size.
+    /// [`EncodeFrameError::InvalidBlockSize`] if `candidates` is empty
+    /// (reported as `k = 0`) or contains an odd / undersized block size;
+    /// [`EncodeFrameError::Frame`] when a segment (or the segment count)
+    /// overflows the `9CSF` header fields.
     pub fn encode_frame_best_k(
         &self,
         candidates: &[usize],
         stream: &TritVec,
-    ) -> Result<Vec<u8>, InvalidBlockSize> {
+    ) -> Result<Vec<u8>, EncodeFrameError> {
         let _span = ninec_obs::span("engine_encode_frame");
         let Some(&first) = candidates.first() else {
-            return Err(InvalidBlockSize { k: 0 });
+            return Err(InvalidBlockSize { k: 0 }.into());
         };
         let encoders = candidates
             .iter()
@@ -282,15 +381,21 @@ impl Engine {
             (enc.k(), seg_stream)
         });
         let mut out = Vec::new();
+        let segment_count = u32::try_from(ranges.len()).map_err(|_| {
+            EncodeFrameError::Frame(FrameError::SegmentTooLarge {
+                what: "segment count",
+                len: ranges.len(),
+            })
+        })?;
         frame::write_header(
             &mut out,
             self.table.lengths(),
-            u32::try_from(ranges.len()).expect("segment count fits in u32"),
+            segment_count,
             stream.len() as u64,
         );
         for (i, (k, seg_stream)) in parts.iter().enumerate() {
             let (start, end) = ranges[i];
-            frame::write_segment(&mut out, *k, end - start, seg_stream);
+            frame::write_segment(&mut out, *k, end - start, seg_stream)?;
         }
         Ok(out)
     }
@@ -302,48 +407,108 @@ impl Engine {
     /// # Errors
     ///
     /// - [`DecodeError::TruncatedStream`] when the byte stream ends early;
+    /// - [`DecodeError::LimitExceeded`] when a header-claimed size
+    ///   exceeds the engine's [`DecodeLimits`] (checked before any
+    ///   allocation — the decompression-bomb guard);
     /// - [`DecodeError::Frame`] for every other structural problem (bad
     ///   magic, bad CRC, bad table, malformed segment);
+    /// - [`DecodeError::WorkerPanicked`] when a segment's decode task
+    ///   panicked (only reachable with an armed `failpoints` fault or a
+    ///   codec bug) — the panic is caught at the task boundary, every
+    ///   other segment still completes, and the merge never deadlocks;
     /// - the usual [`DecodeError`] variants when a CRC-valid segment still
     ///   fails 9C decoding.
     ///
-    /// Never panics on hostile input.
+    /// Never panics on hostile input. For decode-what-you-can recovery
+    /// instead of fail-closed, see
+    /// [`decode_frame_salvage`](Engine::decode_frame_salvage).
     pub fn decode_frame(&self, bytes: &[u8]) -> Result<TritVec, DecodeError> {
         let _span = ninec_obs::span("engine_decode_frame");
-        let parsed = frame::parse(bytes).map_err(|e| match e {
-            frame::FrameError::Truncated { offset } => DecodeError::TruncatedStream { offset },
-            other => DecodeError::Frame(other),
-        })?;
+        let parsed = frame::parse_limited(bytes, &self.limits).map_err(DecodeError::from)?;
         let table = CodeTable::from_lengths(&parsed.table_lengths)
             .map_err(|_| frame::FrameError::BadTable)?;
-        let outputs: Vec<Result<TritVec, DecodeError>> =
-            pool::map_indexed(self.threads, parsed.segments.len(), |i| {
-                let seg = &parsed.segments[i];
-                let t0 = ninec_obs::runtime_enabled().then(std::time::Instant::now);
-                let payload = frame::unpack_payload(seg, i)?;
-                if payload.len() != seg.payload_trits {
-                    return Err(DecodeError::Frame(frame::FrameError::Malformed {
-                        segment: i,
-                        what: "payload length disagrees with the segment header",
-                    }));
+        let results = pool::try_map_indexed(self.threads, parsed.segments.len(), |i| {
+            self.decode_one_segment(&parsed.segments[i], i, &table)
+        });
+        let mut parts = Vec::with_capacity(results.len());
+        let mut first_err: Option<DecodeError> = None;
+        let mut panics = 0u64;
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(Ok(seg_out)) => parts.push(seg_out),
+                Ok(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
                 }
-                let dec = StreamDecoder::new(
-                    payload.as_slice().iter(),
-                    seg.k,
-                    table.clone(),
-                    seg.source_trits,
-                )
-                .map_err(|e| DecodeError::InvalidBlockSize { k: e.k })?;
-                let mut out = TritVec::with_capacity(seg.source_trits);
-                dec.run_into(&mut out)?;
-                if let Some(t0) = t0 {
-                    crate::metrics::publish_segment_decode(t0.elapsed().as_nanos() as u64);
+                Err(_panic) => {
+                    panics += 1;
+                    if first_err.is_none() {
+                        first_err = Some(DecodeError::WorkerPanicked { segment: i });
+                    }
                 }
-                Ok(out)
-            });
+            }
+        }
+        crate::metrics::publish_worker_panics(panics);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
         let mut out = TritVec::with_capacity(parsed.source_len);
-        for seg_out in outputs {
-            out.extend_from_tritvec(&seg_out?);
+        for seg_out in &parts {
+            out.extend_from_tritvec(seg_out);
+        }
+        Ok(out)
+    }
+
+    /// Decodes one parsed segment — the shared per-task body of
+    /// [`decode_frame`](Engine::decode_frame) and the salvage path.
+    /// Armed [`faultpoint`]s fire here (panic/delay before the work,
+    /// corrupt after), which is what makes worker panics and torn writes
+    /// deterministically injectable.
+    pub(crate) fn decode_one_segment(
+        &self,
+        seg: &frame::ParsedSegment<'_>,
+        i: usize,
+        table: &CodeTable,
+    ) -> Result<TritVec, DecodeError> {
+        let fault = faultpoint::fire(&self.failpoints, faultpoint::SITE_SEG, i);
+        match fault {
+            Some(faultpoint::Action::Panic) => panic!("failpoint seg:{i}:panic"),
+            Some(faultpoint::Action::Delay { millis }) => {
+                std::thread::sleep(std::time::Duration::from_millis(*millis));
+            }
+            _ => {}
+        }
+        let t0 = ninec_obs::runtime_enabled().then(std::time::Instant::now);
+        let payload = frame::unpack_payload(seg, i)?;
+        if payload.len() != seg.payload_trits {
+            return Err(DecodeError::Frame(frame::FrameError::Malformed {
+                segment: i,
+                what: "payload length disagrees with the segment header",
+            }));
+        }
+        let dec = StreamDecoder::new(
+            payload.as_slice().iter(),
+            seg.k,
+            table.clone(),
+            seg.source_trits,
+        )
+        .map_err(|e| DecodeError::InvalidBlockSize { k: e.k })?;
+        let mut out = TritVec::with_capacity(seg.source_trits);
+        dec.run_into(&mut out)?;
+        if matches!(fault, Some(faultpoint::Action::Corrupt)) {
+            // Torn write: flip the first decoded trit after the CRC and
+            // the 9C decode both passed.
+            if let Some(t) = out.get(0) {
+                let flipped = match t {
+                    Trit::Zero => Trit::One,
+                    Trit::One | Trit::X => Trit::Zero,
+                };
+                out.set(0, flipped);
+            }
+        }
+        if let Some(t0) = t0 {
+            crate::metrics::publish_segment_decode(t0.elapsed().as_nanos() as u64);
         }
         Ok(out)
     }
@@ -382,6 +547,15 @@ impl From<frame::FrameError> for DecodeError {
     fn from(e: frame::FrameError) -> Self {
         match e {
             frame::FrameError::Truncated { offset } => DecodeError::TruncatedStream { offset },
+            frame::FrameError::LimitExceeded {
+                what,
+                requested,
+                limit,
+            } => DecodeError::LimitExceeded {
+                what,
+                requested,
+                limit,
+            },
             other => DecodeError::Frame(other),
         }
     }
@@ -469,13 +643,13 @@ mod tests {
         assert_eq!(engine.encode(7, &stream), Err(InvalidBlockSize { k: 7 }));
         assert_eq!(
             engine.encode_frame(2, &stream).expect_err("odd K rejected"),
-            InvalidBlockSize { k: 2 }
+            EncodeFrameError::InvalidBlockSize(InvalidBlockSize { k: 2 })
         );
         assert_eq!(
             engine
                 .encode_frame_best_k(&[], &stream)
                 .expect_err("empty candidates rejected"),
-            InvalidBlockSize { k: 0 }
+            EncodeFrameError::InvalidBlockSize(InvalidBlockSize { k: 0 })
         );
     }
 

@@ -13,6 +13,15 @@
 //! short-circuits to a serial in-caller loop — the engine's serial
 //! fallback path.
 //!
+//! Panic isolation: every job runs under
+//! [`std::panic::catch_unwind`], so a panicking closure poisons only its
+//! own result slot — [`try_map_indexed`] returns it as a
+//! [`JobPanic`] while every other job's result is delivered intact, and
+//! the index-ordered merge can never deadlock on a missing slot. The
+//! serial fallback catches panics the same way, so `threads = 1`
+//! isolates identically to `threads = 8`. ([`map_indexed`] keeps the old
+//! propagate-the-panic contract for callers that treat a panic as a bug.)
+//!
 //! Telemetry (batched at segment boundaries, never inside a job): each
 //! worker publishes its queue depth to the
 //! `ninec.engine.worker.<i>.queue_depth` gauge after every pop, and its
@@ -20,11 +29,64 @@
 //! `ninec.engine.segments`).
 
 use std::collections::VecDeque;
-use std::sync::{Mutex, OnceLock};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Upper bound on worker threads — keeps the per-worker gauge family
 /// bounded and guards against absurd `NINEC_THREADS` values.
 pub const MAX_THREADS: usize = 256;
+
+/// A caught panic from one pool job, carrying the panic message when the
+/// payload was a string (the common `panic!("…")` case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload rendered as text, or a placeholder for
+    /// non-string payloads.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Runs `thunk` under `catch_unwind`, converting a panic payload into a
+/// [`JobPanic`]. The closure owns (or safely shares) its data, so
+/// observing state after a caught panic is sound: a poisoned job's
+/// partial effects never escape its own result slot.
+fn run_caught<T>(thunk: impl FnOnce() -> T) -> Result<T, JobPanic> {
+    match catch_unwind(AssertUnwindSafe(thunk)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(JobPanic { message })
+        }
+    }
+}
+
+/// Locks a queue, recovering from poisoning. Jobs run *outside* the
+/// queue locks (the critical sections below are plain `VecDeque` ops
+/// that cannot panic), so a poisoned mutex can only mean a job panicked
+/// elsewhere — the queue data itself is still consistent.
+fn lock_queue<'a>(
+    queues: &'a [Mutex<VecDeque<usize>>],
+    w: usize,
+) -> MutexGuard<'a, VecDeque<usize>> {
+    match queues[w].lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// Runs `f(0..jobs)` across at most `threads` workers and returns the
 /// results in job-index order.
@@ -41,15 +103,41 @@ pub const MAX_THREADS: usize = 256;
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
+/// Propagates a panic from `f` (re-raised on the calling thread after
+/// every worker has drained; no other job's result is lost first). Use
+/// [`try_map_indexed`] to receive panics as values instead.
 pub fn map_indexed<T, F>(threads: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = Vec::with_capacity(jobs);
+    for (i, r) in try_map_indexed(threads, jobs, f).into_iter().enumerate() {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => panic!("pool job {i} panicked: {}", p.message),
+        }
+    }
+    out
+}
+
+/// [`map_indexed`] with per-job panic isolation: slot `i` holds
+/// `Ok(f(i))`, or `Err(JobPanic)` when `f(i)` panicked.
+///
+/// A panicking job never takes the pool down — its worker catches the
+/// unwind, records the poisoned slot and moves on to the next job, so
+/// every other index still completes and the result vector is always
+/// fully populated in index order (no deadlock, no missing slots).
+pub fn try_map_indexed<T, F>(threads: usize, jobs: usize, f: F) -> Vec<Result<T, JobPanic>>
 where
     T: Send + Sync,
     F: Fn(usize) -> T + Sync,
 {
     let threads = threads.clamp(1, MAX_THREADS);
     if threads <= 1 || jobs <= 1 {
-        return (0..jobs).map(f).collect();
+        // The serial fallback isolates panics exactly like the pooled
+        // path, so `threads = 1` and `threads = 8` behave identically.
+        return (0..jobs).map(|i| run_caught(|| f(i))).collect();
     }
     let workers = threads.min(jobs);
     // Round-robin seeding: job i starts on worker i % workers.
@@ -62,7 +150,7 @@ where
             )
         })
         .collect();
-    let slots: Vec<OnceLock<T>> = (0..jobs).map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<Result<T, JobPanic>>> = (0..jobs).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
@@ -80,7 +168,9 @@ where
                     // One gauge write per segment — batched at the segment
                     // boundary, never inside the encode/decode hot loop.
                     crate::metrics::publish_worker_queue_depth(w, queue_len(queues, w));
-                    let out = f(job);
+                    // The catch_unwind here is the panic-isolation
+                    // boundary: a panicking job poisons only slot `job`.
+                    let out = run_caught(|| f(job));
                     // Each job index is popped exactly once, so the slot is
                     // empty; a second set is impossible by construction.
                     let _ = slots[job].set(out);
@@ -93,26 +183,27 @@ where
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("every job index was queued exactly once and ran to completion")
+            // Every index was queued exactly once and its worker either
+            // stored Ok or a caught JobPanic; an empty slot would mean a
+            // worker died outside catch_unwind, which the isolation
+            // boundary makes unreachable — but stay total regardless.
+            slot.into_inner().unwrap_or_else(|| {
+                Err(JobPanic {
+                    message: "worker exited without storing a result".to_string(),
+                })
+            })
         })
         .collect()
 }
 
 /// LIFO pop from the worker's own deque (hot segments stay cache-warm).
 fn pop_own(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
-    queues[w]
-        .lock()
-        .expect("pool worker panicked while holding its queue lock")
-        .pop_back()
+    lock_queue(queues, w).pop_back()
 }
 
 /// Current depth of the worker's own deque.
 fn queue_len(queues: &[Mutex<VecDeque<usize>>], w: usize) -> usize {
-    queues[w]
-        .lock()
-        .expect("pool worker panicked while holding its queue lock")
-        .len()
+    lock_queue(queues, w).len()
 }
 
 /// FIFO steal from the first non-empty sibling, scanning from `w + 1`
@@ -121,10 +212,7 @@ fn steal(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &mut u64) -> Optio
     let n = queues.len();
     for off in 1..n {
         let victim = (w + off) % n;
-        let job = queues[victim]
-            .lock()
-            .expect("pool worker panicked while holding its queue lock")
-            .pop_front();
+        let job = lock_queue(queues, victim).pop_front();
         if let Some(job) = job {
             *steals += 1;
             return Some(job);
@@ -180,5 +268,55 @@ mod tests {
     #[test]
     fn more_threads_than_jobs_is_fine() {
         assert_eq!(map_indexed(32, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn one_panicking_job_poisons_only_its_slot() {
+        for threads in [1, 2, 8] {
+            let out = try_map_indexed(threads, 16, |i| {
+                if i == 5 {
+                    panic!("boom at {i}");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 16, "threads={threads}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 {
+                    let p = r.as_ref().expect_err("job 5 panicked");
+                    assert!(p.message.contains("boom at 5"), "{p:?}");
+                } else {
+                    assert_eq!(r.as_ref().ok(), Some(&(i * 2)), "threads={threads} job {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_jobs_panicking_still_terminates() {
+        let out = try_map_indexed::<usize, _>(4, 8, |i| panic!("all down {i}"));
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|r| r.is_err()));
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported() {
+        let out = try_map_indexed::<usize, _>(1, 1, |_| std::panic::panic_any(42usize));
+        assert_eq!(
+            out[0].as_ref().expect_err("panicked").message,
+            "non-string panic payload"
+        );
+    }
+
+    #[test]
+    fn map_indexed_propagates_a_job_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            map_indexed(2, 4, |i| {
+                if i == 2 {
+                    panic!("expected propagation");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
     }
 }

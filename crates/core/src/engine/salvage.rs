@@ -1,0 +1,470 @@
+//! Salvage-mode frame decode: recover every intact segment from a
+//! corrupted `9CSF` frame and materialise the damage as X-trit erasures.
+//!
+//! The strict [`Engine::decode_frame`] is fail-closed: one bad CRC
+//! aborts the whole decode. That is the right default for a codec, but
+//! the paper's setting — a reduced pin-count ATE link feeding an on-chip
+//! FSM — is a hostile channel where a single flipped or dropped bit
+//! desynchronises everything downstream. X-tolerant compaction work
+//! (Fujiwara & Colbourn's combinatorial X-codes) treats corrupted values
+//! as *erasures to localise and tolerate*, not as fatal; salvage mode
+//! applies the same philosophy at the frame layer:
+//!
+//! - every segment whose header + CRC check out is decoded (in parallel,
+//!   on the same panic-isolated pool as the strict path);
+//! - every byte range that fails is resynchronised past (next CRC-valid
+//!   segment) and its trits are materialised as `X` — an erasure run at
+//!   a known, `K`-block-aligned offset, because the frame writer aligns
+//!   every segment boundary to a block boundary;
+//! - the [`SalvageReport`] maps each damaged byte range to its trit
+//!   range and reason, so downstream tooling knows exactly which scan
+//!   slices to re-transfer or distrust.
+//!
+//! The file header itself must be sound (magic, version, header CRC,
+//! non-bomb claims): with an untrustworthy code table or total length
+//! there is nothing sound to salvage against, so those remain hard
+//! errors — as does a Kraft-invalid stored table.
+
+use crate::code::CodeTable;
+use crate::decode::DecodeError;
+use crate::engine::frame::{self, DamageReason, ScanEntry};
+use crate::engine::{pool, Engine};
+use ninec_testdata::trit::{Trit, TritVec};
+use std::ops::Range;
+
+/// One damaged region of a salvaged frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DamagedSegment {
+    /// Position of the damaged region in the scan walk (segment index
+    /// for frames whose structure survived).
+    pub index: usize,
+    /// The frame bytes written off.
+    pub byte_range: Range<usize>,
+    /// The output trits erased to `X` in [`SalvageReport::trits`].
+    pub trit_range: Range<usize>,
+    /// Why the region could not be recovered.
+    pub reason: DamageReason,
+}
+
+/// The outcome of a salvage-mode frame decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// The decoded stream, exactly `source_len` trits long: recovered
+    /// segments byte-identical to a clean decode, damaged regions as
+    /// `X`-trit erasure runs at their known block-aligned offsets.
+    pub trits: TritVec,
+    /// Segments recovered byte-identically.
+    pub recovered_segments: usize,
+    /// Total scan entries (recovered + damaged).
+    pub total_segments: usize,
+    /// The damage map, in stream order.
+    pub damaged: Vec<DamagedSegment>,
+}
+
+impl SalvageReport {
+    /// `true` when nothing was damaged — the frame decoded cleanly.
+    #[must_use]
+    pub fn is_full_recovery(&self) -> bool {
+        self.damaged.is_empty()
+    }
+}
+
+/// What one scan entry contributes to the output.
+enum Plan<'a> {
+    /// Decode this intact segment (scan-entry index into the pool jobs).
+    Decode {
+        seg: frame::ParsedSegment<'a>,
+        byte_range: Range<usize>,
+        trits: usize,
+    },
+    /// Erase `trits` trits for this damaged range.
+    Erase {
+        byte_range: Range<usize>,
+        reason: DamageReason,
+        trits: usize,
+    },
+}
+
+impl Plan<'_> {
+    fn trits(&self) -> usize {
+        match self {
+            Plan::Decode { trits, .. } | Plan::Erase { trits, .. } => *trits,
+        }
+    }
+}
+
+/// Resolves how many erasure trits each damaged entry stands for.
+///
+/// The header's `source_len` is CRC-trusted; the intact segments'
+/// lengths are CRC-trusted; the gap between them must be distributed
+/// over the damaged entries. Their own headers are *untrusted claims*:
+/// use them when they are mutually consistent with the gap, fall back
+/// to proportional-by-claim (sequential, last-takes-rest) otherwise.
+fn resolve_erasures(claims: &[Option<usize>], remaining: usize) -> Vec<usize> {
+    if claims.is_empty() {
+        return Vec::new();
+    }
+    if claims.len() == 1 {
+        // A single damaged region must be the whole gap, whatever its
+        // corrupted header claims.
+        return vec![remaining];
+    }
+    let claim_sum = claims
+        .iter()
+        .try_fold(0usize, |acc, c| acc.checked_add((*c)?));
+    if claim_sum == Some(remaining) {
+        // All claims present and consistent with the trusted totals.
+        return claims.iter().map(|c| c.unwrap_or(0)).collect();
+    }
+    // Inconsistent claims: honour them best-effort in order, clamped to
+    // the budget, and give the last entry whatever is left so the output
+    // length always matches the trusted header total.
+    let mut out = Vec::with_capacity(claims.len());
+    let mut left = remaining;
+    for (j, c) in claims.iter().enumerate() {
+        let take = if j + 1 == claims.len() {
+            left
+        } else {
+            c.unwrap_or(0).min(left)
+        };
+        out.push(take);
+        left -= take;
+    }
+    out
+}
+
+impl Engine {
+    /// Decodes a `9CSF` frame in **salvage mode**: every intact segment
+    /// is recovered byte-identically (decoded in parallel on the
+    /// panic-isolated pool), every damaged byte range is skipped,
+    /// resynchronised past, and materialised as an `X`-trit erasure run
+    /// at its block-aligned offset. The report's `trits` is always
+    /// exactly the header's `source_len` trits long.
+    ///
+    /// Segment-level problems — bad CRCs, truncated tails, malformed or
+    /// limit-busting headers, payloads that fail 9C decoding, even a
+    /// worker panic — become [`DamagedSegment`] entries, never errors.
+    ///
+    /// # Errors
+    ///
+    /// Only file-level problems fail the salvage: bad magic, a header
+    /// shorter than [`frame::HEADER_BYTES`], an unsupported version, a
+    /// file-header CRC mismatch ([`DecodeError::Frame`]), a Kraft-invalid
+    /// stored table, or file-level [`DecodeError::LimitExceeded`] bombs.
+    /// Never panics on hostile input.
+    pub fn decode_frame_salvage(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
+        let _span = ninec_obs::span("engine_decode_frame_salvage");
+        let scan = frame::scan_salvage(bytes, self.limits()).map_err(DecodeError::from)?;
+        let table = CodeTable::from_lengths(&scan.table_lengths)
+            .map_err(|_| frame::FrameError::BadTable)?;
+        let source_len = scan.source_len;
+
+        // Trusted lengths: intact segments. Untrusted: damaged claims.
+        let intact_sum: usize = scan
+            .entries
+            .iter()
+            .filter_map(|e| match e {
+                ScanEntry::Intact { seg, .. } => Some(seg.source_trits),
+                ScanEntry::Damaged { .. } => None,
+            })
+            .fold(0usize, |a, b| a.saturating_add(b));
+        let remaining = source_len.saturating_sub(intact_sum);
+        let claims: Vec<Option<usize>> = scan
+            .entries
+            .iter()
+            .filter_map(|e| match e {
+                ScanEntry::Intact { .. } => None,
+                ScanEntry::Damaged {
+                    claimed_source_trits,
+                    ..
+                } => Some(*claimed_source_trits),
+            })
+            .collect();
+        let erase_lens = resolve_erasures(&claims, remaining);
+
+        // Build the output plan, clipping at the trusted source_len: an
+        // entry that would overshoot (duplicated/spliced segments) is
+        // erased and reported as a header mismatch rather than silently
+        // growing the output.
+        let mut plans: Vec<Plan<'_>> = Vec::with_capacity(scan.entries.len() + 1);
+        let mut offset = 0usize;
+        let mut erase_iter = erase_lens.into_iter();
+        for entry in &scan.entries {
+            match entry {
+                ScanEntry::Intact { seg, byte_range } => {
+                    let want = seg.source_trits;
+                    if offset.saturating_add(want) <= source_len {
+                        plans.push(Plan::Decode {
+                            seg: *seg,
+                            byte_range: byte_range.clone(),
+                            trits: want,
+                        });
+                        offset += want;
+                    } else {
+                        // Doesn't fit the trusted total: header mismatch.
+                        let take = source_len - offset;
+                        plans.push(Plan::Erase {
+                            byte_range: byte_range.clone(),
+                            reason: DamageReason::HeaderMismatch(
+                                "segment exceeds the header's source-length total",
+                            ),
+                            trits: take,
+                        });
+                        offset += take;
+                    }
+                }
+                ScanEntry::Damaged {
+                    byte_range, reason, ..
+                } => {
+                    let want = erase_iter.next().unwrap_or(0);
+                    let take = want.min(source_len - offset);
+                    plans.push(Plan::Erase {
+                        byte_range: byte_range.clone(),
+                        reason: reason.clone(),
+                        trits: take,
+                    });
+                    offset += take;
+                }
+            }
+        }
+        if offset < source_len {
+            // The body covers fewer trits than the trusted total — a
+            // boundary truncation or excised segments. Erase the tail.
+            let reason = if scan.entries.len() < scan.claimed_segments {
+                DamageReason::Truncated
+            } else {
+                DamageReason::HeaderMismatch(
+                    "segments cover fewer trits than the header's source-length total",
+                )
+            };
+            plans.push(Plan::Erase {
+                byte_range: bytes.len()..bytes.len(),
+                reason,
+                trits: source_len - offset,
+            });
+        }
+
+        // Decode the intact segments in parallel, panic-isolated; a
+        // panicked or mis-decoding segment degrades to an erasure.
+        let results = pool::try_map_indexed(self.threads(), plans.len(), |i| match &plans[i] {
+            Plan::Decode { seg, .. } => Some(self.decode_one_segment(seg, i, &table)),
+            Plan::Erase { .. } => None,
+        });
+
+        let mut trits = TritVec::with_capacity(source_len);
+        let mut damaged = Vec::new();
+        let mut recovered = 0usize;
+        let mut panics = 0u64;
+        let total = plans.len();
+        for (i, (plan, result)) in plans.into_iter().zip(results).enumerate() {
+            let start = trits.len();
+            let want = plan.trits();
+            let (byte_range, reason) = match (plan, result) {
+                (Plan::Decode { byte_range, .. }, Ok(Some(Ok(seg_out)))) => {
+                    if seg_out.len() == want {
+                        trits.extend_from_tritvec(&seg_out);
+                        recovered += 1;
+                        continue;
+                    }
+                    // A decoder returning the wrong length is a writer
+                    // bug; degrade to an erasure.
+                    (
+                        byte_range,
+                        DamageReason::Malformed("decoded length disagrees with the segment header"),
+                    )
+                }
+                (Plan::Decode { byte_range, .. }, Ok(Some(Err(e)))) => {
+                    (byte_range, DamageReason::Decode(e))
+                }
+                (Plan::Decode { byte_range, .. }, Err(_panic)) => {
+                    panics += 1;
+                    (byte_range, DamageReason::WorkerPanicked)
+                }
+                (
+                    Plan::Erase {
+                        byte_range, reason, ..
+                    },
+                    Err(_panic),
+                ) => {
+                    // An erase "job" cannot panic, but stay total.
+                    panics += 1;
+                    (byte_range, reason)
+                }
+                (
+                    Plan::Erase {
+                        byte_range, reason, ..
+                    },
+                    Ok(_),
+                ) => (byte_range, reason),
+                (Plan::Decode { byte_range, .. }, Ok(None)) => (
+                    // Unreachable: decode plans always return Some.
+                    byte_range,
+                    DamageReason::Malformed("internal plan/result mismatch"),
+                ),
+            };
+            trits.push_run(Trit::X, want);
+            damaged.push(DamagedSegment {
+                index: i,
+                byte_range,
+                trit_range: start..start + want,
+                reason,
+            });
+        }
+        crate::metrics::publish_worker_panics(panics);
+        if !damaged.is_empty() {
+            crate::metrics::publish_salvaged_segments(recovered as u64);
+        }
+        Ok(SalvageReport {
+            trits,
+            recovered_segments: recovered,
+            total_segments: total,
+            damaged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::frame::HEADER_BYTES;
+    use crate::engine::Engine;
+
+    fn tv(s: &str) -> TritVec {
+        s.parse().expect("valid trit literal")
+    }
+
+    fn sample_stream() -> TritVec {
+        tv(&"0X0X01X001X0101X111111110000X1111X0110XX".repeat(20))
+    }
+
+    fn engine() -> Engine {
+        Engine::builder().threads(2).segment_bits(64).build()
+    }
+
+    #[test]
+    fn clean_frame_salvages_to_full_recovery() {
+        let stream = sample_stream();
+        let e = engine();
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let report = e.decode_frame_salvage(&frame_bytes).expect("salvages");
+        assert!(report.is_full_recovery());
+        assert_eq!(report.recovered_segments, report.total_segments);
+        assert_eq!(report.trits, e.decode_frame(&frame_bytes).expect("decodes"));
+    }
+
+    #[test]
+    fn corrupt_segment_becomes_an_x_erasure_run() {
+        let stream = sample_stream();
+        let e = engine();
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let clean = e.decode_frame(&frame_bytes).expect("decodes");
+
+        // Corrupt the first segment's first payload byte.
+        let mut bad = frame_bytes.clone();
+        bad[HEADER_BYTES + frame::SEGMENT_HEADER_BYTES] ^= 0x55;
+        let report = e.decode_frame_salvage(&bad).expect("salvages");
+        assert!(!report.is_full_recovery());
+        assert_eq!(report.damaged.len(), 1);
+        assert_eq!(report.trits.len(), stream.len());
+        let d = &report.damaged[0];
+        assert_eq!(d.index, 0);
+        assert_eq!(d.reason, DamageReason::BadCrc);
+        assert_eq!(d.trit_range.start, 0);
+        assert_eq!(d.trit_range.end, 64, "segment covers one 64-trit shard");
+        // Inside the damaged range: all X. Outside: identical to clean.
+        for i in 0..report.trits.len() {
+            let got = report.trits.get(i).expect("in range");
+            if d.trit_range.contains(&i) {
+                assert!(got.is_x(), "trit {i} inside damage must be X");
+            } else {
+                assert_eq!(Some(got), clean.get(i), "trit {i} outside damage");
+            }
+        }
+        // Strict mode still fails closed on the same bytes.
+        assert!(e.decode_frame(&bad).is_err());
+    }
+
+    #[test]
+    fn truncated_tail_erases_the_missing_trits() {
+        let stream = sample_stream();
+        let e = engine();
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let cut = frame_bytes.len() - 3;
+        let report = e
+            .decode_frame_salvage(&frame_bytes[..cut])
+            .expect("salvages");
+        assert_eq!(report.trits.len(), stream.len());
+        assert!(!report.is_full_recovery());
+        let last = report.damaged.last().expect("damage recorded");
+        assert_eq!(last.trit_range.end, stream.len());
+        assert_eq!(last.reason, DamageReason::Truncated);
+    }
+
+    #[test]
+    fn boundary_truncation_synthesizes_a_tail_entry() {
+        let stream = sample_stream();
+        let e = engine();
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let parsed = frame::parse(&frame_bytes).expect("own frame parses");
+        assert!(parsed.segments.len() >= 2, "test needs multiple segments");
+        // Cut exactly at the last segment's boundary: the walk sees only
+        // intact segments but the totals are short.
+        let last_seg_bytes =
+            frame::SEGMENT_HEADER_BYTES + parsed.segments.last().expect("nonempty").payload.len();
+        let cut = frame_bytes.len() - last_seg_bytes;
+        let report = e
+            .decode_frame_salvage(&frame_bytes[..cut])
+            .expect("salvages");
+        assert_eq!(report.trits.len(), stream.len());
+        let last = report.damaged.last().expect("tail damage recorded");
+        assert_eq!(last.reason, DamageReason::Truncated);
+        assert_eq!(last.byte_range, cut..cut);
+        assert!(last.trit_range.end == stream.len());
+    }
+
+    #[test]
+    fn all_segments_damaged_is_all_x_not_an_error() {
+        let stream = tv(&"01X0".repeat(16));
+        let e = Engine::builder().threads(1).segment_bits(1 << 20).build();
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        // Corrupt the single segment.
+        let mut bad = frame_bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        let report = e.decode_frame_salvage(&bad).expect("salvages");
+        assert_eq!(report.recovered_segments, 0);
+        assert_eq!(report.trits.len(), stream.len());
+        assert!((0..report.trits.len()).all(|i| report.trits.get(i).is_some_and(|t| t.is_x())));
+    }
+
+    #[test]
+    fn header_level_damage_is_still_fatal() {
+        let stream = sample_stream();
+        let e = engine();
+        let mut frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        frame_bytes[7] ^= 0x01; // a code-length byte, covered by header CRC
+        assert!(matches!(
+            e.decode_frame_salvage(&frame_bytes),
+            Err(DecodeError::Frame(frame::FrameError::BadHeaderCrc))
+        ));
+        assert!(matches!(
+            e.decode_frame_salvage(b"junk"),
+            Err(DecodeError::Frame(frame::FrameError::BadMagic))
+        ));
+    }
+
+    #[test]
+    fn resolve_erasures_covers_the_cases() {
+        assert!(resolve_erasures(&[], 0).is_empty());
+        assert_eq!(resolve_erasures(&[Some(9)], 5), vec![5]);
+        assert_eq!(resolve_erasures(&[None], 5), vec![5]);
+        assert_eq!(resolve_erasures(&[Some(3), Some(4)], 7), vec![3, 4]);
+        // Inconsistent claims: clamp in order, last takes the rest.
+        assert_eq!(resolve_erasures(&[Some(100), Some(4)], 7), vec![7, 0]);
+        assert_eq!(resolve_erasures(&[None, Some(4)], 7), vec![0, 7]);
+        assert_eq!(
+            resolve_erasures(&[Some(2), None, Some(1)], 9),
+            vec![2, 0, 7]
+        );
+    }
+}

@@ -74,6 +74,9 @@ pub use code::{Case, CodeTable};
 #[allow(deprecated)]
 pub use decode::{decode, decode_bits, DecodeError, StreamDecoder};
 pub use encode::{CaseSelect, EncodeStats, EncodeTotals, Encoded, Encoder, StreamEncoder};
-pub use engine::{Engine, EngineBuilder, FrameError};
+pub use engine::{
+    DamageReason, DamagedSegment, DecodeLimits, EncodeFrameError, Engine, EngineBuilder,
+    FrameError, SalvageReport,
+};
 pub use session::DecodeSession;
 pub use stream::{BitCounter, BitSink, BitSource};

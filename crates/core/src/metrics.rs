@@ -91,6 +91,52 @@ pub fn publish_segment_decode(nanos: u64) {
     ninec_obs::histogram(ENGINE_SEG_DECODE_NS).record(nanos);
 }
 
+/// Counter: 9CSF CRC mismatches (file-header or segment) seen while
+/// parsing or salvage-scanning frames.
+pub const FRAME_CRC_FAILURES: &str = "ninec.frame.crc_failures";
+/// Counter: frames or segments rejected by [`crate::engine::DecodeLimits`].
+pub const FRAME_LIMIT_REJECTIONS: &str = "ninec.frame.limit_rejections";
+/// Counter: segments recovered byte-identically by salvage-mode decode
+/// from frames that contained damage.
+pub const ENGINE_SALVAGED_SEGMENTS: &str = "ninec.engine.salvaged_segments";
+/// Counter: decode worker panics caught by the panic-isolated pool.
+pub const ENGINE_WORKER_PANICS: &str = "ninec.engine.worker_panics";
+
+/// Records CRC verification failures seen on a frame's main parse/scan
+/// walk (resync probing never counts — probes are expected to fail).
+pub fn publish_crc_failures(n: u64) {
+    if !ninec_obs::runtime_enabled() || n == 0 {
+        return;
+    }
+    ninec_obs::global().counter(FRAME_CRC_FAILURES).add(n);
+}
+
+/// Records frames/segments rejected by a [`crate::engine::DecodeLimits`]
+/// ceiling before any allocation happened.
+pub fn publish_limit_rejections(n: u64) {
+    if !ninec_obs::runtime_enabled() || n == 0 {
+        return;
+    }
+    ninec_obs::global().counter(FRAME_LIMIT_REJECTIONS).add(n);
+}
+
+/// Records intact segments recovered by a salvage decode of a damaged
+/// frame (batched once per salvage run; clean frames record nothing).
+pub fn publish_salvaged_segments(n: u64) {
+    if !ninec_obs::runtime_enabled() || n == 0 {
+        return;
+    }
+    ninec_obs::global().counter(ENGINE_SALVAGED_SEGMENTS).add(n);
+}
+
+/// Records decode-worker panics caught and isolated by the engine pool.
+pub fn publish_worker_panics(n: u64) {
+    if !ninec_obs::runtime_enabled() || n == 0 {
+        return;
+    }
+    ninec_obs::global().counter(ENGINE_WORKER_PANICS).add(n);
+}
+
 /// Counter: decode runs completed.
 pub const DECODE_RUNS: &str = "ninec.decode.runs";
 /// Counter: blocks decoded.

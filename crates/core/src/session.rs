@@ -35,7 +35,7 @@
 use crate::code::CodeTable;
 use crate::decode::{DecodeError, StreamDecoder};
 use crate::encode::Encoded;
-use crate::engine::Engine;
+use crate::engine::{DecodeLimits, Engine, SalvageReport};
 use ninec_testdata::bits::BitVec;
 use ninec_testdata::trit::TritVec;
 
@@ -50,6 +50,8 @@ pub struct DecodeSession {
     table: Option<CodeTable>,
     source_len: Option<usize>,
     threads: Option<usize>,
+    limits: Option<DecodeLimits>,
+    salvage: bool,
 }
 
 impl DecodeSession {
@@ -83,6 +85,25 @@ impl DecodeSession {
     /// segment boundaries, so the other entries are always serial.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Resource ceilings enforced while parsing `9CSF` frame bytes
+    /// (default: [`DecodeLimits::default`]). Raise them for trusted
+    /// oversized frames, or tighten them when the input is hostile.
+    pub fn limits(mut self, limits: DecodeLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Switches [`decode_frame`](DecodeSession::decode_frame) into
+    /// salvage mode: damaged segments are skipped and their span is
+    /// materialized as `X` trits instead of failing the whole frame.
+    ///
+    /// Use [`decode_frame_salvage`](DecodeSession::decode_frame_salvage)
+    /// directly when you also need the damage map.
+    pub fn salvage(mut self, salvage: bool) -> Self {
+        self.salvage = salvage;
         self
     }
 
@@ -143,14 +164,47 @@ impl DecodeSession {
     /// # Errors
     ///
     /// [`DecodeError::TruncatedStream`] / [`DecodeError::Frame`] for
-    /// structural problems, plus the usual variants when a CRC-valid
-    /// segment still fails 9C decoding. Never panics on hostile input.
+    /// structural problems, [`DecodeError::LimitExceeded`] when the frame
+    /// asks for more than [`limits`](DecodeSession::limits) allows, plus
+    /// the usual variants when a CRC-valid segment still fails 9C
+    /// decoding. Never panics on hostile input.
+    ///
+    /// With [`salvage(true)`](DecodeSession::salvage) the call tolerates
+    /// damaged segments (their span decodes as `X`) and only fails on
+    /// file-level damage; the damage map is discarded — use
+    /// [`decode_frame_salvage`](DecodeSession::decode_frame_salvage) to
+    /// keep it.
     pub fn decode_frame(&self, bytes: &[u8]) -> Result<TritVec, DecodeError> {
+        if self.salvage {
+            return Ok(self.decode_frame_salvage(bytes)?.trits);
+        }
+        self.engine().decode_frame(bytes)
+    }
+
+    /// Decodes a `9CSF` frame in salvage mode regardless of the
+    /// [`salvage`](DecodeSession::salvage) flag, returning the recovered
+    /// trits *and* the damage map ([`SalvageReport`]).
+    ///
+    /// # Errors
+    ///
+    /// Only file-level damage is fatal (bad magic/version, corrupt file
+    /// header, an unbuildable code table, or a file header that itself
+    /// exceeds [`limits`](DecodeSession::limits)); per-segment damage is
+    /// reported in [`SalvageReport::damaged`] instead.
+    pub fn decode_frame_salvage(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
+        self.engine().decode_frame_salvage(bytes)
+    }
+
+    /// Builds the engine backing the frame entry points.
+    fn engine(&self) -> Engine {
         let mut builder = Engine::builder();
         if let Some(threads) = self.threads {
             builder = builder.threads(threads);
         }
-        builder.build().decode_frame(bytes)
+        if let Some(limits) = self.limits {
+            builder = builder.limits(limits);
+        }
+        builder.build()
     }
 }
 
@@ -292,6 +346,57 @@ mod tests {
             DecodeSession::new().decode_frame(b"not a frame"),
             Err(DecodeError::Frame(_))
         ));
+    }
+
+    #[test]
+    fn salvage_mode_tolerates_a_damaged_segment() {
+        let (src, _) = sample();
+        let mut big = TritVec::new();
+        for _ in 0..50 {
+            big.extend_from_tritvec(&src);
+        }
+        let mut frame = Engine::builder()
+            .segment_bits(128)
+            .build()
+            .encode_frame(8, &big)
+            .unwrap();
+        // Corrupt one payload byte inside the first segment.
+        frame[crate::engine::frame::HEADER_BYTES + crate::engine::frame::SEGMENT_HEADER_BYTES] ^=
+            0x55;
+
+        // Strict mode fails closed...
+        assert!(DecodeSession::new().decode_frame(&frame).is_err());
+        // ...salvage mode recovers everything else.
+        let report = DecodeSession::new().decode_frame_salvage(&frame).unwrap();
+        assert_eq!(report.trits.len(), big.len());
+        assert!(!report.is_full_recovery());
+        assert_eq!(report.damaged.len(), 1);
+        // The boolean toggle routes decode_frame through the same path.
+        let out = DecodeSession::new()
+            .salvage(true)
+            .decode_frame(&frame)
+            .unwrap();
+        assert_eq!(out, report.trits);
+    }
+
+    #[test]
+    fn limits_apply_to_frame_decoding() {
+        let (src, _) = sample();
+        let frame = Engine::builder().build().encode_frame(8, &src).unwrap();
+        let tight = DecodeLimits {
+            max_segment_trits: 1,
+            ..DecodeLimits::default()
+        };
+        assert!(matches!(
+            DecodeSession::new().limits(tight).decode_frame(&frame),
+            Err(DecodeError::LimitExceeded { .. })
+        ));
+        // Unlimited still decodes fine.
+        let out = DecodeSession::new()
+            .limits(DecodeLimits::unlimited())
+            .decode_frame(&frame)
+            .unwrap();
+        assert_eq!(out.len(), src.len());
     }
 
     #[test]

@@ -24,6 +24,19 @@ grep -q '^#!\[deny(clippy::unwrap_used)\]' crates/core/src/engine/mod.rs || {
     exit 1
 }
 
+# The untrusted-input parsers go further: no unwrap() *or* expect() at all
+# outside #[cfg(test)] in frame.rs (hostile bytes) and pool.rs (panic
+# isolation) — every failure there must be a typed error or a poisoned
+# result slot, never an abort.
+echo "==> frame/pool no-unwrap/expect guard"
+for f in crates/core/src/engine/frame.rs crates/core/src/engine/pool.rs; do
+    head=$(sed '/#\[cfg(test)\]/q' "$f")
+    if echo "$head" | grep -nE '\.(unwrap|expect)\(' >&2; then
+        echo "$f: unwrap()/expect() outside #[cfg(test)] is forbidden" >&2
+        exit 1
+    fi
+done
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -41,6 +54,12 @@ NINEC_THREADS=8 cargo test -q
 # passes with the obs feature (and every probe it gates) compiled out.
 echo "==> cargo test -q --workspace --no-default-features"
 cargo test -q --workspace --no-default-features
+
+# Fault-injection suite with the deterministic fail points armed: forced
+# worker panics, delays and torn writes inside the pool, at 1 and 8
+# threads (the feature only exists in test builds; see crates/core).
+echo "==> cargo test -q --test fault_injection --features failpoints"
+cargo test -q --test fault_injection --features failpoints
 
 # Release-binary smoke test of the stats plumbing on a tiny CKT profile:
 # generate -> compress --stats json must emit a JSON document with the
@@ -66,5 +85,28 @@ cmp "$smokedir/t4.9cf" "$smokedir/t1.9cf"
 ./target/release/ninec decompress "$smokedir/t4.9cf" -o "$smokedir/back.cubes" \
     --threads 4 --fill keep >/dev/null
 ./target/release/ninec info "$smokedir/t4.9cf" | grep -q '9CSF frame'
+
+# Salvage smoke test: corrupt the first payload byte (offset 47 =
+# 31-byte file header + 16-byte segment header; 0xFF is never a valid
+# packed-trit byte, so the write is guaranteed to be a real change).
+# Strict decompress must fail (exit 3); --salvage must write output and
+# exit 5 (partial recovery); info must print the damage map.
+echo "==> ninec --salvage smoke test"
+cp "$smokedir/t4.9cf" "$smokedir/corrupt.9cf"
+printf '\xff' | dd of="$smokedir/corrupt.9cf" bs=1 seek=47 conv=notrunc status=none
+if ./target/release/ninec decompress "$smokedir/corrupt.9cf" \
+    -o "$smokedir/strict.cubes" --fill keep >/dev/null 2>&1; then
+    echo "strict decompress of a corrupt frame must fail" >&2
+    exit 1
+fi
+rc=0
+./target/release/ninec decompress "$smokedir/corrupt.9cf" \
+    -o "$smokedir/salvaged.cubes" --salvage --fill keep >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 5 ]; then
+    echo "decompress --salvage on a damaged frame must exit 5, got $rc" >&2
+    exit 1
+fi
+test -s "$smokedir/salvaged.cubes"
+./target/release/ninec info "$smokedir/corrupt.9cf" | grep -q 'damaged segment'
 
 echo "CI OK"

@@ -1,0 +1,583 @@
+//! Deterministic fault-injection harness for the `9CSF` decode subsystem.
+//!
+//! Three layers of attack, all asserting the same *trichotomy*: for any
+//! mutated frame, decoding must either (a) reproduce the original stream,
+//! (b) return a typed error, or (c) — in salvage mode — return a
+//! [`SalvageReport`] whose damage map accurately covers the mutation.
+//! Never a panic, never a hang, never an allocation past [`DecodeLimits`].
+//!
+//! 1. an **exhaustive single-fault sweep**: every byte of a golden frame
+//!    × {each of the 8 bit flips, zero, 0xFF} plus truncation at every
+//!    length;
+//! 2. **proptest multi-fault campaigns**: random byte salads, multi-site
+//!    corruption, and segment-level splicing (drop / duplicate / swap);
+//! 3. a committed **corpus of nasty frames** (`tests/corpus/*.9cf`) —
+//!    allocation bombs, forged expansion headers, bad CRCs — replayed on
+//!    every run (regenerate with `CORPUS_BLESS=1`).
+//!
+//! With the `failpoints` feature the suite also forces worker panics,
+//! delays and torn writes *inside* the pool via
+//! [`ninec::engine::faultpoint`] and checks panic isolation at 1 and 8
+//! threads.
+
+use ninec::engine::frame::{self, DecodeLimits, ScanEntry, HEADER_BYTES, SEGMENT_HEADER_BYTES};
+use ninec::engine::Engine;
+use ninec::{DecodeError, FrameError};
+use ninec_testdata::gen::SyntheticProfile;
+use ninec_testdata::trit::{Trit, TritVec};
+use proptest::prelude::*;
+
+/// A small multi-segment golden frame plus its source stream.
+fn golden(seed: u64) -> (TritVec, Vec<u8>) {
+    let set = SyntheticProfile::new("fault", 24, 64, 0.72).generate(seed);
+    let stream = set.as_stream().clone();
+    let frame = engine(1)
+        .encode_frame(8, &stream)
+        .expect("golden frame encodes");
+    (stream, frame)
+}
+
+fn engine(threads: usize) -> Engine {
+    Engine::builder().threads(threads).segment_bits(256).build()
+}
+
+/// Care-bit-compatible equality: every care bit of `a` survives in `b`.
+fn covers(a: &TritVec, b: &TritVec) -> bool {
+    a.len() == b.len()
+        && (0..a.len()).all(|i| match a.get(i) {
+            Some(t) if t.is_care() => b.get(i) == Some(t),
+            _ => true,
+        })
+}
+
+/// The single-mutant trichotomy check, strict and salvage mode.
+///
+/// `mutated_at` is the byte offset the mutation touched (`None` for
+/// truncations, which have no single offset).
+fn check_mutant(original: &TritVec, clean: &[u8], mutant: &[u8], mutated_at: Option<usize>) {
+    // Strict mode: all 31 header bytes and every segment byte are CRC
+    // covered, so any real change is a typed error; a no-op "mutation"
+    // must still decode to the source.
+    match engine(2).decode_frame(mutant) {
+        Ok(out) => {
+            assert!(
+                covers(original, &out),
+                "strict decode silently accepted a corrupt frame (mutation at {mutated_at:?})"
+            );
+        }
+        Err(e) => {
+            // Typed error: rendering it must not panic either.
+            let _ = e.to_string();
+        }
+    }
+
+    // Salvage mode: file-level damage is fatal; anything at or past the
+    // first segment must yield a report with an accurate damage map.
+    match engine(2).decode_frame_salvage(mutant) {
+        Err(e) => {
+            let _ = e.to_string();
+            if let Some(at) = mutated_at {
+                assert!(
+                    at < HEADER_BYTES || mutant == clean,
+                    "salvage refused a frame whose file header is intact (mutation at {at})"
+                );
+            }
+        }
+        Ok(report) => {
+            assert_eq!(
+                report.trits.len(),
+                original.len(),
+                "salvage output length must match the header's source length"
+            );
+            if report.is_full_recovery() {
+                assert!(
+                    covers(original, &report.trits),
+                    "full recovery must reproduce the source (mutation at {mutated_at:?})"
+                );
+            } else {
+                // Damage map accuracy: the mutated byte lies inside some
+                // damaged byte range, and everything *outside* the damaged
+                // trit ranges matches the original stream.
+                if let Some(at) = mutated_at {
+                    assert!(
+                        report
+                            .damaged
+                            .iter()
+                            .any(|d| d.byte_range.contains(&at)
+                                || d.byte_range.start >= mutant.len()),
+                        "mutated byte {at} not covered by damage map {:?}",
+                        report
+                            .damaged
+                            .iter()
+                            .map(|d| d.byte_range.clone())
+                            .collect::<Vec<_>>()
+                    );
+                }
+                let mut damaged_trits = vec![false; original.len()];
+                for d in &report.damaged {
+                    for i in d.trit_range.clone() {
+                        if i < original.len() {
+                            damaged_trits[i] = true;
+                        }
+                    }
+                    // Erased spans come back as X.
+                    for i in d.trit_range.clone() {
+                        if let Some(t) = report.trits.get(i) {
+                            assert_eq!(
+                                t,
+                                Trit::X,
+                                "damaged trit {i} must be erased to X (mutation at {mutated_at:?})"
+                            );
+                        }
+                    }
+                }
+                for (i, damaged) in damaged_trits.iter().enumerate().take(original.len()) {
+                    if *damaged {
+                        continue;
+                    }
+                    if let Some(t) = original.get(i) {
+                        if t.is_care() {
+                            assert_eq!(
+                                report.trits.get(i),
+                                Some(t),
+                                "intact trit {i} changed (mutation at {mutated_at:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Every byte × {flip each of 8 bits, zero, 0xFF}: zero panics, zero
+/// hangs, salvage damage maps always cover the mutation.
+#[test]
+fn exhaustive_single_byte_mutation_sweep() {
+    let (original, clean) = golden(11);
+    assert!(engine(1).decode_frame(&clean).is_ok(), "golden frame sane");
+    for at in 0..clean.len() {
+        let mut patterns: Vec<u8> = (0..8).map(|b| clean[at] ^ (1 << b)).collect();
+        patterns.push(0x00);
+        patterns.push(0xFF);
+        for value in patterns {
+            if value == clean[at] {
+                continue; // identity "mutation"
+            }
+            let mut mutant = clean.clone();
+            mutant[at] = value;
+            check_mutant(&original, &clean, &mutant, Some(at));
+        }
+    }
+}
+
+/// Truncation at every possible length: typed error in strict mode,
+/// best-effort prefix recovery in salvage mode.
+#[test]
+fn exhaustive_truncation_sweep() {
+    let (original, clean) = golden(12);
+    for cut in 0..clean.len() {
+        let mutant = &clean[..cut];
+        check_mutant(&original, &clean, mutant, None);
+        if cut >= HEADER_BYTES + SEGMENT_HEADER_BYTES {
+            // Once the file header and at least one segment header fit,
+            // salvage must produce a full-length report.
+            let report = engine(1)
+                .decode_frame_salvage(mutant)
+                .expect("salvage survives truncation past the file header");
+            assert_eq!(report.trits.len(), original.len());
+        }
+    }
+}
+
+/// Appending garbage is detected in strict mode and mapped in salvage.
+#[test]
+fn trailing_garbage_is_detected() {
+    let (original, clean) = golden(13);
+    for extra in [1usize, 3, 16, 64] {
+        let mut mutant = clean.clone();
+        mutant.extend(std::iter::repeat_n(0xA5, extra));
+        assert!(
+            engine(1).decode_frame(&mutant).is_err(),
+            "{extra} garbage bytes accepted"
+        );
+        let report = engine(1).decode_frame_salvage(&mutant).unwrap();
+        assert_eq!(report.trits.len(), original.len());
+        assert!(covers(&original, &report.trits));
+    }
+}
+
+/// The limit guards hold under the sweep too: a tiny allocation budget
+/// turns every decode into a typed `LimitExceeded`, never an OOM.
+#[test]
+fn limits_bound_the_sweep() {
+    let (_, clean) = golden(14);
+    let starved = Engine::builder()
+        .limits(DecodeLimits {
+            max_segments: 2,
+            ..DecodeLimits::default()
+        })
+        .build();
+    assert!(matches!(
+        starved.decode_frame(&clean),
+        Err(DecodeError::LimitExceeded { .. }) | Err(DecodeError::Frame(_))
+    ));
+}
+
+/// Byte ranges of the clean frame's segments, via the salvage scanner.
+fn segment_ranges(clean: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let scan = frame::scan_salvage(clean, &DecodeLimits::default()).unwrap();
+    scan.entries
+        .iter()
+        .map(|e| match e {
+            ScanEntry::Intact { byte_range, .. } => byte_range.clone(),
+            ScanEntry::Damaged { .. } => panic!("golden frame must scan clean"),
+        })
+        .collect()
+}
+
+proptest! {
+    /// Random multi-site corruption (1–4 bytes): the trichotomy holds.
+    #[test]
+    fn multi_fault_campaign(
+        seed in 0u64..8,
+        offsets in proptest::collection::vec(0usize..4096, 1..4),
+        xors in proptest::collection::vec(1u8..255, 1..4)
+    ) {
+        let (original, clean) = golden(seed);
+        let mut mutant = clean.clone();
+        for (&at, &xor) in offsets.iter().zip(xors.iter()) {
+            let at = at % mutant.len();
+            mutant[at] ^= xor; // xor >= 1: never the identity
+        }
+        // Multi-fault damage maps may merge adjacent ranges, so only the
+        // trichotomy (not per-byte coverage) is asserted.
+        match engine(2).decode_frame(&mutant) {
+            Ok(out) => prop_assert_eq!(out.len(), original.len()),
+            Err(e) => { let _ = e.to_string(); }
+        }
+        if let Ok(report) = engine(2).decode_frame_salvage(&mutant) {
+            prop_assert_eq!(report.trits.len(), original.len());
+            prop_assert!(report.recovered_segments <= report.total_segments);
+        }
+    }
+
+    /// Segment splicing: drop, duplicate or swap whole segments. The
+    /// container carries no per-segment index, so a swap of equal-shape
+    /// segments may legally decode — but it must never panic, and any
+    /// success must honour the header's source length.
+    #[test]
+    fn splicing_campaign(seed in 0u64..4, op in 0usize..3, pick in 0usize..16) {
+        let (original, clean) = golden(seed);
+        let ranges = segment_ranges(&clean);
+        prop_assume!(ranges.len() >= 2);
+        let i = pick % ranges.len();
+        let j = (pick / ranges.len()) % ranges.len();
+        let mut mutant = Vec::with_capacity(clean.len() * 2);
+        mutant.extend_from_slice(&clean[..HEADER_BYTES]);
+        match op {
+            // Drop segment i.
+            0 => {
+                for (s, r) in ranges.iter().enumerate() {
+                    if s != i {
+                        mutant.extend_from_slice(&clean[r.clone()]);
+                    }
+                }
+            }
+            // Duplicate segment i in place.
+            1 => {
+                for (s, r) in ranges.iter().enumerate() {
+                    mutant.extend_from_slice(&clean[r.clone()]);
+                    if s == i {
+                        mutant.extend_from_slice(&clean[r.clone()]);
+                    }
+                }
+            }
+            // Swap segments i and j.
+            _ => {
+                for (s, r) in ranges.iter().enumerate() {
+                    let src = if s == i { &ranges[j] } else if s == j { &ranges[i] } else { r };
+                    mutant.extend_from_slice(&clean[src.clone()]);
+                }
+            }
+        }
+        match engine(2).decode_frame(&mutant) {
+            Ok(out) => prop_assert_eq!(out.len(), original.len()),
+            Err(e) => { let _ = e.to_string(); }
+        }
+        if let Ok(report) = engine(2).decode_frame_salvage(&mutant) {
+            // Salvage always honours the (CRC-valid) header's source length.
+            prop_assert_eq!(report.trits.len(), original.len());
+        }
+    }
+
+    /// Header transplants: graft the file header of one frame onto the
+    /// segments of another (different seed ⇒ different lengths).
+    #[test]
+    fn header_transplant_campaign(a in 0u64..4, b in 4u64..8) {
+        let (_, frame_a) = golden(a);
+        let (_, frame_b) = golden(b);
+        let mut mutant = frame_a[..HEADER_BYTES].to_vec();
+        mutant.extend_from_slice(&frame_b[HEADER_BYTES..]);
+        match engine(1).decode_frame(&mutant) {
+            Ok(out) => prop_assert_eq!(out.len(), engine_claimed_len(&mutant)),
+            Err(e) => { let _ = e.to_string(); }
+        }
+        if let Ok(report) = engine(1).decode_frame_salvage(&mutant) {
+            prop_assert_eq!(report.trits.len(), engine_claimed_len(&mutant));
+            // The transplanted segments still decode somewhere.
+            prop_assert!(report.total_segments >= report.recovered_segments);
+        }
+    }
+}
+
+/// The source length the (CRC-valid) file header claims.
+fn engine_claimed_len(bytes: &[u8]) -> usize {
+    let scan = frame::scan_salvage(bytes, &DecodeLimits::unlimited()).unwrap();
+    scan.source_len
+}
+
+// ---------------------------------------------------------------------------
+// Corpus replay: committed nasty frames under tests/corpus/.
+// ---------------------------------------------------------------------------
+
+/// Deterministically regenerates every corpus file. Run with
+/// `CORPUS_BLESS=1 cargo test -q corpus` after changing the frame format.
+fn corpus_files() -> Vec<(&'static str, Vec<u8>)> {
+    let (_, clean) = golden(99);
+    let lengths = ninec::code::CodeTable::paper().lengths();
+
+    // 1. Allocation bomb: header claims u32::MAX segments of a 2^40-trit
+    //    stream, but carries zero segment bytes.
+    let mut bomb = Vec::new();
+    frame::write_header(&mut bomb, lengths, u32::MAX, 1 << 40);
+
+    // 2. Bad CRC: one corrupted payload byte in segment 1.
+    let ranges = segment_ranges(&clean);
+    let mut bad_crc = clean.clone();
+    bad_crc[ranges[1].start + SEGMENT_HEADER_BYTES] ^= 0x0F;
+
+    // 3. Truncated tail: the last segment cut in half.
+    let last = ranges.last().unwrap();
+    let truncated = clean[..last.start + (last.end - last.start) / 2].to_vec();
+
+    // 4. Spliced: segment 0 duplicated, count header untouched.
+    let mut spliced = clean[..HEADER_BYTES].to_vec();
+    spliced.extend_from_slice(&clean[ranges[0].clone()]);
+    for r in &ranges {
+        spliced.extend_from_slice(&clean[r.clone()]);
+    }
+
+    // 5. Forged expansion: a CRC-valid segment whose header claims 2^20
+    //    source trits decoded from a 2-trit payload.
+    let mut forged = Vec::new();
+    frame::write_header(&mut forged, lengths, 1, 1 << 20);
+    let tiny: TritVec = "01".parse().unwrap();
+    frame::write_segment(&mut forged, 8, 1 << 20, &tiny).unwrap();
+
+    vec![
+        ("bomb_header.9cf", bomb),
+        ("bad_crc.9cf", bad_crc),
+        ("truncated_tail.9cf", truncated),
+        ("spliced.9cf", spliced),
+        ("forged_expansion.9cf", forged),
+    ]
+}
+
+#[test]
+fn corpus_replay() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let bless = std::env::var_os("CORPUS_BLESS").is_some();
+    let (original, clean) = golden(99);
+    for (name, bytes) in corpus_files() {
+        let path = dir.join(name);
+        if bless {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &bytes).unwrap();
+            continue;
+        }
+        let on_disk = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (regenerate with CORPUS_BLESS=1)", path.display()));
+        assert_eq!(
+            on_disk, bytes,
+            "{name} drifted from its generator; regenerate with CORPUS_BLESS=1"
+        );
+
+        // Replay through both modes. The in-place mutants of the golden
+        // frame get the full damage-map accuracy check; the structural
+        // ones (bomb, splice, forged header) get the trichotomy only —
+        // their segments are *valid*, just not where the header says.
+        match name {
+            "bad_crc.9cf" | "truncated_tail.9cf" => {
+                check_mutant(&original, &clean, &bytes, None);
+            }
+            _ => {
+                if let Ok(out) = engine(2).decode_frame(&bytes) {
+                    assert_eq!(out.len(), engine_claimed_len(&bytes), "{name}");
+                }
+                if let Ok(report) = engine(2).decode_frame_salvage(&bytes) {
+                    assert_eq!(report.trits.len(), engine_claimed_len(&bytes), "{name}");
+                }
+            }
+        }
+    }
+    if bless {
+        return;
+    }
+
+    // Pinned per-file expectations.
+    let read = |name: &str| std::fs::read(dir.join(name)).unwrap();
+
+    // The bomb is rejected before any allocation, in both modes.
+    let bomb = read("bomb_header.9cf");
+    assert!(matches!(
+        engine(1).decode_frame(&bomb),
+        Err(DecodeError::LimitExceeded { .. }) | Err(DecodeError::TruncatedStream { .. })
+    ));
+    assert!(engine(1).decode_frame_salvage(&bomb).is_err());
+
+    let bad = read("bad_crc.9cf");
+    assert!(matches!(
+        engine(1).decode_frame(&bad),
+        Err(DecodeError::Frame(FrameError::BadCrc { segment: 1 }))
+    ));
+    let report = engine(1).decode_frame_salvage(&bad).unwrap();
+    assert_eq!(report.damaged.len(), 1);
+    assert_eq!(report.damaged[0].index, 1);
+    assert_eq!(report.recovered_segments, report.total_segments - 1);
+
+    let trunc = read("truncated_tail.9cf");
+    assert!(matches!(
+        engine(1).decode_frame(&trunc),
+        Err(DecodeError::TruncatedStream { .. }) | Err(DecodeError::Frame(_))
+    ));
+    let report = engine(1).decode_frame_salvage(&trunc).unwrap();
+    assert_eq!(report.trits.len(), original.len());
+    assert!(!report.is_full_recovery());
+
+    let spliced = read("spliced.9cf");
+    assert!(engine(1).decode_frame(&spliced).is_err());
+    let report = engine(1).decode_frame_salvage(&spliced).unwrap();
+    assert_eq!(report.trits.len(), original.len());
+
+    let forged = read("forged_expansion.9cf");
+    assert!(engine(1).decode_frame(&forged).is_err());
+    assert!(
+        engine(1)
+            .decode_frame_salvage(&forged)
+            .map(|r| r.trits.len())
+            .unwrap_or(1 << 20)
+            == 1 << 20,
+        "forged expansion must not shrink the claimed output silently"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint-armed tests: forced worker panics, delays and torn writes.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "failpoints")]
+mod failpoints {
+    use super::*;
+    use ninec::engine::faultpoint::{Action, FailPoint, SITE_SEG};
+
+    fn seg_point(index: Option<usize>, action: Action) -> FailPoint {
+        FailPoint {
+            site: SITE_SEG.to_string(),
+            index,
+            action,
+        }
+    }
+
+    fn armed(threads: usize, point: FailPoint) -> Engine {
+        Engine::builder()
+            .threads(threads)
+            .segment_bits(256)
+            .failpoint(point)
+            .build()
+    }
+
+    /// A forced panic in segment 5's worker: strict mode reports
+    /// `WorkerPanicked { segment: 5 }`, salvage maps exactly that segment
+    /// as damaged — and every other segment is recovered unchanged — at
+    /// both 1 and 8 threads.
+    #[test]
+    fn forced_worker_panic_is_isolated() {
+        let (original, clean) = golden(21);
+        let total = segment_ranges(&clean).len();
+        assert!(total > 5, "need at least 6 segments");
+        for threads in [1usize, 8] {
+            let eng = armed(threads, seg_point(Some(5), Action::Panic));
+            match eng.decode_frame(&clean) {
+                Err(DecodeError::WorkerPanicked { segment: 5 }) => {}
+                other => panic!("threads={threads}: expected WorkerPanicked, got {other:?}"),
+            }
+
+            let report = eng.decode_frame_salvage(&clean).unwrap();
+            assert_eq!(report.trits.len(), original.len(), "threads={threads}");
+            assert_eq!(report.damaged.len(), 1, "threads={threads}");
+            assert_eq!(report.damaged[0].index, 5);
+            assert!(matches!(
+                report.damaged[0].reason,
+                ninec::DamageReason::WorkerPanicked
+            ));
+            assert_eq!(report.recovered_segments, total - 1);
+            // Everything outside the panicked segment is byte-identical.
+            for i in 0..original.len() {
+                if report.damaged[0].trit_range.contains(&i) {
+                    assert_eq!(report.trits.get(i), Some(Trit::X));
+                } else if let Some(t) = original.get(i) {
+                    if t.is_care() {
+                        assert_eq!(report.trits.get(i), Some(t), "trit {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wildcard panic (`seg:*:panic`): every slot poisons independently,
+    /// the pool still terminates, and salvage erases everything.
+    #[test]
+    fn all_workers_panicking_still_terminates() {
+        let (original, clean) = golden(22);
+        for threads in [1usize, 8] {
+            let eng = armed(threads, seg_point(None, Action::Panic));
+            assert!(matches!(
+                eng.decode_frame(&clean),
+                Err(DecodeError::WorkerPanicked { segment: 0 })
+            ));
+            let report = eng.decode_frame_salvage(&clean).unwrap();
+            assert_eq!(report.recovered_segments, 0);
+            assert_eq!(report.trits.len(), original.len());
+            assert!(report.trits.iter().all(|t| t == Trit::X));
+        }
+    }
+
+    /// A delayed segment changes timing, never results: output equals
+    /// the undelayed decode at every thread count.
+    #[test]
+    fn delay_changes_timing_not_results() {
+        let (original, clean) = golden(23);
+        for threads in [1usize, 8] {
+            let eng = armed(threads, seg_point(Some(2), Action::Delay { millis: 5 }));
+            let out = eng.decode_frame(&clean).unwrap();
+            assert!(covers(&original, &out));
+        }
+    }
+
+    /// A torn write past the CRC (Corrupt) yields *wrong data with no
+    /// error* — exactly the failure class CRCs cannot catch — and the
+    /// differential against the clean decode pins it to one trit.
+    #[test]
+    fn torn_write_corrupts_exactly_one_trit() {
+        let (_, clean) = golden(24);
+        let clean_out = engine(1).decode_frame(&clean).unwrap();
+        let eng = armed(1, seg_point(Some(0), Action::Corrupt));
+        let torn = eng.decode_frame(&clean).unwrap();
+        assert_eq!(torn.len(), clean_out.len());
+        let diffs: Vec<usize> = (0..torn.len())
+            .filter(|&i| torn.get(i) != clean_out.get(i))
+            .collect();
+        assert_eq!(diffs, vec![0], "torn write must flip exactly trit 0");
+    }
+}

@@ -67,6 +67,45 @@ fn readme_parallel_engine_example_runs() {
     parallel_engine_snippet().unwrap();
 }
 
+/// Mirrors the README "Fault tolerance & salvage" snippet verbatim
+/// (modulo the `println!`, elided to keep test output quiet).
+fn salvage_snippet() -> Result<(), Box<dyn std::error::Error>> {
+    use ninec::engine::{DecodeLimits, Engine};
+    use ninec::session::DecodeSession;
+    use ninec_testdata::trit::TritVec;
+
+    let stream: TritVec = "0X0X00XX1111X11101X0".repeat(100).parse()?;
+    let mut frame = Engine::builder()
+        .segment_bits(256)
+        .build()
+        .encode_frame(8, &stream)?;
+    frame[47] ^= 0x55; // corrupt one payload byte -> that segment's CRC fails
+
+    // Strict mode stays fail-closed: corruption is a typed error.
+    assert!(DecodeSession::new().decode_frame(&frame).is_err());
+
+    // Salvage mode recovers every intact segment; damage becomes X runs.
+    let report = DecodeSession::new().decode_frame_salvage(&frame)?;
+    assert!(!report.is_full_recovery());
+    assert_eq!(report.trits.len(), stream.len()); // full length, holes are X
+    for d in &report.damaged {
+        let _ = (d.index, &d.byte_range, &d.reason);
+    }
+
+    // Resource-limit guards reject hostile headers *before* allocating.
+    let limits = DecodeLimits {
+        max_segment_trits: 1 << 16,
+        ..DecodeLimits::default()
+    };
+    let _ = DecodeSession::new().limits(limits).decode_frame(&frame);
+    Ok(())
+}
+
+#[test]
+fn readme_salvage_example_runs() {
+    salvage_snippet().unwrap();
+}
+
 /// Mirrors the README "Quick start" compress-in-code snippet (modulo the
 /// `println!`).
 fn quick_start_snippet() -> Result<(), Box<dyn std::error::Error>> {

@@ -119,6 +119,131 @@ fn decode_with_wrong_k_fails_or_mismatches_but_never_panics() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Segmented-stream corruption: every codec in the Table IV registry.
+// ---------------------------------------------------------------------------
+
+/// A shared test stream with enough structure for every codec.
+fn registry_stream(seed: u64) -> TritVec {
+    ninec_testdata::gen::SyntheticProfile::new("seg-fuzz", 12, 64, 0.75)
+        .generate(seed)
+        .as_stream()
+        .clone()
+}
+
+/// `decode_segmented` on a mutated stream must return a typed error or a
+/// stream of the claimed length — never panic. Success with unchanged
+/// claimed lengths must still cover the original source's care bits only
+/// when nothing was actually mutated; a corrupt payload may legally
+/// decode to *different* data of the right length (fill-based codes have
+/// no integrity check), which is exactly what this pins down.
+fn assert_error_or_claimed_length(
+    codec: &dyn ninec_baselines::codec::TestDataCodec,
+    mutated: &ninec_baselines::codec::SegmentedStream,
+) {
+    match codec.decode_segmented(mutated, 2) {
+        Ok(out) => assert_eq!(
+            out.len(),
+            mutated.source_len(),
+            "{}: wrong decoded length",
+            codec.name()
+        ),
+        Err(e) => assert!(!e.to_string().is_empty(), "{}", codec.name()),
+    }
+}
+
+#[test]
+fn every_registry_codec_survives_segment_mutations() {
+    use ninec_baselines::codec::SegmentedStream;
+    use ninec_baselines::registry::table4_registry;
+
+    let stream = registry_stream(5);
+    for codec in table4_registry(8).unwrap() {
+        let encoded = codec.encode_segmented(&stream, 2, 128);
+        let segs = encoded.segments().to_vec();
+        assert!(segs.len() >= 2, "{}: want multiple segments", codec.name());
+
+        // Clean reassembly sanity: mutation-free from_segments roundtrips.
+        let rebuilt = SegmentedStream::from_segments(segs.clone());
+        let back = codec.decode_segmented(&rebuilt, 2).unwrap();
+        assert_eq!(back.len(), stream.len(), "{}", codec.name());
+
+        // Truncate each segment's payload at several depths.
+        for (i, seg) in segs.iter().enumerate() {
+            for keep in [0usize, 1, 7] {
+                let mut mutated = segs.clone();
+                mutated[i] = seg.truncated(keep);
+                assert_error_or_claimed_length(
+                    codec.as_ref(),
+                    &SegmentedStream::from_segments(mutated),
+                );
+            }
+        }
+
+        // Flip symbols across every segment.
+        for (i, seg) in segs.iter().enumerate() {
+            for flip in [0usize, 3, 17, 63] {
+                let mut mutated = segs.clone();
+                mutated[i] = seg.with_flipped_symbol(flip);
+                assert_error_or_claimed_length(
+                    codec.as_ref(),
+                    &SegmentedStream::from_segments(mutated),
+                );
+            }
+        }
+
+        // Header/payload mismatch: lie about each segment's source length.
+        for (i, seg) in segs.iter().enumerate() {
+            for lie in [0usize, 1, 1000] {
+                let mut mutated = segs.clone();
+                mutated[i] = seg.with_source_len(lie);
+                assert_error_or_claimed_length(
+                    codec.as_ref(),
+                    &SegmentedStream::from_segments(mutated),
+                );
+            }
+        }
+
+        // Structural splices: drop, duplicate, reverse.
+        let dropped: Vec<_> = segs[1..].to_vec();
+        assert_error_or_claimed_length(codec.as_ref(), &SegmentedStream::from_segments(dropped));
+        let mut duplicated = segs.clone();
+        duplicated.push(segs[0].clone());
+        assert_error_or_claimed_length(codec.as_ref(), &SegmentedStream::from_segments(duplicated));
+        let mut reversed = segs.clone();
+        reversed.reverse();
+        assert_error_or_claimed_length(codec.as_ref(), &SegmentedStream::from_segments(reversed));
+    }
+}
+
+#[test]
+fn cross_codec_splicing_never_panics() {
+    use ninec_baselines::codec::SegmentedStream;
+    use ninec_baselines::registry::table4_registry;
+
+    let stream = registry_stream(6);
+    let registry = table4_registry(8).unwrap();
+    let encoded: Vec<_> = registry
+        .iter()
+        .map(|c| c.encode_segmented(&stream, 1, 128))
+        .collect();
+    // Graft segment 0 of every codec into every *other* codec's stream —
+    // a dictionary payload fed to FDR, 9C trits fed to Golomb, etc.
+    for (donor_i, donor) in encoded.iter().enumerate() {
+        for (host_i, host) in encoded.iter().enumerate() {
+            if donor_i == host_i {
+                continue;
+            }
+            let mut segs = host.segments().to_vec();
+            segs[0] = donor.segments()[0].clone();
+            assert_error_or_claimed_length(
+                registry[host_i].as_ref(),
+                &SegmentedStream::from_segments(segs),
+            );
+        }
+    }
+}
+
 #[test]
 fn corrupt_trit_stream_decode_reports_x_in_codeword() {
     use ninec::decode::DecodeError;
