@@ -31,6 +31,7 @@ use ninec_testdata::trit::TritVec;
 #[derive(Debug, Clone)]
 pub struct NineCoded {
     encoder: Encoder,
+    parity: Option<(u8, u8)>,
 }
 
 impl NineCoded {
@@ -42,12 +43,29 @@ impl NineCoded {
     pub fn new(k: usize) -> Result<Self, InvalidBlockSize> {
         Ok(Self {
             encoder: Encoder::new(k)?,
+            parity: None,
         })
     }
 
     /// Wraps a configured encoder (custom table or case selection).
     pub fn with_encoder(encoder: Encoder) -> Self {
-        Self { encoder }
+        Self {
+            encoder,
+            parity: None,
+        }
+    }
+
+    /// Emits erasure-coded v3 frames: every interleaved group of `g` data
+    /// segments gets `r` GF(256) parity segments, so up to `r` lost
+    /// segments per group rebuild bit-exact at decode time. `r = 0`
+    /// disables parity (plain v2 frames, the default). The geometry is a
+    /// straight pass-through to [`Engine::parity`] — invalid values
+    /// surface as [`EncodeFrameError::Parity`] from
+    /// [`encode_frame`](NineCoded::encode_frame).
+    #[must_use]
+    pub fn parity(mut self, g: u8, r: u8) -> Self {
+        self.parity = if r == 0 { None } else { Some((g, r)) };
+        self
     }
 
     /// Block size `K`.
@@ -92,12 +110,32 @@ impl NineCoded {
             .decode_frame(bytes)
     }
 
+    /// Runs the full decode ladder (strict → parity repair → salvage) on
+    /// a possibly damaged frame and returns the [`SalvageReport`] — the
+    /// harness-side entry to the v3 erasure-coding story.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`DecodeError`] on file-level damage (bad magic, torn
+    /// header); segment-level damage comes back in the report instead.
+    pub fn decode_frame_repair(
+        &self,
+        bytes: &[u8],
+        threads: usize,
+    ) -> Result<ninec::engine::SalvageReport, DecodeError> {
+        self.engine(threads, ninec::engine::DEFAULT_SEGMENT_BITS)
+            .decode_frame_repair(bytes)
+    }
+
     fn engine(&self, threads: usize, segment_bits: usize) -> Engine {
-        Engine::builder()
+        let mut builder = Engine::builder()
             .threads(threads)
             .segment_bits(segment_bits)
-            .table(self.encoder.table().clone())
-            .build()
+            .table(self.encoder.table().clone());
+        if let Some((g, r)) = self.parity {
+            builder = builder.parity(g, r);
+        }
+        builder.build()
     }
 }
 
@@ -160,6 +198,33 @@ mod tests {
         assert!(adapter
             .decode_frame(&serial[..serial.len() - 1], 2)
             .is_err());
+    }
+
+    #[test]
+    fn parity_passthrough_repairs_a_lost_segment() {
+        let stream: TritVec = "0X0X0X1XX01110000000001XXXX10X0X"
+            .repeat(16)
+            .parse()
+            .unwrap();
+        let plain = NineCoded::new(8).unwrap();
+        let protected = NineCoded::new(8).unwrap().parity(2, 1);
+        let v2 = plain.encode_frame(&stream, 1, 128).unwrap();
+        let v3 = protected.encode_frame(&stream, 1, 128).unwrap();
+        assert!(v3.len() > v2.len(), "parity adds overhead");
+        let clean = protected.decode_frame(&v3, 2).unwrap();
+
+        // Corrupt one payload byte of the first data segment.
+        let mut bad = v3.clone();
+        bad[ninec::engine::frame::HEADER_BYTES_V3 + ninec::engine::frame::SEGMENT_HEADER_BYTES] ^=
+            0x55;
+        assert!(protected.decode_frame(&bad, 2).is_err(), "strict rejects");
+        let report = protected.decode_frame_repair(&bad, 2).unwrap();
+        assert!(report.is_full_recovery(), "{:?}", report.damaged);
+        assert_eq!(report.trits, clean, "repair is bit-exact");
+
+        // `r = 0` keeps emitting plain v2 bytes.
+        let degenerate = NineCoded::new(8).unwrap().parity(4, 0);
+        assert_eq!(degenerate.encode_frame(&stream, 1, 128).unwrap(), v2);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use ninec_bench::datasets::ibm_datasets;
 use ninec_bench::throughput::{
-    bench_core_json, measure, measure_engine_scaling, measure_obs_overhead, EngineScalingRow,
-    ObsOverheadRow, ThroughputRow,
+    bench_core_json, measure, measure_ecc_repair, measure_engine_scaling, measure_obs_overhead,
+    EccRepairRow, EngineScalingRow, ObsOverheadRow, ThroughputRow,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -82,6 +82,25 @@ fn main() {
         );
         scaling_rows.push(row);
     }
+    // Erasure-coding cost: v3 parity encode overhead vs plain v2, and the
+    // repair-ladder decode throughput on a frame with one corrupted data
+    // segment (bit-exactness asserted inside the measurement). g=4,r=1 is
+    // the README/CLI example geometry; the 8-thread row shows the repair
+    // path scales with the pool like strict decode does.
+    let mut ecc_rows: Vec<EccRepairRow> = Vec::new();
+    for threads in [1usize, 8] {
+        let row = measure_ecc_repair(&ibm[0].name, ckt1, 8, threads, 1 << 20, (4, 1), 3);
+        eprintln!(
+            "{} K=8 threads={:<2} parity 4:1 encode {:>8.1} Mbit/s ({:+.1}% vs v2, +{:.2}% bytes), repair {:>8.1} Mbit/s",
+            row.circuit,
+            row.threads,
+            row.parity_encode_mbit_s,
+            -row.encode_overhead_pct(),
+            row.size_overhead_pct(),
+            row.repair_decode_mbit_s
+        );
+        ecc_rows.push(row);
+    }
     // Fault-tolerance counters: corrupt one payload byte of a CKT1 frame,
     // watch strict decode reject it (crc_failures), salvage it
     // (salvaged_segments), and reject a decode under a hostile limit
@@ -124,11 +143,50 @@ fn main() {
             report.total_segments,
             report.damaged.len()
         );
+        // Repair-failure counter: damage beyond the parity budget (two
+        // segments of the same g=4,r=1 group) makes the ladder fall
+        // through to salvage, so `ninec.ecc.repair_failures` is nonzero
+        // and tracked in the committed OBS snapshot. The small stream
+        // keeps this cheap; 8 segments at g=4 give 2 interleaved groups.
+        let small = ninec_testdata::gen::SyntheticProfile::new("obs-ecc", 16, 512, 0.85)
+            .generate(1)
+            .as_stream()
+            .clone();
+        let protected = Engine::builder()
+            .threads(1)
+            .segment_bits(1 << 10)
+            .parity(4, 1)
+            .build();
+        let mut v3 = protected.encode_frame(8, &small).expect("encode v3");
+        let scan = ninec::engine::frame::scan_salvage(&v3, &DecodeLimits::default())
+            .expect("scan own frame");
+        let data: Vec<_> = scan
+            .entries
+            .iter()
+            .filter_map(|e| match e {
+                ninec::engine::frame::ScanEntry::Intact { byte_range, .. } => {
+                    Some(byte_range.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        let groups = scan.groups();
+        // Two data segments of group 0: indices 0 and `groups`.
+        for idx in [0, groups] {
+            v3[data[idx].start + SEGMENT_HEADER_BYTES] ^= 0x55;
+        }
+        let report = protected
+            .decode_frame_repair(&v3)
+            .expect("file headers intact");
+        assert!(
+            !report.is_full_recovery(),
+            "over-budget damage must not fully repair"
+        );
     }
     if let Some(dir) = out.parent() {
         fs::create_dir_all(dir).expect("create results dir");
     }
-    let doc = bench_core_json(&rows, &obs_rows, &scaling_rows);
+    let doc = bench_core_json(&rows, &obs_rows, &scaling_rows, &ecc_rows);
     let text = serde_json::to_string_pretty(&doc).expect("serialize results");
     fs::write(&out, text + "\n").expect("write results");
     println!("wrote {}", out.display());

@@ -114,9 +114,9 @@ ninec — nine-coded scan test-data compression (DATE 2004)
 USAGE:
     ninec compress   <in.cubes> -o <out.te|out.9cf> [-k <even>=8]
                      [--fill zero|one|random|mt|keep] [--seed <n>] [--freq-directed]
-                     [--threads <n>] [--segment-bits <n>]
-    ninec decompress <in.te|in.9cf> -o <out.cubes> [--fill zero|one|random|mt|keep]
-                     [--seed <n>] [--threads <n>] [--salvage]
+                     [--threads <n>] [--segment-bits <n>] [--parity <g>:<r>]
+    ninec decompress <in.te|in.9cf|-> -o <out.cubes> [--fill zero|one|random|mt|keep]
+                     [--seed <n>] [--threads <n>] [--salvage] [--no-repair]
     ninec info       <file.cubes|file.te|file.9cf>
     ninec generate   <s5378|s9234|s13207|s15850|s38417|s38584|custom:P,L,X%>
                      -o <out.cubes> [--seed <n>]
@@ -134,14 +134,38 @@ PARALLEL ENGINE:
     An output path ending in `.9cf` selects the binary segment-frame
     container (parallel decode); anything else writes the textual `.te`
     format. `.9cf` frames always keep leftover don't-cares — bind them at
-    decompress time with `--fill`. `decompress` sniffs the input format.
-    --salvage           decode a damaged `.9cf` frame best-effort: CRC-valid
+    decompress time with `--fill`. `decompress` sniffs the input format,
+    and reads the frame from stdin when the input is `-` (bounded-memory
+    streaming decode, so `cat big.9cf | ninec decompress -` works from a
+    pipe).
+
+REPAIR AND SALVAGE (binary `.9cf` frames):
+    --parity <g>:<r>    protect every interleaved group of <g> data
+                        segments with <r> GF(256) Reed-Solomon parity
+                        segments (a v3 frame; up to <r> lost or corrupted
+                        segments per group are rebuilt bit-exact at
+                        decompress time). `--parity 1:1` duplicates every
+                        segment; `0:0` (default) writes a plain v2 frame.
+    `decompress` climbs a three-stage ladder: strict decode first; on
+    damage it rebuilds what the parity budget covers (repair); whatever
+    repair cannot rebuild is salvaged as don't-care spans when --salvage
+    is given.
+    --no-repair         skip the repair stage (strict, or strict-then-
+                        salvage with --salvage)
+    --salvage           keep going past unrepairable damage: CRC-valid
                         segments are recovered, damaged spans come back as
-                        don't-cares (then `--fill` applies). Exit code 0 when
-                        everything was intact, 5 when output was written but
-                        segments were lost (the damage map goes to stderr).
-    `info` on a `.9cf` frame prints the per-segment damage map when the
-    frame is corrupt instead of failing on the first bad segment.
+                        don't-cares (then `--fill` applies), and the damage
+                        map goes to stderr.
+    `info` on a `.9cf` frame prints the parity geometry and the
+    per-segment damage map when the frame is corrupt instead of failing
+    on the first bad segment.
+
+EXIT CODES:
+    0   success — including a damaged frame fully rebuilt by repair
+    2   usage error (bad flags or arguments)
+    3   operation failed on valid arguments (corrupt input, no output)
+    4   i/o error
+    5   partial recovery: --salvage wrote output but segments were lost
 
 GLOBAL FLAGS (any command):
     --stats text|json   after the command succeeds, print the telemetry
@@ -284,6 +308,8 @@ struct Opts {
     threads: Option<usize>,
     segment_bits: Option<usize>,
     salvage: bool,
+    no_repair: bool,
+    parity: Option<(u8, u8)>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -347,9 +373,37 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 }
                 opts.segment_bits = Some(n);
             }
+            "--parity" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--parity needs <g>:<r>".into()))?;
+                let (g, r) = v
+                    .split_once(':')
+                    .ok_or_else(|| CliError::Usage(format!("--parity wants <g>:<r>, got {v:?}")))?;
+                let g: u8 = g
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --parity group size {g:?}")))?;
+                let r: u8 = r
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --parity shard count {r:?}")))?;
+                if r > 0 && g == 0 {
+                    return Err(CliError::Usage(
+                        "--parity group size must be >= 1 when parity is on".into(),
+                    ));
+                }
+                if g as usize + r as usize > 255 {
+                    return Err(CliError::Usage(format!(
+                        "--parity {g}:{r} exceeds the GF(256) shard budget (g + r <= 255)"
+                    )));
+                }
+                opts.parity = Some((g, r));
+            }
             "--freq-directed" => opts.freq_directed = true,
             "--salvage" => opts.salvage = true,
+            "--no-repair" => opts.no_repair = true,
             "--tb" | "--testbench" => opts.testbench = true,
+            // A bare `-` is the stdin pseudo-path, not a flag.
+            "-" => opts.positional.push(a.clone()),
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag {flag:?}")))
             }
@@ -402,6 +456,9 @@ fn engine_from_opts(opts: &Opts) -> Engine {
     if let Some(bits) = opts.segment_bits {
         builder = builder.segment_bits(bits);
     }
+    if let Some((g, r)) = opts.parity {
+        builder = builder.parity(g, r);
+    }
     builder.build()
 }
 
@@ -436,15 +493,24 @@ fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         fs::write(out_path, &bytes)?;
         writeln!(
             out,
-            "{input}: {} -> {} bits (CR {:.2}%), 9CSF frame, {} threads",
+            "{input}: {} -> {} bits (CR {:.2}%), 9CSF frame, {} threads{}",
             cubes.total_bits(),
             bytes.len() * 8,
             (cubes.total_bits() as f64 - (bytes.len() * 8) as f64)
                 / cubes.total_bits().max(1) as f64
                 * 100.0,
             engine.threads(),
+            match engine.parity() {
+                Some((g, r)) => format!(", parity {g}:{r}"),
+                None => String::new(),
+            },
         )?;
         return Ok(());
+    }
+    if opts.parity.is_some() {
+        return Err(CliError::Usage(
+            "--parity applies to the binary .9cf frame container only".into(),
+        ));
     }
     let encoded = if opts.freq_directed {
         encode_frequency_directed(k, cubes.as_stream())
@@ -484,47 +550,99 @@ fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Formats a [`SalvageReport`] damage map for the stderr report.
+fn damage_map(input: &str, report: &ninec::engine::SalvageReport) -> String {
+    let mut msg = format!(
+        "{input}: salvaged {}/{} segments; damaged:",
+        report.recovered_segments, report.total_segments,
+    );
+    for d in &report.damaged {
+        msg.push_str(&format!(
+            "\n  segment {} bytes {}..{} trits {}..{}: {}",
+            d.index,
+            d.byte_range.start,
+            d.byte_range.end,
+            d.trit_range.start,
+            d.trit_range.end,
+            d.reason,
+        ));
+    }
+    msg
+}
+
 fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let input = one_input(&opts)?;
-    let bytes = fs::read(input)?;
     let mut damage: Option<String> = None;
-    let (mut decoded, te_pattern_len) = if frame::is_frame(&bytes) {
+    let mut repaired: usize = 0;
+    if input == "-" {
+        // Stdin: bounded-memory streaming decode straight off the pipe.
+        // Streaming is strict-only — repair needs random access to the
+        // whole frame (parity groups interleave across it).
+        if opts.salvage {
+            return Err(CliError::Usage(
+                "--salvage needs the whole frame; pipe it to a file first \
+                 or pass a path instead of -"
+                    .into(),
+            ));
+        }
+        let engine = engine_from_opts(&opts);
+        let stdin = std::io::stdin();
+        let decoded = engine.decode_stream(stdin.lock()).map_err(|e| match e {
+            ninec::engine::ReadError::Io(io) => CliError::Io(io),
+            other => CliError::Failed(format!("<stdin>: {other}")),
+        })?;
+        return write_decompressed(&opts, out, "<stdin>", decoded, 0, None, 0);
+    }
+    let bytes = fs::read(input)?;
+    let (decoded, te_pattern_len) = if frame::is_frame(&bytes) {
         // Binary 9CSF frame: self-describing (K, table, segment bounds),
-        // decoded in parallel by the session's sharded engine.
+        // decoded in parallel by the session's sharded engine. Damaged
+        // frames climb the ladder: strict -> repair (unless --no-repair)
+        // -> salvage (only kept when --salvage allows lossy output).
         let mut session = DecodeSession::new();
         if let Some(threads) = opts.threads {
             session = session.threads(threads);
         }
-        let decoded = if opts.salvage {
-            // Best-effort: keep every CRC-valid segment, materialize the
-            // rest as X (bound below by --fill like any other leftover X).
-            let report = session
-                .decode_frame_salvage(&bytes)
-                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
-            if !report.is_full_recovery() {
-                let mut msg = format!(
-                    "{input}: salvaged {}/{} segments; damaged:",
-                    report.recovered_segments, report.total_segments,
-                );
-                for d in &report.damaged {
-                    msg.push_str(&format!(
-                        "\n  segment {} bytes {}..{} trits {}..{}: {}",
-                        d.index,
-                        d.byte_range.start,
-                        d.byte_range.end,
-                        d.trit_range.start,
-                        d.trit_range.end,
-                        d.reason,
-                    ));
+        let decoded = match session.decode_frame(&bytes) {
+            Ok(trits) => trits,
+            Err(strict_err) => {
+                let report = if opts.no_repair {
+                    session.decode_frame_salvage(&bytes)
+                } else {
+                    session.decode_frame_repair(&bytes)
                 }
-                damage = Some(msg);
+                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+                repaired = report
+                    .damaged
+                    .iter()
+                    .filter(|d| d.reason.is_repaired())
+                    .count();
+                if report.is_full_recovery() {
+                    // Every damaged segment was rebuilt bit-exact from
+                    // parity (or cost no output trits): full recovery,
+                    // exit 0.
+                    report.trits
+                } else if opts.salvage {
+                    // Best-effort: keep every CRC-valid or rebuilt
+                    // segment, materialize the rest as X (bound below by
+                    // --fill like any other leftover X).
+                    damage = Some(damage_map(input, &report));
+                    report.trits
+                } else {
+                    return Err(CliError::Failed(format!(
+                        "{input}: {strict_err}{}; {}/{} segments are recoverable — \
+                         re-run with --salvage to keep them (damaged spans decode as X)",
+                        if opts.no_repair {
+                            ""
+                        } else {
+                            " (and parity could not rebuild all damage)"
+                        },
+                        report.recovered_segments,
+                        report.total_segments,
+                    )));
+                }
             }
-            report.trits
-        } else {
-            session
-                .decode_frame(&bytes)
-                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?
         };
         (decoded, 0)
     } else {
@@ -541,7 +659,23 @@ fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
         (decoded, te.pattern_len)
     };
-    if let Some(strategy) = fill_strategy(&opts)? {
+    write_decompressed(&opts, out, input, decoded, te_pattern_len, damage, repaired)
+}
+
+/// Shared tail of `decompress`: bind leftover X, shape into patterns,
+/// write the cube file and the summary line, and map a lossy salvage to
+/// [`CliError::PartialRecovery`] (exit 5) *after* the output exists.
+#[allow(clippy::too_many_arguments)]
+fn write_decompressed(
+    opts: &Opts,
+    out: &mut dyn Write,
+    input: &str,
+    mut decoded: ninec_testdata::trit::TritVec,
+    te_pattern_len: usize,
+    damage: Option<String>,
+    repaired: usize,
+) -> Result<(), CliError> {
+    if let Some(strategy) = fill_strategy(opts)? {
         decoded = fill_trits(&decoded, strategy);
     }
     let pattern_len = if te_pattern_len > 0 {
@@ -556,12 +690,17 @@ fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         )));
     }
     let set = TestSet::from_stream(pattern_len, decoded);
-    ninec_testdata::io::write_test_set_file(output(&opts)?, &set)?;
+    ninec_testdata::io::write_test_set_file(output(opts)?, &set)?;
     writeln!(
         out,
-        "{input}: decoded {} patterns x {} cells{}",
+        "{input}: decoded {} patterns x {} cells{}{}",
         set.num_patterns(),
         set.pattern_len(),
+        if repaired > 0 {
+            format!(" ({repaired} segments rebuilt from parity)")
+        } else {
+            String::new()
+        },
         if damage.is_some() {
             " (partial recovery)"
         } else {
@@ -598,6 +737,36 @@ fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 * 100.0,
             scan.table_lengths,
         )?;
+        if scan.parity_r > 0 {
+            // v3: report the parity-group geometry and how much of the
+            // repair budget is still standing.
+            let groups = scan.groups();
+            let parity_found = scan
+                .entries
+                .iter()
+                .filter(|e| matches!(e, frame::ScanEntry::Parity { .. }))
+                .count();
+            let parity_bytes: usize = scan
+                .entries
+                .iter()
+                .filter(|e| matches!(e, frame::ScanEntry::Parity { .. }))
+                .map(|e| e.byte_range().len())
+                .sum();
+            writeln!(
+                out,
+                "  parity {}:{} — {} interleaved groups, {}/{} parity segments intact \
+                 ({} parity bytes, {:.2}% overhead); up to {} lost segments per group \
+                 rebuild bit-exact",
+                scan.parity_g,
+                scan.parity_r,
+                groups,
+                parity_found,
+                groups * scan.parity_r as usize,
+                parity_bytes,
+                parity_bytes as f64 / (bytes.len().max(1)) as f64 * 100.0,
+                scan.parity_r,
+            )?;
+        }
         for (i, entry) in scan.entries.iter().enumerate() {
             if let frame::ScanEntry::Damaged {
                 byte_range, reason, ..
@@ -1290,6 +1459,167 @@ mod tests {
             run_err(&["compress", "x", "-o", "y", "--segment-bits"]),
             CliError::Usage(_)
         ));
+    }
+
+    #[test]
+    fn usage_documents_the_full_exit_code_contract() {
+        // The doc and the implementation must not drift: every error
+        // class's exit code appears in the USAGE text exactly as
+        // `CliError::exit_code` reports it, plus success (0).
+        assert!(USAGE.contains("EXIT CODES"), "{USAGE}");
+        let documented: Vec<(u8, CliError)> = vec![
+            (2, CliError::Usage("x".into())),
+            (3, CliError::Failed("x".into())),
+            (4, CliError::Io(std::io::Error::other("x"))),
+            (5, CliError::PartialRecovery("x".into())),
+        ];
+        assert!(
+            USAGE.contains("\n    0   success"),
+            "success line missing:\n{USAGE}"
+        );
+        for (code, err) in documented {
+            assert_eq!(err.exit_code(), code, "{err:?}");
+            assert!(
+                USAGE.contains(&format!("\n    {code}   ")),
+                "exit code {code} not documented:\n{USAGE}"
+            );
+        }
+        // `--help` prints the same contract.
+        assert!(run_ok(&["help"]).contains("EXIT CODES"));
+    }
+
+    #[test]
+    fn parity_flag_validation() {
+        let dir = tmpdir("parityflags");
+        let cubes = dir.join("p.cubes");
+        run_ok(&["generate", "custom:8,32,70", "-o", path_str(&cubes)]);
+        // Malformed specs and impossible geometry are usage errors (2).
+        for bad in ["4", "4:", ":1", "a:b", "0:1", "200:200"] {
+            let err = run_err(&[
+                "compress",
+                path_str(&cubes),
+                "-o",
+                path_str(&dir.join("p.9cf")),
+                "--parity",
+                bad,
+            ]);
+            assert!(matches!(err, CliError::Usage(_)), "--parity {bad}: {err:?}");
+        }
+        // Parity needs the frame container.
+        assert!(matches!(
+            run_err(&[
+                "compress",
+                path_str(&cubes),
+                "-o",
+                path_str(&dir.join("p.te")),
+                "--parity",
+                "4:1",
+            ]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn repair_ladder_rebuilds_a_corrupted_v3_frame_bit_exact() {
+        let dir = tmpdir("repair");
+        let cubes = dir.join("r.cubes");
+        let frame_path = dir.join("r.9cf");
+        let clean_out = dir.join("clean.cubes");
+        let back = dir.join("back.cubes");
+        run_ok(&["generate", "custom:24,64,75", "-o", path_str(&cubes)]);
+        let msg = run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&frame_path),
+            "--segment-bits",
+            "256",
+            "--parity",
+            "4:1",
+        ]);
+        assert!(msg.contains("parity 4:1"), "{msg}");
+
+        // `info` reports the parity geometry.
+        let msg = run_ok(&["info", path_str(&frame_path)]);
+        assert!(msg.contains("parity 4:1"), "{msg}");
+        assert!(msg.contains("interleaved groups"), "{msg}");
+
+        // Reference output from the intact frame.
+        run_ok(&[
+            "decompress",
+            path_str(&frame_path),
+            "-o",
+            path_str(&clean_out),
+            "--fill",
+            "keep",
+        ]);
+
+        // Corrupt one payload byte of the first data segment.
+        let pristine = fs::read(&frame_path).unwrap();
+        let mut bytes = pristine.clone();
+        bytes[frame::HEADER_BYTES_V3 + frame::SEGMENT_HEADER_BYTES] ^= 0x55;
+        fs::write(&frame_path, &bytes).unwrap();
+
+        // Default decompress climbs to repair: exit 0, bit-exact output.
+        let msg = run_ok(&[
+            "decompress",
+            path_str(&frame_path),
+            "-o",
+            path_str(&back),
+            "--fill",
+            "keep",
+        ]);
+        assert!(msg.contains("rebuilt from parity"), "{msg}");
+        assert_eq!(
+            fs::read_to_string(&back).unwrap(),
+            fs::read_to_string(&clean_out).unwrap(),
+            "repair must be bit-exact"
+        );
+
+        // --no-repair without --salvage fails closed (3)...
+        let err = run_err(&[
+            "decompress",
+            path_str(&frame_path),
+            "-o",
+            path_str(&back),
+            "--no-repair",
+        ]);
+        assert!(matches!(err, CliError::Failed(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 3);
+
+        // ...and with --salvage keeps the erasure as partial recovery (5).
+        let err = run_err(&[
+            "decompress",
+            path_str(&frame_path),
+            "-o",
+            path_str(&back),
+            "--no-repair",
+            "--salvage",
+            "--fill",
+            "keep",
+        ]);
+        assert!(matches!(err, CliError::PartialRecovery(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 5);
+    }
+
+    #[test]
+    fn stdin_decompress_rejects_salvage() {
+        // The message must be the salvage-specific one: a bare `-` is a
+        // positional stdin pseudo-path, not an "unknown flag".
+        match run_err(&["decompress", "-", "-o", "out.cubes", "--salvage"]) {
+            CliError::Usage(msg) => assert!(msg.contains("whole frame"), "{msg}"),
+            other => panic!("expected Usage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_dash_parses_as_a_positional_input() {
+        let raw: Vec<String> = ["-", "--fill", "keep"]
+            .iter()
+            .map(|s| (*s).into())
+            .collect();
+        let opts = parse_opts(&raw).unwrap();
+        assert_eq!(opts.positional, vec!["-".to_owned()]);
     }
 
     #[test]

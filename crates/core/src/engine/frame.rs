@@ -35,10 +35,49 @@
 //! panicking, so callers that shard their own streams must keep each
 //! segment under 4 Gi trits.
 //!
+//! ## Frame v3: parity groups
+//!
+//! Version 3 extends the file header by two bytes and appends
+//! Reed–Solomon parity segments behind the data segments:
+//!
+//! ```text
+//! file header (33 bytes):
+//!   magic        4  b"9CSF"
+//!   version      1  = 3
+//!   flags        1  = 0 (reserved)
+//!   code lengths 9  codeword length of C1..C9
+//!   segments     4  u32 data-segment count
+//!   source_len   8  u64 total source trits across all data segments
+//!   parity_g     1  data segments per parity group (0 = no parity)
+//!   parity_r     1  parity segments per group
+//!   header_crc   4  CRC-32 (IEEE) over the 29 bytes above
+//! per parity segment (16-byte header + payload):
+//!   marker       2  u16 = 0xFFFF (odd, so it can never parse as a K)
+//!   group        4  u32 parity-group index
+//!   pindex       2  u16 parity index within the group (0..r)
+//!   data_len     4  u32 payload length in bytes (the group's shard len)
+//!   crc32        4  CRC-32 (IEEE) over the 12 header bytes above + payload
+//!   payload      data_len bytes of GF(256) Reed–Solomon parity
+//! ```
+//!
+//! Data segments keep their v2 byte layout exactly and come first, so a
+//! v3 frame with `parity_g = 0` is byte-identical to v2 apart from the
+//! header. The `segments` count covers **data** segments only; parity
+//! segments follow in `(group, pindex)` order. Data segment `i` belongs
+//! to group `i % G` where `G = ceil(segments / parity_g)` — interleaved
+//! assignment, so a damage *burst* over adjacent segments lands in
+//! different groups and stays repairable. Parity shard `pindex` of a
+//! group is the group's member segments (full header + payload bytes,
+//! zero-padded to the group's longest member, absent members of a short
+//! group all-zero) encoded with [`crate::engine::ecc::ParityCoder`]:
+//! any `≤ r` erased members per group can be rebuilt byte-exactly and
+//! then re-verified against their own CRC.
+//!
 //! Version history: v1 had no `header_crc` field (27-byte header). A
 //! corrupted code-length byte could rebuild a *different* Kraft-valid
 //! table and decode to silently wrong bits, so v2 covers the file header
-//! with its own CRC and v1 is no longer accepted.
+//! with its own CRC and v1 is no longer accepted. v3 adds the parity
+//! geometry bytes and parity segments; v2 frames remain fully supported.
 //!
 //! Every parse error is a typed [`FrameError`] — a corrupt or truncated
 //! frame can never panic the decoder. Parsing is also *allocation-safe*:
@@ -60,14 +99,24 @@ use std::ops::Range;
 
 /// The four magic bytes opening every segment frame.
 pub const MAGIC: [u8; 4] = *b"9CSF";
-/// Current frame format version.
+/// Current frame format version without parity (the default wire format).
 pub const VERSION: u8 = 2;
+/// Frame format version carrying parity groups.
+pub const VERSION_V3: u8 = 3;
 /// File header size in bytes (v2: includes the trailing header CRC).
 pub const HEADER_BYTES: usize = 31;
-/// Per-segment header size in bytes.
+/// File header size in bytes (v3: v2 plus `parity_g` / `parity_r`).
+pub const HEADER_BYTES_V3: usize = 33;
+/// Per-segment header size in bytes (data and parity segments alike).
 pub const SEGMENT_HEADER_BYTES: usize = 16;
-/// Byte count of the file header covered by `header_crc`.
+/// Byte count of the v2 file header covered by `header_crc`.
 const HEADER_CRC_COVERS: usize = 27;
+/// Byte count of the v3 file header covered by `header_crc`.
+const HEADER_CRC_COVERS_V3: usize = 29;
+/// The `k`-field sentinel opening a parity-segment header. Deliberately
+/// odd: a data-segment parse rejects any odd `K`, so the two header
+/// kinds can never be confused.
+pub const PARITY_MARKER: u16 = 0xFFFF;
 
 /// Resource ceilings enforced while parsing or salvaging a frame.
 ///
@@ -87,6 +136,11 @@ pub struct DecodeLimits {
     /// Approximate ceiling, in bytes, on the total memory a decode may
     /// allocate for trit buffers (output + per-segment scratch).
     pub max_total_alloc: usize,
+    /// Maximum resynchronisation probe positions a salvage scan (or the
+    /// streaming reader) may try per damaged range before giving up with
+    /// a typed [`FrameError::LimitExceeded`] — bounds the scan's worst
+    /// case on adversarial input.
+    pub max_resync_probes: usize,
 }
 
 impl Default for DecodeLimits {
@@ -95,6 +149,7 @@ impl Default for DecodeLimits {
             max_segments: 1 << 20,
             max_segment_trits: 1 << 28,
             max_total_alloc: 1 << 30,
+            max_resync_probes: 1 << 20,
         }
     }
 }
@@ -109,12 +164,22 @@ impl DecodeLimits {
             max_segments: usize::MAX,
             max_segment_trits: usize::MAX,
             max_total_alloc: usize::MAX,
+            max_resync_probes: usize::MAX,
         }
+    }
+
+    /// Byte ceiling any single shard (a data segment's header + payload,
+    /// or a parity segment's payload) may claim under these limits.
+    /// Derived from `max_segment_trits` (2 bits per trit) plus the
+    /// segment header.
+    #[must_use]
+    pub fn max_shard_bytes(&self) -> usize {
+        trit_alloc_bytes(self.max_segment_trits).saturating_add(SEGMENT_HEADER_BYTES)
     }
 }
 
 /// Bytes a [`TritVec`] of `trits` trits allocates (2 bits per trit).
-fn trit_alloc_bytes(trits: usize) -> usize {
+pub(crate) fn trit_alloc_bytes(trits: usize) -> usize {
     trits.div_ceil(4)
 }
 
@@ -241,6 +306,16 @@ pub enum DamageReason {
     /// disagree with the segments actually present — e.g. spliced or
     /// duplicated segments.
     HeaderMismatch(&'static str),
+    /// Not terminal damage: the segment was damaged on the wire but
+    /// **rebuilt byte-exactly** from parity group `group` using
+    /// `parity_used` parity shards, then re-verified against its own
+    /// CRC. Its trits in the output are real, not `X`.
+    RepairedBy {
+        /// Parity group that reconstructed the segment.
+        group: usize,
+        /// Parity shards consumed by the reconstruction.
+        parity_used: usize,
+    },
 }
 
 impl fmt::Display for DamageReason {
@@ -253,7 +328,22 @@ impl fmt::Display for DamageReason {
             DamageReason::Decode(e) => write!(f, "payload decode failed: {e}"),
             DamageReason::WorkerPanicked => write!(f, "decode worker panicked"),
             DamageReason::HeaderMismatch(what) => write!(f, "header mismatch: {what}"),
+            DamageReason::RepairedBy { group, parity_used } => {
+                write!(
+                    f,
+                    "repaired bit-exactly by parity group {group} ({parity_used} parity shards)"
+                )
+            }
         }
+    }
+}
+
+impl DamageReason {
+    /// `true` when the damage was fully repaired (the trits are real,
+    /// not erased): the [`DamageReason::RepairedBy`] case.
+    #[must_use]
+    pub fn is_repaired(&self) -> bool {
+        matches!(self, DamageReason::RepairedBy { .. })
     }
 }
 
@@ -334,8 +424,23 @@ pub struct ParsedFrame<'a> {
     pub table_lengths: [u8; 9],
     /// Total source trits across all segments, as stored in the header.
     pub source_len: usize,
-    /// The segments, in stream order.
+    /// The data segments, in stream order.
     pub segments: Vec<ParsedSegment<'a>>,
+    /// Data segments per parity group (0 = unprotected / v2 frame).
+    pub parity_g: u8,
+    /// Parity segments per group.
+    pub parity_r: u8,
+    /// The parity shards, in `(group, pindex)` order (empty for v2 or
+    /// `parity_g = 0` frames).
+    pub parity: Vec<ParsedParity<'a>>,
+}
+
+impl ParsedFrame<'_> {
+    /// Number of parity groups covering the data segments.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        group_count(self.segments.len(), self.parity_g)
+    }
 }
 
 /// Appends the file header for `segments` segments totalling `source_len`
@@ -351,6 +456,159 @@ pub fn write_header(out: &mut Vec<u8>, lengths: [u8; 9], segments: u32, source_l
     out.extend_from_slice(&source_len.to_le_bytes());
     let crc = crc32(&out[start..start + HEADER_CRC_COVERS]);
     out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Appends a v3 file header: like [`write_header`] but with the parity
+/// geometry `(parity_g, parity_r)` and the v3 version byte. `segments`
+/// counts **data** segments only.
+pub fn write_header_v3(
+    out: &mut Vec<u8>,
+    lengths: [u8; 9],
+    segments: u32,
+    source_len: u64,
+    parity_g: u8,
+    parity_r: u8,
+) {
+    let start = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION_V3);
+    out.push(0); // flags
+    out.extend_from_slice(&lengths);
+    out.extend_from_slice(&segments.to_le_bytes());
+    out.extend_from_slice(&source_len.to_le_bytes());
+    out.push(parity_g);
+    out.push(parity_r);
+    let crc = crc32(&out[start..start + HEADER_CRC_COVERS_V3]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// One parsed (CRC-verified) v3 parity segment, borrowing its shard
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedParity<'a> {
+    /// Parity-group index this shard protects.
+    pub group: usize,
+    /// Parity index within the group (`0..r`).
+    pub pindex: usize,
+    /// The GF(256) parity shard: `data_len` bytes, covering the group's
+    /// member segments zero-padded to this length.
+    pub payload: &'a [u8],
+}
+
+/// Appends one v3 parity segment (header + shard bytes) to `out`.
+///
+/// # Errors
+///
+/// [`FrameError::SegmentTooLarge`] when `group`, `pindex` or the shard
+/// length overflows its header field. On error nothing is appended.
+pub fn write_parity_segment(
+    out: &mut Vec<u8>,
+    group: usize,
+    pindex: usize,
+    shard: &[u8],
+) -> Result<(), FrameError> {
+    let group32 = match u32::try_from(group) {
+        Ok(v) => v,
+        Err(_) => {
+            return Err(FrameError::SegmentTooLarge {
+                what: "parity group index",
+                len: group,
+            })
+        }
+    };
+    let pindex16 = match u16::try_from(pindex) {
+        Ok(v) => v,
+        Err(_) => {
+            return Err(FrameError::SegmentTooLarge {
+                what: "parity index",
+                len: pindex,
+            })
+        }
+    };
+    let len32 = match u32::try_from(shard.len()) {
+        Ok(v) => v,
+        Err(_) => {
+            return Err(FrameError::SegmentTooLarge {
+                what: "parity shard bytes",
+                len: shard.len(),
+            })
+        }
+    };
+    let mut header = [0u8; 12];
+    header[0..2].copy_from_slice(&PARITY_MARKER.to_le_bytes());
+    header[2..6].copy_from_slice(&group32.to_le_bytes());
+    header[6..8].copy_from_slice(&pindex16.to_le_bytes());
+    header[8..12].copy_from_slice(&len32.to_le_bytes());
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in header.iter().chain(shard.iter()) {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    out.extend_from_slice(&header);
+    out.extend_from_slice(&(!crc).to_le_bytes());
+    out.extend_from_slice(shard);
+    Ok(())
+}
+
+/// Parses and CRC-verifies one parity segment starting at byte `at`,
+/// returning the shard and the offset just past it. Performs *no*
+/// allocation; every claimed size is checked against the bytes present
+/// and against `limits` first.
+pub(crate) fn parity_at<'a>(
+    bytes: &'a [u8],
+    at: usize,
+    segment: usize,
+    limits: &DecodeLimits,
+) -> Result<(ParsedParity<'a>, usize), FrameError> {
+    let header_end = at
+        .checked_add(SEGMENT_HEADER_BYTES)
+        .ok_or(FrameError::Truncated { offset: at })?;
+    let header = bytes
+        .get(at..header_end)
+        .ok_or(FrameError::Truncated { offset: at })?;
+    if u16::from_le_bytes([header[0], header[1]]) != PARITY_MARKER {
+        return Err(FrameError::Malformed {
+            segment,
+            what: "not a parity segment (missing marker)",
+        });
+    }
+    let group = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+    let pindex = u16::from_le_bytes([header[6], header[7]]) as usize;
+    let data_len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    let crc_stored = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+    // Bomb checks before trusting `data_len`: the shard must physically
+    // fit in the remaining input and respect the per-shard byte ceiling.
+    if data_len > limits.max_shard_bytes() {
+        return Err(FrameError::LimitExceeded {
+            what: "parity shard bytes",
+            requested: data_len,
+            limit: limits.max_shard_bytes(),
+        });
+    }
+    let payload_end = header_end
+        .checked_add(data_len)
+        .ok_or(FrameError::Truncated {
+            offset: bytes.len(),
+        })?;
+    let payload = bytes
+        .get(header_end..payload_end)
+        .ok_or(FrameError::Truncated {
+            offset: bytes.len(),
+        })?;
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in header[..12].iter().chain(payload.iter()) {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    if !crc != crc_stored {
+        return Err(FrameError::BadCrc { segment });
+    }
+    Ok((
+        ParsedParity {
+            group,
+            pindex,
+            payload,
+        },
+        payload_end,
+    ))
 }
 
 /// Packs `payload` at 2 bits per trit, LSB-first within each byte.
@@ -444,16 +702,77 @@ fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
     ]))
 }
 
-/// The validated file header of a frame.
-struct FileHeader {
-    table_lengths: [u8; 9],
-    claimed_segments: usize,
-    source_len: usize,
+/// The validated file header of a frame (v2 or v3).
+pub(crate) struct FileHeader {
+    pub(crate) table_lengths: [u8; 9],
+    pub(crate) claimed_segments: usize,
+    pub(crate) source_len: usize,
+    /// Frame version ([`VERSION`] or [`VERSION_V3`]).
+    pub(crate) version: u8,
+    /// Data segments per parity group (0 = no parity; always 0 for v2).
+    pub(crate) parity_g: u8,
+    /// Parity segments per group (always 0 for v2 or when `parity_g` is 0).
+    pub(crate) parity_r: u8,
+    /// Size of this header on the wire (body starts here).
+    pub(crate) header_bytes: usize,
 }
 
-/// Parses and validates the 31-byte file header (magic, version, header
-/// CRC, count/source-length limits). Shared by strict parse and salvage.
-fn parse_file_header(bytes: &[u8], limits: &DecodeLimits) -> Result<FileHeader, FrameError> {
+impl FileHeader {
+    /// Number of parity groups covering `claimed_segments` data segments.
+    pub(crate) fn groups(&self) -> usize {
+        group_count(self.claimed_segments, self.parity_g)
+    }
+
+    /// Total parity segments the frame should carry.
+    pub(crate) fn parity_segments(&self) -> usize {
+        self.groups() * self.parity_r as usize
+    }
+}
+
+/// Number of parity groups for `data_segments` data segments at group
+/// size `g` (`ceil(n / g)`; 0 when either is 0).
+#[must_use]
+pub fn group_count(data_segments: usize, g: u8) -> usize {
+    if g == 0 || data_segments == 0 {
+        0
+    } else {
+        data_segments.div_ceil(g as usize)
+    }
+}
+
+/// Parity group of data segment `index` under interleaved assignment
+/// across `groups` groups (`index % groups`).
+#[must_use]
+pub fn group_of(index: usize, groups: usize) -> usize {
+    if groups == 0 {
+        0
+    } else {
+        index % groups
+    }
+}
+
+/// Position of data segment `index` within its parity group (the shard
+/// slot it occupies: `index / groups`).
+#[must_use]
+pub fn position_in_group(index: usize, groups: usize) -> usize {
+    index.checked_div(groups).unwrap_or(0)
+}
+
+/// Data-segment indices belonging to parity group `group`, in shard-slot
+/// order: `group, group + groups, group + 2·groups, …` below `n`.
+pub fn group_members(group: usize, n: usize, groups: usize) -> impl Iterator<Item = usize> {
+    let step = groups.max(1);
+    (group..n).step_by(step)
+}
+
+/// Parses and validates the file header — v2 (31 bytes) or v3 (33
+/// bytes): magic, version, header CRC, count/source-length limits and
+/// (v3) the parity geometry. Shared by strict parse, salvage and the
+/// streaming reader.
+pub(crate) fn parse_file_header(
+    bytes: &[u8],
+    limits: &DecodeLimits,
+) -> Result<FileHeader, FrameError> {
     if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
         return Err(FrameError::BadMagic);
     }
@@ -463,13 +782,20 @@ fn parse_file_header(bytes: &[u8], limits: &DecodeLimits) -> Result<FileHeader, 
         });
     }
     let version = bytes[4];
-    if version != VERSION {
-        return Err(FrameError::UnsupportedVersion { found: version });
+    let (header_bytes, crc_covers) = match version {
+        VERSION => (HEADER_BYTES, HEADER_CRC_COVERS),
+        VERSION_V3 => (HEADER_BYTES_V3, HEADER_CRC_COVERS_V3),
+        found => return Err(FrameError::UnsupportedVersion { found }),
+    };
+    if bytes.len() < header_bytes {
+        return Err(FrameError::Truncated {
+            offset: bytes.len(),
+        });
     }
-    let stored = le_u32(bytes, HEADER_CRC_COVERS).ok_or(FrameError::Truncated {
+    let stored = le_u32(bytes, crc_covers).ok_or(FrameError::Truncated {
         offset: bytes.len(),
     })?;
-    if crc32(&bytes[..HEADER_CRC_COVERS]) != stored {
+    if crc32(&bytes[..crc_covers]) != stored {
         return Err(FrameError::BadHeaderCrc);
     }
     let mut table_lengths = [0u8; 9];
@@ -484,6 +810,25 @@ fn parse_file_header(bytes: &[u8], limits: &DecodeLimits) -> Result<FileHeader, 
         segment: 0,
         what: "source length exceeds the address space",
     })?;
+    let (parity_g, parity_r) = if version == VERSION_V3 {
+        let g = bytes[27];
+        let r = bytes[28];
+        if g as usize + r as usize > crate::engine::ecc::MAX_SHARDS {
+            return Err(FrameError::Malformed {
+                segment: 0,
+                what: "parity geometry exceeds the GF(256) shard ceiling",
+            });
+        }
+        if g == 0 && r != 0 {
+            return Err(FrameError::Malformed {
+                segment: 0,
+                what: "parity shards declared without a group size",
+            });
+        }
+        (g, r)
+    } else {
+        (0, 0)
+    };
     if claimed_segments > limits.max_segments {
         return Err(FrameError::LimitExceeded {
             what: "segment count",
@@ -502,6 +847,10 @@ fn parse_file_header(bytes: &[u8], limits: &DecodeLimits) -> Result<FileHeader, 
         table_lengths,
         claimed_segments,
         source_len,
+        version,
+        parity_g,
+        parity_r,
+        header_bytes,
     })
 }
 
@@ -509,7 +858,7 @@ fn parse_file_header(bytes: &[u8], limits: &DecodeLimits) -> Result<FileHeader, 
 /// the segment and the offset just past its payload. Performs *no*
 /// allocation: every claimed size is checked against the bytes actually
 /// present and against `limits` first.
-fn segment_at<'a>(
+pub(crate) fn segment_at<'a>(
     bytes: &'a [u8],
     at: usize,
     segment: usize,
@@ -640,12 +989,16 @@ fn parse_limited_inner<'a>(
 ) -> Result<ParsedFrame<'a>, FrameError> {
     let head = parse_file_header(bytes, limits)?;
     let segments = head.claimed_segments;
-    // Bomb check: each claimed segment needs at least a 16-byte header,
-    // so `segments * 16` must fit in the remaining bytes *before* the
-    // `Vec::with_capacity` below — a tiny file claiming `u32::MAX`
-    // segments is rejected here without allocating.
-    let body = bytes.len() - HEADER_BYTES;
-    match segments.checked_mul(SEGMENT_HEADER_BYTES) {
+    let parity_segments = head.parity_segments();
+    // Bomb check: each claimed segment (data + parity) needs at least a
+    // 16-byte header, so the header count must fit in the remaining
+    // bytes *before* the `Vec::with_capacity` below — a tiny file
+    // claiming `u32::MAX` segments is rejected here without allocating.
+    let body = bytes.len() - head.header_bytes;
+    match segments
+        .checked_add(parity_segments)
+        .and_then(|n| n.checked_mul(SEGMENT_HEADER_BYTES))
+    {
         Some(need) if need <= body => {}
         _ => {
             return Err(FrameError::Truncated {
@@ -655,7 +1008,7 @@ fn parse_limited_inner<'a>(
     }
     let mut alloc_budget = trit_alloc_bytes(head.source_len);
     let mut parsed = Vec::with_capacity(segments);
-    let mut at = HEADER_BYTES;
+    let mut at = head.header_bytes;
     let mut covered = 0usize;
     for segment in 0..segments {
         let (seg, next) = segment_at(bytes, at, segment, limits)?;
@@ -684,6 +1037,31 @@ fn parse_limited_inner<'a>(
             what: "segment source lengths do not sum to the header total",
         });
     }
+    // Parity segments follow the data, in (group, pindex) order; the
+    // strict parse verifies the geometry labels match their positions.
+    let groups = head.groups();
+    let mut parity = Vec::with_capacity(parity_segments);
+    for p in 0..parity_segments {
+        let segment = segments + p;
+        let (par, next) = parity_at(bytes, at, segment, limits)?;
+        alloc_budget = alloc_budget.saturating_add(par.payload.len());
+        if alloc_budget > limits.max_total_alloc {
+            return Err(FrameError::LimitExceeded {
+                what: "total decode allocation",
+                requested: alloc_budget,
+                limit: limits.max_total_alloc,
+            });
+        }
+        let (want_group, want_pindex) = (p / head.parity_r as usize, p % head.parity_r as usize);
+        if par.group != want_group || par.pindex != want_pindex || par.group >= groups {
+            return Err(FrameError::Malformed {
+                segment,
+                what: "parity segment out of (group, pindex) order",
+            });
+        }
+        parity.push(par);
+        at = next;
+    }
     if at != bytes.len() {
         return Err(FrameError::Malformed {
             segment: segments,
@@ -694,17 +1072,28 @@ fn parse_limited_inner<'a>(
         table_lengths: head.table_lengths,
         source_len: head.source_len,
         segments: parsed,
+        parity_g: head.parity_g,
+        parity_r: head.parity_r,
+        parity,
     })
 }
 
 /// One classified byte range from a [`scan_salvage`] walk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScanEntry<'a> {
-    /// A CRC-valid, structurally sound segment.
+    /// A CRC-valid, structurally sound data segment.
     Intact {
         /// The parsed segment.
         seg: ParsedSegment<'a>,
         /// The bytes it occupies (header + payload).
+        byte_range: Range<usize>,
+    },
+    /// A CRC-valid v3 parity segment (contributes no output trits; feeds
+    /// the repair ladder).
+    Parity {
+        /// The parsed parity shard.
+        par: ParsedParity<'a>,
+        /// The bytes it occupies (header + shard).
         byte_range: Range<usize>,
     },
     /// A byte range that could not be parsed as a valid segment.
@@ -724,30 +1113,35 @@ impl ScanEntry<'_> {
     #[must_use]
     pub fn byte_range(&self) -> Range<usize> {
         match self {
-            ScanEntry::Intact { byte_range, .. } | ScanEntry::Damaged { byte_range, .. } => {
-                byte_range.clone()
-            }
+            ScanEntry::Intact { byte_range, .. }
+            | ScanEntry::Parity { byte_range, .. }
+            | ScanEntry::Damaged { byte_range, .. } => byte_range.clone(),
         }
     }
 }
 
 /// The result of a fault-tolerant frame walk: every byte of the body
-/// classified as part of an intact segment or a damaged range.
+/// classified as part of an intact segment, a parity segment or a
+/// damaged range.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SalvageScan<'a> {
     /// Codeword lengths of C1..C9, as stored in the (CRC-valid) header.
     pub table_lengths: [u8; 9],
     /// Total source trits the header claims.
     pub source_len: usize,
-    /// Segment count the header claims (may disagree with `entries`
+    /// Data-segment count the header claims (may disagree with `entries`
     /// when segments were spliced in or out).
     pub claimed_segments: usize,
+    /// Data segments per parity group (0 = unprotected / v2 frame).
+    pub parity_g: u8,
+    /// Parity segments per group.
+    pub parity_r: u8,
     /// The classified byte ranges, in stream order.
     pub entries: Vec<ScanEntry<'a>>,
 }
 
 impl SalvageScan<'_> {
-    /// Number of intact segments found.
+    /// Number of intact data segments found.
     #[must_use]
     pub fn intact_count(&self) -> usize {
         self.entries
@@ -755,29 +1149,65 @@ impl SalvageScan<'_> {
             .filter(|e| matches!(e, ScanEntry::Intact { .. }))
             .count()
     }
+
+    /// Number of parity groups the header geometry implies.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        group_count(self.claimed_segments, self.parity_g)
+    }
+
+    /// Total parity segments the header geometry implies.
+    #[must_use]
+    pub fn claimed_parity_segments(&self) -> usize {
+        self.groups() * self.parity_r as usize
+    }
 }
 
-/// Cap on resynchronisation probe positions per damaged range, bounding
-/// the scan's worst case on adversarial input.
-const RESYNC_MAX_PROBES: usize = 1 << 20;
+/// `true` when a segment of either kind (data, or parity if `v3`)
+/// parses CRC-valid at `at`.
+fn any_segment_parses(bytes: &[u8], at: usize, v3: bool, limits: &DecodeLimits) -> bool {
+    if v3 && bytes.get(at..at + 2) == Some(&PARITY_MARKER.to_le_bytes()) {
+        return parity_at(bytes, at, 0, limits).is_ok();
+    }
+    segment_at(bytes, at, 0, limits).is_ok()
+}
 
-/// Finds the next offset in `(at, len)` where a CRC-valid segment parses,
-/// or `len` when the rest of the frame is unrecoverable. Probing never
-/// allocates (it reuses [`segment_at`]'s bomb checks) and never publishes
-/// metrics — probes are expected to fail.
-fn find_resync(bytes: &[u8], at: usize, limits: &DecodeLimits) -> usize {
+/// Finds the next offset in `(at, len)` where a CRC-valid segment (data
+/// or, for v3 frames, parity) parses, or `len` when the rest of the
+/// frame is unrecoverable. Probing never allocates (it reuses the
+/// parsers' bomb checks) and never publishes metrics — probes are
+/// expected to fail.
+///
+/// # Errors
+///
+/// [`FrameError::LimitExceeded`] when
+/// [`DecodeLimits::max_resync_probes`] positions were probed without
+/// either resynchronising or reaching the end of the input.
+fn find_resync(
+    bytes: &[u8],
+    at: usize,
+    v3: bool,
+    limits: &DecodeLimits,
+) -> Result<usize, FrameError> {
     let len = bytes.len();
     let mut probes = 0usize;
     let mut p = at + 1;
     // A valid segment needs a 16-byte header, so stop early.
-    while p + SEGMENT_HEADER_BYTES <= len && probes < RESYNC_MAX_PROBES {
+    while p + SEGMENT_HEADER_BYTES <= len {
+        if probes >= limits.max_resync_probes {
+            return Err(FrameError::LimitExceeded {
+                what: "resync probes",
+                requested: probes + 1,
+                limit: limits.max_resync_probes,
+            });
+        }
         probes += 1;
-        if segment_at(bytes, p, 0, limits).is_ok() {
-            return p;
+        if any_segment_parses(bytes, p, v3, limits) {
+            return Ok(p);
         }
         p += 1;
     }
-    len
+    Ok(len)
 }
 
 /// Walks a frame fault-tolerantly, classifying every body byte range as
@@ -809,21 +1239,43 @@ pub fn scan_salvage<'a>(
             return Err(e);
         }
     };
+    let v3 = head.version == VERSION_V3;
     let mut entries: Vec<ScanEntry<'a>> = Vec::new();
     let mut alloc_budget = trit_alloc_bytes(head.source_len);
-    let mut at = HEADER_BYTES;
+    let mut at = head.header_bytes;
     let mut index = 0usize;
+    // The scan walks data + parity segments; bound it by both counts.
+    let scan_cap = limits
+        .max_segments
+        .saturating_add(head.parity_segments().min(limits.max_segments));
     while at < bytes.len() {
-        if entries.len() >= limits.max_segments {
+        if entries.len() >= scan_cap {
             let e = FrameError::LimitExceeded {
                 what: "scanned segment count",
                 requested: entries.len() + 1,
-                limit: limits.max_segments,
+                limit: scan_cap,
             };
             publish_failure_metrics(&e);
             return Err(e);
         }
-        match segment_at(bytes, at, index, limits) {
+        let is_parity = v3 && bytes.get(at..at + 2) == Some(&PARITY_MARKER.to_le_bytes());
+        let result = if is_parity {
+            match parity_at(bytes, at, index, limits) {
+                Ok((par, next)) => {
+                    entries.push(ScanEntry::Parity {
+                        par,
+                        byte_range: at..next,
+                    });
+                    at = next;
+                    index += 1;
+                    continue;
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            segment_at(bytes, at, index, limits)
+        };
+        match result {
             Ok((seg, next)) => {
                 let add = trit_alloc_bytes(seg.source_trits)
                     .saturating_add(trit_alloc_bytes(seg.payload_trits));
@@ -847,9 +1299,20 @@ pub fn scan_salvage<'a>(
             Err(e) => {
                 publish_failure_metrics(&e);
                 // The header fields are untrusted but still useful as a
-                // *claim* for sizing the erasure run.
-                let claimed = le_u32(bytes, at + 4).map(|v| v as usize);
-                let resync = find_resync(bytes, at, limits);
+                // *claim* for sizing the erasure run (parity headers
+                // carry no source trits — their claim is zero trits).
+                let claimed = if is_parity {
+                    Some(0)
+                } else {
+                    le_u32(bytes, at + 4).map(|v| v as usize)
+                };
+                let resync = match find_resync(bytes, at, v3, limits) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        publish_failure_metrics(&e);
+                        return Err(e);
+                    }
+                };
                 entries.push(ScanEntry::Damaged {
                     byte_range: at..resync,
                     claimed_source_trits: claimed,
@@ -864,6 +1327,8 @@ pub fn scan_salvage<'a>(
         table_lengths: head.table_lengths,
         source_len: head.source_len,
         claimed_segments: head.claimed_segments,
+        parity_g: head.parity_g,
+        parity_r: head.parity_r,
         entries,
     })
 }
@@ -1251,8 +1716,248 @@ mod tests {
             DamageReason::LimitExceeded("x"),
             DamageReason::WorkerPanicked,
             DamageReason::HeaderMismatch("x"),
+            DamageReason::RepairedBy {
+                group: 1,
+                parity_used: 2,
+            },
         ] {
             assert!(!r.to_string().is_empty());
         }
+        assert!(DamageReason::RepairedBy {
+            group: 0,
+            parity_used: 1
+        }
+        .is_repaired());
+        assert!(!DamageReason::BadCrc.is_repaired());
+    }
+
+    // ------------------------------------------------------------------
+    // Frame v3: parity groups.
+    // ------------------------------------------------------------------
+
+    /// A v3 frame: the two `sample_frame` data segments in one parity
+    /// group (`g = 2, r = 1`) with a real GF(256) parity shard.
+    fn sample_frame_v3() -> Vec<u8> {
+        let payload_a = tv("0110X01");
+        let payload_b = tv("111000X");
+        let mut seg_a = Vec::new();
+        write_segment(&mut seg_a, 8, 16, &payload_a).expect("segment fits");
+        let mut seg_b = Vec::new();
+        write_segment(&mut seg_b, 8, 16, &payload_b).expect("segment fits");
+        let coder = crate::engine::ecc::ParityCoder::new(2, 1).expect("valid geometry");
+        let shard_len = seg_a.len().max(seg_b.len());
+        let parity = coder.encode(&[&seg_a, &seg_b], shard_len);
+        let mut out = Vec::new();
+        write_header_v3(&mut out, [1, 2, 5, 5, 5, 5, 5, 5, 4], 2, 32, 2, 1);
+        out.extend_from_slice(&seg_a);
+        out.extend_from_slice(&seg_b);
+        write_parity_segment(&mut out, 0, 0, &parity[0]).expect("parity fits");
+        out
+    }
+
+    #[test]
+    fn v3_roundtrip_parse() {
+        let bytes = sample_frame_v3();
+        assert!(is_frame(&bytes));
+        let frame = parse(&bytes).expect("well-formed v3 frame parses");
+        assert_eq!(frame.source_len, 32);
+        assert_eq!((frame.parity_g, frame.parity_r), (2, 1));
+        assert_eq!(frame.groups(), 1);
+        assert_eq!(frame.segments.len(), 2);
+        assert_eq!(frame.parity.len(), 1);
+        assert_eq!(frame.parity[0].group, 0);
+        assert_eq!(frame.parity[0].pindex, 0);
+        // Data segments are byte-identical to their v2 form: same bytes
+        // parse at the v2 offsets of a v2 header.
+        let v2 = sample_frame();
+        assert_eq!(
+            &bytes[HEADER_BYTES_V3..HEADER_BYTES_V3 + (v2.len() - HEADER_BYTES)],
+            &v2[HEADER_BYTES..]
+        );
+        let a = frame.segments[0].unpack().expect("payload unpacks");
+        assert_eq!(a.to_string(), "0110X01");
+    }
+
+    #[test]
+    fn v3_zero_parity_is_v2_compatible_apart_from_the_header() {
+        let payload_a = tv("0110X01");
+        let payload_b = tv("111000X");
+        let mut bytes = Vec::new();
+        write_header_v3(&mut bytes, [1, 2, 5, 5, 5, 5, 5, 5, 4], 2, 32, 0, 0);
+        write_segment(&mut bytes, 8, 16, &payload_a).expect("segment fits");
+        write_segment(&mut bytes, 8, 16, &payload_b).expect("segment fits");
+        let frame = parse(&bytes).expect("parity-free v3 parses");
+        assert!(frame.parity.is_empty());
+        assert_eq!(frame.groups(), 0);
+        // Body is byte-identical to the v2 frame's body.
+        let v2 = sample_frame();
+        assert_eq!(&bytes[HEADER_BYTES_V3..], &v2[HEADER_BYTES..]);
+    }
+
+    #[test]
+    fn v3_bad_parity_geometry_is_rejected() {
+        let mut bytes = Vec::new();
+        // g + r = 400 > 255: beyond the GF(256) shard ceiling.
+        write_header_v3(&mut bytes, [1, 2, 5, 5, 5, 5, 5, 5, 4], 0, 0, 200, 200);
+        assert!(matches!(
+            parse(&bytes),
+            Err(FrameError::Malformed { what, .. })
+                if what.contains("shard ceiling")
+        ));
+        // Parity shards without a group size make no sense.
+        let mut bytes = Vec::new();
+        write_header_v3(&mut bytes, [1, 2, 5, 5, 5, 5, 5, 5, 4], 0, 0, 0, 3);
+        assert!(matches!(
+            parse(&bytes),
+            Err(FrameError::Malformed { what, .. })
+                if what.contains("without a group size")
+        ));
+    }
+
+    #[test]
+    fn v3_parity_out_of_order_is_rejected() {
+        let bytes = sample_frame_v3();
+        let mut swapped = Vec::new();
+        // Re-emit the parity shard with a wrong group label.
+        let frame = parse(&bytes).expect("parses");
+        let shard = frame.parity[0].payload.to_vec();
+        swapped.extend_from_slice(&bytes[..bytes.len() - (SEGMENT_HEADER_BYTES + shard.len())]);
+        write_parity_segment(&mut swapped, 7, 0, &shard).expect("fits");
+        assert!(matches!(
+            parse(&swapped),
+            Err(FrameError::Malformed { what, .. })
+                if what.contains("order")
+        ));
+    }
+
+    #[test]
+    fn v3_parity_shard_bomb_is_rejected_before_allocation() {
+        let bytes = sample_frame_v3();
+        let frame = parse(&bytes).expect("parses");
+        let shard_len = frame.parity[0].payload.len();
+        let parity_start = bytes.len() - (SEGMENT_HEADER_BYTES + shard_len);
+        let mut bomb = bytes[..parity_start].to_vec();
+        // Forge a parity header claiming a ~4 GiB shard. The limit check
+        // must fire before any allocation and before the CRC read.
+        let mut header = [0u8; 12];
+        header[0..2].copy_from_slice(&PARITY_MARKER.to_le_bytes());
+        header[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        bomb.extend_from_slice(&header);
+        bomb.extend_from_slice(&[0u8; 4]); // bogus CRC, never reached
+        let limits = DecodeLimits::default();
+        assert!(matches!(
+            parse_limited(&bomb, &limits),
+            Err(FrameError::LimitExceeded {
+                what: "parity shard bytes",
+                ..
+            })
+        ));
+        // The scan degrades it to damage rather than failing the file.
+        let scan = scan_salvage(&bomb, &limits).expect("scan survives");
+        assert!(scan
+            .entries
+            .iter()
+            .any(|e| matches!(e, ScanEntry::Damaged { .. })));
+    }
+
+    #[test]
+    fn v3_scan_classifies_parity_entries() {
+        let bytes = sample_frame_v3();
+        let scan = scan_salvage(&bytes, &DecodeLimits::default()).expect("clean v3 scans");
+        assert_eq!((scan.parity_g, scan.parity_r), (2, 1));
+        assert_eq!(scan.groups(), 1);
+        assert_eq!(scan.claimed_parity_segments(), 1);
+        assert_eq!(scan.entries.len(), 3);
+        assert_eq!(scan.intact_count(), 2);
+        assert!(matches!(
+            &scan.entries[2],
+            ScanEntry::Parity { par, .. } if par.group == 0 && par.pindex == 0
+        ));
+        assert_eq!(scan.entries[2].byte_range().end, bytes.len());
+    }
+
+    #[test]
+    fn v3_scan_degrades_corrupt_parity_to_damage() {
+        let mut bytes = sample_frame_v3();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let scan = scan_salvage(&bytes, &DecodeLimits::default()).expect("scan survives");
+        assert_eq!(scan.intact_count(), 2);
+        let last_entry = scan.entries.last().expect("has entries");
+        assert!(matches!(
+            last_entry,
+            ScanEntry::Damaged {
+                claimed_source_trits: Some(0),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn group_helpers_interleave() {
+        // 7 data segments, g = 3 → G = ceil(7/3) = 3 groups.
+        assert_eq!(group_count(7, 3), 3);
+        assert_eq!(group_count(0, 3), 0);
+        assert_eq!(group_count(7, 0), 0);
+        let groups = 3usize;
+        for i in 0..7 {
+            assert_eq!(group_of(i, groups), i % 3);
+        }
+        assert_eq!(position_in_group(5, groups), 1);
+        assert_eq!(group_members(0, 7, groups).collect::<Vec<_>>(), [0, 3, 6]);
+        assert_eq!(group_members(1, 7, groups).collect::<Vec<_>>(), [1, 4]);
+        assert_eq!(group_members(2, 7, groups).collect::<Vec<_>>(), [2, 5]);
+        // Every segment is in exactly one group, and group sizes never
+        // exceed g.
+        for g in 1u8..=5 {
+            for n in 0..40usize {
+                let gc = group_count(n, g);
+                let mut seen = vec![false; n];
+                for q in 0..gc {
+                    let members: Vec<usize> = group_members(q, n, gc).collect();
+                    assert!(members.len() <= g as usize, "n={n} g={g} q={q}");
+                    for m in members {
+                        assert!(!seen[m]);
+                        seen[m] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "n={n} g={g}");
+            }
+        }
+    }
+
+    #[test]
+    fn resync_probe_cap_is_a_typed_limit_error() {
+        // Regression: the probe budget used to be a hard-coded constant;
+        // it is now `DecodeLimits::max_resync_probes` with a typed error.
+        let mut bytes = sample_frame();
+        bytes[HEADER_BYTES + SEGMENT_HEADER_BYTES] ^= 0xFF;
+        // Default limits: plenty of probes, the scan resyncs.
+        assert!(scan_salvage(&bytes, &DecodeLimits::default()).is_ok());
+        // A 1-probe budget cannot reach the next segment boundary.
+        let tight = DecodeLimits {
+            max_resync_probes: 1,
+            ..DecodeLimits::default()
+        };
+        assert!(matches!(
+            scan_salvage(&bytes, &tight),
+            Err(FrameError::LimitExceeded {
+                what: "resync probes",
+                limit: 1,
+                ..
+            })
+        ));
+        // Unlimited really is unlimited.
+        assert!(scan_salvage(&bytes, &DecodeLimits::unlimited()).is_ok());
+    }
+
+    #[test]
+    fn max_shard_bytes_bounds_parity_shards() {
+        let limits = DecodeLimits::default();
+        assert_eq!(
+            limits.max_shard_bytes(),
+            trit_alloc_bytes(limits.max_segment_trits) + SEGMENT_HEADER_BYTES
+        );
+        assert!(DecodeLimits::unlimited().max_shard_bytes() >= limits.max_shard_bytes());
     }
 }

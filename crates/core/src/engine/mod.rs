@@ -52,12 +52,16 @@
 //! ```
 #![deny(clippy::unwrap_used)]
 
+pub mod ecc;
 pub mod faultpoint;
 pub mod frame;
 pub mod pool;
+pub mod reader;
 pub mod salvage;
 
+pub use ecc::{EccError, ParityCoder};
 pub use frame::{DamageReason, DecodeLimits, FrameError};
+pub use reader::{FrameReader, ReadError, StreamItem};
 pub use salvage::{DamagedSegment, SalvageReport};
 
 use crate::code::CodeTable;
@@ -101,6 +105,9 @@ pub enum EncodeFrameError {
     InvalidBlockSize(InvalidBlockSize),
     /// A segment (or the segment count) overflows its frame header field.
     Frame(FrameError),
+    /// The configured parity geometry is invalid (`g = 0` with parity
+    /// shards requested, or `g + r` beyond the GF(256) shard ceiling).
+    Parity(ecc::EccError),
 }
 
 impl fmt::Display for EncodeFrameError {
@@ -108,6 +115,7 @@ impl fmt::Display for EncodeFrameError {
         match self {
             EncodeFrameError::InvalidBlockSize(e) => write!(f, "{e}"),
             EncodeFrameError::Frame(e) => write!(f, "cannot frame stream: {e}"),
+            EncodeFrameError::Parity(e) => write!(f, "cannot add parity: {e}"),
         }
     }
 }
@@ -117,6 +125,7 @@ impl std::error::Error for EncodeFrameError {
         match self {
             EncodeFrameError::InvalidBlockSize(e) => Some(e),
             EncodeFrameError::Frame(e) => Some(e),
+            EncodeFrameError::Parity(e) => Some(e),
         }
     }
 }
@@ -141,6 +150,7 @@ pub struct EngineBuilder {
     segment_bits: Option<usize>,
     table: Option<CodeTable>,
     limits: Option<DecodeLimits>,
+    parity: Option<(u8, u8)>,
     #[cfg(feature = "failpoints")]
     failpoints: Vec<faultpoint::FailPoint>,
 }
@@ -177,6 +187,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Erasure-coding geometry for encoded frames: every `g` data
+    /// segments (interleaved — see [`frame::group_of`]) are protected by
+    /// `r` GF(256) Reed–Solomon parity segments, and the frame is
+    /// emitted as **v3**. Up to `r` damaged segments per group can be
+    /// rebuilt byte-exactly by
+    /// [`decode_frame_repair`](Engine::decode_frame_repair).
+    ///
+    /// `r = 0` disables parity (plain v2 frames, the default). Invalid
+    /// geometry (`g = 0` with `r > 0`, or `g + r >`
+    /// [`ecc::MAX_SHARDS`]) is reported at encode time as
+    /// [`EncodeFrameError::Parity`].
+    pub fn parity(mut self, g: u8, r: u8) -> Self {
+        self.parity = if r == 0 { None } else { Some((g, r)) };
+        self
+    }
+
     /// Arms a deterministic fault-injection point on the decode path
     /// (see [`faultpoint`]). Only available with the `failpoints` cargo
     /// feature; production builds cannot arm faults.
@@ -208,6 +234,7 @@ impl EngineBuilder {
             segment_bits: self.segment_bits.unwrap_or(DEFAULT_SEGMENT_BITS),
             table: self.table.unwrap_or_else(CodeTable::paper),
             limits: self.limits.unwrap_or_default(),
+            parity: self.parity,
             failpoints,
         }
     }
@@ -220,6 +247,7 @@ pub struct Engine {
     segment_bits: usize,
     table: CodeTable,
     limits: DecodeLimits,
+    parity: Option<(u8, u8)>,
     /// Armed fault-injection points. Always empty unless the
     /// `failpoints` feature armed some — the decode path checks an empty
     /// slice, which is free.
@@ -261,6 +289,13 @@ impl Engine {
     #[must_use]
     pub fn limits(&self) -> &DecodeLimits {
         &self.limits
+    }
+
+    /// The configured `(g, r)` parity geometry, if any — `Some` means
+    /// encoded frames are v3 with GF(256) parity groups.
+    #[must_use]
+    pub fn parity(&self) -> Option<(u8, u8)> {
+        self.parity
     }
 
     /// Segment length for block size `k`: `segment_bits` rounded down to
@@ -387,15 +422,59 @@ impl Engine {
                 len: ranges.len(),
             })
         })?;
-        frame::write_header(
-            &mut out,
-            self.table.lengths(),
-            segment_count,
-            stream.len() as u64,
-        );
+        // Validate parity geometry up front so the error surfaces even
+        // for streams short enough to need no parity shards.
+        let coder = match self.parity {
+            Some((g, r)) => Some(
+                ecc::ParityCoder::new(g as usize, r as usize).map_err(EncodeFrameError::Parity)?,
+            ),
+            None => None,
+        };
+        match self.parity {
+            Some((g, r)) => frame::write_header_v3(
+                &mut out,
+                self.table.lengths(),
+                segment_count,
+                stream.len() as u64,
+                g,
+                r,
+            ),
+            None => frame::write_header(
+                &mut out,
+                self.table.lengths(),
+                segment_count,
+                stream.len() as u64,
+            ),
+        }
+        let mut seg_spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(parts.len());
         for (i, (k, seg_stream)) in parts.iter().enumerate() {
             let (start, end) = ranges[i];
+            let at = out.len();
             frame::write_segment(&mut out, *k, end - start, seg_stream)?;
+            seg_spans.push(at..out.len());
+        }
+        if let (Some(coder), Some((g, _r))) = (coder, self.parity) {
+            // Parity shards cover each group's member segments — full
+            // header + payload bytes, zero-padded to the group's longest
+            // member — so a reconstructed shard *is* the segment,
+            // re-verifiable against its own CRC.
+            let n = seg_spans.len();
+            let groups = frame::group_count(n, g);
+            let parity_start = out.len();
+            let mut shards: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+            for q in 0..groups {
+                let members: Vec<&[u8]> = frame::group_members(q, n, groups)
+                    .map(|i| &out[seg_spans[i].clone()])
+                    .collect();
+                let shard_len = members.iter().map(|m| m.len()).max().unwrap_or(0);
+                for (j, shard) in coder.encode(&members, shard_len).into_iter().enumerate() {
+                    shards.push((q, j, shard));
+                }
+            }
+            for (q, j, shard) in &shards {
+                frame::write_parity_segment(&mut out, *q, *j, shard)?;
+            }
+            crate::metrics::publish_parity_bits(((out.len() - parity_start) * 8) as u64);
         }
         Ok(out)
     }

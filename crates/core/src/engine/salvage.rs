@@ -1,24 +1,30 @@
-//! Salvage-mode frame decode: recover every intact segment from a
-//! corrupted `9CSF` frame and materialise the damage as X-trit erasures.
+//! Salvage- and repair-mode frame decode: the bottom two rungs of the
+//! decode ladder.
 //!
 //! The strict [`Engine::decode_frame`] is fail-closed: one bad CRC
 //! aborts the whole decode. That is the right default for a codec, but
 //! the paper's setting — a reduced pin-count ATE link feeding an on-chip
 //! FSM — is a hostile channel where a single flipped or dropped bit
-//! desynchronises everything downstream. X-tolerant compaction work
-//! (Fujiwara & Colbourn's combinatorial X-codes) treats corrupted values
-//! as *erasures to localise and tolerate*, not as fatal; salvage mode
-//! applies the same philosophy at the frame layer:
+//! desynchronises everything downstream. The decode ladder therefore
+//! degrades in two steps:
 //!
-//! - every segment whose header + CRC check out is decoded (in parallel,
-//!   on the same panic-isolated pool as the strict path);
-//! - every byte range that fails is resynchronised past (next CRC-valid
-//!   segment) and its trits are materialised as `X` — an erasure run at
-//!   a known, `K`-block-aligned offset, because the frame writer aligns
-//!   every segment boundary to a block boundary;
-//! - the [`SalvageReport`] maps each damaged byte range to its trit
-//!   range and reason, so downstream tooling knows exactly which scan
-//!   slices to re-transfer or distrust.
+//! 1. **Repair** ([`Engine::decode_frame_repair`], v3 frames): the
+//!    CRC-verified salvage scan pins down exactly which segments are
+//!    damaged — *erasure positions*, the easy half of Reed–Solomon
+//!    decoding. Each parity group rebuilds up to `r` erased member
+//!    segments byte-exactly over GF(256)
+//!    ([`crate::engine::ecc::ParityCoder`]), every reconstructed segment
+//!    is re-verified against its own CRC before acceptance, and repaired
+//!    segments decode in parallel on the same panic-isolated pool as
+//!    intact ones. Their damage-map entries carry
+//!    [`DamageReason::RepairedBy`] — informational, not loss.
+//! 2. **Salvage** (always available): whatever repair could not
+//!    reconstruct — over-budget erasures, v2 frames, groups whose parity
+//!    itself died — is resynchronised past and materialised as `X`-trit
+//!    erasure runs at block-aligned offsets, in the spirit of the
+//!    X-tolerant compaction line (Fujiwara & Colbourn's combinatorial
+//!    X-codes): corrupted values become erasures to localise, never
+//!    silent wrong bits.
 //!
 //! The file header itself must be sound (magic, version, header CRC,
 //! non-bomb claims): with an untrustworthy code table or total length
@@ -27,55 +33,81 @@
 
 use crate::code::CodeTable;
 use crate::decode::DecodeError;
-use crate::engine::frame::{self, DamageReason, ScanEntry};
+use crate::engine::ecc::ParityCoder;
+use crate::engine::frame::{self, DamageReason, ParsedParity, ScanEntry};
 use crate::engine::{pool, Engine};
 use ninec_testdata::trit::{Trit, TritVec};
+use std::collections::HashMap;
 use std::ops::Range;
 
-/// One damaged region of a salvaged frame.
+/// One damaged (or repaired) region of a salvaged frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DamagedSegment {
-    /// Position of the damaged region in the scan walk (segment index
-    /// for frames whose structure survived).
+    /// Position of the region in the scan walk (segment index for
+    /// frames whose structure survived).
     pub index: usize,
-    /// The frame bytes written off.
+    /// The frame bytes written off (or, for a repaired segment, the
+    /// bytes that were damaged on the wire).
     pub byte_range: Range<usize>,
-    /// The output trits erased to `X` in [`SalvageReport::trits`].
+    /// The output trits this region covers in [`SalvageReport::trits`]:
+    /// erased to `X` for terminal damage, **real decoded trits** when
+    /// `reason` is [`DamageReason::RepairedBy`].
     pub trit_range: Range<usize>,
-    /// Why the region could not be recovered.
+    /// Why the region was damaged — or proof it was repaired.
     pub reason: DamageReason,
 }
 
-/// The outcome of a salvage-mode frame decode.
+/// The outcome of a salvage- or repair-mode frame decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SalvageReport {
     /// The decoded stream, exactly `source_len` trits long: recovered
-    /// segments byte-identical to a clean decode, damaged regions as
-    /// `X`-trit erasure runs at their known block-aligned offsets.
+    /// and repaired segments byte-identical to a clean decode, terminal
+    /// damage as `X`-trit erasure runs at known block-aligned offsets.
     pub trits: TritVec,
-    /// Segments recovered byte-identically.
+    /// Segments recovered byte-identically (intact + repaired).
     pub recovered_segments: usize,
-    /// Total scan entries (recovered + damaged).
+    /// Total scan entries contributing output (recovered + damaged).
     pub total_segments: usize,
-    /// The damage map, in stream order.
+    /// The damage map, in stream order. Entries whose reason is
+    /// [`DamageReason::RepairedBy`] are informational — their trits are
+    /// real.
     pub damaged: Vec<DamagedSegment>,
 }
 
 impl SalvageReport {
-    /// `true` when nothing was damaged — the frame decoded cleanly.
+    /// `true` when every output trit is real — nothing was erased. Wire
+    /// damage that was fully repaired ([`DamageReason::RepairedBy`]) or
+    /// that covered no output trits (e.g. a corrupted parity segment)
+    /// still counts as full recovery: the decoded stream is bit-exact.
     #[must_use]
     pub fn is_full_recovery(&self) -> bool {
-        self.damaged.is_empty()
+        self.damaged
+            .iter()
+            .all(|d| d.reason.is_repaired() || d.trit_range.is_empty())
+    }
+
+    /// Segments rebuilt byte-exactly from parity
+    /// ([`DamageReason::RepairedBy`] entries).
+    #[must_use]
+    pub fn repaired_segments(&self) -> usize {
+        self.damaged
+            .iter()
+            .filter(|d| d.reason.is_repaired())
+            .count()
     }
 }
 
 /// What one scan entry contributes to the output.
 enum Plan<'a> {
-    /// Decode this intact segment (scan-entry index into the pool jobs).
+    /// Decode this segment (intact on the wire, or rebuilt from parity
+    /// when `repaired` is set).
     Decode {
         seg: frame::ParsedSegment<'a>,
         byte_range: Range<usize>,
         trits: usize,
+        /// `Some((group, parity_used))` when the segment bytes came out
+        /// of a parity reconstruction instead of the wire.
+        repaired: Option<(usize, usize)>,
     },
     /// Erase `trits` trits for this damaged range.
     Erase {
@@ -133,13 +165,158 @@ fn resolve_erasures(claims: &[Option<usize>], remaining: usize) -> Vec<usize> {
     out
 }
 
+/// One segment rebuilt from parity: the reconstructed shard bytes plus
+/// the provenance to report.
+struct Rebuilt {
+    /// Scan-entry index (== data-segment index when the structure
+    /// survived) the shard replaces.
+    entry: usize,
+    /// The reconstructed segment bytes (header + payload + zero pad).
+    bytes: Vec<u8>,
+    /// Parity group that produced it.
+    group: usize,
+    /// Parity shards the reconstruction consumed.
+    parity_used: usize,
+}
+
+/// Attempts per-group RS reconstruction of every damaged data segment.
+///
+/// Only runs when the scan's structure is **unambiguous**: exactly
+/// `claimed_segments + claimed_parity_segments` entries, so entry
+/// position maps 1:1 onto segment position and the erasure positions
+/// are certain. Anything else (merged damage ranges, spliced frames)
+/// falls through to plain salvage — repair must never guess.
+fn try_repair(
+    bytes: &[u8],
+    scan: &frame::SalvageScan<'_>,
+    limits: &frame::DecodeLimits,
+) -> Vec<Rebuilt> {
+    let n = scan.claimed_segments;
+    let p = scan.claimed_parity_segments();
+    let g = scan.parity_g as usize;
+    let r = scan.parity_r as usize;
+    let groups = scan.groups();
+    if r == 0 || groups == 0 || scan.entries.len() != n + p {
+        return Vec::new();
+    }
+    // Positional parity table: entry n + q*r + j should be parity
+    // (q, j). Mis-labelled or damaged parity slots are simply absent.
+    let mut parity_slots: Vec<Option<&ParsedParity<'_>>> = vec![None; p];
+    for (slot, entry) in scan.entries[n..].iter().enumerate() {
+        if let ScanEntry::Parity { par, .. } = entry {
+            if par.group == slot / r && par.pindex == slot % r {
+                parity_slots[slot] = Some(par);
+            }
+        }
+    }
+    let coder = match ParityCoder::new(g, r) {
+        Ok(c) => c,
+        Err(_) => return Vec::new(), // header geometry already validated; stay total
+    };
+    let mut rebuilt = Vec::new();
+    let mut failures = 0u64;
+    for q in 0..groups {
+        // Member entry indices of this group, in shard-slot order.
+        let members: Vec<usize> = frame::group_members(q, n, groups).collect();
+        let any_damage = members
+            .iter()
+            .any(|&m| matches!(scan.entries[m], ScanEntry::Damaged { .. }));
+        if !any_damage {
+            continue;
+        }
+        let group_parity: Vec<Option<&ParsedParity<'_>>> =
+            (0..r).map(|j| parity_slots[q * r + j]).collect();
+        // The group's shard length comes from its (CRC-trusted) parity
+        // headers; all intact parity shards must agree.
+        let mut shard_len: Option<usize> = None;
+        let mut consistent = true;
+        for par in group_parity.iter().flatten() {
+            match shard_len {
+                None => shard_len = Some(par.payload.len()),
+                Some(l) if l == par.payload.len() => {}
+                Some(_) => consistent = false,
+            }
+        }
+        let (Some(shard_len), true) = (shard_len, consistent) else {
+            failures += members
+                .iter()
+                .filter(|&&m| matches!(scan.entries[m], ScanEntry::Damaged { .. }))
+                .count() as u64;
+            continue;
+        };
+        // Assemble the g + r shard slots: real members (intact = present,
+        // damaged = erased), virtual zero members of a short group, then
+        // parity. A surviving member longer than the shard length means
+        // the parity cannot cover it — inconsistent, bail on this group.
+        let mut slots: Vec<Option<&[u8]>> = Vec::with_capacity(g + r);
+        let mut erased = 0usize;
+        let mut sane = true;
+        for slot in 0..g {
+            let idx = q + slot * groups;
+            if idx >= n {
+                slots.push(Some(&[])); // virtual zero member
+                continue;
+            }
+            match &scan.entries[idx] {
+                ScanEntry::Intact { byte_range, .. } => {
+                    if byte_range.len() > shard_len {
+                        sane = false;
+                    }
+                    // Scan byte ranges always index the scanned bytes;
+                    // `get` keeps this total regardless.
+                    slots.push(bytes.get(byte_range.clone()));
+                }
+                ScanEntry::Damaged { .. } => {
+                    erased += 1;
+                    slots.push(None);
+                }
+                ScanEntry::Parity { .. } => sane = false, // impossible slot
+            }
+        }
+        for par in &group_parity {
+            slots.push(par.map(|p| p.payload));
+        }
+        if !sane || erased == 0 {
+            if erased > 0 {
+                failures += erased as u64;
+            }
+            continue;
+        }
+        match coder.reconstruct(&slots, shard_len) {
+            Ok(recovered) => {
+                for (slot, bytes) in recovered {
+                    let idx = q + slot * groups;
+                    // Accept only if the rebuilt shard re-parses as a
+                    // CRC-valid segment at offset 0 (the shard is the
+                    // segment's own header + payload + zero pad).
+                    match frame::segment_at(&bytes, 0, idx, limits) {
+                        Ok(_) => rebuilt.push(Rebuilt {
+                            entry: idx,
+                            bytes,
+                            group: q,
+                            parity_used: erased,
+                        }),
+                        Err(_) => failures += 1,
+                    }
+                }
+            }
+            Err(_) => failures += erased as u64,
+        }
+    }
+    crate::metrics::publish_repair_failures(failures);
+    rebuilt
+}
+
 impl Engine {
     /// Decodes a `9CSF` frame in **salvage mode**: every intact segment
     /// is recovered byte-identically (decoded in parallel on the
     /// panic-isolated pool), every damaged byte range is skipped,
     /// resynchronised past, and materialised as an `X`-trit erasure run
     /// at its block-aligned offset. The report's `trits` is always
-    /// exactly the header's `source_len` trits long.
+    /// exactly the header's `source_len` trits long. No parity
+    /// reconstruction is attempted — see
+    /// [`decode_frame_repair`](Engine::decode_frame_repair) for the full
+    /// ladder.
     ///
     /// Segment-level problems — bad CRCs, truncated tails, malformed or
     /// limit-busting headers, payloads that fail 9C decoding, even a
@@ -150,30 +327,80 @@ impl Engine {
     /// Only file-level problems fail the salvage: bad magic, a header
     /// shorter than [`frame::HEADER_BYTES`], an unsupported version, a
     /// file-header CRC mismatch ([`DecodeError::Frame`]), a Kraft-invalid
-    /// stored table, or file-level [`DecodeError::LimitExceeded`] bombs.
-    /// Never panics on hostile input.
+    /// stored table, or file-level [`DecodeError::LimitExceeded`] bombs
+    /// (including an exhausted
+    /// [`max_resync_probes`](frame::DecodeLimits::max_resync_probes)
+    /// budget). Never panics on hostile input.
     pub fn decode_frame_salvage(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
         let _span = ninec_obs::span("engine_decode_frame_salvage");
+        self.salvage_inner(bytes, false)
+    }
+
+    /// Decodes a `9CSF` frame through the **repair rung** of the ladder:
+    /// like [`decode_frame_salvage`](Engine::decode_frame_salvage), but
+    /// v3 parity groups first rebuild up to `r` damaged member segments
+    /// per group byte-exactly (GF(256) Reed–Solomon erasure decoding at
+    /// the CRC-certified erasure positions, each reconstruction
+    /// re-verified against the segment's own CRC before acceptance).
+    /// Repaired segments decode in parallel alongside intact ones and
+    /// appear in the damage map as [`DamageReason::RepairedBy`] — only
+    /// what repair could not reconstruct is erased to `X`.
+    ///
+    /// On v2 (or parity-free v3) frames this is exactly salvage.
+    ///
+    /// # Errors
+    ///
+    /// Same file-level failures as
+    /// [`decode_frame_salvage`](Engine::decode_frame_salvage).
+    pub fn decode_frame_repair(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
+        let _span = ninec_obs::span("engine_decode_frame_repair");
+        self.salvage_inner(bytes, true)
+    }
+
+    fn salvage_inner(&self, bytes: &[u8], repair: bool) -> Result<SalvageReport, DecodeError> {
         let scan = frame::scan_salvage(bytes, self.limits()).map_err(DecodeError::from)?;
         let table = CodeTable::from_lengths(&scan.table_lengths)
             .map_err(|_| frame::FrameError::BadTable)?;
         let source_len = scan.source_len;
 
-        // Trusted lengths: intact segments. Untrusted: damaged claims.
+        // Repair rung: rebuild damaged data segments from parity. The
+        // reconstructed buffers must outlive the plans below.
+        let rebuilt: Vec<Rebuilt> = if repair && scan.parity_g > 0 {
+            try_repair(bytes, &scan, self.limits())
+        } else {
+            Vec::new()
+        };
+        let mut repaired_at: HashMap<usize, (frame::ParsedSegment<'_>, usize, usize)> =
+            HashMap::new();
+        for rb in &rebuilt {
+            if let Ok((seg, _)) = frame::segment_at(&rb.bytes, 0, rb.entry, self.limits()) {
+                repaired_at.insert(rb.entry, (seg, rb.group, rb.parity_used));
+            }
+        }
+        crate::metrics::publish_repaired_segments(repaired_at.len() as u64);
+
+        // Trusted lengths: intact + repaired segments. Untrusted:
+        // unrepaired damaged claims.
         let intact_sum: usize = scan
             .entries
             .iter()
-            .filter_map(|e| match e {
+            .enumerate()
+            .filter_map(|(i, e)| match e {
                 ScanEntry::Intact { seg, .. } => Some(seg.source_trits),
-                ScanEntry::Damaged { .. } => None,
+                ScanEntry::Damaged { .. } => {
+                    repaired_at.get(&i).map(|(seg, _, _)| seg.source_trits)
+                }
+                ScanEntry::Parity { .. } => None,
             })
             .fold(0usize, |a, b| a.saturating_add(b));
         let remaining = source_len.saturating_sub(intact_sum);
         let claims: Vec<Option<usize>> = scan
             .entries
             .iter()
-            .filter_map(|e| match e {
-                ScanEntry::Intact { .. } => None,
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                ScanEntry::Intact { .. } | ScanEntry::Parity { .. } => None,
+                ScanEntry::Damaged { .. } if repaired_at.contains_key(&i) => None,
                 ScanEntry::Damaged {
                     claimed_source_trits,
                     ..
@@ -185,11 +412,11 @@ impl Engine {
         // Build the output plan, clipping at the trusted source_len: an
         // entry that would overshoot (duplicated/spliced segments) is
         // erased and reported as a header mismatch rather than silently
-        // growing the output.
+        // growing the output. Intact parity segments contribute nothing.
         let mut plans: Vec<Plan<'_>> = Vec::with_capacity(scan.entries.len() + 1);
         let mut offset = 0usize;
         let mut erase_iter = erase_lens.into_iter();
-        for entry in &scan.entries {
+        for (i, entry) in scan.entries.iter().enumerate() {
             match entry {
                 ScanEntry::Intact { seg, byte_range } => {
                     let want = seg.source_trits;
@@ -198,6 +425,7 @@ impl Engine {
                             seg: *seg,
                             byte_range: byte_range.clone(),
                             trits: want,
+                            repaired: None,
                         });
                         offset += want;
                     } else {
@@ -213,9 +441,24 @@ impl Engine {
                         offset += take;
                     }
                 }
+                ScanEntry::Parity { .. } => {}
                 ScanEntry::Damaged {
                     byte_range, reason, ..
                 } => {
+                    if let Some((seg, group, parity_used)) = repaired_at.get(&i) {
+                        let want = seg.source_trits;
+                        if offset.saturating_add(want) <= source_len {
+                            plans.push(Plan::Decode {
+                                seg: *seg,
+                                byte_range: byte_range.clone(),
+                                trits: want,
+                                repaired: Some((*group, *parity_used)),
+                            });
+                            offset += want;
+                            continue;
+                        }
+                        // Repaired but doesn't fit: fall through to erase.
+                    }
                     let want = erase_iter.next().unwrap_or(0);
                     let take = want.min(source_len - offset);
                     plans.push(Plan::Erase {
@@ -230,7 +473,12 @@ impl Engine {
         if offset < source_len {
             // The body covers fewer trits than the trusted total — a
             // boundary truncation or excised segments. Erase the tail.
-            let reason = if scan.entries.len() < scan.claimed_segments {
+            let data_entries = scan
+                .entries
+                .iter()
+                .filter(|e| !matches!(e, ScanEntry::Parity { .. }))
+                .count();
+            let reason = if data_entries < scan.claimed_segments {
                 DamageReason::Truncated
             } else {
                 DamageReason::HeaderMismatch(
@@ -244,8 +492,8 @@ impl Engine {
             });
         }
 
-        // Decode the intact segments in parallel, panic-isolated; a
-        // panicked or mis-decoding segment degrades to an erasure.
+        // Decode intact + repaired segments in parallel, panic-isolated;
+        // a panicked or mis-decoding segment degrades to an erasure.
         let results = pool::try_map_indexed(self.threads(), plans.len(), |i| match &plans[i] {
             Plan::Decode { seg, .. } => Some(self.decode_one_segment(seg, i, &table)),
             Plan::Erase { .. } => None,
@@ -260,10 +508,25 @@ impl Engine {
             let start = trits.len();
             let want = plan.trits();
             let (byte_range, reason) = match (plan, result) {
-                (Plan::Decode { byte_range, .. }, Ok(Some(Ok(seg_out)))) => {
+                (
+                    Plan::Decode {
+                        byte_range,
+                        repaired,
+                        ..
+                    },
+                    Ok(Some(Ok(seg_out))),
+                ) => {
                     if seg_out.len() == want {
                         trits.extend_from_tritvec(&seg_out);
                         recovered += 1;
+                        if let Some((group, parity_used)) = repaired {
+                            damaged.push(DamagedSegment {
+                                index: i,
+                                byte_range,
+                                trit_range: start..start + want,
+                                reason: DamageReason::RepairedBy { group, parity_used },
+                            });
+                        }
                         continue;
                     }
                     // A decoder returning the wrong length is a writer
@@ -326,7 +589,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::frame::HEADER_BYTES;
+    use crate::engine::frame::{HEADER_BYTES, HEADER_BYTES_V3};
     use crate::engine::Engine;
 
     fn tv(s: &str) -> TritVec {
@@ -339,6 +602,22 @@ mod tests {
 
     fn engine() -> Engine {
         Engine::builder().threads(2).segment_bits(64).build()
+    }
+
+    /// A v3 engine: 64-trit segments, groups of `g` data segments with
+    /// `r` parity shards each.
+    fn v3_engine(g: u8, r: u8) -> Engine {
+        Engine::builder()
+            .threads(2)
+            .segment_bits(64)
+            .parity(g, r)
+            .build()
+    }
+
+    /// Byte offset of data segment `i`'s first payload byte in a frame
+    /// whose data segments all have `payload_len` payload bytes.
+    fn seg_payload_at(header_bytes: usize, payload_len: usize, i: usize) -> usize {
+        header_bytes + i * (frame::SEGMENT_HEADER_BYTES + payload_len) + frame::SEGMENT_HEADER_BYTES
     }
 
     #[test]
@@ -466,5 +745,222 @@ mod tests {
             resolve_erasures(&[Some(2), None, Some(1)], 9),
             vec![2, 0, 7]
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Repair rung (frame v3).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn repair_rebuilds_a_corrupt_segment_bit_exact() {
+        let stream = sample_stream();
+        let e = v3_engine(4, 1);
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let clean = e.decode_frame(&frame_bytes).expect("decodes");
+        let parsed = frame::parse(&frame_bytes).expect("own frame parses");
+        let payload_len = parsed.segments[0].payload.len();
+        assert!(parsed.segments.len() >= 2, "test needs multiple segments");
+        assert!(!parsed.parity.is_empty(), "v3 frame carries parity");
+
+        // Corrupt segment 1's payload.
+        let mut bad = frame_bytes.clone();
+        bad[seg_payload_at(HEADER_BYTES_V3, payload_len, 1)] ^= 0x55;
+
+        // Salvage alone erases it...
+        let salvage = e.decode_frame_salvage(&bad).expect("salvages");
+        assert!(!salvage.is_full_recovery());
+        assert_eq!(salvage.damaged[0].reason, DamageReason::BadCrc);
+
+        // ...the repair rung rebuilds it bit-exactly.
+        let report = e.decode_frame_repair(&bad).expect("repairs");
+        assert!(report.is_full_recovery(), "repair must be full recovery");
+        assert_eq!(report.trits, clean, "repaired output is bit-exact");
+        assert_eq!(report.repaired_segments(), 1);
+        let d = report
+            .damaged
+            .iter()
+            .find(|d| d.reason.is_repaired())
+            .expect("a RepairedBy entry");
+        assert_eq!(d.index, 1);
+        assert!(matches!(
+            d.reason,
+            DamageReason::RepairedBy { parity_used: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn g1_replication_repairs_any_single_segment() {
+        // g = 1, r = 1: every data segment has its own parity copy; any
+        // single corrupted data segment must decode bit-exact.
+        let stream = sample_stream();
+        let e = v3_engine(1, 1);
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let clean = e.decode_frame(&frame_bytes).expect("decodes");
+        let parsed = frame::parse(&frame_bytes).expect("own frame parses");
+        let payload_len = parsed.segments[0].payload.len();
+        for i in 0..parsed.segments.len() {
+            let mut bad = frame_bytes.clone();
+            bad[seg_payload_at(HEADER_BYTES_V3, payload_len, i)] ^= 0xFF;
+            let report = e.decode_frame_repair(&bad).expect("repairs");
+            assert!(report.is_full_recovery(), "segment {i} repairs");
+            assert_eq!(report.trits, clean, "segment {i} bit-exact");
+            assert_eq!(report.repaired_segments(), 1, "segment {i}");
+        }
+    }
+
+    #[test]
+    fn over_budget_damage_falls_back_to_salvage() {
+        let stream = sample_stream();
+        // One big group, one parity shard: two damaged members exceed r.
+        let e = v3_engine(32, 1);
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let parsed = frame::parse(&frame_bytes).expect("own frame parses");
+        assert!(parsed.segments.len() >= 3);
+        let payload_len = parsed.segments[0].payload.len();
+        let mut bad = frame_bytes.clone();
+        bad[seg_payload_at(HEADER_BYTES_V3, payload_len, 0)] ^= 0x55;
+        bad[seg_payload_at(HEADER_BYTES_V3, payload_len, 2)] ^= 0x55;
+        let report = e.decode_frame_repair(&bad).expect("falls back to salvage");
+        assert!(!report.is_full_recovery());
+        assert_eq!(report.repaired_segments(), 0);
+        // Both damaged ranges are X-erased; everything else matches.
+        let clean = e.decode_frame(&frame_bytes).expect("decodes");
+        assert_eq!(report.trits.len(), clean.len());
+        for d in &report.damaged {
+            assert!(!d.trit_range.is_empty());
+            for i in d.trit_range.clone() {
+                assert!(report.trits.get(i).is_some_and(|t| t.is_x()));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_parity_segment_is_still_full_recovery() {
+        let stream = sample_stream();
+        let e = v3_engine(4, 2);
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let clean = e.decode_frame(&frame_bytes).expect("decodes");
+        let parsed = frame::parse(&frame_bytes).expect("own frame parses");
+        assert!(!parsed.parity.is_empty());
+        // Corrupt the last byte of the frame — inside the final parity
+        // shard's payload.
+        let mut bad = frame_bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x55;
+        for report in [
+            e.decode_frame_repair(&bad).expect("repairs"),
+            e.decode_frame_salvage(&bad).expect("salvages"),
+        ] {
+            // The decoded data is bit-exact; the dead parity shard covers
+            // zero output trits, so this still counts as full recovery.
+            assert_eq!(report.trits, clean);
+            assert!(report.is_full_recovery());
+            assert_eq!(report.repaired_segments(), 0);
+            let d = report.damaged.last().expect("parity damage recorded");
+            assert!(d.trit_range.is_empty());
+        }
+    }
+
+    #[test]
+    fn damaged_data_and_damaged_parity_in_different_groups_both_handled() {
+        let stream = sample_stream();
+        let e = v3_engine(2, 1);
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let clean = e.decode_frame(&frame_bytes).expect("decodes");
+        let parsed = frame::parse(&frame_bytes).expect("own frame parses");
+        let n = parsed.segments.len();
+        let groups = parsed.groups();
+        assert!(groups >= 2, "test needs at least two groups (n = {n})");
+        let payload_len = parsed.segments[0].payload.len();
+        // Damage data segment 0 (group 0) and the *other* group's parity:
+        // repair must still fix the data segment.
+        let mut bad = frame_bytes.clone();
+        bad[seg_payload_at(HEADER_BYTES_V3, payload_len, 0)] ^= 0x55;
+        let last = bad.len() - 1; // final parity shard = last group's
+        bad[last] ^= 0x55;
+        let report = e.decode_frame_repair(&bad).expect("repairs");
+        assert_eq!(report.trits, clean);
+        assert!(report.is_full_recovery());
+        assert_eq!(report.repaired_segments(), 1);
+    }
+
+    #[test]
+    fn repair_on_v2_frames_is_exactly_salvage() {
+        let stream = sample_stream();
+        let e = engine(); // v2: no parity
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let mut bad = frame_bytes.clone();
+        bad[HEADER_BYTES + frame::SEGMENT_HEADER_BYTES] ^= 0x55;
+        let repair = e.decode_frame_repair(&bad).expect("ladder runs");
+        let salvage = e.decode_frame_salvage(&bad).expect("salvages");
+        assert_eq!(repair, salvage);
+        assert!(!repair.is_full_recovery());
+    }
+
+    #[test]
+    fn dead_parity_for_the_damaged_group_falls_back_to_erasure() {
+        let stream = sample_stream();
+        let e = v3_engine(1, 1);
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let parsed = frame::parse(&frame_bytes).expect("own frame parses");
+        let n = parsed.segments.len();
+        assert!(n >= 2);
+        let payload_len = parsed.segments[0].payload.len();
+        // Damage data segment 0 *and* its own parity shard (group 0 is
+        // the first parity segment with g = 1).
+        let data_end = seg_payload_at(HEADER_BYTES_V3, payload_len, n - 1) + payload_len;
+        let mut bad = frame_bytes.clone();
+        bad[seg_payload_at(HEADER_BYTES_V3, payload_len, 0)] ^= 0x55;
+        bad[data_end + frame::SEGMENT_HEADER_BYTES] ^= 0x55;
+        let report = e.decode_frame_repair(&bad).expect("ladder runs");
+        assert!(!report.is_full_recovery());
+        assert_eq!(report.repaired_segments(), 0);
+        let d = &report.damaged[0];
+        assert_eq!(d.index, 0);
+        assert!(!d.reason.is_repaired());
+        for i in d.trit_range.clone() {
+            assert!(report.trits.get(i).is_some_and(|t| t.is_x()));
+        }
+    }
+
+    #[test]
+    fn multi_fault_within_budget_repairs_across_groups() {
+        let stream = sample_stream();
+        // g = 2, r = 1 → interleaved groups; damage one member of two
+        // *different* groups: both repair.
+        let e = v3_engine(2, 1);
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        let clean = e.decode_frame(&frame_bytes).expect("decodes");
+        let parsed = frame::parse(&frame_bytes).expect("own frame parses");
+        let groups = parsed.groups();
+        assert!(groups >= 2);
+        let payload_len = parsed.segments[0].payload.len();
+        // Segments 0 and 2 land in different interleaved groups (i % G;
+        // here G > 2). They are also non-adjacent in the file, so the
+        // scan reports two distinct damaged entries — adjacent damage
+        // merges into one resync range, which repair (correctly) refuses
+        // to guess about.
+        assert!(groups > 2, "need distinct groups for segments 0 and 2");
+        let mut bad = frame_bytes.clone();
+        bad[seg_payload_at(HEADER_BYTES_V3, payload_len, 0)] ^= 0x55;
+        bad[seg_payload_at(HEADER_BYTES_V3, payload_len, 2)] ^= 0x55;
+        let report = e.decode_frame_repair(&bad).expect("repairs");
+        assert_eq!(report.trits, clean);
+        assert!(report.is_full_recovery());
+        assert_eq!(report.repaired_segments(), 2);
+    }
+
+    #[test]
+    fn clean_v3_frame_decodes_strict_and_reports_no_damage() {
+        let stream = sample_stream();
+        let e = v3_engine(4, 2);
+        let frame_bytes = e.encode_frame(8, &stream).expect("valid K");
+        // Strict decode ignores parity segments entirely.
+        let strict = e.decode_frame(&frame_bytes).expect("strict decodes v3");
+        assert_eq!(strict.len(), stream.len());
+        let report = e.decode_frame_repair(&frame_bytes).expect("repairs");
+        assert!(report.damaged.is_empty());
+        assert!(report.is_full_recovery());
+        assert_eq!(report.trits, strict);
     }
 }

@@ -137,6 +137,42 @@ pub fn publish_worker_panics(n: u64) {
     ninec_obs::global().counter(ENGINE_WORKER_PANICS).add(n);
 }
 
+/// Counter: damaged segments rebuilt byte-exactly by GF(256) erasure
+/// repair (frame v3 parity groups) and accepted after re-CRC.
+pub const ECC_REPAIRED_SEGMENTS: &str = "ninec.ecc.repaired_segments";
+/// Counter: parity bits emitted by v3 frame encodes (parity segment
+/// headers + shard payloads, in bits).
+pub const ECC_PARITY_BITS: &str = "ninec.ecc.parity_bits";
+/// Counter: damaged segments the repair rung could *not* reconstruct
+/// (over-budget erasures, dead parity, failed re-CRC) — these fell
+/// through to salvage X-erasure.
+pub const ECC_REPAIR_FAILURES: &str = "ninec.ecc.repair_failures";
+
+/// Records segments rebuilt from parity by the repair rung (batched
+/// once per repair run; nothing recorded when no repair happened).
+pub fn publish_repaired_segments(n: u64) {
+    if !ninec_obs::runtime_enabled() || n == 0 {
+        return;
+    }
+    ninec_obs::global().counter(ECC_REPAIRED_SEGMENTS).add(n);
+}
+
+/// Records the parity overhead (in bits) added to an encoded v3 frame.
+pub fn publish_parity_bits(n: u64) {
+    if !ninec_obs::runtime_enabled() || n == 0 {
+        return;
+    }
+    ninec_obs::global().counter(ECC_PARITY_BITS).add(n);
+}
+
+/// Records damaged segments the repair rung failed to reconstruct.
+pub fn publish_repair_failures(n: u64) {
+    if !ninec_obs::runtime_enabled() || n == 0 {
+        return;
+    }
+    ninec_obs::global().counter(ECC_REPAIR_FAILURES).add(n);
+}
+
 /// Counter: decode runs completed.
 pub const DECODE_RUNS: &str = "ninec.decode.runs";
 /// Counter: blocks decoded.

@@ -52,6 +52,7 @@ pub struct DecodeSession {
     threads: Option<usize>,
     limits: Option<DecodeLimits>,
     salvage: bool,
+    repair: bool,
 }
 
 impl DecodeSession {
@@ -104,6 +105,19 @@ impl DecodeSession {
     /// directly when you also need the damage map.
     pub fn salvage(mut self, salvage: bool) -> Self {
         self.salvage = salvage;
+        self
+    }
+
+    /// Enables the **repair rung** of the decode ladder for the
+    /// salvage-mode entries: on v3 frames, parity groups first rebuild
+    /// up to `r` damaged segments per group byte-exactly (GF(256)
+    /// erasure decoding) before anything is erased to `X`. On v2 frames
+    /// this is a no-op.
+    ///
+    /// Use [`decode_frame_repair`](DecodeSession::decode_frame_repair)
+    /// directly when you always want the full ladder.
+    pub fn repair(mut self, repair: bool) -> Self {
+        self.repair = repair;
         self
     }
 
@@ -192,7 +206,25 @@ impl DecodeSession {
     /// exceeds [`limits`](DecodeSession::limits)); per-segment damage is
     /// reported in [`SalvageReport::damaged`] instead.
     pub fn decode_frame_salvage(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
+        if self.repair {
+            return self.decode_frame_repair(bytes);
+        }
         self.engine().decode_frame_salvage(bytes)
+    }
+
+    /// Decodes a `9CSF` frame through the full decode ladder: damaged
+    /// segments are first rebuilt byte-exactly from v3 parity groups
+    /// where possible ([`crate::engine::DamageReason::RepairedBy`]
+    /// entries in the report), and only what repair could not
+    /// reconstruct is erased to `X`. On v2 (or parity-free) frames this
+    /// is exactly [`decode_frame_salvage`](DecodeSession::decode_frame_salvage).
+    ///
+    /// # Errors
+    ///
+    /// Same file-level failures as
+    /// [`decode_frame_salvage`](DecodeSession::decode_frame_salvage).
+    pub fn decode_frame_repair(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
+        self.engine().decode_frame_repair(bytes)
     }
 
     /// Builds the engine backing the frame entry points.
@@ -397,6 +429,34 @@ mod tests {
             .decode_frame(&frame)
             .unwrap();
         assert_eq!(out.len(), src.len());
+    }
+
+    #[test]
+    fn repair_toggle_rebuilds_v3_damage_bit_exact() {
+        let (src, _) = sample();
+        let mut big = TritVec::new();
+        for _ in 0..50 {
+            big.extend_from_tritvec(&src);
+        }
+        let engine = Engine::builder().segment_bits(128).parity(4, 1).build();
+        let frame = engine.encode_frame(8, &big).unwrap();
+        let clean = engine.decode_frame(&frame).unwrap();
+        let mut bad = frame.clone();
+        bad[crate::engine::frame::HEADER_BYTES_V3 + crate::engine::frame::SEGMENT_HEADER_BYTES] ^=
+            0x55;
+        // Plain salvage erases the damage...
+        let salvaged = DecodeSession::new().decode_frame_salvage(&bad).unwrap();
+        assert!(!salvaged.is_full_recovery());
+        // ...repair (via the toggle or the direct entry) rebuilds it.
+        for report in [
+            DecodeSession::new().repair(true).decode_frame_salvage(&bad),
+            DecodeSession::new().decode_frame_repair(&bad),
+        ] {
+            let report = report.unwrap();
+            assert!(report.is_full_recovery());
+            assert_eq!(report.trits, clean);
+            assert_eq!(report.repaired_segments(), 1);
+        }
     }
 
     #[test]

@@ -25,11 +25,13 @@ grep -q '^#!\[deny(clippy::unwrap_used)\]' crates/core/src/engine/mod.rs || {
 }
 
 # The untrusted-input parsers go further: no unwrap() *or* expect() at all
-# outside #[cfg(test)] in frame.rs (hostile bytes) and pool.rs (panic
-# isolation) — every failure there must be a typed error or a poisoned
-# result slot, never an abort.
-echo "==> frame/pool no-unwrap/expect guard"
-for f in crates/core/src/engine/frame.rs crates/core/src/engine/pool.rs; do
+# outside #[cfg(test)] in frame.rs (hostile bytes), pool.rs (panic
+# isolation), ecc.rs (GF(256) reconstruction feeds on damaged frames) and
+# reader.rs (streaming bytes straight off a pipe) — every failure there
+# must be a typed error or a poisoned result slot, never an abort.
+echo "==> frame/pool/ecc/reader no-unwrap/expect guard"
+for f in crates/core/src/engine/frame.rs crates/core/src/engine/pool.rs \
+         crates/core/src/engine/ecc.rs crates/core/src/engine/reader.rs; do
     head=$(sed '/#\[cfg(test)\]/q' "$f")
     if echo "$head" | grep -nE '\.(unwrap|expect)\(' >&2; then
         echo "$f: unwrap()/expect() outside #[cfg(test)] is forbidden" >&2
@@ -69,10 +71,14 @@ cargo build -q --release -p ninec-cli
 smokedir="$(mktemp -d)"
 trap 'rm -rf "$smokedir"' EXIT
 ./target/release/ninec generate custom:8,64,75 -o "$smokedir/t.cubes" >/dev/null
+# Capture to a file first: `| grep -q` would close the pipe at the first
+# match and race ninec's remaining writes into a broken-pipe i/o error.
 ./target/release/ninec compress "$smokedir/t.cubes" -o "$smokedir/t.te" \
-    --stats json | grep -q '"ninec.encode.blocks"'
+    --stats json > "$smokedir/stats.json"
+grep -q '"ninec.encode.blocks"' "$smokedir/stats.json"
 ./target/release/ninec compress "$smokedir/t.cubes" -o "$smokedir/t.te" \
-    --stats text | grep -q '^# TYPE ninec_encode_blocks counter'
+    --stats text > "$smokedir/stats.txt"
+grep -q '^# TYPE ninec_encode_blocks counter' "$smokedir/stats.txt"
 
 # Parallel-engine smoke test: a 9CSF frame written with --threads 4 must
 # be byte-identical to the serial one and decompress back losslessly.
@@ -108,5 +114,50 @@ if [ "$rc" -ne 5 ]; then
 fi
 test -s "$smokedir/salvaged.cubes"
 ./target/release/ninec info "$smokedir/corrupt.9cf" | grep -q 'damaged segment'
+
+# Streaming-decode smoke test: `decompress -` reads the frame from stdin
+# through the bounded-memory streaming reader and must produce output
+# identical to the in-memory file path.
+echo "==> ninec pipe-decode smoke test"
+cat "$smokedir/t4.9cf" | ./target/release/ninec decompress - \
+    -o "$smokedir/piped.cubes" --fill keep >/dev/null
+cmp "$smokedir/back.cubes" "$smokedir/piped.cubes"
+
+# Repair smoke test: an erasure-coded v3 frame (--parity 2:1) with one
+# corrupted data segment must decode bit-exact through the automatic
+# repair ladder (exit 0); --no-repair must fail strict+salvage-less
+# (exit 3); --no-repair --salvage must degrade to X-erase (exit 5).
+# Offset 49 = 33-byte v3 file header + 16-byte segment header = the
+# first data segment's first payload byte (0xFF is never a valid
+# packed-trit byte, so the write is guaranteed to be a real change).
+echo "==> ninec --parity repair smoke test"
+./target/release/ninec compress "$smokedir/t.cubes" -o "$smokedir/p.9cf" \
+    --parity 2:1 --segment-bits 128 >/dev/null
+./target/release/ninec info "$smokedir/p.9cf" | grep -q 'parity 2:1'
+./target/release/ninec decompress "$smokedir/p.9cf" \
+    -o "$smokedir/pclean.cubes" --fill keep >/dev/null
+cp "$smokedir/p.9cf" "$smokedir/pcorrupt.9cf"
+printf '\xff' | dd of="$smokedir/pcorrupt.9cf" bs=1 seek=49 conv=notrunc status=none
+cmp -s "$smokedir/p.9cf" "$smokedir/pcorrupt.9cf" && {
+    echo "corruption write did not change the frame" >&2
+    exit 1
+}
+./target/release/ninec decompress "$smokedir/pcorrupt.9cf" \
+    -o "$smokedir/prepaired.cubes" --fill keep | grep -q 'rebuilt from parity'
+cmp "$smokedir/pclean.cubes" "$smokedir/prepaired.cubes"
+if ./target/release/ninec decompress "$smokedir/pcorrupt.9cf" \
+    -o "$smokedir/pstrict.cubes" --no-repair --fill keep >/dev/null 2>&1; then
+    echo "--no-repair on a damaged frame without --salvage must fail" >&2
+    exit 1
+fi
+rc=0
+./target/release/ninec decompress "$smokedir/pcorrupt.9cf" \
+    -o "$smokedir/psalvaged.cubes" --no-repair --salvage --fill keep \
+    >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 5 ]; then
+    echo "--no-repair --salvage on a damaged v3 frame must exit 5, got $rc" >&2
+    exit 1
+fi
+test -s "$smokedir/psalvaged.cubes"
 
 echo "CI OK"

@@ -150,6 +150,97 @@ fn check_mutant(original: &TritVec, clean: &[u8], mutant: &[u8], mutated_at: Opt
     }
 }
 
+/// A v3 golden frame (interleaved GF(256) parity groups) plus its source.
+fn golden_v3(seed: u64, g: u8, r: u8) -> (TritVec, Vec<u8>) {
+    let set = SyntheticProfile::new("fault-v3", 24, 64, 0.72).generate(seed);
+    let stream = set.as_stream().clone();
+    let frame = engine_v3(1, g, r)
+        .encode_frame(8, &stream)
+        .expect("golden v3 frame encodes");
+    (stream, frame)
+}
+
+fn engine_v3(threads: usize, g: u8, r: u8) -> Engine {
+    Engine::builder()
+        .threads(threads)
+        .segment_bits(256)
+        .parity(g, r)
+        .build()
+}
+
+/// The **four-way invariant** on erasure-coded (v3) frames: for any
+/// mutant, decoding yields a correct roundtrip ∨ a bit-exact repair ∨ a
+/// typed error ∨ a salvage whose damage map accurately bounds the loss.
+/// Never a panic, never silent corruption.
+fn check_mutant_v3(original: &TritVec, mutant: &[u8], mutated_at: Option<usize>) {
+    // Arm 1/3: strict decode — correct output or a typed error.
+    match engine_v3(2, 2, 1).decode_frame(mutant) {
+        Ok(out) => assert!(
+            covers(original, &out),
+            "strict decode silently accepted a corrupt v3 frame (mutation at {mutated_at:?})"
+        ),
+        Err(e) => {
+            let _ = e.to_string();
+        }
+    }
+    // Arms 2/3/4: the repair ladder.
+    match engine_v3(2, 2, 1).decode_frame_repair(mutant) {
+        Err(e) => {
+            let _ = e.to_string();
+        }
+        Ok(report) => {
+            assert_eq!(
+                report.trits.len(),
+                original.len(),
+                "repair output length must match the header's source length"
+            );
+            if report.is_full_recovery() {
+                // Bit-exact repair (or parity-only damage): the output is
+                // indistinguishable from the clean decode.
+                assert!(
+                    covers(original, &report.trits),
+                    "full recovery must reproduce the source (mutation at {mutated_at:?})"
+                );
+            } else {
+                // Accurate damage map: non-repaired damage is erased to
+                // X, everything outside it matches the original.
+                let mut damaged_trits = vec![false; original.len()];
+                for d in &report.damaged {
+                    if d.reason.is_repaired() {
+                        continue;
+                    }
+                    for i in d.trit_range.clone() {
+                        if let Some(t) = report.trits.get(i) {
+                            assert_eq!(
+                                t,
+                                Trit::X,
+                                "unrepaired trit {i} must be erased (mutation at {mutated_at:?})"
+                            );
+                        }
+                        if i < original.len() {
+                            damaged_trits[i] = true;
+                        }
+                    }
+                }
+                for (i, damaged) in damaged_trits.iter().enumerate() {
+                    if *damaged {
+                        continue;
+                    }
+                    if let Some(t) = original.get(i) {
+                        if t.is_care() {
+                            assert_eq!(
+                                report.trits.get(i),
+                                Some(t),
+                                "intact trit {i} changed (mutation at {mutated_at:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Every byte × {flip each of 8 bits, zero, 0xFF}: zero panics, zero
 /// hangs, salvage damage maps always cover the mutation.
 #[test]
@@ -186,6 +277,68 @@ fn exhaustive_truncation_sweep() {
                 .decode_frame_salvage(mutant)
                 .expect("salvage survives truncation past the file header");
             assert_eq!(report.trits.len(), original.len());
+        }
+    }
+}
+
+/// The single-byte sweep wired over a **v3 golden**: every byte of the
+/// erasure-coded frame × {8 bit flips, zero, 0xFF} upholds the four-way
+/// invariant — and single-byte damage to a data segment must in fact be
+/// *repaired* (full recovery), since `r = 1` covers one loss per group.
+#[test]
+fn exhaustive_single_byte_mutation_sweep_v3() {
+    let (original, clean) = golden_v3(31, 2, 1);
+    let clean_out = engine_v3(1, 2, 1).decode_frame(&clean).expect("golden v3");
+    assert_eq!(clean_out.len(), original.len());
+    let data = data_segment_ranges(&clean);
+    for at in 0..clean.len() {
+        let mut patterns: Vec<u8> = (0..8).map(|b| clean[at] ^ (1 << b)).collect();
+        patterns.push(0x00);
+        patterns.push(0xFF);
+        for value in patterns {
+            if value == clean[at] {
+                continue;
+            }
+            let mut mutant = clean.clone();
+            mutant[at] = value;
+            check_mutant_v3(&original, &mutant, Some(at));
+        }
+    }
+    // Acceptance pin: any single corrupted *data payload* byte decodes
+    // bit-exact through the ladder (one probe per segment).
+    for r in &data {
+        let mut mutant = clean.clone();
+        mutant[r.start + SEGMENT_HEADER_BYTES] ^= 0x55;
+        let report = engine_v3(2, 2, 1)
+            .decode_frame_repair(&mutant)
+            .expect("repair runs");
+        assert!(report.is_full_recovery(), "segment at {r:?} not repaired");
+        assert_eq!(report.trits, clean_out, "repair must be bit-exact");
+    }
+}
+
+/// Truncation at every length of a v3 golden: the four-way invariant
+/// holds, and cuts that only amputate *parity* still repair to a full
+/// recovery (the data segments are all intact).
+#[test]
+fn exhaustive_truncation_sweep_v3() {
+    let (original, clean) = golden_v3(32, 2, 1);
+    let data = data_segment_ranges(&clean);
+    let data_end = data.last().expect("segments").end;
+    for cut in 0..clean.len() {
+        let mutant = &clean[..cut];
+        check_mutant_v3(&original, mutant, None);
+        if cut >= data_end {
+            // All data present, parity torn: strict decode rejects the
+            // malformed tail, but the ladder recovers everything.
+            let report = engine_v3(1, 2, 1)
+                .decode_frame_repair(mutant)
+                .expect("ladder survives parity truncation");
+            assert!(
+                report.is_full_recovery(),
+                "cut at {cut} lost data despite all segments being present"
+            );
+            assert!(covers(&original, &report.trits));
         }
     }
 }
@@ -230,7 +383,24 @@ fn segment_ranges(clean: &[u8]) -> Vec<std::ops::Range<usize>> {
     scan.entries
         .iter()
         .map(|e| match e {
-            ScanEntry::Intact { byte_range, .. } => byte_range.clone(),
+            ScanEntry::Intact { byte_range, .. } | ScanEntry::Parity { byte_range, .. } => {
+                byte_range.clone()
+            }
+            ScanEntry::Damaged { .. } => panic!("golden frame must scan clean"),
+        })
+        .collect()
+}
+
+/// Byte ranges of the clean frame's *data* segments only (v3 frames put
+/// parity shards after the data, so the repair campaigns corrupt data by
+/// index).
+fn data_segment_ranges(clean: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let scan = frame::scan_salvage(clean, &DecodeLimits::default()).unwrap();
+    scan.entries
+        .iter()
+        .filter_map(|e| match e {
+            ScanEntry::Intact { byte_range, .. } => Some(byte_range.clone()),
+            ScanEntry::Parity { .. } => None,
             ScanEntry::Damaged { .. } => panic!("golden frame must scan clean"),
         })
         .collect()
@@ -311,6 +481,63 @@ proptest! {
         }
     }
 
+    /// **Repair exactness**: for any damage within the parity budget
+    /// (≤ `r` corrupted segments per interleaved group), the repair
+    /// ladder's output is **byte-identical** to the uncorrupted decode —
+    /// across K ∈ {4, 8, 16, 32} and thread counts {1, 8}.
+    #[test]
+    fn within_budget_repair_is_byte_identical(
+        k_idx in 0usize..4,
+        threads_idx in 0usize..2,
+        seed in 0u64..3,
+        picks in proptest::collection::vec(any::<u16>(), 1..4),
+    ) {
+        let k = [4usize, 8, 16, 32][k_idx];
+        let threads = [1usize, 8][threads_idx];
+        let set = SyntheticProfile::new("repair-pt", 24, 64, 0.72).generate(seed);
+        let stream = set.as_stream().clone();
+        let eng = engine_v3(threads, 4, 1);
+        let clean = eng.encode_frame(k, &stream).expect("encodes");
+        let clean_out = eng.decode_frame(&clean).expect("clean v3 decodes");
+        let data = data_segment_ranges(&clean);
+        let groups = data.len().div_ceil(4);
+        // Budget: at most r = 1 corrupted segment per group (interleaved:
+        // segment i belongs to group i mod G). Damaged neighbours merge
+        // into one scan range, which repair correctly refuses to guess
+        // about, so keep the corrupted segments pairwise non-adjacent.
+        let mut chosen: Vec<usize> = Vec::new();
+        for p in picks {
+            let i = (p as usize) % data.len();
+            if chosen
+                .iter()
+                .all(|&j| j.abs_diff(i) >= 2 && j % groups != i % groups)
+            {
+                chosen.push(i);
+            }
+        }
+        prop_assume!(!chosen.is_empty());
+        let mut mutant = clean.clone();
+        for &i in &chosen {
+            mutant[data[i].start + SEGMENT_HEADER_BYTES] ^= 0x5A;
+        }
+        // Strict decode rejects the damage...
+        prop_assert!(eng.decode_frame(&mutant).is_err());
+        // ...and the ladder rebuilds it bit-exact.
+        let report = eng.decode_frame_repair(&mutant).expect("repair runs");
+        prop_assert!(
+            report.is_full_recovery(),
+            "k={} threads={} damaged={:?}: {:?}",
+            k, threads, chosen, report.damaged
+        );
+        prop_assert_eq!(&report.trits, &clean_out, "repair must be byte-identical");
+        let rebuilt = report
+            .damaged
+            .iter()
+            .filter(|d| d.reason.is_repaired())
+            .count();
+        prop_assert_eq!(rebuilt, chosen.len());
+    }
+
     /// Header transplants: graft the file header of one frame onto the
     /// segments of another (different seed ⇒ different lengths).
     #[test]
@@ -375,12 +602,55 @@ fn corpus_files() -> Vec<(&'static str, Vec<u8>)> {
     let tiny: TritVec = "01".parse().unwrap();
     frame::write_segment(&mut forged, 8, 1 << 20, &tiny).unwrap();
 
+    // --- v3 (erasure-coded) corpus ---------------------------------
+    let (_, clean_v3) = golden_v3(99, 2, 1);
+    let v3_data = data_segment_ranges(&clean_v3);
+    let v3_all = segment_ranges(&clean_v3);
+    let groups = v3_data.len().div_ceil(2);
+
+    // 6. Repairable: one corrupted data payload byte — within the r = 1
+    //    budget, so the ladder must rebuild it bit-exact.
+    let mut v3_repairable = clean_v3.clone();
+    v3_repairable[v3_data[0].start + SEGMENT_HEADER_BYTES] ^= 0x0F;
+
+    // 7. Over budget: two corrupted segments in the *same* interleaved
+    //    group (indices 0 and G share group 0) — repair must refuse that
+    //    group and fall back to accurate erasure.
+    let mut v3_over_budget = clean_v3.clone();
+    v3_over_budget[v3_data[0].start + SEGMENT_HEADER_BYTES] ^= 0x0F;
+    v3_over_budget[v3_data[groups].start + SEGMENT_HEADER_BYTES] ^= 0x0F;
+
+    // 8. Corrupted parity segment: the data is all intact, so this is
+    //    still a full recovery — the damage costs zero output trits.
+    let mut v3_bad_parity = clean_v3.clone();
+    let parity_start = v3_all[v3_data.len()].start;
+    v3_bad_parity[parity_start + SEGMENT_HEADER_BYTES] ^= 0x0F;
+
+    // 9. v2 in v3 clothing: a version-3 file header with `parity 0:0`
+    //    wrapped around plain v2 segments — wire-compatible apart from
+    //    the two geometry bytes.
+    let mut v2_in_v3 = Vec::new();
+    let n = segment_ranges(&clean).len();
+    frame::write_header_v3(
+        &mut v2_in_v3,
+        lengths,
+        n as u32,
+        engine_claimed_len(&clean) as u64,
+        0,
+        0,
+    );
+    v2_in_v3.extend_from_slice(&clean[HEADER_BYTES..]);
+
     vec![
         ("bomb_header.9cf", bomb),
         ("bad_crc.9cf", bad_crc),
         ("truncated_tail.9cf", truncated),
         ("spliced.9cf", spliced),
         ("forged_expansion.9cf", forged),
+        ("v3_repairable.9cf", v3_repairable),
+        ("v3_over_budget.9cf", v3_over_budget),
+        ("v3_bad_parity.9cf", v3_bad_parity),
+        ("v3_v2_in_v3_clothing.9cf", v2_in_v3),
     ]
 }
 
@@ -389,6 +659,7 @@ fn corpus_replay() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let bless = std::env::var_os("CORPUS_BLESS").is_some();
     let (original, clean) = golden(99);
+    let (original_v3, clean_v3) = golden_v3(99, 2, 1);
     for (name, bytes) in corpus_files() {
         let path = dir.join(name);
         if bless {
@@ -410,6 +681,9 @@ fn corpus_replay() {
         match name {
             "bad_crc.9cf" | "truncated_tail.9cf" => {
                 check_mutant(&original, &clean, &bytes, None);
+            }
+            "v3_repairable.9cf" | "v3_over_budget.9cf" | "v3_bad_parity.9cf" => {
+                check_mutant_v3(&original_v3, &bytes, None);
             }
             _ => {
                 if let Ok(out) = engine(2).decode_frame(&bytes) {
@@ -470,6 +744,58 @@ fn corpus_replay() {
             == 1 << 20,
         "forged expansion must not shrink the claimed output silently"
     );
+
+    // --- v3 pins ---------------------------------------------------
+    let clean_v3_out = engine_v3(1, 2, 1)
+        .decode_frame(&clean_v3)
+        .expect("v3 golden decodes strict");
+
+    // Within the r = 1 budget: strict rejects, the ladder rebuilds the
+    // lost segment bit-exact, and the damage map says which parity did it.
+    let repairable = read("v3_repairable.9cf");
+    assert!(engine_v3(1, 2, 1).decode_frame(&repairable).is_err());
+    let report = engine_v3(2, 2, 1).decode_frame_repair(&repairable).unwrap();
+    assert!(report.is_full_recovery(), "{:?}", report.damaged);
+    assert_eq!(report.trits, clean_v3_out, "repair must be bit-exact");
+    assert_eq!(
+        report
+            .damaged
+            .iter()
+            .filter(|d| d.reason.is_repaired())
+            .count(),
+        1
+    );
+
+    // Two losses in one group beat r = 1: repair refuses to guess and the
+    // ladder degrades to accurate erasure (both segments X-ed out).
+    let over = read("v3_over_budget.9cf");
+    let report = engine_v3(2, 2, 1).decode_frame_repair(&over).unwrap();
+    assert!(!report.is_full_recovery());
+    assert_eq!(
+        report
+            .damaged
+            .iter()
+            .filter(|d| !d.reason.is_repaired() && !d.trit_range.is_empty())
+            .count(),
+        2,
+        "{:?}",
+        report.damaged
+    );
+
+    // A corrupted parity shard costs zero output trits: full recovery.
+    let bad_parity = read("v3_bad_parity.9cf");
+    let report = engine_v3(2, 2, 1).decode_frame_repair(&bad_parity).unwrap();
+    assert!(report.is_full_recovery(), "{:?}", report.damaged);
+    assert!(covers(&original_v3, &report.trits));
+
+    // A v3 header with parity 0:0 over v2 segments decodes identically
+    // to the v2 frame, strict and ladder alike.
+    let clothed = read("v3_v2_in_v3_clothing.9cf");
+    let strict = engine(1).decode_frame(&clothed).expect("decodes strict");
+    assert!(covers(&original, &strict));
+    let report = engine(1).decode_frame_repair(&clothed).unwrap();
+    assert!(report.is_full_recovery());
+    assert_eq!(report.trits, strict);
 }
 
 // ---------------------------------------------------------------------------

@@ -67,30 +67,39 @@ fn readme_parallel_engine_example_runs() {
     parallel_engine_snippet().unwrap();
 }
 
-/// Mirrors the README "Fault tolerance & salvage" snippet verbatim
-/// (modulo the `println!`, elided to keep test output quiet).
-fn salvage_snippet() -> Result<(), Box<dyn std::error::Error>> {
+/// Mirrors the README "Repair, salvage, and streaming decode" snippet
+/// verbatim (modulo the `println!`, elided to keep test output quiet).
+fn repair_salvage_snippet() -> Result<(), Box<dyn std::error::Error>> {
     use ninec::engine::{DecodeLimits, Engine};
     use ninec::session::DecodeSession;
     use ninec_testdata::trit::TritVec;
 
     let stream: TritVec = "0X0X00XX1111X11101X0".repeat(100).parse()?;
-    let mut frame = Engine::builder()
-        .segment_bits(256)
-        .build()
-        .encode_frame(8, &stream)?;
-    frame[47] ^= 0x55; // corrupt one payload byte -> that segment's CRC fails
+    let engine = Engine::builder().segment_bits(256).parity(4, 1).build();
+    let clean = engine.encode_frame(8, &stream)?;
+    let mut frame = clean.clone();
+    frame[47] ^= 0x55; // corrupt one byte -> that segment's CRC fails
 
     // Strict mode stays fail-closed: corruption is a typed error.
     assert!(DecodeSession::new().decode_frame(&frame).is_err());
 
-    // Salvage mode recovers every intact segment; damage becomes X runs.
+    // Repair rebuilds the damaged segment from GF(256) parity, bit-exact.
+    let report = DecodeSession::new().decode_frame_repair(&frame)?;
+    assert!(report.is_full_recovery());
+    assert!(report.damaged.iter().all(|d| d.reason.is_repaired()));
+    assert_eq!(report.trits, DecodeSession::new().decode_frame(&clean)?);
+
+    // Salvage alone recovers every intact segment; damage becomes X runs.
     let report = DecodeSession::new().decode_frame_salvage(&frame)?;
     assert!(!report.is_full_recovery());
     assert_eq!(report.trits.len(), stream.len()); // full length, holes are X
     for d in &report.damaged {
         let _ = (d.index, &d.byte_range, &d.reason);
     }
+
+    // Streaming decode: bounded memory, straight off any `io::Read` (pipes).
+    let back = engine.decode_stream(std::io::Cursor::new(clean.clone()))?;
+    assert!(back.covers(&stream));
 
     // Resource-limit guards reject hostile headers *before* allocating.
     let limits = DecodeLimits {
@@ -102,8 +111,8 @@ fn salvage_snippet() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 #[test]
-fn readme_salvage_example_runs() {
-    salvage_snippet().unwrap();
+fn readme_repair_salvage_example_runs() {
+    repair_salvage_snippet().unwrap();
 }
 
 /// Mirrors the README "Quick start" compress-in-code snippet (modulo the
