@@ -21,7 +21,7 @@ pub mod format;
 
 use format::TeFile;
 use ninec::encode::Encoder;
-use ninec::engine::{frame, Engine};
+use ninec::engine::{frame, Engine, PlanEntry, Policy};
 use ninec::freqdir::encode_frequency_directed;
 use ninec::session::DecodeSession;
 use ninec_atpg::generate::{generate_tests, AtpgConfig};
@@ -157,8 +157,9 @@ REPAIR AND SALVAGE (binary `.9cf` frames):
                         don't-cares (then `--fill` applies), and the damage
                         map goes to stderr.
     `info` on a `.9cf` frame prints the parity geometry and the
-    per-segment damage map when the frame is corrupt instead of failing
-    on the first bad segment.
+    per-segment decode plan — what each ladder rung will do with every
+    slot, including the damage map — instead of failing on the first
+    bad segment.
 
 EXIT CODES:
     0   success — including a damaged frame fully rebuilt by repair
@@ -599,20 +600,27 @@ fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         // Binary 9CSF frame: self-describing (K, table, segment bounds),
         // decoded in parallel by the session's sharded engine. Damaged
         // frames climb the ladder: strict -> repair (unless --no-repair)
-        // -> salvage (only kept when --salvage allows lossy output).
+        // -> salvage (only kept when --salvage allows lossy output) —
+        // every rung executes against ONE plan, built by a single
+        // header/CRC scan pass.
         let mut session = DecodeSession::new();
         if let Some(threads) = opts.threads {
             session = session.threads(threads);
         }
-        let decoded = match session.decode_frame(&bytes) {
-            Ok(trits) => trits,
+        let plan = session
+            .plan(&bytes)
+            .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+        let decoded = match session.execute_plan(&plan, Policy::Strict) {
+            Ok(report) => report.trits,
             Err(strict_err) => {
-                let report = if opts.no_repair {
-                    session.decode_frame_salvage(&bytes)
+                let rung = if opts.no_repair {
+                    Policy::Salvage
                 } else {
-                    session.decode_frame_repair(&bytes)
-                }
-                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+                    Policy::Repair
+                };
+                let report = session
+                    .execute_plan(&plan, rung)
+                    .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
                 repaired = report
                     .damaged
                     .iter()
@@ -720,36 +728,40 @@ fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let input = one_input(&opts)?;
     let bytes = fs::read(input)?;
     if frame::is_frame(&bytes) {
-        // The salvage scan keeps going past damaged segments, so `info`
-        // can print a damage map instead of dying on the first bad CRC.
-        let scan = frame::scan_salvage(&bytes, &frame::DecodeLimits::default())
+        // One plan build — a single header/CRC scan pass — keeps going
+        // past damaged segments, so `info` prints the per-segment decode
+        // plan (including the damage map) instead of dying on the first
+        // bad CRC.
+        let plan = DecodeSession::new()
+            .plan(&bytes)
             .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
         let compressed_bits = bytes.len() * 8;
         writeln!(
             out,
             "{input}: 9CSF frame, {} segments ({} intact), {} compressed bits for {} source \
              bits (CR {:.2}%), lengths {:?}",
-            scan.entries.len(),
-            scan.intact_count(),
+            plan.entries().len(),
+            plan.intact_count(),
             compressed_bits,
-            scan.source_len,
-            (scan.source_len as f64 - compressed_bits as f64) / (scan.source_len as f64).max(1.0)
+            plan.source_len(),
+            (plan.source_len() as f64 - compressed_bits as f64)
+                / (plan.source_len() as f64).max(1.0)
                 * 100.0,
-            scan.table_lengths,
+            plan.table_lengths(),
         )?;
-        if scan.parity_r > 0 {
+        if plan.parity_r() > 0 {
             // v3: report the parity-group geometry and how much of the
             // repair budget is still standing.
-            let groups = scan.groups();
-            let parity_found = scan
-                .entries
+            let groups = plan.groups();
+            let parity_found = plan
+                .entries()
                 .iter()
-                .filter(|e| matches!(e, frame::ScanEntry::Parity { .. }))
+                .filter(|e| matches!(e, PlanEntry::Parity { .. }))
                 .count();
-            let parity_bytes: usize = scan
-                .entries
+            let parity_bytes: usize = plan
+                .entries()
                 .iter()
-                .filter(|e| matches!(e, frame::ScanEntry::Parity { .. }))
+                .filter(|e| matches!(e, PlanEntry::Parity { .. }))
                 .map(|e| e.byte_range().len())
                 .sum();
             writeln!(
@@ -757,27 +769,46 @@ fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 "  parity {}:{} — {} interleaved groups, {}/{} parity segments intact \
                  ({} parity bytes, {:.2}% overhead); up to {} lost segments per group \
                  rebuild bit-exact",
-                scan.parity_g,
-                scan.parity_r,
+                plan.parity_g(),
+                plan.parity_r(),
                 groups,
                 parity_found,
-                groups * scan.parity_r as usize,
+                groups * plan.parity_r() as usize,
                 parity_bytes,
                 parity_bytes as f64 / (bytes.len().max(1)) as f64 * 100.0,
-                scan.parity_r,
+                plan.parity_r(),
             )?;
         }
-        for (i, entry) in scan.entries.iter().enumerate() {
-            if let frame::ScanEntry::Damaged {
-                byte_range, reason, ..
-            } = entry
-            {
-                writeln!(
+        // The per-segment plan, one line per slot: exactly what each
+        // rung of the decode ladder will do with it.
+        for (i, entry) in plan.entries().iter().enumerate() {
+            let r = entry.byte_range();
+            match entry {
+                PlanEntry::Data { seg, .. } => writeln!(
                     out,
-                    "  damaged segment {i}: bytes {}..{}: {reason}",
-                    byte_range.start, byte_range.end,
-                )?;
+                    "  segment {i}: data k={} {} trits, bytes {}..{} — decode",
+                    seg.k, seg.source_trits, r.start, r.end,
+                )?,
+                PlanEntry::OverBudget { seg, .. } => writeln!(
+                    out,
+                    "  segment {i}: data k={} {} trits, bytes {}..{} — over budget, erase",
+                    seg.k, seg.source_trits, r.start, r.end,
+                )?,
+                PlanEntry::Parity { par, .. } => writeln!(
+                    out,
+                    "  segment {i}: parity group {} shard {}, bytes {}..{} — repair input",
+                    par.group, par.pindex, r.start, r.end,
+                )?,
+                PlanEntry::Damaged { error, .. } => writeln!(
+                    out,
+                    "  damaged segment {i}: bytes {}..{}: {error}",
+                    r.start, r.end,
+                )?,
+                _ => writeln!(out, "  segment {i}: bytes {}..{}", r.start, r.end)?,
             }
+        }
+        if let Some(err) = plan.strict_error() {
+            writeln!(out, "  strict decode fails: {err}")?;
         }
         return Ok(());
     }

@@ -4,11 +4,10 @@
 //! this module is the behavioural reference both are checked against.
 
 use crate::code::{CodeTable, HalfSpec};
-use crate::encode::{Encoded, InvalidBlockSize};
+use crate::encode::InvalidBlockSize;
 use crate::engine::frame::FrameError;
 use crate::stream::{BitSink, BitSource};
-use ninec_testdata::bits::BitVec;
-use ninec_testdata::trit::{Trit, TritVec};
+use ninec_testdata::trit::Trit;
 use std::fmt;
 
 /// Error returned when a compressed stream cannot be decoded.
@@ -142,50 +141,6 @@ impl From<InvalidBlockSize> for DecodeError {
     fn from(e: InvalidBlockSize) -> Self {
         DecodeError::InvalidBlockSize { k: e.k }
     }
-}
-
-/// Decodes a three-valued 9C stream produced with `table` and block size
-/// `k`, yielding exactly `source_len` symbols.
-///
-/// **Deprecated:** thin shim over
-/// [`DecodeSession`](crate::session::DecodeSession) — migrate to
-///
-/// ```
-/// # use ninec::code::CodeTable;
-/// # use ninec::session::DecodeSession;
-/// # use ninec_testdata::trit::TritVec;
-/// // C1 ("0") then C5 ("11100") with payload "01X0", at K = 8.
-/// let te: TritVec = "011100 01X0".replace(' ', "").parse()?;
-/// let out = DecodeSession::new()
-///     .k(8)
-///     .table(CodeTable::paper())
-///     .source_len(16)
-///     .decode_trits(&te)?;
-/// assert_eq!(out.to_string(), "00000000".to_owned() + "000001X0");
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-///
-/// Unlike older releases this no longer panics on an invalid `k`; it
-/// returns [`DecodeError::InvalidBlockSize`].
-///
-/// # Errors
-///
-/// See [`DecodeError`].
-#[deprecated(
-    since = "0.3.0",
-    note = "use ninec::session::DecodeSession::new().k(..).table(..).source_len(..).decode_trits(..)"
-)]
-pub fn decode_stream(
-    stream: &TritVec,
-    k: usize,
-    table: &CodeTable,
-    source_len: usize,
-) -> Result<TritVec, DecodeError> {
-    crate::session::DecodeSession::new()
-        .k(k)
-        .table(table.clone())
-        .source_len(source_len)
-        .decode_trits(stream)
 }
 
 /// A streaming 9C decoder pulling codewords and payload from a
@@ -367,57 +322,13 @@ impl<S: BitSource> Drop for StreamDecoder<S> {
     }
 }
 
-/// Decodes an [`Encoded`] value back to a stream of `|T_D|` symbols.
-///
-/// **Deprecated:** thin shim over
-/// [`DecodeSession`](crate::session::DecodeSession) — migrate to
-/// `DecodeSession::new().decode(&encoded)`.
-///
-/// # Errors
-///
-/// See [`DecodeError`]; cannot fail on streams produced by
-/// [`Encoder::encode_stream`](crate::encode::Encoder::encode_stream).
-#[deprecated(
-    since = "0.3.0",
-    note = "use ninec::session::DecodeSession::new().decode(&encoded)"
-)]
-pub fn decode(encoded: &Encoded) -> Result<TritVec, DecodeError> {
-    crate::session::DecodeSession::new().decode(encoded)
-}
-
-/// Decodes a fully specified bit stream (what the ATE actually stores,
-/// after X-fill) to the bits scanned into the chain.
-///
-/// **Deprecated:** thin shim over
-/// [`DecodeSession`](crate::session::DecodeSession) — migrate to
-/// `DecodeSession::new().k(..).table(..).source_len(..).decode_bits(..)`.
-///
-/// # Errors
-///
-/// See [`DecodeError`].
-#[deprecated(
-    since = "0.3.0",
-    note = "use ninec::session::DecodeSession::new().k(..).table(..).source_len(..).decode_bits(..)"
-)]
-pub fn decode_bits(
-    bits: &BitVec,
-    k: usize,
-    table: &CodeTable,
-    source_len: usize,
-) -> Result<BitVec, DecodeError> {
-    crate::session::DecodeSession::new()
-        .k(k)
-        .table(table.clone())
-        .source_len(source_len)
-        .decode_bits(bits)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::encode::Encoder;
+    use crate::encode::{Encoded, Encoder};
     use crate::session::DecodeSession;
     use ninec_testdata::fill::FillStrategy;
+    use ninec_testdata::trit::TritVec;
 
     /// Session-based decode of an [`Encoded`] (the canonical entry point).
     fn sdecode(enc: &Encoded) -> Result<TritVec, DecodeError> {
@@ -539,32 +450,6 @@ mod tests {
             let err = sdecode_trits(&te, k, 8).unwrap_err();
             assert_eq!(err, DecodeError::InvalidBlockSize { k });
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_the_session() {
-        let src: TritVec = "0X0X01X001X0101X111111110000X111".parse().unwrap();
-        let enc = Encoder::new(8).unwrap().encode_stream(&src);
-        assert_eq!(decode(&enc), sdecode(&enc));
-        assert_eq!(
-            decode_stream(enc.stream(), enc.k(), enc.table(), enc.source_len()),
-            sdecode(&enc)
-        );
-        let ate_bits = enc.to_bitvec(FillStrategy::Zero);
-        assert_eq!(
-            decode_bits(&ate_bits, enc.k(), enc.table(), enc.source_len()),
-            DecodeSession::new()
-                .k(enc.k())
-                .table(enc.table().clone())
-                .source_len(enc.source_len())
-                .decode_bits(&ate_bits)
-        );
-        // The old panic path is now a typed error through the shim too.
-        assert_eq!(
-            decode_stream(&src, 7, enc.table(), 8),
-            Err(DecodeError::InvalidBlockSize { k: 7 })
-        );
     }
 
     #[test]

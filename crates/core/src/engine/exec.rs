@@ -1,0 +1,427 @@
+//! A reusable, std-only work-stealing executor with two job priorities.
+//!
+//! This is the scheduling core the segment [`pool`](super::pool) wraps:
+//! all jobs are known up front, none spawns new ones, and every job
+//! writes exactly one result slot, returned in job-index order. What the
+//! executor adds over a plain pool is a **two-level priority**: every
+//! job is seeded as [`Priority::High`] or [`Priority::Low`], and no
+//! worker starts a `Low` job while any `High` job is still queued
+//! anywhere. The decode pipeline uses this to keep payload decodes
+//! (latency-critical, always needed) ahead of repair/salvage backfill
+//! work, and it is the executor a future `ninec-serve` can multiplex
+//! connections onto.
+//!
+//! Scheduling shape (per priority level, identical to the old pool):
+//! per-worker deques seeded round-robin, LIFO pops from the owner, FIFO
+//! steals from siblings. A worker drains `High` — its own deque, then
+//! every sibling's — before touching any `Low` deque; since jobs are
+//! only ever removed after seeding, a worker that finds every `High`
+//! deque empty has proof that every `High` job has already *started*.
+//!
+//! Determinism: results are keyed by job index and collected in index
+//! order, so the returned vector is independent of worker interleaving.
+//! `threads <= 1` (or a single job) short-circuits to a serial in-caller
+//! loop that runs every `High` job in index order, then every `Low` job
+//! in index order.
+//!
+//! Panic isolation: every job runs under
+//! [`std::panic::catch_unwind`], so a panicking closure poisons only its
+//! own result slot — it surfaces as a [`JobPanic`] value while every
+//! other job's result is delivered intact, and the index-ordered merge
+//! can never deadlock on a missing slot. The serial fallback catches
+//! panics the same way, so `threads = 1` isolates identically to
+//! `threads = 8`.
+//!
+//! Telemetry (batched at job boundaries, never inside a job): each
+//! worker publishes its queue depth to the
+//! `ninec.engine.worker.<i>.queue_depth` gauge after every pop, and its
+//! steal/completion tallies once at exit (`ninec.engine.steals`,
+//! `ninec.engine.segments`).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Upper bound on worker threads — keeps the per-worker gauge family
+/// bounded and guards against absurd `NINEC_THREADS` values.
+pub const MAX_THREADS: usize = 256;
+
+/// Scheduling class of one job. `High` jobs are guaranteed to *start*
+/// before any `Low` job whose worker could see them queued; `Low` jobs
+/// are backfill that must never starve the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Critical-path work (segment decodes): always scheduled first.
+    High,
+    /// Backfill work (repair reconstruction, salvage bookkeeping):
+    /// scheduled only when no `High` job is queued.
+    Low,
+}
+
+/// A caught panic from one executor job, carrying the panic message when
+/// the payload was a string (the common `panic!("…")` case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload rendered as text, or a placeholder for
+    /// non-string payloads.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Runs `thunk` under `catch_unwind`, converting a panic payload into a
+/// [`JobPanic`]. The closure owns (or safely shares) its data, so
+/// observing state after a caught panic is sound: a poisoned job's
+/// partial effects never escape its own result slot.
+fn run_caught<T>(thunk: impl FnOnce() -> T) -> Result<T, JobPanic> {
+    match catch_unwind(AssertUnwindSafe(thunk)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(JobPanic { message })
+        }
+    }
+}
+
+/// One worker's pair of deques, one per priority level.
+#[derive(Default)]
+struct Queues {
+    high: VecDeque<usize>,
+    low: VecDeque<usize>,
+}
+
+/// Locks a worker's queues, recovering from poisoning. Jobs run
+/// *outside* the queue locks (the critical sections below are plain
+/// `VecDeque` ops that cannot panic), so a poisoned mutex can only mean
+/// a job panicked elsewhere — the queue data itself is still consistent.
+fn lock_queues<'a>(queues: &'a [Mutex<Queues>], w: usize) -> MutexGuard<'a, Queues> {
+    match queues[w].lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Runs `f(0..jobs)` across at most `threads` workers, scheduling each
+/// job at `priority(job)`, and returns the results in job-index order —
+/// slot `i` holds `Ok(f(i))`, or `Err(JobPanic)` when `f(i)` panicked.
+///
+/// Priorities affect only *when* a job starts, never the returned
+/// vector. No `Low` job starts while a `High` job is still queued on any
+/// worker; once a `Low` job has been popped, every `High` job has
+/// already started (all jobs are seeded before the workers spawn and
+/// queues only drain).
+///
+/// With `threads <= 1` or fewer than two jobs the closure runs serially
+/// on the calling thread: every `High` job in index order, then every
+/// `Low` job in index order.
+pub fn run_prioritized<T, F, P>(
+    threads: usize,
+    jobs: usize,
+    priority: P,
+    f: F,
+) -> Vec<Result<T, JobPanic>>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+    P: Fn(usize) -> Priority,
+{
+    let threads = threads.clamp(1, MAX_THREADS);
+    if threads <= 1 || jobs <= 1 {
+        // The serial fallback isolates panics exactly like the pooled
+        // path and honors the same High-before-Low start order.
+        let mut slots: Vec<Option<Result<T, JobPanic>>> = (0..jobs).map(|_| None).collect();
+        for want in [Priority::High, Priority::Low] {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if priority(i) == want {
+                    *slot = Some(run_caught(|| f(i)));
+                }
+            }
+        }
+        return slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(JobPanic {
+                        message: "worker exited without storing a result".to_string(),
+                    })
+                })
+            })
+            .collect();
+    }
+    let workers = threads.min(jobs);
+    // Round-robin seeding per level: job i starts on worker i % workers.
+    let queues: Vec<Mutex<Queues>> = {
+        let mut qs: Vec<Queues> = (0..workers).map(|_| Queues::default()).collect();
+        for job in 0..jobs {
+            match priority(job) {
+                Priority::High => qs[job % workers].high.push_back(job),
+                Priority::Low => qs[job % workers].low.push_back(job),
+            }
+        }
+        qs.into_iter().map(Mutex::new).collect()
+    };
+    let slots: Vec<OnceLock<Result<T, JobPanic>>> = (0..jobs).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                let mut steals = 0u64;
+                let mut done = 0u64;
+                loop {
+                    let job = match pop_own(queues, w) {
+                        Some(job) => Some(job),
+                        None => steal(queues, w, &mut steals),
+                    };
+                    let Some(job) = job else { break };
+                    // One gauge write per job — batched at the job
+                    // boundary, never inside the encode/decode hot loop.
+                    crate::metrics::publish_worker_queue_depth(w, queue_len(queues, w));
+                    // The catch_unwind here is the panic-isolation
+                    // boundary: a panicking job poisons only slot `job`.
+                    let out = run_caught(|| f(job));
+                    // Each job index is popped exactly once, so the slot is
+                    // empty; a second set is impossible by construction.
+                    let _ = slots[job].set(out);
+                    done += 1;
+                }
+                crate::metrics::publish_pool_worker(steals, done);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            // Every index was queued exactly once and its worker either
+            // stored Ok or a caught JobPanic; an empty slot would mean a
+            // worker died outside catch_unwind, which the isolation
+            // boundary makes unreachable — but stay total regardless.
+            slot.into_inner().unwrap_or_else(|| {
+                Err(JobPanic {
+                    message: "worker exited without storing a result".to_string(),
+                })
+            })
+        })
+        .collect()
+}
+
+/// LIFO pop from the worker's own deques, `High` first (hot segments
+/// stay cache-warm). A worker only reads its own `Low` deque after its
+/// own `High` deque *and every sibling's* are empty — see [`steal`].
+fn pop_own(queues: &[Mutex<Queues>], w: usize) -> Option<usize> {
+    lock_queues(queues, w).high.pop_back()
+}
+
+/// Current total depth of the worker's own deques.
+fn queue_len(queues: &[Mutex<Queues>], w: usize) -> usize {
+    let q = lock_queues(queues, w);
+    q.high.len() + q.low.len()
+}
+
+/// Finds the next job for an own-`High`-empty worker, in strict priority
+/// order: steal `High` from a sibling (FIFO, scanning from `w + 1`
+/// round-robin so the load spreads instead of piling on worker 0), then
+/// pop own `Low`, then steal `Low`. Because every queue only drains, a
+/// scan that found all `High` deques empty proves every `High` job has
+/// started — so a `Low` pop can never overtake a queued `High` job.
+fn steal(queues: &[Mutex<Queues>], w: usize, steals: &mut u64) -> Option<usize> {
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (w + off) % n;
+        let job = lock_queues(queues, victim).high.pop_front();
+        if let Some(job) = job {
+            *steals += 1;
+            return Some(job);
+        }
+    }
+    if let Some(job) = lock_queues(queues, w).low.pop_back() {
+        return Some(job);
+    }
+    for off in 1..n {
+        let victim = (w + off) % n;
+        let job = lock_queues(queues, victim).low.pop_front();
+        if let Some(job) = job {
+            *steals += 1;
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn all_high(_: usize) -> Priority {
+        Priority::High
+    }
+
+    #[test]
+    fn results_are_index_ordered_regardless_of_priority() {
+        for threads in [1usize, 2, 8] {
+            let out = run_prioritized(
+                threads,
+                37,
+                |i| {
+                    if i % 3 == 0 {
+                        Priority::Low
+                    } else {
+                        Priority::High
+                    }
+                },
+                |i| i * i,
+            );
+            let vals: Vec<usize> = out.into_iter().map(|r| r.expect("no panics")).collect();
+            assert_eq!(vals, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once_across_priorities() {
+        let hits: Vec<AtomicUsize> = (0..96).map(|_| AtomicUsize::new(0)).collect();
+        let out = run_prioritized(
+            8,
+            96,
+            |i| {
+                if i < 48 {
+                    Priority::High
+                } else {
+                    Priority::Low
+                }
+            },
+            |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+                i
+            },
+        );
+        assert_eq!(out.len(), 96);
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn serial_fallback_runs_high_then_low_in_index_order() {
+        let order = Mutex::new(Vec::new());
+        run_prioritized(
+            1,
+            10,
+            |i| {
+                if i % 2 == 0 {
+                    Priority::Low
+                } else {
+                    Priority::High
+                }
+            },
+            |i| order.lock().expect("no poisoned lock").push(i),
+        );
+        let order = order.into_inner().expect("no poisoned lock");
+        assert_eq!(order, vec![1, 3, 5, 7, 9, 0, 2, 4, 6, 8]);
+    }
+
+    /// The starvation guarantee under an oversubscribed pool: at the
+    /// moment any `Low` job starts, every `High` job has started too —
+    /// up to the threads-1 that may sit between their pop and their
+    /// start-log write.
+    #[test]
+    fn low_jobs_never_overtake_queued_high_jobs_under_stress() {
+        const THREADS: usize = 8;
+        const HIGH: usize = 200;
+        const LOW: usize = 200;
+        for round in 0..10 {
+            let starts = Mutex::new(Vec::with_capacity(HIGH + LOW));
+            let out = run_prioritized(
+                THREADS,
+                HIGH + LOW,
+                |i| {
+                    if i < HIGH {
+                        Priority::High
+                    } else {
+                        Priority::Low
+                    }
+                },
+                |i| {
+                    starts.lock().expect("no poisoned lock").push(i);
+                    // Skew the load so workers race each other hard.
+                    if i % 13 == round {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    } else if i % 5 == 0 {
+                        std::thread::yield_now();
+                    }
+                    i
+                },
+            );
+            assert!(out
+                .iter()
+                .enumerate()
+                .all(|(i, r)| r.as_ref().ok() == Some(&i)));
+            let starts = starts.into_inner().expect("no poisoned lock");
+            assert_eq!(starts.len(), HIGH + LOW, "round {round}");
+            let mut high_started = 0usize;
+            for &i in &starts {
+                if i < HIGH {
+                    high_started += 1;
+                } else {
+                    let unstarted = HIGH - high_started;
+                    assert!(
+                        unstarted < THREADS,
+                        "round {round}: low job {i} started with {unstarted} high jobs unstarted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_low_job_poisons_only_its_slot() {
+        for threads in [1usize, 8] {
+            let out = run_prioritized(
+                threads,
+                16,
+                |i| {
+                    if i >= 12 {
+                        Priority::Low
+                    } else {
+                        Priority::High
+                    }
+                },
+                |i| {
+                    if i == 14 {
+                        panic!("backfill boom {i}");
+                    }
+                    i
+                },
+            );
+            for (i, r) in out.iter().enumerate() {
+                if i == 14 {
+                    let p = r.as_ref().expect_err("job 14 panicked");
+                    assert!(p.message.contains("backfill boom 14"), "{p:?}");
+                } else {
+                    assert_eq!(r.as_ref().ok(), Some(&i), "threads={threads} job {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_single_job_edge_cases() {
+        assert!(run_prioritized(8, 0, all_high, |i| i).is_empty());
+        let one = run_prioritized(8, 1, |_| Priority::Low, |i| i + 7);
+        assert_eq!(one[0].as_ref().ok(), Some(&7));
+    }
+}

@@ -348,7 +348,7 @@ impl DamageReason {
 }
 
 impl DamageReason {
-    fn from_frame_error(e: FrameError) -> Self {
+    pub(crate) fn from_frame_error(e: FrameError) -> Self {
         match e {
             FrameError::BadCrc { .. } => DamageReason::BadCrc,
             FrameError::Truncated { .. } => DamageReason::Truncated,
@@ -689,7 +689,7 @@ pub fn is_frame(bytes: &[u8]) -> bool {
 }
 
 /// Reads a little-endian `u32` at `at`, or `None` past the end.
-fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+pub(crate) fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
     let s = bytes.get(at..at.checked_add(4)?)?;
     Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
 }
@@ -942,7 +942,7 @@ pub(crate) fn segment_at<'a>(
 }
 
 /// Publishes frame-health counters for a failed parse/scan step.
-fn publish_failure_metrics(e: &FrameError) {
+pub(crate) fn publish_failure_metrics(e: &FrameError) {
     match e {
         FrameError::BadCrc { .. } | FrameError::BadHeaderCrc => {
             crate::metrics::publish_crc_failures(1);
@@ -1183,7 +1183,7 @@ fn any_segment_parses(bytes: &[u8], at: usize, v3: bool, limits: &DecodeLimits) 
 /// [`FrameError::LimitExceeded`] when
 /// [`DecodeLimits::max_resync_probes`] positions were probed without
 /// either resynchronising or reaching the end of the input.
-fn find_resync(
+pub(crate) fn find_resync(
     bytes: &[u8],
     at: usize,
     v3: bool,
@@ -1232,105 +1232,9 @@ pub fn scan_salvage<'a>(
     bytes: &'a [u8],
     limits: &DecodeLimits,
 ) -> Result<SalvageScan<'a>, FrameError> {
-    let head = match parse_file_header(bytes, limits) {
-        Ok(h) => h,
-        Err(e) => {
-            publish_failure_metrics(&e);
-            return Err(e);
-        }
-    };
-    let v3 = head.version == VERSION_V3;
-    let mut entries: Vec<ScanEntry<'a>> = Vec::new();
-    let mut alloc_budget = trit_alloc_bytes(head.source_len);
-    let mut at = head.header_bytes;
-    let mut index = 0usize;
-    // The scan walks data + parity segments; bound it by both counts.
-    let scan_cap = limits
-        .max_segments
-        .saturating_add(head.parity_segments().min(limits.max_segments));
-    while at < bytes.len() {
-        if entries.len() >= scan_cap {
-            let e = FrameError::LimitExceeded {
-                what: "scanned segment count",
-                requested: entries.len() + 1,
-                limit: scan_cap,
-            };
-            publish_failure_metrics(&e);
-            return Err(e);
-        }
-        let is_parity = v3 && bytes.get(at..at + 2) == Some(&PARITY_MARKER.to_le_bytes());
-        let result = if is_parity {
-            match parity_at(bytes, at, index, limits) {
-                Ok((par, next)) => {
-                    entries.push(ScanEntry::Parity {
-                        par,
-                        byte_range: at..next,
-                    });
-                    at = next;
-                    index += 1;
-                    continue;
-                }
-                Err(e) => Err(e),
-            }
-        } else {
-            segment_at(bytes, at, index, limits)
-        };
-        match result {
-            Ok((seg, next)) => {
-                let add = trit_alloc_bytes(seg.source_trits)
-                    .saturating_add(trit_alloc_bytes(seg.payload_trits));
-                if alloc_budget.saturating_add(add) > limits.max_total_alloc {
-                    // Too expensive to decode — skip it, keep scanning.
-                    crate::metrics::publish_limit_rejections(1);
-                    entries.push(ScanEntry::Damaged {
-                        byte_range: at..next,
-                        claimed_source_trits: Some(seg.source_trits),
-                        reason: DamageReason::LimitExceeded("total decode allocation"),
-                    });
-                } else {
-                    alloc_budget = alloc_budget.saturating_add(add);
-                    entries.push(ScanEntry::Intact {
-                        seg,
-                        byte_range: at..next,
-                    });
-                }
-                at = next;
-            }
-            Err(e) => {
-                publish_failure_metrics(&e);
-                // The header fields are untrusted but still useful as a
-                // *claim* for sizing the erasure run (parity headers
-                // carry no source trits — their claim is zero trits).
-                let claimed = if is_parity {
-                    Some(0)
-                } else {
-                    le_u32(bytes, at + 4).map(|v| v as usize)
-                };
-                let resync = match find_resync(bytes, at, v3, limits) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        publish_failure_metrics(&e);
-                        return Err(e);
-                    }
-                };
-                entries.push(ScanEntry::Damaged {
-                    byte_range: at..resync,
-                    claimed_source_trits: claimed,
-                    reason: DamageReason::from_frame_error(e),
-                });
-                at = resync;
-            }
-        }
-        index += 1;
-    }
-    Ok(SalvageScan {
-        table_lengths: head.table_lengths,
-        source_len: head.source_len,
-        claimed_segments: head.claimed_segments,
-        parity_g: head.parity_g,
-        parity_r: head.parity_r,
-        entries,
-    })
+    // The walk itself lives in `plan::build` now — one scan pass builds
+    // the whole decode plan, and this legacy scan shape is a view of it.
+    super::plan::build(bytes, limits, super::plan::BuildMode::Full).map(|p| p.to_scan())
 }
 
 /// Unpacks a segment's payload, attributing errors to `segment`.

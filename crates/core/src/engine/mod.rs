@@ -53,14 +53,17 @@
 #![deny(clippy::unwrap_used)]
 
 pub mod ecc;
+pub mod exec;
 pub mod faultpoint;
 pub mod frame;
+pub mod plan;
 pub mod pool;
 pub mod reader;
 pub mod salvage;
 
 pub use ecc::{EccError, ParityCoder};
 pub use frame::{DamageReason, DecodeLimits, FrameError};
+pub use plan::{FramePlan, PlanEntry, Policy};
 pub use reader::{FrameReader, ReadError, StreamItem};
 pub use salvage::{DamagedSegment, SalvageReport};
 
@@ -503,40 +506,11 @@ impl Engine {
     /// [`decode_frame_salvage`](Engine::decode_frame_salvage).
     pub fn decode_frame(&self, bytes: &[u8]) -> Result<TritVec, DecodeError> {
         let _span = ninec_obs::span("engine_decode_frame");
-        let parsed = frame::parse_limited(bytes, &self.limits).map_err(DecodeError::from)?;
-        let table = CodeTable::from_lengths(&parsed.table_lengths)
-            .map_err(|_| frame::FrameError::BadTable)?;
-        let results = pool::try_map_indexed(self.threads, parsed.segments.len(), |i| {
-            self.decode_one_segment(&parsed.segments[i], i, &table)
-        });
-        let mut parts = Vec::with_capacity(results.len());
-        let mut first_err: Option<DecodeError> = None;
-        let mut panics = 0u64;
-        for (i, r) in results.into_iter().enumerate() {
-            match r {
-                Ok(Ok(seg_out)) => parts.push(seg_out),
-                Ok(Err(e)) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-                Err(_panic) => {
-                    panics += 1;
-                    if first_err.is_none() {
-                        first_err = Some(DecodeError::WorkerPanicked { segment: i });
-                    }
-                }
-            }
-        }
-        crate::metrics::publish_worker_panics(panics);
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        let mut out = TritVec::with_capacity(parsed.source_len);
-        for seg_out in &parts {
-            out.extend_from_tritvec(seg_out);
-        }
-        Ok(out)
+        // One fail-fast plan build (a single header/CRC scan pass) pins
+        // the strict verdict; execution only decodes `Data` entries.
+        let built = plan::build(bytes, &self.limits, plan::BuildMode::FailFast)
+            .map_err(DecodeError::from)?;
+        plan::execute_strict(self, &built).map(|report| report.trits)
     }
 
     /// Decodes one parsed segment — the shared per-task body of

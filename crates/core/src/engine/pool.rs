@@ -1,11 +1,15 @@
-//! A vendored, std-only work-stealing thread pool for segment jobs.
+//! The engine's segment pool: a thin, single-priority facade over the
+//! reusable priority executor in [`exec`](super::exec).
 //!
 //! The engine's unit of work is a *segment index*: all jobs are known up
 //! front, none spawns new ones, and every job writes exactly one result
-//! slot. That lets the pool stay tiny — per-worker deques seeded
-//! round-robin, LIFO pops from the owner, FIFO steals from siblings, and
-//! scoped threads so borrows of the source stream flow straight into the
-//! workers without `Arc`.
+//! slot. Historically this module carried the whole work-stealing pool;
+//! the scheduling core (per-worker deques seeded round-robin, LIFO owner
+//! pops, FIFO steals, scoped threads, `catch_unwind` isolation, serial
+//! in-caller fallback) now lives in [`exec`](super::exec) so that
+//! repair/salvage backfill — and, later, `ninec-serve` connections — can
+//! share it with two-level job priorities. Everything here schedules at
+//! [`Priority::High`](super::exec::Priority::High).
 //!
 //! Determinism: results are keyed by job index and collected in index
 //! order, so the output of [`map_indexed`] is independent of how the jobs
@@ -21,72 +25,10 @@
 //! serial fallback catches panics the same way, so `threads = 1`
 //! isolates identically to `threads = 8`. ([`map_indexed`] keeps the old
 //! propagate-the-panic contract for callers that treat a panic as a bug.)
-//!
-//! Telemetry (batched at segment boundaries, never inside a job): each
-//! worker publishes its queue depth to the
-//! `ninec.engine.worker.<i>.queue_depth` gauge after every pop, and its
-//! steal/completion tallies once at exit (`ninec.engine.steals`,
-//! `ninec.engine.segments`).
 
-use std::collections::VecDeque;
-use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use super::exec::{self, Priority};
 
-/// Upper bound on worker threads — keeps the per-worker gauge family
-/// bounded and guards against absurd `NINEC_THREADS` values.
-pub const MAX_THREADS: usize = 256;
-
-/// A caught panic from one pool job, carrying the panic message when the
-/// payload was a string (the common `panic!("…")` case).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JobPanic {
-    /// The panic payload rendered as text, or a placeholder for
-    /// non-string payloads.
-    pub message: String,
-}
-
-impl fmt::Display for JobPanic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "job panicked: {}", self.message)
-    }
-}
-
-impl std::error::Error for JobPanic {}
-
-/// Runs `thunk` under `catch_unwind`, converting a panic payload into a
-/// [`JobPanic`]. The closure owns (or safely shares) its data, so
-/// observing state after a caught panic is sound: a poisoned job's
-/// partial effects never escape its own result slot.
-fn run_caught<T>(thunk: impl FnOnce() -> T) -> Result<T, JobPanic> {
-    match catch_unwind(AssertUnwindSafe(thunk)) {
-        Ok(v) => Ok(v),
-        Err(payload) => {
-            let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "non-string panic payload".to_string()
-            };
-            Err(JobPanic { message })
-        }
-    }
-}
-
-/// Locks a queue, recovering from poisoning. Jobs run *outside* the
-/// queue locks (the critical sections below are plain `VecDeque` ops
-/// that cannot panic), so a poisoned mutex can only mean a job panicked
-/// elsewhere — the queue data itself is still consistent.
-fn lock_queue<'a>(
-    queues: &'a [Mutex<VecDeque<usize>>],
-    w: usize,
-) -> MutexGuard<'a, VecDeque<usize>> {
-    match queues[w].lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
+pub use super::exec::{JobPanic, MAX_THREADS};
 
 /// Runs `f(0..jobs)` across at most `threads` workers and returns the
 /// results in job-index order.
@@ -133,92 +75,7 @@ where
     T: Send + Sync,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = threads.clamp(1, MAX_THREADS);
-    if threads <= 1 || jobs <= 1 {
-        // The serial fallback isolates panics exactly like the pooled
-        // path, so `threads = 1` and `threads = 8` behave identically.
-        return (0..jobs).map(|i| run_caught(|| f(i))).collect();
-    }
-    let workers = threads.min(jobs);
-    // Round-robin seeding: job i starts on worker i % workers.
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|w| {
-            Mutex::new(
-                (0..jobs)
-                    .filter(|job| job % workers == w)
-                    .collect::<VecDeque<usize>>(),
-            )
-        })
-        .collect();
-    let slots: Vec<OnceLock<Result<T, JobPanic>>> = (0..jobs).map(|_| OnceLock::new()).collect();
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let queues = &queues;
-            let slots = &slots;
-            let f = &f;
-            scope.spawn(move || {
-                let mut steals = 0u64;
-                let mut done = 0u64;
-                loop {
-                    let job = match pop_own(queues, w) {
-                        Some(job) => Some(job),
-                        None => steal(queues, w, &mut steals),
-                    };
-                    let Some(job) = job else { break };
-                    // One gauge write per segment — batched at the segment
-                    // boundary, never inside the encode/decode hot loop.
-                    crate::metrics::publish_worker_queue_depth(w, queue_len(queues, w));
-                    // The catch_unwind here is the panic-isolation
-                    // boundary: a panicking job poisons only slot `job`.
-                    let out = run_caught(|| f(job));
-                    // Each job index is popped exactly once, so the slot is
-                    // empty; a second set is impossible by construction.
-                    let _ = slots[job].set(out);
-                    done += 1;
-                }
-                crate::metrics::publish_pool_worker(steals, done);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            // Every index was queued exactly once and its worker either
-            // stored Ok or a caught JobPanic; an empty slot would mean a
-            // worker died outside catch_unwind, which the isolation
-            // boundary makes unreachable — but stay total regardless.
-            slot.into_inner().unwrap_or_else(|| {
-                Err(JobPanic {
-                    message: "worker exited without storing a result".to_string(),
-                })
-            })
-        })
-        .collect()
-}
-
-/// LIFO pop from the worker's own deque (hot segments stay cache-warm).
-fn pop_own(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
-    lock_queue(queues, w).pop_back()
-}
-
-/// Current depth of the worker's own deque.
-fn queue_len(queues: &[Mutex<VecDeque<usize>>], w: usize) -> usize {
-    lock_queue(queues, w).len()
-}
-
-/// FIFO steal from the first non-empty sibling, scanning from `w + 1`
-/// round-robin so the load spreads instead of piling on worker 0.
-fn steal(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &mut u64) -> Option<usize> {
-    let n = queues.len();
-    for off in 1..n {
-        let victim = (w + off) % n;
-        let job = lock_queue(queues, victim).pop_front();
-        if let Some(job) = job {
-            *steals += 1;
-            return Some(job);
-        }
-    }
-    None
+    exec::run_prioritized(threads, jobs, |_| Priority::High, f)
 }
 
 #[cfg(test)]

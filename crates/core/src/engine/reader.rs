@@ -606,7 +606,9 @@ impl Engine {
             .map_err(ReadError::Frame)?;
         let limits = *fr.limits();
         let mut out = TritVec::with_capacity(head.source_len.min(1 << 24));
-        let mut alloc_budget = frame::trit_alloc_bytes(head.source_len);
+        // Budget bookkeeping shared with the plan builder: the same
+        // charge order and the same typed error as the in-memory ladder.
+        let mut budget = crate::engine::plan::StrictState::new(head.source_len, &limits);
         let mut covered = 0usize;
         let mut data_seen = 0usize;
         let mut parity_seen = 0usize;
@@ -628,21 +630,14 @@ impl Engine {
                             what: "data segment after a parity segment",
                         }));
                     }
-                    alloc_budget = alloc_budget
-                        .saturating_add(frame::trit_alloc_bytes(seg.source_trits))
-                        .saturating_add(frame::trit_alloc_bytes(seg.payload_trits));
-                    if alloc_budget > limits.max_total_alloc {
-                        return Err(ReadError::Frame(FrameError::LimitExceeded {
-                            what: "total decode allocation",
-                            requested: alloc_budget,
-                            limit: limits.max_total_alloc,
-                        }));
-                    }
+                    budget
+                        .charge_data(seg.source_trits, seg.payload_trits)
+                        .map_err(ReadError::Frame)?;
                     covered = covered.saturating_add(seg.source_trits);
                     data_seen += 1;
                     batch.push(seg);
                     if batch.len() >= batch_cap {
-                        self.drain_batch(&mut batch, &table, &limits, &mut out)?;
+                        self.drain_batch(&mut batch, &table, &mut out)?;
                     }
                 }
                 Some(StreamItem::Parity(par)) => {
@@ -691,7 +686,7 @@ impl Engine {
                 None => break,
             }
         }
-        self.drain_batch(&mut batch, &table, &limits, &mut out)?;
+        self.drain_batch(&mut batch, &table, &mut out)?;
         if data_seen != head.segments || parity_seen != head.parity_segments {
             return Err(ReadError::Frame(FrameError::Truncated {
                 offset: fr.position(),
@@ -712,7 +707,6 @@ impl Engine {
         &self,
         batch: &mut Vec<OwnedSegment>,
         table: &CodeTable,
-        limits: &DecodeLimits,
         out: &mut TritVec,
     ) -> Result<(), ReadError> {
         if batch.is_empty() {
@@ -720,7 +714,19 @@ impl Engine {
         }
         let results = pool::try_map_indexed(self.threads(), batch.len(), |i| {
             let owned = &batch[i];
-            let (seg, _next) = frame::segment_at(&owned.bytes, 0, owned.index, limits)?;
+            // The segment was CRC-verified once, when `classify` pulled
+            // it off the stream — rebuild the borrowed view from the
+            // owned fields instead of re-parsing (and re-CRC'ing) it.
+            let payload_end = SEGMENT_HEADER_BYTES + owned.payload_trits.div_ceil(4);
+            let seg = frame::ParsedSegment {
+                k: owned.k,
+                source_trits: owned.source_trits,
+                payload_trits: owned.payload_trits,
+                payload: owned
+                    .bytes
+                    .get(SEGMENT_HEADER_BYTES..payload_end)
+                    .unwrap_or(&[]),
+            };
             self.decode_one_segment(&seg, owned.index, table)
         });
         for (i, r) in results.into_iter().enumerate() {

@@ -30,11 +30,23 @@
 //! non-bomb claims): with an untrustworthy code table or total length
 //! there is nothing sound to salvage against, so those remain hard
 //! errors — as does a Kraft-invalid stored table.
+//!
+//! Both rungs execute against a [`FramePlan`] built in **one**
+//! header/CRC scan pass ([`Engine::build_plan`]);
+//! [`Engine::decode_frame_repair`] and
+//! [`Engine::decode_frame_salvage`] are thin wrappers over
+//! [`Engine::execute_plan`](Engine::execute_plan). Work is scheduled on
+//! the two-level priority executor: intact-segment decodes run at
+//! [`Priority::High`] (they are needed at every rung), parity
+//! reconstruction of damaged groups backfills at [`Priority::Low`], and
+//! rebuilt segments decode in a short follow-up batch.
 
 use crate::code::CodeTable;
 use crate::decode::DecodeError;
 use crate::engine::ecc::ParityCoder;
+use crate::engine::exec::{self, Priority};
 use crate::engine::frame::{self, DamageReason, ParsedParity, ScanEntry};
+use crate::engine::plan::{BuildMode, FramePlan};
 use crate::engine::{pool, Engine};
 use ninec_testdata::trit::{Trit, TritVec};
 use std::collections::HashMap;
@@ -165,42 +177,73 @@ fn resolve_erasures(claims: &[Option<usize>], remaining: usize) -> Vec<usize> {
     out
 }
 
-/// One segment rebuilt from parity: the reconstructed shard bytes plus
-/// the provenance to report.
+/// One segment rebuilt from parity: the reconstructed shard bytes, the
+/// CRC-verified header fields (parsed exactly once, at reconstruction
+/// time) and the provenance to report.
 struct Rebuilt {
     /// Scan-entry index (== data-segment index when the structure
     /// survived) the shard replaces.
     entry: usize,
     /// The reconstructed segment bytes (header + payload + zero pad).
     bytes: Vec<u8>,
+    /// Block size `K`, from the rebuilt segment's CRC-verified header.
+    k: usize,
+    /// Source trits, from the same single parse.
+    source_trits: usize,
+    /// Payload trits, from the same single parse.
+    payload_trits: usize,
     /// Parity group that produced it.
     group: usize,
     /// Parity shards the reconstruction consumed.
     parity_used: usize,
 }
 
-/// Attempts per-group RS reconstruction of every damaged data segment.
+impl Rebuilt {
+    /// The segment view borrowing this rebuilt buffer. The fields were
+    /// validated by [`frame::segment_at`] against these very bytes when
+    /// the shard was accepted, so no re-parse (and no second CRC walk)
+    /// happens here.
+    fn seg(&self) -> frame::ParsedSegment<'_> {
+        let payload_start = frame::SEGMENT_HEADER_BYTES;
+        let payload_end = payload_start + self.payload_trits.div_ceil(4);
+        frame::ParsedSegment {
+            k: self.k,
+            source_trits: self.source_trits,
+            payload_trits: self.payload_trits,
+            payload: self.bytes.get(payload_start..payload_end).unwrap_or(&[]),
+        }
+    }
+}
+
+/// Precomputed repair-rung structure: the positional parity table and
+/// the group coder. `None` when repair cannot run soundly.
 ///
-/// Only runs when the scan's structure is **unambiguous**: exactly
-/// `claimed_segments + claimed_parity_segments` entries, so entry
-/// position maps 1:1 onto segment position and the erasure positions
-/// are certain. Anything else (merged damage ranges, spliced frames)
-/// falls through to plain salvage — repair must never guess.
-fn try_repair(
-    bytes: &[u8],
-    scan: &frame::SalvageScan<'_>,
-    limits: &frame::DecodeLimits,
-) -> Vec<Rebuilt> {
+/// Repair only runs when the scan's structure is **unambiguous**:
+/// exactly `claimed_segments + claimed_parity_segments` entries, so
+/// entry position maps 1:1 onto segment position and the erasure
+/// positions are certain. Anything else (merged damage ranges, spliced
+/// frames) falls through to plain salvage — repair must never guess.
+struct RepairCtx<'s, 'a> {
+    scan: &'s frame::SalvageScan<'a>,
+    /// Entry `n + q*r + j` should be parity `(q, j)`. Mis-labelled or
+    /// damaged parity slots are simply absent.
+    parity_slots: Vec<Option<&'s ParsedParity<'a>>>,
+    coder: ParityCoder,
+    n: usize,
+    g: usize,
+    r: usize,
+    groups: usize,
+}
+
+fn repair_context<'s, 'a>(scan: &'s frame::SalvageScan<'a>) -> Option<RepairCtx<'s, 'a>> {
     let n = scan.claimed_segments;
     let p = scan.claimed_parity_segments();
     let g = scan.parity_g as usize;
     let r = scan.parity_r as usize;
     let groups = scan.groups();
     if r == 0 || groups == 0 || scan.entries.len() != n + p {
-        return Vec::new();
+        return None;
     }
-    // Positional parity table: entry n + q*r + j should be parity
-    // (q, j). Mis-labelled or damaged parity slots are simply absent.
     let mut parity_slots: Vec<Option<&ParsedParity<'_>>> = vec![None; p];
     for (slot, entry) in scan.entries[n..].iter().enumerate() {
         if let ScanEntry::Parity { par, .. } = entry {
@@ -209,102 +252,123 @@ fn try_repair(
             }
         }
     }
-    let coder = match ParityCoder::new(g, r) {
-        Ok(c) => c,
-        Err(_) => return Vec::new(), // header geometry already validated; stay total
-    };
+    // Header geometry was already validated; stay total anyway.
+    let coder = ParityCoder::new(g, r).ok()?;
+    Some(RepairCtx {
+        scan,
+        parity_slots,
+        coder,
+        n,
+        g,
+        r,
+        groups,
+    })
+}
+
+/// Attempts RS reconstruction of parity group `q`'s damaged members.
+/// Returns the CRC-verified rebuilds plus the count of members that
+/// stayed unrepairable (feeding `ninec.ecc.repair_failures`). Runs as a
+/// [`Priority::Low`] executor job — intact decodes always go first.
+fn repair_group(
+    bytes: &[u8],
+    ctx: &RepairCtx<'_, '_>,
+    q: usize,
+    limits: &frame::DecodeLimits,
+) -> (Vec<Rebuilt>, u64) {
+    let (n, g, r, groups) = (ctx.n, ctx.g, ctx.r, ctx.groups);
+    let scan = ctx.scan;
     let mut rebuilt = Vec::new();
     let mut failures = 0u64;
-    for q in 0..groups {
-        // Member entry indices of this group, in shard-slot order.
-        let members: Vec<usize> = frame::group_members(q, n, groups).collect();
-        let any_damage = members
-            .iter()
-            .any(|&m| matches!(scan.entries[m], ScanEntry::Damaged { .. }));
-        if !any_damage {
-            continue;
-        }
-        let group_parity: Vec<Option<&ParsedParity<'_>>> =
-            (0..r).map(|j| parity_slots[q * r + j]).collect();
-        // The group's shard length comes from its (CRC-trusted) parity
-        // headers; all intact parity shards must agree.
-        let mut shard_len: Option<usize> = None;
-        let mut consistent = true;
-        for par in group_parity.iter().flatten() {
-            match shard_len {
-                None => shard_len = Some(par.payload.len()),
-                Some(l) if l == par.payload.len() => {}
-                Some(_) => consistent = false,
-            }
-        }
-        let (Some(shard_len), true) = (shard_len, consistent) else {
-            failures += members
-                .iter()
-                .filter(|&&m| matches!(scan.entries[m], ScanEntry::Damaged { .. }))
-                .count() as u64;
-            continue;
-        };
-        // Assemble the g + r shard slots: real members (intact = present,
-        // damaged = erased), virtual zero members of a short group, then
-        // parity. A surviving member longer than the shard length means
-        // the parity cannot cover it — inconsistent, bail on this group.
-        let mut slots: Vec<Option<&[u8]>> = Vec::with_capacity(g + r);
-        let mut erased = 0usize;
-        let mut sane = true;
-        for slot in 0..g {
-            let idx = q + slot * groups;
-            if idx >= n {
-                slots.push(Some(&[])); // virtual zero member
-                continue;
-            }
-            match &scan.entries[idx] {
-                ScanEntry::Intact { byte_range, .. } => {
-                    if byte_range.len() > shard_len {
-                        sane = false;
-                    }
-                    // Scan byte ranges always index the scanned bytes;
-                    // `get` keeps this total regardless.
-                    slots.push(bytes.get(byte_range.clone()));
-                }
-                ScanEntry::Damaged { .. } => {
-                    erased += 1;
-                    slots.push(None);
-                }
-                ScanEntry::Parity { .. } => sane = false, // impossible slot
-            }
-        }
-        for par in &group_parity {
-            slots.push(par.map(|p| p.payload));
-        }
-        if !sane || erased == 0 {
-            if erased > 0 {
-                failures += erased as u64;
-            }
-            continue;
-        }
-        match coder.reconstruct(&slots, shard_len) {
-            Ok(recovered) => {
-                for (slot, bytes) in recovered {
-                    let idx = q + slot * groups;
-                    // Accept only if the rebuilt shard re-parses as a
-                    // CRC-valid segment at offset 0 (the shard is the
-                    // segment's own header + payload + zero pad).
-                    match frame::segment_at(&bytes, 0, idx, limits) {
-                        Ok(_) => rebuilt.push(Rebuilt {
-                            entry: idx,
-                            bytes,
-                            group: q,
-                            parity_used: erased,
-                        }),
-                        Err(_) => failures += 1,
-                    }
-                }
-            }
-            Err(_) => failures += erased as u64,
+    // Member entry indices of this group, in shard-slot order.
+    let members: Vec<usize> = frame::group_members(q, n, groups).collect();
+    let group_parity: Vec<Option<&ParsedParity<'_>>> =
+        (0..r).map(|j| ctx.parity_slots[q * r + j]).collect();
+    // The group's shard length comes from its (CRC-trusted) parity
+    // headers; all intact parity shards must agree.
+    let mut shard_len: Option<usize> = None;
+    let mut consistent = true;
+    for par in group_parity.iter().flatten() {
+        match shard_len {
+            None => shard_len = Some(par.payload.len()),
+            Some(l) if l == par.payload.len() => {}
+            Some(_) => consistent = false,
         }
     }
-    crate::metrics::publish_repair_failures(failures);
-    rebuilt
+    let (Some(shard_len), true) = (shard_len, consistent) else {
+        failures += members
+            .iter()
+            .filter(|&&m| matches!(scan.entries[m], ScanEntry::Damaged { .. }))
+            .count() as u64;
+        return (rebuilt, failures);
+    };
+    // Assemble the g + r shard slots: real members (intact = present,
+    // damaged = erased), virtual zero members of a short group, then
+    // parity. A surviving member longer than the shard length means
+    // the parity cannot cover it — inconsistent, bail on this group.
+    let mut slots: Vec<Option<&[u8]>> = Vec::with_capacity(g + r);
+    let mut erased = 0usize;
+    let mut sane = true;
+    for slot in 0..g {
+        let idx = q + slot * groups;
+        if idx >= n {
+            slots.push(Some(&[])); // virtual zero member
+            continue;
+        }
+        match &scan.entries[idx] {
+            ScanEntry::Intact { byte_range, .. } => {
+                if byte_range.len() > shard_len {
+                    sane = false;
+                }
+                // Scan byte ranges always index the scanned bytes;
+                // `get` keeps this total regardless.
+                slots.push(bytes.get(byte_range.clone()));
+            }
+            ScanEntry::Damaged { .. } => {
+                erased += 1;
+                slots.push(None);
+            }
+            ScanEntry::Parity { .. } => sane = false, // impossible slot
+        }
+    }
+    for par in &group_parity {
+        slots.push(par.map(|p| p.payload));
+    }
+    if !sane || erased == 0 {
+        if erased > 0 {
+            failures += erased as u64;
+        }
+        return (rebuilt, failures);
+    }
+    match ctx.coder.reconstruct(&slots, shard_len) {
+        Ok(recovered) => {
+            for (slot, shard) in recovered {
+                let idx = q + slot * groups;
+                // Accept only if the rebuilt shard parses as a CRC-valid
+                // segment at offset 0 (the shard is the segment's own
+                // header + payload + zero pad). This is the segment's
+                // one and only parse — the decode stage reuses its
+                // verified fields via `Rebuilt::seg`.
+                match frame::segment_at(&shard, 0, idx, limits) {
+                    Ok((seg, _)) => {
+                        let (k, source_trits, payload_trits) =
+                            (seg.k, seg.source_trits, seg.payload_trits);
+                        rebuilt.push(Rebuilt {
+                            entry: idx,
+                            bytes: shard,
+                            k,
+                            source_trits,
+                            payload_trits,
+                            group: q,
+                            parity_used: erased,
+                        });
+                    }
+                    Err(_) => failures += 1,
+                }
+            }
+        }
+        Err(_) => failures += erased as u64,
+    }
+    (rebuilt, failures)
 }
 
 impl Engine {
@@ -333,7 +397,9 @@ impl Engine {
     /// budget). Never panics on hostile input.
     pub fn decode_frame_salvage(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
         let _span = ninec_obs::span("engine_decode_frame_salvage");
-        self.salvage_inner(bytes, false)
+        let built = crate::engine::plan::build(bytes, self.limits(), BuildMode::Full)
+            .map_err(DecodeError::from)?;
+        execute(self, &built, false)
     }
 
     /// Decodes a `9CSF` frame through the **repair rung** of the ladder:
@@ -354,236 +420,348 @@ impl Engine {
     /// [`decode_frame_salvage`](Engine::decode_frame_salvage).
     pub fn decode_frame_repair(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
         let _span = ninec_obs::span("engine_decode_frame_repair");
-        self.salvage_inner(bytes, true)
+        let built = crate::engine::plan::build(bytes, self.limits(), BuildMode::Full)
+            .map_err(DecodeError::from)?;
+        execute(self, &built, true)
     }
+}
 
-    fn salvage_inner(&self, bytes: &[u8], repair: bool) -> Result<SalvageReport, DecodeError> {
-        let scan = frame::scan_salvage(bytes, self.limits()).map_err(DecodeError::from)?;
-        let table = CodeTable::from_lengths(&scan.table_lengths)
-            .map_err(|_| frame::FrameError::BadTable)?;
-        let source_len = scan.source_len;
+/// The first executor run's per-job outcome: an intact segment's decode
+/// (High priority) or one parity group's reconstruction (Low priority).
+enum StageOut {
+    Decoded(Result<TritVec, DecodeError>),
+    Rebuilt(Vec<Rebuilt>, u64),
+}
 
-        // Repair rung: rebuild damaged data segments from parity. The
-        // reconstructed buffers must outlive the plans below.
-        let rebuilt: Vec<Rebuilt> = if repair && scan.parity_g > 0 {
-            try_repair(bytes, &scan, self.limits())
-        } else {
-            Vec::new()
-        };
-        let mut repaired_at: HashMap<usize, (frame::ParsedSegment<'_>, usize, usize)> =
-            HashMap::new();
-        for rb in &rebuilt {
-            if let Ok((seg, _)) = frame::segment_at(&rb.bytes, 0, rb.entry, self.limits()) {
-                repaired_at.insert(rb.entry, (seg, rb.group, rb.parity_used));
+/// Executes the repair (`repair = true`) or salvage rung against an
+/// already-built [`FramePlan`] — no byte of the frame is re-scanned or
+/// re-CRC'd here. Backs [`Engine::execute_plan`] at
+/// [`Policy::Repair`](crate::engine::plan::Policy::Repair) /
+/// [`Policy::Salvage`](crate::engine::plan::Policy::Salvage).
+pub(crate) fn execute(
+    engine: &Engine,
+    plan: &FramePlan<'_>,
+    repair: bool,
+) -> Result<SalvageReport, DecodeError> {
+    let bytes = plan.bytes();
+    let scan = plan.to_scan();
+    let table =
+        CodeTable::from_lengths(&scan.table_lengths).map_err(|_| frame::FrameError::BadTable)?;
+    let source_len = scan.source_len;
+    let limits = engine.limits();
+
+    // Stage 1, one prioritized executor run: intact-segment decodes at
+    // High priority (they are the critical path of every rung), parity
+    // reconstruction of each damaged group backfilling at Low. Each
+    // intact job is keyed by its *data ordinal* — the count of preceding
+    // non-parity entries, which equals its output-plan index below — so
+    // faultpoint and error attribution match the legacy single-batch
+    // schedule exactly.
+    let mut intact: Vec<(usize, frame::ParsedSegment<'_>)> = Vec::new();
+    {
+        let mut ordinal = 0usize;
+        for entry in &scan.entries {
+            match entry {
+                ScanEntry::Intact { seg, .. } => {
+                    intact.push((ordinal, *seg));
+                    ordinal += 1;
+                }
+                ScanEntry::Damaged { .. } => ordinal += 1,
+                ScanEntry::Parity { .. } => {}
             }
         }
-        crate::metrics::publish_repaired_segments(repaired_at.len() as u64);
-
-        // Trusted lengths: intact + repaired segments. Untrusted:
-        // unrepaired damaged claims.
-        let intact_sum: usize = scan
-            .entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| match e {
-                ScanEntry::Intact { seg, .. } => Some(seg.source_trits),
-                ScanEntry::Damaged { .. } => {
-                    repaired_at.get(&i).map(|(seg, _, _)| seg.source_trits)
-                }
-                ScanEntry::Parity { .. } => None,
+    }
+    let ctx = if repair && scan.parity_g > 0 {
+        repair_context(&scan)
+    } else {
+        None
+    };
+    let damaged_groups: Vec<usize> = match &ctx {
+        Some(c) => (0..c.groups)
+            .filter(|&q| {
+                frame::group_members(q, c.n, c.groups)
+                    .any(|m| matches!(c.scan.entries[m], ScanEntry::Damaged { .. }))
             })
-            .fold(0usize, |a, b| a.saturating_add(b));
-        let remaining = source_len.saturating_sub(intact_sum);
-        let claims: Vec<Option<usize>> = scan
-            .entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| match e {
-                ScanEntry::Intact { .. } | ScanEntry::Parity { .. } => None,
-                ScanEntry::Damaged { .. } if repaired_at.contains_key(&i) => None,
-                ScanEntry::Damaged {
-                    claimed_source_trits,
-                    ..
-                } => Some(*claimed_source_trits),
-            })
-            .collect();
-        let erase_lens = resolve_erasures(&claims, remaining);
-
-        // Build the output plan, clipping at the trusted source_len: an
-        // entry that would overshoot (duplicated/spliced segments) is
-        // erased and reported as a header mismatch rather than silently
-        // growing the output. Intact parity segments contribute nothing.
-        let mut plans: Vec<Plan<'_>> = Vec::with_capacity(scan.entries.len() + 1);
-        let mut offset = 0usize;
-        let mut erase_iter = erase_lens.into_iter();
-        for (i, entry) in scan.entries.iter().enumerate() {
-            match entry {
-                ScanEntry::Intact { seg, byte_range } => {
-                    let want = seg.source_trits;
-                    if offset.saturating_add(want) <= source_len {
-                        plans.push(Plan::Decode {
-                            seg: *seg,
-                            byte_range: byte_range.clone(),
-                            trits: want,
-                            repaired: None,
-                        });
-                        offset += want;
-                    } else {
-                        // Doesn't fit the trusted total: header mismatch.
-                        let take = source_len - offset;
-                        plans.push(Plan::Erase {
-                            byte_range: byte_range.clone(),
-                            reason: DamageReason::HeaderMismatch(
-                                "segment exceeds the header's source-length total",
-                            ),
-                            trits: take,
-                        });
-                        offset += take;
+            .collect(),
+        None => Vec::new(),
+    };
+    let boundary = intact.len();
+    let results = exec::run_prioritized(
+        engine.threads(),
+        boundary + damaged_groups.len(),
+        |i| {
+            if i < boundary {
+                Priority::High
+            } else {
+                Priority::Low
+            }
+        },
+        |i| {
+            if i < boundary {
+                let (ordinal, seg) = &intact[i];
+                StageOut::Decoded(engine.decode_one_segment(seg, *ordinal, &table))
+            } else {
+                match &ctx {
+                    Some(c) => {
+                        let (rb, failures) =
+                            repair_group(bytes, c, damaged_groups[i - boundary], limits);
+                        StageOut::Rebuilt(rb, failures)
                     }
+                    None => StageOut::Rebuilt(Vec::new(), 0),
                 }
-                ScanEntry::Parity { .. } => {}
-                ScanEntry::Damaged {
-                    byte_range, reason, ..
-                } => {
-                    if let Some((seg, group, parity_used)) = repaired_at.get(&i) {
-                        let want = seg.source_trits;
-                        if offset.saturating_add(want) <= source_len {
-                            plans.push(Plan::Decode {
-                                seg: *seg,
-                                byte_range: byte_range.clone(),
-                                trits: want,
-                                repaired: Some((*group, *parity_used)),
-                            });
-                            offset += want;
-                            continue;
-                        }
-                        // Repaired but doesn't fit: fall through to erase.
-                    }
-                    let want = erase_iter.next().unwrap_or(0);
-                    let take = want.min(source_len - offset);
+            }
+        },
+    );
+    let mut intact_results: HashMap<usize, Result<Result<TritVec, DecodeError>, pool::JobPanic>> =
+        HashMap::with_capacity(boundary);
+    let mut rebuilt: Vec<Rebuilt> = Vec::new();
+    let mut repair_failures = 0u64;
+    let mut panics = 0u64;
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(StageOut::Decoded(d)) => {
+                intact_results.insert(intact[i].0, Ok(d));
+            }
+            Ok(StageOut::Rebuilt(rb, fails)) => {
+                rebuilt.extend(rb);
+                repair_failures += fails;
+            }
+            Err(p) => {
+                if i < boundary {
+                    intact_results.insert(intact[i].0, Err(p));
+                } else {
+                    // A panicking repair job degrades its whole group to
+                    // plain salvage; the members stay erased.
+                    panics += 1;
+                }
+            }
+        }
+    }
+    crate::metrics::publish_repair_failures(repair_failures);
+    let repaired_at: HashMap<usize, &Rebuilt> = rebuilt.iter().map(|rb| (rb.entry, rb)).collect();
+    crate::metrics::publish_repaired_segments(repaired_at.len() as u64);
+
+    // Trusted lengths: intact + repaired segments. Untrusted:
+    // unrepaired damaged claims.
+    let intact_sum: usize = scan
+        .entries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            ScanEntry::Intact { seg, .. } => Some(seg.source_trits),
+            ScanEntry::Damaged { .. } => repaired_at.get(&i).map(|rb| rb.source_trits),
+            ScanEntry::Parity { .. } => None,
+        })
+        .fold(0usize, |a, b| a.saturating_add(b));
+    let remaining = source_len.saturating_sub(intact_sum);
+    let claims: Vec<Option<usize>> = scan
+        .entries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            ScanEntry::Intact { .. } | ScanEntry::Parity { .. } => None,
+            ScanEntry::Damaged { .. } if repaired_at.contains_key(&i) => None,
+            ScanEntry::Damaged {
+                claimed_source_trits,
+                ..
+            } => Some(*claimed_source_trits),
+        })
+        .collect();
+    let erase_lens = resolve_erasures(&claims, remaining);
+
+    // Build the output plan, clipping at the trusted source_len: an
+    // entry that would overshoot (duplicated/spliced segments) is
+    // erased and reported as a header mismatch rather than silently
+    // growing the output. Intact parity segments contribute nothing.
+    let mut plans: Vec<Plan<'_>> = Vec::with_capacity(scan.entries.len() + 1);
+    let mut offset = 0usize;
+    let mut erase_iter = erase_lens.into_iter();
+    for (i, entry) in scan.entries.iter().enumerate() {
+        match entry {
+            ScanEntry::Intact { seg, byte_range } => {
+                let want = seg.source_trits;
+                if offset.saturating_add(want) <= source_len {
+                    plans.push(Plan::Decode {
+                        seg: *seg,
+                        byte_range: byte_range.clone(),
+                        trits: want,
+                        repaired: None,
+                    });
+                    offset += want;
+                } else {
+                    // Doesn't fit the trusted total: header mismatch.
+                    let take = source_len - offset;
                     plans.push(Plan::Erase {
                         byte_range: byte_range.clone(),
-                        reason: reason.clone(),
+                        reason: DamageReason::HeaderMismatch(
+                            "segment exceeds the header's source-length total",
+                        ),
                         trits: take,
                     });
                     offset += take;
                 }
             }
-        }
-        if offset < source_len {
-            // The body covers fewer trits than the trusted total — a
-            // boundary truncation or excised segments. Erase the tail.
-            let data_entries = scan
-                .entries
-                .iter()
-                .filter(|e| !matches!(e, ScanEntry::Parity { .. }))
-                .count();
-            let reason = if data_entries < scan.claimed_segments {
-                DamageReason::Truncated
-            } else {
-                DamageReason::HeaderMismatch(
-                    "segments cover fewer trits than the header's source-length total",
-                )
-            };
-            plans.push(Plan::Erase {
-                byte_range: bytes.len()..bytes.len(),
-                reason,
-                trits: source_len - offset,
-            });
-        }
-
-        // Decode intact + repaired segments in parallel, panic-isolated;
-        // a panicked or mis-decoding segment degrades to an erasure.
-        let results = pool::try_map_indexed(self.threads(), plans.len(), |i| match &plans[i] {
-            Plan::Decode { seg, .. } => Some(self.decode_one_segment(seg, i, &table)),
-            Plan::Erase { .. } => None,
-        });
-
-        let mut trits = TritVec::with_capacity(source_len);
-        let mut damaged = Vec::new();
-        let mut recovered = 0usize;
-        let mut panics = 0u64;
-        let total = plans.len();
-        for (i, (plan, result)) in plans.into_iter().zip(results).enumerate() {
-            let start = trits.len();
-            let want = plan.trits();
-            let (byte_range, reason) = match (plan, result) {
-                (
-                    Plan::Decode {
-                        byte_range,
-                        repaired,
-                        ..
-                    },
-                    Ok(Some(Ok(seg_out))),
-                ) => {
-                    if seg_out.len() == want {
-                        trits.extend_from_tritvec(&seg_out);
-                        recovered += 1;
-                        if let Some((group, parity_used)) = repaired {
-                            damaged.push(DamagedSegment {
-                                index: i,
-                                byte_range,
-                                trit_range: start..start + want,
-                                reason: DamageReason::RepairedBy { group, parity_used },
-                            });
-                        }
+            ScanEntry::Parity { .. } => {}
+            ScanEntry::Damaged {
+                byte_range, reason, ..
+            } => {
+                if let Some(rb) = repaired_at.get(&i) {
+                    let want = rb.source_trits;
+                    if offset.saturating_add(want) <= source_len {
+                        plans.push(Plan::Decode {
+                            seg: rb.seg(),
+                            byte_range: byte_range.clone(),
+                            trits: want,
+                            repaired: Some((rb.group, rb.parity_used)),
+                        });
+                        offset += want;
                         continue;
                     }
-                    // A decoder returning the wrong length is a writer
-                    // bug; degrade to an erasure.
-                    (
-                        byte_range,
-                        DamageReason::Malformed("decoded length disagrees with the segment header"),
-                    )
+                    // Repaired but doesn't fit: fall through to erase.
                 }
-                (Plan::Decode { byte_range, .. }, Ok(Some(Err(e)))) => {
-                    (byte_range, DamageReason::Decode(e))
-                }
-                (Plan::Decode { byte_range, .. }, Err(_panic)) => {
-                    panics += 1;
-                    (byte_range, DamageReason::WorkerPanicked)
-                }
-                (
-                    Plan::Erase {
-                        byte_range, reason, ..
-                    },
-                    Err(_panic),
-                ) => {
-                    // An erase "job" cannot panic, but stay total.
-                    panics += 1;
-                    (byte_range, reason)
-                }
-                (
-                    Plan::Erase {
-                        byte_range, reason, ..
-                    },
-                    Ok(_),
-                ) => (byte_range, reason),
-                (Plan::Decode { byte_range, .. }, Ok(None)) => (
-                    // Unreachable: decode plans always return Some.
-                    byte_range,
-                    DamageReason::Malformed("internal plan/result mismatch"),
-                ),
-            };
-            trits.push_run(Trit::X, want);
-            damaged.push(DamagedSegment {
-                index: i,
-                byte_range,
-                trit_range: start..start + want,
-                reason,
-            });
+                let want = erase_iter.next().unwrap_or(0);
+                let take = want.min(source_len - offset);
+                plans.push(Plan::Erase {
+                    byte_range: byte_range.clone(),
+                    reason: reason.clone(),
+                    trits: take,
+                });
+                offset += take;
+            }
         }
-        crate::metrics::publish_worker_panics(panics);
-        if !damaged.is_empty() {
-            crate::metrics::publish_salvaged_segments(recovered as u64);
-        }
-        Ok(SalvageReport {
-            trits,
-            recovered_segments: recovered,
-            total_segments: total,
-            damaged,
-        })
     }
+    if offset < source_len {
+        // The body covers fewer trits than the trusted total — a
+        // boundary truncation or excised segments. Erase the tail.
+        let data_entries = scan
+            .entries
+            .iter()
+            .filter(|e| !matches!(e, ScanEntry::Parity { .. }))
+            .count();
+        let reason = if data_entries < scan.claimed_segments {
+            DamageReason::Truncated
+        } else {
+            DamageReason::HeaderMismatch(
+                "segments cover fewer trits than the header's source-length total",
+            )
+        };
+        plans.push(Plan::Erase {
+            byte_range: bytes.len()..bytes.len(),
+            reason,
+            trits: source_len - offset,
+        });
+    }
+
+    // Stage 2: decode the rebuilt segments (a short, all-High batch —
+    // their bytes only exist now). Intact results are already in hand.
+    let repaired_jobs: Vec<(usize, frame::ParsedSegment<'_>)> = plans
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| match p {
+            Plan::Decode {
+                seg,
+                repaired: Some(_),
+                ..
+            } => Some((i, *seg)),
+            _ => None,
+        })
+        .collect();
+    let mut repaired_results: HashMap<usize, Result<Result<TritVec, DecodeError>, pool::JobPanic>> =
+        repaired_jobs
+            .iter()
+            .map(|(i, _)| *i)
+            .zip(pool::try_map_indexed(
+                engine.threads(),
+                repaired_jobs.len(),
+                |j| {
+                    let (i, seg) = &repaired_jobs[j];
+                    engine.decode_one_segment(seg, *i, &table)
+                },
+            ))
+            .collect();
+
+    // Assemble, panic-isolated: a panicked or mis-decoding segment
+    // degrades to an erasure.
+    let mut trits = TritVec::with_capacity(source_len);
+    let mut damaged = Vec::new();
+    let mut recovered = 0usize;
+    let total = plans.len();
+    for (i, plan) in plans.into_iter().enumerate() {
+        let start = trits.len();
+        let want = plan.trits();
+        let result = match &plan {
+            Plan::Decode { repaired: None, .. } => intact_results.remove(&i),
+            Plan::Decode {
+                repaired: Some(_), ..
+            } => repaired_results.remove(&i),
+            Plan::Erase { .. } => None,
+        };
+        let (byte_range, reason) = match (plan, result) {
+            (
+                Plan::Decode {
+                    byte_range,
+                    repaired,
+                    ..
+                },
+                Some(Ok(Ok(seg_out))),
+            ) => {
+                if seg_out.len() == want {
+                    trits.extend_from_tritvec(&seg_out);
+                    recovered += 1;
+                    if let Some((group, parity_used)) = repaired {
+                        damaged.push(DamagedSegment {
+                            index: i,
+                            byte_range,
+                            trit_range: start..start + want,
+                            reason: DamageReason::RepairedBy { group, parity_used },
+                        });
+                    }
+                    continue;
+                }
+                // A decoder returning the wrong length is a writer
+                // bug; degrade to an erasure.
+                (
+                    byte_range,
+                    DamageReason::Malformed("decoded length disagrees with the segment header"),
+                )
+            }
+            (Plan::Decode { byte_range, .. }, Some(Ok(Err(e)))) => {
+                (byte_range, DamageReason::Decode(e))
+            }
+            (Plan::Decode { byte_range, .. }, Some(Err(_panic))) => {
+                panics += 1;
+                (byte_range, DamageReason::WorkerPanicked)
+            }
+            (Plan::Decode { byte_range, .. }, None) => (
+                // Unreachable: decode plans always have a stage result.
+                byte_range,
+                DamageReason::Malformed("internal plan/result mismatch"),
+            ),
+            (
+                Plan::Erase {
+                    byte_range, reason, ..
+                },
+                _,
+            ) => (byte_range, reason),
+        };
+        trits.push_run(Trit::X, want);
+        damaged.push(DamagedSegment {
+            index: i,
+            byte_range,
+            trit_range: start..start + want,
+            reason,
+        });
+    }
+    crate::metrics::publish_worker_panics(panics);
+    if !damaged.is_empty() {
+        crate::metrics::publish_salvaged_segments(recovered as u64);
+    }
+    Ok(SalvageReport {
+        trits,
+        recovered_segments: recovered,
+        total_segments: total,
+        damaged,
+    })
 }
 
 #[cfg(test)]

@@ -21,8 +21,9 @@
 //! - [`stream`] — the [`stream::BitSink`] / [`stream::BitSource`]
 //!   abstractions the streaming codec reads and writes;
 //! - [`session`] — the unified [`session::DecodeSession`] builder entry
-//!   point for everything decode (the old `decode*` free functions are
-//!   deprecated shims over it);
+//!   point for everything decode (the deprecated `decode*` free
+//!   functions it replaced were removed in 0.4.0 — see the README's
+//!   migration note);
 //! - [`engine`] — the sharded multi-core codec engine: a vendored
 //!   work-stealing pool, the self-describing `9CSF` segment-frame
 //!   container, and parallel encode/decode that is byte-identical to the
@@ -71,12 +72,11 @@ pub mod stream;
 
 pub use analysis::{CompressionReport, TatModel};
 pub use code::{Case, CodeTable};
-#[allow(deprecated)]
-pub use decode::{decode, decode_bits, DecodeError, StreamDecoder};
+pub use decode::{DecodeError, StreamDecoder};
 pub use encode::{CaseSelect, EncodeStats, EncodeTotals, Encoded, Encoder, StreamEncoder};
 pub use engine::{
     DamageReason, DamagedSegment, DecodeLimits, EncodeFrameError, Engine, EngineBuilder,
-    FrameError, SalvageReport,
+    FrameError, FramePlan, PlanEntry, Policy, SalvageReport,
 };
 pub use session::DecodeSession;
 pub use stream::{BitCounter, BitSink, BitSource};

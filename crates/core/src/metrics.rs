@@ -94,6 +94,11 @@ pub fn publish_segment_decode(nanos: u64) {
 /// Counter: 9CSF CRC mismatches (file-header or segment) seen while
 /// parsing or salvage-scanning frames.
 pub const FRAME_CRC_FAILURES: &str = "ninec.frame.crc_failures";
+/// Counter: full header/CRC scan passes over a frame body. One
+/// plan-then-execute decode — strict, repair or salvage, or the whole
+/// ladder sharing one [`crate::engine::FramePlan`] — costs exactly one
+/// pass; the pre-plan ladder cost up to three.
+pub const FRAME_SCAN_PASSES: &str = "ninec.frame.scan_passes";
 /// Counter: frames or segments rejected by [`crate::engine::DecodeLimits`].
 pub const FRAME_LIMIT_REJECTIONS: &str = "ninec.frame.limit_rejections";
 /// Counter: segments recovered byte-identically by salvage-mode decode
@@ -101,6 +106,16 @@ pub const FRAME_LIMIT_REJECTIONS: &str = "ninec.frame.limit_rejections";
 pub const ENGINE_SALVAGED_SEGMENTS: &str = "ninec.engine.salvaged_segments";
 /// Counter: decode worker panics caught by the panic-isolated pool.
 pub const ENGINE_WORKER_PANICS: &str = "ninec.engine.worker_panics";
+
+/// Records header/CRC scan passes over a frame body (one per
+/// [`crate::engine::FramePlan`] build). Proves the plan-then-execute
+/// ladder scans a damaged frame exactly once.
+pub fn publish_scan_passes(n: u64) {
+    if !ninec_obs::runtime_enabled() || n == 0 {
+        return;
+    }
+    ninec_obs::global().counter(FRAME_SCAN_PASSES).add(n);
+}
 
 /// Records CRC verification failures seen on a frame's main parse/scan
 /// walk (resync probing never counts — probes are expected to fail).

@@ -16,9 +16,13 @@
 //!
 //! Every malformed input is a typed [`DecodeError`] — a session never
 //! panics, unlike the `assert!` the pre-session `decode_stream` carried.
+//! (The old free functions were removed in 0.4.0; see the README's
+//! migration note.)
 //!
-//! The old free functions remain as `#[deprecated]` shims delegating
-//! here; see the README's migration note.
+//! For frame bytes the session can also expose the decode plan itself:
+//! [`plan`](DecodeSession::plan) runs the single header/CRC scan pass
+//! and [`execute_plan`](DecodeSession::execute_plan) drives any rung of
+//! the strict → repair → salvage ladder against it without re-scanning.
 //!
 //! ```
 //! use ninec::encode::Encoder;
@@ -35,7 +39,7 @@
 use crate::code::CodeTable;
 use crate::decode::{DecodeError, StreamDecoder};
 use crate::encode::Encoded;
-use crate::engine::{DecodeLimits, Engine, SalvageReport};
+use crate::engine::{DecodeLimits, Engine, FramePlan, Policy, SalvageReport};
 use ninec_testdata::bits::BitVec;
 use ninec_testdata::trit::TritVec;
 
@@ -225,6 +229,35 @@ impl DecodeSession {
     /// [`decode_frame_salvage`](DecodeSession::decode_frame_salvage).
     pub fn decode_frame_repair(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
         self.engine().decode_frame_repair(bytes)
+    }
+
+    /// Builds the [`FramePlan`] for a `9CSF` frame: one header/CRC scan
+    /// pass classifying every segment slot, reusable by every rung of
+    /// the decode ladder via [`execute_plan`](DecodeSession::execute_plan).
+    ///
+    /// # Errors
+    ///
+    /// Only file-level damage (bad magic/version, corrupt file header,
+    /// or a file-level limit bomb); per-segment damage is recorded in
+    /// the plan's entries instead.
+    pub fn plan<'a>(&self, bytes: &'a [u8]) -> Result<FramePlan<'a>, DecodeError> {
+        self.engine().build_plan(bytes)
+    }
+
+    /// Executes one ladder rung ([`Policy::Strict`], [`Policy::Repair`]
+    /// or [`Policy::Salvage`]) against a plan from
+    /// [`plan`](DecodeSession::plan) — no re-scan, any number of rungs
+    /// against the same plan.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::engine::Engine::execute_plan`].
+    pub fn execute_plan(
+        &self,
+        plan: &FramePlan<'_>,
+        policy: Policy,
+    ) -> Result<SalvageReport, DecodeError> {
+        self.engine().execute_plan(plan, policy)
     }
 
     /// Builds the engine backing the frame entry points.
@@ -457,6 +490,34 @@ mod tests {
             assert_eq!(report.trits, clean);
             assert_eq!(report.repaired_segments(), 1);
         }
+    }
+
+    #[test]
+    fn one_session_plan_drives_every_rung() {
+        let (src, _) = sample();
+        let mut big = TritVec::new();
+        for _ in 0..50 {
+            big.extend_from_tritvec(&src);
+        }
+        let engine = Engine::builder().segment_bits(128).parity(4, 1).build();
+        let frame = engine.encode_frame(8, &big).unwrap();
+        let clean = engine.decode_frame(&frame).unwrap();
+        let mut bad = frame.clone();
+        bad[crate::engine::frame::HEADER_BYTES_V3 + crate::engine::frame::SEGMENT_HEADER_BYTES] ^=
+            0x55;
+
+        let session = DecodeSession::new();
+        let plan = session.plan(&bad).unwrap();
+        // Strict fails closed on the damaged segment...
+        assert!(session.execute_plan(&plan, Policy::Strict).is_err());
+        // ...repair rebuilds it bit-exactly from the SAME plan...
+        let repaired = session.execute_plan(&plan, Policy::Repair).unwrap();
+        assert!(repaired.is_full_recovery());
+        assert_eq!(repaired.trits, clean);
+        // ...and salvage erases it, still from the same plan.
+        let salvaged = session.execute_plan(&plan, Policy::Salvage).unwrap();
+        assert!(!salvaged.is_full_recovery());
+        assert_eq!(salvaged.damaged.len(), 1);
     }
 
     #[test]

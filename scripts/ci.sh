@@ -26,12 +26,15 @@ grep -q '^#!\[deny(clippy::unwrap_used)\]' crates/core/src/engine/mod.rs || {
 
 # The untrusted-input parsers go further: no unwrap() *or* expect() at all
 # outside #[cfg(test)] in frame.rs (hostile bytes), pool.rs (panic
-# isolation), ecc.rs (GF(256) reconstruction feeds on damaged frames) and
-# reader.rs (streaming bytes straight off a pipe) — every failure there
-# must be a typed error or a poisoned result slot, never an abort.
-echo "==> frame/pool/ecc/reader no-unwrap/expect guard"
+# isolation), ecc.rs (GF(256) reconstruction feeds on damaged frames),
+# reader.rs (streaming bytes straight off a pipe), plan.rs (the one-pass
+# scan classifying hostile slots) and exec.rs (the priority executor under
+# every decode) — every failure there must be a typed error or a poisoned
+# result slot, never an abort.
+echo "==> frame/pool/ecc/reader/plan/exec no-unwrap/expect guard"
 for f in crates/core/src/engine/frame.rs crates/core/src/engine/pool.rs \
-         crates/core/src/engine/ecc.rs crates/core/src/engine/reader.rs; do
+         crates/core/src/engine/ecc.rs crates/core/src/engine/reader.rs \
+         crates/core/src/engine/plan.rs crates/core/src/engine/exec.rs; do
     head=$(sed '/#\[cfg(test)\]/q' "$f")
     if echo "$head" | grep -nE '\.(unwrap|expect)\(' >&2; then
         echo "$f: unwrap()/expect() outside #[cfg(test)] is forbidden" >&2
@@ -51,6 +54,12 @@ NINEC_THREADS=1 cargo test -q
 
 echo "==> cargo test -q (NINEC_THREADS=8)"
 NINEC_THREADS=8 cargo test -q
+
+# The priority executor's starvation/ordering stress tests, explicitly at
+# an oversubscribed pool: a Low-priority job popping before every High
+# job has started is a CI failure, not a flake.
+echo "==> executor priority stress (NINEC_THREADS=8)"
+NINEC_THREADS=8 cargo test -q -p ninec --lib engine::exec::
 
 # The telemetry layer must be provably optional: the whole suite also
 # passes with the obs feature (and every probe it gates) compiled out.
@@ -90,7 +99,11 @@ echo "==> ninec --threads smoke test"
 cmp "$smokedir/t4.9cf" "$smokedir/t1.9cf"
 ./target/release/ninec decompress "$smokedir/t4.9cf" -o "$smokedir/back.cubes" \
     --threads 4 --fill keep >/dev/null
-./target/release/ninec info "$smokedir/t4.9cf" | grep -q '9CSF frame'
+# info now prints the multi-line per-segment plan, so capture to a file
+# before grepping (a `| grep -q` quits at the first match and races the
+# remaining plan lines into a broken-pipe i/o error).
+./target/release/ninec info "$smokedir/t4.9cf" > "$smokedir/info.txt"
+grep -q '9CSF frame' "$smokedir/info.txt"
 
 # Salvage smoke test: corrupt the first payload byte (offset 47 =
 # 31-byte file header + 16-byte segment header; 0xFF is never a valid
@@ -113,7 +126,8 @@ if [ "$rc" -ne 5 ]; then
     exit 1
 fi
 test -s "$smokedir/salvaged.cubes"
-./target/release/ninec info "$smokedir/corrupt.9cf" | grep -q 'damaged segment'
+./target/release/ninec info "$smokedir/corrupt.9cf" > "$smokedir/cinfo.txt"
+grep -q 'damaged segment' "$smokedir/cinfo.txt"
 
 # Streaming-decode smoke test: `decompress -` reads the frame from stdin
 # through the bounded-memory streaming reader and must produce output
@@ -133,7 +147,8 @@ cmp "$smokedir/back.cubes" "$smokedir/piped.cubes"
 echo "==> ninec --parity repair smoke test"
 ./target/release/ninec compress "$smokedir/t.cubes" -o "$smokedir/p.9cf" \
     --parity 2:1 --segment-bits 128 >/dev/null
-./target/release/ninec info "$smokedir/p.9cf" | grep -q 'parity 2:1'
+./target/release/ninec info "$smokedir/p.9cf" > "$smokedir/pinfo.txt"
+grep -q 'parity 2:1' "$smokedir/pinfo.txt"
 ./target/release/ninec decompress "$smokedir/p.9cf" \
     -o "$smokedir/pclean.cubes" --fill keep >/dev/null
 cp "$smokedir/p.9cf" "$smokedir/pcorrupt.9cf"
@@ -142,8 +157,12 @@ cmp -s "$smokedir/p.9cf" "$smokedir/pcorrupt.9cf" && {
     echo "corruption write did not change the frame" >&2
     exit 1
 }
+# Capture to a file first (same rationale as the --stats smoke): a
+# `| grep -q` would close the pipe at the first match and race ninec's
+# remaining writes into a broken-pipe i/o error.
 ./target/release/ninec decompress "$smokedir/pcorrupt.9cf" \
-    -o "$smokedir/prepaired.cubes" --fill keep | grep -q 'rebuilt from parity'
+    -o "$smokedir/prepaired.cubes" --fill keep > "$smokedir/repair.txt"
+grep -q 'rebuilt from parity' "$smokedir/repair.txt"
 cmp "$smokedir/pclean.cubes" "$smokedir/prepaired.cubes"
 if ./target/release/ninec decompress "$smokedir/pcorrupt.9cf" \
     -o "$smokedir/pstrict.cubes" --no-repair --fill keep >/dev/null 2>&1; then
@@ -159,5 +178,14 @@ if [ "$rc" -ne 5 ]; then
     exit 1
 fi
 test -s "$smokedir/psalvaged.cubes"
+
+# Plan-print smoke test: `info` on the committed repairable v3 corpus
+# frame must print the per-segment decode plan — data slots, parity
+# shards feeding the repair rung, and the damage map, one line each.
+echo "==> ninec info plan-print smoke test"
+./target/release/ninec info tests/corpus/v3_repairable.9cf > "$smokedir/plan.txt"
+grep -q 'damaged segment' "$smokedir/plan.txt"
+grep -q ': data k=' "$smokedir/plan.txt"
+grep -q 'parity group .* — repair input' "$smokedir/plan.txt"
 
 echo "CI OK"

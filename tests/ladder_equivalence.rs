@@ -1,0 +1,183 @@
+//! Ladder-equivalence suite: the plan-then-execute pipeline
+//! ([`Engine::build_plan`] + [`Engine::execute_plan`]) must be
+//! indistinguishable from the classic ladder entry points
+//! ([`Engine::decode_frame`] / [`Engine::decode_frame_repair`] /
+//! [`Engine::decode_frame_salvage`]) on *every* input — same decoded
+//! trits, same typed errors (hence the same CLI exit codes), same
+//! damage maps.
+//!
+//! Three layers:
+//!
+//! 1. replay of every committed corpus frame (`tests/corpus/*.9cf`);
+//! 2. an exhaustive single-byte mutation sweep over a golden v2 and a
+//!    golden v3 frame (every offset × two mutation values, plus every
+//!    truncation length on the corpus frames' generator seed);
+//! 3. proptest campaigns across `K ∈ {4, 8, 16, 32}` × threads
+//!    `{1, 8}` with random multi-site corruption.
+//!
+//! [`Engine::build_plan`]: ninec::Engine::build_plan
+//! [`Engine::execute_plan`]: ninec::Engine::execute_plan
+//! [`Engine::decode_frame`]: ninec::Engine::decode_frame
+//! [`Engine::decode_frame_repair`]: ninec::Engine::decode_frame_repair
+//! [`Engine::decode_frame_salvage`]: ninec::Engine::decode_frame_salvage
+
+use ninec::{Engine, Policy};
+use ninec_testdata::gen::SyntheticProfile;
+use ninec_testdata::trit::TritVec;
+use proptest::prelude::*;
+
+fn engine(threads: usize) -> Engine {
+    Engine::builder().threads(threads).segment_bits(256).build()
+}
+
+fn engine_v3(threads: usize, g: u8, r: u8) -> Engine {
+    Engine::builder()
+        .threads(threads)
+        .segment_bits(256)
+        .parity(g, r)
+        .build()
+}
+
+fn golden(seed: u64) -> Vec<u8> {
+    let set = SyntheticProfile::new("ladder", 24, 64, 0.72).generate(seed);
+    engine(1)
+        .encode_frame(8, set.as_stream())
+        .expect("golden frame encodes")
+}
+
+fn golden_v3(seed: u64, g: u8, r: u8) -> Vec<u8> {
+    let set = SyntheticProfile::new("ladder", 24, 64, 0.72).generate(seed);
+    engine_v3(1, g, r)
+        .encode_frame(8, set.as_stream())
+        .expect("golden v3 frame encodes")
+}
+
+/// Asserts that every rung of the plan-driven ladder matches its classic
+/// entry point on `bytes`, byte for byte and error for error.
+fn assert_ladder_equivalent(engine: &Engine, bytes: &[u8]) {
+    let strict_direct = engine.decode_frame(bytes);
+    let repair_direct = engine.decode_frame_repair(bytes);
+    let salvage_direct = engine.decode_frame_salvage(bytes);
+
+    match engine.build_plan(bytes) {
+        Err(plan_err) => {
+            // File-level damage: every rung fails with the same error
+            // the plan build reports.
+            assert_eq!(strict_direct, Err(plan_err.clone()), "strict vs plan build");
+            assert_eq!(repair_direct, Err(plan_err.clone()), "repair vs plan build");
+            assert_eq!(salvage_direct, Err(plan_err), "salvage vs plan build");
+        }
+        Ok(plan) => {
+            let strict_plan = engine.execute_plan(&plan, Policy::Strict).map(|r| r.trits);
+            assert_eq!(strict_plan, strict_direct, "strict rung diverged");
+            let repair_plan = engine.execute_plan(&plan, Policy::Repair);
+            assert_eq!(repair_plan, repair_direct, "repair rung diverged");
+            let salvage_plan = engine.execute_plan(&plan, Policy::Salvage);
+            assert_eq!(salvage_plan, salvage_direct, "salvage rung diverged");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Corpus replay.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn corpus_frames_ladder_identically_through_the_plan() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("corpus dir exists") {
+        let path = entry.expect("corpus entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("9cf") {
+            continue;
+        }
+        let bytes = std::fs::read(&path).expect("corpus frame reads");
+        for threads in [1, 8] {
+            assert_ladder_equivalent(&engine(threads), &bytes);
+        }
+        seen += 1;
+    }
+    assert!(
+        seen >= 9,
+        "corpus shrank to {seen} frames — wrong directory?"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 2. Exhaustive single-byte mutation sweep + truncations.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_single_byte_mutation_ladders_identically_v2() {
+    let clean = golden(7);
+    let eng = engine(2);
+    for at in 0..clean.len() {
+        for val in [0x01u8, 0xFF] {
+            let mut mutant = clean.clone();
+            mutant[at] ^= val;
+            assert_ladder_equivalent(&eng, &mutant);
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_mutation_ladders_identically_v3() {
+    let clean = golden_v3(7, 2, 1);
+    let eng = engine_v3(2, 2, 1);
+    for at in 0..clean.len() {
+        for val in [0x01u8, 0xFF] {
+            let mut mutant = clean.clone();
+            mutant[at] ^= val;
+            assert_ladder_equivalent(&eng, &mutant);
+        }
+    }
+}
+
+#[test]
+fn every_truncation_ladders_identically() {
+    let clean = golden_v3(11, 2, 1);
+    let eng = engine_v3(2, 2, 1);
+    for len in 0..clean.len() {
+        assert_ladder_equivalent(&eng, &clean[..len]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Proptest campaigns: K × threads × random corruption.
+// ---------------------------------------------------------------------------
+
+fn to_stream(raw: &[u8]) -> TritVec {
+    raw.iter()
+        .map(|b| match b % 3 {
+            0 => ninec_testdata::trit::Trit::Zero,
+            1 => ninec_testdata::trit::Trit::One,
+            _ => ninec_testdata::trit::Trit::X,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn random_corruption_ladders_identically(
+        raw in proptest::collection::vec(0u8..3, 64..1024),
+        k_idx in 0usize..4,
+        threads_idx in 0usize..2,
+        parity_idx in 0usize..3,
+        offsets in proptest::collection::vec(0usize..4096, 1..5),
+        xors in proptest::collection::vec(1u8..255, 1..5),
+    ) {
+        let k = [4usize, 8, 16, 32][k_idx];
+        let threads = [1usize, 8][threads_idx];
+        let (g, r) = [(0u8, 0u8), (2, 1), (4, 1)][parity_idx];
+        let eng = engine_v3(threads, g, r);
+        let clean = eng.encode_frame(k, &to_stream(&raw)).expect("frame encodes");
+        let mut mutant = clean.clone();
+        for (at, val) in offsets.iter().zip(xors.iter()) {
+            let at = at % mutant.len();
+            mutant[at] ^= val;
+        }
+        assert_ladder_equivalent(&eng, &mutant);
+        // The clean frame must also agree (and decode at all).
+        assert_ladder_equivalent(&eng, &clean);
+    }
+}

@@ -72,6 +72,7 @@ fn readme_parallel_engine_example_runs() {
 fn repair_salvage_snippet() -> Result<(), Box<dyn std::error::Error>> {
     use ninec::engine::{DecodeLimits, Engine};
     use ninec::session::DecodeSession;
+    use ninec::Policy;
     use ninec_testdata::trit::TritVec;
 
     let stream: TritVec = "0X0X00XX1111X11101X0".repeat(100).parse()?;
@@ -80,22 +81,30 @@ fn repair_salvage_snippet() -> Result<(), Box<dyn std::error::Error>> {
     let mut frame = clean.clone();
     frame[47] ^= 0x55; // corrupt one byte -> that segment's CRC fails
 
+    // ONE scan pass builds the decode plan; every ladder rung reuses it.
+    let session = DecodeSession::new();
+    let plan = session.plan(&frame)?;
+
     // Strict mode stays fail-closed: corruption is a typed error.
-    assert!(DecodeSession::new().decode_frame(&frame).is_err());
+    assert!(session.execute_plan(&plan, Policy::Strict).is_err());
 
     // Repair rebuilds the damaged segment from GF(256) parity, bit-exact.
-    let report = DecodeSession::new().decode_frame_repair(&frame)?;
+    let report = session.execute_plan(&plan, Policy::Repair)?;
     assert!(report.is_full_recovery());
     assert!(report.damaged.iter().all(|d| d.reason.is_repaired()));
-    assert_eq!(report.trits, DecodeSession::new().decode_frame(&clean)?);
+    assert_eq!(report.trits, session.decode_frame(&clean)?);
 
     // Salvage alone recovers every intact segment; damage becomes X runs.
-    let report = DecodeSession::new().decode_frame_salvage(&frame)?;
+    let report = session.execute_plan(&plan, Policy::Salvage)?;
     assert!(!report.is_full_recovery());
     assert_eq!(report.trits.len(), stream.len()); // full length, holes are X
     for d in &report.damaged {
         let _ = (d.index, &d.byte_range, &d.reason);
     }
+
+    // The one-shot wrappers (decode_frame / decode_frame_repair /
+    // decode_frame_salvage) build a fresh plan per call — same results.
+    assert!(session.decode_frame(&frame).is_err());
 
     // Streaming decode: bounded memory, straight off any `io::Read` (pipes).
     let back = engine.decode_stream(std::io::Cursor::new(clean.clone()))?;
