@@ -12,8 +12,8 @@
 use ninec_bench::datasets::ibm_datasets;
 use ninec_bench::throughput::{
     bench_core_json, measure, measure_ecc_repair, measure_engine_scaling, measure_obs_overhead,
-    measure_plan_decode, EccRepairRow, EngineScalingRow, ObsOverheadRow, PlanDecodeRow,
-    ThroughputRow,
+    measure_plan_decode, measure_trace_overhead, EccRepairRow, EngineScalingRow, ObsOverheadRow,
+    PlanDecodeRow, ThroughputRow, TraceOverheadRow,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -68,6 +68,31 @@ fn main() {
             row.overhead_pct()
         );
         obs_rows.push(row);
+    }
+    // Flight-recorder cost on the decode path: the same frame decode with
+    // the trace kill switch on vs off. The recorder is always-on by
+    // default, so this is a hard gate — per-segment span bookkeeping must
+    // stay within 5% of the untraced decode (large segments amortize the
+    // per-event cost; overhead beyond that means someone put a probe in a
+    // hot loop).
+    let mut trace_rows: Vec<TraceOverheadRow> = Vec::new();
+    for threads in [1usize, 8] {
+        let row = measure_trace_overhead(&ibm[0].name, ckt1, 8, threads, 1 << 20, 3);
+        eprintln!(
+            "{} K=8 threads={:<2} trace on/off {:>8.1} / {:>8.1} Mbit/s ({:+.2}% overhead)",
+            row.circuit,
+            row.threads,
+            row.on_mbit_s,
+            row.off_mbit_s,
+            row.overhead_pct()
+        );
+        assert!(
+            !row.compiled || row.overhead_pct() <= 5.0,
+            "flight recorder costs {:.2}% on decode (threads={}) — over the 5% budget",
+            row.overhead_pct(),
+            row.threads
+        );
+        trace_rows.push(row);
     }
     // Sharded-engine scaling: frame encode/decode of the 16 Mbit CKT1
     // stream at 1/2/4/8 worker threads. Frames are asserted byte-identical
@@ -207,7 +232,14 @@ fn main() {
     if let Some(dir) = out.parent() {
         fs::create_dir_all(dir).expect("create results dir");
     }
-    let doc = bench_core_json(&rows, &obs_rows, &scaling_rows, &ecc_rows, &plan_rows);
+    let doc = bench_core_json(
+        &rows,
+        &obs_rows,
+        &scaling_rows,
+        &ecc_rows,
+        &plan_rows,
+        &trace_rows,
+    );
     let text = serde_json::to_string_pretty(&doc).expect("serialize results");
     fs::write(&out, text + "\n").expect("write results");
     println!("wrote {}", out.display());

@@ -21,7 +21,7 @@ pub mod format;
 
 use format::TeFile;
 use ninec::encode::Encoder;
-use ninec::engine::{frame, Engine, PlanEntry, Policy};
+use ninec::engine::{frame, Engine, PlanEntry, Policy, SegmentRung};
 use ninec::freqdir::encode_frequency_directed;
 use ninec::session::DecodeSession;
 use ninec_atpg::generate::{generate_tests, AtpgConfig};
@@ -123,6 +123,7 @@ USAGE:
     ninec atpg       <netlist.bench> -o <out.cubes>
     ninec compare    <in.cubes> [-k <even>=8]
     ninec rtl        -o <decoder.v> [-k <even>=8] [--tb]
+    ninec trace      <in.9cf> [--threads <n>] [--no-repair] [--json]
 
 PARALLEL ENGINE:
     --threads <n>       worker threads for the sharded codec engine
@@ -160,6 +161,11 @@ REPAIR AND SALVAGE (binary `.9cf` frames):
     per-segment decode plan — what each ladder rung will do with every
     slot, including the damage map — instead of failing on the first
     bad segment.
+    `trace` replays a frame through the audited ladder and prints the
+    per-frame audit trail: one line per segment naming the rung it
+    resolved on (strict/repaired/salvaged), the worker that decoded it
+    and the decode wall-clock (--json for a machine-readable document).
+    Exit code 5 when segments were lost, like a --salvage decompress.
 
 EXIT CODES:
     0   success — including a damaged frame fully rebuilt by repair
@@ -169,11 +175,18 @@ EXIT CODES:
     5   partial recovery: --salvage wrote output but segments were lost
 
 GLOBAL FLAGS (any command):
-    --stats text|json   after the command succeeds, print the telemetry
+    --stats text|json|prom
+                        after the command succeeds, print the telemetry
                         registry (counters, gauges, histograms) in
-                        Prometheus text format or as a JSON document
+                        Prometheus text exposition format (text or prom)
+                        or as a JSON document
     --trace-spans       also print the span-timer trace (one line per
                         timed region, indented by nesting depth)
+    --trace <file>      write the flight-recorder event trace to <file>
+                        after the command (even when it fails): Chrome
+                        trace-event JSON loadable in chrome://tracing or
+                        Perfetto, or compact JSON-lines when <file> ends
+                        in .jsonl
 ";
 
 /// Runs the CLI with `args` (without the program name), writing normal
@@ -205,6 +218,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "atpg" => atpg(&rest, out),
             "compare" => compare(&rest, out),
             "rtl" => rtl(&rest, out),
+            "trace" => trace_cmd(&rest, out),
             "help" | "--help" | "-h" => {
                 writeln!(out, "{USAGE}")?;
                 Ok(())
@@ -212,6 +226,20 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             other => Err(CliError::Usage(format!("unknown command {other:?}"))),
         }
     };
+    if let Some(path) = &global.trace {
+        // Drain the flight recorder to the file even when the command
+        // failed — a failing decode is exactly when the timeline matters.
+        let events = ninec_obs::take_trace();
+        let doc = if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+            ninec_obs::render_jsonl(&events)
+        } else {
+            ninec_obs::render_chrome_trace(&events)
+        };
+        let wrote = fs::write(path, doc);
+        if let (true, Err(e)) = (result.is_ok(), wrote) {
+            return Err(CliError::Io(e));
+        }
+    }
     if global.trace_spans {
         // Drain even on error so a failed run doesn't leak events into
         // the next invocation of a long-lived process (e.g. the tests).
@@ -233,7 +261,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
     match global.stats {
         None => {}
-        Some(StatsFormat::Text) => write!(out, "{}", ninec_obs::snapshot().render_prometheus())?,
+        Some(StatsFormat::Text | StatsFormat::Prom) => {
+            write!(out, "{}", ninec_obs::snapshot().render_prometheus())?;
+        }
         Some(StatsFormat::Json) => writeln!(out, "{}", ninec_obs::snapshot().render_json())?,
     }
     Ok(())
@@ -249,6 +279,7 @@ fn command_span_name(command: &str) -> &'static str {
         "atpg" => "cli_atpg",
         "compare" => "cli_compare",
         "rtl" => "cli_rtl",
+        "trace" => "cli_trace",
         _ => "cli",
     }
 }
@@ -258,6 +289,7 @@ fn command_span_name(command: &str) -> &'static str {
 enum StatsFormat {
     Text,
     Json,
+    Prom,
 }
 
 /// Global flags that apply to every command.
@@ -265,10 +297,12 @@ enum StatsFormat {
 struct GlobalOpts {
     stats: Option<StatsFormat>,
     trace_spans: bool,
+    trace: Option<PathBuf>,
 }
 
-/// Strips `--stats <fmt>` and `--trace-spans` out of `args` (they may
-/// appear anywhere on the line) and returns the remaining arguments.
+/// Strips `--stats <fmt>`, `--trace-spans` and `--trace <file>` out of
+/// `args` (they may appear anywhere on the line) and returns the
+/// remaining arguments.
 fn extract_global_opts(args: &[String]) -> Result<(Vec<String>, GlobalOpts), CliError> {
     let mut rest = Vec::with_capacity(args.len());
     let mut global = GlobalOpts::default();
@@ -278,18 +312,25 @@ fn extract_global_opts(args: &[String]) -> Result<(Vec<String>, GlobalOpts), Cli
             "--stats" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| CliError::Usage("--stats needs text|json".into()))?;
+                    .ok_or_else(|| CliError::Usage("--stats needs text|json|prom".into()))?;
                 global.stats = Some(match v.as_str() {
                     "text" => StatsFormat::Text,
                     "json" => StatsFormat::Json,
+                    "prom" => StatsFormat::Prom,
                     other => {
                         return Err(CliError::Usage(format!(
-                            "--stats wants text or json, got {other:?}"
+                            "--stats wants text, json or prom, got {other:?}"
                         )))
                     }
                 });
             }
             "--trace-spans" => global.trace_spans = true,
+            "--trace" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--trace needs a file path".into()))?;
+                global.trace = Some(PathBuf::from(v));
+            }
             _ => rest.push(a.clone()),
         }
     }
@@ -310,6 +351,7 @@ struct Opts {
     segment_bits: Option<usize>,
     salvage: bool,
     no_repair: bool,
+    json: bool,
     parity: Option<(u8, u8)>,
 }
 
@@ -402,6 +444,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--freq-directed" => opts.freq_directed = true,
             "--salvage" => opts.salvage = true,
             "--no-repair" => opts.no_repair = true,
+            "--json" => opts.json = true,
             "--tb" | "--testbench" => opts.testbench = true,
             // A bare `-` is the stdin pseudo-path, not a flag.
             "-" => opts.positional.push(a.clone()),
@@ -938,6 +981,112 @@ fn rtl(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         rtl.lines().count()
     )?;
     Ok(())
+}
+
+/// Minimal JSON string escaping for the `trace --json` document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `ninec trace <in.9cf>`: replay the frame through the audited decode
+/// ladder and print the per-frame audit trail — one line per segment
+/// naming the rung it resolved on, the worker that decoded it and the
+/// decode wall-clock (from the flight recorder, when compiled in).
+fn trace_cmd(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let input = one_input(&opts)?;
+    let bytes = fs::read(input)?;
+    if !frame::is_frame(&bytes) {
+        return Err(CliError::Failed(format!(
+            "{input}: not a 9CSF frame (trace replays binary .9cf frames)"
+        )));
+    }
+    let mut session = DecodeSession::new().salvage(true).repair(!opts.no_repair);
+    if let Some(threads) = opts.threads {
+        session = session.threads(threads);
+    }
+    let (report, audit) = session
+        .decode_frame_audited(&bytes)
+        .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    if opts.json {
+        let segs: Vec<String> = audit
+            .segments
+            .iter()
+            .map(|s| {
+                let mut obj = format!("{{\"index\":{},\"rung\":\"{}\"", s.index, s.rung.label());
+                if let SegmentRung::Repaired { group, parity_used } = s.rung {
+                    obj.push_str(&format!(",\"group\":{group},\"parity_used\":{parity_used}"));
+                }
+                if let Some(w) = s.worker {
+                    obj.push_str(&format!(",\"worker\":{w}"));
+                }
+                if let Some(ns) = s.nanos {
+                    obj.push_str(&format!(",\"nanos\":{ns}"));
+                }
+                obj.push('}');
+                obj
+            })
+            .collect();
+        writeln!(
+            out,
+            "{{\"input\":\"{}\",\"trace\":{},\"recovered_segments\":{},\"total_segments\":{},\
+             \"strict\":{},\"repaired\":{},\"salvaged\":{},\"segments\":[{}]}}",
+            json_escape(input),
+            audit.trace,
+            report.recovered_segments,
+            report.total_segments,
+            audit.strict_segments(),
+            audit.repaired_segments(),
+            audit.salvaged_segments(),
+            segs.join(","),
+        )?;
+    } else {
+        writeln!(
+            out,
+            "{input}: {}/{} segments recovered ({} strict, {} repaired, {} salvaged), trace {}",
+            report.recovered_segments,
+            report.total_segments,
+            audit.strict_segments(),
+            audit.repaired_segments(),
+            audit.salvaged_segments(),
+            audit.trace,
+        )?;
+        for s in &audit.segments {
+            let worker = s.worker.map_or_else(|| "-".to_owned(), |w| w.to_string());
+            let dur = s
+                .nanos
+                .map_or_else(|| "-".to_owned(), |ns| format!("{ns} ns"));
+            let detail = match s.rung {
+                SegmentRung::Repaired { group, parity_used } => format!(
+                    "  (group {group}, {parity_used} parity shard{})",
+                    if parity_used == 1 { "" } else { "s" }
+                ),
+                _ => String::new(),
+            };
+            writeln!(
+                out,
+                "  segment {}: {:<8}  worker {worker:>2}  {dur:>12}{detail}",
+                s.index,
+                s.rung.label(),
+            )?;
+        }
+    }
+    // Output printed; lossy recovery still reports exit code 5 so
+    // scripts can tell a fully recovered frame from a lossy one.
+    if report.is_full_recovery() {
+        Ok(())
+    } else {
+        Err(CliError::PartialRecovery(damage_map(input, &report)))
+    }
 }
 
 #[cfg(test)]
@@ -1660,5 +1809,149 @@ mod tests {
             CliError::Usage(_)
         ));
         assert!(matches!(run_err(&["help", "--stats"]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn stats_prom_prints_prometheus_exposition() {
+        let dir = tmpdir("statsprom");
+        let cubes = dir.join("s.cubes");
+        let te = dir.join("s.te");
+        run_ok(&["generate", "custom:12,64,80", "-o", path_str(&cubes)]);
+        let msg = run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&te),
+            "--stats",
+            "prom",
+        ]);
+        if ninec_obs::is_compiled() {
+            assert!(msg.contains("# TYPE"), "{msg}");
+            assert!(msg.contains("ninec_encode_blocks"), "{msg}");
+            // Exposition-format shape: every histogram ends in +Inf.
+            assert!(msg.contains("le=\"+Inf\""), "{msg}");
+        } else {
+            assert!(msg.contains("CR"), "{msg}");
+        }
+    }
+
+    /// Builds a parity-protected v3 frame with one corrupted payload
+    /// byte in `dir`, returning the frame path.
+    fn corrupted_v3_frame(dir: &Path) -> PathBuf {
+        let cubes = dir.join("t.cubes");
+        let frame_path = dir.join("t.9cf");
+        run_ok(&["generate", "custom:24,64,75", "-o", path_str(&cubes)]);
+        run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&frame_path),
+            "--segment-bits",
+            "256",
+            "--parity",
+            "4:1",
+        ]);
+        let mut bytes = fs::read(&frame_path).unwrap();
+        bytes[frame::HEADER_BYTES_V3 + frame::SEGMENT_HEADER_BYTES] ^= 0x55;
+        fs::write(&frame_path, &bytes).unwrap();
+        frame_path
+    }
+
+    #[test]
+    fn trace_verb_prints_per_segment_audit() {
+        let dir = tmpdir("traceverb");
+        let frame_path = corrupted_v3_frame(&dir);
+
+        // Repair rebuilds the damage: exit 0, audit names the rungs.
+        let msg = run_ok(&["trace", path_str(&frame_path), "--threads", "2"]);
+        assert!(msg.contains("segments recovered"), "{msg}");
+        assert!(msg.contains("segment 0: repaired"), "{msg}");
+        assert!(msg.contains("(group 0, 1 parity shard)"), "{msg}");
+        assert!(msg.contains("strict"), "{msg}");
+
+        // --no-repair: the damage is salvaged, exit code 5.
+        let args: Vec<String> = ["trace", path_str(&frame_path), "--no-repair"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = Vec::new();
+        let err = run(&args, &mut out).unwrap_err();
+        assert!(matches!(err, CliError::PartialRecovery(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 5);
+        let msg = String::from_utf8(out).unwrap();
+        assert!(msg.contains("segment 0: salvaged"), "{msg}");
+
+        // Not a frame: typed Failed.
+        let te = dir.join("t.te");
+        fs::write(&te, "junk").unwrap();
+        assert!(matches!(
+            run_err(&["trace", path_str(&te)]),
+            CliError::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn trace_verb_json_is_a_parseable_audit_document() {
+        let dir = tmpdir("tracejson");
+        let frame_path = corrupted_v3_frame(&dir);
+        let msg = run_ok(&["trace", path_str(&frame_path), "--json"]);
+        let doc: serde_json::Value =
+            serde_json::from_str(msg.trim()).expect("trace --json must be valid JSON");
+        assert_eq!(doc["repaired"].as_u64(), Some(1), "{doc:?}");
+        let segs = doc["segments"].as_array().expect("segments array");
+        assert!(!segs.is_empty());
+        assert_eq!(segs[0]["rung"].as_str(), Some("repaired"), "{doc:?}");
+        assert_eq!(segs[0]["group"].as_u64(), Some(0), "{doc:?}");
+        assert_eq!(segs[1]["rung"].as_str(), Some("strict"), "{doc:?}");
+    }
+
+    #[test]
+    fn trace_flag_writes_a_chrome_trace_file() {
+        let dir = tmpdir("traceflag");
+        let frame_path = corrupted_v3_frame(&dir);
+        let back = dir.join("back.cubes");
+        let trace_json = dir.join("decode.trace.json");
+        run_ok(&[
+            "decompress",
+            path_str(&frame_path),
+            "-o",
+            path_str(&back),
+            "--fill",
+            "keep",
+            "--trace",
+            path_str(&trace_json),
+        ]);
+        let doc: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&trace_json).unwrap())
+                .expect("--trace file must be valid Chrome trace JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        if ninec_obs::is_compiled() {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e["name"].as_str() == Some("segment_decode")),
+                "expected segment_decode spans in {doc:?}"
+            );
+        } else {
+            // Compiled out: still a valid, empty document.
+            assert!(doc["displayTimeUnit"].as_str() == Some("ns"));
+        }
+
+        // A .jsonl path selects the JSON-lines dump: one object per line.
+        let trace_jsonl = dir.join("decode.jsonl");
+        run_ok(&[
+            "trace",
+            path_str(&frame_path),
+            "--trace",
+            path_str(&trace_jsonl),
+        ]);
+        let text = fs::read_to_string(&trace_jsonl).unwrap();
+        for line in text.lines() {
+            let obj: serde_json::Value = serde_json::from_str(line).expect("jsonl line parses");
+            assert!(obj["kind"].as_str().is_some(), "{obj:?}");
+        }
+        if ninec_obs::is_compiled() {
+            assert!(!text.is_empty(), "recorder-on jsonl dump must have events");
+        }
     }
 }

@@ -35,8 +35,15 @@
 //! Telemetry (batched at job boundaries, never inside a job): each
 //! worker publishes its queue depth to the
 //! `ninec.engine.worker.<i>.queue_depth` gauge after every pop, and its
-//! steal/completion tallies once at exit (`ninec.engine.steals`,
-//! `ninec.engine.segments`).
+//! steal/completion/busy-time tallies once at exit
+//! (`ninec.engine.steals`, `ninec.engine.segments`,
+//! `ninec.engine.worker.<i>.busy_ns`). On top of the aggregates, every
+//! job runs inside a flight-recorder `"job"` span stamped with the
+//! worker id, the job's priority class and its queue-vs-steal
+//! provenance — the Fig 4c load imbalance as a reconstructable
+//! timeline. Workers inherit the submitting thread's trace context, and
+//! a caught panic flushes the worker's ring into the global recorder
+//! before the poisoned slot is reported.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -141,15 +148,38 @@ where
     let threads = threads.clamp(1, MAX_THREADS);
     if threads <= 1 || jobs <= 1 {
         // The serial fallback isolates panics exactly like the pooled
-        // path and honors the same High-before-Low start order.
+        // path and honors the same High-before-Low start order. On the
+        // trace timeline it is worker 0 (restored afterwards: the
+        // caller's thread outlives this call).
+        let prev_worker = ninec_obs::set_trace_worker(0);
+        let mut busy = 0u64;
         let mut slots: Vec<Option<Result<T, JobPanic>>> = (0..jobs).map(|_| None).collect();
         for want in [Priority::High, Priority::Low] {
             for (i, slot) in slots.iter_mut().enumerate() {
                 if priority(i) == want {
-                    *slot = Some(run_caught(|| f(i)));
+                    let _job_span = ninec_obs::trace_span_scope(
+                        "job",
+                        ninec_obs::NO_SEGMENT,
+                        ninec_obs::TracePayload::Job {
+                            index: i as u32,
+                            high: want == Priority::High,
+                            stolen: false,
+                        },
+                    );
+                    let start = std::time::Instant::now();
+                    let out = run_caught(|| f(i));
+                    busy += start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    if out.is_err() {
+                        // Park the timeline so far before reporting the
+                        // poisoned slot.
+                        ninec_obs::flush_thread_trace();
+                    }
+                    *slot = Some(out);
                 }
             }
         }
+        crate::metrics::publish_worker_busy(0, busy);
+        let _ = ninec_obs::set_trace_worker(prev_worker);
         return slots
             .into_iter()
             .map(|slot| {
@@ -162,11 +192,14 @@ where
             .collect();
     }
     let workers = threads.min(jobs);
+    // Priorities are resolved once into a table: seeding reads it here,
+    // and workers reuse it to stamp each job's class on the trace.
+    let prios: Vec<Priority> = (0..jobs).map(&priority).collect();
     // Round-robin seeding per level: job i starts on worker i % workers.
     let queues: Vec<Mutex<Queues>> = {
         let mut qs: Vec<Queues> = (0..workers).map(|_| Queues::default()).collect();
-        for job in 0..jobs {
-            match priority(job) {
+        for (job, prio) in prios.iter().enumerate() {
+            match prio {
                 Priority::High => qs[job % workers].high.push_back(job),
                 Priority::Low => qs[job % workers].low.push_back(job),
             }
@@ -174,32 +207,60 @@ where
         qs.into_iter().map(Mutex::new).collect()
     };
     let slots: Vec<OnceLock<Result<T, JobPanic>>> = (0..jobs).map(|_| OnceLock::new()).collect();
+    // Workers record onto the submitting thread's trace, nested under
+    // its currently open span.
+    let trace_ctx = ninec_obs::trace_context();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
             let slots = &slots;
             let f = &f;
+            let prios = &prios;
             scope.spawn(move || {
+                ninec_obs::set_trace_context(trace_ctx.0, trace_ctx.1);
+                let _ = ninec_obs::set_trace_worker(w as u32);
                 let mut steals = 0u64;
                 let mut done = 0u64;
+                let mut busy = 0u64;
                 loop {
+                    let steals_before = steals;
                     let job = match pop_own(queues, w) {
                         Some(job) => Some(job),
                         None => steal(queues, w, &mut steals),
                     };
                     let Some(job) = job else { break };
+                    // A steal tally that moved during this pop means the
+                    // job came off a sibling's deque, not our own.
+                    let stolen = steals > steals_before;
                     // One gauge write per job — batched at the job
                     // boundary, never inside the encode/decode hot loop.
                     crate::metrics::publish_worker_queue_depth(w, queue_len(queues, w));
+                    let _job_span = ninec_obs::trace_span_scope(
+                        "job",
+                        ninec_obs::NO_SEGMENT,
+                        ninec_obs::TracePayload::Job {
+                            index: job as u32,
+                            high: prios[job] == Priority::High,
+                            stolen,
+                        },
+                    );
                     // The catch_unwind here is the panic-isolation
                     // boundary: a panicking job poisons only slot `job`.
+                    let start = std::time::Instant::now();
                     let out = run_caught(|| f(job));
+                    busy += start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    if out.is_err() {
+                        // Park this worker's timeline in the global ring
+                        // before the poisoned slot is reported.
+                        ninec_obs::flush_thread_trace();
+                    }
                     // Each job index is popped exactly once, so the slot is
                     // empty; a second set is impossible by construction.
                     let _ = slots[job].set(out);
                     done += 1;
                 }
                 crate::metrics::publish_pool_worker(steals, done);
+                crate::metrics::publish_worker_busy(w, busy);
             });
         }
     });

@@ -345,6 +345,19 @@ impl DamageReason {
     pub fn is_repaired(&self) -> bool {
         matches!(self, DamageReason::RepairedBy { .. })
     }
+
+    /// The decode-ladder rung this damage entry resolved on, for the
+    /// flight recorder and per-frame audits: `Repaired` when parity
+    /// rebuilt the segment byte-exactly, `Salvaged` when its trits were
+    /// erased to `X`.
+    #[must_use]
+    pub fn rung(&self) -> ninec_obs::RungKind {
+        if self.is_repaired() {
+            ninec_obs::RungKind::Repaired
+        } else {
+            ninec_obs::RungKind::Salvaged
+        }
+    }
 }
 
 impl DamageReason {

@@ -52,6 +52,7 @@
 //! ```
 #![deny(clippy::unwrap_used)]
 
+pub mod audit;
 pub mod ecc;
 pub mod exec;
 pub mod faultpoint;
@@ -61,6 +62,7 @@ pub mod pool;
 pub mod reader;
 pub mod salvage;
 
+pub use audit::{DecodeAudit, SegmentAudit, SegmentRung};
 pub use ecc::{EccError, ParityCoder};
 pub use frame::{DamageReason, DecodeLimits, FrameError};
 pub use plan::{FramePlan, PlanEntry, Policy};

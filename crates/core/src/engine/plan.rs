@@ -632,6 +632,12 @@ pub(crate) fn build<'a>(
                     // Too expensive to decode — classified, not charged.
                     if !fail_fast {
                         crate::metrics::publish_limit_rejections(1);
+                        ninec_obs::trace_instant(
+                            "over_budget",
+                            u32::try_from(index).unwrap_or(u32::MAX),
+                            ninec_obs::RungKind::None,
+                            ninec_obs::TracePayload::None,
+                        );
                     }
                     PlanEntry::OverBudget {
                         seg,
@@ -671,6 +677,28 @@ pub(crate) fn build<'a>(
                         }
                     }
                 };
+                if !fail_fast {
+                    // The per-segment CRC verdict and the resync probe it
+                    // forced, on the flight-recorder timeline.
+                    ninec_obs::trace_instant(
+                        "crc_verdict",
+                        u32::try_from(index).unwrap_or(u32::MAX),
+                        ninec_obs::RungKind::None,
+                        ninec_obs::TracePayload::Crc {
+                            ok: false,
+                            claimed_trits: u32::try_from(claimed.unwrap_or(0)).unwrap_or(u32::MAX),
+                        },
+                    );
+                    ninec_obs::trace_instant(
+                        "resync",
+                        u32::try_from(index).unwrap_or(u32::MAX),
+                        ninec_obs::RungKind::None,
+                        ninec_obs::TracePayload::Resync {
+                            from: u32::try_from(at).unwrap_or(u32::MAX),
+                            to: u32::try_from(resync).unwrap_or(u32::MAX),
+                        },
+                    );
+                }
                 let entry = PlanEntry::Damaged {
                     byte_range: at..resync,
                     claimed_source_trits: claimed,
@@ -727,6 +755,11 @@ pub(crate) fn execute_strict(
         })
         .collect();
     let results = pool::try_map_indexed(engine.threads(), segs.len(), |i| {
+        let _seg_span = ninec_obs::trace_span_scope(
+            "segment_decode",
+            u32::try_from(i).unwrap_or(u32::MAX),
+            ninec_obs::TracePayload::None,
+        );
         engine.decode_one_segment(segs[i], i, &table)
     });
     let mut parts = Vec::with_capacity(results.len());

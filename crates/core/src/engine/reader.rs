@@ -399,6 +399,36 @@ impl<R: Read> FrameReader<R> {
         }
         let index = self.items;
         let item = self.classify(&head, index)?;
+        if let StreamItem::Damaged {
+            byte_range,
+            claimed_source_trits,
+            ..
+        } = &item
+        {
+            // Flight-recorder breadcrumbs: the damaged byte range (as a
+            // resync hop) and the untrusted header claim, keyed by the
+            // walk index of the damaged item.
+            let seg = u32::try_from(index).unwrap_or(u32::MAX);
+            ninec_obs::trace_instant(
+                "crc_verdict",
+                seg,
+                ninec_obs::RungKind::None,
+                ninec_obs::TracePayload::Crc {
+                    ok: false,
+                    claimed_trits: u32::try_from(claimed_source_trits.unwrap_or(0))
+                        .unwrap_or(u32::MAX),
+                },
+            );
+            ninec_obs::trace_instant(
+                "resync",
+                seg,
+                ninec_obs::RungKind::None,
+                ninec_obs::TracePayload::Resync {
+                    from: u32::try_from(byte_range.start).unwrap_or(u32::MAX),
+                    to: u32::try_from(byte_range.end).unwrap_or(u32::MAX),
+                },
+            );
+        }
         self.items += 1;
         Ok(Some(item))
     }

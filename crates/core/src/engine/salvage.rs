@@ -499,12 +499,24 @@ pub(crate) fn execute(
         |i| {
             if i < boundary {
                 let (ordinal, seg) = &intact[i];
+                let _seg_span = ninec_obs::trace_span_scope(
+                    "segment_decode",
+                    u32::try_from(*ordinal).unwrap_or(u32::MAX),
+                    ninec_obs::TracePayload::None,
+                );
                 StageOut::Decoded(engine.decode_one_segment(seg, *ordinal, &table))
             } else {
+                let group = damaged_groups[i - boundary];
+                let _grp_span = ninec_obs::trace_span_scope(
+                    "repair_group",
+                    ninec_obs::NO_SEGMENT,
+                    ninec_obs::TracePayload::Group {
+                        group: u32::try_from(group).unwrap_or(u32::MAX),
+                    },
+                );
                 match &ctx {
                     Some(c) => {
-                        let (rb, failures) =
-                            repair_group(bytes, c, damaged_groups[i - boundary], limits);
+                        let (rb, failures) = repair_group(bytes, c, group, limits);
                         StageOut::Rebuilt(rb, failures)
                     }
                     None => StageOut::Rebuilt(Vec::new(), 0),
@@ -675,6 +687,11 @@ pub(crate) fn execute(
                 repaired_jobs.len(),
                 |j| {
                     let (i, seg) = &repaired_jobs[j];
+                    let _seg_span = ninec_obs::trace_span_scope(
+                        "segment_decode",
+                        u32::try_from(*i).unwrap_or(u32::MAX),
+                        ninec_obs::TracePayload::None,
+                    );
                     engine.decode_one_segment(seg, *i, &table)
                 },
             ))
@@ -709,12 +726,28 @@ pub(crate) fn execute(
                     trits.extend_from_tritvec(&seg_out);
                     recovered += 1;
                     if let Some((group, parity_used)) = repaired {
+                        ninec_obs::trace_instant(
+                            "rung",
+                            u32::try_from(i).unwrap_or(u32::MAX),
+                            ninec_obs::RungKind::Repaired,
+                            ninec_obs::TracePayload::Repair {
+                                group: u32::try_from(group).unwrap_or(u32::MAX),
+                                parity_used: u32::try_from(parity_used).unwrap_or(u32::MAX),
+                            },
+                        );
                         damaged.push(DamagedSegment {
                             index: i,
                             byte_range,
                             trit_range: start..start + want,
                             reason: DamageReason::RepairedBy { group, parity_used },
                         });
+                    } else {
+                        ninec_obs::trace_instant(
+                            "rung",
+                            u32::try_from(i).unwrap_or(u32::MAX),
+                            ninec_obs::RungKind::Strict,
+                            ninec_obs::TracePayload::None,
+                        );
                     }
                     continue;
                 }
@@ -744,6 +777,14 @@ pub(crate) fn execute(
                 _,
             ) => (byte_range, reason),
         };
+        ninec_obs::trace_instant(
+            "rung",
+            u32::try_from(i).unwrap_or(u32::MAX),
+            ninec_obs::RungKind::Salvaged,
+            ninec_obs::TracePayload::Erase {
+                trits: u32::try_from(want).unwrap_or(u32::MAX),
+            },
+        );
         trits.push_run(Trit::X, want);
         damaged.push(DamagedSegment {
             index: i,
@@ -755,6 +796,9 @@ pub(crate) fn execute(
     crate::metrics::publish_worker_panics(panics);
     if !damaged.is_empty() {
         crate::metrics::publish_salvaged_segments(recovered as u64);
+        // A partial salvage is a flush trigger: make sure this thread's
+        // events are visible to `take_trace` even if the thread lives on.
+        ninec_obs::flush_thread_trace();
     }
     Ok(SalvageReport {
         trits,

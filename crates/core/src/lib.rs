@@ -75,8 +75,9 @@ pub use code::{Case, CodeTable};
 pub use decode::{DecodeError, StreamDecoder};
 pub use encode::{CaseSelect, EncodeStats, EncodeTotals, Encoded, Encoder, StreamEncoder};
 pub use engine::{
-    DamageReason, DamagedSegment, DecodeLimits, EncodeFrameError, Engine, EngineBuilder,
-    FrameError, FramePlan, PlanEntry, Policy, SalvageReport,
+    DamageReason, DamagedSegment, DecodeAudit, DecodeLimits, EncodeFrameError, Engine,
+    EngineBuilder, FrameError, FramePlan, PlanEntry, Policy, SalvageReport, SegmentAudit,
+    SegmentRung,
 };
 pub use session::DecodeSession;
 pub use stream::{BitCounter, BitSink, BitSource};

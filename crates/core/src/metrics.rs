@@ -49,6 +49,25 @@ pub fn worker_queue_depth_name(worker: usize) -> String {
     format!("ninec.engine.worker.{worker}.queue_depth")
 }
 
+/// Counter name for one pool worker's cumulative job run time:
+/// `ninec.engine.worker.<i>.busy_ns`.
+#[must_use]
+pub fn worker_busy_ns_name(worker: usize) -> String {
+    format!("ninec.engine.worker.{worker}.busy_ns")
+}
+
+/// Flushes one pool worker's cumulative wall-clock job time — the
+/// Fig 4c per-decoder load-imbalance number as an aggregate; the flight
+/// recorder holds the per-job timeline. Batched once at worker exit.
+pub fn publish_worker_busy(worker: usize, nanos: u64) {
+    if !ninec_obs::runtime_enabled() || nanos == 0 {
+        return;
+    }
+    ninec_obs::global()
+        .counter(&worker_busy_ns_name(worker))
+        .add(nanos);
+}
+
 /// Publishes one pool worker's current queue depth gauge.
 ///
 /// Called once per segment pop — batched at the segment boundary, never

@@ -39,7 +39,7 @@
 use crate::code::CodeTable;
 use crate::decode::{DecodeError, StreamDecoder};
 use crate::encode::Encoded;
-use crate::engine::{DecodeLimits, Engine, FramePlan, Policy, SalvageReport};
+use crate::engine::{DecodeAudit, DecodeLimits, Engine, FramePlan, Policy, SalvageReport};
 use ninec_testdata::bits::BitVec;
 use ninec_testdata::trit::TritVec;
 
@@ -229,6 +229,57 @@ impl DecodeSession {
     /// [`decode_frame_salvage`](DecodeSession::decode_frame_salvage).
     pub fn decode_frame_repair(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
         self.engine().decode_frame_repair(bytes)
+    }
+
+    /// Decodes a `9CSF` frame under a fresh flight-recorder trace and
+    /// returns the [`DecodeAudit`] rollup alongside the report: one
+    /// entry per segment naming the ladder rung it resolved on
+    /// (strict / repaired / salvaged) plus — when tracing is compiled in
+    /// and enabled — the worker that decoded it and the decode
+    /// wall-clock.
+    ///
+    /// The ladder is driven by the session's toggles against **one**
+    /// plan (a single scan pass): strict first, then
+    /// [`repair`](DecodeSession::repair) or
+    /// [`salvage`](DecodeSession::salvage) when enabled. The thread's
+    /// trace buffer is flushed to the global recorder on every exit —
+    /// success, partial salvage or error — so
+    /// [`ninec_obs::take_trace`] always sees the decode's events.
+    ///
+    /// # Errors
+    ///
+    /// With both toggles off, exactly
+    /// [`decode_frame`](DecodeSession::decode_frame)'s strict errors;
+    /// with salvage or repair on, only file-level damage is fatal.
+    pub fn decode_frame_audited(
+        &self,
+        bytes: &[u8],
+    ) -> Result<(SalvageReport, DecodeAudit), DecodeError> {
+        let trace = ninec_obs::begin_trace();
+        let result = self.run_audited_ladder(bytes);
+        // Flush on every exit: DecodeError included.
+        ninec_obs::flush_thread_trace();
+        let report = result?;
+        let audit = DecodeAudit::collect(trace, &report);
+        Ok((report, audit))
+    }
+
+    /// The audited ladder body: strict → repair/salvage against one plan,
+    /// all under a `decode_frame` trace span.
+    fn run_audited_ladder(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
+        let _frame_span = ninec_obs::trace_span_scope(
+            "decode_frame",
+            ninec_obs::NO_SEGMENT,
+            ninec_obs::TracePayload::None,
+        );
+        let engine = self.engine();
+        let plan = engine.build_plan(bytes)?;
+        match engine.execute_plan(&plan, Policy::Strict) {
+            Ok(report) => Ok(report),
+            Err(_) if self.repair => engine.execute_plan(&plan, Policy::Repair),
+            Err(_) if self.salvage => engine.execute_plan(&plan, Policy::Salvage),
+            Err(e) => Err(e),
+        }
     }
 
     /// Builds the [`FramePlan`] for a `9CSF` frame: one header/CRC scan

@@ -10,6 +10,10 @@
 //! - [`SpanTimer`] — RAII monotonic-clock timer with per-thread nesting
 //!   depth, feeding a `span.<name>.ns` histogram and an optional ordered
 //!   trace buffer ([`set_trace_spans`] / [`take_spans`]);
+//! - the **flight recorder** ([`trace`] module) — bounded per-thread
+//!   ring buffers of typed [`TraceEvent`]s ([`trace_span_scope`] /
+//!   [`trace_instant`] / [`take_trace`]) with Chrome trace-event and
+//!   JSON-lines renderers;
 //! - [`Registry`] — named get-or-register metric handles, with a
 //!   process-wide instance at [`global()`];
 //! - [`export::Snapshot`] — a decoupled point-in-time copy with
@@ -56,24 +60,35 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod trace;
 
 #[cfg(feature = "enabled")]
 mod live;
 #[cfg(feature = "enabled")]
 pub use live::{
-    global, is_compiled, runtime_enabled, set_runtime_enabled, set_trace_spans, span, take_spans,
-    Counter, Gauge, Histogram, Registry, SpanEvent, SpanTimer,
+    begin_trace, current_trace, flush_thread_trace, global, is_compiled, runtime_enabled,
+    set_runtime_enabled, set_trace_context, set_trace_enabled, set_trace_spans, set_trace_worker,
+    snapshot_trace, span, take_spans, take_trace, trace_context, trace_enabled, trace_instant,
+    trace_span_scope, trace_worker, Counter, Gauge, Histogram, Registry, SpanEvent, SpanTimer,
+    TraceScope,
 };
 
 #[cfg(not(feature = "enabled"))]
 mod noop;
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    global, is_compiled, runtime_enabled, set_runtime_enabled, set_trace_spans, span, take_spans,
-    Counter, Gauge, Histogram, Registry, SpanEvent, SpanTimer,
+    begin_trace, current_trace, flush_thread_trace, global, is_compiled, runtime_enabled,
+    set_runtime_enabled, set_trace_context, set_trace_enabled, set_trace_spans, set_trace_worker,
+    snapshot_trace, span, take_spans, take_trace, trace_context, trace_enabled, trace_instant,
+    trace_span_scope, trace_worker, Counter, Gauge, Histogram, Registry, SpanEvent, SpanTimer,
+    TraceScope,
 };
 
 pub use export::{HistogramSnapshot, Snapshot};
+pub use trace::{
+    normalize_trace, render_chrome_trace, render_jsonl, EventKind, RungKind, TraceEvent,
+    TracePayload, GLOBAL_RING_CAPACITY, NO_SEGMENT, NO_WORKER, THREAD_RING_CAPACITY,
+};
 
 /// Get-or-register the counter `name` on the [`global()`] registry.
 #[inline]

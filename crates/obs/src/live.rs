@@ -110,12 +110,15 @@ impl Histogram {
             return;
         }
         let core = &*self.0;
-        core.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
-        core.count.fetch_add(n, Ordering::Relaxed);
-        core.sum
-            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        // min/max/sum land before the bucket: any sample a concurrent
+        // snapshot counts via the bucket array is already reflected in
+        // the order statistics it reads afterwards.
         core.min.fetch_min(value, Ordering::Relaxed);
         core.max.fetch_max(value, Ordering::Relaxed);
+        core.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        core.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        core.count.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Number of observations.
@@ -162,21 +165,33 @@ impl Histogram {
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
-        let buckets = self
-            .0
-            .buckets
-            .iter()
-            .enumerate()
-            .filter_map(|(i, b)| {
-                let n = b.load(Ordering::Relaxed);
-                (n > 0).then_some((bucket_upper(i), n))
-            })
-            .collect();
+        // One pass over the bucket atomics, with the total *derived from
+        // those same reads*: a concurrent record_n may land between two
+        // loads, but `count == Σ bucket counts` holds for whatever this
+        // pass observed, so the exported document is always internally
+        // consistent (the Prometheus `+Inf` bucket equals `_count`).
+        let mut count = 0u64;
+        let mut buckets = Vec::new();
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                count += n;
+                buckets.push((bucket_upper(i), n));
+            }
+        }
+        let (min, max) = if count == 0 {
+            (None, None)
+        } else {
+            (
+                Some(self.0.min.load(Ordering::Relaxed)),
+                Some(self.0.max.load(Ordering::Relaxed)),
+            )
+        };
         HistogramSnapshot {
-            count: self.count(),
-            sum: self.sum(),
-            min: self.min(),
-            max: self.max(),
+            count,
+            sum: self.0.sum.load(Ordering::Relaxed),
+            min,
+            max,
             buckets,
         }
     }
@@ -262,15 +277,27 @@ impl Registry {
     }
 
     /// Copies every metric into a [`Snapshot`], sorted by name.
+    ///
+    /// The cell handles are collected under the registry lock and then
+    /// read outside it: the snapshot is one point-in-time pass over a
+    /// fixed set of cells, never blocked by (or blocking) concurrent
+    /// registrations, and each histogram renders internally consistent
+    /// even while writers are recording.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
-        let slots = self.slots.lock().expect("registry poisoned");
+        let cells: Vec<(String, Slot)> = {
+            let slots = self.slots.lock().expect("registry poisoned");
+            slots
+                .iter()
+                .map(|(name, slot)| (name.clone(), slot.clone()))
+                .collect()
+        };
         let mut snap = Snapshot::default();
-        for (name, slot) in slots.iter() {
+        for (name, slot) in cells {
             match slot {
-                Slot::Counter(c) => snap.counters.push((name.clone(), c.get())),
-                Slot::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
-                Slot::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+                Slot::Counter(c) => snap.counters.push((name, c.get())),
+                Slot::Gauge(g) => snap.gauges.push((name, g.get())),
+                Slot::Histogram(h) => snap.histograms.push((name, h.snapshot())),
             }
         }
         snap
@@ -422,6 +449,331 @@ impl Drop for SpanTimer {
                 });
         }
     }
+}
+
+// --- flight recorder -------------------------------------------------
+
+use crate::trace::{
+    EventKind, RungKind, TraceEvent, TracePayload, GLOBAL_RING_CAPACITY, NO_WORKER,
+    THREAD_RING_CAPACITY,
+};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// A bounded oldest-first-evicting event buffer.
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+}
+
+impl Ring {
+    const fn new(cap: usize) -> Self {
+        Self {
+            buf: VecDeque::new(),
+            cap,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ev);
+    }
+
+    fn merge_from(&mut self, other: &mut VecDeque<TraceEvent>) {
+        for ev in other.drain(..) {
+            self.push(ev);
+        }
+    }
+}
+
+static TRACE_ON: AtomicBool = AtomicBool::new(true);
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
+static TRACE_IDS: AtomicU64 = AtomicU64::new(0);
+static SPAN_IDS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_TRACE: Mutex<Ring> = Mutex::new(Ring::new(GLOBAL_RING_CAPACITY));
+
+/// Locks the global ring, recovering from poison: the recorder is the
+/// one thing that must keep working while a worker panic unwinds.
+fn global_ring() -> std::sync::MutexGuard<'static, Ring> {
+    match GLOBAL_TRACE.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn trace_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Per-thread trace context: which trace the thread is contributing to,
+/// which engine worker it is, and the open-span stack for parenting.
+#[derive(Debug)]
+struct TraceCtx {
+    trace: u64,
+    worker: u32,
+    inherited_parent: u64,
+    stack: Vec<u64>,
+}
+
+/// Thread-local ring wrapper whose drop drains into the global ring, so
+/// a pool worker's timeline survives its (scoped) thread exiting.
+struct LocalRing(RefCell<Ring>);
+
+impl Drop for LocalRing {
+    fn drop(&mut self) {
+        let mut local = self.0.borrow_mut();
+        if !local.buf.is_empty() {
+            global_ring().merge_from(&mut local.buf);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL_TRACE: LocalRing =
+        const { LocalRing(RefCell::new(Ring::new(THREAD_RING_CAPACITY))) };
+    static TRACE_CTX: RefCell<TraceCtx> = const {
+        RefCell::new(TraceCtx {
+            trace: 0,
+            worker: NO_WORKER,
+            inherited_parent: 0,
+            stack: Vec::new(),
+        })
+    };
+}
+
+/// Flight-recorder kill switch, independent of the metrics switch but
+/// also gated by it: events are recorded only while *both*
+/// [`runtime_enabled`] and this switch are on. Defaults to on — the
+/// recorder is always-on at bounded memory; `bench_core` flips this to
+/// measure recorder-on vs recorder-off throughput in one binary.
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ON.store(on, Ordering::Relaxed);
+}
+
+/// Whether the flight recorder is currently capturing events (always
+/// `false` in the no-op build).
+#[must_use]
+pub fn trace_enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed) && runtime_enabled()
+}
+
+/// Starts a new trace on the calling thread and returns its id (ids
+/// start at 1; `0` means "outside any trace"). Subsequent events on
+/// this thread — and on engine workers that inherit the context via
+/// [`set_trace_context`] — are stamped with the id, so one decode's
+/// timeline can be filtered out of the shared recorder.
+pub fn begin_trace() -> u64 {
+    let id = TRACE_IDS.fetch_add(1, Ordering::Relaxed) + 1;
+    TRACE_CTX.with(|c| c.borrow_mut().trace = id);
+    id
+}
+
+/// The trace id the calling thread is currently contributing to.
+#[must_use]
+pub fn current_trace() -> u64 {
+    TRACE_CTX.with(|c| c.borrow().trace)
+}
+
+/// `(trace id, enclosing span id)` on the calling thread — captured by
+/// the executor before spawning workers so their events nest under the
+/// submitting span.
+#[must_use]
+pub fn trace_context() -> (u64, u64) {
+    TRACE_CTX.with(|c| {
+        let ctx = c.borrow();
+        let parent = ctx.stack.last().copied().unwrap_or(ctx.inherited_parent);
+        (ctx.trace, parent)
+    })
+}
+
+/// Adopts a trace context captured by [`trace_context`] on another
+/// thread: events recorded here now carry `trace` and parent under
+/// `parent` (until a local span opens deeper).
+pub fn set_trace_context(trace: u64, parent: u64) {
+    TRACE_CTX.with(|c| {
+        let mut ctx = c.borrow_mut();
+        ctx.trace = trace;
+        ctx.inherited_parent = parent;
+    });
+}
+
+/// Stamps the calling thread as engine worker `worker` ([`NO_WORKER`]
+/// to clear). Returns the previous value so callers can restore it —
+/// the serial executor fallback runs on the caller's thread.
+pub fn set_trace_worker(worker: u32) -> u32 {
+    TRACE_CTX.with(|c| {
+        let mut ctx = c.borrow_mut();
+        std::mem::replace(&mut ctx.worker, worker)
+    })
+}
+
+/// The engine worker id stamped on the calling thread, [`NO_WORKER`]
+/// when outside the pool.
+#[must_use]
+pub fn trace_worker() -> u32 {
+    TRACE_CTX.with(|c| c.borrow().worker)
+}
+
+fn record_event(
+    kind: EventKind,
+    name: &'static str,
+    span: u64,
+    parent: u64,
+    segment: u32,
+    rung: RungKind,
+    payload: TracePayload,
+) {
+    let (trace, worker) = TRACE_CTX.with(|c| {
+        let ctx = c.borrow();
+        (ctx.trace, ctx.worker)
+    });
+    let ev = TraceEvent {
+        seq: TRACE_SEQ.fetch_add(1, Ordering::Relaxed),
+        nanos: trace_epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        kind,
+        name,
+        trace,
+        span,
+        parent,
+        worker,
+        segment,
+        rung,
+        payload,
+    };
+    LOCAL_TRACE.with(|l| l.0.borrow_mut().push(ev));
+}
+
+/// Records a point-in-time event on the calling thread's ring. Inert
+/// while [`trace_enabled`] is off.
+pub fn trace_instant(name: &'static str, segment: u32, rung: RungKind, payload: TracePayload) {
+    if !trace_enabled() {
+        return;
+    }
+    let parent = TRACE_CTX.with(|c| {
+        let ctx = c.borrow();
+        ctx.stack.last().copied().unwrap_or(ctx.inherited_parent)
+    });
+    record_event(EventKind::Instant, name, 0, parent, segment, rung, payload);
+}
+
+/// An RAII trace span: records `SpanStart` on creation and the matching
+/// `SpanEnd` on drop. Inert when created while [`trace_enabled`] is off.
+#[derive(Debug)]
+pub struct TraceScope {
+    inner: Option<ScopeInner>,
+}
+
+#[derive(Debug)]
+struct ScopeInner {
+    name: &'static str,
+    span: u64,
+    parent: u64,
+    segment: u32,
+}
+
+/// Opens a trace span named `name` (segment-scoped when `segment` is
+/// not [`NO_SEGMENT`](crate::trace::NO_SEGMENT)); the returned guard
+/// records the `SpanEnd` when
+/// dropped. Spans nest per thread: the innermost open span is the
+/// parent of anything recorded under it.
+#[must_use]
+pub fn trace_span_scope(name: &'static str, segment: u32, payload: TracePayload) -> TraceScope {
+    if !trace_enabled() {
+        return TraceScope { inner: None };
+    }
+    let span = SPAN_IDS.fetch_add(1, Ordering::Relaxed) + 1;
+    let parent = TRACE_CTX.with(|c| {
+        let mut ctx = c.borrow_mut();
+        let parent = ctx.stack.last().copied().unwrap_or(ctx.inherited_parent);
+        ctx.stack.push(span);
+        parent
+    });
+    record_event(
+        EventKind::SpanStart,
+        name,
+        span,
+        parent,
+        segment,
+        RungKind::None,
+        payload,
+    );
+    TraceScope {
+        inner: Some(ScopeInner {
+            name,
+            span,
+            parent,
+            segment,
+        }),
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        TRACE_CTX.with(|c| {
+            let mut ctx = c.borrow_mut();
+            // LIFO in practice; tolerate out-of-order drops anyway.
+            if ctx.stack.last() == Some(&inner.span) {
+                ctx.stack.pop();
+            } else if let Some(at) = ctx.stack.iter().rposition(|&s| s == inner.span) {
+                ctx.stack.remove(at);
+            }
+        });
+        // The end is recorded even if the kill switch flipped mid-span,
+        // so every recorded SpanStart has its matching SpanEnd.
+        record_event(
+            EventKind::SpanEnd,
+            inner.name,
+            inner.span,
+            inner.parent,
+            inner.segment,
+            RungKind::None,
+            TracePayload::None,
+        );
+    }
+}
+
+/// Drains the calling thread's ring into the global one. Called
+/// automatically on thread exit and by the engine on decode errors,
+/// worker panics and partial salvage, so the recorder holds the
+/// interesting tail when something goes wrong.
+pub fn flush_thread_trace() {
+    LOCAL_TRACE.with(|l| {
+        let mut local = l.0.borrow_mut();
+        if !local.buf.is_empty() {
+            global_ring().merge_from(&mut local.buf);
+        }
+    });
+}
+
+/// Flushes the calling thread and drains the global ring, returning
+/// every retained event in record order.
+#[must_use]
+pub fn take_trace() -> Vec<TraceEvent> {
+    flush_thread_trace();
+    let mut events: Vec<TraceEvent> = {
+        let mut ring = global_ring();
+        ring.buf.drain(..).collect()
+    };
+    events.sort_by_key(|e| e.seq);
+    events
+}
+
+/// A non-draining copy of every retained event (global ring plus the
+/// calling thread's ring), in record order.
+#[must_use]
+pub fn snapshot_trace() -> Vec<TraceEvent> {
+    let mut events: Vec<TraceEvent> = global_ring().buf.iter().copied().collect();
+    LOCAL_TRACE.with(|l| events.extend(l.0.borrow().buf.iter().copied()));
+    events.sort_by_key(|e| e.seq);
+    events
 }
 
 #[cfg(test)]

@@ -201,6 +201,91 @@ pub fn span(_name: &'static str) -> SpanTimer {
 #[derive(Debug)]
 pub struct SpanTimer;
 
+// --- flight recorder (no-op build: nothing is ever recorded) ----------
+
+use crate::trace::{RungKind, TraceEvent, TracePayload, NO_WORKER};
+
+/// Does nothing: the recorder is compiled out.
+#[inline(always)]
+pub fn set_trace_enabled(_on: bool) {}
+
+/// Always `false`: the recorder is compiled out.
+#[inline(always)]
+#[must_use]
+pub fn trace_enabled() -> bool {
+    false
+}
+
+/// Always `0`: no trace ids exist in the no-op build.
+#[inline(always)]
+pub fn begin_trace() -> u64 {
+    0
+}
+
+/// Always `0`.
+#[inline(always)]
+#[must_use]
+pub fn current_trace() -> u64 {
+    0
+}
+
+/// Always `(0, 0)`.
+#[inline(always)]
+#[must_use]
+pub fn trace_context() -> (u64, u64) {
+    (0, 0)
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn set_trace_context(_trace: u64, _parent: u64) {}
+
+/// Does nothing; always returns [`NO_WORKER`].
+#[inline(always)]
+pub fn set_trace_worker(_worker: u32) -> u32 {
+    NO_WORKER
+}
+
+/// Always [`NO_WORKER`].
+#[inline(always)]
+#[must_use]
+pub fn trace_worker() -> u32 {
+    NO_WORKER
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn trace_instant(_name: &'static str, _segment: u32, _rung: RungKind, _payload: TracePayload) {}
+
+/// An inert guard; nothing is recorded on creation or drop.
+#[inline(always)]
+#[must_use]
+pub fn trace_span_scope(_name: &'static str, _segment: u32, _payload: TracePayload) -> TraceScope {
+    TraceScope
+}
+
+/// RAII trace span (no-op build: a unit struct whose drop is empty).
+#[derive(Debug)]
+pub struct TraceScope;
+
+/// Does nothing.
+#[inline(always)]
+pub fn flush_thread_trace() {}
+
+/// Always empty.
+#[inline(always)]
+#[must_use]
+pub fn take_trace() -> Vec<TraceEvent> {
+    Vec::new()
+}
+
+/// Always empty.
+#[inline(always)]
+#[must_use]
+pub fn snapshot_trace() -> Vec<TraceEvent> {
+    Vec::new()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +316,21 @@ mod tests {
             let _t = span("work");
         }
         assert!(take_spans().is_empty());
+        set_trace_enabled(true);
+        assert!(!trace_enabled());
+        assert_eq!(begin_trace(), 0);
+        assert_eq!(current_trace(), 0);
+        assert_eq!(trace_context(), (0, 0));
+        set_trace_context(7, 9);
+        assert_eq!(set_trace_worker(3), NO_WORKER);
+        assert_eq!(trace_worker(), NO_WORKER);
+        trace_instant("x", 0, RungKind::Strict, TracePayload::None);
+        {
+            let _s = trace_span_scope("x", 0, TracePayload::None);
+        }
+        flush_thread_trace();
+        assert!(take_trace().is_empty());
+        assert!(snapshot_trace().is_empty());
         reg.reset();
     }
 }

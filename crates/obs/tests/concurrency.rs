@@ -4,6 +4,7 @@
 //! Only meaningful in the real build — with the feature off the metrics
 //! are inert and the assertions flip to the always-zero contract.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
 
 const THREADS: u64 = 8;
@@ -44,6 +45,54 @@ fn eight_threads_exact_totals() {
     } else {
         assert_eq!(counter.get(), 0);
         assert_eq!(hist.count(), 0);
+    }
+}
+
+#[test]
+fn snapshot_under_load_is_internally_consistent() {
+    // Satellite of the flight-recorder PR: a snapshot taken *while* 8
+    // writers hammer the histogram must still be a coherent document —
+    // its count equals the sum of its own bucket counts, never a torn
+    // mix of "count from now, buckets from a moment ago".
+    let reg = ninec_obs::global();
+    let hist = reg.histogram("conc.load.values");
+    let stop = AtomicBool::new(false);
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let hist = hist.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Values spread across many log2 buckets.
+                    hist.record((t + 1) << (i % 48));
+                    i += 1;
+                }
+            });
+        }
+        for _ in 0..200 {
+            let snap = reg.snapshot();
+            if let Some(hs) = snap.histogram("conc.load.values") {
+                assert_eq!(
+                    hs.count,
+                    hs.buckets.iter().map(|&(_, c)| c).sum::<u64>(),
+                    "snapshot count must equal the sum of its bucket counts"
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Quiesced: the final snapshot agrees with the handle exactly.
+    if ninec_obs::is_compiled() {
+        let snap = reg.snapshot();
+        let hs = snap.histogram("conc.load.values").unwrap();
+        assert_eq!(hs.count, hist.count());
+        assert_eq!(
+            hs.buckets.iter().map(|&(_, c)| c).sum::<u64>(),
+            hist.count()
+        );
     }
 }
 

@@ -188,4 +188,27 @@ grep -q 'damaged segment' "$smokedir/plan.txt"
 grep -q ': data k=' "$smokedir/plan.txt"
 grep -q 'parity group .* — repair input' "$smokedir/plan.txt"
 
+# --stats prom smoke: the Prometheus alias of --stats text (same
+# capture-to-file-first rationale as the other stats smokes).
+echo "==> ninec --stats prom smoke test"
+./target/release/ninec compress "$smokedir/t.cubes" -o "$smokedir/t.te" \
+    --stats prom > "$smokedir/stats.prom"
+grep -q '^# TYPE ninec_encode_blocks counter' "$smokedir/stats.prom"
+
+# Flight-recorder smoke: `trace` on the committed repairable corpus frame
+# must replay the audited ladder and name the repaired rung per segment
+# (exit 0 — the damage is within the parity budget); --json must carry
+# the same audit machine-readably; --trace must dump a Chrome trace-event
+# document any chrome://tracing/Perfetto build can load.
+echo "==> ninec trace smoke test"
+./target/release/ninec trace tests/corpus/v3_repairable.9cf > "$smokedir/audit.txt"
+grep -q 'segments recovered' "$smokedir/audit.txt"
+grep -q 'repaired' "$smokedir/audit.txt"
+./target/release/ninec trace tests/corpus/v3_repairable.9cf --json \
+    > "$smokedir/audit.json"
+grep -q '"rung":"repaired"' "$smokedir/audit.json"
+./target/release/ninec trace tests/corpus/v3_repairable.9cf \
+    --trace "$smokedir/decode.trace.json" > /dev/null
+grep -q '"traceEvents"' "$smokedir/decode.trace.json"
+
 echo "CI OK"

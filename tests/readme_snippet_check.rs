@@ -165,3 +165,37 @@ fn observability_snippet() -> Result<(), Box<dyn std::error::Error>> {
 fn readme_observability_example_runs() {
     observability_snippet().unwrap();
 }
+
+/// Mirrors the README "Tracing & flight recorder" snippet verbatim.
+fn tracing_snippet() -> Result<(), Box<dyn std::error::Error>> {
+    use ninec::engine::Engine;
+    use ninec::session::DecodeSession;
+    use ninec_testdata::trit::TritVec;
+
+    let stream: TritVec = "0X0X00XX1111X11101X0".repeat(100).parse()?;
+    let engine = Engine::builder().segment_bits(256).parity(4, 1).build();
+    let mut frame = engine.encode_frame(8, &stream)?;
+    frame[47] ^= 0x55; // corrupt one byte
+
+    // Audited decode: the salvage report plus a per-segment audit trail.
+    let (report, audit) = DecodeSession::new()
+        .repair(true)
+        .salvage(true)
+        .decode_frame_audited(&frame)?;
+    assert!(report.is_full_recovery());
+    assert_eq!(audit.repaired_segments(), 1); // rungs are exact in every build
+    for seg in &audit.segments {
+        // worker/nanos are None when tracing is compiled out or disabled
+        let _ = (seg.index, seg.rung.label(), seg.worker, seg.nanos);
+    }
+
+    // Drain the flight recorder into a chrome://tracing / Perfetto document.
+    let events = ninec_obs::take_trace();
+    let _ = ninec_obs::render_chrome_trace(&events); // or render_jsonl(&events)
+    Ok(())
+}
+
+#[test]
+fn readme_tracing_example_runs() {
+    tracing_snippet().unwrap();
+}
