@@ -170,18 +170,22 @@ fn main() {
         assert!(
             DecodeSession::new()
                 .limits(hostile)
-                .decode_frame(&frame)
+                .decode_frame(&frame, ninec::Policy::Strict)
                 .is_err(),
             "hostile limit must reject the frame"
         );
         frame[HEADER_BYTES + SEGMENT_HEADER_BYTES] ^= 0x55; // first payload byte
         assert!(
-            DecodeSession::new().decode_frame(&frame).is_err(),
+            DecodeSession::new()
+                .decode_frame(&frame, ninec::Policy::Strict)
+                .is_err(),
             "strict decode of a corrupted frame must fail"
         );
         let report = DecodeSession::new()
-            .decode_frame_salvage(&frame)
-            .expect("salvage decode");
+            .decode_frame(&frame, ninec::Policy::Salvage)
+            .expect("salvage decode")
+            .report
+            .expect("damaged frame advances past strict");
         eprintln!(
             "{} salvage: {}/{} segments recovered, {} damaged",
             ibm[0].name,

@@ -1,0 +1,238 @@
+//! Regenerates `results/BENCH_serve.json`: a multi-connection soak of
+//! the `ninec-serve` codec service on an ephemeral loopback port.
+//!
+//! ```text
+//! cargo run -p ninec-bench --release --bin bench_serve [-- <out.json>]
+//! ```
+//!
+//! Two scenarios, each a fresh in-process server:
+//!
+//! - **nominal** — a wide admission window and no degrade threshold;
+//!   every decode runs the full ladder and the shed/busy counters must
+//!   stay 0 (asserted).
+//! - **overload** — `degrade_threshold: 0` plus a one-slot admission
+//!   window behind a deliberately undersized handler pool; repair
+//!   requests are shed to strict-only (asserted nonzero) and the
+//!   admission window answers busy under the connection storm.
+//!
+//! Both rows record per-request latency percentiles (p50/p99/max),
+//! request throughput, and the server's refusal counters, so a serve
+//! regression shows up as a diff in a tracked artifact.
+
+use ninec_serve::{Client, ClientError, ServeConfig, Server, StatsSnapshot, Status};
+use serde_json::{json, Value};
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Connections in the soak — the acceptance bar is N >= 8.
+const CONNECTIONS: usize = 8;
+/// Requests each connection issues per scenario.
+const REQUESTS_PER_CONN: usize = 40;
+
+struct SoakOutcome {
+    latencies: Vec<Duration>,
+    ok: u64,
+    busy: u64,
+    shed_answers: u64,
+    wall: Duration,
+}
+
+/// Drives `CONNECTIONS` concurrent clients against `addr`, each decoding
+/// `frame` under `policy` `REQUESTS_PER_CONN` times. Busy refusals are
+/// counted and retried-as-lost (the request still took a round trip, so
+/// its latency is recorded); any other error is fatal — the soak is a
+/// correctness gate too.
+fn soak(
+    addr: std::net::SocketAddr,
+    frame: &[u8],
+    policy: ninec::Policy,
+    expected: &str,
+) -> SoakOutcome {
+    let start = Instant::now();
+    let lanes: Vec<_> = (0..CONNECTIONS)
+        .map(|_| {
+            let frame = frame.to_vec();
+            let expected = expected.to_owned();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("soak client connects");
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CONN);
+                let (mut ok, mut busy, mut shed) = (0u64, 0u64, 0u64);
+                for _ in 0..REQUESTS_PER_CONN {
+                    let t = Instant::now();
+                    match client.decode(&frame, policy) {
+                        Ok(reply) => {
+                            assert_eq!(reply.trits, expected, "soak decode must stay exact");
+                            ok += 1;
+                            if reply.degraded {
+                                shed += 1;
+                            }
+                        }
+                        Err(ClientError::Server {
+                            status: Status::Busy,
+                            ..
+                        }) => busy += 1,
+                        Err(other) => panic!("soak hit an unexpected error: {other}"),
+                    }
+                    latencies.push(t.elapsed());
+                }
+                (latencies, ok, busy, shed)
+            })
+        })
+        .collect();
+    let mut outcome = SoakOutcome {
+        latencies: Vec::with_capacity(CONNECTIONS * REQUESTS_PER_CONN),
+        ok: 0,
+        busy: 0,
+        shed_answers: 0,
+        wall: Duration::ZERO,
+    };
+    for lane in lanes {
+        let (lat, ok, busy, shed) = lane.join().expect("soak lane panicked");
+        outcome.latencies.extend(lat);
+        outcome.ok += ok;
+        outcome.busy += busy;
+        outcome.shed_answers += shed;
+    }
+    outcome.wall = start.elapsed();
+    outcome
+}
+
+/// Sorted-percentile in microseconds (`q` in 0..=100).
+fn percentile_us(sorted: &[Duration], q: usize) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = (sorted.len() - 1) * q / 100;
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+fn row(scenario: &str, outcome: &SoakOutcome, stats: &StatsSnapshot) -> Value {
+    let mut sorted = outcome.latencies.clone();
+    sorted.sort();
+    let total = outcome.latencies.len() as f64;
+    let server = json!({
+        "connections": stats.connections,
+        "requests": stats.requests,
+        "ok": stats.ok,
+        "busy": stats.busy,
+        "shed": stats.shed,
+        "rate_limited": stats.rate_limited,
+        "partial": stats.partial,
+        "failed": stats.failed,
+    });
+    json!({
+        "scenario": scenario,
+        "connections": CONNECTIONS,
+        "requests_per_connection": REQUESTS_PER_CONN,
+        "requests": outcome.latencies.len(),
+        "ok": outcome.ok,
+        "busy": outcome.busy,
+        "degraded_answers": outcome.shed_answers,
+        "p50_us": percentile_us(&sorted, 50),
+        "p99_us": percentile_us(&sorted, 99),
+        "max_us": percentile_us(&sorted, 100),
+        "throughput_req_s": total / outcome.wall.as_secs_f64(),
+        "wall_ms": outcome.wall.as_secs_f64() * 1e3,
+        "server": server,
+    })
+}
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_serve.json".to_owned())
+        .into();
+    // One mid-sized frame reused for every request: big enough that the
+    // decode dominates the round trip, small enough that the soak stays
+    // seconds. Seeded through a throwaway server so the bench exercises
+    // the same wire compress path the clients use.
+    let text = "0X0X00XX1111X11101X0".repeat(500);
+
+    // Nominal: wide window, no degradation. Shed/busy must stay 0.
+    let mut server = Server::start(ServeConfig {
+        handler_threads: CONNECTIONS,
+        max_inflight: CONNECTIONS * 2,
+        queue_depth: CONNECTIONS * 2,
+        ..ServeConfig::default()
+    })
+    .expect("nominal server starts");
+    let mut seeder = Client::connect(server.addr()).expect("seeder connects");
+    let frame = seeder.compress(8, &text).expect("seed frame");
+    let expected = seeder
+        .decode(&frame, ninec::Policy::Strict)
+        .expect("reference decode")
+        .trits;
+    let nominal = soak(server.addr(), &frame, ninec::Policy::Repair, &expected);
+    let nominal_stats = server.stats();
+    assert_eq!(nominal_stats.shed, 0, "nominal soak must not shed");
+    assert_eq!(nominal.busy, 0, "nominal soak must not hit busy");
+    assert_eq!(
+        nominal.ok,
+        (CONNECTIONS * REQUESTS_PER_CONN) as u64,
+        "nominal soak answers everything"
+    );
+    eprintln!(
+        "nominal : {} req, p50 {:>7.0} us, p99 {:>7.0} us, {:>6.0} req/s, shed {}",
+        nominal.latencies.len(),
+        {
+            let mut s = nominal.latencies.clone();
+            s.sort();
+            percentile_us(&s, 50)
+        },
+        {
+            let mut s = nominal.latencies.clone();
+            s.sort();
+            percentile_us(&s, 99)
+        },
+        nominal.latencies.len() as f64 / nominal.wall.as_secs_f64(),
+        nominal_stats.shed,
+    );
+    let nominal_row = row("nominal", &nominal, &nominal_stats);
+    server.shutdown();
+
+    // Overload: every request sees the degraded load picture, so every
+    // repair-policy decode is shed to strict (the frame is clean, so the
+    // answers stay exact — degradation sheds rungs, not payloads), and a
+    // one-slot admission window under 8 connections answers busy.
+    let mut server = Server::start(ServeConfig {
+        handler_threads: 2,
+        max_inflight: 1,
+        queue_depth: CONNECTIONS,
+        degrade_threshold: 0,
+        ..ServeConfig::default()
+    })
+    .expect("overload server starts");
+    let overload = soak(server.addr(), &frame, ninec::Policy::Repair, &expected);
+    let overload_stats = server.stats();
+    assert!(
+        overload_stats.shed > 0,
+        "overload soak must shed repair work (shed counter stayed 0)"
+    );
+    assert_eq!(
+        overload.ok + overload.busy,
+        (CONNECTIONS * REQUESTS_PER_CONN) as u64,
+        "every overload request is answered or refused typed"
+    );
+    eprintln!(
+        "overload: {} req, ok {}, busy {}, shed {} (server), degraded answers {}",
+        overload.latencies.len(),
+        overload.ok,
+        overload.busy,
+        overload_stats.shed,
+        overload.shed_answers,
+    );
+    let overload_row = row("overload", &overload, &overload_stats);
+    server.shutdown();
+
+    let doc = json!({
+        "schema": "ninec-bench-serve/v1",
+        "note": "multi-connection soak of the ninec-serve codec service; \
+                 latencies are client-observed round trips on loopback",
+        "rows": [nominal_row, overload_row],
+    });
+    if let Some(dir) = out.parent() {
+        fs::create_dir_all(dir).expect("create results dir");
+    }
+    let textdoc = serde_json::to_string_pretty(&doc).expect("serialize results");
+    fs::write(&out, textdoc + "\n").expect("write results");
+    println!("wrote {}", out.display());
+}

@@ -35,6 +35,7 @@ use std::fmt;
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::LazyLock;
 
 /// CLI failure.
 #[derive(Debug)]
@@ -49,6 +50,15 @@ pub enum CliError {
     /// output file was written (damaged spans as `X` or their fill), and
     /// the message carries the damage map.
     PartialRecovery(String),
+    /// A `client` request was refused by the codec service. The wire
+    /// status byte doubles as the exit code: the serve statuses mirror
+    /// the local contract (2/3/4/5), plus 6 busy / 7 rate-limited.
+    Service {
+        /// Wire status byte, reported verbatim as the exit code.
+        code: u8,
+        /// The server's error text (suffixed when it was degraded).
+        message: String,
+    },
 }
 
 impl CliError {
@@ -57,12 +67,20 @@ impl CliError {
     /// Scripts can distinguish a bad invocation (2) from an operation
     /// that failed on valid arguments (3), an I/O problem (4), and a
     /// salvage decompress that wrote output but lost segments (5).
+    /// Server refusals over the wire ([`CliError::Service`]) carry
+    /// their status byte straight through — the serve protocol reuses
+    /// this contract and extends it with 6 (busy) and 7 (rate-limited).
+    /// The whole mapping is documented once, in [`EXIT_CODES`].
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
             CliError::Failed(_) => 3,
             CliError::Io(_) => 4,
             CliError::PartialRecovery(_) => 5,
+            // A wire status of 0 never reaches the error path; guard it
+            // anyway so a confused server cannot make a failure exit 0.
+            CliError::Service { code: 0, .. } => 3,
+            CliError::Service { code, .. } => *code,
         }
     }
 
@@ -84,10 +102,11 @@ impl CliError {
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{}", USAGE.as_str()),
             CliError::Failed(msg) => write!(f, "{msg}"),
             CliError::Io(_) => write!(f, "i/o error"),
             CliError::PartialRecovery(msg) => write!(f, "partial recovery: {msg}"),
+            CliError::Service { message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -96,7 +115,10 @@ impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CliError::Io(e) => Some(e),
-            CliError::Usage(_) | CliError::Failed(_) | CliError::PartialRecovery(_) => None,
+            CliError::Usage(_)
+            | CliError::Failed(_)
+            | CliError::PartialRecovery(_)
+            | CliError::Service { .. } => None,
         }
     }
 }
@@ -107,8 +129,28 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-/// Usage text.
-pub const USAGE: &str = "\
+/// The exit-code contract, verbatim as `--help` prints it and the
+/// README quotes it. One source: the help text is assembled from this
+/// constant, and the doc-drift tests assert the README block and
+/// [`CliError::exit_code`] agree with it character for character.
+/// Codes 6 and 7 exist only on the `client` path — they are the serve
+/// protocol's two load-shedding refusals, carried through verbatim.
+pub const EXIT_CODES: &str = "\
+EXIT CODES:
+    0   success — including a damaged frame fully rebuilt by repair
+    2   usage error (bad flags or arguments)
+    3   operation failed on valid arguments (corrupt input, no output)
+    4   i/o error
+    5   partial recovery: --salvage wrote output but segments were lost
+    6   server busy: the admission window or handler queue refused (client)
+    7   tenant over its request-rate budget (client)
+";
+
+/// Usage text, assembled once on first use; the exit-code block is
+/// [`EXIT_CODES`] verbatim.
+pub static USAGE: LazyLock<String> = LazyLock::new(|| {
+    format!(
+        "\
 ninec — nine-coded scan test-data compression (DATE 2004)
 
 USAGE:
@@ -124,6 +166,13 @@ USAGE:
     ninec compare    <in.cubes> [-k <even>=8]
     ninec rtl        -o <decoder.v> [-k <even>=8] [--tb]
     ninec trace      <in.9cf> [--threads <n>] [--no-repair] [--json]
+    ninec serve      [--addr <ip:port>] [--http-addr <ip:port>] [--no-http]
+                     [--tenants <file>] [--handler-threads <n>] [--threads <n>]
+                     [--max-inflight <n>] [--degrade-threshold <n>]
+                     [--segment-bits <n>] [--parity <g>:<r>]
+    ninec client     <addr> ping|compress|decompress|info|metrics [<file>]
+                     [-o <out>] [-k <even>=8] [--tenant <name>]
+                     [--salvage] [--no-repair]
 
 PARALLEL ENGINE:
     --threads <n>       worker threads for the sharded codec engine
@@ -167,13 +216,27 @@ REPAIR AND SALVAGE (binary `.9cf` frames):
     and the decode wall-clock (--json for a machine-readable document).
     Exit code 5 when segments were lost, like a --salvage decompress.
 
-EXIT CODES:
-    0   success — including a damaged frame fully rebuilt by repair
-    2   usage error (bad flags or arguments)
-    3   operation failed on valid arguments (corrupt input, no output)
-    4   i/o error
-    5   partial recovery: --salvage wrote output but segments were lost
+SERVING:
+    `serve` runs a multi-tenant codec service speaking a length-prefixed
+    TCP protocol (compress / decode / info / repair) and prints the
+    bound addresses on startup — bind port 0 for an ephemeral port.
+    Per-tenant decode budgets and request rates come from the --tenants
+    file: `[tenant.NAME]` sections with max_segments, max_segment_trits,
+    max_total_alloc, max_resync_probes, rate (requests/s) and burst.
+    Load is never buffered unbounded: past --max-inflight concurrent
+    requests the server answers busy (exit 6 at the client); past
+    --degrade-threshold it sheds repair/salvage work to strict-only and
+    flags every answer degraded. --no-http disables the /metrics
+    (Prometheus text) and /trace (Chrome trace JSON) exporter listener.
+    `client` drives a running server: `ping` greets a tenant (--tenant),
+    `compress <in.cubes> -o <out.9cf>` round-trips a cube file into a
+    frame, `decompress <in.9cf> -o <out>` recovers the trit stream
+    (--no-repair / --salvage pick the decode policy, like the local
+    verb), `info <in.9cf>` prints the server's frame summary, `metrics`
+    fetches the exporter text from the http address. Server refusals
+    exit with the matching code below.
 
+{EXIT_CODES}
 GLOBAL FLAGS (any command):
     --stats text|json|prom
                         after the command succeeds, print the telemetry
@@ -187,7 +250,9 @@ GLOBAL FLAGS (any command):
                         trace-event JSON loadable in chrome://tracing or
                         Perfetto, or compact JSON-lines when <file> ends
                         in .jsonl
-";
+"
+    )
+});
 
 /// Runs the CLI with `args` (without the program name), writing normal
 /// output to `out`.
@@ -219,8 +284,10 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "compare" => compare(&rest, out),
             "rtl" => rtl(&rest, out),
             "trace" => trace_cmd(&rest, out),
+            "serve" => serve(&rest, out),
+            "client" => client(&rest, out),
             "help" | "--help" | "-h" => {
-                writeln!(out, "{USAGE}")?;
+                writeln!(out, "{}", USAGE.as_str())?;
                 Ok(())
             }
             other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -280,6 +347,8 @@ fn command_span_name(command: &str) -> &'static str {
         "compare" => "cli_compare",
         "rtl" => "cli_rtl",
         "trace" => "cli_trace",
+        "serve" => "cli_serve",
+        "client" => "cli_client",
         _ => "cli",
     }
 }
@@ -353,6 +422,15 @@ struct Opts {
     no_repair: bool,
     json: bool,
     parity: Option<(u8, u8)>,
+    // `serve` / `client` flags.
+    addr: Option<String>,
+    http_addr: Option<String>,
+    no_http: bool,
+    tenants: Option<PathBuf>,
+    handler_threads: Option<usize>,
+    max_inflight: Option<usize>,
+    degrade_threshold: Option<usize>,
+    tenant: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -440,6 +518,61 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                     )));
                 }
                 opts.parity = Some((g, r));
+            }
+            "--addr" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--addr needs <ip:port>".into()))?;
+                opts.addr = Some(v.clone());
+            }
+            "--http-addr" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--http-addr needs <ip:port>".into()))?;
+                opts.http_addr = Some(v.clone());
+            }
+            "--no-http" => opts.no_http = true,
+            "--tenants" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--tenants needs a file path".into()))?;
+                opts.tenants = Some(PathBuf::from(v));
+            }
+            "--handler-threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--handler-threads needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --handler-threads {v:?}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--handler-threads must be >= 1".into()));
+                }
+                opts.handler_threads = Some(n);
+            }
+            "--max-inflight" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--max-inflight needs a value".into()))?;
+                opts.max_inflight = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --max-inflight {v:?}")))?,
+                );
+            }
+            "--degrade-threshold" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--degrade-threshold needs a value".into()))?;
+                opts.degrade_threshold = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --degrade-threshold {v:?}")))?,
+                );
+            }
+            "--tenant" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--tenant needs a name".into()))?;
+                opts.tenant = Some(v.clone());
             }
             "--freq-directed" => opts.freq_directed = true,
             "--salvage" => opts.salvage = true,
@@ -1010,13 +1143,27 @@ fn trace_cmd(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "{input}: not a 9CSF frame (trace replays binary .9cf frames)"
         )));
     }
-    let mut session = DecodeSession::new().salvage(true).repair(!opts.no_repair);
+    let mut session = DecodeSession::new().audit(true);
     if let Some(threads) = opts.threads {
         session = session.threads(threads);
     }
-    let (report, audit) = session
-        .decode_frame_audited(&bytes)
+    let policy = if opts.no_repair {
+        Policy::Salvage
+    } else {
+        Policy::Repair
+    };
+    let outcome = session
+        .decode_frame(&bytes, policy)
         .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+    let audit = outcome
+        .audit
+        .ok_or_else(|| CliError::Failed(format!("{input}: audited decode produced no audit")))?;
+    // A clean frame resolves strict with no report: every segment counts
+    // as recovered.
+    let (recovered_segments, total_segments) = match &outcome.report {
+        Some(report) => (report.recovered_segments, report.total_segments),
+        None => (audit.segments.len(), audit.segments.len()),
+    };
     if opts.json {
         let segs: Vec<String> = audit
             .segments
@@ -1042,8 +1189,8 @@ fn trace_cmd(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
              \"strict\":{},\"repaired\":{},\"salvaged\":{},\"segments\":[{}]}}",
             json_escape(input),
             audit.trace,
-            report.recovered_segments,
-            report.total_segments,
+            recovered_segments,
+            total_segments,
             audit.strict_segments(),
             audit.repaired_segments(),
             audit.salvaged_segments(),
@@ -1053,8 +1200,8 @@ fn trace_cmd(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(
             out,
             "{input}: {}/{} segments recovered ({} strict, {} repaired, {} salvaged), trace {}",
-            report.recovered_segments,
-            report.total_segments,
+            recovered_segments,
+            total_segments,
             audit.strict_segments(),
             audit.repaired_segments(),
             audit.salvaged_segments(),
@@ -1082,10 +1229,209 @@ fn trace_cmd(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
     // Output printed; lossy recovery still reports exit code 5 so
     // scripts can tell a fully recovered frame from a lossy one.
-    if report.is_full_recovery() {
-        Ok(())
-    } else {
-        Err(CliError::PartialRecovery(damage_map(input, &report)))
+    match &outcome.report {
+        Some(report) if !report.is_full_recovery() => {
+            Err(CliError::PartialRecovery(damage_map(input, report)))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Builds the serve configuration from the CLI flags. Split from
+/// [`serve`] so the flag-to-config mapping is testable without binding
+/// a listener.
+fn serve_config_from_opts(opts: &Opts) -> Result<ninec_serve::ServeConfig, CliError> {
+    let mut config = ninec_serve::ServeConfig::default();
+    if let Some(addr) = &opts.addr {
+        config.addr.clone_from(addr);
+    }
+    if let Some(addr) = &opts.http_addr {
+        config.http_addr.clone_from(addr);
+    }
+    config.http = !opts.no_http;
+    if let Some(path) = &opts.tenants {
+        let text = fs::read_to_string(path)?;
+        config.tenants = ninec_serve::parse_tenants(&text)
+            .map_err(|e| CliError::Failed(format!("{}: {e}", path.display())))?;
+    }
+    if let Some(n) = opts.threads {
+        config.decode_threads = n;
+    }
+    if let Some(bits) = opts.segment_bits {
+        config.segment_bits = bits;
+    }
+    if let Some(parity) = opts.parity {
+        config.parity = parity;
+    }
+    if let Some(n) = opts.handler_threads {
+        config.handler_threads = n;
+    }
+    if let Some(n) = opts.max_inflight {
+        config.max_inflight = n;
+    }
+    if let Some(n) = opts.degrade_threshold {
+        config.degrade_threshold = n;
+    }
+    Ok(config)
+}
+
+fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    if !opts.positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "serve takes flags only, got {:?}",
+            opts.positional
+        )));
+    }
+    let config = serve_config_from_opts(&opts)?;
+    let server = ninec_serve::Server::start(config)?;
+    // The smoke harness (scripts/ci.sh) reads these lines to learn the
+    // ephemeral ports, so flush before blocking.
+    writeln!(out, "listening {}", server.addr())?;
+    if let Some(http) = server.http_addr() {
+        writeln!(out, "metrics http://{http}/metrics")?;
+        writeln!(out, "trace http://{http}/trace")?;
+    }
+    out.flush()?;
+    // The acceptor, handler pool and exporter run on their own threads;
+    // this thread only keeps the `Server` (and the process) alive until
+    // the operator kills it.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Maps a wire-client failure onto the CLI error contract: connection
+/// problems are I/O (4), protocol violations are failures (3), and a
+/// server refusal carries its wire status byte through as the exit
+/// code — see [`EXIT_CODES`].
+fn client_err(e: ninec_serve::ClientError) -> CliError {
+    match e {
+        ninec_serve::ClientError::Io(io) => CliError::Io(io),
+        ninec_serve::ClientError::Server {
+            status,
+            degraded,
+            message,
+        } => CliError::Service {
+            code: status as u8,
+            message: if degraded {
+                format!("{message} (server degraded)")
+            } else {
+                message
+            },
+        },
+        other => CliError::Failed(format!("wire protocol error: {other}")),
+    }
+}
+
+fn client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let (addr, verb, rest) = match opts.positional.as_slice() {
+        [addr, verb, rest @ ..] => (addr.as_str(), verb.as_str(), rest),
+        _ => {
+            return Err(CliError::Usage(
+                "client wants <addr> ping|compress|decompress|info|metrics".into(),
+            ))
+        }
+    };
+    if verb == "metrics" {
+        // Raw GET against the exporter listener — <addr> here is the
+        // http address `serve` printed, not the wire address.
+        let body = ninec_serve::client::http_get(addr, "/metrics").map_err(client_err)?;
+        write!(out, "{body}")?;
+        return Ok(());
+    }
+    let mut client = ninec_serve::Client::connect(addr).map_err(client_err)?;
+    if let Some(tenant) = &opts.tenant {
+        client.hello(tenant).map_err(client_err)?;
+    }
+    let one_file = |rest: &[String]| -> Result<String, CliError> {
+        match rest {
+            [one] => Ok(one.clone()),
+            _ => Err(CliError::Usage(format!(
+                "client {verb} wants exactly one input file"
+            ))),
+        }
+    };
+    match verb {
+        "ping" => {
+            // `hello` already ran for --tenant; greet explicitly so a
+            // bare ping exercises the wire too.
+            let greeting = client
+                .hello(opts.tenant.as_deref().unwrap_or("default"))
+                .map_err(client_err)?;
+            writeln!(out, "{greeting}")?;
+            Ok(())
+        }
+        "compress" => {
+            let input = one_file(rest)?;
+            let k = opts.k.unwrap_or(8);
+            let k = u16::try_from(k)
+                .map_err(|_| CliError::Usage(format!("-k {k} does not fit the wire (u16)")))?;
+            let cubes = ninec_testdata::io::read_test_set_file(&input)
+                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+            let frame = client
+                .compress(k, &cubes.as_stream().to_string())
+                .map_err(client_err)?;
+            let out_path = output(&opts)?;
+            fs::write(out_path, &frame)?;
+            writeln!(
+                out,
+                "{input}: {} -> {} bits over the wire, 9CSF frame",
+                cubes.total_bits(),
+                frame.len() * 8,
+            )?;
+            Ok(())
+        }
+        "decompress" => {
+            let input = one_file(rest)?;
+            let frame = fs::read(&input)?;
+            // Same policy surface as the local verb: the full ladder by
+            // default, --no-repair pins strict, --salvage allows loss.
+            let policy = match (opts.no_repair, opts.salvage) {
+                (true, false) => Policy::Strict,
+                (false, true) => Policy::Salvage,
+                (false, false) => Policy::Repair,
+                (true, true) => {
+                    return Err(CliError::Usage(
+                        "--no-repair and --salvage conflict on the wire: the \
+                         serve ladder has no strict-then-salvage rung"
+                            .into(),
+                    ))
+                }
+            };
+            let reply = client.decode(&frame, policy).map_err(client_err)?;
+            let out_path = output(&opts)?;
+            fs::write(out_path, reply.trits.as_bytes())?;
+            writeln!(
+                out,
+                "{input}: {} trits via {} rung{}",
+                reply.trits.len(),
+                reply.rung.label(),
+                if reply.degraded {
+                    " (server degraded)"
+                } else {
+                    ""
+                },
+            )?;
+            if reply.partial {
+                return Err(CliError::PartialRecovery(format!(
+                    "{input}: server salvage lost {} segment(s); output written",
+                    reply.damaged,
+                )));
+            }
+            Ok(())
+        }
+        "info" => {
+            let input = one_file(rest)?;
+            let frame = fs::read(&input)?;
+            let info = client.info(&frame).map_err(client_err)?;
+            write!(out, "{info}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown client verb {other:?} (want ping|compress|decompress|info|metrics)"
+        ))),
     }
 }
 
@@ -1644,28 +1990,182 @@ mod tests {
     #[test]
     fn usage_documents_the_full_exit_code_contract() {
         // The doc and the implementation must not drift: every error
-        // class's exit code appears in the USAGE text exactly as
-        // `CliError::exit_code` reports it, plus success (0).
-        assert!(USAGE.contains("EXIT CODES"), "{USAGE}");
+        // class's exit code appears in the EXIT_CODES block exactly as
+        // `CliError::exit_code` reports it, plus success (0), and the
+        // block itself appears verbatim in the help text.
+        assert!(
+            USAGE.contains(EXIT_CODES),
+            "USAGE must embed EXIT_CODES verbatim:\n{}",
+            USAGE.as_str()
+        );
         let documented: Vec<(u8, CliError)> = vec![
             (2, CliError::Usage("x".into())),
             (3, CliError::Failed("x".into())),
             (4, CliError::Io(std::io::Error::other("x"))),
             (5, CliError::PartialRecovery("x".into())),
+            (
+                6,
+                CliError::Service {
+                    code: 6,
+                    message: "busy".into(),
+                },
+            ),
+            (
+                7,
+                CliError::Service {
+                    code: 7,
+                    message: "rate limited".into(),
+                },
+            ),
         ];
         assert!(
-            USAGE.contains("\n    0   success"),
-            "success line missing:\n{USAGE}"
+            EXIT_CODES.contains("\n    0   success"),
+            "success line missing:\n{EXIT_CODES}"
         );
         for (code, err) in documented {
             assert_eq!(err.exit_code(), code, "{err:?}");
             assert!(
-                USAGE.contains(&format!("\n    {code}   ")),
-                "exit code {code} not documented:\n{USAGE}"
+                EXIT_CODES.contains(&format!("\n    {code}   ")),
+                "exit code {code} not documented:\n{EXIT_CODES}"
             );
         }
+        // The serve wire statuses reuse the same numbers — a drift here
+        // would silently break the exit-code pass-through.
+        assert_eq!(ninec_serve::Status::BadRequest as u8, 2);
+        assert_eq!(ninec_serve::Status::Failed as u8, 3);
+        assert_eq!(ninec_serve::Status::Io as u8, 4);
+        assert_eq!(ninec_serve::Status::Partial as u8, 5);
+        assert_eq!(ninec_serve::Status::Busy as u8, 6);
+        assert_eq!(ninec_serve::Status::RateLimited as u8, 7);
+        // A wire status of 0 must never make a failure exit 0.
+        assert_eq!(
+            CliError::Service {
+                code: 0,
+                message: "confused server".into()
+            }
+            .exit_code(),
+            3
+        );
         // `--help` prints the same contract.
-        assert!(run_ok(&["help"]).contains("EXIT CODES"));
+        assert!(run_ok(&["help"]).contains(EXIT_CODES));
+    }
+
+    #[test]
+    fn readme_quotes_the_exit_code_block_verbatim() {
+        // The README's exit-code section is a copy of EXIT_CODES; this
+        // test is what keeps the copy honest.
+        let readme = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+        let text = fs::read_to_string(readme).expect("README.md at the workspace root");
+        assert!(
+            text.contains(EXIT_CODES),
+            "README.md must quote the EXIT_CODES block verbatim; update it \
+             from crates/cli/src/lib.rs"
+        );
+    }
+
+    #[test]
+    fn client_roundtrips_against_a_live_server() {
+        let mut server = ninec_serve::Server::start(ninec_serve::ServeConfig::default())
+            .expect("ephemeral server starts");
+        let addr = server.addr().to_string();
+        let dir = tmpdir("cliserve");
+        let cubes = dir.join("c.cubes");
+        run_ok(&["generate", "custom:8,40,70", "-o", path_str(&cubes)]);
+        let frame = dir.join("c.9cf");
+        let msg = run_ok(&[
+            "client",
+            &addr,
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&frame),
+        ]);
+        assert!(msg.contains("over the wire"), "{msg}");
+        let info = run_ok(&["client", &addr, "info", path_str(&frame)]);
+        assert!(info.contains("segments"), "{info}");
+        let trits = dir.join("c.trits");
+        let msg = run_ok(&[
+            "client",
+            &addr,
+            "decompress",
+            path_str(&frame),
+            "-o",
+            path_str(&trits),
+        ]);
+        assert!(msg.contains("strict"), "{msg}");
+        let text = fs::read_to_string(&trits).unwrap();
+        assert!(text.chars().all(|c| "01X".contains(c)), "{text}");
+        let msg = run_ok(&["client", &addr, "ping"]);
+        assert!(msg.contains("tenant default"), "{msg}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_maps_wire_refusals_onto_exit_codes() {
+        let mut server = ninec_serve::Server::start(ninec_serve::ServeConfig::default())
+            .expect("ephemeral server starts");
+        let addr = server.addr().to_string();
+        // Unknown tenant: BadRequest on the wire, exit 2 locally.
+        let err = run_err(&["client", &addr, "ping", "--tenant", "ghost"]);
+        assert!(matches!(err, CliError::Service { code: 2, .. }), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+        // A garbage frame: the server fails the decode, exit 3.
+        let dir = tmpdir("cliwirecodes");
+        let bogus = dir.join("bogus.9cf");
+        fs::write(&bogus, b"not a frame").unwrap();
+        let err = run_err(&[
+            "client",
+            &addr,
+            "decompress",
+            path_str(&bogus),
+            "-o",
+            path_str(&dir.join("out.trits")),
+        ]);
+        assert!(matches!(err, CliError::Service { code: 3, .. }), "{err:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        assert!(matches!(
+            run_err(&["serve", "stray-positional"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["serve", "--handler-threads", "0"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["serve", "--tenants"]),
+            CliError::Usage(_)
+        ));
+        // A tenants file that does not parse is an operation failure.
+        let dir = tmpdir("servetenants");
+        let bad = dir.join("tenants.conf");
+        fs::write(&bad, "[tenant.x]\nnot-a-key = 1\n").unwrap();
+        assert!(matches!(
+            run_err(&["serve", "--tenants", path_str(&bad)]),
+            CliError::Failed(_)
+        ));
+        // The flag-to-config mapping itself.
+        let opts = parse_opts(&[
+            "--addr".into(),
+            "0.0.0.0:7777".into(),
+            "--no-http".into(),
+            "--max-inflight".into(),
+            "3".into(),
+            "--degrade-threshold".into(),
+            "5".into(),
+            "--handler-threads".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        let config = serve_config_from_opts(&opts).unwrap();
+        assert_eq!(config.addr, "0.0.0.0:7777");
+        assert!(!config.http);
+        assert_eq!(config.max_inflight, 3);
+        assert_eq!(config.degrade_threshold, 5);
+        assert_eq!(config.handler_threads, 2);
     }
 
     #[test]

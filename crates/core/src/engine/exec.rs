@@ -48,11 +48,47 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Upper bound on worker threads — keeps the per-worker gauge family
 /// bounded and guards against absurd `NINEC_THREADS` values.
 pub const MAX_THREADS: usize = 256;
+
+/// Jobs admitted to any in-flight [`run_prioritized`] call, process-wide.
+static ACTIVE_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Current executor load: the number of jobs admitted to (queued on or
+/// running inside) every in-flight [`run_prioritized`] call in this
+/// process. The count is batch-grained — a call contributes all of its
+/// jobs from entry until *every* slot is merged — which is exactly the
+/// "work still outstanding" signal an admission controller wants:
+/// `ninec-serve` consults it (together with its own decode window) to
+/// decide when to shed repair/salvage backfill under load.
+#[must_use]
+pub fn active_jobs() -> usize {
+    ACTIVE_JOBS.load(Ordering::Relaxed)
+}
+
+/// RAII registration of one batch on the [`active_jobs`] tally. Drop
+/// (including during an unwind out of the executor) always retires the
+/// batch, so the gauge can never leak upward.
+struct ActiveBatch {
+    jobs: usize,
+}
+
+impl ActiveBatch {
+    fn admit(jobs: usize) -> Self {
+        ACTIVE_JOBS.fetch_add(jobs, Ordering::Relaxed);
+        ActiveBatch { jobs }
+    }
+}
+
+impl Drop for ActiveBatch {
+    fn drop(&mut self) {
+        ACTIVE_JOBS.fetch_sub(self.jobs, Ordering::Relaxed);
+    }
+}
 
 /// Scheduling class of one job. `High` jobs are guaranteed to *start*
 /// before any `Low` job whose worker could see them queued; `Low` jobs
@@ -146,6 +182,9 @@ where
     P: Fn(usize) -> Priority,
 {
     let threads = threads.clamp(1, MAX_THREADS);
+    // Batch-grained load registration: all `jobs` count as outstanding
+    // until the index-ordered merge below completes (RAII, unwind-safe).
+    let _batch = ActiveBatch::admit(jobs);
     if threads <= 1 || jobs <= 1 {
         // The serial fallback isolates panics exactly like the pooled
         // path and honors the same High-before-Low start order. On the
@@ -476,6 +515,36 @@ mod tests {
                     assert_eq!(r.as_ref().ok(), Some(&i), "threads={threads} job {i}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn active_jobs_counts_batches_in_flight_and_retires_them() {
+        let floor = active_jobs();
+        // While one of our 12 jobs runs, our batch contributes all 12 to
+        // the tally (other tests can only add on top, never subtract our
+        // share), so every job must observe at least 12.
+        let seen = run_prioritized(4, 12, all_high, |_| active_jobs());
+        for r in &seen {
+            let inside = *r.as_ref().expect("no panics");
+            assert!(inside >= 12, "a job observed only {inside} active jobs");
+        }
+        // The batch retires even when a job panics (RAII on unwind). The
+        // tally is shared with concurrently running tests, so wait for it
+        // to dip back to the starting floor instead of asserting once: a
+        // leaked batch would keep it permanently above.
+        let _ = run_prioritized(2, 4, all_high, |i| {
+            if i == 1 {
+                panic!("boom");
+            }
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while active_jobs() > floor {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "active_jobs never returned to {floor}: batches leaked"
+            );
+            std::thread::yield_now();
         }
     }
 

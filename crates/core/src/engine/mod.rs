@@ -64,10 +64,19 @@ pub mod salvage;
 
 pub use audit::{DecodeAudit, SegmentAudit, SegmentRung};
 pub use ecc::{EccError, ParityCoder};
+pub use exec::active_jobs;
 pub use frame::{DamageReason, DecodeLimits, FrameError};
 pub use plan::{FramePlan, PlanEntry, Policy};
 pub use reader::{FrameReader, ReadError, StreamItem};
 pub use salvage::{DamagedSegment, SalvageReport};
+
+/// A cheaply clonable, thread-safe handle to one [`Engine`].
+///
+/// The engine itself is `Send + Sync` (immutable after build), so a
+/// server can hold one engine per tenant behind an `Arc` and hand clones
+/// to every connection handler without re-validating configuration —
+/// this is the handle `ninec-serve` multiplexes connections onto.
+pub type SharedEngine = std::sync::Arc<Engine>;
 
 use crate::code::CodeTable;
 use crate::decode::{DecodeError, StreamDecoder};
@@ -242,6 +251,12 @@ impl EngineBuilder {
             parity: self.parity,
             failpoints,
         }
+    }
+
+    /// Finalizes the engine behind a [`SharedEngine`] handle, ready to
+    /// be cloned across connection handlers or worker threads.
+    pub fn build_shared(self) -> SharedEngine {
+        std::sync::Arc::new(self.build())
     }
 }
 
@@ -758,6 +773,26 @@ mod tests {
             engine.decode_frame(truncated),
             Err(DecodeError::TruncatedStream { .. })
         ));
+    }
+
+    #[test]
+    fn shared_engine_handle_is_send_sync_and_decodes() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<SharedEngine>();
+        let stream = sample(5);
+        let shared = Engine::builder().threads(2).segment_bits(80).build_shared();
+        let frame = shared.encode_frame(8, &stream).expect("valid K");
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let eng = std::sync::Arc::clone(&shared);
+                let frame = frame.clone();
+                std::thread::spawn(move || eng.decode_frame(&frame).expect("decodes").len())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("no panic"), stream.len());
+        }
     }
 
     #[test]

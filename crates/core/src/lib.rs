@@ -77,7 +77,7 @@ pub use encode::{CaseSelect, EncodeStats, EncodeTotals, Encoded, Encoder, Stream
 pub use engine::{
     DamageReason, DamagedSegment, DecodeAudit, DecodeLimits, EncodeFrameError, Engine,
     EngineBuilder, FrameError, FramePlan, PlanEntry, Policy, SalvageReport, SegmentAudit,
-    SegmentRung,
+    SegmentRung, SharedEngine,
 };
-pub use session::DecodeSession;
+pub use session::{DecodeOutcome, DecodeSession, RungKind};
 pub use stream::{BitCounter, BitSink, BitSource};

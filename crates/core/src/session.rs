@@ -12,12 +12,23 @@
 //! | [`Encoded`] | [`decode`](DecodeSession::decode) | all defaulted from the value; overrides win |
 //! | raw trit stream | [`decode_trits`](DecodeSession::decode_trits) | `k` + `source_len` required, `table` defaults to the paper's |
 //! | ATE bit stream | [`decode_bits`](DecodeSession::decode_bits) | same as `decode_trits` |
-//! | `9CSF` frame bytes | [`decode_frame`](DecodeSession::decode_frame) | self-describing; only `threads` applies |
+//! | `9CSF` frame bytes | [`decode_frame`](DecodeSession::decode_frame) | self-describing; `threads` + a [`Policy`] argument |
 //!
 //! Every malformed input is a typed [`DecodeError`] — a session never
 //! panics, unlike the `assert!` the pre-session `decode_stream` carried.
 //! (The old free functions were removed in 0.4.0; see the README's
 //! migration note.)
+//!
+//! Frame decoding takes a [`Policy`] — the same enum the plan executor
+//! uses — selecting how far down the strict → repair → salvage ladder
+//! the session may go, and returns a [`DecodeOutcome`] that says what
+//! actually happened (`rung`), carries the damage map when the ladder
+//! advanced past strict (`report`) and, with
+//! [`audit(true)`](DecodeSession::audit), the per-segment
+//! [`DecodeAudit`] rollup. The pre-0.5.0 entries
+//! `decode_frame_salvage` / `decode_frame_repair` /
+//! `decode_frame_audited` survive as deprecated shims; see the README's
+//! migration table.
 //!
 //! For frame bytes the session can also expose the decode plan itself:
 //! [`plan`](DecodeSession::plan) runs the single header/CRC scan pass
@@ -43,6 +54,43 @@ use crate::engine::{DecodeAudit, DecodeLimits, Engine, FramePlan, Policy, Salvag
 use ninec_testdata::bits::BitVec;
 use ninec_testdata::trit::TritVec;
 
+pub use ninec_obs::RungKind;
+
+/// What one [`DecodeSession::decode_frame`] call actually did.
+///
+/// One value answers the three questions the four pre-0.5.0 entry
+/// points each answered differently: the recovered stream (`trits`),
+/// how it was recovered (`rung`, plus `report` when the ladder advanced
+/// past strict) and, when [`audit`](DecodeSession::audit) is on, the
+/// per-segment timeline rollup (`audit`).
+#[derive(Debug, Clone)]
+pub struct DecodeOutcome {
+    /// The recovered source stream.
+    pub trits: TritVec,
+    /// The damage map, present iff the strict rung failed and the
+    /// requested [`Policy`] let the ladder advance (repair or salvage).
+    /// Its own `trits` field is drained into [`DecodeOutcome::trits`] —
+    /// read the stream from the outcome, the map from the report.
+    pub report: Option<SalvageReport>,
+    /// Per-segment ladder/worker/latency rollup, present iff the session
+    /// was built with [`audit(true)`](DecodeSession::audit).
+    pub audit: Option<DecodeAudit>,
+    /// The ladder rung that produced `trits`: [`RungKind::Strict`] when
+    /// every segment decoded clean, [`RungKind::Repaired`] when parity
+    /// rebuilt every damaged segment byte-exactly, [`RungKind::Salvaged`]
+    /// when something was erased to `X` (lossy recovery).
+    pub rung: RungKind,
+}
+
+impl DecodeOutcome {
+    /// `true` when every source trit was recovered exactly (strict or
+    /// fully repaired — nothing was erased to `X`).
+    #[must_use]
+    pub fn is_lossless(&self) -> bool {
+        self.rung != RungKind::Salvaged
+    }
+}
+
 /// Builder-style decode entry point (see the module docs).
 ///
 /// A session is cheap to build and reusable: none of the `decode_*`
@@ -57,6 +105,7 @@ pub struct DecodeSession {
     limits: Option<DecodeLimits>,
     salvage: bool,
     repair: bool,
+    audit: bool,
 }
 
 impl DecodeSession {
@@ -101,27 +150,39 @@ impl DecodeSession {
         self
     }
 
-    /// Switches [`decode_frame`](DecodeSession::decode_frame) into
-    /// salvage mode: damaged segments are skipped and their span is
-    /// materialized as `X` trits instead of failing the whole frame.
-    ///
-    /// Use [`decode_frame_salvage`](DecodeSession::decode_frame_salvage)
-    /// directly when you also need the damage map.
+    /// Pre-0.5.0 salvage-mode toggle for the deprecated frame entries.
+    /// The unified [`decode_frame`](DecodeSession::decode_frame) takes
+    /// the ladder ceiling as its [`Policy`] argument instead.
+    #[deprecated(
+        since = "0.5.0",
+        note = "pass Policy::Salvage to decode_frame(bytes, policy) instead"
+    )]
     pub fn salvage(mut self, salvage: bool) -> Self {
         self.salvage = salvage;
         self
     }
 
-    /// Enables the **repair rung** of the decode ladder for the
-    /// salvage-mode entries: on v3 frames, parity groups first rebuild
-    /// up to `r` damaged segments per group byte-exactly (GF(256)
-    /// erasure decoding) before anything is erased to `X`. On v2 frames
-    /// this is a no-op.
-    ///
-    /// Use [`decode_frame_repair`](DecodeSession::decode_frame_repair)
-    /// directly when you always want the full ladder.
+    /// Pre-0.5.0 repair-rung toggle for the deprecated frame entries.
+    /// The unified [`decode_frame`](DecodeSession::decode_frame) takes
+    /// the ladder ceiling as its [`Policy`] argument instead.
+    #[deprecated(
+        since = "0.5.0",
+        note = "pass Policy::Repair to decode_frame(bytes, policy) instead"
+    )]
     pub fn repair(mut self, repair: bool) -> Self {
         self.repair = repair;
+        self
+    }
+
+    /// Makes [`decode_frame`](DecodeSession::decode_frame) run under a
+    /// fresh flight-recorder trace and attach the [`DecodeAudit`] rollup
+    /// to the outcome: one entry per segment naming the ladder rung it
+    /// resolved on plus — when tracing is compiled in and enabled — the
+    /// worker that decoded it and the decode wall-clock. The thread's
+    /// trace buffer is flushed to the global recorder on every exit, so
+    /// [`ninec_obs::take_trace`] always sees the decode's events.
+    pub fn audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
         self
     }
 
@@ -177,109 +238,160 @@ impl DecodeSession {
     /// Decodes a self-describing `9CSF` segment frame, sharding segments
     /// across [`threads`](DecodeSession::threads) workers. The frame
     /// carries its own per-segment `K`, source length and code table, so
-    /// no other parameter applies.
+    /// `threads`, `limits` and the `policy` argument are the only knobs.
+    ///
+    /// `policy` is the ladder ceiling — how far past a strict failure
+    /// the session may go, driven against **one** [`FramePlan`] (a
+    /// single header/CRC scan pass):
+    ///
+    /// - [`Policy::Strict`] — fail closed on any damaged segment;
+    /// - [`Policy::Repair`] — rebuild damage byte-exactly from v3 parity
+    ///   groups first, erase to `X` only what parity cannot reach;
+    /// - [`Policy::Salvage`] — skip parity, erase damaged spans to `X`.
+    ///
+    /// The outcome's [`rung`](DecodeOutcome::rung) reports what actually
+    /// happened (a clean frame resolves as `Strict` under every policy),
+    /// and [`report`](DecodeOutcome::report) carries the damage map
+    /// whenever the ladder advanced past strict.
     ///
     /// # Errors
     ///
-    /// [`DecodeError::TruncatedStream`] / [`DecodeError::Frame`] for
-    /// structural problems, [`DecodeError::LimitExceeded`] when the frame
-    /// asks for more than [`limits`](DecodeSession::limits) allows, plus
-    /// the usual variants when a CRC-valid segment still fails 9C
-    /// decoding. Never panics on hostile input.
-    ///
-    /// With [`salvage(true)`](DecodeSession::salvage) the call tolerates
-    /// damaged segments (their span decodes as `X`) and only fails on
-    /// file-level damage; the damage map is discarded — use
-    /// [`decode_frame_salvage`](DecodeSession::decode_frame_salvage) to
-    /// keep it.
-    pub fn decode_frame(&self, bytes: &[u8]) -> Result<TritVec, DecodeError> {
-        if self.salvage {
-            return Ok(self.decode_frame_salvage(bytes)?.trits);
+    /// Under [`Policy::Strict`]: [`DecodeError::TruncatedStream`] /
+    /// [`DecodeError::Frame`] for structural problems,
+    /// [`DecodeError::LimitExceeded`] when the frame asks for more than
+    /// [`limits`](DecodeSession::limits) allows, plus the usual variants
+    /// when a CRC-valid segment still fails 9C decoding. Under
+    /// [`Policy::Repair`] / [`Policy::Salvage`] only file-level damage
+    /// is fatal (bad magic/version, corrupt file header, an unbuildable
+    /// code table, or a file header that itself exceeds the limits);
+    /// per-segment damage lands in the outcome's report instead. Never
+    /// panics on hostile input.
+    pub fn decode_frame(&self, bytes: &[u8], policy: Policy) -> Result<DecodeOutcome, DecodeError> {
+        if self.audit {
+            let trace = ninec_obs::begin_trace();
+            let result = {
+                // Same span shape as the pre-0.5.0 audited entry: the
+                // whole ladder under one `decode_frame` span.
+                let _frame_span = ninec_obs::trace_span_scope(
+                    "decode_frame",
+                    ninec_obs::NO_SEGMENT,
+                    ninec_obs::TracePayload::None,
+                );
+                self.run_ladder(bytes, policy)
+            };
+            // Flush on every exit: DecodeError included.
+            ninec_obs::flush_thread_trace();
+            let (report, advanced) = result?;
+            let audit = DecodeAudit::collect(trace, &report);
+            Ok(Self::outcome(report, advanced, Some(audit)))
+        } else {
+            let (report, advanced) = self.run_ladder(bytes, policy)?;
+            Ok(Self::outcome(report, advanced, None))
         }
-        self.engine().decode_frame(bytes)
     }
 
-    /// Decodes a `9CSF` frame in salvage mode regardless of the
-    /// [`salvage`](DecodeSession::salvage) flag, returning the recovered
-    /// trits *and* the damage map ([`SalvageReport`]).
-    ///
-    /// # Errors
-    ///
-    /// Only file-level damage is fatal (bad magic/version, corrupt file
-    /// header, an unbuildable code table, or a file header that itself
-    /// exceeds [`limits`](DecodeSession::limits)); per-segment damage is
-    /// reported in [`SalvageReport::damaged`] instead.
+    /// The ladder body: strict first, then the requested rung, both
+    /// against one plan. Returns the report and whether the ladder
+    /// advanced past strict.
+    fn run_ladder(
+        &self,
+        bytes: &[u8],
+        policy: Policy,
+    ) -> Result<(SalvageReport, bool), DecodeError> {
+        let engine = self.engine();
+        let plan = engine.build_plan(bytes)?;
+        match engine.execute_plan(&plan, Policy::Strict) {
+            Ok(report) => Ok((report, false)),
+            Err(e) => match policy {
+                Policy::Strict => Err(e),
+                _ => engine.execute_plan(&plan, policy).map(|r| (r, true)),
+            },
+        }
+    }
+
+    /// Assembles a [`DecodeOutcome`], draining the report's trits and
+    /// deriving the frame-level rung from the damage map.
+    fn outcome(
+        mut report: SalvageReport,
+        advanced: bool,
+        audit: Option<DecodeAudit>,
+    ) -> DecodeOutcome {
+        let rung = if !report.is_full_recovery() {
+            RungKind::Salvaged
+        } else if report.repaired_segments() > 0 {
+            RungKind::Repaired
+        } else {
+            RungKind::Strict
+        };
+        let trits = std::mem::take(&mut report.trits);
+        DecodeOutcome {
+            trits,
+            report: advanced.then_some(report),
+            audit,
+            rung,
+        }
+    }
+
+    /// Pre-0.5.0 salvage entry. Equivalent to
+    /// [`decode_frame(bytes, Policy::Salvage)`](DecodeSession::decode_frame)
+    /// — or `Policy::Repair` when the deprecated `repair` toggle is set —
+    /// except the returned report keeps its own `trits`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use decode_frame(bytes, Policy::Salvage) and read the outcome's report"
+    )]
     pub fn decode_frame_salvage(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
         if self.repair {
-            return self.decode_frame_repair(bytes);
+            return self.engine().decode_frame_repair(bytes);
         }
         self.engine().decode_frame_salvage(bytes)
     }
 
-    /// Decodes a `9CSF` frame through the full decode ladder: damaged
-    /// segments are first rebuilt byte-exactly from v3 parity groups
-    /// where possible ([`crate::engine::DamageReason::RepairedBy`]
-    /// entries in the report), and only what repair could not
-    /// reconstruct is erased to `X`. On v2 (or parity-free) frames this
-    /// is exactly [`decode_frame_salvage`](DecodeSession::decode_frame_salvage).
-    ///
-    /// # Errors
-    ///
-    /// Same file-level failures as
-    /// [`decode_frame_salvage`](DecodeSession::decode_frame_salvage).
+    /// Pre-0.5.0 full-ladder entry. Equivalent to
+    /// [`decode_frame(bytes, Policy::Repair)`](DecodeSession::decode_frame)
+    /// except the returned report keeps its own `trits`.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use decode_frame(bytes, Policy::Repair) and read the outcome's report"
+    )]
     pub fn decode_frame_repair(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
         self.engine().decode_frame_repair(bytes)
     }
 
-    /// Decodes a `9CSF` frame under a fresh flight-recorder trace and
-    /// returns the [`DecodeAudit`] rollup alongside the report: one
-    /// entry per segment naming the ladder rung it resolved on
-    /// (strict / repaired / salvaged) plus — when tracing is compiled in
-    /// and enabled — the worker that decoded it and the decode
-    /// wall-clock.
-    ///
-    /// The ladder is driven by the session's toggles against **one**
-    /// plan (a single scan pass): strict first, then
-    /// [`repair`](DecodeSession::repair) or
-    /// [`salvage`](DecodeSession::salvage) when enabled. The thread's
-    /// trace buffer is flushed to the global recorder on every exit —
-    /// success, partial salvage or error — so
-    /// [`ninec_obs::take_trace`] always sees the decode's events.
-    ///
-    /// # Errors
-    ///
-    /// With both toggles off, exactly
-    /// [`decode_frame`](DecodeSession::decode_frame)'s strict errors;
-    /// with salvage or repair on, only file-level damage is fatal.
+    /// Pre-0.5.0 audited entry. Equivalent to
+    /// [`decode_frame`](DecodeSession::decode_frame) on a session built
+    /// with [`audit(true)`](DecodeSession::audit), with the ladder
+    /// ceiling taken from the deprecated `repair`/`salvage` toggles.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use audit(true).decode_frame(bytes, policy) and read the outcome's audit"
+    )]
     pub fn decode_frame_audited(
         &self,
         bytes: &[u8],
     ) -> Result<(SalvageReport, DecodeAudit), DecodeError> {
         let trace = ninec_obs::begin_trace();
-        let result = self.run_audited_ladder(bytes);
+        let result = {
+            let _frame_span = ninec_obs::trace_span_scope(
+                "decode_frame",
+                ninec_obs::NO_SEGMENT,
+                ninec_obs::TracePayload::None,
+            );
+            let engine = self.engine();
+            engine.build_plan(bytes).and_then(|plan| {
+                match engine.execute_plan(&plan, Policy::Strict) {
+                    Ok(report) => Ok(report),
+                    Err(_) if self.repair => engine.execute_plan(&plan, Policy::Repair),
+                    Err(_) if self.salvage => engine.execute_plan(&plan, Policy::Salvage),
+                    Err(e) => Err(e),
+                }
+            })
+        };
         // Flush on every exit: DecodeError included.
         ninec_obs::flush_thread_trace();
         let report = result?;
         let audit = DecodeAudit::collect(trace, &report);
         Ok((report, audit))
-    }
-
-    /// The audited ladder body: strict → repair/salvage against one plan,
-    /// all under a `decode_frame` trace span.
-    fn run_audited_ladder(&self, bytes: &[u8]) -> Result<SalvageReport, DecodeError> {
-        let _frame_span = ninec_obs::trace_span_scope(
-            "decode_frame",
-            ninec_obs::NO_SEGMENT,
-            ninec_obs::TracePayload::None,
-        );
-        let engine = self.engine();
-        let plan = engine.build_plan(bytes)?;
-        match engine.execute_plan(&plan, Policy::Strict) {
-            Ok(report) => Ok(report),
-            Err(_) if self.repair => engine.execute_plan(&plan, Policy::Repair),
-            Err(_) if self.salvage => engine.execute_plan(&plan, Policy::Salvage),
-            Err(e) => Err(e),
-        }
     }
 
     /// Builds the [`FramePlan`] for a `9CSF` frame: one header/CRC scan
@@ -447,25 +559,30 @@ mod tests {
             .build()
             .encode_frame(8, &big)
             .unwrap();
-        // No k/table/source_len needed; threads is the only knob.
+        // No k/table/source_len needed; threads + policy are the knobs.
         let out = DecodeSession::new()
             .threads(2)
-            .decode_frame(&frame)
+            .decode_frame(&frame, Policy::Strict)
             .unwrap();
-        assert_eq!(out.len(), big.len());
+        assert_eq!(out.trits.len(), big.len());
+        // A clean frame resolves on the strict rung: no report, no audit.
+        assert_eq!(out.rung, RungKind::Strict);
+        assert!(out.is_lossless());
+        assert!(out.report.is_none());
+        assert!(out.audit.is_none());
         // Hostile bytes: typed error, no panic.
         assert!(matches!(
-            DecodeSession::new().decode_frame(&frame[..frame.len() - 1]),
+            DecodeSession::new().decode_frame(&frame[..frame.len() - 1], Policy::Strict),
             Err(DecodeError::TruncatedStream { .. })
         ));
         assert!(matches!(
-            DecodeSession::new().decode_frame(b"not a frame"),
+            DecodeSession::new().decode_frame(b"not a frame", Policy::Strict),
             Err(DecodeError::Frame(_))
         ));
     }
 
     #[test]
-    fn salvage_mode_tolerates_a_damaged_segment() {
+    fn salvage_policy_tolerates_a_damaged_segment() {
         let (src, _) = sample();
         let mut big = TritVec::new();
         for _ in 0..50 {
@@ -480,19 +597,22 @@ mod tests {
         frame[crate::engine::frame::HEADER_BYTES + crate::engine::frame::SEGMENT_HEADER_BYTES] ^=
             0x55;
 
-        // Strict mode fails closed...
-        assert!(DecodeSession::new().decode_frame(&frame).is_err());
-        // ...salvage mode recovers everything else.
-        let report = DecodeSession::new().decode_frame_salvage(&frame).unwrap();
-        assert_eq!(report.trits.len(), big.len());
-        assert!(!report.is_full_recovery());
-        assert_eq!(report.damaged.len(), 1);
-        // The boolean toggle routes decode_frame through the same path.
+        // Strict policy fails closed...
+        assert!(DecodeSession::new()
+            .decode_frame(&frame, Policy::Strict)
+            .is_err());
+        // ...salvage policy recovers everything else and says so.
         let out = DecodeSession::new()
-            .salvage(true)
-            .decode_frame(&frame)
+            .decode_frame(&frame, Policy::Salvage)
             .unwrap();
-        assert_eq!(out, report.trits);
+        assert_eq!(out.trits.len(), big.len());
+        assert_eq!(out.rung, RungKind::Salvaged);
+        assert!(!out.is_lossless());
+        let report = out.report.expect("ladder advanced past strict");
+        assert_eq!(report.damaged.len(), 1);
+        assert!(!report.is_full_recovery());
+        // The report's own trits are drained into the outcome.
+        assert!(report.trits.is_empty());
     }
 
     #[test]
@@ -504,19 +624,21 @@ mod tests {
             ..DecodeLimits::default()
         };
         assert!(matches!(
-            DecodeSession::new().limits(tight).decode_frame(&frame),
+            DecodeSession::new()
+                .limits(tight)
+                .decode_frame(&frame, Policy::Strict),
             Err(DecodeError::LimitExceeded { .. })
         ));
         // Unlimited still decodes fine.
         let out = DecodeSession::new()
             .limits(DecodeLimits::unlimited())
-            .decode_frame(&frame)
+            .decode_frame(&frame, Policy::Strict)
             .unwrap();
-        assert_eq!(out.len(), src.len());
+        assert_eq!(out.trits.len(), src.len());
     }
 
     #[test]
-    fn repair_toggle_rebuilds_v3_damage_bit_exact() {
+    fn repair_policy_rebuilds_v3_damage_bit_exact() {
         let (src, _) = sample();
         let mut big = TritVec::new();
         for _ in 0..50 {
@@ -528,19 +650,53 @@ mod tests {
         let mut bad = frame.clone();
         bad[crate::engine::frame::HEADER_BYTES_V3 + crate::engine::frame::SEGMENT_HEADER_BYTES] ^=
             0x55;
-        // Plain salvage erases the damage...
-        let salvaged = DecodeSession::new().decode_frame_salvage(&bad).unwrap();
-        assert!(!salvaged.is_full_recovery());
-        // ...repair (via the toggle or the direct entry) rebuilds it.
-        for report in [
-            DecodeSession::new().repair(true).decode_frame_salvage(&bad),
-            DecodeSession::new().decode_frame_repair(&bad),
-        ] {
-            let report = report.unwrap();
-            assert!(report.is_full_recovery());
-            assert_eq!(report.trits, clean);
-            assert_eq!(report.repaired_segments(), 1);
+        // Salvage policy erases the damage...
+        let salvaged = DecodeSession::new()
+            .decode_frame(&bad, Policy::Salvage)
+            .unwrap();
+        assert_eq!(salvaged.rung, RungKind::Salvaged);
+        // ...repair policy rebuilds it bit-exactly.
+        let out = DecodeSession::new()
+            .decode_frame(&bad, Policy::Repair)
+            .unwrap();
+        assert_eq!(out.rung, RungKind::Repaired);
+        assert!(out.is_lossless());
+        assert_eq!(out.trits, clean);
+        let report = out.report.expect("ladder advanced past strict");
+        assert!(report.is_full_recovery());
+        assert_eq!(report.repaired_segments(), 1);
+    }
+
+    #[test]
+    fn audit_toggle_attaches_the_per_segment_rollup() {
+        let (src, _) = sample();
+        let mut big = TritVec::new();
+        for _ in 0..50 {
+            big.extend_from_tritvec(&src);
         }
+        let engine = Engine::builder().segment_bits(128).parity(4, 1).build();
+        let frame = engine.encode_frame(8, &big).unwrap();
+        let mut bad = frame.clone();
+        bad[crate::engine::frame::HEADER_BYTES_V3 + crate::engine::frame::SEGMENT_HEADER_BYTES] ^=
+            0x55;
+        let out = DecodeSession::new()
+            .threads(1)
+            .audit(true)
+            .decode_frame(&bad, Policy::Repair)
+            .unwrap();
+        assert_eq!(out.rung, RungKind::Repaired);
+        let audit = out.audit.expect("audit(true) attaches the rollup");
+        let report = out.report.expect("ladder advanced past strict");
+        assert_eq!(audit.segments.len(), report.total_segments);
+        assert!(audit
+            .segments
+            .iter()
+            .any(|s| matches!(s.rung, crate::engine::SegmentRung::Repaired { .. })));
+        // Without the toggle the outcome stays lean.
+        let lean = DecodeSession::new()
+            .decode_frame(&frame, Policy::Repair)
+            .unwrap();
+        assert!(lean.audit.is_none());
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Blocking client for the codec service's wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues requests in lock
+//! step (the protocol has no pipelining — each request is answered
+//! before the next is read). The typed surface mirrors the wire verbs:
+//! [`hello`](Client::hello), [`compress`](Client::compress),
+//! [`decode`](Client::decode), [`repair`](Client::repair),
+//! [`info`](Client::info). Load-shed refusals (`Busy`, `RateLimited`)
+//! and codec failures surface as [`ClientError::Server`] carrying the
+//! wire [`Status`] so callers can map them straight onto the CLI
+//! exit-code contract.
+
+use crate::wire::{self, Op, Response, Status, WireError, DEFAULT_MAX_MESSAGE_BYTES};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Typed client-side failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// Connecting or talking to the socket failed.
+    Io(std::io::Error),
+    /// The server's bytes did not parse as protocol frames, or it hung
+    /// up mid-conversation.
+    Protocol(WireError),
+    /// The server answered with a non-success status.
+    Server {
+        /// The wire status (mirrors the CLI exit-code contract).
+        status: Status,
+        /// The server was in degraded (strict-only) mode.
+        degraded: bool,
+        /// The server's error text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server {
+                status,
+                degraded,
+                message,
+            } => {
+                let suffix = if *degraded { " (degraded)" } else { "" };
+                write!(f, "server refused ({status:?}{suffix}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+            ClientError::Server { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A decoded frame as the service returned it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeReply {
+    /// The ladder rung that produced the stream.
+    pub rung: ninec::RungKind,
+    /// Damaged-segment count from the server's damage map (0 when the
+    /// strict rung answered).
+    pub damaged: u32,
+    /// The recovered trit stream, as text.
+    pub trits: String,
+    /// The server answered in degraded (strict-only) mode.
+    pub degraded: bool,
+    /// `true` when the recovery was lossy (wire status `Partial`).
+    pub partial: bool,
+}
+
+/// One connection to a codec service.
+pub struct Client {
+    stream: TcpStream,
+    max_message_bytes: usize,
+}
+
+impl Client {
+    /// Connects. Follow with [`hello`](Client::hello) to bind a tenant;
+    /// unbound connections run as the server's `default` tenant.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures only.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_message_bytes: DEFAULT_MAX_MESSAGE_BYTES,
+        })
+    }
+
+    /// Caps how large a single response this client will buffer.
+    #[must_use]
+    pub fn max_message_bytes(mut self, max: usize) -> Self {
+        self.max_message_bytes = max;
+        self
+    }
+
+    /// One request/response exchange; the protocol floor the typed
+    /// verbs build on. Public so tests can send malformed bodies.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`]/[`ClientError::Protocol`] on transport
+    /// problems — every in-protocol refusal comes back as a [`Response`].
+    pub fn roundtrip(&mut self, op: Op, body: &[u8]) -> Result<Response, ClientError> {
+        wire::write_request(&mut self.stream, op, body)?;
+        match wire::read_response(&mut self.stream, self.max_message_bytes)? {
+            Some(response) => Ok(response),
+            None => Err(ClientError::Protocol(WireError::Truncated)),
+        }
+    }
+
+    /// Maps refusal statuses to [`ClientError::Server`].
+    fn expect_payload(response: Response) -> Result<Response, ClientError> {
+        if response.status.carries_payload() {
+            Ok(response)
+        } else {
+            Err(ClientError::Server {
+                status: response.status,
+                degraded: response.degraded(),
+                message: response.text(),
+            })
+        }
+    }
+
+    /// Binds this connection to `tenant`; returns the server greeting.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`Status::BadRequest`] for an
+    /// unknown tenant (the connection stays usable on its old binding).
+    pub fn hello(&mut self, tenant: &str) -> Result<String, ClientError> {
+        let response = self.roundtrip(Op::Hello, tenant.as_bytes())?;
+        Self::expect_payload(response).map(|r| r.text())
+    }
+
+    /// Compresses `trits` (text over `{0,1,X}`) at block size `k` into a
+    /// self-describing `9CSF` frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] on refusals and codec failures.
+    pub fn compress(&mut self, k: u16, trits: &str) -> Result<Vec<u8>, ClientError> {
+        let mut body = Vec::with_capacity(2 + trits.len());
+        body.extend_from_slice(&k.to_le_bytes());
+        body.extend_from_slice(trits.as_bytes());
+        let response = self.roundtrip(Op::Compress, &body)?;
+        Self::expect_payload(response).map(|r| r.body)
+    }
+
+    /// Decodes a frame under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] on refusals and codec failures; a lossy
+    /// salvage is **not** an error — check [`DecodeReply::partial`].
+    pub fn decode(
+        &mut self,
+        frame: &[u8],
+        policy: ninec::Policy,
+    ) -> Result<DecodeReply, ClientError> {
+        let mut body = Vec::with_capacity(1 + frame.len());
+        body.push(wire::policy_to_byte(policy));
+        body.extend_from_slice(frame);
+        let response = self.roundtrip(Op::Decode, &body)?;
+        Self::parse_decode_reply(response)
+    }
+
+    /// Sugar for [`decode`](Client::decode) with the repair policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`decode`](Client::decode).
+    pub fn repair(&mut self, frame: &[u8]) -> Result<DecodeReply, ClientError> {
+        let response = self.roundtrip(Op::Repair, frame)?;
+        Self::parse_decode_reply(response)
+    }
+
+    /// Summarises a frame (one header/CRC scan, no payload decode).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] on refusals and file-level damage.
+    pub fn info(&mut self, frame: &[u8]) -> Result<String, ClientError> {
+        let response = self.roundtrip(Op::Info, frame)?;
+        Self::expect_payload(response).map(|r| r.text())
+    }
+
+    fn parse_decode_reply(response: Response) -> Result<DecodeReply, ClientError> {
+        let response = Self::expect_payload(response)?;
+        let partial = response.status == Status::Partial;
+        let degraded = response.degraded();
+        if response.body.len() < 5 {
+            return Err(ClientError::Protocol(WireError::Truncated));
+        }
+        let rung = wire::rung_from_byte(response.body[0]).ok_or(ClientError::Protocol(
+            WireError::UnknownStatus(response.body[0]),
+        ))?;
+        let damaged = u32::from_le_bytes([
+            response.body[1],
+            response.body[2],
+            response.body[3],
+            response.body[4],
+        ]);
+        let trits = String::from_utf8_lossy(&response.body[5..]).into_owned();
+        Ok(DecodeReply {
+            rung,
+            damaged,
+            trits,
+            degraded,
+            partial,
+        })
+    }
+}
+
+/// One-shot `GET` against the exporter listener; returns the body.
+/// Here so the CLI's `client metrics` verb (and the CI smoke) need no
+/// external HTTP tooling.
+///
+/// # Errors
+///
+/// Connection failures, or a response that is not `200 OK`.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> Result<String, ClientError> {
+    use std::io::{Read, Write};
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: ninec\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let Some((head, body)) = raw.split_once("\r\n\r\n") else {
+        return Err(ClientError::Protocol(WireError::Truncated));
+    };
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains("200") {
+        return Err(ClientError::Server {
+            status: Status::Failed,
+            degraded: false,
+            message: status_line.to_string(),
+        });
+    }
+    Ok(body.to_string())
+}

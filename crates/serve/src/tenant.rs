@@ -1,0 +1,435 @@
+//! Per-tenant quotas: decode resource limits and request rate limiting.
+//!
+//! A tenant is the service's isolation unit. Each one carries its own
+//! [`DecodeLimits`] (hostile or oversized frames from tenant A exhaust
+//! *A's* budget, typed-erroring A's requests while B decodes on) and an
+//! optional token-bucket rate limiter. Tenants are declared in a
+//! TOML-subset config ([`parse_tenants`]); connections bind to one with
+//! the wire `HELLO` verb and fall back to the built-in `default` tenant
+//! otherwise.
+//!
+//! The config grammar is the narrow TOML subset the `ninec` workspace
+//! can parse without a dependency — section headers and bare integer
+//! assignments:
+//!
+//! ```text
+//! [tenant.alpha]
+//! max_segments = 4096
+//! max_segment_trits = 65536
+//! max_total_alloc = 16777216
+//! max_resync_probes = 64
+//! rate = 200        # requests per second (absent = unlimited)
+//! burst = 20        # bucket depth (defaults to rate)
+//! ```
+
+use ninec::engine::DecodeLimits;
+use ninec::session::DecodeSession;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Name of the implicit tenant unbound connections run as.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// One tenant's declared quotas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Tenant name, matched against the wire `HELLO` body.
+    pub name: String,
+    /// Frame-decode resource ceilings for this tenant's requests.
+    pub limits: DecodeLimits,
+    /// Sustained request rate per second; `None` = unlimited.
+    pub rate: Option<u32>,
+    /// Token-bucket depth; `0` falls back to `rate` (at least 1).
+    pub burst: u32,
+}
+
+impl TenantConfig {
+    /// A tenant with default limits and no rate limiting.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        TenantConfig {
+            name: name.to_string(),
+            limits: DecodeLimits::default(),
+            rate: None,
+            burst: 0,
+        }
+    }
+}
+
+/// Typed tenant-config parse failures, with 1-based line numbers.
+#[derive(Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TenantConfigError {
+    /// A line that is neither a section header, an assignment, a comment
+    /// nor blank.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A section header other than `[tenant.NAME]`.
+    BadSection {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An assignment before any `[tenant.NAME]` header.
+    KeyOutsideSection {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An assignment to a key the grammar does not know.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The offending key.
+        key: String,
+    },
+    /// A value that does not parse as an unsigned integer.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key whose value failed.
+        key: String,
+    },
+    /// The same tenant declared twice.
+    DuplicateTenant {
+        /// 1-based line number of the second declaration.
+        line: usize,
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for TenantConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantConfigError::Malformed { line } => {
+                write!(f, "line {line}: expected `[tenant.NAME]` or `key = value`")
+            }
+            TenantConfigError::BadSection { line } => {
+                write!(f, "line {line}: section headers must be `[tenant.NAME]`")
+            }
+            TenantConfigError::KeyOutsideSection { line } => {
+                write!(
+                    f,
+                    "line {line}: assignment before any `[tenant.NAME]` header"
+                )
+            }
+            TenantConfigError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown key `{key}`")
+            }
+            TenantConfigError::BadValue { line, key } => {
+                write!(f, "line {line}: `{key}` needs an unsigned integer")
+            }
+            TenantConfigError::DuplicateTenant { line, name } => {
+                write!(f, "line {line}: tenant `{name}` declared twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TenantConfigError {}
+
+/// Parses the TOML-subset tenant config (see the module docs).
+///
+/// # Errors
+///
+/// [`TenantConfigError`] naming the offending line; an empty or
+/// comment-only document parses to an empty list.
+pub fn parse_tenants(text: &str) -> Result<Vec<TenantConfig>, TenantConfigError> {
+    let mut tenants: Vec<TenantConfig> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        if let Some(inner) = content.strip_prefix('[') {
+            let Some(inner) = inner.strip_suffix(']') else {
+                return Err(TenantConfigError::Malformed { line });
+            };
+            let Some(name) = inner.trim().strip_prefix("tenant.") else {
+                return Err(TenantConfigError::BadSection { line });
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(TenantConfigError::BadSection { line });
+            }
+            if tenants.iter().any(|t| t.name == name) {
+                return Err(TenantConfigError::DuplicateTenant {
+                    line,
+                    name: name.to_string(),
+                });
+            }
+            tenants.push(TenantConfig::new(name));
+            continue;
+        }
+        let Some((key, value)) = content.split_once('=') else {
+            return Err(TenantConfigError::Malformed { line });
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(tenant) = tenants.last_mut() else {
+            return Err(TenantConfigError::KeyOutsideSection { line });
+        };
+        let parsed: u64 = value.parse().map_err(|_| TenantConfigError::BadValue {
+            line,
+            key: key.to_string(),
+        })?;
+        match key {
+            "max_segments" => tenant.limits.max_segments = parsed as usize,
+            "max_segment_trits" => tenant.limits.max_segment_trits = parsed as usize,
+            "max_total_alloc" => tenant.limits.max_total_alloc = parsed as usize,
+            "max_resync_probes" => tenant.limits.max_resync_probes = parsed as usize,
+            "rate" => tenant.rate = Some(parsed.min(u64::from(u32::MAX)) as u32),
+            "burst" => tenant.burst = parsed.min(u64::from(u32::MAX)) as u32,
+            _ => {
+                return Err(TenantConfigError::UnknownKey {
+                    line,
+                    key: key.to_string(),
+                })
+            }
+        }
+    }
+    Ok(tenants)
+}
+
+/// Token bucket: `rate` tokens/second refill, `burst` depth.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    burst: f64,
+    rate: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: u32, burst: u32) -> Self {
+        let burst = f64::from(burst.max(1));
+        TokenBucket {
+            tokens: burst,
+            burst,
+            rate: f64::from(rate),
+            refilled: Instant::now(),
+        }
+    }
+
+    fn try_take(&mut self) -> bool {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.refilled).as_secs_f64();
+        self.refilled = now;
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A resolved tenant: its quotas plus the pre-configured
+/// [`DecodeSession`] every decode request runs through.
+#[derive(Debug)]
+pub struct Tenant {
+    config: TenantConfig,
+    session: DecodeSession,
+    bucket: Option<Mutex<TokenBucket>>,
+}
+
+impl Tenant {
+    fn new(config: TenantConfig, decode_threads: Option<usize>) -> Self {
+        let mut session = DecodeSession::new().limits(config.limits);
+        if let Some(threads) = decode_threads {
+            session = session.threads(threads);
+        }
+        let bucket = config.rate.map(|rate| {
+            let burst = if config.burst == 0 {
+                rate.max(1)
+            } else {
+                config.burst
+            };
+            Mutex::new(TokenBucket::new(rate, burst))
+        });
+        Tenant {
+            config,
+            session,
+            bucket,
+        }
+    }
+
+    /// The tenant's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The tenant's declared quotas.
+    #[must_use]
+    pub fn config(&self) -> &TenantConfig {
+        &self.config
+    }
+
+    /// The decode session enforcing this tenant's limits. Sessions are
+    /// `&self`-reusable, so one handle serves every concurrent request.
+    pub fn session(&self) -> &DecodeSession {
+        &self.session
+    }
+
+    /// Takes one rate-limit token; `true` when the request may proceed.
+    /// Unlimited tenants always admit.
+    #[must_use]
+    pub fn try_admit(&self) -> bool {
+        match &self.bucket {
+            None => true,
+            // A poisoned bucket (a panic mid-`try_take`, which holds no
+            // invariants worth protecting) keeps rate limiting alive.
+            Some(bucket) => bucket
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .try_take(),
+        }
+    }
+}
+
+/// The server's tenant table: named tenants plus the always-present
+/// [`DEFAULT_TENANT`].
+#[derive(Debug)]
+pub struct TenantRegistry {
+    tenants: HashMap<String, Arc<Tenant>>,
+}
+
+impl TenantRegistry {
+    /// Builds the registry. A config named `default` overrides the
+    /// built-in unlimited default tenant; `decode_threads` (when set)
+    /// pins every tenant session's worker count.
+    #[must_use]
+    pub fn new(configs: Vec<TenantConfig>, decode_threads: Option<usize>) -> Self {
+        let mut tenants = HashMap::new();
+        for config in configs {
+            let name = config.name.clone();
+            tenants.insert(name, Arc::new(Tenant::new(config, decode_threads)));
+        }
+        tenants
+            .entry(DEFAULT_TENANT.to_string())
+            .or_insert_with(|| {
+                Arc::new(Tenant::new(
+                    TenantConfig::new(DEFAULT_TENANT),
+                    decode_threads,
+                ))
+            });
+        TenantRegistry { tenants }
+    }
+
+    /// Looks a tenant up by name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.get(name).cloned()
+    }
+
+    /// The tenant unbound connections run as.
+    ///
+    /// # Panics
+    ///
+    /// Never: the constructor always inserts [`DEFAULT_TENANT`].
+    #[must_use]
+    pub fn default_tenant(&self) -> Arc<Tenant> {
+        match self.tenants.get(DEFAULT_TENANT) {
+            Some(tenant) => Arc::clone(tenant),
+            // Unreachable by construction; keep a live value anyway
+            // rather than panicking in a request path.
+            None => Arc::new(Tenant::new(TenantConfig::new(DEFAULT_TENANT), None)),
+        }
+    }
+
+    /// Declared tenant names, sorted (includes `default`).
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_comments_and_integers() {
+        let text = "\n# fleet quotas\n[tenant.alpha]\nmax_segments = 128 # tight\nrate = 50\nburst = 5\n\n[tenant.beta]\nmax_total_alloc = 4096\n";
+        let tenants = parse_tenants(text).unwrap();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].name, "alpha");
+        assert_eq!(tenants[0].limits.max_segments, 128);
+        assert_eq!(tenants[0].rate, Some(50));
+        assert_eq!(tenants[0].burst, 5);
+        assert_eq!(tenants[1].name, "beta");
+        assert_eq!(tenants[1].limits.max_total_alloc, 4096);
+        assert_eq!(tenants[1].rate, None);
+    }
+
+    #[test]
+    fn rejections_name_the_line() {
+        assert_eq!(
+            parse_tenants("max_segments = 1"),
+            Err(TenantConfigError::KeyOutsideSection { line: 1 })
+        );
+        assert_eq!(
+            parse_tenants("[server.alpha]"),
+            Err(TenantConfigError::BadSection { line: 1 })
+        );
+        assert_eq!(
+            parse_tenants("[tenant.a]\nwat = 1"),
+            Err(TenantConfigError::UnknownKey {
+                line: 2,
+                key: "wat".into()
+            })
+        );
+        assert_eq!(
+            parse_tenants("[tenant.a]\nrate = lots"),
+            Err(TenantConfigError::BadValue {
+                line: 2,
+                key: "rate".into()
+            })
+        );
+        assert_eq!(
+            parse_tenants("[tenant.a]\n[tenant.a]"),
+            Err(TenantConfigError::DuplicateTenant {
+                line: 2,
+                name: "a".into()
+            })
+        );
+    }
+
+    #[test]
+    fn registry_always_has_a_default_tenant() {
+        let reg = TenantRegistry::new(Vec::new(), None);
+        assert!(reg.lookup(DEFAULT_TENANT).is_some());
+        assert!(reg.lookup("ghost").is_none());
+        assert_eq!(reg.default_tenant().name(), DEFAULT_TENANT);
+    }
+
+    #[test]
+    fn token_bucket_admits_burst_then_refuses() {
+        let config = TenantConfig {
+            rate: Some(1),
+            burst: 3,
+            ..TenantConfig::new("bursty")
+        };
+        let tenant = Tenant::new(config, None);
+        // Bucket depth = burst = 3: three immediate admits, then dry
+        // (1 req/s cannot refill a whole token inside this test).
+        assert!(tenant.try_admit());
+        assert!(tenant.try_admit());
+        assert!(tenant.try_admit());
+        assert!(!tenant.try_admit());
+    }
+
+    #[test]
+    fn unlimited_tenant_always_admits() {
+        let tenant = Tenant::new(TenantConfig::new("free"), None);
+        for _ in 0..1000 {
+            assert!(tenant.try_admit());
+        }
+    }
+}

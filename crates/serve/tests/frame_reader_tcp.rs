@@ -1,0 +1,120 @@
+//! Regression: [`FrameReader`] fed from a TCP socket must classify
+//! short/bad header prefixes exactly like the in-memory `io::Read`
+//! path. A socket delivers the prefix in arbitrarily small reads and
+//! then reports EOF from `read()` rather than a slice running out —
+//! the `Truncated` vs `BadMagic` split has to survive that.
+
+use ninec::engine::frame::{FrameError, MAGIC};
+use ninec::engine::{FrameReader, ReadError, StreamItem};
+use ninec::Engine;
+use ninec_testdata::trit::TritVec;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+
+/// Serves `bytes` over a loopback socket in `chunk`-sized writes and
+/// hands the client end to `check`.
+fn over_tcp<T>(bytes: Vec<u8>, chunk: usize, check: impl FnOnce(TcpStream) -> T) -> T {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("bound addr");
+    let writer = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("one client connects");
+        for piece in bytes.chunks(chunk.max(1)) {
+            stream.write_all(piece).expect("serving thread writes");
+            stream.flush().expect("serving thread flushes");
+        }
+        // Dropping the stream closes it: the reader sees clean EOF.
+    });
+    let client = TcpStream::connect(addr).expect("connect");
+    let result = check(client);
+    writer.join().expect("serving thread exits cleanly");
+    result
+}
+
+#[test]
+fn header_after_immediate_close_is_truncated() {
+    over_tcp(Vec::new(), 1, |stream| {
+        let mut fr = FrameReader::new(stream);
+        assert!(matches!(
+            fr.header(),
+            Err(ReadError::Frame(FrameError::Truncated { offset: 0 }))
+        ));
+    });
+}
+
+#[test]
+fn short_magic_prefix_then_close_is_truncated_not_bad_magic() {
+    // 3 of the 4 magic bytes: the stream is a plausible frame cut off
+    // mid-header, so the error must say "truncated", not "bad magic".
+    over_tcp(MAGIC[..3].to_vec(), 1, |stream| {
+        let mut fr = FrameReader::new(stream);
+        assert!(matches!(
+            fr.header(),
+            Err(ReadError::Frame(FrameError::Truncated { offset: 3 }))
+        ));
+    });
+}
+
+#[test]
+fn non_magic_prefix_then_close_is_bad_magic() {
+    over_tcp(b"HTTP/1.1 400\r\n\r\n".to_vec(), 3, |stream| {
+        let mut fr = FrameReader::new(stream);
+        assert!(matches!(
+            fr.header(),
+            Err(ReadError::Frame(FrameError::BadMagic))
+        ));
+    });
+}
+
+#[test]
+fn one_wrong_magic_byte_is_bad_magic_even_when_short() {
+    // Shorter than MAGIC but already provably not a frame.
+    over_tcp(vec![MAGIC[0], MAGIC[1] ^ 0xFF], 1, |stream| {
+        let mut fr = FrameReader::new(stream);
+        assert!(matches!(
+            fr.header(),
+            Err(ReadError::Frame(FrameError::BadMagic))
+        ));
+    });
+}
+
+#[test]
+fn whole_frame_over_tcp_matches_the_in_memory_walk() {
+    let stream: TritVec = "0X0X00XX1111X11101X0"
+        .repeat(64)
+        .parse()
+        .expect("literal parses");
+    let engine = Engine::builder()
+        .threads(1)
+        .segment_bits(256)
+        .parity(4, 1)
+        .build();
+    let bytes = engine.encode_frame(8, &stream).expect("frame encodes");
+
+    // Reference walk: straight off a slice.
+    let mut reference = FrameReader::new(std::io::Cursor::new(bytes.clone()));
+    let ref_head = reference.header().expect("in-memory header parses");
+    let mut ref_items = Vec::new();
+    while let Some(item) = reference.next_item().expect("in-memory walk") {
+        ref_items.push(item);
+    }
+
+    // Same frame dribbled over a socket 7 bytes at a time.
+    let (tcp_head, tcp_items) = over_tcp(bytes, 7, |stream| {
+        let mut fr = FrameReader::new(stream);
+        let head = fr.header().expect("tcp header parses");
+        let mut items = Vec::new();
+        while let Some(item) = fr.next_item().expect("tcp walk") {
+            items.push(item);
+        }
+        (head, items)
+    });
+
+    assert_eq!(tcp_head, ref_head);
+    assert_eq!(tcp_items.len(), ref_items.len());
+    for (tcp, reference) in tcp_items.iter().zip(&ref_items) {
+        assert_eq!(tcp, reference);
+    }
+    assert!(tcp_items
+        .iter()
+        .all(|item| matches!(item, StreamItem::Data(_) | StreamItem::Parity(_))));
+}

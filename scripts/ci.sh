@@ -30,11 +30,14 @@ grep -q '^#!\[deny(clippy::unwrap_used)\]' crates/core/src/engine/mod.rs || {
 # reader.rs (streaming bytes straight off a pipe), plan.rs (the one-pass
 # scan classifying hostile slots) and exec.rs (the priority executor under
 # every decode) — every failure there must be a typed error or a poisoned
-# result slot, never an abort.
-echo "==> frame/pool/ecc/reader/plan/exec no-unwrap/expect guard"
+# result slot, never an abort. The whole serve crate is held to the same
+# bar: every byte it parses arrived over a socket from an untrusted peer,
+# and a panic in a handler thread is a denial of service for every tenant.
+echo "==> frame/pool/ecc/reader/plan/exec/serve no-unwrap/expect guard"
 for f in crates/core/src/engine/frame.rs crates/core/src/engine/pool.rs \
          crates/core/src/engine/ecc.rs crates/core/src/engine/reader.rs \
-         crates/core/src/engine/plan.rs crates/core/src/engine/exec.rs; do
+         crates/core/src/engine/plan.rs crates/core/src/engine/exec.rs \
+         crates/serve/src/*.rs; do
     head=$(sed '/#\[cfg(test)\]/q' "$f")
     if echo "$head" | grep -nE '\.(unwrap|expect)\(' >&2; then
         echo "$f: unwrap()/expect() outside #[cfg(test)] is forbidden" >&2
@@ -72,13 +75,23 @@ cargo test -q --workspace --no-default-features
 echo "==> cargo test -q --test fault_injection --features failpoints"
 cargo test -q --test fault_injection --features failpoints
 
+# Tenant isolation under load: a hostile tenant hammering the service
+# from several connections must not disturb a clean tenant, with the
+# engine's worker pool explicitly oversubscribed under the wire path.
+# The failpoints variant additionally injects a worker panic inside the
+# decode pool and asserts it stays a per-request typed failure.
+echo "==> tenant isolation (NINEC_THREADS=8)"
+NINEC_THREADS=8 cargo test -q -p ninec-serve --test tenant_isolation
+NINEC_THREADS=8 cargo test -q -p ninec-serve --test tenant_isolation \
+    --features failpoints
+
 # Release-binary smoke test of the stats plumbing on a tiny CKT profile:
 # generate -> compress --stats json must emit a JSON document with the
 # encode counters in it.
 echo "==> ninec --stats smoke test"
 cargo build -q --release -p ninec-cli
 smokedir="$(mktemp -d)"
-trap 'rm -rf "$smokedir"' EXIT
+trap 'kill "${serve_pid:-}" 2>/dev/null || true; rm -rf "$smokedir"' EXIT
 ./target/release/ninec generate custom:8,64,75 -o "$smokedir/t.cubes" >/dev/null
 # Capture to a file first: `| grep -q` would close the pipe at the first
 # match and race ninec's remaining writes into a broken-pipe i/o error.
@@ -210,5 +223,51 @@ grep -q '"rung":"repaired"' "$smokedir/audit.json"
 ./target/release/ninec trace tests/corpus/v3_repairable.9cf \
     --trace "$smokedir/decode.trace.json" > /dev/null
 grep -q '"traceEvents"' "$smokedir/decode.trace.json"
+
+# Serve smoke test: bring the codec service up on ephemeral ports, read
+# the bound addresses it prints, round-trip a cube file over the wire
+# with `ninec client`, check the Prometheus exporter answers, and kill
+# the server cleanly. The EXIT trap also kills it if any step fails.
+echo "==> ninec serve smoke test"
+./target/release/ninec serve --addr 127.0.0.1:0 --http-addr 127.0.0.1:0 \
+    > "$smokedir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q '^metrics ' "$smokedir/serve.log" 2>/dev/null && break
+    kill -0 "$serve_pid" 2>/dev/null || {
+        echo "ninec serve died on startup:" >&2
+        cat "$smokedir/serve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+wire_addr=$(awk '/^listening /{print $2; exit}' "$smokedir/serve.log")
+http_url=$(awk '/^metrics /{print $2; exit}' "$smokedir/serve.log")
+http_addr=${http_url#http://}
+http_addr=${http_addr%/metrics}
+./target/release/ninec client "$wire_addr" ping > "$smokedir/ping.txt"
+grep -q 'tenant default' "$smokedir/ping.txt"
+./target/release/ninec client "$wire_addr" compress "$smokedir/t.cubes" \
+    -o "$smokedir/wire.9cf" >/dev/null
+./target/release/ninec client "$wire_addr" decompress "$smokedir/wire.9cf" \
+    -o "$smokedir/wire.trits" >/dev/null
+test -s "$smokedir/wire.trits"
+# Repair over the wire: the server writes parity-protected v3 frames
+# (default 4:1), so xor-flipping a payload byte (offset 49 = 33-byte v3
+# header + 16-byte segment header) fails that segment's CRC and must
+# decode bit-identical through the client's default repair policy.
+cp "$smokedir/wire.9cf" "$smokedir/wirecorrupt.9cf"
+orig_byte=$(od -An -tu1 -j49 -N1 "$smokedir/wirecorrupt.9cf" | tr -d ' ')
+printf "$(printf '\\%03o' $((orig_byte ^ 0x55)))" \
+    | dd of="$smokedir/wirecorrupt.9cf" bs=1 seek=49 conv=notrunc status=none
+./target/release/ninec client "$wire_addr" decompress "$smokedir/wirecorrupt.9cf" \
+    -o "$smokedir/wirerepaired.trits" > "$smokedir/wirerepair.txt"
+grep -q 'repaired rung' "$smokedir/wirerepair.txt"
+cmp "$smokedir/wire.trits" "$smokedir/wirerepaired.trits"
+./target/release/ninec client "$http_addr" metrics > "$smokedir/serve.prom"
+grep -q '^# TYPE ninec_serve_requests counter' "$smokedir/serve.prom"
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
 
 echo "CI OK"

@@ -84,8 +84,9 @@ proptest! {
                 for threads in THREADS {
                     let back = DecodeSession::new()
                         .threads(threads)
-                        .decode_frame(&reference)
-                        .unwrap();
+                        .decode_frame(&reference, ninec::Policy::Strict)
+                        .unwrap()
+                        .trits;
                     prop_assert_eq!(back.len(), stream.len());
                     for i in 0..stream.len() {
                         let s = stream.get(i).unwrap();

@@ -56,8 +56,10 @@ fn parallel_engine_snippet() -> Result<(), Box<dyn std::error::Error>> {
             .build()
             .encode_frame(8, &stream)?
     ); // byte-identical at any thread count
-    let back = DecodeSession::new().threads(4).decode_frame(&frame)?;
-    assert!(back.covers(&stream));
+    let back = DecodeSession::new()
+        .threads(4)
+        .decode_frame(&frame, ninec::Policy::Strict)?;
+    assert!(back.trits.covers(&stream));
     let _ = encoded;
     Ok(())
 }
@@ -92,7 +94,10 @@ fn repair_salvage_snippet() -> Result<(), Box<dyn std::error::Error>> {
     let report = session.execute_plan(&plan, Policy::Repair)?;
     assert!(report.is_full_recovery());
     assert!(report.damaged.iter().all(|d| d.reason.is_repaired()));
-    assert_eq!(report.trits, session.decode_frame(&clean)?);
+    assert_eq!(
+        report.trits,
+        session.decode_frame(&clean, Policy::Strict)?.trits
+    );
 
     // Salvage alone recovers every intact segment; damage becomes X runs.
     let report = session.execute_plan(&plan, Policy::Salvage)?;
@@ -102,9 +107,12 @@ fn repair_salvage_snippet() -> Result<(), Box<dyn std::error::Error>> {
         let _ = (d.index, &d.byte_range, &d.reason);
     }
 
-    // The one-shot wrappers (decode_frame / decode_frame_repair /
-    // decode_frame_salvage) build a fresh plan per call — same results.
-    assert!(session.decode_frame(&frame).is_err());
+    // The one-shot decode_frame(bytes, policy) builds a fresh plan per
+    // call — same results, and the outcome names the rung that answered.
+    assert!(session.decode_frame(&frame, Policy::Strict).is_err());
+    let outcome = session.decode_frame(&frame, Policy::Repair)?;
+    assert_eq!(outcome.rung, ninec::RungKind::Repaired);
+    assert!(outcome.is_lossless());
 
     // Streaming decode: bounded memory, straight off any `io::Read` (pipes).
     let back = engine.decode_stream(std::io::Cursor::new(clean.clone()))?;
@@ -115,7 +123,9 @@ fn repair_salvage_snippet() -> Result<(), Box<dyn std::error::Error>> {
         max_segment_trits: 1 << 16,
         ..DecodeLimits::default()
     };
-    let _ = DecodeSession::new().limits(limits).decode_frame(&frame);
+    let _ = DecodeSession::new()
+        .limits(limits)
+        .decode_frame(&frame, Policy::Strict);
     Ok(())
 }
 
@@ -177,12 +187,13 @@ fn tracing_snippet() -> Result<(), Box<dyn std::error::Error>> {
     let mut frame = engine.encode_frame(8, &stream)?;
     frame[47] ^= 0x55; // corrupt one byte
 
-    // Audited decode: the salvage report plus a per-segment audit trail.
-    let (report, audit) = DecodeSession::new()
-        .repair(true)
-        .salvage(true)
-        .decode_frame_audited(&frame)?;
-    assert!(report.is_full_recovery());
+    // Audited decode: one call returns the trits, the ladder rung that
+    // produced them, and a per-segment audit trail.
+    let outcome = DecodeSession::new()
+        .audit(true)
+        .decode_frame(&frame, ninec::Policy::Repair)?;
+    assert_eq!(outcome.rung, ninec::RungKind::Repaired); // lossless
+    let audit = outcome.audit.expect("audit(true) always attaches one");
     assert_eq!(audit.repaired_segments(), 1); // rungs are exact in every build
     for seg in &audit.segments {
         // worker/nanos are None when tracing is compiled out or disabled
@@ -198,4 +209,24 @@ fn tracing_snippet() -> Result<(), Box<dyn std::error::Error>> {
 #[test]
 fn readme_tracing_example_runs() {
     tracing_snippet().unwrap();
+}
+
+/// Mirrors the README "Serving" snippet verbatim.
+fn serving_snippet() -> Result<(), Box<dyn std::error::Error>> {
+    use ninec_serve::{Client, ServeConfig, Server};
+
+    let mut server = Server::start(ServeConfig::default())?; // ephemeral loopback port
+    let mut client = Client::connect(server.addr())?;
+
+    let frame = client.compress(8, &"0X0X00XX1111X11101X0".repeat(100))?;
+    let reply = client.decode(&frame, ninec::Policy::Strict)?;
+    assert_eq!(reply.rung, ninec::RungKind::Strict);
+    assert!(!reply.degraded); // would be set if the server shed the ladder
+    server.shutdown();
+    Ok(())
+}
+
+#[test]
+fn readme_serving_example_runs() {
+    serving_snippet().unwrap();
 }

@@ -48,9 +48,12 @@ fn seeded_decode_chrome_trace_matches_golden() {
     bytes[frame::HEADER_BYTES_V3 + frame::SEGMENT_HEADER_BYTES] ^= 0x55;
 
     let _ = ninec_obs::take_trace(); // drain unrelated leftovers
-    let session = DecodeSession::new().threads(1).repair(true).salvage(true);
-    let (report, audit) = session.decode_frame_audited(&bytes).expect("frame repairs");
-    assert!(report.is_full_recovery());
+    let session = DecodeSession::new().threads(1).audit(true);
+    let outcome = session
+        .decode_frame(&bytes, ninec::Policy::Repair)
+        .expect("frame repairs");
+    assert_eq!(outcome.rung, ninec::RungKind::Repaired);
+    let audit = outcome.audit.expect("audited decode attaches the rollup");
 
     let mut events: Vec<_> = ninec_obs::take_trace()
         .into_iter()
