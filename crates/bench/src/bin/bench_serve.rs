@@ -19,7 +19,10 @@
 //! request throughput, and the server's refusal counters, so a serve
 //! regression shows up as a diff in a tracked artifact.
 
-use ninec_serve::{Client, ClientError, ServeConfig, Server, StatsSnapshot, Status};
+use ninec_serve::{
+    ChaosConfig, ChaosProxy, Client, ClientError, ClientOptions, RetryPolicy, RetryingClient,
+    ServeConfig, Server, StatsSnapshot, Status,
+};
 use serde_json::{json, Value};
 use std::fs;
 use std::path::PathBuf;
@@ -98,6 +101,62 @@ fn soak(
     outcome
 }
 
+/// Like [`soak`], but through a fault-injection proxy with retrying
+/// clients: every lane must still finish every request bit-exact — the
+/// retry policy absorbs the torn connections — and the per-lane retry
+/// tallies are summed so the row records how hard the clients worked.
+fn chaos_soak(addr: std::net::SocketAddr, frame: &[u8], expected: &str) -> (SoakOutcome, u64) {
+    let start = Instant::now();
+    let lanes: Vec<_> = (0..CONNECTIONS)
+        .map(|_| {
+            let frame = frame.to_vec();
+            let expected = expected.to_owned();
+            std::thread::spawn(move || {
+                let mut client = RetryingClient::new(
+                    addr,
+                    ClientOptions {
+                        read_timeout: Some(Duration::from_secs(10)),
+                        ..ClientOptions::default()
+                    },
+                    RetryPolicy {
+                        max_retries: 6,
+                        base: Duration::from_millis(2),
+                        cap: Duration::from_millis(100),
+                        ..RetryPolicy::default()
+                    },
+                )
+                .expect("chaos client resolves");
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CONN);
+                for _ in 0..REQUESTS_PER_CONN {
+                    let t = Instant::now();
+                    let reply = client
+                        .decode(&frame, ninec::Policy::Strict)
+                        .expect("chaos soak decode must succeed via retries");
+                    assert_eq!(reply.trits, expected, "chaos decode must stay exact");
+                    latencies.push(t.elapsed());
+                }
+                (latencies, client.retries())
+            })
+        })
+        .collect();
+    let mut outcome = SoakOutcome {
+        latencies: Vec::with_capacity(CONNECTIONS * REQUESTS_PER_CONN),
+        ok: 0,
+        busy: 0,
+        shed_answers: 0,
+        wall: Duration::ZERO,
+    };
+    let mut retries = 0u64;
+    for lane in lanes {
+        let (lat, lane_retries) = lane.join().expect("chaos lane panicked");
+        outcome.ok += lat.len() as u64;
+        outcome.latencies.extend(lat);
+        retries += lane_retries;
+    }
+    outcome.wall = start.elapsed();
+    (outcome, retries)
+}
+
 /// Sorted-percentile in microseconds (`q` in 0..=100).
 fn percentile_us(sorted: &[Duration], q: usize) -> f64 {
     assert!(!sorted.is_empty());
@@ -118,6 +177,7 @@ fn row(scenario: &str, outcome: &SoakOutcome, stats: &StatsSnapshot) -> Value {
         "rate_limited": stats.rate_limited,
         "partial": stats.partial,
         "failed": stats.failed,
+        "deadline_exceeded": stats.deadline_exceeded,
     });
     json!({
         "scenario": scenario,
@@ -223,11 +283,57 @@ fn main() {
     let overload_row = row("overload", &overload, &overload_stats);
     server.shutdown();
 
+    // Chaos: the nominal topology behind the fault-injection proxy at a
+    // 10% torn-write rate (seed 3 guarantees torn connections among the
+    // lanes' initial dials). Retrying clients must keep goodput nonzero
+    // — in fact, complete — and the retry tally proves the faults fired.
+    let mut server = Server::start(ServeConfig {
+        handler_threads: CONNECTIONS,
+        max_inflight: CONNECTIONS * 2,
+        queue_depth: CONNECTIONS * 2,
+        ..ServeConfig::default()
+    })
+    .expect("chaos server starts");
+    let mut proxy = ChaosProxy::start(
+        server.addr(),
+        ChaosConfig {
+            torn_write_permille: 100,
+            seed: 3,
+            ..ChaosConfig::default()
+        },
+    )
+    .expect("chaos proxy starts");
+    let (chaos, retries) = chaos_soak(proxy.addr(), &frame, &expected);
+    let chaos_stats = server.stats();
+    assert!(chaos.ok > 0, "chaos goodput must stay nonzero");
+    assert_eq!(
+        chaos.ok,
+        (CONNECTIONS * REQUESTS_PER_CONN) as u64,
+        "retries must absorb a 10% torn-write rate completely"
+    );
+    assert!(retries > 0, "the fault mix must actually have fired");
+    eprintln!(
+        "chaos   : {} req, ok {}, client retries {}, {:>6.0} req/s",
+        chaos.latencies.len(),
+        chaos.ok,
+        retries,
+        chaos.latencies.len() as f64 / chaos.wall.as_secs_f64(),
+    );
+    let chaos_row = match row("chaos_torn_10pct", &chaos, &chaos_stats) {
+        Value::Object(mut map) => {
+            map.push(("client_retries".to_string(), json!(retries)));
+            Value::Object(map)
+        }
+        other => other,
+    };
+    proxy.shutdown();
+    server.shutdown();
+
     let doc = json!({
         "schema": "ninec-bench-serve/v1",
         "note": "multi-connection soak of the ninec-serve codec service; \
                  latencies are client-observed round trips on loopback",
-        "rows": [nominal_row, overload_row],
+        "rows": [nominal_row, overload_row, chaos_row],
     });
     if let Some(dir) = out.parent() {
         fs::create_dir_all(dir).expect("create results dir");

@@ -133,8 +133,9 @@ impl From<std::io::Error> for CliError {
 /// README quotes it. One source: the help text is assembled from this
 /// constant, and the doc-drift tests assert the README block and
 /// [`CliError::exit_code`] agree with it character for character.
-/// Codes 6 and 7 exist only on the `client` path — they are the serve
-/// protocol's two load-shedding refusals, carried through verbatim.
+/// Codes 6–8 exist only on the `client` path — they are the serve
+/// protocol's load-shedding refusals and its typed timeout, carried
+/// through verbatim.
 pub const EXIT_CODES: &str = "\
 EXIT CODES:
     0   success — including a damaged frame fully rebuilt by repair
@@ -144,6 +145,7 @@ EXIT CODES:
     5   partial recovery: --salvage wrote output but segments were lost
     6   server busy: the admission window or handler queue refused (client)
     7   tenant over its request-rate budget (client)
+    8   deadline exceeded: the server cancelled the decode in time (client)
 ";
 
 /// Usage text, assembled once on first use; the exit-code block is
@@ -170,9 +172,14 @@ USAGE:
                      [--tenants <file>] [--handler-threads <n>] [--threads <n>]
                      [--max-inflight <n>] [--degrade-threshold <n>]
                      [--segment-bits <n>] [--parity <g>:<r>]
+                     [--max-request-time-ms <n>]
     ninec client     <addr> ping|compress|decompress|info|metrics [<file>]
                      [-o <out>] [-k <even>=8] [--tenant <name>]
                      [--salvage] [--no-repair]
+                     [--retries <n>] [--deadline-ms <n>]
+    ninec chaos-proxy <upstream-addr> [--addr <ip:port>] [--delay-ms <n>]
+                     [--throttle-bps <n>] [--torn-permille <n>]
+                     [--blackhole-permille <n>] [--seed <n>]
 
 PARALLEL ENGINE:
     --threads <n>       worker threads for the sharded codec engine
@@ -236,6 +243,22 @@ SERVING:
     fetches the exporter text from the http address. Server refusals
     exit with the matching code below.
 
+DEADLINES, RETRIES AND CHAOS:
+    Requests are time-bounded from both sides. On the server,
+    --max-request-time-ms caps any single decode (default 60000; 0
+    disables): work past the cap is cancelled at the next segment
+    boundary and answered with the deadline status (exit 8 at the
+    client). On the client, --deadline-ms negotiates the wire's deadline
+    capability at HELLO and sends that budget with every request; the
+    effective deadline is the smaller of the two. --retries <n> retries
+    transport errors, busy/rate-limit refusals and deadline timeouts
+    with decorrelated-jitter backoff, reconnecting as needed — decode
+    failures never retry. `chaos-proxy` runs the fault-injection TCP
+    proxy from the test harness in front of <upstream-addr> (per-mille
+    rates for torn writes and blackholed connections, plus fixed delay
+    and byte-rate throttling) and prints its bound address; point
+    `client` at it to rehearse failure handling end to end.
+
 {EXIT_CODES}
 GLOBAL FLAGS (any command):
     --stats text|json|prom
@@ -286,6 +309,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "trace" => trace_cmd(&rest, out),
             "serve" => serve(&rest, out),
             "client" => client(&rest, out),
+            "chaos-proxy" => chaos_proxy(&rest, out),
             "help" | "--help" | "-h" => {
                 writeln!(out, "{}", USAGE.as_str())?;
                 Ok(())
@@ -349,6 +373,7 @@ fn command_span_name(command: &str) -> &'static str {
         "trace" => "cli_trace",
         "serve" => "cli_serve",
         "client" => "cli_client",
+        "chaos-proxy" => "cli_chaos_proxy",
         _ => "cli",
     }
 }
@@ -431,6 +456,14 @@ struct Opts {
     max_inflight: Option<usize>,
     degrade_threshold: Option<usize>,
     tenant: Option<String>,
+    max_request_time_ms: Option<u64>,
+    deadline_ms: Option<u64>,
+    retries: Option<u32>,
+    // `chaos-proxy` flags.
+    delay_ms: Option<u64>,
+    throttle_bps: Option<usize>,
+    torn_permille: Option<u16>,
+    blackhole_permille: Option<u16>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -573,6 +606,80 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                     .next()
                     .ok_or_else(|| CliError::Usage("--tenant needs a name".into()))?;
                 opts.tenant = Some(v.clone());
+            }
+            "--max-request-time-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--max-request-time-ms needs a value".into()))?;
+                opts.max_request_time_ms =
+                    Some(v.parse().map_err(|_| {
+                        CliError::Usage(format!("bad --max-request-time-ms {v:?}"))
+                    })?);
+            }
+            "--deadline-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--deadline-ms needs a value".into()))?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --deadline-ms {v:?}")))?;
+                if ms == 0 {
+                    return Err(CliError::Usage("--deadline-ms must be >= 1".into()));
+                }
+                opts.deadline_ms = Some(ms);
+            }
+            "--retries" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--retries needs a value".into()))?;
+                opts.retries = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --retries {v:?}")))?,
+                );
+            }
+            "--delay-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--delay-ms needs a value".into()))?;
+                opts.delay_ms = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --delay-ms {v:?}")))?,
+                );
+            }
+            "--throttle-bps" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--throttle-bps needs a value".into()))?;
+                opts.throttle_bps = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --throttle-bps {v:?}")))?,
+                );
+            }
+            "--torn-permille" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--torn-permille needs 0..=1000".into()))?;
+                let n: u16 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --torn-permille {v:?}")))?;
+                if n > 1000 {
+                    return Err(CliError::Usage("--torn-permille is out of 1000".into()));
+                }
+                opts.torn_permille = Some(n);
+            }
+            "--blackhole-permille" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--blackhole-permille needs 0..=1000".into()))?;
+                let n: u16 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --blackhole-permille {v:?}")))?;
+                if n > 1000 {
+                    return Err(CliError::Usage(
+                        "--blackhole-permille is out of 1000".into(),
+                    ));
+                }
+                opts.blackhole_permille = Some(n);
             }
             "--freq-directed" => opts.freq_directed = true,
             "--salvage" => opts.salvage = true,
@@ -1272,7 +1379,45 @@ fn serve_config_from_opts(opts: &Opts) -> Result<ninec_serve::ServeConfig, CliEr
     if let Some(n) = opts.degrade_threshold {
         config.degrade_threshold = n;
     }
+    if let Some(ms) = opts.max_request_time_ms {
+        // 0 disables the ceiling — requests then run as long as the
+        // client's own deadline (if any) allows.
+        config.max_request_time = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
     Ok(config)
+}
+
+/// `chaos-proxy <upstream>`: the test harness's fault-injection proxy
+/// as a standalone process, for smoke scripts and manual failure drills.
+fn chaos_proxy(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let [upstream] = opts.positional.as_slice() else {
+        return Err(CliError::Usage(
+            "chaos-proxy wants exactly one <upstream-addr>".into(),
+        ));
+    };
+    let upstream: std::net::SocketAddr = upstream
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad upstream address {upstream:?}")))?;
+    let mut config = ninec_serve::ChaosConfig {
+        delay: std::time::Duration::from_millis(opts.delay_ms.unwrap_or(0)),
+        throttle_bytes_per_sec: opts.throttle_bps.unwrap_or(0),
+        torn_write_permille: opts.torn_permille.unwrap_or(0),
+        blackhole_permille: opts.blackhole_permille.unwrap_or(0),
+        seed: opts.seed,
+        ..ninec_serve::ChaosConfig::default()
+    };
+    if let Some(addr) = &opts.addr {
+        config.listen.clone_from(addr);
+    }
+    let proxy = ninec_serve::ChaosProxy::start(upstream, config)?;
+    // Same contract as `serve`: the smoke harness reads this line for
+    // the ephemeral port, then the process blocks until killed.
+    writeln!(out, "listening {}", proxy.addr())?;
+    out.flush()?;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -1341,9 +1486,23 @@ fn client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         write!(out, "{body}")?;
         return Ok(());
     }
-    let mut client = ninec_serve::Client::connect(addr).map_err(client_err)?;
-    if let Some(tenant) = &opts.tenant {
-        client.hello(tenant).map_err(client_err)?;
+    // Every client connection goes through the retrying wrapper; with
+    // the default --retries 0 it behaves exactly like a plain client
+    // (one attempt, typed errors straight through).
+    let options = ninec_serve::ClientOptions {
+        deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+        ..ninec_serve::ClientOptions::default()
+    };
+    let policy = ninec_serve::RetryPolicy {
+        max_retries: opts.retries.unwrap_or(0),
+        ..ninec_serve::RetryPolicy::default()
+    };
+    let mut client = ninec_serve::RetryingClient::new(addr, options, policy).map_err(client_err)?;
+    // A deadline needs the HELLO negotiation even without --tenant.
+    if opts.tenant.is_some() || opts.deadline_ms.is_some() {
+        client
+            .hello(opts.tenant.as_deref().unwrap_or("default"))
+            .map_err(client_err)?;
     }
     let one_file = |rest: &[String]| -> Result<String, CliError> {
         match rest {
@@ -2017,6 +2176,13 @@ mod tests {
                     message: "rate limited".into(),
                 },
             ),
+            (
+                8,
+                CliError::Service {
+                    code: 8,
+                    message: "deadline exceeded".into(),
+                },
+            ),
         ];
         assert!(
             EXIT_CODES.contains("\n    0   success"),
@@ -2037,6 +2203,7 @@ mod tests {
         assert_eq!(ninec_serve::Status::Partial as u8, 5);
         assert_eq!(ninec_serve::Status::Busy as u8, 6);
         assert_eq!(ninec_serve::Status::RateLimited as u8, 7);
+        assert_eq!(ninec_serve::Status::DeadlineExceeded as u8, 8);
         // A wire status of 0 must never make a failure exit 0.
         assert_eq!(
             CliError::Service {

@@ -81,6 +81,16 @@ pub enum DecodeError {
         /// Zero-based index of the segment whose worker panicked.
         segment: usize,
     },
+    /// The caller's [`CancelToken`](crate::CancelToken) was cancelled
+    /// before the decode finished; remaining segment jobs were abandoned
+    /// between segments. (In salvage mode this becomes a damage-map
+    /// entry instead.)
+    Cancelled,
+    /// The caller's [`CancelToken`](crate::CancelToken) deadline passed
+    /// before the decode finished; remaining segment jobs were abandoned
+    /// between segments. (In salvage mode this becomes a damage-map
+    /// entry instead.)
+    DeadlineExceeded,
 }
 
 impl fmt::Display for DecodeError {
@@ -124,6 +134,8 @@ impl fmt::Display for DecodeError {
             DecodeError::WorkerPanicked { segment } => {
                 write!(f, "decode worker panicked on segment {segment}")
             }
+            DecodeError::Cancelled => write!(f, "decode cancelled by caller"),
+            DecodeError::DeadlineExceeded => write!(f, "decode deadline exceeded"),
         }
     }
 }

@@ -32,6 +32,15 @@
 //! panics the same way, so `threads = 1` isolates identically to
 //! `threads = 8`.
 //!
+//! Cancellation: [`run_cancellable`] threads an optional
+//! [`CancelToken`] through both paths. The token is checked *between*
+//! jobs — at the serial loop boundary and at the pooled pop boundary —
+//! so a tripped token abandons every not-yet-started job as
+//! [`JobOutcome::Cancelled`] (its closure never runs) while jobs
+//! already in flight finish and store real results. The deques then
+//! drain at queue-op speed, which is what lets `ninec-serve` reclaim a
+//! worker the moment a caller hangs up or a deadline passes.
+//!
 //! Telemetry (batched at job boundaries, never inside a job): each
 //! worker publishes its queue depth to the
 //! `ninec.engine.worker.<i>.queue_depth` gauge after every pop, and its
@@ -45,6 +54,7 @@
 //! a caught panic flushes the worker's ring into the global recorder
 //! before the poisoned slot is reported.
 
+use super::cancel::CancelToken;
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -119,6 +129,20 @@ impl fmt::Display for JobPanic {
 
 impl std::error::Error for JobPanic {}
 
+/// What became of one submitted job: its value, a caught panic, or an
+/// abandonment because the batch's [`CancelToken`] tripped before the
+/// job started. Jobs are never interrupted mid-run — a `Cancelled` slot
+/// means the closure was **never invoked** for that index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome<T> {
+    /// The job ran to completion.
+    Done(T),
+    /// The job panicked; the panic was caught at the slot boundary.
+    Panicked(JobPanic),
+    /// The batch's [`CancelToken`] tripped before this job started.
+    Cancelled,
+}
+
 /// Runs `thunk` under `catch_unwind`, converting a panic payload into a
 /// [`JobPanic`]. The closure owns (or safely shares) its data, so
 /// observing state after a caught panic is sound: a poisoned job's
@@ -181,6 +205,39 @@ where
     F: Fn(usize) -> T + Sync,
     P: Fn(usize) -> Priority,
 {
+    run_cancellable(threads, jobs, priority, None, f)
+        .into_iter()
+        .map(|out| match out {
+            JobOutcome::Done(v) => Ok(v),
+            JobOutcome::Panicked(p) => Err(p),
+            // Unreachable without a token; stay total instead of panicking.
+            JobOutcome::Cancelled => Err(JobPanic {
+                message: "job cancelled without a cancel token".to_string(),
+            }),
+        })
+        .collect()
+}
+
+/// [`run_prioritized`] with cooperative cancellation: `cancel` (when
+/// given) is checked **between** jobs — once the token trips, every job
+/// not yet started resolves to [`JobOutcome::Cancelled`] without its
+/// closure running, while jobs already in flight finish normally. The
+/// serial fallback checks the token at exactly the same boundary, so
+/// `threads = 1` cancels identically to `threads = 8`. A token that is
+/// already tripped on entry yields an all-`Cancelled` vector with zero
+/// closure invocations.
+pub fn run_cancellable<T, F, P>(
+    threads: usize,
+    jobs: usize,
+    priority: P,
+    cancel: Option<&CancelToken>,
+    f: F,
+) -> Vec<JobOutcome<T>>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+    P: Fn(usize) -> Priority,
+{
     let threads = threads.clamp(1, MAX_THREADS);
     // Batch-grained load registration: all `jobs` count as outstanding
     // until the index-ordered merge below completes (RAII, unwind-safe).
@@ -192,10 +249,16 @@ where
         // caller's thread outlives this call).
         let prev_worker = ninec_obs::set_trace_worker(0);
         let mut busy = 0u64;
-        let mut slots: Vec<Option<Result<T, JobPanic>>> = (0..jobs).map(|_| None).collect();
+        let mut slots: Vec<Option<JobOutcome<T>>> = (0..jobs).map(|_| None).collect();
         for want in [Priority::High, Priority::Low] {
             for (i, slot) in slots.iter_mut().enumerate() {
                 if priority(i) == want {
+                    // The cancellation boundary: checked between jobs,
+                    // never mid-decode, matching the pooled path.
+                    if cancel.is_some_and(CancelToken::is_tripped) {
+                        *slot = Some(JobOutcome::Cancelled);
+                        continue;
+                    }
                     let _job_span = ninec_obs::trace_span_scope(
                         "job",
                         ninec_obs::NO_SEGMENT,
@@ -213,7 +276,10 @@ where
                         // poisoned slot.
                         ninec_obs::flush_thread_trace();
                     }
-                    *slot = Some(out);
+                    *slot = Some(match out {
+                        Ok(v) => JobOutcome::Done(v),
+                        Err(p) => JobOutcome::Panicked(p),
+                    });
                 }
             }
         }
@@ -223,7 +289,7 @@ where
             .into_iter()
             .map(|slot| {
                 slot.unwrap_or_else(|| {
-                    Err(JobPanic {
+                    JobOutcome::Panicked(JobPanic {
                         message: "worker exited without storing a result".to_string(),
                     })
                 })
@@ -245,7 +311,7 @@ where
         }
         qs.into_iter().map(Mutex::new).collect()
     };
-    let slots: Vec<OnceLock<Result<T, JobPanic>>> = (0..jobs).map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<JobOutcome<T>>> = (0..jobs).map(|_| OnceLock::new()).collect();
     // Workers record onto the submitting thread's trace, nested under
     // its currently open span.
     let trace_ctx = ninec_obs::trace_context();
@@ -268,6 +334,14 @@ where
                         None => steal(queues, w, &mut steals),
                     };
                     let Some(job) = job else { break };
+                    // The cancellation boundary: a tripped token turns
+                    // every not-yet-started job into a `Cancelled` slot,
+                    // so the deques drain at queue-op speed and the merge
+                    // below still sees every index filled.
+                    if cancel.is_some_and(CancelToken::is_tripped) {
+                        let _ = slots[job].set(JobOutcome::Cancelled);
+                        continue;
+                    }
                     // A steal tally that moved during this pop means the
                     // job came off a sibling's deque, not our own.
                     let stolen = steals > steals_before;
@@ -295,7 +369,10 @@ where
                     }
                     // Each job index is popped exactly once, so the slot is
                     // empty; a second set is impossible by construction.
-                    let _ = slots[job].set(out);
+                    let _ = slots[job].set(match out {
+                        Ok(v) => JobOutcome::Done(v),
+                        Err(p) => JobOutcome::Panicked(p),
+                    });
                     done += 1;
                 }
                 crate::metrics::publish_pool_worker(steals, done);
@@ -307,11 +384,12 @@ where
         .into_iter()
         .map(|slot| {
             // Every index was queued exactly once and its worker either
-            // stored Ok or a caught JobPanic; an empty slot would mean a
-            // worker died outside catch_unwind, which the isolation
-            // boundary makes unreachable — but stay total regardless.
+            // stored a value, a caught JobPanic, or a Cancelled marker;
+            // an empty slot would mean a worker died outside
+            // catch_unwind, which the isolation boundary makes
+            // unreachable — but stay total regardless.
             slot.into_inner().unwrap_or_else(|| {
-                Err(JobPanic {
+                JobOutcome::Panicked(JobPanic {
                     message: "worker exited without storing a result".to_string(),
                 })
             })
@@ -553,5 +631,77 @@ mod tests {
         assert!(run_prioritized(8, 0, all_high, |i| i).is_empty());
         let one = run_prioritized(8, 1, |_| Priority::Low, |i| i + 7);
         assert_eq!(one[0].as_ref().ok(), Some(&7));
+    }
+
+    #[test]
+    fn a_pre_tripped_token_cancels_every_job_without_running_any() {
+        for threads in [1usize, 8] {
+            let ran = AtomicUsize::new(0);
+            let token = CancelToken::new();
+            token.cancel();
+            let out = run_cancellable(threads, 24, all_high, Some(&token), |_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(out.len(), 24);
+            assert!(
+                out.iter().all(|o| matches!(o, JobOutcome::Cancelled)),
+                "threads={threads}"
+            );
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn a_mid_batch_cancel_abandons_the_tail_and_retires_the_batch() {
+        let floor = active_jobs();
+        let token = CancelToken::new();
+        let out = run_cancellable(4, 64, all_high, Some(&token), |i| {
+            if i % 16 == 0 {
+                token.cancel();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            i
+        });
+        // Every slot resolved: in-flight jobs finished, the tail was
+        // abandoned at the pop boundary, nothing panicked or hung.
+        let done = out
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::Done(_)))
+            .count();
+        let cancelled = out
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::Cancelled))
+            .count();
+        assert_eq!(done + cancelled, 64);
+        assert!(cancelled > 0, "cancel arrived with jobs still queued");
+        // Cancellation reclaims workers: the load gauge dips back to the
+        // pre-batch floor (shared with concurrent tests — poll, don't
+        // assert once).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while active_jobs() > floor {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "active_jobs never returned to {floor} after a cancel"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_cancels_the_remaining_jobs() {
+        let token = CancelToken::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        let out = run_cancellable(2, 8, all_high, Some(&token), |i| i);
+        assert!(out.iter().all(|o| matches!(o, JobOutcome::Cancelled)));
+    }
+
+    #[test]
+    fn a_live_token_changes_nothing() {
+        let token = CancelToken::after(std::time::Duration::from_secs(3600));
+        let out = run_cancellable(4, 16, all_high, Some(&token), |i| i * 2);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o, &JobOutcome::Done(i * 2));
+        }
     }
 }

@@ -306,6 +306,10 @@ pub enum DamageReason {
     /// disagree with the segments actually present — e.g. spliced or
     /// duplicated segments.
     HeaderMismatch(&'static str),
+    /// The caller's [`CancelToken`](crate::CancelToken) tripped before
+    /// this segment's worker ran; its trits were erased to `X` so the
+    /// salvage report stays a valid (if partial) answer.
+    Cancelled,
     /// Not terminal damage: the segment was damaged on the wire but
     /// **rebuilt byte-exactly** from parity group `group` using
     /// `parity_used` parity shards, then re-verified against its own
@@ -328,6 +332,7 @@ impl fmt::Display for DamageReason {
             DamageReason::Decode(e) => write!(f, "payload decode failed: {e}"),
             DamageReason::WorkerPanicked => write!(f, "decode worker panicked"),
             DamageReason::HeaderMismatch(what) => write!(f, "header mismatch: {what}"),
+            DamageReason::Cancelled => write!(f, "decode cancelled before this segment ran"),
             DamageReason::RepairedBy { group, parity_used } => {
                 write!(
                     f,
@@ -1633,6 +1638,7 @@ mod tests {
             DamageReason::LimitExceeded("x"),
             DamageReason::WorkerPanicked,
             DamageReason::HeaderMismatch("x"),
+            DamageReason::Cancelled,
             DamageReason::RepairedBy {
                 group: 1,
                 parity_used: 2,

@@ -53,6 +53,7 @@
 #![deny(clippy::unwrap_used)]
 
 pub mod audit;
+pub mod cancel;
 pub mod ecc;
 pub mod exec;
 pub mod faultpoint;
@@ -63,6 +64,7 @@ pub mod reader;
 pub mod salvage;
 
 pub use audit::{DecodeAudit, SegmentAudit, SegmentRung};
+pub use cancel::{CancelToken, Trip};
 pub use ecc::{EccError, ParityCoder};
 pub use exec::active_jobs;
 pub use frame::{DamageReason, DecodeLimits, FrameError};
@@ -165,6 +167,7 @@ pub struct EngineBuilder {
     table: Option<CodeTable>,
     limits: Option<DecodeLimits>,
     parity: Option<(u8, u8)>,
+    cancel: Option<CancelToken>,
     #[cfg(feature = "failpoints")]
     failpoints: Vec<faultpoint::FailPoint>,
 }
@@ -217,6 +220,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Cooperative cancellation for this engine's frame decodes: workers
+    /// check `token` **between** segments, so a tripped token abandons
+    /// the remaining segment jobs — strict mode then fails typed
+    /// ([`DecodeError::Cancelled`] / [`DecodeError::DeadlineExceeded`])
+    /// while repair/salvage erase the unfinished segments as
+    /// [`DamageReason::Cancelled`] in a partial report. Encode paths are
+    /// unaffected. Default: no token, never cancelled.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Arms a deterministic fault-injection point on the decode path
     /// (see [`faultpoint`]). Only available with the `failpoints` cargo
     /// feature; production builds cannot arm faults.
@@ -249,6 +264,7 @@ impl EngineBuilder {
             table: self.table.unwrap_or_else(CodeTable::paper),
             limits: self.limits.unwrap_or_default(),
             parity: self.parity,
+            cancel: self.cancel,
             failpoints,
         }
     }
@@ -268,6 +284,7 @@ pub struct Engine {
     table: CodeTable,
     limits: DecodeLimits,
     parity: Option<(u8, u8)>,
+    cancel: Option<CancelToken>,
     /// Armed fault-injection points. Always empty unless the
     /// `failpoints` feature armed some — the decode path checks an empty
     /// slice, which is free.
@@ -316,6 +333,13 @@ impl Engine {
     #[must_use]
     pub fn parity(&self) -> Option<(u8, u8)> {
         self.parity
+    }
+
+    /// The engine's [`CancelToken`], if one was attached at build time —
+    /// checked between segments on every frame decode.
+    #[must_use]
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// Segment length for block size `k`: `segment_bits` rounded down to

@@ -38,7 +38,7 @@ use crate::engine::frame::{
     self, DamageReason, DecodeLimits, FrameError, ParsedParity, ParsedSegment, SalvageScan,
     ScanEntry,
 };
-use crate::engine::{pool, Engine, SalvageReport};
+use crate::engine::{cancel, pool, Engine, SalvageReport};
 use ninec_testdata::trit::TritVec;
 use std::ops::Range;
 
@@ -754,34 +754,48 @@ pub(crate) fn execute_strict(
             _ => None,
         })
         .collect();
-    let results = pool::try_map_indexed(engine.threads(), segs.len(), |i| {
-        let _seg_span = ninec_obs::trace_span_scope(
-            "segment_decode",
-            u32::try_from(i).unwrap_or(u32::MAX),
-            ninec_obs::TracePayload::None,
-        );
-        engine.decode_one_segment(segs[i], i, &table)
-    });
+    let results =
+        pool::cancellable_map_indexed(engine.threads(), segs.len(), engine.cancel(), |i| {
+            let _seg_span = ninec_obs::trace_span_scope(
+                "segment_decode",
+                u32::try_from(i).unwrap_or(u32::MAX),
+                ninec_obs::TracePayload::None,
+            );
+            engine.decode_one_segment(segs[i], i, &table)
+        });
     let mut parts = Vec::with_capacity(results.len());
     let mut first_err: Option<DecodeError> = None;
     let mut panics = 0u64;
+    let mut cancelled = 0u64;
     for (i, r) in results.into_iter().enumerate() {
         match r {
-            Ok(Ok(seg_out)) => parts.push(seg_out),
-            Ok(Err(e)) => {
+            pool::JobOutcome::Done(Ok(seg_out)) => parts.push(seg_out),
+            pool::JobOutcome::Done(Err(e)) => {
                 if first_err.is_none() {
                     first_err = Some(e);
                 }
             }
-            Err(_panic) => {
+            pool::JobOutcome::Panicked(_) => {
                 panics += 1;
                 if first_err.is_none() {
                     first_err = Some(DecodeError::WorkerPanicked { segment: i });
                 }
             }
+            pool::JobOutcome::Cancelled => cancelled += 1,
         }
     }
     crate::metrics::publish_worker_panics(panics);
+    crate::metrics::publish_cancelled_jobs(cancelled);
+    if cancelled > 0 {
+        // Cancellation beats per-segment errors in the strict verdict:
+        // the caller asked us to stop, so say so — with the trip cause
+        // (deadline vs explicit hang-up) typed.
+        let trip = engine
+            .cancel()
+            .and_then(cancel::CancelToken::trip)
+            .unwrap_or(cancel::Trip::Cancelled);
+        return Err(trip.decode_error());
+    }
     if let Some(e) = first_err {
         return Err(e);
     }

@@ -26,9 +26,10 @@
 //! isolates identically to `threads = 8`. ([`map_indexed`] keeps the old
 //! propagate-the-panic contract for callers that treat a panic as a bug.)
 
+use super::cancel::CancelToken;
 use super::exec::{self, Priority};
 
-pub use super::exec::{JobPanic, MAX_THREADS};
+pub use super::exec::{JobOutcome, JobPanic, MAX_THREADS};
 
 /// Runs `f(0..jobs)` across at most `threads` workers and returns the
 /// results in job-index order.
@@ -76,6 +77,24 @@ where
     F: Fn(usize) -> T + Sync,
 {
     exec::run_prioritized(threads, jobs, |_| Priority::High, f)
+}
+
+/// [`try_map_indexed`] with cooperative cancellation: when `cancel` is
+/// given and trips, every job not yet started resolves to
+/// [`JobOutcome::Cancelled`] without its closure running (jobs already
+/// in flight finish normally). The vector is always fully populated in
+/// index order — cancellation abandons work, never results.
+pub fn cancellable_map_indexed<T, F>(
+    threads: usize,
+    jobs: usize,
+    cancel: Option<&CancelToken>,
+    f: F,
+) -> Vec<JobOutcome<T>>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    exec::run_cancellable(threads, jobs, |_| Priority::High, cancel, f)
 }
 
 #[cfg(test)]
@@ -162,6 +181,26 @@ mod tests {
             out[0].as_ref().expect_err("panicked").message,
             "non-string panic payload"
         );
+    }
+
+    #[test]
+    fn cancellable_facade_without_a_token_matches_map_indexed() {
+        let out = cancellable_map_indexed(4, 9, None, |i| i + 1);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o, &JobOutcome::Done(i + 1));
+        }
+    }
+
+    #[test]
+    fn cancellable_facade_honors_a_tripped_token() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        let out = cancellable_map_indexed(4, 9, Some(&token), |_| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(out.iter().all(|o| matches!(o, JobOutcome::Cancelled)));
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -486,7 +486,7 @@ pub(crate) fn execute(
         None => Vec::new(),
     };
     let boundary = intact.len();
-    let results = exec::run_prioritized(
+    let results = exec::run_cancellable(
         engine.threads(),
         boundary + damaged_groups.len(),
         |i| {
@@ -496,6 +496,7 @@ pub(crate) fn execute(
                 Priority::Low
             }
         },
+        engine.cancel(),
         |i| {
             if i < boundary {
                 let (ordinal, seg) = &intact[i];
@@ -524,28 +525,39 @@ pub(crate) fn execute(
             }
         },
     );
-    let mut intact_results: HashMap<usize, Result<Result<TritVec, DecodeError>, pool::JobPanic>> =
+    let mut intact_results: HashMap<usize, pool::JobOutcome<Result<TritVec, DecodeError>>> =
         HashMap::with_capacity(boundary);
     let mut rebuilt: Vec<Rebuilt> = Vec::new();
     let mut repair_failures = 0u64;
     let mut panics = 0u64;
+    let mut cancelled = 0u64;
     for (i, r) in results.into_iter().enumerate() {
         match r {
-            Ok(StageOut::Decoded(d)) => {
-                intact_results.insert(intact[i].0, Ok(d));
+            pool::JobOutcome::Done(StageOut::Decoded(d)) => {
+                intact_results.insert(intact[i].0, pool::JobOutcome::Done(d));
             }
-            Ok(StageOut::Rebuilt(rb, fails)) => {
+            pool::JobOutcome::Done(StageOut::Rebuilt(rb, fails)) => {
                 rebuilt.extend(rb);
                 repair_failures += fails;
             }
-            Err(p) => {
+            pool::JobOutcome::Panicked(p) => {
                 if i < boundary {
-                    intact_results.insert(intact[i].0, Err(p));
+                    intact_results.insert(intact[i].0, pool::JobOutcome::Panicked(p));
                 } else {
                     // A panicking repair job degrades its whole group to
                     // plain salvage; the members stay erased.
                     panics += 1;
                 }
+            }
+            pool::JobOutcome::Cancelled => {
+                if i < boundary {
+                    // An abandoned intact decode erases to X below, with
+                    // the cancellation typed in the damage map.
+                    intact_results.insert(intact[i].0, pool::JobOutcome::Cancelled);
+                }
+                // A cancelled repair job degrades its whole group to
+                // plain salvage, exactly like a panicking one: the
+                // members stay erased with their original reasons.
             }
         }
     }
@@ -678,13 +690,14 @@ pub(crate) fn execute(
             _ => None,
         })
         .collect();
-    let mut repaired_results: HashMap<usize, Result<Result<TritVec, DecodeError>, pool::JobPanic>> =
+    let mut repaired_results: HashMap<usize, pool::JobOutcome<Result<TritVec, DecodeError>>> =
         repaired_jobs
             .iter()
             .map(|(i, _)| *i)
-            .zip(pool::try_map_indexed(
+            .zip(pool::cancellable_map_indexed(
                 engine.threads(),
                 repaired_jobs.len(),
+                engine.cancel(),
                 |j| {
                     let (i, seg) = &repaired_jobs[j];
                     let _seg_span = ninec_obs::trace_span_scope(
@@ -720,7 +733,7 @@ pub(crate) fn execute(
                     repaired,
                     ..
                 },
-                Some(Ok(Ok(seg_out))),
+                Some(pool::JobOutcome::Done(Ok(seg_out))),
             ) => {
                 if seg_out.len() == want {
                     trits.extend_from_tritvec(&seg_out);
@@ -758,12 +771,16 @@ pub(crate) fn execute(
                     DamageReason::Malformed("decoded length disagrees with the segment header"),
                 )
             }
-            (Plan::Decode { byte_range, .. }, Some(Ok(Err(e)))) => {
+            (Plan::Decode { byte_range, .. }, Some(pool::JobOutcome::Done(Err(e)))) => {
                 (byte_range, DamageReason::Decode(e))
             }
-            (Plan::Decode { byte_range, .. }, Some(Err(_panic))) => {
+            (Plan::Decode { byte_range, .. }, Some(pool::JobOutcome::Panicked(_))) => {
                 panics += 1;
                 (byte_range, DamageReason::WorkerPanicked)
+            }
+            (Plan::Decode { byte_range, .. }, Some(pool::JobOutcome::Cancelled)) => {
+                cancelled += 1;
+                (byte_range, DamageReason::Cancelled)
             }
             (Plan::Decode { byte_range, .. }, None) => (
                 // Unreachable: decode plans always have a stage result.
@@ -794,6 +811,7 @@ pub(crate) fn execute(
         });
     }
     crate::metrics::publish_worker_panics(panics);
+    crate::metrics::publish_cancelled_jobs(cancelled);
     if !damaged.is_empty() {
         crate::metrics::publish_salvaged_segments(recovered as u64);
         // A partial salvage is a flush trigger: make sure this thread's

@@ -75,9 +75,9 @@ pub use code::{Case, CodeTable};
 pub use decode::{DecodeError, StreamDecoder};
 pub use encode::{CaseSelect, EncodeStats, EncodeTotals, Encoded, Encoder, StreamEncoder};
 pub use engine::{
-    DamageReason, DamagedSegment, DecodeAudit, DecodeLimits, EncodeFrameError, Engine,
+    CancelToken, DamageReason, DamagedSegment, DecodeAudit, DecodeLimits, EncodeFrameError, Engine,
     EngineBuilder, FrameError, FramePlan, PlanEntry, Policy, SalvageReport, SegmentAudit,
-    SegmentRung, SharedEngine,
+    SegmentRung, SharedEngine, Trip,
 };
 pub use session::{DecodeOutcome, DecodeSession, RungKind};
 pub use stream::{BitCounter, BitSink, BitSource};

@@ -125,6 +125,9 @@ pub const FRAME_LIMIT_REJECTIONS: &str = "ninec.frame.limit_rejections";
 pub const ENGINE_SALVAGED_SEGMENTS: &str = "ninec.engine.salvaged_segments";
 /// Counter: decode worker panics caught by the panic-isolated pool.
 pub const ENGINE_WORKER_PANICS: &str = "ninec.engine.worker_panics";
+/// Counter: segment jobs abandoned because the caller's
+/// [`crate::CancelToken`] tripped (cancel or deadline) mid-decode.
+pub const ENGINE_CANCELLED_JOBS: &str = "ninec.engine.cancelled_jobs";
 
 /// Records header/CRC scan passes over a frame body (one per
 /// [`crate::engine::FramePlan`] build). Proves the plan-then-execute
@@ -169,6 +172,14 @@ pub fn publish_worker_panics(n: u64) {
         return;
     }
     ninec_obs::global().counter(ENGINE_WORKER_PANICS).add(n);
+}
+
+/// Records segment jobs abandoned at the cancellation boundary.
+pub fn publish_cancelled_jobs(n: u64) {
+    if !ninec_obs::runtime_enabled() || n == 0 {
+        return;
+    }
+    ninec_obs::global().counter(ENGINE_CANCELLED_JOBS).add(n);
 }
 
 /// Counter: damaged segments rebuilt byte-exactly by GF(256) erasure

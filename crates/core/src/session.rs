@@ -106,6 +106,7 @@ pub struct DecodeSession {
     salvage: bool,
     repair: bool,
     audit: bool,
+    cancel: Option<crate::CancelToken>,
 }
 
 impl DecodeSession {
@@ -183,6 +184,20 @@ impl DecodeSession {
     /// [`ninec_obs::take_trace`] always sees the decode's events.
     pub fn audit(mut self, audit: bool) -> Self {
         self.audit = audit;
+        self
+    }
+
+    /// Cooperative cancellation for the frame entry points: workers
+    /// check `token` between segments, so tripping it (explicitly or by
+    /// deadline) aborts the remaining work — strict mode fails typed
+    /// ([`DecodeError::Cancelled`] / [`DecodeError::DeadlineExceeded`]),
+    /// repair/salvage answer with a partial report whose abandoned
+    /// segments are erased as
+    /// [`DamageReason::Cancelled`](crate::DamageReason::Cancelled).
+    /// `ninec-serve` clones a tenant's session and attaches a
+    /// per-request token here.
+    pub fn cancel_token(mut self, token: crate::CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -432,6 +447,9 @@ impl DecodeSession {
         if let Some(limits) = self.limits {
             builder = builder.limits(limits);
         }
+        if let Some(token) = &self.cancel {
+            builder = builder.cancel_token(token.clone());
+        }
         builder.build()
     }
 }
@@ -579,6 +597,63 @@ mod tests {
             DecodeSession::new().decode_frame(b"not a frame", Policy::Strict),
             Err(DecodeError::Frame(_))
         ));
+    }
+
+    #[test]
+    fn a_tripped_cancel_token_fails_strict_typed_and_salvage_partial() {
+        let (src, _) = sample();
+        let mut big = TritVec::new();
+        for _ in 0..50 {
+            big.extend_from_tritvec(&src);
+        }
+        let frame = Engine::builder()
+            .segment_bits(128)
+            .build()
+            .encode_frame(8, &big)
+            .unwrap();
+
+        // Pre-tripped explicit cancel: strict fails typed.
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let err = DecodeSession::new()
+            .cancel_token(token.clone())
+            .decode_frame(&frame, Policy::Strict)
+            .expect_err("strict refuses a cancelled decode");
+        assert_eq!(err, DecodeError::Cancelled);
+
+        // Salvage under the same token answers partially: every segment
+        // erased as Cancelled, full length preserved.
+        let out = DecodeSession::new()
+            .cancel_token(token)
+            .decode_frame(&frame, Policy::Salvage)
+            .unwrap();
+        assert_eq!(out.trits.len(), big.len());
+        assert!(!out.is_lossless());
+        let report = out.report.expect("salvage produced a report");
+        assert!(!report.damaged.is_empty());
+        assert!(report
+            .damaged
+            .iter()
+            .all(|d| d.reason == crate::DamageReason::Cancelled));
+
+        // An expired deadline surfaces as the deadline-typed error.
+        let expired = crate::CancelToken::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        );
+        let err = DecodeSession::new()
+            .cancel_token(expired)
+            .decode_frame(&frame, Policy::Strict)
+            .expect_err("strict refuses an expired deadline");
+        assert_eq!(err, DecodeError::DeadlineExceeded);
+
+        // A live token changes nothing.
+        let live = crate::CancelToken::after(std::time::Duration::from_secs(3600));
+        let out = DecodeSession::new()
+            .cancel_token(live)
+            .decode_frame(&frame, Policy::Strict)
+            .unwrap();
+        assert_eq!(out.trits.len(), big.len());
+        assert!(out.is_lossless());
     }
 
     #[test]

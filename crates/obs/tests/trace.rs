@@ -155,7 +155,11 @@ fn worker_threads_inherit_the_captured_context() {
                 ninec_obs::set_trace_context(ctx.0, ctx.1);
                 ninec_obs::set_trace_worker(2);
                 ninec_obs::trace_instant("job", 5, RungKind::None, TracePayload::None);
-                // Thread exit drains its local ring into the global one.
+                // Thread exit also drains the local ring via its TLS
+                // destructor, but scope join can observe completion
+                // before that destructor runs — flush explicitly so the
+                // drain is ordered before `take_trace` below.
+                ninec_obs::flush_thread_trace();
             });
         });
     }

@@ -20,8 +20,14 @@
 //! - a minimal exporter listener serving Prometheus text on `/metrics`
 //!   and a Chrome trace-event document of the decode flight recorder on
 //!   `/trace` (plus `/healthz` for probes);
-//! - [`client`] — a blocking typed client (also backing the
-//!   `ninec client` CLI verb and the CI smoke test).
+//! - [`client`] — a blocking typed client with socket timeouts,
+//!   HELLO-negotiated per-request deadlines and a [`RetryingClient`]
+//!   wrapper (decorrelated-jitter backoff, retryable/non-retryable
+//!   split) — also backing the `ninec client` CLI verb and the CI smoke
+//!   test;
+//! - [`chaos`] — a std-only fault-injection TCP proxy (delay, throttle,
+//!   torn writes, blackhole) that the chaos test suite, `bench_serve`
+//!   and the CI chaos smoke put in front of the server.
 //!
 //! Everything is `std`-only, in keeping with the workspace's
 //! vendored-dependency discipline.
@@ -40,13 +46,15 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 mod http;
 pub mod server;
 pub mod tenant;
 pub mod wire;
 
-pub use client::{Client, ClientError, DecodeReply};
+pub use chaos::{ChaosConfig, ChaosProxy};
+pub use client::{Client, ClientError, ClientOptions, DecodeReply, RetryPolicy, RetryingClient};
 pub use server::{Server, StatsSnapshot};
 pub use tenant::{parse_tenants, Tenant, TenantConfig, TenantConfigError, TenantRegistry};
 pub use wire::{Op, Response, Status, WireError};
@@ -85,9 +93,19 @@ pub struct ServeConfig {
     /// Parity geometry `(g, r)` for encoded frames; `r = 0` disables
     /// parity (v2 frames).
     pub parity: (u8, u8),
-    /// Per-read socket timeout on wire connections; an idle connection
-    /// past this is dropped.
+    /// Total per-message read budget on wire connections: an idle
+    /// connection — or one trickling bytes slow-loris style — is dropped
+    /// once a single request has taken this long to arrive. (Enforced as
+    /// a shrinking per-read socket timeout, so trickled bytes cannot
+    /// reset it.)
     pub read_timeout: Option<Duration>,
+    /// Per-read socket timeout on the HTTP exporter listener.
+    pub http_read_timeout: Duration,
+    /// Server-side ceiling on any single request's decode time. The
+    /// effective deadline is `min(client deadline, max_request_time)`;
+    /// work past it is cancelled at the next segment boundary and
+    /// answered [`Status::DeadlineExceeded`]. `None` never expires.
+    pub max_request_time: Option<Duration>,
     /// Tenant declarations (see [`tenant::parse_tenants`]); the
     /// unlimited `default` tenant always exists in addition.
     pub tenants: Vec<TenantConfig>,
@@ -108,6 +126,8 @@ impl Default for ServeConfig {
             segment_bits: 256,
             parity: (4, 1),
             read_timeout: Some(Duration::from_secs(60)),
+            http_read_timeout: Duration::from_secs(5),
+            max_request_time: Some(Duration::from_secs(60)),
             tenants: Vec::new(),
         }
     }

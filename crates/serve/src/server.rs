@@ -37,14 +37,15 @@ use crate::tenant::{Tenant, TenantRegistry};
 use crate::wire::{self, Op, Status};
 use crate::{http, ServeConfig};
 use ninec::engine::active_jobs;
-use ninec::SharedEngine;
+use ninec::{CancelToken, SharedEngine};
 use ninec_testdata::trit::TritVec;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Point-in-time counters from [`Server::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +66,10 @@ pub struct StatsSnapshot {
     pub partial: u64,
     /// Requests answered [`Status::Failed`] or [`Status::BadRequest`].
     pub failed: u64,
+    /// Requests answered [`Status::DeadlineExceeded`] — the effective
+    /// deadline (`min(client deadline, max_request_time)`) tripped the
+    /// request's cancel token before the decode finished.
+    pub deadline_exceeded: u64,
 }
 
 /// Internal atomic counters, mirrored into the `ninec.serve.*`
@@ -79,6 +84,7 @@ pub(crate) struct Stats {
     rate_limited: AtomicU64,
     partial: AtomicU64,
     failed: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 impl Stats {
@@ -97,6 +103,7 @@ impl Stats {
             rate_limited: self.rate_limited.load(Ordering::Relaxed),
             partial: self.partial.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
         }
     }
 }
@@ -112,25 +119,27 @@ struct Shared {
     conns: ConnTable,
 }
 
-/// Live-connection table: shutdown closes every registered socket so
-/// handler threads blocked in a read return immediately instead of
-/// waiting out the read timeout.
+/// Live-connection table: shutdown cancels every connection's token
+/// (aborting in-flight decodes at the next segment boundary) and closes
+/// every registered socket so handler threads blocked in a read return
+/// immediately instead of waiting out the read timeout.
 #[derive(Default)]
 struct ConnTable {
     next: AtomicUsize,
-    map: Mutex<std::collections::HashMap<usize, TcpStream>>,
+    map: Mutex<std::collections::HashMap<usize, (TcpStream, CancelToken)>>,
 }
 
 impl ConnTable {
-    /// Registers a clone of `stream`; `None` when cloning fails (the
-    /// connection is still served, it just cannot be force-closed).
-    fn register(&self, stream: &TcpStream) -> Option<usize> {
+    /// Registers a clone of `stream` plus the connection's cancel token;
+    /// `None` when cloning fails (the connection is still served, it
+    /// just cannot be force-closed).
+    fn register(&self, stream: &TcpStream, token: &CancelToken) -> Option<usize> {
         let clone = stream.try_clone().ok()?;
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         self.map
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(id, clone);
+            .insert(id, (clone, token.clone()));
         Some(id)
     }
 
@@ -146,9 +155,52 @@ impl ConnTable {
             .map
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        for stream in map.values() {
+        for (stream, token) in map.values() {
+            token.cancel();
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
+    }
+}
+
+/// Enforces the **total** per-message read budget
+/// ([`ServeConfig::read_timeout`]): before every `read` the socket
+/// timeout is shrunk to whatever remains of the budget, so a slow-loris
+/// peer trickling one byte per poll cannot reset the clock — the whole
+/// request must arrive within the budget or the read errors out and the
+/// connection is dropped. A fresh reader is built per message, so the
+/// budget also reaps connections that go idle between requests.
+struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    budget: Option<Duration>,
+    started: Option<Instant>,
+}
+
+impl<'a> DeadlineReader<'a> {
+    fn new(stream: &'a TcpStream, budget: Option<Duration>) -> Self {
+        DeadlineReader {
+            stream,
+            budget,
+            started: None,
+        }
+    }
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(budget) = self.budget {
+            let started = *self.started.get_or_insert_with(Instant::now);
+            let Some(remaining) = budget
+                .checked_sub(started.elapsed())
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "per-message read budget exhausted",
+                ));
+            };
+            let _ = self.stream.set_read_timeout(Some(remaining));
+        }
+        (&mut &*self.stream).read(buf)
     }
 }
 
@@ -261,7 +313,11 @@ impl Server {
                 .spawn(move || accept_loop(&shared, &listener, &tx))?
         };
         let http = match http_listener {
-            Some(listener) => Some(http::spawn(listener, Arc::clone(&shared.stop))?),
+            Some(listener) => Some(http::spawn(
+                listener,
+                Arc::clone(&shared.stop),
+                shared.config.http_read_timeout,
+            )?),
             None => None,
         };
 
@@ -367,11 +423,14 @@ fn handler_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
 
 /// One connection's request loop.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    if let Some(timeout) = shared.config.read_timeout {
-        let _ = stream.set_read_timeout(Some(timeout));
-    }
     let _ = stream.set_nodelay(true);
-    // RAII table entry so shutdown can force-close this socket.
+    // Per-connection cancel token: tripped by shutdown (via the conn
+    // table) or a writer-side error (the peer is gone — no point
+    // finishing its decode), reclaiming workers at the next segment
+    // boundary.
+    let conn_token = CancelToken::new();
+    // RAII table entry so shutdown can cancel + force-close this
+    // connection.
     struct ConnGuard<'a>(&'a ConnTable, Option<usize>);
     impl Drop for ConnGuard<'_> {
         fn drop(&mut self) {
@@ -380,14 +439,18 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             }
         }
     }
-    let _conn = ConnGuard(&shared.conns, shared.conns.register(&stream));
+    let _conn = ConnGuard(&shared.conns, shared.conns.register(&stream, &conn_token));
     let mut tenant = shared.tenants.default_tenant();
+    // Whether the HELLO negotiated the `deadline` capability; once set,
+    // every non-HELLO body carries a `[deadline_ms u32 le]` prefix.
+    let mut deadlines = false;
     let max = shared.config.max_message_bytes;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let (op, body) = match wire::read_request(&mut stream, max) {
+        let mut reader = DeadlineReader::new(&stream, shared.config.read_timeout);
+        let (op, body) = match wire::read_request(&mut reader, max) {
             Ok(Some(message)) => message,
             // Clean close, torn frame, timeout, or protocol garbage: a
             // best-effort typed refusal, then hang up either way.
@@ -405,23 +468,28 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         };
         Stats::tick(&shared.stats.requests, "ninec.serve.requests");
 
-        // HELLO re-binds the connection's tenant and skips admission
-        // (it does no codec work).
+        // HELLO re-binds the connection's tenant and negotiates
+        // capabilities; it skips admission (no codec work).
         if op == Op::Hello {
-            let name = String::from_utf8_lossy(&body);
-            let name = name.trim();
+            let text = String::from_utf8_lossy(&body);
+            let mut words = text.split_whitespace();
+            let name = words.next().unwrap_or_default();
+            let wants_deadline = words.any(|cap| cap == wire::CAP_DEADLINE);
             let (status, reply) = match shared.tenants.lookup(name) {
                 Some(found) => {
                     tenant = found;
-                    (
-                        Status::Ok,
-                        format!(
-                            "ninec-serve/{} proto {} tenant {}",
-                            env!("CARGO_PKG_VERSION"),
-                            wire::PROTOCOL_VERSION,
-                            tenant.name()
-                        ),
-                    )
+                    deadlines = wants_deadline;
+                    let mut greeting = format!(
+                        "ninec-serve/{} proto {} tenant {}",
+                        env!("CARGO_PKG_VERSION"),
+                        wire::PROTOCOL_VERSION,
+                        tenant.name()
+                    );
+                    if deadlines {
+                        greeting.push_str(" caps ");
+                        greeting.push_str(wire::CAP_DEADLINE);
+                    }
+                    (Status::Ok, greeting)
                 }
                 None => {
                     Stats::tick(&shared.stats.failed, "ninec.serve.failed");
@@ -432,12 +500,38 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 Stats::tick(&shared.stats.ok, "ninec.serve.ok");
             }
             if wire::write_response(&mut stream, status, 0, reply.as_bytes()).is_err() {
+                conn_token.cancel();
                 return;
             }
             continue;
         }
 
-        let (status, flags, reply) = admit_and_dispatch(shared, &tenant, op, &body);
+        // On negotiated connections every non-HELLO body is prefixed
+        // with the request's deadline budget (0 = none).
+        let (client_ms, body) = if deadlines {
+            match wire::split_deadline(&body) {
+                Some((ms, rest)) => (ms, rest),
+                None => {
+                    let _ = wire::write_response(
+                        &mut stream,
+                        Status::BadRequest,
+                        0,
+                        b"missing [deadline_ms u32] prefix on negotiated connection",
+                    );
+                    return;
+                }
+            }
+        } else {
+            (0, &body[..])
+        };
+        let client_budget = (client_ms > 0).then(|| Duration::from_millis(u64::from(client_ms)));
+        let budget = match (client_budget, shared.config.max_request_time) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (one, other) => one.or(other),
+        };
+        let cancel = conn_token.child_with_deadline(budget.map(|d| Instant::now() + d));
+
+        let (status, flags, reply) = admit_and_dispatch(shared, &tenant, op, body, &cancel);
         match status {
             Status::Ok => Stats::tick(&shared.stats.ok, "ninec.serve.ok"),
             Status::Partial => Stats::tick(&shared.stats.partial, "ninec.serve.partial"),
@@ -445,9 +539,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             Status::RateLimited => {
                 Stats::tick(&shared.stats.rate_limited, "ninec.serve.rate_limited");
             }
+            Status::DeadlineExceeded => {
+                Stats::tick(
+                    &shared.stats.deadline_exceeded,
+                    "ninec.serve.deadline_exceeded",
+                );
+            }
             _ => Stats::tick(&shared.stats.failed, "ninec.serve.failed"),
         }
         if wire::write_response(&mut stream, status, flags, &reply).is_err() {
+            conn_token.cancel();
             return;
         }
         let _ = stream.flush();
@@ -463,6 +564,7 @@ fn admit_and_dispatch(
     tenant: &Arc<Tenant>,
     op: Op,
     body: &[u8],
+    cancel: &CancelToken,
 ) -> (Status, u8, Vec<u8>) {
     if !tenant.try_admit() {
         return (
@@ -481,7 +583,7 @@ fn admit_and_dispatch(
     let degraded = shared.degraded();
     let flags = if degraded { wire::FLAG_DEGRADED } else { 0 };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        dispatch(shared, tenant, op, body, degraded)
+        dispatch(shared, tenant, op, body, degraded, cancel)
     }));
     match outcome {
         Ok((status, body)) => (status, flags, body),
@@ -501,6 +603,7 @@ fn dispatch(
     op: Op,
     body: &[u8],
     degraded: bool,
+    cancel: &CancelToken,
 ) -> (Status, Vec<u8>) {
     match op {
         Op::Hello => (Status::BadRequest, b"hello handled upstream".to_vec()),
@@ -515,9 +618,16 @@ fn dispatch(
                     format!("unknown policy byte {policy_byte}").into_bytes(),
                 );
             };
-            decode(shared, tenant, frame, policy, degraded)
+            decode(shared, tenant, frame, policy, degraded, cancel)
         }
-        Op::Repair => decode(shared, tenant, body, ninec::Policy::Repair, degraded),
+        Op::Repair => decode(
+            shared,
+            tenant,
+            body,
+            ninec::Policy::Repair,
+            degraded,
+            cancel,
+        ),
         Op::Info => info(tenant, body),
     }
 }
@@ -558,6 +668,7 @@ fn decode(
     frame: &[u8],
     requested: ninec::Policy,
     degraded: bool,
+    cancel: &CancelToken,
 ) -> (Status, Vec<u8>) {
     let policy = if degraded && requested != ninec::Policy::Strict {
         Stats::tick(&shared.stats.shed, "ninec.serve.shed");
@@ -565,7 +676,10 @@ fn decode(
     } else {
         requested
     };
-    match tenant.session().decode_frame(frame, policy) {
+    match tenant
+        .session_with_cancel(cancel.clone())
+        .decode_frame(frame, policy)
+    {
         Ok(outcome) => {
             let damaged = outcome
                 .report
@@ -584,6 +698,13 @@ fn decode(
                 Status::Partial
             };
             (status, body)
+        }
+        // A tripped token — client deadline, server ceiling, or the
+        // connection dying mid-decode — is a typed timeout, not a decode
+        // failure: the frame itself was never judged.
+        Err(e @ (ninec::DecodeError::Cancelled | ninec::DecodeError::DeadlineExceeded)) => {
+            ninec_obs::counter("ninec.serve.cancelled_jobs").add(1);
+            (Status::DeadlineExceeded, e.to_string().into_bytes())
         }
         Err(e) => (Status::Failed, e.to_string().into_bytes()),
     }

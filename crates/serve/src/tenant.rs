@@ -275,6 +275,13 @@ impl Tenant {
         &self.session
     }
 
+    /// A clone of the tenant's session with a per-request cancel token
+    /// attached — deadline-bounded requests decode through this so a
+    /// tripped token aborts their ladder at the next segment boundary.
+    pub fn session_with_cancel(&self, token: ninec::CancelToken) -> DecodeSession {
+        self.session.clone().cancel_token(token)
+    }
+
     /// Takes one rate-limit token; `true` when the request may proceed.
     /// Unlimited tenants always admit.
     #[must_use]

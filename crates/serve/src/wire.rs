@@ -12,9 +12,19 @@
 //! Response statuses deliberately mirror the CLI exit-code contract
 //! (`0` ok / `2` bad request / `3` failed / `4` io / `5` partial
 //! recovery) so a thin client can `exit(status)` and scripts observe the
-//! same numbers either way; `6` (busy) and `7` (rate limited) extend the
-//! contract with the two load-shedding outcomes that only exist over the
-//! wire.
+//! same numbers either way; `6` (busy), `7` (rate limited) and `8`
+//! (deadline exceeded) extend the contract with outcomes that only exist
+//! over the wire.
+//!
+//! ## Per-request deadlines (HELLO-negotiated)
+//!
+//! A client that wants deadline propagation appends capability tokens to
+//! its `HELLO` body: `tenant_name deadline` (whitespace-separated). A
+//! server that supports the capability echoes `caps deadline` in its
+//! greeting; from then on, every **non-HELLO** request body on that
+//! connection is prefixed with `[deadline_ms u32 le]` (`0` = none), and
+//! the server decodes under `min(client deadline, max_request_time)`.
+//! Old clients send a bare tenant name and are byte-for-byte unaffected.
 
 use std::io::{Read, Write};
 
@@ -26,6 +36,21 @@ pub const PROTOCOL_VERSION: u8 = 1;
 
 /// Response flag bit: the server answered in degraded (strict-only) mode.
 pub const FLAG_DEGRADED: u8 = 0b0000_0001;
+
+/// `HELLO` capability token requesting per-request deadline prefixes.
+pub const CAP_DEADLINE: &str = "deadline";
+
+/// Splits a deadline-capable request body into `(deadline_ms, rest)`.
+/// Only called on connections that negotiated [`CAP_DEADLINE`]; a body
+/// shorter than the 4-byte prefix is `None` (malformed).
+#[must_use]
+pub fn split_deadline(body: &[u8]) -> Option<(u32, &[u8])> {
+    if body.len() < 4 {
+        return None;
+    }
+    let ms = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+    Some((ms, &body[4..]))
+}
 
 /// Request verbs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +111,10 @@ pub enum Status {
     Busy = 6,
     /// The tenant's token bucket is empty. Retry after a pause.
     RateLimited = 7,
+    /// The request's deadline (client-sent or the server's
+    /// `max_request_time`) passed before the decode finished; in-flight
+    /// work was cancelled at the next segment boundary.
+    DeadlineExceeded = 8,
 }
 
 impl Status {
@@ -100,6 +129,7 @@ impl Status {
             5 => Some(Status::Partial),
             6 => Some(Status::Busy),
             7 => Some(Status::RateLimited),
+            8 => Some(Status::DeadlineExceeded),
             _ => None,
         }
     }
@@ -459,5 +489,19 @@ mod tests {
         assert_eq!(Status::Failed as u8, 3);
         assert_eq!(Status::Io as u8, 4);
         assert_eq!(Status::Partial as u8, 5);
+        assert_eq!(Status::Busy as u8, 6);
+        assert_eq!(Status::RateLimited as u8, 7);
+        assert_eq!(Status::DeadlineExceeded as u8, 8);
+        assert_eq!(Status::from_byte(8), Some(Status::DeadlineExceeded));
+        assert!(!Status::DeadlineExceeded.carries_payload());
+    }
+
+    #[test]
+    fn deadline_prefix_splits_and_rejects_short_bodies() {
+        let mut body = 1500u32.to_le_bytes().to_vec();
+        body.extend_from_slice(b"frame");
+        assert_eq!(split_deadline(&body), Some((1500, &b"frame"[..])));
+        assert_eq!(split_deadline(&0u32.to_le_bytes()), Some((0, &[][..])));
+        assert_eq!(split_deadline(&[1, 2, 3]), None);
     }
 }

@@ -28,15 +28,19 @@ grep -q '^#!\[deny(clippy::unwrap_used)\]' crates/core/src/engine/mod.rs || {
 # outside #[cfg(test)] in frame.rs (hostile bytes), pool.rs (panic
 # isolation), ecc.rs (GF(256) reconstruction feeds on damaged frames),
 # reader.rs (streaming bytes straight off a pipe), plan.rs (the one-pass
-# scan classifying hostile slots) and exec.rs (the priority executor under
-# every decode) — every failure there must be a typed error or a poisoned
-# result slot, never an abort. The whole serve crate is held to the same
-# bar: every byte it parses arrived over a socket from an untrusted peer,
-# and a panic in a handler thread is a denial of service for every tenant.
-echo "==> frame/pool/ecc/reader/plan/exec/serve no-unwrap/expect guard"
+# scan classifying hostile slots), exec.rs (the priority executor under
+# every decode) and cancel.rs (the cancellation token checked on every
+# worker's hot path) — every failure there must be a typed error or a
+# poisoned result slot, never an abort. The whole serve crate is held to
+# the same bar: every byte it parses arrived over a socket from an
+# untrusted peer (including the chaos proxy, which feeds itself torn
+# writes on purpose), and a panic in a handler thread is a denial of
+# service for every tenant.
+echo "==> frame/pool/ecc/reader/plan/exec/cancel/serve no-unwrap/expect guard"
 for f in crates/core/src/engine/frame.rs crates/core/src/engine/pool.rs \
          crates/core/src/engine/ecc.rs crates/core/src/engine/reader.rs \
          crates/core/src/engine/plan.rs crates/core/src/engine/exec.rs \
+         crates/core/src/engine/cancel.rs \
          crates/serve/src/*.rs; do
     head=$(sed '/#\[cfg(test)\]/q' "$f")
     if echo "$head" | grep -nE '\.(unwrap|expect)\(' >&2; then
@@ -91,7 +95,7 @@ NINEC_THREADS=8 cargo test -q -p ninec-serve --test tenant_isolation \
 echo "==> ninec --stats smoke test"
 cargo build -q --release -p ninec-cli
 smokedir="$(mktemp -d)"
-trap 'kill "${serve_pid:-}" 2>/dev/null || true; rm -rf "$smokedir"' EXIT
+trap 'kill "${serve_pid:-}" "${proxy_pid:-}" 2>/dev/null || true; rm -rf "$smokedir"' EXIT
 ./target/release/ninec generate custom:8,64,75 -o "$smokedir/t.cubes" >/dev/null
 # Capture to a file first: `| grep -q` would close the pipe at the first
 # match and race ninec's remaining writes into a broken-pipe i/o error.
@@ -266,6 +270,43 @@ grep -q 'repaired rung' "$smokedir/wirerepair.txt"
 cmp "$smokedir/wire.trits" "$smokedir/wirerepaired.trits"
 ./target/release/ninec client "$http_addr" metrics > "$smokedir/serve.prom"
 grep -q '^# TYPE ninec_serve_requests counter' "$smokedir/serve.prom"
+
+# Chaos smoke: put the in-repo fault-injection proxy between the client
+# and the still-running server at a 10% torn-write rate (seed 3 is
+# deterministic: among the first connections, ordinal 2 tears the
+# server->client stream after a few bytes). A retrying client must still
+# complete the compress/decompress roundtrip bit-exact — the torn attempt
+# surfaces as a transport error, the retry reconnects onto a clean path.
+echo "==> ninec chaos-proxy smoke test"
+./target/release/ninec chaos-proxy "$wire_addr" --torn-permille 100 --seed 3 \
+    > "$smokedir/proxy.log" 2>&1 &
+proxy_pid=$!
+for _ in $(seq 1 100); do
+    grep -q '^listening ' "$smokedir/proxy.log" 2>/dev/null && break
+    kill -0 "$proxy_pid" 2>/dev/null || {
+        echo "ninec chaos-proxy died on startup:" >&2
+        cat "$smokedir/proxy.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+proxy_addr=$(awk '/^listening /{print $2; exit}' "$smokedir/proxy.log")
+# Connection ordinals through the proxy: 0 = compress (clean), 1 = first
+# decompress (clean), 2 = second decompress (torn -> retried onto 3).
+./target/release/ninec client "$proxy_addr" compress "$smokedir/t.cubes" \
+    -o "$smokedir/chaos.9cf" --retries 6 >/dev/null
+./target/release/ninec client "$proxy_addr" decompress "$smokedir/chaos.9cf" \
+    -o "$smokedir/chaos1.trits" --retries 6 >/dev/null
+./target/release/ninec client "$proxy_addr" decompress "$smokedir/chaos.9cf" \
+    -o "$smokedir/chaos2.trits" --retries 6 >/dev/null
+# Bit-exact under faults: both proxied decodes agree with the fault-free
+# decode of the same payload over the direct wire path.
+cmp "$smokedir/chaos.9cf" "$smokedir/wire.9cf"
+cmp "$smokedir/chaos1.trits" "$smokedir/wire.trits"
+cmp "$smokedir/chaos2.trits" "$smokedir/wire.trits"
+kill "$proxy_pid"
+wait "$proxy_pid" 2>/dev/null || true
+proxy_pid=""
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
