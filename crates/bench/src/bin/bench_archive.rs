@@ -1,0 +1,174 @@
+//! Regenerates `results/BENCH_archive.json`: the durable `9CA` archive
+//! tier's three headline numbers — content-addressed dedup ratio on a
+//! redundant frame set, random-access range-decode latency vs decoding
+//! the whole frame, and scrubber throughput over the stored blobs.
+//!
+//! ```text
+//! cargo run -p ninec-bench --release --bin bench_archive [-- <out.json>]
+//! ```
+//!
+//! Run in `--release` — debug-build numbers are meaningless.
+
+use ninec::engine::{Archive, Engine, ScrubMode};
+use ninec_testdata::gen::SyntheticProfile;
+use ninec_testdata::trit::TritVec;
+use serde_json::json;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Frames appended to the benchmark archive. Half repeat earlier
+/// content so the dedup path has something to find, the way regression
+/// suites re-archive mostly-unchanged test sets.
+const FRAMES: usize = 8;
+/// Trit window for the random-access measurement.
+const RANGE_TRITS: usize = 512;
+/// Timed repetitions per measurement; the median is reported.
+const REPS: usize = 9;
+
+fn median_micros(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_archive.json".to_owned())
+        .into();
+    let engine = Engine::builder().segment_bits(1 << 12).parity(4, 1).build();
+
+    // A fresh archive in the temp dir; stale runs are truncated away.
+    let dir = std::env::temp_dir().join(format!("ninec_bench_archive_{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create bench dir");
+    let store = dir.join("bench.9ca");
+    let mut archive = Archive::create(&store, &engine).expect("create archive");
+
+    // Even frames repeat stream 1, odd frames are distinct: the dedup
+    // map should fold every even frame onto the first's blobs.
+    let streams: Vec<TritVec> = (0..FRAMES)
+        .map(|i| {
+            let seed = if i % 2 == 0 { 1 } else { 100 + i as u64 };
+            SyntheticProfile::new("bench-arc", 64, 2048, 0.72)
+                .generate(seed)
+                .as_stream()
+                .clone()
+        })
+        .collect();
+    let append_started = Instant::now();
+    let mut logical_frame_bytes = 0usize;
+    for stream in &streams {
+        let frame = engine.encode_frame(8, stream).expect("encode frame");
+        logical_frame_bytes += frame.len();
+        archive.append_frame(&frame).expect("append frame");
+    }
+    let append_secs = append_started.elapsed().as_secs_f64();
+    let stats = archive.stats();
+    eprintln!(
+        "{} frames, {} stored / {} logical bytes, dedup ratio {:.3}, appended in {:.1} ms",
+        stats.frames,
+        stats.stored_bytes,
+        stats.logical_bytes,
+        stats.dedup_ratio(),
+        append_secs * 1e3,
+    );
+    assert!(
+        stats.dedup_hits > 0,
+        "the repeated even frames must dedup against the first"
+    );
+
+    // Random access: a small window from the middle of the last frame,
+    // against extracting + decoding that whole frame. The seek index
+    // should make the range decode cheaper by roughly the frame/window
+    // segment ratio.
+    let last = stats.frames - 1;
+    let source_len = streams[last].len();
+    let start = (source_len - RANGE_TRITS) / 2;
+    let mut range_samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let trits = archive
+            .decode_range(last, start, RANGE_TRITS)
+            .expect("range decode");
+        assert_eq!(trits.len(), RANGE_TRITS);
+        range_samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let mut full_samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let bytes = archive.extract_frame(last).expect("extract frame");
+        let trits = engine.decode_frame(&bytes).expect("decode frame");
+        assert_eq!(trits.len(), source_len);
+        full_samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let range_us = median_micros(range_samples);
+    let full_us = median_micros(full_samples);
+    eprintln!(
+        "random access: {RANGE_TRITS} trits in {range_us:.1} us vs full decode {full_us:.1} us ({:.1}x)",
+        full_us / range_us.max(1e-9),
+    );
+
+    // Scrub throughput: a full check pass over every stored blob,
+    // CRC-validating data and parity alike.
+    let mut scrub_samples = Vec::with_capacity(REPS);
+    let mut scrubbed_segments = 0u64;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let report = archive.scrub(ScrubMode::Check).expect("scrub");
+        assert!(report.is_clean(), "a fresh archive must scrub clean");
+        scrubbed_segments = report.scrubbed_segments;
+        scrub_samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let scrub_us = median_micros(scrub_samples);
+    let scrub_mb_s = (stats.stored_bytes as f64 / (1 << 20) as f64) / (scrub_us / 1e6);
+    eprintln!(
+        "scrub: {scrubbed_segments} segment refs, {} stored bytes in {scrub_us:.1} us ({scrub_mb_s:.1} MiB/s)",
+        stats.stored_bytes,
+    );
+
+    // The vendored `json!` supports flat literals only; nested objects
+    // are assembled bottom-up.
+    let config = json!({
+        "frames": FRAMES,
+        "segment_bits": (1 << 12),
+        "parity": "4:1",
+        "range_trits": RANGE_TRITS,
+        "reps": REPS,
+    });
+    let dedup = json!({
+        "frames": stats.frames,
+        "stored_blobs": stats.stored_blobs,
+        "stored_bytes": stats.stored_bytes,
+        "logical_bytes": stats.logical_bytes,
+        "logical_frame_bytes": logical_frame_bytes,
+        "dedup_hits": stats.dedup_hits,
+        "dedup_ratio": stats.dedup_ratio(),
+        "append_ms": append_secs * 1e3,
+    });
+    let random_access = json!({
+        "range_trits": RANGE_TRITS,
+        "range_decode_us": range_us,
+        "full_decode_us": full_us,
+        "speedup": full_us / range_us.max(1e-9),
+    });
+    let scrub = json!({
+        "scrubbed_segments": scrubbed_segments,
+        "check_pass_us": scrub_us,
+        "throughput_mib_s": scrub_mb_s,
+    });
+    let doc = json!({
+        "experiment": "archive_tier",
+        "config": config,
+        "dedup": dedup,
+        "random_access": random_access,
+        "scrub": scrub,
+    });
+    if let Some(parent) = out.parent() {
+        fs::create_dir_all(parent).expect("create results dir");
+    }
+    let text = serde_json::to_string_pretty(&doc).expect("serialize results");
+    fs::write(&out, text + "\n").expect("write results");
+    println!("wrote {}", out.display());
+    let _ = fs::remove_file(&store);
+    let _ = fs::remove_file(archive.index_path());
+}

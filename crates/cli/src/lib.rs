@@ -21,7 +21,9 @@ pub mod format;
 
 use format::TeFile;
 use ninec::encode::Encoder;
-use ninec::engine::{frame, Engine, PlanEntry, Policy, SegmentRung};
+use ninec::engine::{
+    frame, Archive, ArchiveError, Engine, PlanEntry, Policy, ScrubMode, ScrubVerdict, SegmentRung,
+};
 use ninec::freqdir::encode_frequency_directed;
 use ninec::session::DecodeSession;
 use ninec_atpg::generate::{generate_tests, AtpgConfig};
@@ -138,11 +140,12 @@ impl From<std::io::Error> for CliError {
 /// through verbatim.
 pub const EXIT_CODES: &str = "\
 EXIT CODES:
-    0   success — including a damaged frame fully rebuilt by repair
-    2   usage error (bad flags or arguments)
+    0   success — including damage fully repaired by parity or by scrub
+    2   usage error (bad flags, arguments, or not a 9CSF/9CA container)
     3   operation failed on valid arguments (corrupt input, no output)
     4   i/o error
-    5   partial recovery: --salvage wrote output but segments were lost
+    5   partial recovery: --salvage wrote output but segments were lost,
+        or scrub found damage beyond the parity budget
     6   server busy: the admission window or handler queue refused (client)
     7   tenant over its request-rate budget (client)
     8   deadline exceeded: the server cancelled the decode in time (client)
@@ -159,9 +162,15 @@ USAGE:
     ninec compress   <in.cubes> -o <out.te|out.9cf> [-k <even>=8]
                      [--fill zero|one|random|mt|keep] [--seed <n>] [--freq-directed]
                      [--threads <n>] [--segment-bits <n>] [--parity <g>:<r>]
+                     [--verify]
     ninec decompress <in.te|in.9cf|-> -o <out.cubes> [--fill zero|one|random|mt|keep]
                      [--seed <n>] [--threads <n>] [--salvage] [--no-repair]
-    ninec info       <file.cubes|file.te|file.9cf>
+    ninec info       <file.cubes|file.te|file.9cf|file.9ca>
+    ninec archive    <in.9cf>... -o <out.9ca> [--verify] [--threads <n>]
+                     [--parity <g>:<r>] [--segment-bits <n>]
+    ninec extract    <in.9ca> -o <out> [--frame <i>] [--range <start>:<len>]
+                     [--verify]
+    ninec scrub      <in.9ca> [--check]
     ninec generate   <s5378|s9234|s13207|s15850|s38417|s38584|custom:P,L,X%>
                      -o <out.cubes> [--seed <n>]
     ninec atpg       <netlist.bench> -o <out.cubes>
@@ -172,11 +181,12 @@ USAGE:
                      [--tenants <file>] [--handler-threads <n>] [--threads <n>]
                      [--max-inflight <n>] [--degrade-threshold <n>]
                      [--segment-bits <n>] [--parity <g>:<r>]
-                     [--max-request-time-ms <n>]
-    ninec client     <addr> ping|compress|decompress|info|metrics [<file>]
+                     [--max-request-time-ms <n>] [--archive <file.9ca>]
+    ninec client     <addr> ping|compress|decompress|info|range|metrics [<file>]
                      [-o <out>] [-k <even>=8] [--tenant <name>]
                      [--salvage] [--no-repair]
                      [--retries <n>] [--deadline-ms <n>]
+                     [--frame <i>] [--range <start>:<len>]
     ninec chaos-proxy <upstream-addr> [--addr <ip:port>] [--delay-ms <n>]
                      [--throttle-bps <n>] [--torn-permille <n>]
                      [--blackhole-permille <n>] [--seed <n>]
@@ -222,6 +232,27 @@ REPAIR AND SALVAGE (binary `.9cf` frames):
     resolved on (strict/repaired/salvaged), the worker that decoded it
     and the decode wall-clock (--json for a machine-readable document).
     Exit code 5 when segments were lost, like a --salvage decompress.
+
+ARCHIVE & SCRUB (`.9ca` containers):
+    `archive` appends `.9cf` frames to a durable `9CA` archive: segment
+    blobs are content-addressed and deduplicated across frames, and
+    every append commits a new CRC-protected index epoch by atomic
+    rename — a crash at any byte leaves the previous epoch readable.
+    `extract` reassembles a frame byte-exactly (--frame <i>, default 0),
+    or decodes just a trit range via the seek index with
+    --range <start>:<len> (O(segments touched), not O(archive)).
+    `scrub` walks every stored blob's CRC and parity group: by default
+    it rebuilds rotted blobs from parity and rewrites them in place
+    under the same atomic-epoch discipline (exit 0 with a report);
+    --check only reports. Damage beyond the parity budget exits 5.
+    --verify re-reads what was just written (compress: re-decode the
+    frame and compare bit-exactly; archive/extract: re-extract and
+    re-decode) before exiting 0.
+
+DECODE LIMITS (hostile inputs):
+    --max-segments <n>  reject frames/archives claiming more segments
+    --max-total-alloc <n>  cap total decode-buffer bytes
+    Violations are typed failures (exit 3), never allocations.
 
 SERVING:
     `serve` runs a multi-tenant codec service speaking a length-prefixed
@@ -302,6 +333,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "compress" => compress(&rest, out),
             "decompress" => decompress(&rest, out),
             "info" => info(&rest, out),
+            "archive" => archive_cmd(&rest, out),
+            "extract" => extract_cmd(&rest, out),
+            "scrub" => scrub_cmd(&rest, out),
             "generate" => generate(&rest, out),
             "atpg" => atpg(&rest, out),
             "compare" => compare(&rest, out),
@@ -366,6 +400,9 @@ fn command_span_name(command: &str) -> &'static str {
         "compress" => "cli_compress",
         "decompress" => "cli_decompress",
         "info" => "cli_info",
+        "archive" => "cli_archive",
+        "extract" => "cli_extract",
+        "scrub" => "cli_scrub",
         "generate" => "cli_generate",
         "atpg" => "cli_atpg",
         "compare" => "cli_compare",
@@ -447,6 +484,15 @@ struct Opts {
     no_repair: bool,
     json: bool,
     parity: Option<(u8, u8)>,
+    // `archive` / `extract` / `scrub` flags.
+    verify: bool,
+    check: bool,
+    frame: Option<usize>,
+    range: Option<(usize, usize)>,
+    archive: Option<String>,
+    // Decode-limit knobs (any decoding command).
+    max_segments: Option<usize>,
+    max_total_alloc: Option<usize>,
     // `serve` / `client` flags.
     addr: Option<String>,
     http_addr: Option<String>,
@@ -681,6 +727,62 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 }
                 opts.blackhole_permille = Some(n);
             }
+            "--verify" => opts.verify = true,
+            "--check" => opts.check = true,
+            "--frame" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--frame needs an index".into()))?;
+                opts.frame = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --frame {v:?}")))?,
+                );
+            }
+            "--range" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--range needs <start>:<len>".into()))?;
+                let (s, l) = v.split_once(':').ok_or_else(|| {
+                    CliError::Usage(format!("--range wants <start>:<len>, got {v:?}"))
+                })?;
+                let start: usize = s
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --range start {s:?}")))?;
+                let len: usize = l
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --range length {l:?}")))?;
+                opts.range = Some((start, len));
+            }
+            "--archive" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--archive needs a .9ca path".into()))?;
+                opts.archive = Some(v.clone());
+            }
+            "--max-segments" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--max-segments needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --max-segments {v:?}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--max-segments must be >= 1".into()));
+                }
+                opts.max_segments = Some(n);
+            }
+            "--max-total-alloc" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--max-total-alloc needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --max-total-alloc {v:?}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--max-total-alloc must be >= 1".into()));
+                }
+                opts.max_total_alloc = Some(n);
+            }
             "--freq-directed" => opts.freq_directed = true,
             "--salvage" => opts.salvage = true,
             "--no-repair" => opts.no_repair = true,
@@ -743,7 +845,56 @@ fn engine_from_opts(opts: &Opts) -> Engine {
     if let Some((g, r)) = opts.parity {
         builder = builder.parity(g, r);
     }
+    if let Some(limits) = limits_from_opts(opts) {
+        builder = builder.limits(limits);
+    }
     builder.build()
+}
+
+/// Tightened hostile-input ceilings from `--max-segments` /
+/// `--max-total-alloc`, or `None` when neither flag was given.
+/// Violations surface as typed `LimitExceeded` failures (exit 3),
+/// never as allocations.
+fn limits_from_opts(opts: &Opts) -> Option<frame::DecodeLimits> {
+    if opts.max_segments.is_none() && opts.max_total_alloc.is_none() {
+        return None;
+    }
+    let mut limits = frame::DecodeLimits::default();
+    if let Some(n) = opts.max_segments {
+        limits.max_segments = n;
+    }
+    if let Some(n) = opts.max_total_alloc {
+        limits.max_total_alloc = n;
+    }
+    Some(limits)
+}
+
+/// The `--verify` guard: re-decodes `frame_bytes` in-process and
+/// compares the result against `expect`. Every care trit must survive
+/// bit-exact; positions that were X in `expect` may come back bound
+/// (the 9C code is free to fill them). Shared by `compress --verify`
+/// (expect = the source stream) and the archive verbs (expect = the
+/// decode of the frame that went in).
+fn verify_frame_bytes(
+    engine: &Engine,
+    what: &str,
+    frame_bytes: &[u8],
+    expect: &ninec_testdata::trit::TritVec,
+) -> Result<(), CliError> {
+    let decoded = engine
+        .decode_frame(frame_bytes)
+        .map_err(|e| CliError::Failed(format!("{what}: --verify re-decode failed: {e}")))?;
+    let matches = decoded.len() == expect.len()
+        && (0..expect.len()).all(|i| match expect.get(i) {
+            Some(t) if t.is_care() => decoded.get(i) == Some(t),
+            _ => decoded.get(i).is_some(),
+        });
+    if !matches {
+        return Err(CliError::Failed(format!(
+            "{what}: --verify mismatch: re-decode differs from the expected stream"
+        )));
+    }
+    Ok(())
 }
 
 fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -775,9 +926,13 @@ fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .encode_frame(k, stream)
             .map_err(|e| CliError::Failed(e.to_string()))?;
         fs::write(out_path, &bytes)?;
+        if opts.verify {
+            // The output exists; prove it round-trips before exiting 0.
+            verify_frame_bytes(&engine, input, &bytes, stream)?;
+        }
         writeln!(
             out,
-            "{input}: {} -> {} bits (CR {:.2}%), 9CSF frame, {} threads{}",
+            "{input}: {} -> {} bits (CR {:.2}%), 9CSF frame, {} threads{}{}",
             cubes.total_bits(),
             bytes.len() * 8,
             (cubes.total_bits() as f64 - (bytes.len() * 8) as f64)
@@ -788,8 +943,14 @@ fn compress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 Some((g, r)) => format!(", parity {g}:{r}"),
                 None => String::new(),
             },
+            if opts.verify { ", verified" } else { "" },
         )?;
         return Ok(());
+    }
+    if opts.verify {
+        return Err(CliError::Usage(
+            "--verify applies to the binary .9cf frame container only".into(),
+        ));
     }
     if opts.parity.is_some() {
         return Err(CliError::Usage(
@@ -889,6 +1050,9 @@ fn decompress(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         let mut session = DecodeSession::new();
         if let Some(threads) = opts.threads {
             session = session.threads(threads);
+        }
+        if let Some(limits) = limits_from_opts(&opts) {
+            session = session.limits(limits);
         }
         let plan = session
             .plan(&bytes)
@@ -1010,6 +1174,45 @@ fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let input = one_input(&opts)?;
     let bytes = fs::read(input)?;
+    if ninec::engine::archive::is_archive(&bytes) {
+        // A 9CA archive: open it (validating the epoch index under the
+        // engine's limits) and print the shape and dedup stats.
+        let engine = engine_from_opts(&opts);
+        let arc = Archive::open(input, &engine).map_err(|e| archive_err(input, e))?;
+        let stats = arc.stats();
+        writeln!(
+            out,
+            "{input}: 9CA archive, {} frames, {} data + {} parity segment refs, \
+             {} stored blobs ({} bytes for {} logical, dedup ratio {:.2}, {} hits), epoch {}",
+            stats.frames,
+            stats.data_segments,
+            stats.parity_segments,
+            stats.stored_blobs,
+            stats.stored_bytes,
+            stats.logical_bytes,
+            stats.dedup_ratio(),
+            stats.dedup_hits,
+            stats.epoch,
+        )?;
+        for i in 0..arc.frame_count() {
+            if let Some(fi) = arc.frame_info(i) {
+                writeln!(
+                    out,
+                    "  frame {i}: v{}, {} trits, {} segments + {} parity{}",
+                    fi.version,
+                    fi.source_len,
+                    fi.segments,
+                    fi.parity_segments,
+                    if fi.parity.1 > 0 {
+                        format!(" (parity {}:{})", fi.parity.0, fi.parity.1)
+                    } else {
+                        String::new()
+                    },
+                )?;
+            }
+        }
+        return Ok(());
+    }
     if frame::is_frame(&bytes) {
         // One plan build — a single header/CRC scan pass — keeps going
         // past damaged segments, so `info` prints the per-segment decode
@@ -1095,8 +1298,27 @@ fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         return Ok(());
     }
-    let text = String::from_utf8(bytes)
-        .map_err(|_| CliError::Failed(format!("{input}: not a .te, 9CSF, or cube file")))?;
+    // Binary bytes that are neither container: a typed usage error
+    // naming the magic we actually saw, so a mis-pointed script learns
+    // what the file was instead of getting a generic parse failure.
+    // Control bytes count as binary even when they happen to decode as
+    // UTF-8 (an ELF header is valid UTF-8 but is not a cube file).
+    let looks_binary = bytes
+        .iter()
+        .any(|&b| b == 0x7F || (b < 0x20 && b != b'\t' && b != b'\n' && b != b'\r'));
+    if looks_binary {
+        return Err(CliError::Usage(format!(
+            "{input}: not a 9CSF/9CA container (leading bytes {:02x?})",
+            &bytes[..bytes.len().min(4)]
+        )));
+    }
+    let text = String::from_utf8(bytes).map_err(|e| {
+        let b = e.as_bytes();
+        CliError::Usage(format!(
+            "{input}: not a 9CSF/9CA container (leading bytes {:02x?})",
+            &b[..b.len().min(4)]
+        ))
+    })?;
     if let Ok(te) = TeFile::parse(&text) {
         writeln!(
             out,
@@ -1114,6 +1336,172 @@ fn info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let cubes = ninec_testdata::io::parse_test_set(&text)
         .map_err(|e| CliError::Failed(format!("{input}: not a .te or cube file ({e})")))?;
     writeln!(out, "{input}: cube file, {}", TestSetStats::compute(&cubes))?;
+    Ok(())
+}
+
+/// Maps an [`ArchiveError`] onto the CLI contract: pointing a verb at
+/// something that is not an archive is a usage error (2), I/O problems
+/// are 4, and everything else — corrupt indexes, rotted blobs, torn
+/// appends, limit bombs — is an operation failure (3).
+fn archive_err(input: &str, e: ArchiveError) -> CliError {
+    match e {
+        ArchiveError::Io { what, source } => CliError::Io(std::io::Error::new(
+            source.kind(),
+            format!("{input}: {what}: {source}"),
+        )),
+        ArchiveError::NotAnArchive { found } => CliError::Usage(format!(
+            "{input}: not a 9CSF/9CA container (leading bytes {found:02x?})"
+        )),
+        other => CliError::Failed(format!("{input}: {other}")),
+    }
+}
+
+fn archive_cmd(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    if opts.positional.is_empty() {
+        return Err(CliError::Usage(
+            "archive wants one or more input .9cf frames".into(),
+        ));
+    }
+    let out_path = output(&opts)?;
+    let arc_name = out_path.display().to_string();
+    let engine = engine_from_opts(&opts);
+    let mut arc =
+        Archive::open_or_create(out_path, &engine).map_err(|e| archive_err(&arc_name, e))?;
+    for input in &opts.positional {
+        let bytes = fs::read(input)?;
+        if !frame::is_frame(&bytes) {
+            return Err(CliError::Usage(format!(
+                "{input}: not a 9CSF frame (archive inputs must be .9cf)"
+            )));
+        }
+        let receipt = arc
+            .append_frame(&bytes)
+            .map_err(|e| archive_err(input, e))?;
+        if opts.verify {
+            // Same guard as `compress --verify`: what the archive hands
+            // back must be the byte-exact frame, and its re-decode must
+            // match the decode of what went in.
+            let extracted = arc
+                .extract_frame(receipt.frame)
+                .map_err(|e| archive_err(&arc_name, e))?;
+            if extracted != bytes {
+                return Err(CliError::Failed(format!(
+                    "{input}: --verify mismatch: extracted frame differs from the input"
+                )));
+            }
+            let expect = engine
+                .decode_frame(&bytes)
+                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+            verify_frame_bytes(&engine, input, &extracted, &expect)?;
+        }
+        writeln!(
+            out,
+            "{input}: frame {} — {} segments, {} dedup hits, {} new bytes{}",
+            receipt.frame,
+            receipt.segments,
+            receipt.dedup_hits,
+            receipt.new_bytes,
+            if opts.verify { ", verified" } else { "" },
+        )?;
+    }
+    let stats = arc.stats();
+    writeln!(
+        out,
+        "{arc_name}: {} frames, {} stored blobs, {} stored bytes for {} logical \
+         (dedup ratio {:.2}), epoch {}",
+        stats.frames,
+        stats.stored_blobs,
+        stats.stored_bytes,
+        stats.logical_bytes,
+        stats.dedup_ratio(),
+        stats.epoch,
+    )?;
+    Ok(())
+}
+
+fn extract_cmd(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let input = one_input(&opts)?;
+    let engine = engine_from_opts(&opts);
+    let arc = Archive::open(input, &engine).map_err(|e| archive_err(input, e))?;
+    let frame_idx = opts.frame.unwrap_or(0);
+    if let Some((start, len)) = opts.range {
+        // Random access through the seek index: only the overlapping
+        // segment blobs are read and decoded.
+        let trits = arc
+            .decode_range(frame_idx, start, len)
+            .map_err(|e| archive_err(input, e))?;
+        fs::write(output(&opts)?, trits.to_string())?;
+        writeln!(
+            out,
+            "{input}: frame {frame_idx} trits {start}..{} via random access",
+            start + len,
+        )?;
+        return Ok(());
+    }
+    let bytes = arc
+        .extract_frame(frame_idx)
+        .map_err(|e| archive_err(input, e))?;
+    if opts.verify {
+        let expect = engine
+            .decode_frame(&bytes)
+            .map_err(|e| CliError::Failed(format!("{input}: frame {frame_idx}: {e}")))?;
+        verify_frame_bytes(&engine, input, &bytes, &expect)?;
+    }
+    fs::write(output(&opts)?, &bytes)?;
+    writeln!(
+        out,
+        "{input}: frame {frame_idx} -> {} bytes{}",
+        bytes.len(),
+        if opts.verify { ", verified" } else { "" },
+    )?;
+    Ok(())
+}
+
+fn scrub_cmd(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_opts(args)?;
+    let input = one_input(&opts)?;
+    let engine = engine_from_opts(&opts);
+    let mut arc = Archive::open(input, &engine).map_err(|e| archive_err(input, e))?;
+    let mode = if opts.check {
+        ScrubMode::Check
+    } else {
+        ScrubMode::Repair
+    };
+    let report = arc.scrub(mode).map_err(|e| archive_err(input, e))?;
+    writeln!(
+        out,
+        "{input}: scrubbed {} segment refs — {} repaired, {} degraded, {} lost (epoch {})",
+        report.scrubbed_segments,
+        report.repaired_segments,
+        report.degraded_segments,
+        report.lost_segments,
+        arc.epoch(),
+    )?;
+    for f in &report.findings {
+        let verdict = match f.verdict {
+            ScrubVerdict::Clean => "clean".to_string(),
+            ScrubVerdict::Repaired => "repaired bit-exact".to_string(),
+            ScrubVerdict::Degraded { remaining_budget } => {
+                format!("degraded (parity budget {remaining_budget} remaining)")
+            }
+            ScrubVerdict::Lost => "lost (beyond the parity budget)".to_string(),
+        };
+        writeln!(
+            out,
+            "  frame {} group {}: {verdict} — segments {:?}",
+            f.frame, f.group, f.segments,
+        )?;
+    }
+    if report.needs_attention() {
+        // Rot the scrub could not (or, in --check, did not) repair:
+        // exit 5, like a lossy salvage — the report above was written.
+        return Err(CliError::PartialRecovery(format!(
+            "{input}: {} degraded and {} lost segment refs remain",
+            report.degraded_segments, report.lost_segments,
+        )));
+    }
     Ok(())
 }
 
@@ -1384,6 +1772,7 @@ fn serve_config_from_opts(opts: &Opts) -> Result<ninec_serve::ServeConfig, CliEr
         // client's own deadline (if any) allows.
         config.max_request_time = (ms > 0).then(|| std::time::Duration::from_millis(ms));
     }
+    config.archive.clone_from(&opts.archive);
     Ok(config)
 }
 
@@ -1475,7 +1864,7 @@ fn client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         [addr, verb, rest @ ..] => (addr.as_str(), verb.as_str(), rest),
         _ => {
             return Err(CliError::Usage(
-                "client wants <addr> ping|compress|decompress|info|metrics".into(),
+                "client wants <addr> ping|compress|decompress|info|range|metrics".into(),
             ))
         }
     };
@@ -1588,8 +1977,41 @@ fn client(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             write!(out, "{info}")?;
             Ok(())
         }
+        "range" => {
+            // Random access into the server's hosted archive: nothing
+            // is uploaded, only the 20-byte coordinate triple.
+            if !rest.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "client range takes --frame/--range flags only, got {rest:?}"
+                )));
+            }
+            let Some((start, len)) = opts.range else {
+                return Err(CliError::Usage(
+                    "client range wants --range <start>:<len>".into(),
+                ));
+            };
+            let frame = opts.frame.unwrap_or(0);
+            let frame = u32::try_from(frame)
+                .map_err(|_| CliError::Usage(format!("--frame {frame} does not fit the wire")))?;
+            let trits = client
+                .archive_range(frame, start as u64, len as u64)
+                .map_err(client_err)?;
+            match &opts.output {
+                Some(path) => {
+                    fs::write(path, trits.as_bytes())?;
+                    writeln!(
+                        out,
+                        "frame {frame} trits {start}..{}: {} trits written",
+                        start + len,
+                        trits.len()
+                    )?;
+                }
+                None => writeln!(out, "{trits}")?,
+            }
+            Ok(())
+        }
         other => Err(CliError::Usage(format!(
-            "unknown client verb {other:?} (want ping|compress|decompress|info|metrics)"
+            "unknown client verb {other:?} (want ping|compress|decompress|info|range|metrics)"
         ))),
     }
 }
@@ -2268,6 +2690,55 @@ mod tests {
     }
 
     #[test]
+    fn client_range_reads_a_hosted_archive() {
+        let dir = tmpdir("cliarcrange");
+        let (frame, _) = small_v3_frame(&dir);
+        let arc = dir.join("hosted.9ca");
+        let _ = fs::remove_file(&arc);
+        run_ok(&["archive", path_str(&frame), "-o", path_str(&arc)]);
+        let mut server = ninec_serve::Server::start(ninec_serve::ServeConfig {
+            archive: Some(path_str(&arc).to_string()),
+            ..ninec_serve::ServeConfig::default()
+        })
+        .expect("ephemeral server starts");
+        let addr = server.addr().to_string();
+        // The served range must match the local random-access decode.
+        let local = dir.join("local.txt");
+        run_ok(&[
+            "extract",
+            path_str(&arc),
+            "--range",
+            "5:20",
+            "-o",
+            path_str(&local),
+        ]);
+        let remote = dir.join("remote.txt");
+        let msg = run_ok(&[
+            "client",
+            &addr,
+            "range",
+            "--frame",
+            "0",
+            "--range",
+            "5:20",
+            "-o",
+            path_str(&remote),
+        ]);
+        assert!(msg.contains("20 trits written"), "{msg}");
+        assert_eq!(
+            fs::read_to_string(&remote).unwrap(),
+            fs::read_to_string(&local).unwrap()
+        );
+        // Missing coordinates are a usage error before anything is sent.
+        let err = run_err(&["client", &addr, "range"]);
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        // Out-of-range coordinates come back as the wire's BadRequest.
+        let err = run_err(&["client", &addr, "range", "--frame", "7", "--range", "0:1"]);
+        assert!(matches!(err, CliError::Service { code: 2, .. }), "{err:?}");
+        server.shutdown();
+    }
+
+    #[test]
     fn client_maps_wire_refusals_onto_exit_codes() {
         let mut server = ninec_serve::Server::start(ninec_serve::ServeConfig::default())
             .expect("ephemeral server starts");
@@ -2620,5 +3091,184 @@ mod tests {
         if ninec_obs::is_compiled() {
             assert!(!text.is_empty(), "recorder-on jsonl dump must have events");
         }
+    }
+
+    /// Generates cubes and compresses them into a parity-protected
+    /// frame; returns `(frame path, frame bytes)`.
+    fn small_v3_frame(dir: &Path) -> (PathBuf, Vec<u8>) {
+        let cubes = dir.join("a.cubes");
+        let frame = dir.join("a.9cf");
+        run_ok(&["generate", "custom:12,48,70", "-o", path_str(&cubes)]);
+        run_ok(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&frame),
+            "--segment-bits",
+            "192",
+            "--parity",
+            "2:1",
+            "--verify",
+        ]);
+        let bytes = fs::read(&frame).unwrap();
+        (frame, bytes)
+    }
+
+    #[test]
+    fn archive_extract_scrub_roundtrip() {
+        let dir = tmpdir("archive_roundtrip");
+        let (frame, frame_bytes) = small_v3_frame(&dir);
+        let arc = dir.join("a.9ca");
+        let _ = fs::remove_file(&arc);
+
+        // Two appends of the same frame: full dedup, both verified.
+        let msg = run_ok(&[
+            "archive",
+            path_str(&frame),
+            path_str(&frame),
+            "-o",
+            path_str(&arc),
+            "--verify",
+        ]);
+        assert!(msg.contains("verified"), "{msg}");
+        assert!(msg.contains("2 frames"), "{msg}");
+
+        // `info` sniffs the archive and reports the dedup shape.
+        let msg = run_ok(&["info", path_str(&arc)]);
+        assert!(msg.contains("9CA archive"), "{msg}");
+        assert!(msg.contains("dedup ratio"), "{msg}");
+        assert!(msg.contains("parity 2:1"), "{msg}");
+
+        // Byte-exact extraction of the second frame.
+        let back = dir.join("back.9cf");
+        let msg = run_ok(&[
+            "extract",
+            path_str(&arc),
+            "--frame",
+            "1",
+            "-o",
+            path_str(&back),
+            "--verify",
+        ]);
+        assert!(msg.contains("verified"), "{msg}");
+        assert_eq!(fs::read(&back).unwrap(), frame_bytes);
+
+        // Random access through the seek index: text over {0,1,X}.
+        let range_out = dir.join("range.txt");
+        run_ok(&[
+            "extract",
+            path_str(&arc),
+            "--range",
+            "5:20",
+            "-o",
+            path_str(&range_out),
+        ]);
+        let text = fs::read_to_string(&range_out).unwrap();
+        assert_eq!(text.len(), 20, "{text:?}");
+        assert!(text.chars().all(|c| "01X".contains(c)), "{text:?}");
+
+        // A clean scrub exits 0.
+        let msg = run_ok(&["scrub", path_str(&arc)]);
+        assert!(msg.contains("0 lost"), "{msg}");
+    }
+
+    #[test]
+    fn scrub_repairs_rot_and_check_reports_it() {
+        let dir = tmpdir("archive_scrub");
+        let (frame, frame_bytes) = small_v3_frame(&dir);
+        let arc = dir.join("s.9ca");
+        let _ = fs::remove_file(&arc);
+        run_ok(&["archive", path_str(&frame), "-o", path_str(&arc)]);
+
+        // Rot one byte of the first stored blob (past the 12-byte store
+        // header, inside the CRC-covered segment header).
+        let mut store = fs::read(&arc).unwrap();
+        store[16] ^= 0xFF;
+        fs::write(&arc, &store).unwrap();
+
+        // --check reports without repairing: exit 5.
+        let err = run_err(&["scrub", path_str(&arc), "--check"]);
+        assert!(matches!(err, CliError::PartialRecovery(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 5);
+
+        // Repair mode rebuilds from parity and exits 0 with a report.
+        let msg = run_ok(&["scrub", path_str(&arc)]);
+        assert!(msg.contains("1 repaired"), "{msg}");
+        assert!(msg.contains("repaired bit-exact"), "{msg}");
+
+        // The store is healed: extraction is byte-exact again.
+        let back = dir.join("healed.9cf");
+        run_ok(&["extract", path_str(&arc), "-o", path_str(&back)]);
+        assert_eq!(fs::read(&back).unwrap(), frame_bytes);
+    }
+
+    #[test]
+    fn info_on_binary_junk_is_a_typed_usage_error() {
+        let dir = tmpdir("info_junk");
+        let junk = dir.join("junk.bin");
+        fs::write(&junk, [0x7Fu8, 0x45, 0x4C, 0x46, 0x02, 0x01]).unwrap();
+        let err = run_err(&["info", path_str(&junk)]);
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("not a 9CSF/9CA container"), "{msg}");
+        assert!(msg.contains("7f"), "{msg}");
+        // Pointing an archive verb at junk is the same typed rejection.
+        let err = run_err(&["scrub", path_str(&junk)]);
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn decode_limit_flags_reject_over_budget_inputs_with_exit_3() {
+        let dir = tmpdir("limit_flags");
+        let (frame, _) = small_v3_frame(&dir);
+        let arc = dir.join("l.9ca");
+        let _ = fs::remove_file(&arc);
+        run_ok(&["archive", path_str(&frame), "-o", path_str(&arc)]);
+
+        // The frame has several segments; a ceiling of 1 is a typed
+        // failure (exit 3) on both the frame and the archive paths.
+        let err = run_err(&[
+            "decompress",
+            path_str(&frame),
+            "-o",
+            path_str(&dir.join("out.cubes")),
+            "--max-segments",
+            "1",
+        ]);
+        assert!(matches!(err, CliError::Failed(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 3);
+        let err = run_err(&["info", path_str(&arc), "--max-segments", "1"]);
+        assert!(matches!(err, CliError::Failed(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 3);
+        let err = run_err(&[
+            "extract",
+            path_str(&arc),
+            "-o",
+            path_str(&dir.join("x.9cf")),
+            "--max-total-alloc",
+            "4",
+        ]);
+        assert!(matches!(err, CliError::Failed(_)), "{err:?}");
+        // Flag validation.
+        assert!(matches!(
+            run_err(&["info", "x", "--max-segments", "0"]),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn verify_flag_is_frames_only() {
+        let dir = tmpdir("verify_te");
+        let cubes = dir.join("v.cubes");
+        run_ok(&["generate", "custom:4,16,60", "-o", path_str(&cubes)]);
+        let err = run_err(&[
+            "compress",
+            path_str(&cubes),
+            "-o",
+            path_str(&dir.join("v.te")),
+            "--verify",
+        ]);
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
     }
 }

@@ -1,8 +1,8 @@
 //! Deterministic fault-injection points for the engine's decode path.
 //!
-//! A [`FailPoint`] names a *site* (today only `seg`, the per-segment
-//! decode task), an optional segment index (`*` matches every segment)
-//! and an [`Action`] to take when the site is hit:
+//! A [`FailPoint`] names a *site* (`seg`, the per-segment decode task,
+//! or `arc`, the archive append write path), an optional index (`*`
+//! matches every index) and an [`Action`] to take when the site is hit:
 //!
 //! - `panic` — the worker task panics (exercises the pool's panic
 //!   isolation and [`crate::decode::DecodeError::WorkerPanicked`]);
@@ -10,7 +10,12 @@
 //!   merge ordering under skew; default 1 ms);
 //! - `corrupt` — the task's decoded output has its first trit flipped
 //!   *after* a successful decode (a torn write: CRC passed, output is
-//!   silently wrong — what downstream verification must catch).
+//!   silently wrong — what downstream verification must catch);
+//! - `kill` — (site `arc` only) the archive append stops dead once the
+//!   armed byte boundary is crossed, leaving exactly `index` bytes of
+//!   the append on disk — a deterministic stand-in for `kill -9` used
+//!   by the torn-append harness to prove the previous index epoch
+//!   stays fully readable.
 //!
 //! Fail points are configured **per [`Engine`](crate::engine::Engine)**,
 //! not process-globally, so concurrently running tests can never arm each
@@ -26,9 +31,9 @@
 //! ```text
 //! spec     := point (';' point)*
 //! point    := site ':' index ':' action
-//! site     := "seg"
+//! site     := "seg" | "arc"
 //! index    := decimal | '*'
-//! action   := "panic" | "delay" (':' millis)? | "corrupt"
+//! action   := "panic" | "delay" (':' millis)? | "corrupt" | "kill"
 //! ```
 //!
 //! e.g. `NINEC_FAILPOINT='seg:3:panic'` or `seg:*:delay:5;seg:0:corrupt`.
@@ -46,6 +51,12 @@ pub const ENV: &str = "NINEC_FAILPOINT";
 /// The per-segment decode site name.
 pub const SITE_SEG: &str = "seg";
 
+/// The archive append write-path site name. The fail-point *index* is
+/// the byte boundary (within one append's writes to the `9ca` data
+/// file) past which a [`Action::Kill`] point stops the process's
+/// writes, simulating a crash at exactly that offset.
+pub const SITE_ARC: &str = "arc";
+
 /// What an armed fail point does when hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {
@@ -59,6 +70,11 @@ pub enum Action {
     /// Flip the first trit of the task's output after a successful
     /// decode (simulates a torn write past the CRC check).
     Corrupt,
+    /// Stop an archive append dead at the armed byte boundary: bytes up
+    /// to the boundary reach the data file, nothing after does, and the
+    /// append returns a torn-write error without ever committing a new
+    /// index epoch (simulates `kill -9` mid-append).
+    Kill,
 }
 
 /// One armed fault-injection point.
@@ -125,8 +141,8 @@ pub fn parse_spec(spec: &str) -> Result<Vec<FailPoint>, ParseError> {
         };
         let mut parts = fragment.split(':');
         let site = parts.next().unwrap_or_default();
-        if site != SITE_SEG {
-            return Err(err("unknown site (expected \"seg\")"));
+        if site != SITE_SEG && site != SITE_ARC {
+            return Err(err("unknown site (expected \"seg\" or \"arc\")"));
         }
         let index = match parts.next() {
             Some("*") => None,
@@ -148,9 +164,16 @@ pub fn parse_spec(spec: &str) -> Result<Vec<FailPoint>, ParseError> {
                 Action::Delay { millis }
             }
             Some("corrupt") => Action::Corrupt,
-            _ => return Err(err("unknown action (panic | delay[:millis] | corrupt)")),
+            Some("kill") => Action::Kill,
+            _ => {
+                return Err(err(
+                    "unknown action (panic | delay[:millis] | corrupt | kill)",
+                ))
+            }
         };
-        if matches!(action, Action::Panic | Action::Corrupt) && parts.next().is_some() {
+        if matches!(action, Action::Panic | Action::Corrupt | Action::Kill)
+            && parts.next().is_some()
+        {
             return Err(err("trailing spec components"));
         }
         out.push(FailPoint {
@@ -200,6 +223,19 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert_eq!(points[1].action, Action::Corrupt);
         assert!(parse_spec("").expect("empty spec is fine").is_empty());
+    }
+
+    #[test]
+    fn parses_arc_kill_points() {
+        assert_eq!(
+            parse_spec("arc:47:kill").expect("valid"),
+            vec![FailPoint {
+                site: "arc".into(),
+                index: Some(47),
+                action: Action::Kill,
+            }]
+        );
+        assert!(parse_spec("arc:1:kill:now").is_err());
     }
 
     #[test]

@@ -141,6 +141,12 @@ pub struct DecodeLimits {
     /// a typed [`FrameError::LimitExceeded`] — bounds the scan's worst
     /// case on adversarial input.
     pub max_resync_probes: usize,
+    /// Maximum byte size of a `9CA` archive epoch index
+    /// ([`crate::engine::archive`]) this reader will load. An archive
+    /// index is parsed *before* any per-frame allocation, so a bombed
+    /// index claiming absurd record counts is rejected here with
+    /// [`FrameError::LimitExceeded`] instead of exhausting memory.
+    pub max_index_bytes: usize,
 }
 
 impl Default for DecodeLimits {
@@ -150,6 +156,7 @@ impl Default for DecodeLimits {
             max_segment_trits: 1 << 28,
             max_total_alloc: 1 << 30,
             max_resync_probes: 1 << 20,
+            max_index_bytes: 1 << 26,
         }
     }
 }
@@ -165,6 +172,7 @@ impl DecodeLimits {
             max_segment_trits: usize::MAX,
             max_total_alloc: usize::MAX,
             max_resync_probes: usize::MAX,
+            max_index_bytes: usize::MAX,
         }
     }
 

@@ -52,6 +52,7 @@
 //! ```
 #![deny(clippy::unwrap_used)]
 
+pub mod archive;
 pub mod audit;
 pub mod cancel;
 pub mod ecc;
@@ -62,7 +63,9 @@ pub mod plan;
 pub mod pool;
 pub mod reader;
 pub mod salvage;
+pub mod scrub;
 
+pub use archive::{Archive, ArchiveError, ArchiveStats, FrameInfo};
 pub use audit::{DecodeAudit, SegmentAudit, SegmentRung};
 pub use cancel::{CancelToken, Trip};
 pub use ecc::{EccError, ParityCoder};
@@ -71,6 +74,7 @@ pub use frame::{DamageReason, DecodeLimits, FrameError};
 pub use plan::{FramePlan, PlanEntry, Policy};
 pub use reader::{FrameReader, ReadError, StreamItem};
 pub use salvage::{DamagedSegment, SalvageReport};
+pub use scrub::{ScrubFinding, ScrubMode, ScrubReport, ScrubVerdict};
 
 /// A cheaply clonable, thread-safe handle to one [`Engine`].
 ///

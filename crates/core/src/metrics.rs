@@ -218,6 +218,44 @@ pub fn publish_repair_failures(n: u64) {
     ninec_obs::global().counter(ECC_REPAIR_FAILURES).add(n);
 }
 
+/// Counter: segments whose CRC (and, where grouped, parity) the archive
+/// scrubber walked.
+pub const ARCHIVE_SCRUBBED_SEGMENTS: &str = "ninec.archive.scrubbed_segments";
+/// Counter: rotted archive segments rebuilt byte-exactly from parity and
+/// rewritten in place by the scrubber.
+pub const ARCHIVE_REPAIRED_SEGMENTS: &str = "ninec.archive.repaired_segments";
+/// Counter: archive segments beyond the parity budget — unreadable and
+/// unrecoverable.
+pub const ARCHIVE_LOST_SEGMENTS: &str = "ninec.archive.lost_segments";
+/// Counter: segment appends satisfied by the content-addressed dedup
+/// table instead of new data-file bytes.
+pub const ARCHIVE_DEDUP_HITS: &str = "ninec.archive.dedup_hits";
+
+/// Flushes one scrub pass's tallies (segments walked / repaired / lost)
+/// into the global registry — one batched flush per scrub.
+pub fn publish_archive_scrub(scrubbed: u64, repaired: u64, lost: u64) {
+    if !ninec_obs::runtime_enabled() {
+        return;
+    }
+    let reg = ninec_obs::global();
+    reg.counter(ARCHIVE_SCRUBBED_SEGMENTS).add(scrubbed);
+    if repaired > 0 {
+        reg.counter(ARCHIVE_REPAIRED_SEGMENTS).add(repaired);
+    }
+    if lost > 0 {
+        reg.counter(ARCHIVE_LOST_SEGMENTS).add(lost);
+    }
+}
+
+/// Records segment appends deduplicated against already-stored blobs
+/// (batched once per archive append).
+pub fn publish_archive_dedup_hits(n: u64) {
+    if !ninec_obs::runtime_enabled() || n == 0 {
+        return;
+    }
+    ninec_obs::global().counter(ARCHIVE_DEDUP_HITS).add(n);
+}
+
 /// Counter: decode runs completed.
 pub const DECODE_RUNS: &str = "ninec.decode.runs";
 /// Counter: blocks decoded.

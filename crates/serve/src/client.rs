@@ -329,6 +329,26 @@ impl Client {
         Self::expect_payload(response).map(|r| r.text())
     }
 
+    /// Decodes `len` trits starting at `start` from frame `frame` of
+    /// the server's hosted `9CA` archive; returns the trit text. The
+    /// server reads only the segments the range touches.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`Status::BadRequest`] when no
+    /// archive is hosted or the coordinates are out of range, `Failed`
+    /// for rot or decode failures.
+    pub fn archive_range(
+        &mut self,
+        frame: u32,
+        start: u64,
+        len: u64,
+    ) -> Result<String, ClientError> {
+        let body = wire::encode_archive_range(frame, start, len);
+        let response = self.roundtrip(Op::ArchiveRange, &body)?;
+        Self::expect_payload(response).map(|r| r.text())
+    }
+
     fn parse_decode_reply(response: Response) -> Result<DecodeReply, ClientError> {
         let response = Self::expect_payload(response)?;
         let partial = response.status == Status::Partial;
@@ -510,6 +530,20 @@ impl RetryingClient {
     /// As [`Client::info`], after retries are exhausted.
     pub fn info(&mut self, frame: &[u8]) -> Result<String, ClientError> {
         self.with_retry(|client| client.info(frame))
+    }
+
+    /// As [`Client::archive_range`], with retries.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::archive_range`], after retries are exhausted.
+    pub fn archive_range(
+        &mut self,
+        frame: u32,
+        start: u64,
+        len: u64,
+    ) -> Result<String, ClientError> {
+        self.with_retry(|client| client.archive_range(frame, start, len))
     }
 
     /// `true` for failures where a retry can plausibly change the

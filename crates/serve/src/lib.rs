@@ -109,6 +109,11 @@ pub struct ServeConfig {
     /// Tenant declarations (see [`tenant::parse_tenants`]); the
     /// unlimited `default` tenant always exists in addition.
     pub tenants: Vec<TenantConfig>,
+    /// Path of a `9CA` archive to host for
+    /// [`Op::ArchiveRange`](wire::Op::ArchiveRange) random-access range
+    /// decodes. Opened (and its epoch index validated) at startup;
+    /// `None` answers the verb with `BadRequest`.
+    pub archive: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +134,7 @@ impl Default for ServeConfig {
             http_read_timeout: Duration::from_secs(5),
             max_request_time: Some(Duration::from_secs(60)),
             tenants: Vec::new(),
+            archive: None,
         }
     }
 }

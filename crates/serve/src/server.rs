@@ -36,7 +36,7 @@
 use crate::tenant::{Tenant, TenantRegistry};
 use crate::wire::{self, Op, Status};
 use crate::{http, ServeConfig};
-use ninec::engine::active_jobs;
+use ninec::engine::{active_jobs, Archive, ArchiveError};
 use ninec::{CancelToken, SharedEngine};
 use ninec_testdata::trit::TritVec;
 use std::io::{Read, Write};
@@ -117,6 +117,10 @@ struct Shared {
     inflight: AtomicUsize,
     stop: Arc<AtomicBool>,
     conns: ConnTable,
+    /// The hosted `9CA` archive for `ARCHIVE_RANGE`, opened (epoch index
+    /// validated) at startup. Range decodes take `&self`, so handler
+    /// threads share it without locking.
+    archive: Option<Archive>,
 }
 
 /// Live-connection table: shutdown cancels every connection's token
@@ -281,6 +285,15 @@ impl Server {
             builder = builder.threads(threads);
         }
         let engine = builder.build_shared();
+        // Open the hosted archive before accepting anything: a corrupt
+        // or bombed epoch index refuses startup with a typed error
+        // rather than failing every range request later.
+        let archive = match &config.archive {
+            Some(path) => Some(Archive::open(path, &engine).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}"))
+            })?),
+            None => None,
+        };
         let tenants = TenantRegistry::new(config.tenants.clone(), threads);
         let shared = Arc::new(Shared {
             config,
@@ -290,6 +303,7 @@ impl Server {
             inflight: AtomicUsize::new(0),
             stop: Arc::new(AtomicBool::new(false)),
             conns: ConnTable::default(),
+            archive,
         });
 
         let queue = shared.config.queue_depth.max(1);
@@ -629,6 +643,43 @@ fn dispatch(
             cancel,
         ),
         Op::Info => info(tenant, body),
+        Op::ArchiveRange => archive_range(shared, body),
+    }
+}
+
+/// `ARCHIVE_RANGE`: `[frame u32][start u64][len u64]` → trit text from
+/// the hosted archive, reading only the segments the range touches. Bad
+/// coordinates are the client's fault (`BadRequest`); rot and decode
+/// failures are the archive's (`Failed`); the store going unreadable
+/// underneath us is `Io`.
+fn archive_range(shared: &Shared, body: &[u8]) -> (Status, Vec<u8>) {
+    let Some(archive) = shared.archive.as_ref() else {
+        return (
+            Status::BadRequest,
+            b"no archive hosted (start the server with an archive path)".to_vec(),
+        );
+    };
+    let Some((frame, start, len)) = wire::split_archive_range(body) else {
+        return (
+            Status::BadRequest,
+            b"archive-range body needs [frame u32][start u64][len u64]".to_vec(),
+        );
+    };
+    let (Ok(start), Ok(len)) = (usize::try_from(start), usize::try_from(len)) else {
+        return (
+            Status::BadRequest,
+            b"range does not fit this server's address space".to_vec(),
+        );
+    };
+    match archive.decode_range(frame as usize, start, len) {
+        Ok(trits) => (Status::Ok, trits.to_string().into_bytes()),
+        Err(e @ (ArchiveError::FrameOutOfRange { .. } | ArchiveError::RangeOutOfBounds { .. })) => {
+            (Status::BadRequest, e.to_string().into_bytes())
+        }
+        Err(ArchiveError::Io { what, source }) => {
+            (Status::Io, format!("{what}: {source}").into_bytes())
+        }
+        Err(e) => (Status::Failed, e.to_string().into_bytes()),
     }
 }
 

@@ -70,6 +70,12 @@ pub enum Op {
     /// Sugar for [`Op::Decode`] with the repair policy: body = frame
     /// bytes, same response body as decode.
     Repair = 5,
+    /// Random-access decode of a trit range from the server's hosted
+    /// `9CA` archive: body = `[frame u32 le][start u64 le][len u64 le]`
+    /// (see [`encode_archive_range`]), response body = trit text. Only
+    /// the referenced segments are read and decoded — the point of the
+    /// archive's seek index, carried over the wire.
+    ArchiveRange = 6,
 }
 
 impl Op {
@@ -82,9 +88,34 @@ impl Op {
             3 => Some(Op::Decode),
             4 => Some(Op::Info),
             5 => Some(Op::Repair),
+            6 => Some(Op::ArchiveRange),
             _ => None,
         }
     }
+}
+
+/// Builds an [`Op::ArchiveRange`] body: frame index, then the trit
+/// range's start and length, all little-endian.
+#[must_use]
+pub fn encode_archive_range(frame: u32, start: u64, len: u64) -> [u8; 20] {
+    let mut body = [0u8; 20];
+    body[..4].copy_from_slice(&frame.to_le_bytes());
+    body[4..12].copy_from_slice(&start.to_le_bytes());
+    body[12..].copy_from_slice(&len.to_le_bytes());
+    body
+}
+
+/// Inverse of [`encode_archive_range`]; `None` for a body that is not
+/// exactly the 20-byte coordinate triple.
+#[must_use]
+pub fn split_archive_range(body: &[u8]) -> Option<(u32, u64, u64)> {
+    let coords: &[u8; 20] = body.try_into().ok()?;
+    let frame = u32::from_le_bytes([coords[0], coords[1], coords[2], coords[3]]);
+    let mut start = [0u8; 8];
+    start.copy_from_slice(&coords[4..12]);
+    let mut len = [0u8; 8];
+    len.copy_from_slice(&coords[12..]);
+    Some((frame, u64::from_le_bytes(start), u64::from_le_bytes(len)))
 }
 
 /// Response statuses. `Ok`/`BadRequest`/`Failed`/`Io`/`Partial` carry the
@@ -494,6 +525,15 @@ mod tests {
         assert_eq!(Status::DeadlineExceeded as u8, 8);
         assert_eq!(Status::from_byte(8), Some(Status::DeadlineExceeded));
         assert!(!Status::DeadlineExceeded.carries_payload());
+    }
+
+    #[test]
+    fn archive_range_coordinates_roundtrip() {
+        let body = encode_archive_range(7, 1 << 40, 96);
+        assert_eq!(split_archive_range(&body), Some((7, 1 << 40, 96)));
+        assert_eq!(split_archive_range(&body[..19]), None);
+        assert_eq!(split_archive_range(&[0u8; 21]), None);
+        assert_eq!(Op::from_byte(6), Some(Op::ArchiveRange));
     }
 
     #[test]

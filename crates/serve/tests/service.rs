@@ -290,3 +290,77 @@ fn stats_snapshot_counts_connections_and_requests() {
     assert!(stats.ok >= 2);
     server.shutdown();
 }
+
+#[test]
+fn archive_range_serves_random_access_and_typed_refusals() {
+    // Host a one-frame archive on disk; the range verb ships only the
+    // 20-byte coordinate triple and gets trit text back.
+    let dir = std::env::temp_dir().join(format!("ninec_serve_arcrange_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let engine = ninec::Engine::builder()
+        .threads(1)
+        .segment_bits(128)
+        .build();
+    let stream: ninec_testdata::trit::TritVec = STREAM.repeat(40).parse().expect("trit text");
+    let frame = engine.encode_frame(8, &stream).expect("encode");
+    let store = dir.join("hosted.9ca");
+    let mut arc = ninec::engine::Archive::create(&store, &engine).expect("create archive");
+    arc.append_frame(&frame).expect("append");
+    drop(arc);
+
+    let mut server = start(ServeConfig {
+        archive: Some(store.to_str().expect("utf-8 path").to_string()),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let full = engine.decode_frame(&frame).expect("decode").to_string();
+    let got = client.archive_range(0, 20, 60).expect("range decodes");
+    assert_eq!(
+        got,
+        full[20..80],
+        "range must match the full decode's slice"
+    );
+
+    // Bad coordinates are the client's fault: typed BadRequest, and the
+    // connection keeps serving.
+    let err = client
+        .archive_range(9, 0, 1)
+        .expect_err("frame 9 does not exist");
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            status: Status::BadRequest,
+            ..
+        }
+    ));
+    let err = client
+        .archive_range(0, 0, u64::MAX)
+        .expect_err("len is past the end");
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            status: Status::BadRequest,
+            ..
+        }
+    ));
+    assert_eq!(
+        client.archive_range(0, 0, 8).expect("still serving"),
+        full[..8]
+    );
+    server.shutdown();
+
+    // A server with no hosted archive refuses the verb outright.
+    let mut plain = start(ServeConfig::default());
+    let mut client = Client::connect(plain.addr()).expect("connect");
+    let err = client
+        .archive_range(0, 0, 1)
+        .expect_err("no archive hosted");
+    assert!(matches!(
+        err,
+        ClientError::Server {
+            status: Status::BadRequest,
+            ..
+        }
+    ));
+    plain.shutdown();
+}

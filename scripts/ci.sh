@@ -35,12 +35,16 @@ grep -q '^#!\[deny(clippy::unwrap_used)\]' crates/core/src/engine/mod.rs || {
 # the same bar: every byte it parses arrived over a socket from an
 # untrusted peer (including the chaos proxy, which feeds itself torn
 # writes on purpose), and a panic in a handler thread is a denial of
-# service for every tenant.
-echo "==> frame/pool/ecc/reader/plan/exec/cancel/serve no-unwrap/expect guard"
+# service for every tenant. archive.rs and scrub.rs join the list: they
+# parse epoch indexes and stored blobs that may have rotted on disk for
+# months, and a panic there takes the whole archive tier down instead of
+# surfacing a typed Degraded/Lost verdict.
+echo "==> frame/pool/ecc/reader/plan/exec/cancel/archive/scrub/serve no-unwrap/expect guard"
 for f in crates/core/src/engine/frame.rs crates/core/src/engine/pool.rs \
          crates/core/src/engine/ecc.rs crates/core/src/engine/reader.rs \
          crates/core/src/engine/plan.rs crates/core/src/engine/exec.rs \
          crates/core/src/engine/cancel.rs \
+         crates/core/src/engine/archive.rs crates/core/src/engine/scrub.rs \
          crates/serve/src/*.rs; do
     head=$(sed '/#\[cfg(test)\]/q' "$f")
     if echo "$head" | grep -nE '\.(unwrap|expect)\(' >&2; then
@@ -78,6 +82,14 @@ cargo test -q --workspace --no-default-features
 # threads (the feature only exists in test builds; see crates/core).
 echo "==> cargo test -q --test fault_injection --features failpoints"
 cargo test -q --test fault_injection --features failpoints
+
+# Archive crash-safety at every byte boundary: the failpoints build arms
+# the `arc` kill site so the torn-append sweep can abort a child append
+# at each write offset and prove the prior epoch still reads (the
+# default-feature mutation/truncation sweeps already ran under the
+# workspace suites above).
+echo "==> cargo test -q --test archive_fault_injection --features failpoints"
+cargo test -q --test archive_fault_injection --features failpoints
 
 # Tenant isolation under load: a hostile tenant hammering the service
 # from several connections must not disturb a clean tenant, with the
@@ -228,12 +240,61 @@ grep -q '"rung":"repaired"' "$smokedir/audit.json"
     --trace "$smokedir/decode.trace.json" > /dev/null
 grep -q '"traceEvents"' "$smokedir/decode.trace.json"
 
+# Archive + scrub smoke test: append the parity-protected frame twice
+# (full dedup, --verify re-decodes each frame), rot one stored byte, and
+# walk the scrub contract end to end: --check reports without healing
+# (exit 5), repair mode heals from parity and exits 0 with a report, and
+# extraction is byte-exact again afterwards.
+echo "==> ninec archive + scrub smoke test"
+./target/release/ninec archive "$smokedir/p.9cf" "$smokedir/p.9cf" \
+    -o "$smokedir/a.9ca" --verify > "$smokedir/arc.txt"
+grep -q 'verified' "$smokedir/arc.txt"
+grep -q '2 frames' "$smokedir/arc.txt"
+./target/release/ninec extract "$smokedir/a.9ca" --frame 1 \
+    -o "$smokedir/x.9cf" --verify >/dev/null
+cmp "$smokedir/x.9cf" "$smokedir/p.9cf"
+# Offset 16 = 12-byte store header + 4 bytes into the first blob's
+# CRC-covered segment header (xor keeps the write a guaranteed change).
+orig_byte=$(od -An -tu1 -j16 -N1 "$smokedir/a.9ca" | tr -d ' ')
+printf "$(printf '\\%03o' $((orig_byte ^ 0xFF)))" \
+    | dd of="$smokedir/a.9ca" bs=1 seek=16 conv=notrunc status=none
+rc=0
+./target/release/ninec scrub "$smokedir/a.9ca" --check >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 5 ]; then
+    echo "scrub --check on a rotted archive must exit 5, got $rc" >&2
+    exit 1
+fi
+./target/release/ninec scrub "$smokedir/a.9ca" > "$smokedir/scrub.txt"
+grep -q 'repaired' "$smokedir/scrub.txt"
+./target/release/ninec extract "$smokedir/a.9ca" -o "$smokedir/healed.9cf" >/dev/null
+cmp "$smokedir/healed.9cf" "$smokedir/p.9cf"
+
+# Torn-append smoke test: write epoch 1, append a second frame, then
+# roll the index file back to epoch 1 — byte-for-byte the on-disk state
+# a crash leaves after the new blobs hit the store but before the index
+# rename commits. The archive must still open, see exactly one frame,
+# extract it byte-exact, and a fresh append must reclaim the torn tail.
+echo "==> ninec torn-append smoke test"
+./target/release/ninec archive "$smokedir/p.9cf" -o "$smokedir/torn.9ca" >/dev/null
+cp "$smokedir/torn.9ca.idx" "$smokedir/epoch1.idx"
+./target/release/ninec archive "$smokedir/t4.9cf" -o "$smokedir/torn.9ca" >/dev/null
+cp "$smokedir/epoch1.idx" "$smokedir/torn.9ca.idx"
+./target/release/ninec info "$smokedir/torn.9ca" > "$smokedir/torninfo.txt"
+grep -q '1 frames' "$smokedir/torninfo.txt"
+./target/release/ninec extract "$smokedir/torn.9ca" -o "$smokedir/torn0.9cf" >/dev/null
+cmp "$smokedir/torn0.9cf" "$smokedir/p.9cf"
+./target/release/ninec archive "$smokedir/t4.9cf" -o "$smokedir/torn.9ca" >/dev/null
+./target/release/ninec extract "$smokedir/torn.9ca" --frame 1 \
+    -o "$smokedir/torn1.9cf" >/dev/null
+cmp "$smokedir/torn1.9cf" "$smokedir/t4.9cf"
+
 # Serve smoke test: bring the codec service up on ephemeral ports, read
 # the bound addresses it prints, round-trip a cube file over the wire
 # with `ninec client`, check the Prometheus exporter answers, and kill
 # the server cleanly. The EXIT trap also kills it if any step fails.
 echo "==> ninec serve smoke test"
 ./target/release/ninec serve --addr 127.0.0.1:0 --http-addr 127.0.0.1:0 \
+    --archive "$smokedir/a.9ca" \
     > "$smokedir/serve.log" 2>&1 &
 serve_pid=$!
 for _ in $(seq 1 100); do
@@ -251,6 +312,13 @@ http_addr=${http_url#http://}
 http_addr=${http_addr%/metrics}
 ./target/release/ninec client "$wire_addr" ping > "$smokedir/ping.txt"
 grep -q 'tenant default' "$smokedir/ping.txt"
+# Random access into the hosted archive over the wire must agree with
+# the local seek-index decode of the same window.
+./target/release/ninec client "$wire_addr" range --frame 1 --range 5:20 \
+    -o "$smokedir/range.wire.txt" >/dev/null
+./target/release/ninec extract "$smokedir/a.9ca" --frame 1 --range 5:20 \
+    -o "$smokedir/range.local.txt" >/dev/null
+cmp "$smokedir/range.wire.txt" "$smokedir/range.local.txt"
 ./target/release/ninec client "$wire_addr" compress "$smokedir/t.cubes" \
     -o "$smokedir/wire.9cf" >/dev/null
 ./target/release/ninec client "$wire_addr" decompress "$smokedir/wire.9cf" \

@@ -211,6 +211,42 @@ fn readme_tracing_example_runs() {
     tracing_snippet().unwrap();
 }
 
+/// Mirrors the README "Archive & scrubbing" snippet verbatim.
+fn archive_snippet() -> Result<(), Box<dyn std::error::Error>> {
+    use ninec::engine::{Archive, Engine, ScrubMode};
+    use ninec_testdata::trit::TritVec;
+
+    let stream: TritVec = "0X0X00XX1111X11101X0".repeat(100).parse()?;
+    let engine = Engine::builder().segment_bits(256).parity(4, 1).build();
+    let frame = engine.encode_frame(8, &stream)?;
+
+    // Crash-safe appends: blobs are fsynced, then the epoch index commits
+    // by atomic rename — kill the process anywhere and the prior epoch reads.
+    let dir = std::env::temp_dir().join("ninec-readme-archive");
+    std::fs::create_dir_all(&dir)?;
+    let mut archive = Archive::create(dir.join("tests.9ca"), &engine)?;
+    archive.append_frame(&frame)?;
+    archive.append_frame(&frame)?; // identical segments dedup onto the same blobs
+    let stats = archive.stats();
+    assert_eq!(stats.frames, 2);
+    assert!(stats.dedup_ratio() > 1.9); // the second frame stored nothing new
+
+    // Seekable random access: decode 40 trits without touching the rest.
+    let window = archive.decode_range(1, 500, 40)?;
+    assert_eq!(window.len(), 40);
+
+    // The scrubber CRC-checks every stored blob; ScrubMode::Repair heals
+    // repairable rot in place and bumps the epoch.
+    let report = archive.scrub(ScrubMode::Check)?;
+    assert!(report.is_clean());
+    Ok(())
+}
+
+#[test]
+fn readme_archive_example_runs() {
+    archive_snippet().unwrap();
+}
+
 /// Mirrors the README "Serving" snippet verbatim.
 fn serving_snippet() -> Result<(), Box<dyn std::error::Error>> {
     use ninec_serve::{Client, ServeConfig, Server};
